@@ -1,0 +1,59 @@
+"""Figure 6: weak scaling of unsorted selection (Section 10.1).
+
+Paper setup: n/p = 2^28 Zipf-high-tail integers with per-PE randomized
+universe and exponent; k in {2^10, 2^20, 2^26}; p = 1..2048.  Expected
+shape: modeled time roughly flat (local partitioning dominates),
+*decreasing* with p for the largest k.
+
+Scaled here to n/p = 2^14 and k in {2^6, 2^10, 2^14}; the CSV written to
+``results/fig6.csv`` carries the series (modeled time, bottleneck
+volume, startups) per (k, p).
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.machine import DistArray, Machine
+from repro.bench.workloads import selection_workload
+from repro.selection import select_kth
+
+from conftest import persist
+
+P_LIST = (1, 2, 4, 8, 16, 32, 64)
+N_PER_PE = 1 << 14
+
+
+def test_fig6_full_sweep(benchmark, results_dir):
+    """The complete Figure 6 series (one simulation pass)."""
+
+    def sweep():
+        return E.fig6_unsorted_selection(p_list=P_LIST, n_per_pe=N_PER_PE)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "fig6",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "startups", "imbalance"),
+    )
+    # shape check: weak scaling must stay within a small factor of p=1
+    for k_label in {r.algorithm for r in rows}:
+        series = sorted(
+            (r for r in rows if r.algorithm == k_label), key=lambda r: r.p
+        )
+        assert series[-1].time_s < 60 * max(series[0].time_s, 1e-9)
+
+
+@pytest.mark.parametrize("p", [4, 16, 64])
+def test_select_kth_representative(benchmark, p):
+    """Wall-clock of one simulated selection at n/p = 2^14."""
+    machine = Machine(p=p, seed=1)
+    data = selection_workload(machine, N_PER_PE)
+    neg = DistArray(machine, [-c for c in data.chunks])
+    k = data.global_size // 2
+
+    def run():
+        machine.reset()
+        return select_kth(machine, neg, k)
+
+    benchmark(run)

@@ -1,0 +1,78 @@
+"""Figure 7: weak scaling of top-k most frequent objects (Section 10.2).
+
+Paper setup: n/p = 2^26 (7a) and 2^28 (7b), eps = 3e-4, delta = 1e-4,
+k = 32, Zipf keys over a 2^20 universe; PAC vs EC vs Naive vs
+Naive-Tree.  Expected shape: Naive degrades linearly in p; Naive-Tree
+flat but above PAC; PAC scales best; EC pays a constant exact-counting
+overhead (its regime is Figure 8).
+
+Scaled: n/p = 2^13 / 2^15 for the (a)/(b) panels, eps = 3e-2 so the
+sampling regime (rho < 1 at scale) matches the paper's.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.bench.workloads import zipf_keys_workload
+from repro.frequent import top_k_frequent_pac
+from repro.machine import Machine
+
+from conftest import persist
+
+P_LIST = (1, 2, 4, 8, 16, 32, 64)
+EPS = 3e-2
+DELTA = 1e-4
+
+
+def test_fig7a_sweep(benchmark, results_dir):
+    def sweep():
+        return E.fig7_topk_frequent(
+            p_list=P_LIST, n_per_pe=1 << 13, eps=EPS, delta=DELTA, universe=1 << 14
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "fig7a",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
+    )
+    _check_ordering(rows)
+
+
+def test_fig7b_sweep(benchmark, results_dir):
+    def sweep():
+        return E.fig7_topk_frequent(
+            p_list=P_LIST, n_per_pe=1 << 15, eps=EPS, delta=DELTA, universe=1 << 14
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "fig7b",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
+    )
+    _check_ordering(rows)
+
+
+def _check_ordering(rows):
+    """Paper shape at the largest p: Naive slowest; PAC at least as fast
+    as Naive-Tree; Naive's coordinator volume dominates everyone."""
+    p_max = max(r.p for r in rows)
+    at = {r.algorithm: r for r in rows if r.p == p_max}
+    assert at["Naive"].time_s > at["PAC"].time_s
+    assert at["Naive"].volume_words >= at["NaiveTree"].volume_words >= at["PAC"].volume_words
+    assert at["NaiveTree"].time_s >= at["PAC"].time_s
+
+
+@pytest.mark.parametrize("p", [8, 32])
+def test_pac_representative(benchmark, p):
+    machine = Machine(p=p, seed=7)
+    data = zipf_keys_workload(machine, 1 << 13, universe=1 << 14, s=1.0)
+
+    def run():
+        machine.reset()
+        return top_k_frequent_pac(machine, data, 32, EPS, DELTA)
+
+    benchmark(run)

@@ -1,0 +1,64 @@
+"""Figure 8: top-k frequent objects under strict accuracy (Section 10.2).
+
+Paper setup: eps = 1e-6, delta = 1e-8 -- so strict that PAC, Naive and
+Naive-Tree must effectively aggregate the *whole* input (sample rate 1),
+while EC's sample stays orders of magnitude smaller; EC is the
+consistent winner (4.1 s vs 6.2+ s in the paper).
+
+Scaled: eps = 1e-3, delta = 1e-8 with n/p = 2^15 reproduces the same
+regime: rho_PAC = 1 while rho_EC << 1.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.bench.workloads import zipf_keys_workload
+from repro.frequent import top_k_frequent_ec
+from repro.machine import Machine
+
+from conftest import persist
+
+P_LIST = (1, 2, 4, 8, 16, 32, 64)
+EPS = 1e-3
+DELTA = 1e-8
+N_PER_PE = 1 << 15
+
+
+def test_fig8_sweep(benchmark, results_dir):
+    def sweep():
+        return E.fig8_strict_accuracy(
+            p_list=P_LIST, n_per_pe=N_PER_PE, eps=EPS, delta=DELTA, universe=1 << 14
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "fig8",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
+    )
+    # the paper's claim: only EC can still sample, and it is the
+    # consistently fastest algorithm at scale (Figure 8's ordering:
+    # EC < PAC < NaiveTree < Naive).  (Volume-wise PAC is capped by the
+    # scaled-down distinct-key universe here, so the time ordering is
+    # the faithful comparison.)
+    for p in (16, 32, 64):
+        at = {r.algorithm: r for r in rows if r.p == p}
+        assert at["EC"].extra["rho"] < 1.0
+        assert at["PAC"].extra["rho"] == 1.0
+        assert at["EC"].time_s < at["PAC"].time_s
+        assert at["PAC"].time_s < at["NaiveTree"].time_s
+        assert at["NaiveTree"].time_s < at["Naive"].time_s
+        assert at["EC"].volume_words < at["Naive"].volume_words
+
+
+@pytest.mark.parametrize("p", [8, 32])
+def test_ec_representative(benchmark, p):
+    machine = Machine(p=p, seed=8)
+    data = zipf_keys_workload(machine, N_PER_PE, universe=1 << 14, s=1.0)
+
+    def run():
+        machine.reset()
+        return top_k_frequent_ec(machine, data, 32, EPS, DELTA)
+
+    benchmark(run)

@@ -1,0 +1,51 @@
+"""Multicriteria top-k: DTA / RDTA coordination cost (Section 6).
+
+No directly comparable distributed baseline exists (the paper notes
+TPUT/KLEE limit p <= m and centralize all traffic); we report DTA and
+RDTA cost over p with the sequential TA scan depth as the work
+reference, plus DTA's sublinearity in n/p.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.bench.workloads import multicriteria_workload
+from repro.machine import Machine
+from repro.topk import SumScore, dta_topk
+
+from conftest import persist
+
+P_LIST = (2, 4, 8, 16, 32)
+M_CRIT = 4
+
+
+def test_multicriteria_sweep(benchmark, results_dir):
+    def sweep():
+        return E.multicriteria_comparison(
+            p_list=P_LIST, n_per_pe=1 << 10, m_criteria=M_CRIT, k=32
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "multicriteria",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "startups"),
+    )
+    # DTA's coordination volume must stay sublinear in the input
+    for r in rows:
+        if r.algorithm == "DTA":
+            assert r.volume_words < r.n_per_pe * 2
+
+
+@pytest.mark.parametrize("p", [4, 16])
+def test_dta_representative(benchmark, p):
+    machine = Machine(p=p, seed=4)
+    idx = multicriteria_workload(machine, 1 << 10, M_CRIT)
+    scorer = SumScore(M_CRIT)
+
+    def run():
+        machine.reset()
+        return dta_topk(machine, idx, scorer, 32)
+
+    benchmark(run)

@@ -1,0 +1,56 @@
+"""Bulk priority queue: ours vs random allocation (Table 1 row 3).
+
+insert* + deleteMin* cycles: the Section 5 queue never communicates on
+insertion (local trees), the Karp-Zhang/[31] baseline routes every
+element to a random PE.  The measured volume gap is the paper's
+``alpha log kp`` vs ``log(n/k) + alpha (k/p + log p)`` contrast made
+concrete.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.machine import Machine
+from repro.pqueue import BulkParallelPQ, RandomAllocPQ
+
+from conftest import persist
+
+P_LIST = (2, 4, 8, 16, 32)
+BATCH = 256
+
+
+def test_pq_sweep(benchmark, results_dir):
+    def sweep():
+        return E.priority_queue_comparison(
+            p_list=P_LIST, batch=BATCH, iterations=4
+        )
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "priority_queue",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "startups"),
+    )
+    for p in P_LIST:
+        at = {r.algorithm: r for r in rows if r.p == p}
+        assert (
+            at["BulkPQ(ours)"].volume_words < at["RandomAlloc(KZ)"].volume_words
+        )
+
+
+@pytest.mark.parametrize("impl", ["bulk", "kz"])
+def test_insert_delete_cycle_representative(benchmark, impl):
+    machine = Machine(p=8, seed=3)
+
+    def run_bulk():
+        q = BulkParallelPQ(machine)
+        q.insert([machine.rngs[i].random(BATCH) for i in range(8)])
+        q.delete_min_flexible(BATCH // 2, BATCH)
+
+    def run_kz():
+        q = RandomAllocPQ(machine)
+        q.insert([machine.rngs[i].random(BATCH) for i in range(8)])
+        q.delete_min(BATCH // 2)
+
+    benchmark(run_bulk if impl == "bulk" else run_kz)

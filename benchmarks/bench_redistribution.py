@@ -1,0 +1,47 @@
+"""Data redistribution (Section 9): adaptive vs blind repartition.
+
+The adaptive scheme's moved volume equals the total surplus -- zero for
+already-balanced layouts -- while a naive contiguous repartition moves
+data regardless.  Latency of the planning step is O(alpha log p)
+(prefix sums + Batcher merge).
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.bench.workloads import skewed_sizes_workload
+from repro.machine import Machine
+from repro.redistribution import redistribute
+
+from conftest import persist
+
+P = 32
+N_TOTAL = 1 << 15
+
+
+def test_redistribution_sweep(benchmark, results_dir):
+    def sweep():
+        return E.redistribution_comparison(p=P, n_total=N_TOTAL)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "redistribution",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "moved"),
+    )
+    by = {r.algorithm: r for r in rows}
+    assert by["adaptive/balanced"].extra["moved"] == 0
+    for kind in ("point", "ramp", "random"):
+        assert by[f"adaptive/{kind}"].extra["moved"] <= by[f"naive/{kind}"].extra["moved"]
+
+
+@pytest.mark.parametrize("kind", ["point", "random"])
+def test_redistribute_representative(benchmark, kind):
+    def run():
+        machine = Machine(p=P, seed=9)
+        data = skewed_sizes_workload(machine, N_TOTAL, kind)
+        machine.reset()
+        return redistribute(machine, data)
+
+    benchmark(run)

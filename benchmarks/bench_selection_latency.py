@@ -1,0 +1,51 @@
+"""Sorted-selection latency: msSelect vs amsSelect vs batched trials.
+
+Reproduces Table 1 rows 2-3: exact multisequence selection needs
+``O(alpha log^2 kp)`` startups, the flexible variant ``O(alpha log kp)``
+and the ``d``-trial batched variant stays flat even for narrow
+flexibility windows (Theorems 3-4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments as E
+from repro.machine import Machine
+from repro.selection import ams_select, ms_select
+
+from conftest import persist
+
+P_LIST = (2, 4, 8, 16, 32, 64)
+N_PER_PE = 1 << 13
+K = 1 << 10
+
+
+def test_latency_sweep(benchmark, results_dir):
+    def sweep():
+        return E.selection_latency(p_list=P_LIST, n_per_pe=N_PER_PE, k=K)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "selection_latency",
+        rows,
+        ("algorithm", "p", "time_s", "startups", "rounds"),
+    )
+    at = {r.algorithm: r for r in rows if r.p == max(P_LIST)}
+    assert at["amsSelect(flex)"].startups <= at["msSelect(exact)"].startups
+
+
+@pytest.mark.parametrize("algo", ["exact", "flex"])
+def test_representative(benchmark, algo):
+    machine = Machine(p=16, seed=2)
+    seqs = [np.sort(machine.rngs[i].random(N_PER_PE)) for i in range(16)]
+
+    def run_exact():
+        machine.reset()
+        return ms_select(machine, seqs, K)
+
+    def run_flex():
+        machine.reset()
+        return ams_select(machine, seqs, K, 2 * K)
+
+    benchmark(run_exact if algo == "exact" else run_flex)

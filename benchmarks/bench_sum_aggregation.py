@@ -1,0 +1,49 @@
+"""Top-k sum aggregation (Section 8, Table 1 row 5).
+
+PAC-sum (one-pass, estimates) vs EC-sum (exact sums via aggregation-
+table lookups).  The paper's centralized strawman appears in
+bench_table1; here the sweep shows both scale flat over p with
+volume ``O((1/eps) sqrt(1/p) log(n/delta))`` per PE.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from repro.aggregation import top_k_sums_ec, top_k_sums_pac
+from repro.bench.workloads import sum_workload
+from repro.machine import Machine
+
+from conftest import persist
+
+P_LIST = (1, 2, 4, 8, 16, 32)
+N_PER_PE = 1 << 13
+
+
+def test_sum_aggregation_sweep(benchmark, results_dir):
+    def sweep():
+        return E.sum_aggregation_comparison(p_list=P_LIST, n_per_pe=N_PER_PE)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "sum_aggregation",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "startups"),
+    )
+    # per-PE volume shrinks (or at worst stays flat) as p grows
+    for algo in ("SumPAC", "SumEC"):
+        series = sorted((r for r in rows if r.algorithm == algo), key=lambda r: r.p)
+        assert series[-1].volume_words < 20 * max(series[1].volume_words, 1)
+
+
+@pytest.mark.parametrize("variant", ["pac", "ec"])
+def test_representative(benchmark, variant):
+    machine = Machine(p=8, seed=5)
+    kv = sum_workload(machine, N_PER_PE)
+    fn = top_k_sums_pac if variant == "pac" else top_k_sums_ec
+
+    def run():
+        machine.reset()
+        return fn(machine, kv, 32, 2e-2, 1e-4)
+
+    benchmark(run)

@@ -1,0 +1,47 @@
+"""Table 1: old-vs-new bottleneck communication volume per problem.
+
+The paper's Table 1 contrasts asymptotic costs; here we *measure* the
+bottleneck volume and startups of the pre-paper approach (random data
+redistribution, element-moving priority queues, master-worker gathers)
+against this package's algorithms on identical inputs, reproducing the
+old/new columns empirically.
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+
+from conftest import persist
+
+P = 16
+N_PER_PE = 1 << 13
+K = 256
+
+
+def test_table1_measurements(benchmark, results_dir):
+    def sweep():
+        return E.table1_comm_volume(p=P, n_per_pe=N_PER_PE, k=K)
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    persist(
+        results_dir,
+        "table1",
+        rows,
+        ("algorithm", "p", "time_s", "volume_words", "startups"),
+    )
+    by = {r.algorithm: r for r in rows}
+    # the headline claims, row by row
+    pairs = [
+        ("unsorted-selection", 4.0),
+        ("priority-queue", 2.0),
+        ("topk-frequent", 2.0),
+        ("sum-aggregation", 2.0),
+    ]
+    for problem, factor in pairs:
+        old = by[f"{problem}/old"].volume_words
+        new = by[f"{problem}/new"].volume_words
+        assert new * factor <= old, (problem, old, new)
+    # sorted selection: the flexible variant needs fewer startups
+    assert (
+        by["sorted-selection/new"].startups <= by["sorted-selection/old"].startups
+    )

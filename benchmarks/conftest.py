@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*.py`` module pairs two things:
+
+* **pytest-benchmark timings** of a representative configuration (the
+  wall-clock cost of simulating the algorithm -- tracked for
+  performance regressions of this package itself), and
+* **paper-series sweeps**: the full weak-scaling table of the
+  corresponding paper figure, printed and persisted to
+  ``benchmarks/results/<name>.csv`` for EXPERIMENTS.md.
+
+Run everything with ``pytest benchmarks/ --benchmark-only`` or print all
+paper tables at once with ``python benchmarks/run_all.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import format_table, write_csv
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def persist(results_dir: pathlib.Path, name: str, rows, columns=None) -> str:
+    """Write the sweep as CSV + pretty table; return the table text."""
+    write_csv(rows, results_dir / f"{name}.csv")
+    txt = format_table(rows, columns) if columns else format_table(rows)
+    (results_dir / f"{name}.txt").write_text(txt)
+    print(f"\n== {name} ==\n{txt}")
+    return txt

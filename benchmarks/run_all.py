@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Print every paper table/figure series at once.
+
+Usage::
+
+    python benchmarks/run_all.py            # all experiments
+    python benchmarks/run_all.py fig6 fig8  # a subset
+
+Each experiment is also persisted to ``benchmarks/results/<name>.csv``
+(plus a pretty ``.txt``), the files EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro.bench import experiments as E
+from repro.bench import format_table, write_csv
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+EXPERIMENTS = {
+    "fig6": (
+        "Figure 6: weak scaling, unsorted selection (Zipf high tail)",
+        lambda: E.fig6_unsorted_selection(),
+        ("algorithm", "p", "time_s", "volume_words", "startups", "imbalance"),
+    ),
+    "fig7a": (
+        "Figure 7a: top-k frequent objects, n/p=2^13 (scaled from 2^26)",
+        lambda: E.fig7_topk_frequent(n_per_pe=1 << 13, eps=3e-2),
+        ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
+    ),
+    "fig7b": (
+        "Figure 7b: top-k frequent objects, n/p=2^15 (scaled from 2^28)",
+        lambda: E.fig7_topk_frequent(n_per_pe=1 << 15, eps=3e-2),
+        ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
+    ),
+    "fig8": (
+        "Figure 8: strict accuracy (only EC can sample)",
+        lambda: E.fig8_strict_accuracy(n_per_pe=1 << 15),
+        ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
+    ),
+    "table1": (
+        "Table 1: measured old-vs-new bottleneck volume per problem",
+        lambda: E.table1_comm_volume(),
+        ("algorithm", "p", "time_s", "volume_words", "startups"),
+    ),
+    "selection_latency": (
+        "Sorted selection latency: exact vs flexible vs batched",
+        lambda: E.selection_latency(),
+        ("algorithm", "p", "time_s", "startups", "rounds"),
+    ),
+    "priority_queue": (
+        "Bulk PQ vs random allocation (insert* + deleteMin* cycles)",
+        lambda: E.priority_queue_comparison(),
+        ("algorithm", "p", "time_s", "volume_words", "startups"),
+    ),
+    "multicriteria": (
+        "Multicriteria top-k: DTA / RDTA / sequential TA",
+        lambda: E.multicriteria_comparison(),
+        ("algorithm", "p", "time_s", "volume_words", "startups"),
+    ),
+    "sum_aggregation": (
+        "Top-k sum aggregation: PAC-sum vs EC-sum",
+        lambda: E.sum_aggregation_comparison(),
+        ("algorithm", "p", "time_s", "volume_words", "startups"),
+    ),
+    "redistribution": (
+        "Data redistribution: adaptive vs naive, per imbalance shape",
+        lambda: E.redistribution_comparison(),
+        ("algorithm", "p", "time_s", "volume_words", "moved"),
+    ),
+    "ablation_ams_trials": (
+        "Ablation: amsSelect concurrent trials d (Theorem 4)",
+        lambda: E.ablation_ams_trials(),
+        ("algorithm", "p", "avg_rounds", "startups"),
+    ),
+    "ablation_ec_kstar": (
+        "Ablation: EC candidate count k* (Theorem 11)",
+        lambda: E.ablation_ec_kstar(),
+        ("algorithm", "p", "time_s", "volume_words", "rho"),
+    ),
+    "ablation_selection_sampling": (
+        "Ablation: unsorted-selection sampling factor (Theorem 1)",
+        lambda: E.ablation_selection_sampling(),
+        ("algorithm", "p", "time_s", "volume_words", "rounds", "sampled"),
+    ),
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    RESULTS.mkdir(exist_ok=True)
+    for name in names:
+        title, runner, columns = EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        rows = runner()
+        dt = time.perf_counter() - t0
+        table = format_table(rows, columns)
+        write_csv(rows, RESULTS / f"{name}.csv")
+        (RESULTS / f"{name}.txt").write_text(table)
+        print(f"\n=== {title} [{dt:.1f}s] ===")
+        print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

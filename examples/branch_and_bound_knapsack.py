@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Parallel branch-and-bound on the bulk priority queue (Section 5).
+
+Solves 0/1 knapsack instances with best-first B&B where each iteration
+deletes the globally best O(p) tree nodes via ``deleteMin*`` (flexible
+batch), expands them on their owner PEs (no node ever moves after the
+initial seeding), and refreshes the incumbent with one reduction --
+the application the paper uses to motivate communication-free
+insertions.
+
+Run:  python examples/branch_and_bound_knapsack.py
+"""
+
+import numpy as np
+
+from repro import Machine
+from repro.apps import (
+    knapsack_dp,
+    random_knapsack,
+    solve_knapsack_parallel,
+    solve_knapsack_sequential,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(1234)
+    print(f"{'items':>6} {'p':>4} {'optimum':>10} {'DP':>10} "
+          f"{'seq nodes':>10} {'par nodes':>10} {'iters':>6} {'vol(w)':>8}")
+    for n_items, p in ((24, 4), (32, 8), (40, 8), (48, 16)):
+        inst = random_knapsack(rng, n_items=n_items, tightness=0.5)
+        opt = knapsack_dp(inst)
+        seq = solve_knapsack_sequential(inst)
+        machine = Machine(p=p, seed=n_items)
+        par = solve_knapsack_parallel(machine, inst)
+        rep = machine.report()
+        assert abs(par.optimum - opt) < 1e-9, "parallel B&B must be optimal"
+        print(
+            f"{n_items:>6} {p:>4} {par.optimum:>10.1f} {opt:>10.1f} "
+            f"{seq.nodes_expanded:>10,d} {par.nodes_expanded:>10,d} "
+            f"{par.iterations:>6d} {rep.bottleneck_words:>8,.0f}"
+        )
+    print("\nEvery parallel run matches the DP optimum; expansion overhead "
+          "vs sequential best-first is the paper's K = m + O(hp) term.")
+
+
+if __name__ == "__main__":
+    main()

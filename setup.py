@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+legacy ``pip install -e . --no-use-pep517`` editable installs on systems
+where PEP 517 build isolation is unavailable (e.g. offline machines).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro: communication-efficient distributed top-k selection algorithms.
+
+A from-scratch reproduction of
+
+    Hübschle-Schneider, Sanders & Müller,
+    "Communication Efficient Algorithms for Top-k Selection Problems",
+    IPDPS 2016.
+
+The package implements the paper's contributions -- unsorted/sorted/
+flexible selection, bulk-parallel priority queues, multicriteria top-k,
+top-k most frequent objects, top-k sum aggregation and adaptive data
+redistribution -- on a simulated ``p``-PE distributed-memory machine with
+an explicit alpha-beta communication cost model, so that the paper's
+communication-volume and scaling claims can be measured rather than
+assumed.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Machine, DistArray
+>>> from repro.selection import select_kth
+>>> m = Machine(p=8, seed=42)
+>>> data = DistArray.generate(m, lambda rank, rng: rng.random(1000))
+>>> kth = select_kth(m, data, k=500)
+>>> kth == np.sort(data.concat())[499]
+True
+"""
+
+from .machine import CostParams, DistArray, Machine, MachineReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostParams",
+    "DistArray",
+    "Machine",
+    "MachineReport",
+    "__version__",
+]

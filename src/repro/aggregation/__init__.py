@@ -1,0 +1,19 @@
+"""Top-k sum aggregation (Section 8)."""
+
+from .sum_topk import (
+    DistKeyValue,
+    SumAggResult,
+    exact_sums_oracle,
+    sum_sample_size,
+    top_k_sums_ec,
+    top_k_sums_pac,
+)
+
+__all__ = [
+    "DistKeyValue",
+    "SumAggResult",
+    "exact_sums_oracle",
+    "sum_sample_size",
+    "top_k_sums_ec",
+    "top_k_sums_pac",
+]

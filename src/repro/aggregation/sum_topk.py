@@ -1,0 +1,243 @@
+"""Top-k sum aggregation (Section 8).
+
+Input: (key, value) pairs with non-negative values, distributed over the
+PEs; wanted: the ``k`` keys with the largest value *sums* -- e.g. the
+top revenue products across a sharded sales log.
+
+The frequent-objects machinery carries over once sampling is done by
+*value mass* instead of by occurrence (Section 8.1):
+
+1. each PE aggregates its local pairs into a key -> local-sum table
+   ("sample the aggregate counts ... the number of samples deviates
+   from its expected value by at most 1" per key and PE -- the property
+   Theorem 15's Hoeffding bound needs);
+2. a key with local sum ``v`` contributes ``floor(v/v_avg) +
+   Bernoulli(frac(v/v_avg))`` sample units, where ``v_avg = m / s`` for
+   global value mass ``m`` and target sample size
+   ``s = (1/eps) sqrt(2 p ln(2 n / delta))``;
+3. sample units are counted in the distributed hash table and the top-k
+   selected exactly as in Algorithm PAC;
+4. (EC variant) the ``k* >= k`` most heavily sampled keys get *exact*
+   sums: identities are all-gathered and each PE answers from its local
+   aggregation table -- one ``O(1)`` lookup per key, no second input
+   scan needed (the Section 8.2 remark).
+
+Expected time ``O(n/p + beta log(p)/eps sqrt(1/p) log(n/delta)
++ alpha log n)`` (Theorem 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.sampling import weighted_sample_counts
+from ..common.validation import check_probability
+from ..machine import DistArray, Machine
+from ..frequent.dht import take_topk_entries
+from ..common.hashing import make_owner_fn
+
+__all__ = [
+    "DistKeyValue",
+    "SumAggResult",
+    "top_k_sums_pac",
+    "top_k_sums_ec",
+    "exact_sums_oracle",
+    "sum_sample_size",
+]
+
+
+class DistKeyValue:
+    """Distributed (key, value) pairs: one key chunk + value chunk per PE."""
+
+    def __init__(self, machine: Machine, keys, values):
+        if len(keys) != machine.p or len(values) != machine.p:
+            raise ValueError("need one keys chunk and one values chunk per PE")
+        self.machine = machine
+        self.keys = [np.asarray(c, dtype=np.int64) for c in keys]
+        self.values = [np.asarray(v, dtype=np.float64) for v in values]
+        for i, (key_c, val_c) in enumerate(zip(self.keys, self.values)):
+            if key_c.shape != val_c.shape:
+                raise ValueError(f"chunk {i}: keys and values differ in length")
+            if np.any(val_c < 0):
+                raise ValueError(f"chunk {i}: sum aggregation needs non-negative values")
+
+    @classmethod
+    def generate(cls, machine: Machine, make_chunk) -> "DistKeyValue":
+        """``make_chunk(rank, rng) -> (keys, values)`` per PE."""
+        pairs = [make_chunk(i, machine.rngs[i]) for i in range(machine.p)]
+        return cls(machine, [p_[0] for p_ in pairs], [p_[1] for p_ in pairs])
+
+    @property
+    def global_size(self) -> int:
+        return int(sum(c.size for c in self.keys))
+
+    def local_aggregate(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        """Key -> local-sum aggregation of one PE's pairs (charged)."""
+        key_c, val_c = self.keys[rank], self.values[rank]
+        if key_c.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        uniq, inverse = np.unique(key_c, return_inverse=True)
+        sums = np.zeros(uniq.size)
+        np.add.at(sums, inverse, val_c)
+        self.machine.charge_ops_one(rank, key_c.size * np.log2(max(key_c.size, 2)))
+        return uniq, sums
+
+
+@dataclass(frozen=True)
+class SumAggResult:
+    """Top-k keys by value sum.
+
+    ``items`` are ``(key, sum)`` pairs, largest sum first; sums are
+    exact iff ``exact_sums`` (EC variant) and otherwise estimates
+    ``sample_units * v_avg``.
+    """
+
+    items: tuple[tuple[int, float], ...]
+    exact_sums: bool
+    v_avg: float
+    sample_size: int
+    k_star: int
+    info: dict = field(default_factory=dict)
+
+    @property
+    def keys(self) -> tuple[int, ...]:
+        return tuple(key for key, _ in self.items)
+
+
+def sum_sample_size(n: int, p: int, eps: float, delta: float) -> float:
+    """Target sample size of Theorem 15: ``s >= (1/eps) sqrt(2 p ln(2n/delta))``."""
+    check_probability(eps, "eps")
+    check_probability(delta, "delta")
+    return (1.0 / eps) * np.sqrt(2.0 * p * np.log(2.0 * max(n, 2) / delta))
+
+
+def _sample_to_dht(machine: Machine, data: DistKeyValue, v_avg: float):
+    """Stages 1-3: aggregate, value-weighted sample, DHT count."""
+    sample_dicts = []
+    realized = 0
+    for i in range(machine.p):
+        uniq, sums = data.local_aggregate(i)
+        if uniq.size == 0:
+            sample_dicts.append({})
+            continue
+        counts = weighted_sample_counts(machine.rngs[i], sums, v_avg)
+        machine.charge_ops_one(i, uniq.size)
+        nz = counts > 0
+        sample_dicts.append(
+            {int(key): int(c) for key, c in zip(uniq[nz], counts[nz])}
+        )
+        realized += int(counts.sum())
+    owner = make_owner_fn(machine.p)
+    routed = machine.aggregate_exchange(sample_dicts, owner)
+    return routed, realized
+
+
+def top_k_sums_pac(
+    machine: Machine,
+    data: DistKeyValue,
+    k: int,
+    eps: float = 1e-3,
+    delta: float = 1e-4,
+    *,
+    sample_size: float | None = None,
+) -> SumAggResult:
+    """(eps, delta)-approximate top-k sums (Theorem 15)."""
+    n = int(machine.allreduce([c.size for c in data.keys], op="sum")[0])
+    if n == 0:
+        return SumAggResult((), True, 1.0, 0, k, {})
+    local_mass = [float(v.sum()) for v in data.values]
+    m_total = float(machine.allreduce(local_mass, op="sum")[0])
+    if m_total == 0.0:
+        return SumAggResult((), True, 1.0, 0, k, {"mass": 0.0})
+    s = sample_size if sample_size is not None else sum_sample_size(n, machine.p, eps, delta)
+    v_avg = m_total / s
+    routed, realized = _sample_to_dht(machine, data, v_avg)
+    items = take_topk_entries(machine, routed, k)
+    return SumAggResult(
+        items=tuple((key, c * v_avg) for key, c in items),
+        exact_sums=False,
+        v_avg=v_avg,
+        sample_size=realized,
+        k_star=k,
+        info={"mass": m_total, "target_sample": s},
+    )
+
+
+def top_k_sums_ec(
+    machine: Machine,
+    data: DistKeyValue,
+    k: int,
+    eps: float = 1e-3,
+    delta: float = 1e-4,
+    *,
+    k_star: int | None = None,
+    sample_size: float | None = None,
+) -> SumAggResult:
+    """Top-k sums with exact sums for the winners (Section 8.2).
+
+    Unlike frequent-objects EC, no second pass over the raw input is
+    needed: the local aggregation tables already hold each key's local
+    sum, so exact global sums are one lookup plus one vector reduction.
+    """
+    p = machine.p
+    n = int(machine.allreduce([c.size for c in data.keys], op="sum")[0])
+    if n == 0:
+        return SumAggResult((), True, 1.0, 0, k, {})
+    if k_star is None:
+        comm_opt = (1.0 / eps) * np.sqrt(2.0 * np.log2(p + 1) / p * np.log(max(n, 2) / delta))
+        k_star = int(max(k, np.ceil(comm_opt)))
+    local_mass = [float(v.sum()) for v in data.values]
+    m_total = float(machine.allreduce(local_mass, op="sum")[0])
+    if m_total == 0.0:
+        return SumAggResult((), True, 1.0, 0, k_star, {"mass": 0.0})
+    if sample_size is None:
+        # the reduced EC rate: a factor k* fewer sample units suffice
+        sample_size = max(
+            16.0, sum_sample_size(n, p, eps, delta) / np.sqrt(max(k_star, 1))
+        )
+    v_avg = m_total / sample_size
+    routed, realized = _sample_to_dht(machine, data, v_avg)
+    candidates = take_topk_entries(machine, routed, k_star)
+    if not candidates:
+        return SumAggResult((), True, v_avg, realized, k_star, {})
+    cand_keys = np.array([key for key, _ in candidates], dtype=np.int64)
+
+    # exact sums from the local aggregation tables (one lookup per key)
+    per_pe = []
+    for i in range(p):
+        uniq, sums = data.local_aggregate(i)
+        pos = np.searchsorted(uniq, cand_keys)
+        pos = np.clip(pos, 0, max(uniq.size - 1, 0))
+        if uniq.size:
+            hit = uniq[pos] == cand_keys
+            vals = np.where(hit, sums[pos], 0.0)
+        else:
+            vals = np.zeros(len(cand_keys))
+        machine.charge_ops_one(i, max(1.0, len(cand_keys) * np.log2(max(uniq.size, 2))))
+        per_pe.append(vals)
+    exact = np.asarray(machine.allreduce(per_pe, op="sum")[0])
+    order = np.lexsort((cand_keys, -exact))
+    top = order[: min(k, len(cand_keys))]
+    items = tuple((int(cand_keys[t]), float(exact[t])) for t in top)
+    return SumAggResult(
+        items=items,
+        exact_sums=True,
+        v_avg=v_avg,
+        sample_size=realized,
+        k_star=int(k_star),
+        info={"mass": m_total, "candidates": len(candidates)},
+    )
+
+
+def exact_sums_oracle(data: DistKeyValue) -> dict[int, float]:
+    """Driver-side exact key sums (test oracle)."""
+    keys = np.concatenate(data.keys) if data.keys else np.empty(0, dtype=np.int64)
+    values = np.concatenate(data.values) if data.values else np.empty(0)
+    if keys.size == 0:
+        return {}
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    sums = np.zeros(uniq.size)
+    np.add.at(sums, inverse, values)
+    return {int(key): float(s) for key, s in zip(uniq, sums)}

@@ -1,0 +1,19 @@
+"""Example applications built on the core library."""
+
+from .branch_and_bound import (
+    BnBResult,
+    KnapsackInstance,
+    knapsack_dp,
+    random_knapsack,
+    solve_knapsack_parallel,
+    solve_knapsack_sequential,
+)
+
+__all__ = [
+    "BnBResult",
+    "KnapsackInstance",
+    "knapsack_dp",
+    "random_knapsack",
+    "solve_knapsack_parallel",
+    "solve_knapsack_sequential",
+]

@@ -1,0 +1,27 @@
+"""Benchmark substrate: workloads, harness, experiment drivers."""
+
+from .harness import BenchRow, format_table, run_algorithm, weak_scaling, write_csv
+from .workloads import (
+    gapped_workload,
+    multicriteria_workload,
+    negative_binomial_workload,
+    selection_workload,
+    skewed_sizes_workload,
+    sum_workload,
+    zipf_keys_workload,
+)
+
+__all__ = [
+    "BenchRow",
+    "format_table",
+    "gapped_workload",
+    "multicriteria_workload",
+    "negative_binomial_workload",
+    "run_algorithm",
+    "selection_workload",
+    "skewed_sizes_workload",
+    "sum_workload",
+    "weak_scaling",
+    "write_csv",
+    "zipf_keys_workload",
+]

@@ -1,0 +1,546 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Each driver returns :class:`~repro.bench.harness.BenchRow` lists that
+regenerate the corresponding series of the paper's evaluation
+(Section 10) on the simulated machine.  ``benchmarks/bench_*.py`` wraps
+these for pytest-benchmark; ``benchmarks/run_all.py`` prints every table
+at once; EXPERIMENTS.md records paper-vs-measured.
+
+Scaling defaults are chosen so a full sweep runs in seconds while the
+communication regime matches the paper's (sampling rates < 1, see the
+per-driver notes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..aggregation import exact_sums_oracle, top_k_sums_ec, top_k_sums_pac
+from ..frequent import (
+    top_k_frequent_ec,
+    top_k_frequent_naive,
+    top_k_frequent_naive_tree,
+    top_k_frequent_pac,
+)
+from ..machine import DistArray, Machine
+from ..pqueue import BulkParallelPQ, RandomAllocPQ
+from ..redistribution import naive_rebalance, redistribute
+from ..selection import (
+    ams_select,
+    ams_select_batched,
+    ms_select,
+    select_kth,
+)
+from ..topk import SumScore, dta_topk, rdta_topk, ta_topk
+from ..topk.index import LocalIndex
+from .harness import BenchRow, run_algorithm, weak_scaling
+from .workloads import (
+    multicriteria_workload,
+    selection_workload,
+    skewed_sizes_workload,
+    sum_workload,
+    zipf_keys_workload,
+)
+
+__all__ = [
+    "fig6_unsorted_selection",
+    "fig7_topk_frequent",
+    "fig8_strict_accuracy",
+    "table1_comm_volume",
+    "selection_latency",
+    "priority_queue_comparison",
+    "multicriteria_comparison",
+    "sum_aggregation_comparison",
+    "redistribution_comparison",
+    "ablation_ams_trials",
+    "ablation_ec_kstar",
+    "ablation_selection_sampling",
+    "DEFAULT_P_LIST",
+]
+
+DEFAULT_P_LIST = (1, 2, 4, 8, 16, 32, 64)
+
+
+# ----------------------------------------------------------------------
+# Figure 6: weak scaling of unsorted selection
+# ----------------------------------------------------------------------
+
+def fig6_unsorted_selection(
+    p_list=DEFAULT_P_LIST,
+    n_per_pe: int = 1 << 14,
+    ks=(1 << 6, 1 << 10, 1 << 14),
+    seed: int = 6,
+) -> list[BenchRow]:
+    """Select the k-th *largest* element of the Section 10.1 workload.
+
+    Paper: n/p = 2^28, k in {2^10, 2^20, 2^26}; scaled here by 2^-14
+    with the same Zipf-high-tail inputs (randomized per-PE universe and
+    exponent).  Expected shape: near-flat modeled time dominated by the
+    local partitioning work, slightly *decreasing* for large k.
+    """
+    rows: list[BenchRow] = []
+    for k in ks:
+        def run(machine: Machine, data: DistArray, k=k):
+            k_eff = min(k, data.global_size)
+            neg = DistArray(machine, [-c for c in data.chunks])
+            value = select_kth(machine, neg, k_eff)
+            return {"k": k_eff, "value": -value}
+
+        rows += weak_scaling(
+            "fig6",
+            {f"select k={k}": run},
+            p_list,
+            n_per_pe,
+            lambda m: selection_workload(m, n_per_pe),
+            seed=seed,
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 7 & 8: top-k most frequent objects, weak scaling
+# ----------------------------------------------------------------------
+
+def _frequent_algorithms(k: int, eps: float, delta: float):
+    return {
+        "PAC": lambda m, d: _freq_extra(top_k_frequent_pac(m, d, k, eps, delta)),
+        "EC": lambda m, d: _freq_extra(top_k_frequent_ec(m, d, k, eps, delta)),
+        "Naive": lambda m, d: _freq_extra(top_k_frequent_naive(m, d, k, eps, delta)),
+        "NaiveTree": lambda m, d: _freq_extra(
+            top_k_frequent_naive_tree(m, d, k, eps, delta)
+        ),
+    }
+
+
+def _freq_extra(res):
+    return {"rho": res.rho, "sample_size": res.sample_size, "k_star": res.k_star}
+
+
+def fig7_topk_frequent(
+    p_list=DEFAULT_P_LIST,
+    n_per_pe: int = 1 << 16,
+    k: int = 32,
+    eps: float = 2e-2,
+    delta: float = 1e-4,
+    universe: int = 1 << 14,
+    seed: int = 7,
+) -> list[BenchRow]:
+    """Figure 7: PAC / EC / Naive / Naive-Tree on Zipfian keys.
+
+    Paper: n/p = 2^26 and 2^28, eps = 3e-4, universe 2^20.  Scaled so
+    the PAC sampling rate sits below 1 (the paper's regime): expected
+    shape -- Naive time grows ~linearly in p, Naive-Tree flat-ish but
+    above PAC, PAC scales best, EC pays a constant exact-counting
+    overhead (wins only under Figure 8's strict accuracy).
+    """
+    return weak_scaling(
+        "fig7",
+        _frequent_algorithms(k, eps, delta),
+        p_list,
+        n_per_pe,
+        lambda m: zipf_keys_workload(m, n_per_pe, universe=universe, s=1.0),
+        seed=seed,
+    )
+
+
+def fig8_strict_accuracy(
+    p_list=DEFAULT_P_LIST,
+    n_per_pe: int = 1 << 16,
+    k: int = 32,
+    eps: float = 1e-3,
+    delta: float = 1e-8,
+    universe: int = 1 << 14,
+    seed: int = 8,
+) -> list[BenchRow]:
+    """Figure 8: strict accuracy (paper: eps=1e-6, delta=1e-8).
+
+    At this accuracy PAC/Naive/Naive-Tree must effectively consider the
+    whole input (sampling rate hits 1), while EC's linear-in-1/eps
+    sample stays small: EC should be the consistent winner.
+    """
+    return weak_scaling(
+        "fig8",
+        _frequent_algorithms(k, eps, delta),
+        p_list,
+        n_per_pe,
+        lambda m: zipf_keys_workload(m, n_per_pe, universe=universe, s=1.0),
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1: communication volume, old vs new, per problem
+# ----------------------------------------------------------------------
+
+def table1_comm_volume(
+    p: int = 16,
+    n_per_pe: int = 1 << 14,
+    k: int = 256,
+    seed: int = 1,
+) -> list[BenchRow]:
+    """Measured bottleneck volume/startups for each Table 1 row.
+
+    "old" rows implement the pre-paper approach (random redistribution,
+    element-moving queues, master-worker gathers); "new" rows are this
+    package's algorithms.  The measured gap reproduces the old/new
+    columns of Table 1.
+    """
+    rows: list[BenchRow] = []
+
+    # --- unsorted selection: old = randomly redistribute, then select
+    def old_selection(machine: Machine, data: DistArray):
+        p_ = machine.p
+        matrix = [
+            [None] * p_ for _ in range(p_)
+        ]
+        for i, c in enumerate(data.chunks):
+            dest = machine.rngs[i].integers(0, p_, size=c.size)
+            for j in range(p_):
+                piece = c[dest == j]
+                matrix[i][j] = piece if piece.size else None
+        received = machine.alltoall(matrix, mode="direct")
+        chunks = [
+            np.concatenate([x for x in received[j] if x is not None])
+            if any(x is not None for x in received[j])
+            else data.chunks[j][:0]
+            for j in range(p_)
+        ]
+        shuffled = DistArray(machine, chunks)
+        select_kth(machine, shuffled, k)
+        return {}
+
+    def new_selection(machine: Machine, data: DistArray):
+        select_kth(machine, data, k)
+        return {}
+
+    make_sel = lambda m: selection_workload(m, n_per_pe)
+    rows.append(run_algorithm("table1", "unsorted-selection/old", p, n_per_pe, make_sel, old_selection, seed=seed))
+    rows.append(run_algorithm("table1", "unsorted-selection/new", p, n_per_pe, make_sel, new_selection, seed=seed))
+
+    # --- sorted selection: exact msSelect (old: alpha log^2 kp) vs
+    #     flexible amsSelect (new: alpha log kp)
+    def make_sorted(m: Machine):
+        return [np.sort(m.rngs[i].random(n_per_pe)) for i in range(m.p)]
+
+    rows.append(run_algorithm(
+        "table1", "sorted-selection/old", p, n_per_pe, make_sorted,
+        lambda m, seqs: {"rounds": ms_select(m, seqs, k, return_stats=True).rounds},
+        seed=seed,
+    ))
+    rows.append(run_algorithm(
+        "table1", "sorted-selection/new", p, n_per_pe, make_sorted,
+        lambda m, seqs: {"rounds": ams_select(m, seqs, k, 2 * k).rounds},
+        seed=seed,
+    ))
+
+    # --- bulk priority queue: insert* + deleteMin* cycles
+    def pq_cycles(queue_cls):
+        def run(machine: Machine, _):
+            q = queue_cls(machine)
+            for it in range(4):
+                q.insert([machine.rngs[i].random(k) for i in range(machine.p)])
+                if isinstance(q, BulkParallelPQ):
+                    q.delete_min_flexible(k // 2, k)
+                else:
+                    q.delete_min(k // 2)
+            return {}
+
+        return run
+
+    rows.append(run_algorithm("table1", "priority-queue/old", p, n_per_pe, lambda m: None, pq_cycles(RandomAllocPQ), seed=seed))
+    rows.append(run_algorithm("table1", "priority-queue/new", p, n_per_pe, lambda m: None, pq_cycles(BulkParallelPQ), seed=seed))
+
+    # --- top-k most frequent: master-worker (old [3]-style) vs PAC
+    make_freq = lambda m: zipf_keys_workload(m, n_per_pe, universe=1 << 12, s=1.0)
+    rows.append(run_algorithm(
+        "table1", "topk-frequent/old", p, n_per_pe, make_freq,
+        lambda m, d: _freq_extra(top_k_frequent_naive(m, d, 32, 2e-2, 1e-4)), seed=seed,
+    ))
+    rows.append(run_algorithm(
+        "table1", "topk-frequent/new", p, n_per_pe, make_freq,
+        lambda m, d: _freq_extra(top_k_frequent_pac(m, d, 32, 2e-2, 1e-4)), seed=seed,
+    ))
+
+    # --- top-k sum aggregation: centralized gather (old) vs sampled (new)
+    make_sum = lambda m: sum_workload(m, n_per_pe, universe=1 << 12)
+
+    def old_sum(machine: Machine, kv):
+        local = []
+        for i in range(machine.p):
+            uniq, sums = kv.local_aggregate(i)
+            local.append({int(key): float(s) for key, s in zip(uniq, sums)})
+        gathered = machine.gather(local, root=0, mode="direct")[0]
+        merged: dict = {}
+        for d in gathered:
+            for key, v in d.items():
+                merged[key] = merged.get(key, 0.0) + v
+        machine.charge_ops_one(0, sum(len(d) for d in gathered))
+        top = sorted(merged.items(), key=lambda t: (-t[1], t[0]))[:32]
+        machine.broadcast(top, root=0)
+        return {}
+
+    rows.append(run_algorithm("table1", "sum-aggregation/old", p, n_per_pe, make_sum, old_sum, seed=seed))
+    rows.append(run_algorithm(
+        "table1", "sum-aggregation/new", p, n_per_pe, make_sum,
+        lambda m, kv: {"k_star": top_k_sums_ec(m, kv, 32, 2e-2, 1e-4).k_star}, seed=seed,
+    ))
+
+    # --- multicriteria: DTA (no directly comparable "old" in our model;
+    #     the paper's competitors limit p <= m).  We report DTA's cost.
+    make_mc = lambda m: multicriteria_workload(m, max(256, n_per_pe // 16), 4)
+    rows.append(run_algorithm(
+        "table1", "multicriteria/new", p, n_per_pe, make_mc,
+        lambda m, idx: {"K": dta_topk(m, idx, SumScore(4), 32).prefixes.scanned},
+        seed=seed,
+    ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Selection latency: exact vs flexible vs batched (Table 1 rows 2-3)
+# ----------------------------------------------------------------------
+
+def selection_latency(
+    p_list=DEFAULT_P_LIST,
+    n_per_pe: int = 1 << 14,
+    k: int = 1 << 10,
+    seed: int = 2,
+) -> list[BenchRow]:
+    """Startup (alpha) counts: msSelect O(log^2 kp) vs amsSelect
+    O(log kp) vs the d-trial batched variant."""
+
+    def make(m: Machine):
+        return [np.sort(m.rngs[i].random(n_per_pe)) for i in range(m.p)]
+
+    algos = {
+        "msSelect(exact)": lambda m, s: {
+            "rounds": ms_select(m, s, k, return_stats=True).rounds
+        },
+        "amsSelect(flex)": lambda m, s: {"rounds": ams_select(m, s, k, 2 * k).rounds},
+        "amsSelect(d=8)": lambda m, s: {
+            "rounds": ams_select_batched(m, s, k, 2 * k, d=8).rounds
+        },
+    }
+    return weak_scaling("selection-latency", algos, p_list, n_per_pe, make, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Bulk priority queue vs random allocation
+# ----------------------------------------------------------------------
+
+def priority_queue_comparison(
+    p_list=DEFAULT_P_LIST,
+    n_per_pe: int = 1 << 10,
+    batch: int = 256,
+    iterations: int = 6,
+    seed: int = 3,
+) -> list[BenchRow]:
+    """insert* + deleteMin* cycles: communication-free insertions vs
+    random-allocation element movement."""
+
+    def run_bulk(machine: Machine, _):
+        q = BulkParallelPQ(machine)
+        for _ in range(iterations):
+            q.insert([machine.rngs[i].random(batch) for i in range(machine.p)])
+            q.delete_min_flexible(max(1, batch // 2), batch)
+        return {}
+
+    def run_kz(machine: Machine, _):
+        q = RandomAllocPQ(machine)
+        for _ in range(iterations):
+            q.insert([machine.rngs[i].random(batch) for i in range(machine.p)])
+            q.delete_min(max(1, batch // 2))
+        return {}
+
+    algos = {"BulkPQ(ours)": run_bulk, "RandomAlloc(KZ)": run_kz}
+    return weak_scaling("priority-queue", algos, p_list, n_per_pe, lambda m: None, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Multicriteria top-k
+# ----------------------------------------------------------------------
+
+def multicriteria_comparison(
+    p_list=(2, 4, 8, 16, 32),
+    n_per_pe: int = 1 << 10,
+    m_criteria: int = 4,
+    k: int = 32,
+    seed: int = 4,
+) -> list[BenchRow]:
+    """DTA vs RDTA (random placement) plus the sequential TA scan depth
+    as the work reference."""
+
+    scorer = SumScore(m_criteria)
+
+    def run_dta(machine: Machine, idx):
+        res = dta_topk(machine, idx, scorer, k)
+        return {"K": res.prefixes.scanned, "search_rounds": res.prefixes.rounds}
+
+    def run_rdta(machine: Machine, idx):
+        res = rdta_topk(machine, idx, scorer, k)
+        return {"rounds": res.rounds, "k_hat": res.k_hat_final}
+
+    def run_seq(machine: Machine, idx):
+        # sequential reference: one PE scans a merged index
+        merged = LocalIndex(
+            np.concatenate([ix.ids for ix in idx]),
+            np.vstack([ix.scores for ix in idx]),
+        )
+        res = ta_topk(merged, scorer, k)
+        machine.charge_ops_one(
+            0, res.scan_depth * m_criteria * scorer.ops_per_eval
+        )
+        return {"K": res.scan_depth}
+
+    algos = {"DTA": run_dta, "RDTA": run_rdta, "TA(sequential)": run_seq}
+    return weak_scaling(
+        "multicriteria",
+        algos,
+        p_list,
+        n_per_pe,
+        lambda m: multicriteria_workload(m, n_per_pe, m_criteria),
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sum aggregation
+# ----------------------------------------------------------------------
+
+def sum_aggregation_comparison(
+    p_list=DEFAULT_P_LIST,
+    n_per_pe: int = 1 << 14,
+    k: int = 32,
+    eps: float = 2e-2,
+    delta: float = 1e-4,
+    seed: int = 5,
+) -> list[BenchRow]:
+    """PAC-sum vs EC-sum (Theorem 15 vs the exact-sum refinement)."""
+
+    algos = {
+        "SumPAC": lambda m, kv: {
+            "sample": top_k_sums_pac(m, kv, k, eps, delta).sample_size
+        },
+        "SumEC": lambda m, kv: {
+            "k_star": top_k_sums_ec(m, kv, k, eps, delta).k_star
+        },
+    }
+    return weak_scaling(
+        "sum-aggregation",
+        algos,
+        p_list,
+        n_per_pe,
+        lambda m: sum_workload(m, n_per_pe),
+        seed=seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Data redistribution
+# ----------------------------------------------------------------------
+
+def redistribution_comparison(
+    p: int = 32,
+    n_total: int = 1 << 16,
+    kinds=("point", "ramp", "random", "balanced"),
+    seed: int = 9,
+) -> list[BenchRow]:
+    """Adaptive (Section 9) vs blind repartition, across imbalance
+    shapes.  The adaptive scheme's volume tracks the actual surplus
+    (zero for balanced input); the naive one's does not."""
+    rows: list[BenchRow] = []
+    for kind in kinds:
+        def run_adaptive(machine: Machine, data: DistArray):
+            out, stats = redistribute(machine, data)
+            assert out.global_size == data.global_size
+            return {"moved": stats.moved, "kind": kind}
+
+        def run_naive(machine: Machine, data: DistArray):
+            out, moved = naive_rebalance(machine, data)
+            assert out.global_size == data.global_size
+            return {"moved": moved, "kind": kind}
+
+        make = lambda m, kind=kind: skewed_sizes_workload(m, n_total, kind)
+        rows.append(run_algorithm("redistribution", f"adaptive/{kind}", p, n_total // p, make, run_adaptive, seed=seed))
+        rows.append(run_algorithm("redistribution", f"naive/{kind}", p, n_total // p, make, run_naive, seed=seed))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md Section 5)
+# ----------------------------------------------------------------------
+
+def ablation_ams_trials(
+    p: int = 32,
+    n_per_pe: int = 1 << 14,
+    k: int = 1 << 12,
+    width_divisors=(1, 4, 16, 64),
+    ds=(1, 2, 4, 8, 16),
+    trials: int = 20,
+    seed: int = 10,
+) -> list[BenchRow]:
+    """Theorem 4 knob: expected rounds vs number of concurrent trials d,
+    for shrinking flexibility windows ``k_hi - k_lo = k / divisor``."""
+    rows: list[BenchRow] = []
+    for div in width_divisors:
+        k_lo = k
+        k_hi = k + max(1, k // div)
+        for d in ds:
+            def run(machine: Machine, seqs, d=d, k_lo=k_lo, k_hi=k_hi):
+                total_rounds = 0
+                for _ in range(trials):
+                    if d == 1:
+                        res = ams_select(machine, seqs, k_lo, k_hi)
+                    else:
+                        res = ams_select_batched(machine, seqs, k_lo, k_hi, d=d)
+                    total_rounds += res.rounds
+                return {"d": d, "width_div": div, "avg_rounds": total_rounds / trials}
+
+            rows.append(run_algorithm(
+                "ablation-ams", f"d={d}/width=k/{div}", p, n_per_pe,
+                lambda m: [np.sort(m.rngs[i].random(n_per_pe)) for i in range(m.p)],
+                run, seed=seed,
+            ))
+    return rows
+
+
+def ablation_ec_kstar(
+    p: int = 32,
+    n_per_pe: int = 1 << 16,
+    k: int = 32,
+    eps: float = 5e-3,
+    delta: float = 1e-4,
+    factors=(1, 4, 16, 64, 256),
+    seed: int = 11,
+) -> list[BenchRow]:
+    """Theorem 11 knob: candidate count k* trades sample volume against
+    candidate-broadcast volume; the optimum lies between the extremes."""
+    rows: list[BenchRow] = []
+    make = lambda m: zipf_keys_workload(m, n_per_pe, universe=1 << 14, s=1.0)
+    for f in factors:
+        def run(machine: Machine, data: DistArray, f=f):
+            res = top_k_frequent_ec(machine, data, k, eps, delta, k_star=k * f)
+            return {"k_star": res.k_star, "rho": res.rho, "sample": res.sample_size}
+
+        rows.append(run_algorithm("ablation-ec", f"k*={k * f}", p, n_per_pe, make, run, seed=seed))
+    return rows
+
+
+def ablation_selection_sampling(
+    p: int = 32,
+    n_per_pe: int = 1 << 14,
+    k: int = 1 << 10,
+    factors=(0.25, 1.0, 4.0, 16.0),
+    seed: int = 12,
+) -> list[BenchRow]:
+    """Theorem 1 knob: Bernoulli rate multiplier vs recursion depth and
+    per-level sample volume in unsorted selection."""
+    rows: list[BenchRow] = []
+    make = lambda m: selection_workload(m, n_per_pe)
+    for f in factors:
+        def run(machine: Machine, data: DistArray, f=f):
+            stats = select_kth(machine, data, k, sample_factor=f, return_stats=True)
+            return {"factor": f, "rounds": stats.rounds, "sampled": stats.sample_total}
+
+        rows.append(run_algorithm("ablation-sampling", f"factor={f}", p, n_per_pe, make, run, seed=seed))
+    return rows

@@ -1,0 +1,177 @@
+"""Weak-scaling harness: run algorithms across ``p``, collect the rows
+the paper's figures plot.
+
+The paper reports wall-clock on a 2048-core InfiniBand cluster; we
+report *modeled time* (per-PE clocks driven by the alpha-beta cost
+model; see :mod:`repro.machine.clock`) plus the measured communication
+quantities (bottleneck volume, startups).  ``BenchRow`` carries both, so
+every figure can be regenerated as "series over p" exactly like the
+paper's plots, and EXPERIMENTS.md can quote paper-vs-measured shapes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..machine import CostParams, Machine
+
+__all__ = ["BenchRow", "run_algorithm", "weak_scaling", "format_table", "write_csv"]
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One (algorithm, machine size) measurement."""
+
+    experiment: str
+    algorithm: str
+    p: int
+    n_per_pe: int
+    time_s: float
+    work_s: float
+    comm_s: float
+    volume_words: float
+    startups: int
+    traffic_words: float
+    imbalance: float
+    wall_s: float
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        d = {
+            "experiment": self.experiment,
+            "algorithm": self.algorithm,
+            "p": self.p,
+            "n_per_pe": self.n_per_pe,
+            "time_s": self.time_s,
+            "work_s": self.work_s,
+            "comm_s": self.comm_s,
+            "volume_words": self.volume_words,
+            "startups": self.startups,
+            "traffic_words": self.traffic_words,
+            "imbalance": self.imbalance,
+            "wall_s": self.wall_s,
+        }
+        d.update(self.extra)
+        return d
+
+
+def run_algorithm(
+    experiment: str,
+    algorithm: str,
+    p: int,
+    n_per_pe: int,
+    make_data: Callable[[Machine], object],
+    run: Callable[[Machine, object], dict | None],
+    *,
+    cost: CostParams | None = None,
+    seed: int = 0xBE7C,
+) -> BenchRow:
+    """One measurement: build the workload, reset the meters, run.
+
+    ``run(machine, data)`` may return a dict of extra columns.  Workload
+    generation and index building are excluded from the measurement
+    (the paper's timers also start after input generation).
+    """
+    machine = Machine(p=p, cost=cost, seed=seed)
+    data = make_data(machine)
+    machine.reset()  # exclude generation/build cost from the measurement
+    t0 = time.perf_counter()
+    extra = run(machine, data) or {}
+    wall = time.perf_counter() - t0
+    rep = machine.report()
+    return BenchRow(
+        experiment=experiment,
+        algorithm=algorithm,
+        p=p,
+        n_per_pe=n_per_pe,
+        time_s=rep.makespan,
+        work_s=rep.work_time,
+        comm_s=rep.comm_time,
+        volume_words=rep.bottleneck_words,
+        startups=rep.bottleneck_startups,
+        traffic_words=rep.total_traffic,
+        imbalance=rep.imbalance,
+        wall_s=wall,
+        extra=dict(extra),
+    )
+
+
+def weak_scaling(
+    experiment: str,
+    algorithms: dict[str, Callable[[Machine, object], dict | None]],
+    p_list: Sequence[int],
+    n_per_pe: int,
+    make_data: Callable[[Machine], object],
+    *,
+    cost: CostParams | None = None,
+    seed: int = 0xBE7C,
+) -> list[BenchRow]:
+    """Fixed ``n/p``, sweep ``p``, run every algorithm on the same data."""
+    rows: list[BenchRow] = []
+    for p in p_list:
+        for name, fn in algorithms.items():
+            rows.append(
+                run_algorithm(
+                    experiment, name, p, n_per_pe, make_data, fn, cost=cost, seed=seed
+                )
+            )
+    return rows
+
+
+_DEFAULT_COLS = (
+    "algorithm",
+    "p",
+    "time_s",
+    "volume_words",
+    "startups",
+    "imbalance",
+)
+
+
+def format_table(rows: Iterable[BenchRow], columns: Sequence[str] = _DEFAULT_COLS) -> str:
+    """Fixed-width table of the requested columns (paper-figure style)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    data = [r.as_dict() for r in rows]
+    header = list(columns)
+    body = []
+    for d in data:
+        line = []
+        for c in header:
+            v = d.get(c, "")
+            if isinstance(v, float):
+                line.append(f"{v:.4g}")
+            else:
+                line.append(str(v))
+        body.append(line)
+    widths = [
+        max(len(header[i]), *(len(b[i]) for b in body)) for i in range(len(header))
+    ]
+    out = io.StringIO()
+    out.write("  ".join(h.ljust(w) for h, w in zip(header, widths)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for b in body:
+        out.write("  ".join(x.ljust(w) for x, w in zip(b, widths)) + "\n")
+    return out.getvalue()
+
+
+def write_csv(rows: Iterable[BenchRow], path) -> None:
+    """Persist rows (all columns, including extras) as CSV."""
+    rows = list(rows)
+    if not rows:
+        return
+    keys: list[str] = []
+    for r in rows:
+        for key in r.as_dict():
+            if key not in keys:
+                keys.append(key)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=keys)
+        writer.writeheader()
+        for r in rows:
+            writer.writerow(r.as_dict())

@@ -1,0 +1,38 @@
+"""Shared substrate: samplers, input distributions, hashing, validation."""
+
+from .distributions import (
+    GappedSpec,
+    ZipfDistribution,
+    gapped_sample,
+    harmonic_number,
+    negative_binomial_sample,
+    zipf_sample,
+)
+from .hashing import key_owner, make_owner_fn, splitmix64, splitmix64_array
+from .sampling import (
+    bernoulli_sample,
+    bernoulli_skip_indices,
+    ec_sample_rate,
+    geometric_rank,
+    pac_sample_rate,
+    weighted_sample_counts,
+)
+
+__all__ = [
+    "GappedSpec",
+    "ZipfDistribution",
+    "bernoulli_sample",
+    "bernoulli_skip_indices",
+    "ec_sample_rate",
+    "gapped_sample",
+    "geometric_rank",
+    "harmonic_number",
+    "key_owner",
+    "make_owner_fn",
+    "negative_binomial_sample",
+    "pac_sample_rate",
+    "splitmix64",
+    "splitmix64_array",
+    "weighted_sample_counts",
+    "zipf_sample",
+]

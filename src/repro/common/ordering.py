@@ -1,0 +1,85 @@
+"""Order sentinels comparable with any key type.
+
+The selection algorithms reduce candidate pivots with min/max across
+PEs; PEs without a candidate contribute a neutral element.  For float
+keys ``+-inf`` works, but the bulk priority queue selects over
+``(score, uid)`` tuples, so we provide :data:`TOP` and :data:`BOTTOM` --
+sentinels ordered above/below every other Python value.
+"""
+
+from __future__ import annotations
+
+import functools
+
+__all__ = ["TOP", "BOTTOM", "is_sentinel"]
+
+
+@functools.total_ordering
+class _Top:
+    """Compares greater than every non-``TOP`` value."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other):
+        return other is self
+
+    def __lt__(self, other):
+        return False  # nothing is greater than TOP
+
+    def __gt__(self, other):
+        return other is not self
+
+    def __hash__(self):
+        return 0x70FF_7000
+
+    def comm_words(self):
+        return 1  # transmitted as a one-word marker
+
+    def __repr__(self):
+        return "TOP"
+
+
+@functools.total_ordering
+class _Bottom:
+    """Compares smaller than every non-``BOTTOM`` value."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other):
+        return other is self
+
+    def __lt__(self, other):
+        return other is not self
+
+    def __gt__(self, other):
+        return False
+
+    def __hash__(self):
+        return 0x0B07_7000
+
+    def comm_words(self):
+        return 1  # transmitted as a one-word marker
+
+    def __repr__(self):
+        return "BOTTOM"
+
+
+TOP = _Top()
+BOTTOM = _Bottom()
+
+
+def is_sentinel(x) -> bool:
+    """True for :data:`TOP`, :data:`BOTTOM` and float infinities."""
+    if x is TOP or x is BOTTOM:
+        return True
+    return isinstance(x, float) and (x == float("inf") or x == float("-inf"))

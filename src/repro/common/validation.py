@@ -1,0 +1,37 @@
+"""Shared argument-validation helpers for the public API."""
+
+from __future__ import annotations
+
+__all__ = ["check_rank", "check_rank_range", "check_positive", "check_probability"]
+
+
+def check_rank(k: int, n: int, what: str = "k") -> int:
+    """Validate a selection rank ``1 <= k <= n``."""
+    k = int(k)
+    if not 1 <= k <= n:
+        raise ValueError(f"{what} must satisfy 1 <= {what} <= n={n}, got {k}")
+    return k
+
+
+def check_rank_range(k_lo: int, k_hi: int, n: int) -> tuple[int, int]:
+    """Validate a flexible selection range ``1 <= k_lo <= k_hi <= n``."""
+    k_lo, k_hi = int(k_lo), int(k_hi)
+    if not 1 <= k_lo <= k_hi <= n:
+        raise ValueError(
+            f"flexible rank range must satisfy 1 <= k_lo <= k_hi <= n={n}, "
+            f"got [{k_lo}, {k_hi}]"
+        )
+    return k_lo, k_hi
+
+
+def check_positive(x, what: str):
+    if x <= 0:
+        raise ValueError(f"{what} must be positive, got {x}")
+    return x
+
+
+def check_probability(x: float, what: str, *, open_left: bool = True) -> float:
+    lo_ok = x > 0.0 if open_left else x >= 0.0
+    if not (lo_ok and x <= 1.0):
+        raise ValueError(f"{what} must be a probability in {'(' if open_left else '['}0, 1], got {x}")
+    return float(x)

@@ -1,0 +1,114 @@
+"""Distributed hash table for sample counting (Section 7's substrate).
+
+Sampled keys are aggregated twice:
+
+1. **locally** -- each PE counts its own sample occurrences in a hash
+   table while sampling (``np.unique`` here), so at most one
+   (key, count) pair per distinct key leaves a PE;
+2. **in the network** -- pairs are routed to the key's home PE
+   ``h(key) mod p`` with the machine's aggregating hypercube exchange,
+   which merges counts at every hop ("the incoming sample counts are
+   merged with a hash table in each step of the reduction", Section 7.1),
+   keeping latency logarithmic and volume bounded by the distinct-key
+   count.
+
+On top of the table, :func:`take_topk_entries` extracts the globally
+most frequent ``k`` entries with the unsorted selection algorithm of
+Section 4.1 (count ties resolved by PE-ordered quota so the output size
+is exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.hashing import make_owner_fn
+from ..machine import DistArray, Machine
+from ..selection.unsorted import select_kth
+
+__all__ = ["count_into_dht", "take_topk_entries", "local_key_counts"]
+
+
+def local_key_counts(machine: Machine, rank: int, keys: np.ndarray) -> dict[int, int]:
+    """Aggregate one PE's keys into a ``{key: count}`` dict.
+
+    Charged as one pass plus the sort behind ``np.unique``
+    (a hash table in the C++ original; same asymptotics up to the log
+    factor, which we charge honestly).
+    """
+    if keys.size == 0:
+        return {}
+    uniq, counts = np.unique(keys, return_counts=True)
+    machine.charge_ops_one(rank, keys.size * np.log2(max(keys.size, 2)))
+    return {int(key): int(c) for key, c in zip(uniq, counts)}
+
+
+def count_into_dht(
+    machine: Machine, samples_per_pe: list[np.ndarray], salt: int = 0
+) -> list[dict[int, int]]:
+    """Count sampled keys into the distributed hash table.
+
+    Returns one dict per PE holding exactly the (key, total sample
+    count) pairs owned by that PE.
+    """
+    local = [
+        local_key_counts(machine, i, np.asarray(s)) for i, s in enumerate(samples_per_pe)
+    ]
+    owner = make_owner_fn(machine.p, salt=salt)
+    return machine.aggregate_exchange(local, owner)
+
+
+def take_topk_entries(
+    machine: Machine, dicts: list[dict[int, int]], k: int
+) -> list[tuple[int, int]]:
+    """The ``k`` entries with the largest counts, replicated on all PEs.
+
+    Runs distributed unsorted selection (Algorithm 1) over the count
+    multiset for the threshold, then grants threshold ties globally by
+    ascending key (each PE nominates at most ``quota`` local tie keys,
+    one small all-gather decides) so the output is deterministic and
+    exactly ``k`` entries win.  If fewer than ``k`` entries exist, all
+    are returned.  Output is sorted by (count desc, key asc).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    p = machine.p
+    count_chunks = [
+        np.fromiter(d.values(), dtype=np.int64, count=len(d)) for d in dicts
+    ]
+    total = int(machine.allreduce([c.size for c in count_chunks], op="sum")[0])
+    if total == 0:
+        return []
+    if total <= k:
+        winners_per_pe = [sorted(d.items()) for d in dicts]
+    else:
+        neg = DistArray(machine, [-c for c in count_chunks])
+        thr = -int(select_kth(machine, neg, k))  # k-th largest count
+        n_gt = [int((c > thr).sum()) for c in count_chunks]
+        machine.charge_ops([max(1, c.size) for c in count_chunks])
+        total_gt = int(machine.allreduce(n_gt, op="sum")[0])
+        quota = k - total_gt
+        # each PE nominates its `quota` smallest tie keys; the global
+        # quota smallest among the nominations win (<= p * quota words)
+        nominations = []
+        for d in dicts:
+            ties = sorted(key for key, c in d.items() if c == thr)[: max(quota, 0)]
+            nominations.append(ties)
+        all_ties = sorted(
+            key for piece in machine.allgather(nominations)[0] for key in piece
+        )
+        granted = set(all_ties[: max(quota, 0)])
+        winners_per_pe = []
+        for i, d in enumerate(dicts):
+            gt_items = sorted(
+                ((key, c) for key, c in d.items() if c > thr), key=lambda t: t[0]
+            )
+            eq_items = sorted(
+                ((key, c) for key, c in d.items() if c == thr and key in granted),
+                key=lambda t: t[0],
+            )
+            winners_per_pe.append(gt_items + eq_items)
+    gathered = machine.allgather(winners_per_pe)[0]
+    items = [it for piece in gathered for it in piece]
+    items.sort(key=lambda t: (-t[1], t[0]))
+    return items[:k] if total > k else items

@@ -1,0 +1,180 @@
+"""Distributed single-shot Bloom filter counting (Section 7.4).
+
+The EC algorithm ships ``(key, count)`` pairs into the distributed hash
+table.  The paper's refinement replaces keys by *hash fingerprints*
+[34]: PEs transmit ``(h(key), count)`` with a fingerprint much smaller
+than the key, cutting the insertion volume roughly in half for one-word
+keys and more for fat keys.  The price is collisions:
+
+1. count fingerprints in the DHT (merge-on-the-way, as usual);
+2. select the fingerprints of rank ``<= k* + kappa`` (a safety margin
+   ``kappa`` absorbs collided fingerprints);
+3. resolve the selected fingerprints back to keys: every PE looks up
+   which of its *local* keys map to a selected fingerprint and the
+   (key, local count) lists are re-counted exactly -- splitting merged
+   counts where two keys collided;
+4. if fewer than ``k*`` distinct keys survive resolution (too many
+   collisions ate the margin), double ``kappa`` and retry.
+
+The paper observes that if frequent fingerprints are *dominated* by
+collisions, the distribution is flat and extra counting would not help
+-- mirrored here by the bounded retry with a flat-distribution flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.hashing import make_owner_fn, splitmix64
+from ..machine import DistArray, Machine
+from .dht import local_key_counts, take_topk_entries
+from .result import FrequentResult
+
+__all__ = ["dsbf_top_candidates", "top_k_frequent_ec_dsbf", "DsbfStats"]
+
+_FP_BITS = 32  # fingerprint width; keys are 1 word, fingerprints half
+
+
+def _fingerprint(key: int, salt: int) -> int:
+    """Truncated splitmix64: deliberately small so collisions occur."""
+    return splitmix64(int(key) ^ salt) & ((1 << _FP_BITS) - 1)
+
+
+@dataclass(frozen=True)
+class DsbfStats:
+    """Diagnostics of the fingerprint-resolution loop."""
+
+    kappa: int
+    rounds: int
+    collisions: int
+    flat_suspected: bool
+
+
+def dsbf_top_candidates(
+    machine: Machine,
+    samples_per_pe: list[np.ndarray],
+    k_star: int,
+    *,
+    kappa0: int | None = None,
+    salt: int = 0xD5BF,
+    max_rounds: int = 4,
+) -> tuple[list[tuple[int, int]], DsbfStats]:
+    """The ``k_star`` most frequently sampled keys, via fingerprints.
+
+    Returns ``(candidates, stats)`` where candidates are (key, sample
+    count) pairs replicated on all PEs, at most ``k_star`` of them.
+    """
+    if k_star < 1:
+        raise ValueError(f"k_star must be >= 1, got {k_star}")
+    p = machine.p
+    # local aggregation once: key -> local sample count
+    local = [
+        local_key_counts(machine, i, np.asarray(s)) for i, s in enumerate(samples_per_pe)
+    ]
+    # fingerprinted view: fp -> summed local count (collisions merge here)
+    fp_local = []
+    fp_of_key = {}
+    for i in range(p):
+        d: dict[int, int] = {}
+        for key, c in local[i].items():
+            fp = fp_of_key.get(key)
+            if fp is None:
+                fp = _fingerprint(key, salt)
+                fp_of_key[key] = fp
+            d[fp] = d.get(fp, 0) + c
+        fp_local.append(d)
+        machine.charge_ops_one(i, max(1, len(local[i])))
+
+    owner = make_owner_fn(p, salt=salt + 1)
+    # fingerprints are half a word: 1.5 words per (fp, count) entry on
+    # the wire instead of the 2.0 of (key, count) pairs
+    routed = machine.aggregate_exchange(fp_local, owner, words_per_entry=1.5)
+
+    kappa = kappa0 if kappa0 is not None else max(8, k_star // 4)
+    rounds = 0
+    while True:
+        rounds += 1
+        head = take_topk_entries(machine, routed, k_star + kappa)
+        # fewer fingerprints exist than requested: resolution will
+        # reveal every sampled key, no retry can add more
+        exhausted = len(head) < k_star + kappa
+        selected_fps = np.array([fp for fp, _ in head], dtype=np.int64)
+        # resolve: each PE reports (key, local count) for its local keys
+        # whose fingerprint was selected; identities are all-gathered
+        # (this is the "request the keys" step of Section 7.4)
+        fp_set = set(int(f) for f in selected_fps)
+        reveals = []
+        for i in range(p):
+            mine = {
+                key: c for key, c in local[i].items() if fp_of_key[key] in fp_set
+            }
+            machine.charge_ops_one(i, max(1, len(local[i])))
+            reveals.append(mine)
+        gathered = machine.allgather(reveals)[0]
+        exact: dict[int, int] = {}
+        for piece in gathered:
+            for key, c in piece.items():
+                exact[key] = exact.get(key, 0) + c
+        collisions = max(0, len(exact) - len(head))
+        if len(exact) >= k_star or exhausted or rounds >= max_rounds:
+            items = sorted(exact.items(), key=lambda t: (-t[1], t[0]))[:k_star]
+            flat = (not exhausted) and len(exact) < k_star and rounds >= max_rounds
+            return items, DsbfStats(kappa, rounds, collisions, flat)
+        kappa *= 2
+
+
+def top_k_frequent_ec_dsbf(
+    machine: Machine,
+    data: DistArray,
+    k: int,
+    eps: float = 1e-3,
+    delta: float = 1e-4,
+    *,
+    k_star: int | None = None,
+    rho: float | None = None,
+) -> FrequentResult:
+    """Algorithm EC with dSBF candidate nomination (Section 7.4).
+
+    Identical guarantees to :func:`~repro.frequent.ec.top_k_frequent_ec`
+    (the exact-counting pass is unchanged); only the sample-counting
+    volume shrinks, since fingerprints+counts travel instead of
+    keys+counts.
+    """
+    from ..common.sampling import ec_sample_rate
+    from .ec import exact_count_keys, optimal_k_star
+    from .pac import sample_distributed
+
+    p = machine.p
+    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    if n == 0:
+        return FrequentResult((), True, 1.0, 0, k, {})
+    if k_star is None:
+        k_star = optimal_k_star(n, k, p, eps, delta)
+    if rho is None:
+        rho = ec_sample_rate(n, k_star, eps, delta)
+
+    samples = sample_distributed(machine, data, rho)
+    sample_size = int(machine.allreduce([s.size for s in samples], op="sum")[0])
+    candidates, stats = dsbf_top_candidates(machine, samples, k_star)
+    if not candidates:
+        return FrequentResult((), True, rho, sample_size, k_star, {})
+    cand_keys = np.array([key for key, _ in candidates], dtype=np.int64)
+    exact = exact_count_keys(machine, data, cand_keys)
+    order = np.lexsort((cand_keys, -exact))
+    top = order[: min(k, len(cand_keys))]
+    items = tuple((int(cand_keys[t]), float(exact[t])) for t in top)
+    return FrequentResult(
+        items=items,
+        exact_counts=True,
+        rho=rho,
+        sample_size=sample_size,
+        k_star=int(k_star),
+        info={
+            "dsbf_kappa": stats.kappa,
+            "dsbf_rounds": stats.rounds,
+            "dsbf_collisions": stats.collisions,
+            "flat_suspected": stats.flat_suspected,
+        },
+    )

@@ -1,0 +1,111 @@
+"""Algorithm EC: exact counting of sampled candidates (Section 7.2).
+
+PAC's ``1/eps^2`` sample sizes explode as ``eps`` shrinks.  EC iterates
+over the input a second time: a *much smaller* sample (Lemma 10:
+``rho n = 2/(eps^2 k*) ln(n/delta)``) merely nominates the ``k* >= k``
+most frequently sampled objects, whose occurrences are then counted
+**exactly**:
+
+1. sample + DHT counting as in PAC, at the reduced rate;
+2. select the top ``k*`` sampled keys and broadcast their identities to
+   all PEs (all-gather, ``O(beta k* + alpha log p)``);
+3. every PE counts those keys in its full local input (``O(n/p)``);
+4. one vector-valued sum-reduction yields exact global counts, from
+   which the top-k is read off locally.
+
+The communication-optimal candidate count is
+``k* = max(k, (1/eps) sqrt(2 log(p)/p * ln(n/delta)))`` (Theorem 11),
+bringing the volume down from ``1/eps^2`` to ``1/eps`` -- the regime
+where EC beats every other algorithm in Figure 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.sampling import ec_sample_rate
+from ..machine import DistArray, Machine
+from .dht import count_into_dht, take_topk_entries
+from .pac import sample_distributed
+from .result import FrequentResult
+
+__all__ = ["top_k_frequent_ec", "optimal_k_star", "exact_count_keys"]
+
+
+def optimal_k_star(n: int, k: int, p: int, eps: float, delta: float) -> int:
+    """Communication-minimizing candidate count (Theorem 11)."""
+    if n < 1:
+        return k
+    comm_opt = (1.0 / eps) * np.sqrt(2.0 * np.log2(p + 1) / p * np.log(n / delta))
+    return int(max(k, np.ceil(comm_opt)))
+
+
+def exact_count_keys(
+    machine: Machine, data: DistArray, keys: np.ndarray
+) -> np.ndarray:
+    """Exact global counts of ``keys`` (replicated on all PEs).
+
+    Every PE scans its full local input once (``O(n/p)``) and one
+    vector-valued reduction sums the per-PE counts.
+    """
+    keys = np.asarray(keys)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    per_pe = []
+    for i, chunk in enumerate(data.chunks):
+        pos = np.searchsorted(sorted_keys, chunk)
+        pos = np.clip(pos, 0, len(sorted_keys) - 1)
+        hit = sorted_keys[pos] == chunk
+        counts_sorted = np.bincount(pos[hit], minlength=len(sorted_keys))
+        counts = np.empty(len(keys), dtype=np.int64)
+        counts[order] = counts_sorted
+        machine.charge_ops_one(i, max(1.0, chunk.size * np.log2(max(len(keys), 2))))
+        per_pe.append(counts)
+    return np.asarray(machine.allreduce(per_pe, op="sum")[0])
+
+
+def top_k_frequent_ec(
+    machine: Machine,
+    data: DistArray,
+    k: int,
+    eps: float = 1e-3,
+    delta: float = 1e-4,
+    *,
+    k_star: int | None = None,
+    rho: float | None = None,
+) -> FrequentResult:
+    """(eps, delta)-approximation with exact counts for the winners.
+
+    With the default ``k_star`` the result is an
+    (eps, delta)-approximation whose reported counts are *exact*
+    (Lemma 10); only membership of the borderline objects can err.
+    """
+    p = machine.p
+    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    if n == 0:
+        return FrequentResult((), True, 1.0, 0, k, {})
+    if k_star is None:
+        k_star = optimal_k_star(n, k, p, eps, delta)
+    if rho is None:
+        rho = ec_sample_rate(n, k_star, eps, delta)
+
+    samples = sample_distributed(machine, data, rho)
+    sample_size = int(machine.allreduce([s.size for s in samples], op="sum")[0])
+    sample_counts = count_into_dht(machine, samples)
+    candidates = take_topk_entries(machine, sample_counts, k_star)
+    if not candidates:
+        return FrequentResult((), True, rho, sample_size, k_star, {})
+    cand_keys = np.array([key for key, _ in candidates], dtype=np.int64)
+
+    exact = exact_count_keys(machine, data, cand_keys)
+    order = np.lexsort((cand_keys, -exact))
+    top = order[: min(k, len(cand_keys))]
+    items = tuple((int(cand_keys[t]), float(exact[t])) for t in top)
+    return FrequentResult(
+        items=items,
+        exact_counts=True,
+        rho=rho,
+        sample_size=sample_size,
+        k_star=int(k_star),
+        info={"candidates": len(candidates)},
+    )

@@ -1,0 +1,42 @@
+"""Exact distributed top-k most frequent objects (ground truth).
+
+Counts *all* keys through the distributed hash table (no sampling) and
+selects the top-k -- communication ``Theta(distinct keys)``, which is
+what the sampling algorithms of Section 7 avoid.  Used as the oracle in
+tests/benchmarks and as the "count everything" degenerate case that PAC
+collapses to when ``eps`` is very small (Figure 8's discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine import DistArray, Machine
+from .dht import count_into_dht, take_topk_entries
+from .result import FrequentResult
+
+__all__ = ["top_k_frequent_exact", "exact_counts_oracle"]
+
+
+def top_k_frequent_exact(machine: Machine, data: DistArray, k: int) -> FrequentResult:
+    """Exact top-k by full counting (rho = 1)."""
+    counts = count_into_dht(machine, data.chunks)
+    items = take_topk_entries(machine, counts, k)
+    n = data.global_size
+    return FrequentResult(
+        items=tuple((key, float(c)) for key, c in items),
+        exact_counts=True,
+        rho=1.0,
+        sample_size=n,
+        k_star=k,
+        info={"distinct_keys": sum(len(d) for d in counts)},
+    )
+
+
+def exact_counts_oracle(data: DistArray) -> dict[int, int]:
+    """Driver-side exact key counts (no communication; test oracle)."""
+    alldata = data.concat()
+    if alldata.size == 0:
+        return {}
+    uniq, counts = np.unique(alldata, return_counts=True)
+    return {int(key): int(c) for key, c in zip(uniq, counts)}

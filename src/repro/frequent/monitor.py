@@ -1,0 +1,159 @@
+"""Streaming top-k monitoring (the Conclusions' outlook, Section 11).
+
+The paper closes: "we expect to be able to conduct fully distributed
+monitoring queries without a substantial increase in communication
+volume over our one-shot algorithm."  This module provides that
+one-shot-amortized monitor:
+
+* every PE folds its arriving stream batches into a **local count
+  table** (pure local work, zero communication -- the owner-computes
+  rule);
+* a query samples the *aggregated local counts* with the Section 8
+  value-weighted sampler (a key with local count v yields ~v/v_avg
+  sample units), so query cost matches the one-shot PAC/sum algorithm
+  regardless of how many raw items have streamed by;
+* queries are cached: a re-query is only triggered once the stream has
+  grown by ``refresh_fraction`` since the last answer (in between, the
+  cached top-k is still an (eps', delta)-approximation with
+  ``eps' = eps + refresh_fraction``, since at most that fraction of
+  mass arrived unobserved).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.hashing import make_owner_fn
+from ..common.sampling import weighted_sample_counts
+from ..machine import Machine
+from .dht import take_topk_entries
+from .result import FrequentResult
+
+__all__ = ["StreamingTopKMonitor"]
+
+
+class StreamingTopKMonitor:
+    """Continuous distributed top-k over item streams.
+
+    Parameters
+    ----------
+    machine:
+        The machine whose PEs receive the streams.
+    k, eps, delta:
+        Query quality, as in Section 7 (error relative to the total
+        stream length).
+    refresh_fraction:
+        Re-query threshold: fraction of new items (since the last
+        query) that invalidates the cache.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        k: int,
+        eps: float = 1e-2,
+        delta: float = 1e-4,
+        *,
+        refresh_fraction: float = 0.1,
+    ):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not 0.0 < refresh_fraction <= 1.0:
+            raise ValueError(
+                f"refresh_fraction must be in (0, 1], got {refresh_fraction}"
+            )
+        self.machine = machine
+        self.k = k
+        self.eps = eps
+        self.delta = delta
+        self.refresh_fraction = refresh_fraction
+        #: per-PE key -> count tables (the only persistent stream state)
+        self.tables: list[dict[int, int]] = [dict() for _ in range(machine.p)]
+        self._local_total = [0] * machine.p
+        self._n_at_last_query = 0
+        self._cached: FrequentResult | None = None
+        #: number of queries that were served from cache
+        self.cache_hits = 0
+        #: number of queries that recomputed
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    def ingest(self, per_pe_batches) -> None:
+        """Fold one batch of stream items into the local tables.
+
+        ``per_pe_batches[i]`` is the array of keys that arrived at PE
+        ``i``.  Communication-free.
+        """
+        if len(per_pe_batches) != self.machine.p:
+            raise ValueError(
+                f"need one batch per PE (p={self.machine.p}, got {len(per_pe_batches)})"
+            )
+        for i, batch in enumerate(per_pe_batches):
+            batch = np.asarray(batch)
+            if batch.size == 0:
+                continue
+            uniq, counts = np.unique(batch, return_counts=True)
+            table = self.tables[i]
+            for key, c in zip(uniq, counts):
+                key = int(key)
+                table[key] = table.get(key, 0) + int(c)
+            self._local_total[i] += int(batch.size)
+            self.machine.charge_ops_one(
+                i, batch.size * np.log2(max(batch.size, 2))
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_items(self) -> int:
+        """Global stream length so far (one all-reduction)."""
+        return int(self.machine.allreduce(self._local_total, op="sum")[0])
+
+    def top_k(self, *, force: bool = False) -> FrequentResult:
+        """Current top-k (cached unless the stream grew enough)."""
+        n = self.total_items
+        if n == 0:
+            return FrequentResult((), True, 1.0, 0, self.k, {"stream": 0})
+        grown = n - self._n_at_last_query
+        if (
+            self._cached is not None
+            and not force
+            and grown < self.refresh_fraction * max(self._n_at_last_query, 1)
+        ):
+            self.cache_hits += 1
+            return self._cached
+
+        # sample the aggregated counts (Section 8.1 sampler with unit
+        # values = the counts themselves)
+        target = max(64.0, 8.0 / self.eps**2 * np.log(2 * self.k / self.delta) / 8)
+        target = min(target, float(n))
+        v_avg = n / target
+        sample_dicts = []
+        for i in range(self.machine.p):
+            table = self.tables[i]
+            if not table:
+                sample_dicts.append({})
+                continue
+            keys = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
+            vals = np.fromiter(table.values(), dtype=np.float64, count=len(table))
+            units = weighted_sample_counts(self.machine.rngs[i], vals, v_avg)
+            nz = units > 0
+            sample_dicts.append(
+                {int(key): int(u) for key, u in zip(keys[nz], units[nz])}
+            )
+            self.machine.charge_ops_one(i, len(table))
+        routed = self.machine.aggregate_exchange(
+            sample_dicts, make_owner_fn(self.machine.p)
+        )
+        items = take_topk_entries(self.machine, routed, self.k)
+        result = FrequentResult(
+            items=tuple((key, c * v_avg) for key, c in items),
+            exact_counts=v_avg <= 1.0,
+            rho=1.0 / v_avg,
+            sample_size=int(sum(sum(d.values()) for d in sample_dicts)),
+            k_star=self.k,
+            info={"stream": n, "refreshed": True},
+        )
+        self._cached = result
+        self._n_at_last_query = n
+        self.refreshes += 1
+        return result

@@ -1,0 +1,94 @@
+"""Algorithm PAC: sampling-based top-k most frequent objects (§7.1).
+
+The basic probably-approximately-correct algorithm:
+
+1. every PE Bernoulli-samples its local input with probability ``rho``
+   (Equation 3 fixes ``rho`` so the result is an
+   (eps, delta)-approximation);
+2. sample occurrences are counted in the distributed hash table
+   (local aggregation, then the merging hypercube exchange);
+3. the ``k`` most frequently *sampled* objects are selected with the
+   unsorted selection algorithm of Section 4.1 and broadcast;
+4. reported counts are the sample counts scaled by ``1/rho``.
+
+Expected time ``O(beta log(p)/(p eps^2) log(k/delta) + alpha log n)``
+(Theorem 7).  The error measure is the paper's ε̃: the count of the most
+frequent object missed minus the count of the least frequent object
+returned, relative to ``n`` (see :func:`pac_error`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.sampling import bernoulli_sample, pac_sample_rate
+from ..machine import DistArray, Machine
+from .dht import count_into_dht, take_topk_entries
+from .result import FrequentResult
+
+__all__ = ["top_k_frequent_pac", "pac_error", "sample_distributed"]
+
+
+def sample_distributed(
+    machine: Machine, data: DistArray, rho: float
+) -> list[np.ndarray]:
+    """Per-PE Bernoulli(rho) samples, with the sampling work charged at
+    the skip-value rate ``O(rho n/p)`` (Section 2)."""
+    samples = []
+    for i, chunk in enumerate(data.chunks):
+        s = bernoulli_sample(machine.rngs[i], chunk, rho)
+        machine.charge_ops_one(i, max(1.0, rho * chunk.size))
+        samples.append(s)
+    return samples
+
+
+def top_k_frequent_pac(
+    machine: Machine,
+    data: DistArray,
+    k: int,
+    eps: float = 1e-3,
+    delta: float = 1e-4,
+    *,
+    rho: float | None = None,
+) -> FrequentResult:
+    """(eps, delta)-approximate top-k most frequent objects.
+
+    ``rho`` overrides the Equation-3 sampling probability (ablations).
+    """
+    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    if n == 0:
+        return FrequentResult((), False, 1.0, 0, k, {})
+    if rho is None:
+        rho = pac_sample_rate(n, k, eps, delta)
+    samples = sample_distributed(machine, data, rho)
+    sample_size = int(machine.allreduce([s.size for s in samples], op="sum")[0])
+    counts = count_into_dht(machine, samples)
+    items = take_topk_entries(machine, counts, k)
+    return FrequentResult(
+        items=tuple((key, c / rho) for key, c in items),
+        exact_counts=rho >= 1.0,
+        rho=rho,
+        sample_size=sample_size,
+        k_star=k,
+        info={"distinct_sampled": sum(len(d) for d in counts)},
+    )
+
+
+def pac_error(result_keys, true_counts: dict[int, int], k: int) -> int:
+    """The paper's absolute error ε̃·n of a top-k answer.
+
+    "the count of the most frequent object that was not output minus
+    that of the least frequent object that was output, or 0 if the
+    result was exact" (Section 7).
+    """
+    ranked = sorted(true_counts.values(), reverse=True)
+    if not ranked:
+        return 0
+    result_keys = list(result_keys)[:k]
+    chosen = set(result_keys)
+    missed = [c for key, c in true_counts.items() if key not in chosen]
+    if not missed or len(result_keys) == 0:
+        return 0
+    best_missed = max(missed)
+    worst_chosen = min(true_counts.get(key, 0) for key in result_keys)
+    return max(0, best_missed - worst_chosen)

@@ -1,0 +1,48 @@
+"""Result container shared by the top-k frequent-objects algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FrequentResult"]
+
+
+@dataclass(frozen=True)
+class FrequentResult:
+    """Top-k most frequent objects, with provenance.
+
+    Attributes
+    ----------
+    items:
+        ``(key, count)`` pairs, most frequent first (count ties broken by
+        key).  Counts are exact if ``exact_counts``, otherwise estimates
+        scaled from the sample (``sample_count / rho``).
+    exact_counts:
+        Whether the reported counts were measured over the whole input.
+    rho:
+        Sampling probability used.
+    sample_size:
+        Realized global sample size.
+    k_star:
+        Candidate-set size for the exact-counting algorithms (EC, PEC);
+        equals ``k`` for PAC/Naive.
+    info:
+        Free-form per-algorithm diagnostics.
+    """
+
+    items: tuple[tuple[int, float], ...]
+    exact_counts: bool
+    rho: float
+    sample_size: int
+    k_star: int
+    info: dict = field(default_factory=dict)
+
+    @property
+    def keys(self) -> tuple[int, ...]:
+        return tuple(key for key, _ in self.items)
+
+    def count_of(self, key) -> float | None:
+        for key2, c in self.items:
+            if key2 == key:
+                return c
+        return None

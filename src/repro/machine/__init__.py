@@ -1,0 +1,36 @@
+"""Simulated distributed-memory machine substrate.
+
+The paper's algorithms are analysed in a single-ported, full-duplex
+message-passing model where a message of ``m`` words costs
+``alpha + beta * m``.  This subpackage provides that machine in
+simulation:
+
+* :class:`~repro.machine.cost.CostParams` -- the alpha-beta constants and
+  analytic collective costs,
+* :class:`~repro.machine.comm.Machine` -- ``p`` PEs, RNG streams,
+  simulated clocks, communication metering and the collective operations,
+* :class:`~repro.machine.dist_array.DistArray` -- per-PE NumPy chunks,
+* :class:`~repro.machine.metrics.CommMetrics` -- bottleneck-volume
+  accounting (the paper's key communication-efficiency metric).
+"""
+
+from .clock import SimClock
+from .comm import Machine, MachineReport, PhaseStats
+from .cost import FREE_COMMUNICATION, CollectiveCost, CostParams, log2_ceil
+from .dist_array import DistArray
+from .metrics import CommMetrics, MetricsSnapshot, payload_words
+
+__all__ = [
+    "CollectiveCost",
+    "CommMetrics",
+    "CostParams",
+    "DistArray",
+    "FREE_COMMUNICATION",
+    "Machine",
+    "MachineReport",
+    "MetricsSnapshot",
+    "PhaseStats",
+    "SimClock",
+    "log2_ceil",
+    "payload_words",
+]

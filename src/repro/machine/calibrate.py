@@ -1,0 +1,87 @@
+"""Cost-model calibration.
+
+The simulated clocks convert counted quantities into seconds via the
+:class:`~repro.machine.cost.CostParams` constants.  The defaults are a
+2016 InfiniBand-cluster calibration (the paper's testbed class); this
+module lets users
+
+* build presets for other machine classes (:func:`preset`), and
+* measure *this host's* effective per-element processing rate
+  (:func:`measure_local_rate`) so that modeled local-work times track
+  what a compiled implementation would achieve on comparable hardware
+  (NumPy's vectorized throughput is the stand-in for "compiled").
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .cost import CostParams
+
+__all__ = ["preset", "measure_local_rate", "calibrated_params"]
+
+_PRESETS: dict[str, CostParams] = {
+    # the paper's class of machine: InfiniBand 4X QDR cluster
+    "infiniband-cluster": CostParams(alpha=1.5e-6, beta=8.0 / 5.0e9, time_per_op=2.0e-9),
+    # commodity 10 GbE data-center network
+    "ethernet-cluster": CostParams(alpha=2.5e-5, beta=8.0 / 1.25e9, time_per_op=2.0e-9),
+    # geo-distributed / WAN deployment (the TPUT/KLEE world)
+    "wan": CostParams(alpha=2.0e-2, beta=8.0 / 1.25e8, time_per_op=2.0e-9),
+    # shared-memory multicore treated as message passing
+    "shared-memory": CostParams(alpha=2.0e-7, beta=8.0 / 2.0e10, time_per_op=2.0e-9),
+}
+
+
+def preset(name: str) -> CostParams:
+    """A named machine-class calibration.
+
+    Available: ``infiniband-cluster`` (default machine), ``ethernet-
+    cluster``, ``wan``, ``shared-memory``.
+    """
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; available: {sorted(_PRESETS)}"
+        ) from None
+
+
+def measure_local_rate(n: int = 1 << 20, repeats: int = 3) -> float:
+    """Seconds per elementary operation on this host.
+
+    Times a representative selection inner loop (three-way comparison
+    partition over ``n`` elements) and divides by the op count.  Used to
+    re-anchor :attr:`CostParams.time_per_op` when modeled times should
+    reflect the executing host rather than the reference cluster.
+    """
+    if n < 1 << 10:
+        raise ValueError(f"need at least 1024 elements to measure, got {n}")
+    rng = np.random.default_rng(0xCA11B)
+    data = rng.random(n)
+    lo, hi = 0.3, 0.6
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        below = data < lo
+        mid = (data >= lo) & (data <= hi)
+        _ = data[below], data[mid], data[~below & ~mid]
+        best = min(best, time.perf_counter() - t0)
+    # the loop does ~5 elementary ops per element (2 cmp, 2 and, 1 move)
+    return best / (5.0 * n)
+
+
+def calibrated_params(base: str = "infiniband-cluster", *, host_ops: bool = False) -> CostParams:
+    """A :class:`CostParams` from a preset, optionally with this host's
+    measured per-op rate."""
+    params = preset(base)
+    if host_ops:
+        rate = measure_local_rate()
+        params = CostParams(
+            alpha=params.alpha,
+            beta=params.beta,
+            time_per_op=rate,
+            word_bytes=params.word_bytes,
+        )
+    return params

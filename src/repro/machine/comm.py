@@ -1,0 +1,571 @@
+"""The simulated distributed-memory machine.
+
+:class:`Machine` bundles ``p`` processing elements (PEs) with
+
+* independent per-PE random generator streams (plus one *shared* stream
+  whose draws are identical on every PE, used where the paper says
+  "choose the same random number on all PEs"),
+* per-PE simulated clocks (:class:`repro.machine.clock.SimClock`),
+* per-PE communication metering (:class:`repro.machine.metrics.CommMetrics`),
+* the alpha-beta cost model (:class:`repro.machine.cost.CostParams`), and
+* the collective operations every algorithm in this package is written
+  against.
+
+All collectives follow the SPMD-by-construction convention: the caller
+passes a list of length ``p`` holding each PE's contribution and receives
+a list of length ``p`` with each PE's result.  Returned objects may be
+shared between ranks -- treat them as read-only.
+
+Example
+-------
+>>> from repro.machine import Machine
+>>> m = Machine(p=4, seed=1)
+>>> m.allreduce([1, 2, 3, 4], op="sum")
+[10, 10, 10, 10]
+>>> m.metrics.bottleneck_words > 0
+True
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .clock import SimClock
+from .collectives import (
+    binomial_edges,
+    combine,
+    hypercube_rounds,
+    inclusive_scan,
+    tree_reduce_order,
+)
+from .cost import CollectiveCost, CostParams, log2_ceil
+from .metrics import CommMetrics, payload_words
+
+__all__ = ["Machine", "MachineReport", "PhaseStats"]
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Metrics accumulated while a named :meth:`Machine.phase` was open."""
+
+    name: str
+    time: float
+    bottleneck_words: float
+    bottleneck_startups: int
+    total_traffic: float
+
+
+@dataclass(frozen=True)
+class MachineReport:
+    """Summary of one simulated run, the unit reported by benchmarks."""
+
+    p: int
+    makespan: float
+    work_time: float
+    comm_time: float
+    bottleneck_words: float
+    bottleneck_startups: int
+    total_traffic: float
+    imbalance: float
+    phases: tuple[PhaseStats, ...] = ()
+
+    def row(self) -> dict:
+        """Flat dict form for tabular output."""
+        return {
+            "p": self.p,
+            "time_s": self.makespan,
+            "work_s": self.work_time,
+            "comm_s": self.comm_time,
+            "volume_words": self.bottleneck_words,
+            "startups": self.bottleneck_startups,
+            "traffic_words": self.total_traffic,
+            "imbalance": self.imbalance,
+        }
+
+
+class Machine:
+    """A ``p``-PE distributed-memory machine with an alpha-beta cost model.
+
+    Parameters
+    ----------
+    p:
+        Number of processing elements (>= 1).
+    cost:
+        Machine constants; defaults to an InfiniBand-cluster calibration.
+    seed:
+        Master seed.  Per-PE streams are spawned deterministically from
+        it, so every run with the same seed is bit-reproducible.
+    """
+
+    def __init__(self, p: int, cost: CostParams | None = None, seed: int = 0xC0FFEE):
+        if p < 1:
+            raise ValueError(f"need at least one PE, got p={p}")
+        self.p = int(p)
+        self.cost = cost if cost is not None else CostParams()
+        self.clock = SimClock(self.p)
+        self.metrics = CommMetrics(self.p)
+        seq = np.random.SeedSequence(seed)
+        children = seq.spawn(self.p + 1)
+        #: independent random stream per PE
+        self.rngs: list[np.random.Generator] = [
+            np.random.Generator(np.random.PCG64(c)) for c in children[: self.p]
+        ]
+        #: stream whose draws are replicated on every PE (synchronized
+        #: seeds; no communication is charged for using it)
+        self.shared_rng = np.random.Generator(np.random.PCG64(children[self.p]))
+        self._phases: list[PhaseStats] = []
+
+    # ------------------------------------------------------------------
+    # Local work
+    # ------------------------------------------------------------------
+    def charge_ops(self, ops) -> None:
+        """Charge per-PE local work, in elementary operations.
+
+        ``ops`` is a scalar (same on every PE) or an array of length ``p``.
+        """
+        self.clock.charge_local(np.asarray(ops, dtype=np.float64) * self.cost.time_per_op)
+
+    def charge_ops_one(self, rank: int, ops: float) -> None:
+        self.clock.charge_local_one(rank, float(ops) * self.cost.time_per_op)
+
+    # ------------------------------------------------------------------
+    # Internal charging helpers
+    # ------------------------------------------------------------------
+    def _charge(self, c: CollectiveCost) -> None:
+        self.clock.sync_collective(c.time)
+
+    def _check_len(self, values: Sequence, what: str) -> None:
+        if len(values) != self.p:
+            raise ValueError(
+                f"{what} expects one contribution per PE "
+                f"(got {len(values)}, machine has p={self.p})"
+            )
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all PEs."""
+        self._charge(self.cost.barrier(self.p))
+        self.metrics.calls["barrier"] = self.metrics.calls.get("barrier", 0) + 1
+
+    def broadcast(self, value, root: int = 0) -> list:
+        """Send ``value`` from ``root`` to every PE.
+
+        Returns a list of length ``p``; entries may alias ``value``.
+        """
+        m = payload_words(value)
+        self.metrics.record_schedule(
+            ((s, d, m) for _, s, d in binomial_edges(self.p, root)), "broadcast"
+        )
+        self._charge(self.cost.broadcast(m, self.p))
+        return [value] * self.p
+
+    def reduce(self, values: Sequence, op="sum", root: int = 0) -> list:
+        """Reduce per-PE contributions to ``root``; other PEs get ``None``."""
+        self._check_len(values, "reduce")
+        m = payload_words(values[root])
+        edges = [(d, s, m) for _, s, d in binomial_edges(self.p, root)]
+        self.metrics.record_schedule(edges, "reduce")
+        self._charge(self.cost.reduce(m, self.p))
+        result = tree_reduce_order(values, op)
+        out: list = [None] * self.p
+        out[root] = result
+        return out
+
+    def allreduce(self, values: Sequence, op="sum") -> list:
+        """Reduce per-PE contributions; every PE receives the result."""
+        self._check_len(values, "allreduce")
+        m = payload_words(values[0])
+        # reduce followed by broadcast over the same tree
+        edges = [(d, s, m) for _, s, d in binomial_edges(self.p, 0)]
+        edges += [(s, d, m) for _, s, d in binomial_edges(self.p, 0)]
+        self.metrics.record_schedule(edges, "allreduce")
+        self._charge(self.cost.allreduce(m, self.p))
+        result = tree_reduce_order(values, op)
+        return [result] * self.p
+
+    def scan(self, values: Sequence, op="sum") -> list:
+        """Inclusive prefix combine: PE ``j`` receives ``op(values[0..j])``."""
+        self._check_len(values, "scan")
+        m = payload_words(values[0])
+        pairs = [(s, d, m) for rnd in hypercube_rounds(self.p) for s, d in rnd]
+        self.metrics.record_schedule(pairs, "scan")
+        self._charge(self.cost.scan(m, self.p))
+        return inclusive_scan(values, op)
+
+    def exscan(self, values: Sequence, op="sum", initial=0) -> list:
+        """Exclusive prefix combine: PE ``j`` receives ``op(values[0..j-1])``
+        and PE 0 receives ``initial``."""
+        inc = self.scan(values, op)  # charges once
+        return [initial] + inc[:-1]
+
+    def gather(self, values: Sequence, root: int = 0, mode: str = "tree") -> list:
+        """Collect all contributions at ``root`` (a list in rank order).
+
+        ``mode="tree"`` uses a binomial tree (``alpha log p`` startups);
+        ``mode="direct"`` has every PE send straight to the root
+        (``alpha (p-1)`` serialized startups at the root -- the
+        master-worker pattern of the Naive baseline).
+        """
+        self._check_len(values, "gather")
+        sizes = np.array([payload_words(v) for v in values], dtype=np.float64)
+        total = float(sizes.sum() - sizes[root])
+        if mode == "tree":
+            # accumulate subtree payloads bottom-up along the binomial tree
+            acc = sizes.copy()
+            edges = []
+            for _, s, d in reversed(binomial_edges(self.p, root)):
+                edges.append((d, s, acc[d]))
+                acc[s] += acc[d]
+            self.metrics.record_schedule(edges, "gather")
+            self._charge(self.cost.gather(total, self.p))
+        elif mode == "direct":
+            edges = [(i, root, sizes[i]) for i in range(self.p) if i != root]
+            self.metrics.record_schedule(edges, "gather_direct")
+            self._charge(self.cost.gather_direct(total, self.p))
+        else:
+            raise ValueError(f"unknown gather mode {mode!r}")
+        out: list = [None] * self.p
+        out[root] = list(values)
+        return out
+
+    def allgather(self, values: Sequence) -> list:
+        """All-to-all broadcast (gossiping): every PE gets every piece."""
+        self._check_len(values, "allgather")
+        sizes = np.array([payload_words(v) for v in values], dtype=np.float64)
+        # recursive-doubling schedule: in round r partners exchange the
+        # blocks accumulated so far
+        acc = sizes.copy()
+        edges = []
+        for rnd in hypercube_rounds(self.p):
+            nxt = acc.copy()
+            for i, j in rnd:
+                edges.append((i, j, acc[i]))
+                edges.append((j, i, acc[j]))
+                nxt[i] = nxt[j] = acc[i] + acc[j]
+            acc = nxt
+        self.metrics.record_schedule(edges, "allgather")
+        self._charge(self.cost.allgather(float(sizes.mean()), self.p))
+        result = list(values)
+        return [result] * self.p
+
+    def scatter(self, pieces: Sequence, root: int = 0) -> list:
+        """Distribute ``pieces[i]`` from ``root`` to PE ``i``."""
+        self._check_len(pieces, "scatter")
+        sizes = np.array([payload_words(v) for v in pieces], dtype=np.float64)
+        total = float(sizes.sum() - sizes[root])
+        # top-down binomial tree: a parent forwards the payload bundle
+        # destined to each child's subtree
+        acc = sizes.copy()
+        fwd = []
+        for _, s, d in reversed(binomial_edges(self.p, root)):
+            fwd.append((s, d, acc[d]))
+            acc[s] += acc[d]
+        self.metrics.record_schedule(reversed(fwd), "scatter")
+        self._charge(self.cost.scatter(total, self.p))
+        return list(pieces)
+
+    # ------------------------------------------------------------------
+    # Personalized exchanges
+    # ------------------------------------------------------------------
+    def alltoall(self, matrix: Sequence[Sequence], mode: str = "direct") -> list[list]:
+        """All-to-all personalized exchange.
+
+        ``matrix[i][j]`` is the payload PE ``i`` sends to PE ``j``
+        (``None`` for no message).  Returns ``out`` with
+        ``out[j][i] == matrix[i][j]``.
+
+        ``mode="direct"``: ``O(beta m p + alpha p)``.
+        ``mode="hypercube"``: indirect delivery in ``log p`` rounds,
+        ``O(beta m p log p + alpha log p)`` (Leighton [21, Thm 3.24]).
+        """
+        self._check_len(matrix, "alltoall")
+        for i, row in enumerate(matrix):
+            if len(row) != self.p:
+                raise ValueError(f"alltoall row {i} has length {len(row)} != p")
+        out: list[list] = [[matrix[i][j] for i in range(self.p)] for j in range(self.p)]
+        sizes = np.array(
+            [[payload_words(matrix[i][j]) if i != j else 0 for j in range(self.p)] for i in range(self.p)],
+            dtype=np.float64,
+        )
+        if mode == "direct":
+            edges = [
+                (i, j, sizes[i][j])
+                for i in range(self.p)
+                for j in range(self.p)
+                if i != j and sizes[i][j] > 0
+            ]
+            self.metrics.record_schedule(edges, "alltoall")
+            sent = sizes.sum(axis=1)
+            recv = sizes.sum(axis=0)
+            bottleneck = float(np.maximum(sent, recv).max(initial=0.0))
+            msgs = max(self.p - 1, 0)
+            self._charge(CollectiveCost(self.cost.alpha * msgs + self.cost.beta * bottleneck, msgs, bottleneck))
+        elif mode == "hypercube":
+            self._route_hypercube_sizes(sizes, kind="alltoall_hc")
+        else:
+            raise ValueError(f"unknown alltoall mode {mode!r}")
+        return out
+
+    def _route_hypercube_sizes(self, sizes: np.ndarray, kind: str) -> None:
+        """Charge metrics/time for hypercube-routing the ``sizes`` matrix.
+
+        ``sizes[i][j]`` words travel from ``i`` to ``j`` along dimension-
+        ordered hypercube hops; intermediate PEs forward the payload.
+        """
+        p = self.p
+        # buckets[i][j] = words currently parked at i, destined for j
+        buckets = sizes.copy()
+        dims = log2_ceil(p)
+        for r in range(dims):
+            bit = 1 << r
+            edges = []
+            moved = np.zeros(p)
+            newbuckets = buckets.copy()
+            for i in range(p):
+                partner = i ^ bit
+                if partner >= p:
+                    continue
+                # forward everything whose destination differs in bit r
+                dest_mask = np.array([(j ^ i) & bit != 0 for j in range(p)])
+                w = float(buckets[i][dest_mask].sum())
+                if w > 0:
+                    edges.append((i, partner, w))
+                    newbuckets[partner][dest_mask] += buckets[i][dest_mask]
+                    newbuckets[i][dest_mask] = 0
+                moved[i] = w
+            buckets = newbuckets
+            if edges:
+                self.metrics.record_schedule(edges, kind)
+            self.clock.sync_collective(self.cost.alpha + self.cost.beta * float(moved.max(initial=0.0)))
+
+    def aggregate_exchange(
+        self,
+        dicts: Sequence[dict],
+        owner: Callable[[object], int],
+        combine_values: Callable = lambda a, b: a + b,
+        *,
+        words_per_entry: float = 2.0,
+    ) -> list[dict]:
+        """Route key->value maps to their owner PEs, merging on the way.
+
+        This is the distributed-hash-table insertion primitive of
+        Section 7: counts are communicated along a hypercube in
+        ``ceil(log2 p)`` rounds, and colliding keys are merged
+        (``combine_values``) at every intermediate hop, so each PE
+        receives at most one aggregated message per round.  For ``p``
+        not a power of two the exchange falls back to direct delivery.
+
+        Parameters
+        ----------
+        dicts:
+            Per-PE mapping of key to value (e.g. sample counts).
+        owner:
+            Function mapping a key to its home PE in ``0..p-1``.
+        combine_values:
+            Merge function for values of equal keys (default: sum).
+        words_per_entry:
+            Wire size of one (key, value) entry; the default 2.0 charges
+            one word each.  The dSBF refinement (Section 7.4) ships
+            half-word fingerprints instead of keys and passes 1.5.
+
+        Returns
+        -------
+        Per-PE dict holding exactly the keys owned by that PE, with all
+        contributions merged.
+        """
+        self._check_len(dicts, "aggregate_exchange")
+        p = self.p
+        if p == 1:
+            merged: dict = {}
+            for k, v in dicts[0].items():
+                merged[k] = combine_values(merged[k], v) if k in merged else v
+            return [merged]
+
+        # Pre-split each PE's dict by destination
+        owner_cache: dict = {}
+
+        def _owner(k):
+            try:
+                return owner_cache[k]
+            except KeyError:
+                o = owner(k)
+                if not (0 <= o < p):
+                    raise ValueError(f"owner({k!r}) = {o} out of range 0..{p - 1}")
+                owner_cache[k] = o
+                return o
+
+        if p & (p - 1) != 0:
+            return self._aggregate_direct(dicts, _owner, combine_values, words_per_entry)
+
+        # hypercube routing with merge-on-the-way
+        held: list[dict[int, dict]] = []  # held[i][dest] -> dict for dest
+        for i in range(p):
+            byd: dict[int, dict] = {}
+            for k, v in dicts[i].items():
+                d = _owner(k)
+                bucket = byd.setdefault(d, {})
+                bucket[k] = combine_values(bucket[k], v) if k in bucket else v
+            held.append(byd)
+
+        dims = log2_ceil(p)
+        for r in range(dims):
+            bit = 1 << r
+            edges = []
+            max_words = 0.0
+            outgoing: list[dict[int, dict]] = [dict() for _ in range(p)]
+            for i in range(p):
+                partner = i ^ bit
+                send: dict[int, dict] = {}
+                for d in list(held[i].keys()):
+                    if (d ^ i) & bit:
+                        send[d] = held[i].pop(d)
+                if send:
+                    words = words_per_entry * sum(len(b) for b in send.values())
+                    edges.append((i, partner, words))
+                    max_words = max(max_words, words)
+                    for d, bucket in send.items():
+                        tgt = outgoing[partner].setdefault(d, {})
+                        for k, v in bucket.items():
+                            tgt[k] = combine_values(tgt[k], v) if k in tgt else v
+            # merge deliveries into recipients
+            for i in range(p):
+                for d, bucket in outgoing[i].items():
+                    tgt = held[i].setdefault(d, {})
+                    for k, v in bucket.items():
+                        tgt[k] = combine_values(tgt[k], v) if k in tgt else v
+                    # charge merge work: one hash probe per entry
+                    self.charge_ops_one(i, len(bucket))
+            if edges:
+                self.metrics.record_schedule(edges, "dht_exchange")
+            self.clock.sync_collective(self.cost.alpha + self.cost.beta * max_words)
+
+        return [held[i].get(i, {}) for i in range(p)]
+
+    def _aggregate_direct(
+        self, dicts, owner_fn, combine_values, words_per_entry: float = 2.0
+    ) -> list[dict]:
+        """Direct-delivery fallback of :meth:`aggregate_exchange`."""
+        p = self.p
+
+        class _Wire(dict):
+            def comm_words(self):
+                return int(np.ceil(words_per_entry * len(self)))
+
+        matrix: list[list] = [[None] * p for _ in range(p)]
+        for i in range(p):
+            byd: dict[int, dict] = {}
+            for k, v in dicts[i].items():
+                d = owner_fn(k)
+                bucket = byd.setdefault(d, _Wire())
+                bucket[k] = combine_values(bucket[k], v) if k in bucket else v
+            for d, bucket in byd.items():
+                matrix[i][d] = bucket
+        received = self.alltoall(matrix, mode="direct")
+        out = []
+        for j in range(p):
+            merged: dict = {}
+            n_entries = 0
+            for piece in received[j]:
+                if piece is None:
+                    continue
+                for k, v in piece.items():
+                    merged[k] = combine_values(merged[k], v) if k in merged else v
+                n_entries += len(piece)
+            self.charge_ops_one(j, n_entries)
+            out.append(merged)
+        return out
+
+    def reduce_tree(
+        self,
+        values: Sequence,
+        merge: Callable,
+        root: int = 0,
+        kind: str = "reduce_merge",
+    ):
+        """Tree reduction with a *content-dependent* merge (e.g. dict
+        union): payloads are actually sent edge by edge along the
+        binomial tree, so the charged volume reflects the merged sizes
+        at every hop -- this is the Naive-Tree aggregation of
+        Section 10.2 and the paper's "aggregate the counts in each step
+        to keep communication volume low".
+
+        Returns the merged value at ``root`` (list entry; others ``None``).
+        """
+        self._check_len(values, "reduce_tree")
+        acc = list(values)
+        for _, parent, child in reversed(binomial_edges(self.p, root)):
+            payload = acc[child]
+            w = payload_words(payload)
+            if child != parent:
+                self.metrics.record_p2p(child, parent, w, kind)
+                self.clock.charge_p2p(child, parent, self.cost.p2p(w))
+            merged = merge(acc[parent], payload)
+            # merging cost: proportional to the incoming payload
+            self.charge_ops_one(parent, max(1.0, w))
+            acc[parent] = merged
+            acc[child] = None
+        out: list = [None] * self.p
+        out[root] = acc[root]
+        return out
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload, kind: str = "p2p"):
+        """Transfer ``payload`` from PE ``src`` to PE ``dst``."""
+        if not (0 <= src < self.p and 0 <= dst < self.p):
+            raise ValueError(f"ranks out of range: {src} -> {dst} with p={self.p}")
+        w = payload_words(payload)
+        if src != dst:
+            self.metrics.record_p2p(src, dst, w, kind)
+            self.clock.charge_p2p(src, dst, self.cost.p2p(w))
+        return payload
+
+    # ------------------------------------------------------------------
+    # Phases & reporting
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        """Attribute the metrics/time of a ``with`` block to ``name``."""
+        snap0 = self.metrics.snapshot()
+        t0 = self.clock.makespan
+        yield
+        diff = self.metrics.snapshot() - snap0
+        self._phases.append(
+            PhaseStats(
+                name=name,
+                time=self.clock.makespan - t0,
+                bottleneck_words=diff.bottleneck_words,
+                bottleneck_startups=diff.bottleneck_startups,
+                total_traffic=diff.total_traffic,
+            )
+        )
+
+    def report(self) -> MachineReport:
+        """Snapshot of modeled time and communication for this run."""
+        return MachineReport(
+            p=self.p,
+            makespan=self.clock.makespan,
+            work_time=float(self.clock.work_time.max()),
+            comm_time=float(self.clock.comm_time.max()),
+            bottleneck_words=self.metrics.bottleneck_words,
+            bottleneck_startups=self.metrics.bottleneck_startups,
+            total_traffic=self.metrics.total_traffic,
+            imbalance=self.clock.imbalance,
+            phases=tuple(self._phases),
+        )
+
+    def reset(self) -> None:
+        """Zero clocks, metrics and phase records (RNG streams keep going)."""
+        self.clock.reset()
+        self.metrics.reset()
+        self._phases.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Machine(p={self.p}, makespan={self.clock.makespan:.3e}s)"

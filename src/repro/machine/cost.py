@@ -1,0 +1,183 @@
+"""Cost model for the simulated distributed-memory machine.
+
+The paper analyses algorithms in the single-ported, full-duplex
+point-to-point model: sending a message of ``m`` machine words costs
+``alpha + m * beta`` where ``alpha`` is the startup (latency) overhead and
+``beta`` the per-word transfer time.  Collective operations over ``p``
+processing elements (PEs) built from tree/hypercube schedules then cost
+``O(beta * m + alpha * log p)`` (broadcast, reduction, prefix sum, gather,
+scatter) following Sanders et al. [33] / Bala et al. [5].
+
+This module defines :class:`CostParams` -- the machine constants -- and
+the analytic cost formulas used to charge the simulated per-PE clocks.
+Local computation is charged per elementary operation (comparison, move,
+hash) so that the modeled running time has the same
+``O(work + beta * volume + alpha * startups)`` structure the paper reports.
+
+The default constants are calibrated to a 2016-era InfiniBand cluster
+(the paper's InstitutsCluster II): ~1.5 microsecond MPI startup,
+~5 GB/s per-node bandwidth, and a few nanoseconds per elementary local
+operation for compiled code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CostParams",
+    "CollectiveCost",
+    "log2_ceil",
+]
+
+
+def log2_ceil(p: int) -> int:
+    """Number of rounds of a binomial-tree/hypercube schedule on ``p`` PEs.
+
+    ``log2_ceil(1) == 0`` -- a collective over a single PE is free of
+    communication rounds.
+    """
+    if p <= 1:
+        return 0
+    return int(math.ceil(math.log2(p)))
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Cost of one collective: time, and per-PE accounting quantities.
+
+    Attributes
+    ----------
+    time:
+        Modeled wall-clock time charged to every participating PE.
+    startups:
+        Message startups charged to the busiest PE (the ``alpha`` count).
+    words:
+        Words sent/received by the busiest PE (the ``beta`` count, i.e.
+        the *bottleneck* communication volume of the operation).
+    """
+
+    time: float
+    startups: int
+    words: float
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Machine constants of the alpha-beta model.
+
+    Parameters
+    ----------
+    alpha:
+        Message startup overhead in seconds.  The paper treats this as a
+        variable; the default is a realistic InfiniBand MPI latency.
+    beta:
+        Transfer time per machine word (8 bytes) in seconds.
+    time_per_op:
+        Time for one elementary local operation (comparison, move, hash
+        probe) in seconds.  Used to convert counted local work into
+        modeled time.
+    word_bytes:
+        Size of a machine word; only used for reporting.
+    """
+
+    alpha: float = 1.5e-6
+    beta: float = 8.0 / 5.0e9  # 8-byte words at 5 GB/s
+    time_per_op: float = 2.0e-9
+    word_bytes: int = 8
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def p2p(self, words: float) -> float:
+        """Time to send one message of ``words`` machine words."""
+        return self.alpha + self.beta * float(words)
+
+    def local(self, ops: float) -> float:
+        """Time for ``ops`` elementary local operations."""
+        return self.time_per_op * float(ops)
+
+    # ------------------------------------------------------------------
+    # Collectives: O(beta * m + alpha * log p) family
+    # ------------------------------------------------------------------
+    def broadcast(self, m: float, p: int) -> CollectiveCost:
+        """Broadcast ``m`` words to ``p`` PEs (pipelined binary-tree bound)."""
+        r = log2_ceil(p)
+        return CollectiveCost(self.alpha * r + self.beta * m, r, m)
+
+    def reduce(self, m: float, p: int) -> CollectiveCost:
+        """Reduce a vector of ``m`` words over ``p`` PEs."""
+        r = log2_ceil(p)
+        return CollectiveCost(self.alpha * r + self.beta * m, r, m)
+
+    def allreduce(self, m: float, p: int) -> CollectiveCost:
+        """Reduce + broadcast of an ``m``-word vector."""
+        r = log2_ceil(p)
+        return CollectiveCost(self.alpha * r + 2.0 * self.beta * m, r, 2.0 * m)
+
+    def scan(self, m: float, p: int) -> CollectiveCost:
+        """Inclusive/exclusive prefix sum of ``m``-word vectors."""
+        r = log2_ceil(p)
+        return CollectiveCost(self.alpha * r + self.beta * m, r, m)
+
+    def gather(self, m_total: float, p: int) -> CollectiveCost:
+        """Gather pieces summing to ``m_total`` words onto one PE (tree)."""
+        r = log2_ceil(p)
+        return CollectiveCost(self.alpha * r + self.beta * m_total, r, m_total)
+
+    def gather_direct(self, m_total: float, p: int) -> CollectiveCost:
+        """Gather with direct point-to-point delivery to the root.
+
+        The root receives ``p - 1`` separate messages; with single-ported
+        communication they serialize, which is what makes centralized
+        master-worker schemes non-scalable (Section 10.2's Naive
+        baseline).
+        """
+        msgs = max(p - 1, 0)
+        return CollectiveCost(self.alpha * msgs + self.beta * m_total, msgs, m_total)
+
+    def scatter(self, m_total: float, p: int) -> CollectiveCost:
+        """Scatter a message of ``m_total`` words from one PE to ``p`` PEs."""
+        r = log2_ceil(p)
+        return CollectiveCost(self.alpha * r + self.beta * m_total, r, m_total)
+
+    def allgather(self, m_per_pe: float, p: int) -> CollectiveCost:
+        """All-to-all broadcast (gossiping): every PE contributes
+        ``m_per_pe`` words and ends with all ``p`` pieces.
+
+        Time ``O(beta * m * p + alpha * log p)``.
+        """
+        r = log2_ceil(p)
+        vol = m_per_pe * max(p - 1, 0)
+        return CollectiveCost(self.alpha * r + self.beta * vol, r, vol)
+
+    def alltoall_direct(self, m_per_pair: float, p: int) -> CollectiveCost:
+        """All-to-all personalized, direct delivery.
+
+        Every PE sends one ``m``-word message to every other PE:
+        ``O(beta * m * p + alpha * p)``.
+        """
+        msgs = max(p - 1, 0)
+        vol = m_per_pair * msgs
+        return CollectiveCost(self.alpha * msgs + self.beta * vol, msgs, vol)
+
+    def alltoall_hypercube(self, m_per_pair: float, p: int) -> CollectiveCost:
+        """All-to-all personalized, indirect (hypercube) delivery.
+
+        ``O(beta * m * p * log p + alpha * log p)`` -- trades bandwidth
+        for latency, cf. Leighton [21, Theorem 3.24].
+        """
+        r = log2_ceil(p)
+        vol = m_per_pair * p / 2.0 * r
+        return CollectiveCost(self.alpha * r + self.beta * vol, r, vol)
+
+    def barrier(self, p: int) -> CollectiveCost:
+        """Synchronization barrier (an allreduce of zero words)."""
+        r = log2_ceil(p)
+        return CollectiveCost(self.alpha * r, r, 0.0)
+
+
+# A cost model in which communication is free; useful to isolate local
+# work in ablation benchmarks.
+FREE_COMMUNICATION = CostParams(alpha=0.0, beta=0.0)

@@ -1,0 +1,115 @@
+"""Distributed arrays: one NumPy chunk per PE.
+
+:class:`DistArray` is the input/output container of every algorithm in
+this package.  It is deliberately thin -- a list of per-PE chunks plus
+convenience constructors -- because the algorithms themselves must only
+touch a chunk through its owning PE (all cross-PE flow goes through
+:class:`repro.machine.Machine` collectives).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .comm import Machine
+
+__all__ = ["DistArray"]
+
+
+class DistArray:
+    """A vector distributed over the PEs of a :class:`Machine`.
+
+    Attributes
+    ----------
+    chunks:
+        List of per-PE one-dimensional NumPy arrays.  ``chunks[i]`` lives
+        in PE ``i``'s memory; cross-PE access requires communication.
+    """
+
+    def __init__(self, machine: Machine, chunks: Sequence[np.ndarray]):
+        if len(chunks) != machine.p:
+            raise ValueError(
+                f"need one chunk per PE: got {len(chunks)} chunks for p={machine.p}"
+            )
+        self.machine = machine
+        self.chunks: list[np.ndarray] = [np.asarray(c) for c in chunks]
+        for i, c in enumerate(self.chunks):
+            if c.ndim != 1:
+                raise ValueError(f"chunk {i} must be one-dimensional, got shape {c.shape}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(cls, machine: Machine, data: np.ndarray) -> "DistArray":
+        """Split ``data`` into ``p`` nearly equal contiguous chunks.
+
+        This models the paper's input convention: each PE holds
+        ``O(n/p)`` elements.  No communication is charged -- the input is
+        assumed to already reside on the PEs.
+        """
+        data = np.asarray(data)
+        return cls(machine, np.array_split(data, machine.p))
+
+    @classmethod
+    def generate(
+        cls, machine: Machine, make_chunk: Callable[[int, np.random.Generator], np.ndarray]
+    ) -> "DistArray":
+        """Build per-PE chunks with each PE's own RNG stream.
+
+        ``make_chunk(rank, rng)`` must return the local chunk for ``rank``.
+        """
+        return cls(
+            machine,
+            [make_chunk(i, machine.rngs[i]) for i in range(machine.p)],
+        )
+
+    @classmethod
+    def empty_like(cls, other: "DistArray") -> "DistArray":
+        dtype = other.chunks[0].dtype if other.chunks else np.float64
+        return cls(other.machine, [np.empty(0, dtype=dtype) for _ in range(other.machine.p)])
+
+    # ------------------------------------------------------------------
+    # Inspection (driver-side; used by tests and result assembly, not by
+    # the distributed algorithms themselves)
+    # ------------------------------------------------------------------
+    def sizes(self) -> np.ndarray:
+        """Per-PE chunk lengths (a local quantity on each PE)."""
+        return np.array([len(c) for c in self.chunks], dtype=np.int64)
+
+    @property
+    def global_size(self) -> int:
+        return int(self.sizes().sum())
+
+    def concat(self) -> np.ndarray:
+        """Concatenate all chunks in rank order (test/driver-side oracle)."""
+        if not self.chunks:
+            return np.empty(0)
+        return np.concatenate(self.chunks)
+
+    @property
+    def dtype(self):
+        return self.chunks[0].dtype
+
+    def __len__(self) -> int:
+        return self.global_size
+
+    # ------------------------------------------------------------------
+    # Local transforms
+    # ------------------------------------------------------------------
+    def map_chunks(self, fn: Callable[[int, np.ndarray], np.ndarray], ops_per_elem: float = 1.0) -> "DistArray":
+        """Apply ``fn(rank, chunk)`` on every PE, charging local work."""
+        out = [fn(i, c) for i, c in enumerate(self.chunks)]
+        self.machine.charge_ops(self.sizes().astype(np.float64) * ops_per_elem)
+        return DistArray(self.machine, out)
+
+    def sort_local(self) -> "DistArray":
+        """Sort each chunk locally (charges ``m log m`` per PE)."""
+        sizes = self.sizes().astype(np.float64)
+        self.machine.charge_ops(sizes * np.log2(np.maximum(sizes, 2.0)))
+        return DistArray(self.machine, [np.sort(c) for c in self.chunks])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DistArray(p={self.machine.p}, n={self.global_size}, dtype={self.dtype})"

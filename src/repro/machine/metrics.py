@@ -1,0 +1,187 @@
+"""Per-PE communication metering.
+
+The paper's headline quantity is the *bottleneck communication volume*:
+the maximum over PEs of the number of machine words a PE sends or
+receives.  :class:`CommMetrics` tracks, for every PE,
+
+* words sent and received,
+* message startups initiated and accepted, and
+* a per-operation-kind breakdown (how much volume each collective or
+  algorithm phase contributed),
+
+so benchmarks can report exactly the terms that appear in the paper's
+``O(work + beta * volume + alpha * startups)`` bounds.
+
+Metrics are plain counters: recording is decoupled from the simulated
+clock (see :mod:`repro.machine.clock`) so that volume can be audited
+independently of the time model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommMetrics", "MetricsSnapshot", "payload_words"]
+
+
+def payload_words(obj) -> int:
+    """Number of machine words needed to transmit ``obj``.
+
+    Conventions: every scalar (int, float, key, count) is one machine
+    word; a key->count mapping costs two words per entry; arrays cost one
+    word per element.  ``None`` is free (it encodes "no message").
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.size)
+    if isinstance(obj, dict):
+        return 2 * len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_words(x) for x in obj)
+    if isinstance(obj, (int, float, np.integer, np.floating, bool, np.bool_)):
+        return 1
+    if isinstance(obj, str):
+        # Keys in examples may be short strings; charge one word per
+        # 8 characters, at least one.
+        return max(1, (len(obj) + 7) // 8)
+    if hasattr(obj, "comm_words"):
+        return int(obj.comm_words())
+    raise TypeError(f"cannot size payload of type {type(obj)!r}")
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable copy of the counters, used for phase-wise differencing."""
+
+    words_sent: np.ndarray
+    words_recv: np.ndarray
+    msgs_sent: np.ndarray
+    msgs_recv: np.ndarray
+
+    def __sub__(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        return MetricsSnapshot(
+            self.words_sent - other.words_sent,
+            self.words_recv - other.words_recv,
+            self.msgs_sent - other.msgs_sent,
+            self.msgs_recv - other.msgs_recv,
+        )
+
+    @property
+    def bottleneck_words(self) -> float:
+        """max over PEs of max(sent, received) -- the paper's volume metric."""
+        if self.words_sent.size == 0:
+            return 0.0
+        return float(np.maximum(self.words_sent, self.words_recv).max())
+
+    @property
+    def bottleneck_startups(self) -> int:
+        if self.msgs_sent.size == 0:
+            return 0
+        return int(np.maximum(self.msgs_sent, self.msgs_recv).max())
+
+    @property
+    def total_traffic(self) -> float:
+        return float(self.words_sent.sum())
+
+
+class CommMetrics:
+    """Mutable per-PE communication counters for a ``p``-PE machine."""
+
+    def __init__(self, p: int):
+        if p < 1:
+            raise ValueError(f"need at least one PE, got p={p}")
+        self.p = p
+        self.words_sent = np.zeros(p, dtype=np.float64)
+        self.words_recv = np.zeros(p, dtype=np.float64)
+        self.msgs_sent = np.zeros(p, dtype=np.int64)
+        self.msgs_recv = np.zeros(p, dtype=np.int64)
+        #: volume contributed per operation kind, e.g. "allreduce"
+        self.by_kind: dict[str, float] = {}
+        #: number of invocations per operation kind
+        self.calls: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def record_p2p(self, src: int, dst: int, words: float, kind: str = "p2p") -> None:
+        """One message of ``words`` machine words from ``src`` to ``dst``."""
+        if src == dst:
+            return  # local handoff: no communication
+        self.words_sent[src] += words
+        self.words_recv[dst] += words
+        self.msgs_sent[src] += 1
+        self.msgs_recv[dst] += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + words
+        self.calls[kind] = self.calls.get(kind, 0) + 1
+
+    def record_schedule(
+        self,
+        edges,
+        kind: str,
+    ) -> None:
+        """Record a batch of (src, dst, words) message triples."""
+        total = 0.0
+        n = 0
+        for src, dst, words in edges:
+            if src == dst:
+                continue
+            self.words_sent[src] += words
+            self.words_recv[dst] += words
+            self.msgs_sent[src] += 1
+            self.msgs_recv[dst] += 1
+            total += words
+            n += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + total
+        self.calls[kind] = self.calls.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            self.words_sent.copy(),
+            self.words_recv.copy(),
+            self.msgs_sent.copy(),
+            self.msgs_recv.copy(),
+        )
+
+    def reset(self) -> None:
+        self.words_sent[:] = 0
+        self.words_recv[:] = 0
+        self.msgs_sent[:] = 0
+        self.msgs_recv[:] = 0
+        self.by_kind.clear()
+        self.calls.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def bottleneck_words(self) -> float:
+        return self.snapshot().bottleneck_words
+
+    @property
+    def bottleneck_startups(self) -> int:
+        return self.snapshot().bottleneck_startups
+
+    @property
+    def total_traffic(self) -> float:
+        return float(self.words_sent.sum())
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the counters."""
+        lines = [
+            f"CommMetrics(p={self.p})",
+            f"  bottleneck volume : {self.bottleneck_words:,.0f} words",
+            f"  bottleneck startups: {self.bottleneck_startups:,d}",
+            f"  total traffic     : {self.total_traffic:,.0f} words",
+        ]
+        for kind in sorted(self.by_kind):
+            lines.append(
+                f"  {kind:<18s}: {self.by_kind[kind]:,.0f} words"
+                f" in {self.calls.get(kind, 0):,d} calls"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommMetrics(p={self.p}, bottleneck={self.bottleneck_words:.0f}w,"
+            f" traffic={self.total_traffic:.0f}w)"
+        )

@@ -1,0 +1,189 @@
+"""Communication-efficient bulk-parallel priority queue (Section 5).
+
+The queue keeps one search tree per PE and **never moves elements**:
+
+* ``insert*`` puts new elements into the *local* tree -- zero
+  communication, ``O(log n)`` time per element.  (Previous designs --
+  Karp-Zhang random allocation [20], the randomized PQ of [31] -- send
+  every insertion to a random PE.)
+* ``deleteMin*`` runs the multisequence selection algorithms of
+  Section 4 directly **on the trees**: the search tree supports
+  ``select`` (i-th smallest) and ``rank`` in logarithmic time, which is
+  all ``msSelect``/``amsSelect`` need from a "sorted sequence".  The
+  selected per-PE prefixes are then split off the trees.
+
+Costs (Theorem 5): ``O(alpha log^2 kp)`` for fixed batch size ``k``,
+``O(alpha log kp)`` for flexible batch size in ``[k_lo, k_hi]`` with
+``k_hi - k_lo = Omega(k_hi)``, and ``O(d log k + beta d + alpha log p)``
+with ``d`` concurrent trials.
+
+Elements are ``(score, uid)`` pairs -- ``uid`` a per-PE counter tagged
+with the rank -- so the total order is unique (Section 2's tie-breaking
+convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine import Machine
+from ..selection.flexible import AmsResult, ams_select
+from ..selection.sorted_select import ms_select_with_cuts
+from ..trees import Treap
+
+__all__ = ["BulkParallelPQ", "TreapSeq", "DeleteMinResult"]
+
+
+class TreapSeq:
+    """A :class:`~repro.trees.Treap` viewed as a sorted sequence.
+
+    Adapter for the selection algorithms: ``item`` is tree-select,
+    ``count_le`` is tree-rank, both ``O(log n)`` (``O(log k)`` with the
+    paper's min/max-path augmentation, which :meth:`Treap.access_cost`
+    models for the cost accounting).
+    """
+
+    __slots__ = ("tree",)
+
+    def __init__(self, tree: Treap):
+        self.tree = tree
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def item(self, i: int):
+        return self.tree.select(i)
+
+    def count_le(self, v) -> int:
+        return self.tree.count_le(v)
+
+
+@dataclass(frozen=True)
+class DeleteMinResult:
+    """Outcome of a ``deleteMin*`` call.
+
+    ``batches[i]`` holds the extracted elements of PE ``i`` in ascending
+    order; they remain on their PE (the paper's owner-computes
+    convention -- redistribution, if the application needs it, is a
+    separate step, cf. Section 9).
+    """
+
+    batches: tuple[tuple, ...]
+    k: int
+    threshold: object
+    rounds: int
+
+
+class BulkParallelPQ:
+    """Distributed bulk priority queue over ``machine.p`` local trees."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.trees = [Treap(machine.rngs[i]) for i in range(machine.p)]
+        self._uid = [0] * machine.p
+
+    # ------------------------------------------------------------------
+    # Insertion: local, communication-free
+    # ------------------------------------------------------------------
+    def insert(self, per_pe_scores) -> None:
+        """``insert*``: bulk-insert scores, each batch into its own PE.
+
+        ``per_pe_scores[i]`` is an iterable of priorities generated on PE
+        ``i``.  No communication is charged -- that is the point of the
+        data structure.
+        """
+        if len(per_pe_scores) != self.machine.p:
+            raise ValueError(
+                f"need one insertion batch per PE (p={self.machine.p}, "
+                f"got {len(per_pe_scores)})"
+            )
+        for i, scores in enumerate(per_pe_scores):
+            tree = self.trees[i]
+            ops = 0.0
+            for s in scores:
+                tree.insert((s, (i, self._uid[i])))
+                self._uid[i] += 1
+                ops += tree.access_cost()
+            if ops:
+                self.machine.charge_ops_one(i, ops)
+
+    def insert_local(self, rank: int, scores) -> list[tuple[int, int]]:
+        """Insert elements on a single PE (e.g. children in B&B).
+
+        Returns the assigned uids ``(rank, counter)`` so applications can
+        attach satellite data in per-PE side tables.
+        """
+        tree = self.trees[rank]
+        ops = 0.0
+        uids = []
+        for s in scores:
+            uid = (rank, self._uid[rank])
+            tree.insert((s, uid))
+            uids.append(uid)
+            self._uid[rank] += 1
+            ops += tree.access_cost()
+        if ops:
+            self.machine.charge_ops_one(rank, ops)
+        return uids
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def total_size(self) -> int:
+        """Global element count (one all-reduction)."""
+        return int(self.machine.allreduce([len(t) for t in self.trees], op="sum")[0])
+
+    def peek_min(self):
+        """Globally smallest score without removing it (one reduction)."""
+        from ..common.ordering import TOP
+
+        mins = [t.min() if len(t) else TOP for t in self.trees]
+        v = self.machine.allreduce(mins, op="min")[0]
+        if v is TOP:
+            raise IndexError("peek_min on empty queue")
+        return v[0]
+
+    def local_sizes(self) -> list[int]:
+        return [len(t) for t in self.trees]
+
+    # ------------------------------------------------------------------
+    # deleteMin*
+    # ------------------------------------------------------------------
+    def delete_min(self, k: int) -> DeleteMinResult:
+        """Remove exactly the ``k`` globally smallest elements.
+
+        Runs exact multisequence selection (``O(alpha log^2 kp)``,
+        Theorem 5) on the trees and splits each tree at its cut rank.
+        """
+        total = self.total_size()
+        if not 1 <= k <= total:
+            raise ValueError(f"k must satisfy 1 <= k <= {total}, got {k}")
+        seqs = [TreapSeq(t) for t in self.trees]
+        value, cuts = ms_select_with_cuts(self.machine, seqs, k)
+        return self._extract(cuts, k, value, rounds=0)
+
+    def delete_min_flexible(self, k_lo: int, k_hi: int) -> DeleteMinResult:
+        """Remove the k̂ smallest elements for some ``k̂ in [k_lo, k_hi]``.
+
+        Uses ``amsSelect``; with ``k_hi - k_lo = Omega(k_hi)`` this runs
+        in ``O(alpha log kp)`` expected (Theorem 5's flexible variant).
+        """
+        seqs = [TreapSeq(t) for t in self.trees]
+        res: AmsResult = ams_select(self.machine, seqs, k_lo, k_hi)
+        return self._extract(list(res.cuts), res.k, res.value, res.rounds)
+
+    def _extract(self, cuts, k: int, threshold, rounds: int) -> DeleteMinResult:
+        batches = []
+        for i, c in enumerate(cuts):
+            taken = self.trees[i].split_at_rank(int(c))
+            batch = tuple((key[0], key[1]) for key in taken)
+            batches.append(batch)
+            self.machine.charge_ops_one(
+                i, max(1.0, c * self.trees[i].access_cost(k))
+            )
+        return DeleteMinResult(tuple(batches), k, threshold, rounds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BulkParallelPQ(p={self.machine.p}, sizes={self.local_sizes()})"

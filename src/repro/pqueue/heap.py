@@ -1,0 +1,100 @@
+"""Sequential binary min-heap (baseline substrate).
+
+A from-scratch array heap used (a) as the local queue of the
+Karp-Zhang-style baseline and (b) as the sequential best-first reference
+in the branch-and-bound application.  Supports ``push``, ``pop``,
+``peek``, bulk construction in O(n) and ``pop_k``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["BinaryHeap"]
+
+
+class BinaryHeap:
+    """Array-based binary min-heap over arbitrary comparable keys."""
+
+    def __init__(self, items: Iterable = ()):  # O(n) heapify
+        self._a: list = list(items)
+        for i in range(len(self._a) // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._a)
+
+    def __bool__(self) -> bool:
+        return bool(self._a)
+
+    def peek(self):
+        if not self._a:
+            raise IndexError("peek on empty heap")
+        return self._a[0]
+
+    def push(self, key) -> None:
+        self._a.append(key)
+        self._sift_up(len(self._a) - 1)
+
+    def pop(self):
+        if not self._a:
+            raise IndexError("pop on empty heap")
+        a = self._a
+        top = a[0]
+        last = a.pop()
+        if a:
+            a[0] = last
+            self._sift_down(0)
+        return top
+
+    def pop_k(self, k: int) -> list:
+        """Remove and return the ``min(k, len)`` smallest keys, ascending."""
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        return [self.pop() for _ in range(min(k, len(self._a)))]
+
+    def pushpop(self, key):
+        """Push then pop, in one sift (faster than the pair)."""
+        if self._a and self._a[0] < key:
+            key, self._a[0] = self._a[0], key
+            self._sift_down(0)
+        return key
+
+    def items(self) -> Iterator:
+        """Unordered iteration over the current content."""
+        return iter(self._a)
+
+    # ------------------------------------------------------------------
+    def _sift_up(self, i: int) -> None:
+        a = self._a
+        item = a[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if a[parent] <= item:
+                break
+            a[i] = a[parent]
+            i = parent
+        a[i] = item
+
+    def _sift_down(self, i: int) -> None:
+        a = self._a
+        n = len(a)
+        item = a[i]
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            if child + 1 < n and a[child + 1] < a[child]:
+                child += 1
+            if item <= a[child]:
+                break
+            a[i] = a[child]
+            i = child
+        a[i] = item
+
+    def check_invariants(self) -> None:
+        """Assert the heap property (test hook)."""
+        a = self._a
+        for i in range(1, len(a)):
+            assert a[(i - 1) >> 1] <= a[i], f"heap violated at {i}"

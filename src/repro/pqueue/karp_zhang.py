@@ -1,0 +1,116 @@
+"""Random-allocation bulk priority queue (Karp-Zhang [20] / Sanders [31]).
+
+The baseline the paper improves on: every inserted element is *sent to a
+random PE*, which keeps each local queue a representative sample of the
+global content (so bulk deletions are easy and provably balanced) but
+costs ``Theta(beta * k / p + alpha)`` communication per inserted batch --
+the communication the Section 5 queue eliminates entirely.
+
+``deleteMin*`` here follows [31]: an exact multisequence selection over
+the local queues, then local extraction.  Comparing
+:class:`RandomAllocPQ` against
+:class:`~repro.pqueue.bulk_pq.BulkParallelPQ` in
+``benchmarks/bench_priority_queue.py`` reproduces the Table 1 contrast
+(old: ``log(n/k) + alpha*(k/p + log p)`` insert+delete vs. new:
+``alpha log kp``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine import Machine
+from ..selection.sorted_select import ms_select_with_cuts
+from .heap import BinaryHeap
+
+__all__ = ["RandomAllocPQ"]
+
+
+class _HeapSeq:
+    """Sorted-sequence view of a heap via a lazily sorted snapshot."""
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self, heap: BinaryHeap):
+        self.snapshot = sorted(heap.items())
+
+    def __len__(self) -> int:
+        return len(self.snapshot)
+
+    def item(self, i: int):
+        return self.snapshot[i]
+
+    def count_le(self, v) -> int:
+        import bisect
+
+        return bisect.bisect_right(self.snapshot, v)
+
+
+class RandomAllocPQ:
+    """Bulk PQ with randomized element placement (the [20]/[31] design)."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.heaps = [BinaryHeap() for _ in range(machine.p)]
+        self._uid = [0] * machine.p
+
+    # ------------------------------------------------------------------
+    def insert(self, per_pe_scores) -> None:
+        """``insert*`` with random allocation: elements are routed to
+        uniformly random PEs via an all-to-all (the communication cost
+        this design pays and ours avoids)."""
+        p = self.machine.p
+        if len(per_pe_scores) != p:
+            raise ValueError(f"need one insertion batch per PE (p={p})")
+        matrix: list[list] = [[None] * p for _ in range(p)]
+        routed: list[dict[int, list]] = []
+        for i, scores in enumerate(per_pe_scores):
+            scores = list(scores)
+            buckets: dict[int, list] = {}
+            if scores:
+                dests = self.machine.rngs[i].integers(0, p, size=len(scores))
+                for s, d in zip(scores, dests):
+                    buckets.setdefault(int(d), []).append((s, (i, self._uid[i])))
+                    self._uid[i] += 1
+                for d, items in buckets.items():
+                    # wire format: one word per score + two per uid
+                    matrix[i][d] = np.zeros(3 * len(items))
+            routed.append(buckets)
+        self.machine.alltoall(matrix, mode="direct")
+        # deliver the routed items into the destination heaps
+        for i in range(p):
+            for d, items in routed[i].items():
+                heap = self.heaps[d]
+                for it in items:
+                    heap.push(it)
+                self.machine.charge_ops_one(d, len(items) * np.log2(max(len(heap), 2)))
+
+    # ------------------------------------------------------------------
+    def total_size(self) -> int:
+        return int(self.machine.allreduce([len(h) for h in self.heaps], op="sum")[0])
+
+    def delete_min(self, k: int) -> tuple[tuple, ...]:
+        """Remove the ``k`` globally smallest elements (exact, as in [31])."""
+        total = self.total_size()
+        if not 1 <= k <= total:
+            raise ValueError(f"k must satisfy 1 <= k <= {total}, got {k}")
+        seqs = [_HeapSeq(h) for h in self.heaps]
+        for i, s in enumerate(seqs):
+            # snapshot sort models the heap-ordered scan of [31]
+            self.machine.charge_ops_one(
+                i, max(1.0, min(len(s), k) * np.log2(max(len(s), 2)))
+            )
+        _, cuts = ms_select_with_cuts(self.machine, seqs, k)
+        batches = []
+        for i, c in enumerate(cuts):
+            batch = tuple(self.heaps[i].pop_k(int(c)))
+            batches.append(tuple((b[0], b[1]) for b in batch))
+            self.machine.charge_ops_one(
+                i, max(1.0, c * np.log2(max(len(self.heaps[i]) + c, 2)))
+            )
+        return tuple(batches)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomAllocPQ(p={self.machine.p})"

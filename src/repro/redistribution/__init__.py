@@ -1,0 +1,29 @@
+"""Adaptive data redistribution (Section 9)."""
+
+from .balance import (
+    RedistributionStats,
+    Transfer,
+    balance_plan,
+    naive_rebalance,
+    redistribute,
+)
+from .batcher import (
+    apply_network,
+    levelize,
+    merge_round_count,
+    odd_even_merge_network,
+    odd_even_mergesort_network,
+)
+
+__all__ = [
+    "RedistributionStats",
+    "Transfer",
+    "apply_network",
+    "balance_plan",
+    "levelize",
+    "merge_round_count",
+    "naive_rebalance",
+    "odd_even_merge_network",
+    "odd_even_mergesort_network",
+    "redistribute",
+]

@@ -1,0 +1,198 @@
+"""Adaptive data redistribution (Section 9).
+
+After a top-k selection the output may sit unevenly on the PEs.  The
+paper's redistribution scheme moves the *minimum* amount of data so that
+every PE ends with at most ``n_bar = ceil(n/p)`` elements, and PEs with
+more than ``n_bar`` only *send* while PEs with less only *receive*:
+
+1. compute per-PE surplus ``s_i = max(0, n_i - n_bar)`` and deficit
+   ``d_i = max(0, n_bar - n_i)``;
+2. prefix-sum both sequences -- ``s`` enumerates the elements to move,
+   ``d`` enumerates the empty slots;
+3. *merge* the two sequences (Batcher's parallel merge,
+   ``O(alpha log p)``): a sender's surplus interval overlaps exactly the
+   receivers whose deficit intervals it spans, turning the matching into
+   segmented gather/scatter transfers.
+
+Total time ``O(beta max_i n_i + alpha log p)``; crucially the moved
+volume is ``sum_i s_i`` -- adaptive in the actual imbalance, unlike a
+blind repartition (the :func:`naive_rebalance` comparator, which moves
+data even when the layout is already acceptable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine import DistArray, Machine
+from .batcher import merge_round_count
+
+__all__ = ["balance_plan", "redistribute", "naive_rebalance", "Transfer", "RedistributionStats"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One planned message: ``count`` elements from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    count: int
+
+
+@dataclass(frozen=True)
+class RedistributionStats:
+    """Diagnostics of one redistribution run."""
+
+    moved: int
+    transfers: int
+    max_sent: int
+    max_received: int
+    merge_rounds: int
+
+
+def balance_plan(sizes: np.ndarray, n_bar: int | None = None) -> list[Transfer]:
+    """Match surpluses to deficits via the two prefix sums.
+
+    Pure planning (no machine): returns the transfer list in
+    (sender, receiver) order.  ``n_bar`` defaults to ``ceil(n/p)``.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    p = sizes.size
+    n = int(sizes.sum())
+    if n_bar is None:
+        n_bar = -(-n // p)  # ceil
+    surplus = np.maximum(sizes - n_bar, 0)
+    deficit = np.maximum(n_bar - sizes, 0)
+    s_pref = np.concatenate([[0], np.cumsum(surplus)])
+    d_pref = np.concatenate([[0], np.cumsum(deficit)])
+    total_move = int(s_pref[-1])
+    transfers: list[Transfer] = []
+    if total_move == 0:
+        return transfers
+    # walk senders; for each, cover its surplus interval with receiver slots
+    for j in range(p):
+        lo, hi = int(s_pref[j]), int(s_pref[j + 1])
+        if lo == hi:
+            continue
+        # receivers whose deficit interval intersects (lo, hi]
+        first = int(np.searchsorted(d_pref, lo, side="right")) - 1
+        i = max(first, 0)
+        while lo < hi and i < p:
+            r_lo, r_hi = int(d_pref[i]), int(d_pref[i + 1])
+            take = min(hi, r_hi) - max(lo, r_lo)
+            if take > 0:
+                transfers.append(Transfer(j, i, take))
+                lo += take
+            i += 1
+    return transfers
+
+
+def redistribute(
+    machine: Machine, data: DistArray, *, n_bar: int | None = None
+) -> tuple[DistArray, RedistributionStats]:
+    """Balance ``data`` so every PE holds at most ``ceil(n/p)`` elements.
+
+    Senders part with their *tail* elements (the chunk order of kept
+    elements is preserved); receivers append.  Returns the balanced
+    array and movement statistics.  The prefix sums are real ``scan``
+    collectives; the Batcher merge is charged as its round count times
+    one constant-size exchange per PE.
+    """
+    p = machine.p
+    sizes = data.sizes()
+    n = int(machine.allreduce(list(sizes), op="sum")[0])
+    if n_bar is None:
+        n_bar = -(-n // p)
+
+    # prefix sums over surpluses and deficits (two scans, or one
+    # two-vector scan; we use one scan of a 2-vector for honesty)
+    surplus = np.maximum(sizes - n_bar, 0)
+    deficit = np.maximum(n_bar - sizes, 0)
+    machine.scan(
+        [np.array([surplus[i], deficit[i]], dtype=np.int64) for i in range(p)],
+        op="sum",
+    )
+    # Batcher merge of the two enumerations: log p rounds of
+    # constant-size compare-exchanges
+    rounds = merge_round_count(2 * p)
+    for _ in range(rounds):
+        machine.clock.sync_collective(machine.cost.alpha + machine.cost.beta * 2.0)
+    machine.metrics.by_kind["batcher_merge"] = (
+        machine.metrics.by_kind.get("batcher_merge", 0.0) + 2.0 * rounds * p
+    )
+    machine.metrics.calls["batcher_merge"] = (
+        machine.metrics.calls.get("batcher_merge", 0) + 1
+    )
+
+    plan = balance_plan(sizes, n_bar)
+
+    # execute: senders ship tail slices, receivers append
+    chunks = [np.asarray(c) for c in data.chunks]
+    keep = list(chunks)
+    outgoing: dict[int, list[np.ndarray]] = {}
+    sent_ptr = {}
+    for t in plan:
+        if t.src not in sent_ptr:
+            sent_ptr[t.src] = int(sizes[t.src])
+        hi = sent_ptr[t.src]
+        lo = hi - t.count
+        payload = chunks[t.src][lo:hi]
+        sent_ptr[t.src] = lo
+        machine.send(t.src, t.dst, payload, kind="redistribute")
+        outgoing.setdefault(t.dst, []).append(payload)
+    new_chunks = []
+    sent_per_pe = np.zeros(p, dtype=np.int64)
+    recv_per_pe = np.zeros(p, dtype=np.int64)
+    for t in plan:
+        sent_per_pe[t.src] += t.count
+        recv_per_pe[t.dst] += t.count
+    for i in range(p):
+        base = chunks[i][: int(sizes[i] - sent_per_pe[i])]
+        extra = outgoing.get(i, [])
+        new_chunks.append(np.concatenate([base] + extra) if extra else base)
+    stats = RedistributionStats(
+        moved=int(sent_per_pe.sum()),
+        transfers=len(plan),
+        max_sent=int(sent_per_pe.max(initial=0)),
+        max_received=int(recv_per_pe.max(initial=0)),
+        merge_rounds=rounds,
+    )
+    return DistArray(machine, new_chunks), stats
+
+
+def naive_rebalance(machine: Machine, data: DistArray) -> tuple[DistArray, int]:
+    """Blind repartition comparator: re-split the global order evenly.
+
+    Every element whose contiguous-layout position falls on another PE
+    moves; volume can approach ``n`` even for mild imbalance.  Used by
+    ``benchmarks/bench_redistribution.py`` as the contrast to the
+    adaptive scheme.
+    """
+    p = machine.p
+    sizes = data.sizes()
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    n = int(offsets[-1])
+    target = np.array_split(np.arange(n), p)
+    bounds = [(int(t[0]), int(t[-1]) + 1) if len(t) else (0, 0) for t in target]
+    matrix: list[list] = [[None] * p for _ in range(p)]
+    moved = 0
+    for i in range(p):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        for j in range(p):
+            t_lo, t_hi = bounds[j]
+            a, b = max(lo, t_lo), min(hi, t_hi)
+            if a < b:
+                piece = data.chunks[i][a - lo : b - lo]
+                if i != j:
+                    moved += b - a
+                matrix[i][j] = piece
+    received = machine.alltoall(matrix, mode="direct")
+    new_chunks = []
+    for j in range(p):
+        pieces = [x for x in received[j] if x is not None and len(x)]
+        new_chunks.append(
+            np.concatenate(pieces) if pieces else data.chunks[j][:0]
+        )
+    return DistArray(machine, new_chunks), moved

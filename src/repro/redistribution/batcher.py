@@ -1,0 +1,158 @@
+"""Batcher's odd-even merge network [7] (Section 9's merging step).
+
+Merging the two prefix-sum sequences (deficit slots and surplus
+elements) is done with Batcher's parallel merge: a data-oblivious
+network of compare-exchange operations of ``O(log n)`` parallel depth.
+We expose
+
+* :func:`odd_even_merge_network` / :func:`odd_even_mergesort_network` --
+  the comparator lists (canonical Batcher recursion; power-of-two wire
+  counts, as in the original construction),
+* :func:`merge_sorted_pair` -- arbitrary-length merge via +inf padding,
+* :func:`levelize` -- greedy grouping of a comparator list into rounds
+  of disjoint pairs (the parallel schedule; its length is the
+  ``alpha``-round count charged by the redistribution planner), and
+* :func:`apply_network` -- an executor used by tests to verify the
+  networks really merge/sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "odd_even_merge_network",
+    "odd_even_mergesort_network",
+    "merge_sorted_pair",
+    "levelize",
+    "apply_network",
+    "merge_round_count",
+]
+
+
+def next_pow2(n: int) -> int:
+    q = 1
+    while q < n:
+        q *= 2
+    return q
+
+
+def _check_pow2(n: int) -> None:
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValueError(f"Batcher networks need a power-of-two size, got {n}")
+
+
+def odd_even_merge_network(n: int) -> list[tuple[int, int]]:
+    """Comparators merging two sorted halves of ``0..n-1`` (Batcher).
+
+    Precondition: positions ``[0, n/2)`` and ``[n/2, n)`` each hold a
+    sorted run; afterwards the whole range is sorted.  ``n`` must be a
+    power of two (pad with +inf otherwise, cf.
+    :func:`merge_sorted_pair`).
+    """
+    _check_pow2(n)
+    if n <= 1:
+        return []
+    pairs: list[tuple[int, int]] = []
+
+    def merge(lo: int, span: int, r: int) -> None:
+        step = r * 2
+        if step < span:
+            merge(lo, span, step)       # even subsequence
+            merge(lo + r, span, step)   # odd subsequence
+            i = lo + r
+            while i + r < lo + span:
+                pairs.append((i, i + r))
+                i += step
+        else:
+            pairs.append((lo, lo + r))
+
+    merge(0, n, 1)
+    return pairs
+
+
+def odd_even_mergesort_network(n: int) -> list[tuple[int, int]]:
+    """Full Batcher odd-even merge-sort network on ``0..n-1`` wires
+    (power of two)."""
+    _check_pow2(n)
+    if n <= 1:
+        return []
+    pairs: list[tuple[int, int]] = []
+
+    def sort(lo: int, span: int) -> None:
+        if span > 1:
+            m = span // 2
+            sort(lo, m)
+            sort(lo + m, m)
+            merge(lo, span, 1)
+
+    def merge(lo: int, span: int, r: int) -> None:
+        step = r * 2
+        if step < span:
+            merge(lo, span, step)
+            merge(lo + r, span, step)
+            i = lo + r
+            while i + r < lo + span:
+                pairs.append((i, i + r))
+                i += step
+        else:
+            pairs.append((lo, lo + r))
+
+    sort(0, n)
+    return pairs
+
+
+def merge_sorted_pair(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two sorted arrays with the odd-even network (any lengths).
+
+    Pads each run with +inf up to the next power of two, runs the
+    network, strips the padding.  Used by tests; the redistribution
+    planner only needs the *round count* of this operation.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    half = next_pow2(max(len(a), len(b), 1))
+    buf = np.full(2 * half, np.inf)
+    buf[: len(a)] = a
+    buf[half : half + len(b)] = b
+    out = apply_network(buf, odd_even_merge_network(2 * half))
+    return out[: len(a) + len(b)]
+
+
+def levelize(pairs: list[tuple[int, int]]) -> list[list[tuple[int, int]]]:
+    """Group a comparator sequence into rounds of disjoint pairs.
+
+    Greedy ASAP scheduling: a comparator runs one round after the last
+    earlier comparator sharing one of its wires.  For Batcher's merge
+    this yields the textbook ``O(log n)`` depth.
+    """
+    last_round: dict[int, int] = {}
+    rounds: list[list[tuple[int, int]]] = []
+    for i, j in pairs:
+        r = max(last_round.get(i, -1), last_round.get(j, -1)) + 1
+        if r == len(rounds):
+            rounds.append([])
+        rounds[r].append((i, j))
+        last_round[i] = r
+        last_round[j] = r
+    return rounds
+
+
+def merge_round_count(n: int) -> int:
+    """Parallel depth of the odd-even merge on ``n`` wires (padded up)."""
+    return len(levelize(odd_even_merge_network(next_pow2(max(n, 2)))))
+
+
+def apply_network(values: np.ndarray, pairs) -> np.ndarray:
+    """Run a comparator list (or round list) over a copy of ``values``."""
+    out = np.array(values, copy=True)
+    flat = []
+    for entry in pairs:
+        if isinstance(entry, list):
+            flat.extend(entry)
+        else:
+            flat.append(entry)
+    for i, j in flat:
+        if out[i] > out[j]:
+            out[i], out[j] = out[j], out[i]
+    return out

@@ -1,0 +1,301 @@
+"""Approximate multisequence selection with flexible k (Section 4.3).
+
+``amsSelect`` (Algorithm 2) returns the k̂ smallest elements for some
+k̂ in a caller-supplied range ``[k_lo, k_hi]``, trading exactness of the
+output *size* for a latency of ``O(log k + alpha log p)`` -- a full
+``log kp`` factor below exact multisequence selection.
+
+The estimator exploits locally sorted data: a Bernoulli(rho) sample's
+smallest element has geometrically distributed rank, so each PE draws
+one geometric deviate ``x`` (constant time), reads its window's x-th
+element, and a single min-reduction yields a truthful estimate ``v`` of
+an element with rank ``~1/rho``.  Counting ``<= v`` via binary search
+plus one sum-reduction either finishes (count in range) or recurses on
+the half bracketing the target.  When the target rank is close to the
+total size ``n``, the dual *max-based* estimator is used (sampling from
+the top), which is what the ``k_lo < n - k_hi`` branch switches on.
+
+The success-probability-maximizing sampling rates are taken verbatim
+from Algorithm 2:
+
+* min-based: ``rho = 1 - ((k_lo - 1) / k_hi) ^ (1 / (k_hi - k_lo + 1))``
+* max-based: ``rho = 1 - ((n - k_hi) / (n - k_lo + 1))
+  ^ (1 / (k_hi - k_lo + 1))``
+
+:func:`ams_select_batched` implements the "multiple concurrent trials"
+refinement (Theorem 4): ``d`` estimates ride in one vector-valued
+reduction, so the expected number of rounds drops to O(1) already for
+``k_hi - k_lo = Omega(k/d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.ordering import BOTTOM, TOP
+from ..common.validation import check_rank_range
+from ..machine import Machine
+from .accessors import SortedSequence, as_sorted_seq
+from .sorted_select import ms_select_with_cuts
+
+__all__ = ["ams_select", "ams_select_batched", "AmsResult"]
+
+_POS_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class AmsResult:
+    """Result of a flexible selection.
+
+    Attributes
+    ----------
+    value:
+        The threshold: the k̂-th smallest element overall.
+    k:
+        The achieved output size k̂ (``k_lo <= k <= k_hi``).
+    cuts:
+        Per-PE count of selected elements (the k̂ smallest are exactly
+        the union of each PE's first ``cuts[i]`` window elements).
+    rounds:
+        Estimator rounds used (each costs O(alpha log p)).
+    exact_fallback:
+        True if the safety fallback to exact ``msSelect`` fired.
+    """
+
+    value: object
+    k: int
+    cuts: tuple[int, ...]
+    rounds: int
+    exact_fallback: bool = False
+
+
+def _min_based_rate(k_lo: int, k_hi: int) -> float:
+    """Sampling rate of the min-based estimator (Algorithm 2)."""
+    if k_lo <= 1:
+        return 1.0
+    return 1.0 - ((k_lo - 1.0) / k_hi) ** (1.0 / (k_hi - k_lo + 1.0))
+
+
+def _max_based_rate(k_lo: int, k_hi: int, n: int) -> float:
+    """Sampling rate of the max-based (dual) estimator (Algorithm 2)."""
+    if k_hi >= n:
+        return 1.0
+    return 1.0 - ((n - k_hi) / (n - k_lo + 1.0)) ** (1.0 / (k_hi - k_lo + 1.0))
+
+
+def ams_select(
+    machine: Machine,
+    seqs,
+    k_lo: int,
+    k_hi: int,
+    *,
+    max_rounds: int = 60,
+) -> AmsResult:
+    """Select the k̂ smallest elements with ``k_lo <= k̂ <= k_hi``.
+
+    Expected ``O(log k_hi + alpha log p)`` when
+    ``k_hi - k_lo = Omega(k_hi)`` (Theorem 3).  Falls back to exact
+    :func:`~repro.selection.sorted_select.ms_select_with_cuts` (rank
+    ``k_lo``) after ``max_rounds`` unsuccessful estimator rounds, which
+    keeps the worst case terminating without affecting the expectation.
+    """
+    seqs = [as_sorted_seq(s) for s in seqs]
+    p = machine.p
+    if len(seqs) != p:
+        raise ValueError(f"need one sequence per PE (p={p}, got {len(seqs)})")
+    n = int(machine.allreduce([len(s) for s in seqs], op="sum")[0])
+    k_lo, k_hi = check_rank_range(k_lo, k_hi, n)
+
+    # window state: accepted[i] elements of PE i are already committed to
+    # the output; [lo, hi) is the remaining candidate window
+    lo = [0] * p
+    hi = [len(s) for s in seqs]
+    accepted = [0] * p
+    accepted_total = 0
+    cur_lo, cur_hi, cur_n = k_lo, k_hi, n  # relative to remaining windows
+
+    for rnd in range(1, max_rounds + 1):
+        v = _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n)
+        if v is None:  # no PE produced a sample: retry
+            continue
+
+        j = []
+        for i in range(p):
+            le = int(np.clip(seqs[i].count_le(v), lo[i], hi[i])) - lo[i]
+            j.append(le)
+            machine.charge_ops_one(i, np.log2(max(hi[i] - lo[i], 2)))
+        count = int(machine.allreduce(j, op="sum")[0])
+
+        if count < cur_lo:
+            # everything <= v is accepted; recurse above it
+            for i in range(p):
+                accepted[i] += j[i]
+                lo[i] += j[i]
+            accepted_total += count
+            cur_lo -= count
+            cur_hi -= count
+            cur_n -= count
+        elif count > cur_hi:
+            for i in range(p):
+                hi[i] = lo[i] + j[i]
+            cur_n = count
+        else:
+            cuts = tuple(accepted[i] + j[i] for i in range(p))
+            return AmsResult(v, accepted_total + count, cuts, rnd)
+
+    # Safety net: exact selection of rank cur_lo among the remaining windows
+    value, cuts = _exact_fallback(machine, seqs, lo, hi, accepted, cur_lo)
+    return AmsResult(value, accepted_total + cur_lo, cuts, max_rounds, True)
+
+
+def _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n):
+    """One estimator round: geometric deviate per PE + min/max reduction."""
+    p = machine.p
+    use_min = cur_lo < cur_n - cur_hi
+    if use_min:
+        rho = _min_based_rate(cur_lo, cur_hi)
+        picks = []
+        for i in range(p):
+            size = hi[i] - lo[i]
+            x = int(machine.rngs[i].geometric(rho)) if rho < 1.0 else 1
+            picks.append(seqs[i].item(lo[i] + x - 1) if 1 <= x <= size else TOP)
+            machine.charge_ops_one(i, np.log2(max(size, 2)))
+        v = machine.allreduce(picks, op="min")[0]
+        return None if v is TOP else v
+    rho = _max_based_rate(cur_lo, cur_hi, cur_n)
+    picks = []
+    for i in range(p):
+        size = hi[i] - lo[i]
+        x = int(machine.rngs[i].geometric(rho)) if rho < 1.0 else 1
+        picks.append(seqs[i].item(hi[i] - x) if 1 <= x <= size else BOTTOM)
+        machine.charge_ops_one(i, np.log2(max(size, 2)))
+    v = machine.allreduce(picks, op="max")[0]
+    return None if v is BOTTOM else v
+
+
+def _exact_fallback(machine, seqs, lo, hi, accepted, k_rel):
+    """Exact rank-``k_rel`` selection on the remaining windows."""
+
+    class _Window:
+        __slots__ = ("seq", "lo", "hi")
+
+        def __init__(self, seq, lo_, hi_):
+            self.seq, self.lo, self.hi = seq, lo_, hi_
+
+        def __len__(self):
+            return self.hi - self.lo
+
+        def item(self, i):
+            return self.seq.item(self.lo + i)
+
+        def count_le(self, v):
+            return int(np.clip(self.seq.count_le(v), self.lo, self.hi)) - self.lo
+
+    windows = [_Window(seqs[i], lo[i], hi[i]) for i in range(machine.p)]
+    value, rel_cuts = ms_select_with_cuts(machine, windows, k_rel)
+    cuts = tuple(accepted[i] + rel_cuts[i] for i in range(machine.p))
+    return value, cuts
+
+
+def ams_select_batched(
+    machine: Machine,
+    seqs,
+    k_lo: int,
+    k_hi: int,
+    *,
+    d: int = 8,
+    max_rounds: int = 40,
+) -> AmsResult:
+    """Flexible selection with ``d`` concurrent estimator trials
+    (Theorem 4).
+
+    All ``d`` pivot estimates travel in a single vector-valued
+    min-reduction and a single vector-valued sum-reduction per round, so
+    a round costs ``O(d log k + beta d + alpha log p)`` and succeeds with
+    constant probability already for ``k_hi - k_lo = Omega(k_hi / d)``.
+    """
+    if d < 1:
+        raise ValueError(f"need at least one trial, got d={d}")
+    seqs = [as_sorted_seq(s) for s in seqs]
+    p = machine.p
+    if len(seqs) != p:
+        raise ValueError(f"need one sequence per PE (p={p}, got {len(seqs)})")
+    n = int(machine.allreduce([len(s) for s in seqs], op="sum")[0])
+    k_lo, k_hi = check_rank_range(k_lo, k_hi, n)
+
+    lo = [0] * p
+    hi = [len(s) for s in seqs]
+    accepted = [0] * p
+    accepted_total = 0
+    cur_lo, cur_hi, cur_n = k_lo, k_hi, n
+
+    for rnd in range(1, max_rounds + 1):
+        rho = _min_based_rate(cur_lo, cur_hi)
+        picks = np.full((p, d), _POS_INF)
+        for i in range(p):
+            size = hi[i] - lo[i]
+            if size <= 0:
+                continue
+            xs = (
+                machine.rngs[i].geometric(rho, size=d)
+                if rho < 1.0
+                else np.ones(d, dtype=np.int64)
+            )
+            valid = xs <= size
+            if valid.any():
+                idx = lo[i] + xs[valid].astype(np.int64) - 1
+                vals = np.array([seqs[i].item(int(t)) for t in idx], dtype=np.float64)
+                picks[i, valid] = vals
+            machine.charge_ops_one(i, d * np.log2(max(size, 2)))
+        pivots = machine.allreduce([picks[i] for i in range(p)], op="min")[0]
+        finite = np.isfinite(pivots)
+        if not finite.any():
+            continue
+
+        counts_local = np.zeros((p, d), dtype=np.int64)
+        for i in range(p):
+            for t in range(d):
+                if not finite[t]:
+                    continue
+                le = int(np.clip(seqs[i].count_le(pivots[t]), lo[i], hi[i])) - lo[i]
+                counts_local[i, t] = le
+            machine.charge_ops_one(i, d * np.log2(max(hi[i] - lo[i], 2)))
+        counts = machine.allreduce([counts_local[i] for i in range(p)], op="sum")[0]
+
+        ok = finite & (counts >= cur_lo) & (counts <= cur_hi)
+        if ok.any():
+            t = int(np.flatnonzero(ok)[0])
+            v = float(pivots[t])
+            cuts = tuple(accepted[i] + int(counts_local[i, t]) for i in range(p))
+            return AmsResult(v, accepted_total + int(counts[t]), cuts, rnd)
+
+        # recurse between the largest underestimate and the smallest
+        # overestimate among the d failed trials
+        under = finite & (counts < cur_lo)
+        over = finite & (counts > cur_hi)
+        if under.any():
+            t = int(np.argmax(np.where(under, counts, -1)))
+            c = int(counts[t])
+            for i in range(p):
+                accepted[i] += int(counts_local[i, t])
+                lo[i] += int(counts_local[i, t])
+            accepted_total += c
+            cur_lo -= c
+            cur_hi -= c
+            cur_n -= c
+        if over.any():
+            masked = np.where(over, counts, np.iinfo(np.int64).max)
+            t = int(np.argmin(masked))
+            # window cuts for the over-pivot are recomputed against the
+            # (possibly just advanced) lo, since counts_local predate the
+            # acceptance step above
+            v_over = pivots[t]
+            for i in range(p):
+                le = int(np.clip(seqs[i].count_le(v_over), lo[i], len(seqs[i])))
+                hi[i] = max(lo[i], le)
+            cur_n = int(machine.allreduce([hi[i] - lo[i] for i in range(p)], op="sum")[0])
+
+    value, cuts = _exact_fallback(machine, seqs, lo, hi, accepted, cur_lo)
+    return AmsResult(value, accepted_total + cur_lo, cuts, max_rounds, True)

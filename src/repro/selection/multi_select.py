@@ -1,0 +1,148 @@
+"""Distributed multiselection: many ranks in one pass.
+
+A natural library extension of Section 4.1 (the sequential analogue is
+classic multiselection, cf. the multisequence selection literature the
+paper cites [35, 38]): given ranks ``k_1 < ... < k_m``, find all m order
+statistics.  Running Algorithm 1 independently m times costs
+``O(m n/p)`` local work; sharing the partitioning between ranks brings
+it down to ``O(n/p log m)`` -- each recursion level splits both the data
+*and* the rank set, so every element takes part in at most
+``O(log m + log_p n)`` partitioning rounds.
+
+:func:`quantiles` exposes the everyday use case (percentiles /
+histogram boundaries of a distributed vector).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.sampling import bernoulli_sample
+from ..machine import DistArray, Machine
+from .sequential import fr_pivots
+
+__all__ = ["multi_select", "quantiles"]
+
+
+def multi_select(
+    machine: Machine,
+    data: DistArray,
+    ks,
+    *,
+    base_case: int | None = None,
+    max_depth: int = 80,
+) -> list:
+    """Values of all requested order statistics (1-based ranks).
+
+    Returns results in the order of the *sorted, deduplicated* ranks --
+    use :func:`quantiles` for a friendlier interface.  Cost: shared
+    recursion over disjoint segments; each segment pays one Bernoulli
+    sample + one vector all-reduction per level.
+    """
+    n = data.global_size
+    ks_sorted = sorted(set(int(k) for k in ks))
+    if not ks_sorted:
+        return []
+    if ks_sorted[0] < 1 or ks_sorted[-1] > n:
+        raise ValueError(f"ranks must lie in 1..{n}, got {ks_sorted[0]}..{ks_sorted[-1]}")
+    if base_case is None:
+        base_case = int(max(64, 4 * np.sqrt(machine.p)))
+
+    out: dict[int, object] = {}
+    # work list of (chunks, ranks-relative, rank-offset) segments
+    segments = [([np.asarray(c) for c in data.chunks], ks_sorted, 0)]
+    depth = 0
+    while segments:
+        depth += 1
+        next_segments = []
+        for chunks, ranks, offset in segments:
+            sizes = np.array([c.size for c in chunks], dtype=np.int64)
+            seg_n = int(machine.allreduce(list(sizes), op="sum")[0])
+            if seg_n <= base_case or depth >= max_depth:
+                _finish_segment(machine, chunks, ranks, offset, out)
+                continue
+
+            rho = min(1.0, np.sqrt(machine.p) / seg_n)
+            local_samples = [
+                bernoulli_sample(machine.rngs[i], chunks[i], rho)
+                for i in range(machine.p)
+            ]
+            machine.charge_ops([max(1.0, rho * s) for s in sizes])
+            gathered = machine.allgather(local_samples)[0]
+            nonempty = [s for s in gathered if s.size]
+            if not nonempty:
+                next_segments.append((chunks, ranks, offset))
+                continue
+            sample = np.sort(np.concatenate(nonempty))
+            machine.charge_ops(sample.size * np.log2(max(sample.size, 2)))
+
+            # pivot around the median *rank* of this segment
+            mid_rank = ranks[len(ranks) // 2]
+            lo_p, hi_p = fr_pivots(sample, mid_rank, seg_n)
+
+            parts_lo, parts_mid, parts_hi = [], [], []
+            n_lo = np.zeros(machine.p, dtype=np.int64)
+            n_mid = np.zeros(machine.p, dtype=np.int64)
+            for i in range(machine.p):
+                c = chunks[i]
+                below = c < lo_p
+                mid = (c >= lo_p) & (c <= hi_p)
+                parts_lo.append(c[below])
+                parts_mid.append(c[mid])
+                parts_hi.append(c[~below & ~mid])
+                n_lo[i] = parts_lo[-1].size
+                n_mid[i] = parts_mid[-1].size
+            machine.charge_ops(sizes.astype(np.float64))
+            counts = machine.allreduce(
+                [np.array([n_lo[i], n_mid[i]]) for i in range(machine.p)], op="sum"
+            )[0]
+            na, nb = int(counts[0]), int(counts[1])
+
+            lo_ranks = [k for k in ranks if k <= na]
+            mid_ranks = [k - na for k in ranks if na < k <= na + nb]
+            hi_ranks = [k - na - nb for k in ranks if k > na + nb]
+            if lo_ranks:
+                next_segments.append((parts_lo, lo_ranks, offset))
+            if mid_ranks:
+                if lo_p == hi_p:
+                    for k in mid_ranks:
+                        out[offset + na + k] = (
+                            lo_p.item() if hasattr(lo_p, "item") else lo_p
+                        )
+                else:
+                    next_segments.append((parts_mid, mid_ranks, offset + na))
+            if hi_ranks:
+                next_segments.append((parts_hi, hi_ranks, offset + na + nb))
+        segments = next_segments
+
+    return [out[k] for k in ks_sorted]
+
+
+def _finish_segment(machine, chunks, ranks, offset, out) -> None:
+    """Gather a small residual segment to PE 0 and read off its ranks."""
+    gathered = machine.gather(chunks, root=0)[0]
+    rest = np.sort(np.concatenate([c for c in gathered if c.size]))
+    machine.charge_ops_one(0, max(1, rest.size) * np.log2(max(rest.size, 2)))
+    values = [rest[min(k, rest.size) - 1].item() for k in ranks]
+    values = machine.broadcast(values, root=0)[0]
+    for k, v in zip(ranks, values):
+        out[offset + k] = v
+
+
+def quantiles(machine: Machine, data: DistArray, qs) -> list:
+    """Distributed quantiles (e.g. ``qs=[0.25, 0.5, 0.75]``).
+
+    Uses the nearest-rank definition: quantile q is the element of rank
+    ``ceil(q * n)`` (rank 1 for q = 0).  Returns values in the order of
+    the given ``qs``.
+    """
+    n = data.global_size
+    if n == 0:
+        raise ValueError("quantiles of an empty array")
+    qs = list(qs)
+    if any(not 0.0 <= q <= 1.0 for q in qs):
+        raise ValueError(f"quantiles must lie in [0, 1], got {qs}")
+    ranks = [max(1, int(np.ceil(q * n))) for q in qs]
+    ordered = multi_select(machine, data, ranks)
+    by_rank = dict(zip(sorted(set(ranks)), ordered))
+    return [by_rank[r] for r in ranks]

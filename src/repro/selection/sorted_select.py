@@ -1,0 +1,195 @@
+"""Multisequence selection from locally sorted input (Appendix A, Alg. 9).
+
+Each PE holds a locally *sorted* sequence; we must find the globally
+k-th smallest element.  The algorithm is distributed quickselect:
+
+1. pick a global element uniformly at random as pivot ``v`` (the same
+   random rank is drawn on every PE from the synchronized stream; a
+   prefix sum over window sizes locates its owner, which shares ``v``),
+2. every PE finds its split position by *binary search* (sortedness
+   replaces the linear partition of unsorted quickselect),
+3. a sum-reduction of the split positions decides the recursion side.
+
+Expected ``O((alpha log p + log min(n/p, k)) * log min(kp, n))``, i.e.
+``O(alpha log^2 kp)`` (Theorem 16).  The search can be restricted to the
+first ``k`` elements of every local sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.ordering import TOP
+from ..common.validation import check_rank
+from ..machine import Machine
+from .accessors import SortedSequence, as_sorted_seq
+
+__all__ = ["ms_select", "ms_select_with_cuts", "MsSelectStats"]
+
+
+@dataclass(frozen=True)
+class MsSelectStats:
+    """Diagnostics of one msSelect run (latency is rounds-dominated)."""
+
+    value: object
+    rounds: int
+    comm_rounds: int
+
+
+def ms_select(
+    machine: Machine,
+    seqs,
+    k: int,
+    *,
+    base_case: int = 64,
+    max_rounds: int = 200,
+    return_stats: bool = False,
+):
+    """Globally k-th smallest element of ``p`` locally sorted sequences.
+
+    Parameters
+    ----------
+    seqs:
+        One :class:`SortedSequence` (or ascending ``np.ndarray``) per PE.
+    k:
+        Target rank, 1-based.
+    base_case:
+        Remaining window size below which PE 0 finishes sequentially.
+    """
+    seqs = [as_sorted_seq(s) for s in seqs]
+    if len(seqs) != machine.p:
+        raise ValueError(f"need one sequence per PE (p={machine.p}, got {len(seqs)})")
+    n = int(machine.allreduce([len(s) for s in seqs], op="sum")[0])
+    k = check_rank(k, n)
+
+    # windows of global candidate ranks per PE; restrict to first k
+    lo = [0] * machine.p
+    hi = [min(len(s), k) for s in seqs]
+    rounds = 0
+    comm_rounds = 1  # the size all-reduce above
+
+    while True:
+        sizes = [hi[i] - lo[i] for i in range(machine.p)]
+        total = sum(sizes)  # driver-side mirror of the tracked windows
+        if total <= max(base_case, 1) or rounds >= max_rounds:
+            value = _sorted_base_case(machine, seqs, lo, hi, k)
+            comm_rounds += 2
+            if return_stats:
+                return MsSelectStats(value, rounds, comm_rounds)
+            return value
+
+        # ------------------------------------------------------------
+        # Pivot: the g-th element of the remaining windows, g uniform.
+        # The draw is replicated (synchronized RNG); the prefix sum over
+        # window sizes identifies the owner PE, which broadcasts v.
+        # ------------------------------------------------------------
+        g = int(machine.shared_rng.integers(total))
+        offsets = machine.exscan(sizes, op="sum")
+        candidates = []
+        for i in range(machine.p):
+            if offsets[i] <= g < offsets[i] + sizes[i]:
+                v_local = seqs[i].item(lo[i] + (g - offsets[i]))
+                machine.charge_ops_one(i, np.log2(max(sizes[i], 2)))
+                candidates.append(v_local)
+            else:
+                candidates.append(TOP)
+        v = machine.allreduce(candidates, op="min")[0]
+        comm_rounds += 2
+
+        # ------------------------------------------------------------
+        # Binary-search split of every window at v: j = #(< v), e = #(== v)
+        # ------------------------------------------------------------
+        j = np.zeros(machine.p, dtype=np.int64)
+        e = np.zeros(machine.p, dtype=np.int64)
+        for i in range(machine.p):
+            le = int(np.clip(seqs[i].count_le(v), lo[i], hi[i])) - lo[i]
+            # count strictly-below via <=-count of the predecessor probe:
+            # for floats we can search with side='left' semantics through
+            # count_le on a slightly smaller probe; do it exactly instead:
+            lt = _count_lt(seqs[i], v, lo[i], hi[i])
+            j[i] = lt
+            e[i] = le - lt
+            machine.charge_ops_one(i, np.log2(max(sizes[i], 2)))
+        counts = machine.allreduce(
+            [np.array([j[i], e[i]], dtype=np.int64) for i in range(machine.p)], op="sum"
+        )[0]
+        n_lt, n_eq = int(counts[0]), int(counts[1])
+        comm_rounds += 1
+
+        if n_lt >= k:
+            hi = [lo[i] + int(j[i]) for i in range(machine.p)]
+        elif n_lt + n_eq >= k:
+            if return_stats:
+                return MsSelectStats(v, rounds + 1, comm_rounds)
+            return v
+        else:
+            lo = [lo[i] + int(j[i] + e[i]) for i in range(machine.p)]
+            k -= n_lt + n_eq
+        rounds += 1
+
+
+def _count_lt(seq: SortedSequence, v, lo: int, hi: int) -> int:
+    """Elements strictly below ``v`` inside window ``[lo, hi)``."""
+    arr = getattr(seq, "arr", None)
+    if arr is not None:
+        return int(np.clip(np.searchsorted(arr, v, side="left"), lo, hi)) - lo
+    # generic adapter: binary search on item() for the left boundary
+    a, b = lo, hi
+    while a < b:
+        m = (a + b) // 2
+        if seq.item(m) < v:
+            a = m + 1
+        else:
+            b = m
+    return a - lo
+
+
+def _sorted_base_case(machine: Machine, seqs, lo, hi, k: int):
+    """Gather the residual windows on PE 0 and finish sequentially.
+
+    Implemented over Python lists so it also works for tuple-valued keys
+    (the bulk priority queue selects over ``(score, uid)`` pairs).
+    """
+    windows = []
+    for i in range(machine.p):
+        w = [seqs[i].item(x) for x in range(lo[i], hi[i])]
+        windows.append(w)
+        machine.charge_ops_one(i, max(1, hi[i] - lo[i]))
+    gathered = machine.gather(windows, root=0)[0]
+    rest = sorted(x for w in gathered for x in w)
+    machine.charge_ops_one(0, len(rest) * np.log2(max(len(rest), 2)))
+    value = rest[min(k, len(rest)) - 1]
+    value = value.item() if hasattr(value, "item") else value
+    return machine.broadcast(value, root=0)[0]
+
+
+def ms_select_with_cuts(
+    machine: Machine, seqs, k: int, **kwargs
+) -> tuple[object, list[int]]:
+    """k-th smallest plus exact per-PE selection counts.
+
+    Returns ``(value, cuts)`` where ``cuts[i]`` is the number of elements
+    PE ``i`` contributes to the global k smallest; ``sum(cuts) == k``
+    exactly (duplicate thresshold elements are granted in PE order via a
+    prefix sum, as in Section 4's output convention).
+    """
+    seqs = [as_sorted_seq(s) for s in seqs]
+    value = ms_select(machine, seqs, k, **kwargs)
+    lt = []
+    eq = []
+    for i in range(machine.p):
+        n_le = seqs[i].count_le(value)
+        n_lt = _count_lt(seqs[i], value, 0, len(seqs[i]))
+        lt.append(n_lt)
+        eq.append(n_le - n_lt)
+        machine.charge_ops_one(i, np.log2(max(len(seqs[i]), 2)))
+    n_lt_total = int(machine.allreduce(lt, op="sum")[0])
+    quota = k - n_lt_total
+    eq_before = machine.exscan(eq, op="sum")
+    cuts = []
+    for i in range(machine.p):
+        keep_eq = int(np.clip(quota - eq_before[i], 0, eq[i]))
+        cuts.append(lt[i] + keep_eq)
+    return value, cuts

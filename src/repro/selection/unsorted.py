@@ -1,0 +1,213 @@
+"""Distributed selection from unsorted input (Section 4.1, Algorithm 1).
+
+The communication-efficient Floyd-Rivest variant: in every level of
+recursion each PE draws a *Bernoulli* sample of its local slice with
+probability ``sqrt(p) / n`` (no random data redistribution is needed --
+Theorem 1's key observation), the union of samples (expected size
+``sqrt(p)``) is shared and sorted, the two pivots around the target rank
+are picked, and every PE partitions its slice into
+
+    ``a < lo_pivot <= b <= hi_pivot < c``.
+
+A two-word all-reduction yields the global part sizes and the recursion
+continues in the part containing rank ``k``.
+
+Expected running time ``O(n/p + beta * min(sqrt(p) log_p n, n/p)
++ alpha * log n)`` (Theorem 1); for constant alpha/beta this is
+``O(n/p + log p)`` (Corollary 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.sampling import bernoulli_sample
+from ..common.validation import check_rank
+from ..machine import DistArray, Machine
+
+__all__ = ["select_kth", "select_topk_smallest", "select_topk_largest", "SelectionStats"]
+
+
+@dataclass(frozen=True)
+class SelectionStats:
+    """Diagnostics of one distributed selection run."""
+
+    value: float
+    rounds: int
+    sample_total: int
+    base_case_size: int
+
+
+def select_kth(
+    machine: Machine,
+    data: DistArray,
+    k: int,
+    *,
+    sample_factor: float = 1.0,
+    base_case: int | None = None,
+    max_rounds: int = 64,
+    return_stats: bool = False,
+):
+    """The globally k-th smallest element (1-based rank) of ``data``.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine ``data`` lives on.
+    data:
+        Distributed input; chunks need not be sorted or balanced.
+    k:
+        Target rank, ``1 <= k <= len(data)``.
+    sample_factor:
+        Multiplies the ``sqrt(p)/n`` Bernoulli rate (ablation knob).
+    base_case:
+        Remaining-size threshold below which the problem is gathered to
+        PE 0 and finished sequentially.  Defaults to
+        ``max(64, 4 * sqrt(p))``.
+    max_rounds:
+        Safety bound on recursion depth; reaching it triggers the exact
+        gather fallback (cannot affect correctness, only cost).
+    return_stats:
+        If true, return :class:`SelectionStats` instead of the bare value.
+
+    Returns
+    -------
+    The k-th smallest value (a Python scalar), or stats including it.
+    """
+    p = machine.p
+    n0 = data.global_size
+    k = check_rank(k, n0)
+    if base_case is None:
+        base_case = int(max(64, 4 * np.sqrt(p)))
+
+    chunks = [np.asarray(c) for c in data.chunks]
+    rounds = 0
+    sample_total = 0
+    while True:
+        sizes = np.array([c.size for c in chunks], dtype=np.int64)
+        n = int(machine.allreduce(list(sizes), op="sum")[0])
+        if n <= base_case or rounds >= max_rounds:
+            value = _gather_base_case(machine, chunks, k)
+            if return_stats:
+                return SelectionStats(value, rounds, sample_total, n)
+            return value
+
+        # Bernoulli sampling at rate sqrt(p)/n on every PE (Theorem 1)
+        rho = min(1.0, sample_factor * np.sqrt(p) / n)
+        local_samples = [
+            bernoulli_sample(machine.rngs[i], chunks[i], rho) for i in range(p)
+        ]
+        machine.charge_ops([max(1.0, rho * s) for s in sizes])
+
+        # Share the sample: expected O(sqrt(p)) words per PE, O(alpha log p)
+        # startups (the "fast inefficient sorting" of Section 2 sorts the
+        # replicated sample locally after an all-gather).
+        gathered = machine.allgather(local_samples)[0]
+        sample = np.concatenate([s for s in gathered if s.size]) if any(
+            s.size for s in gathered
+        ) else np.empty(0, dtype=chunks[0].dtype if chunks else np.float64)
+        if sample.size == 0:
+            rounds += 1
+            continue
+        sample = np.sort(sample)
+        machine.charge_ops(sample.size * np.log2(max(sample.size, 2)))
+        sample_total += int(sample.size)
+
+        from .sequential import fr_pivots
+
+        lo_p, hi_p = fr_pivots(sample, k, n)
+
+        # Local three-way partition (one pass over the slice)
+        n_lo = np.zeros(p, dtype=np.int64)
+        n_mid = np.zeros(p, dtype=np.int64)
+        parts_lo, parts_mid, parts_hi = [], [], []
+        for i in range(p):
+            c = chunks[i]
+            below = c < lo_p
+            mid = (c >= lo_p) & (c <= hi_p)
+            parts_lo.append(c[below])
+            parts_mid.append(c[mid])
+            parts_hi.append(c[~below & ~mid])
+            n_lo[i] = parts_lo[-1].size
+            n_mid[i] = parts_mid[-1].size
+        machine.charge_ops(sizes.astype(np.float64))
+
+        # One vector all-reduction delivers both counts (na, nb)
+        counts = machine.allreduce(
+            [np.array([n_lo[i], n_mid[i]], dtype=np.int64) for i in range(p)],
+            op="sum",
+        )[0]
+        na, nb = int(counts[0]), int(counts[1])
+
+        if na >= k:
+            chunks = parts_lo
+        elif na + nb < k:
+            chunks = parts_hi
+            k -= na + nb
+        else:
+            if lo_p == hi_p:
+                # rank k falls inside a run of duplicates of the pivot
+                value = lo_p.item() if hasattr(lo_p, "item") else lo_p
+                if return_stats:
+                    return SelectionStats(value, rounds + 1, sample_total, 0)
+                return value
+            chunks = parts_mid
+            k -= na
+        rounds += 1
+
+
+def _gather_base_case(machine: Machine, chunks: list[np.ndarray], k: int):
+    """Gather the residual problem to PE 0, solve it, broadcast the result."""
+    gathered = machine.gather(chunks, root=0)[0]
+    rest = np.concatenate([c for c in gathered if c.size])
+    rest_sorted = np.sort(rest)
+    machine.charge_ops_one(0, rest.size * np.log2(max(rest.size, 2)))
+    value = rest_sorted[min(k, rest.size) - 1].item()
+    return machine.broadcast(value, root=0)[0]
+
+
+def select_topk_smallest(
+    machine: Machine, data: DistArray, k: int, **kwargs
+) -> tuple[DistArray, float]:
+    """Extract the k globally smallest elements, exactly.
+
+    Runs :func:`select_kth` to find the threshold, then cuts locally:
+    all elements strictly below the threshold are selected, and the
+    remaining quota of threshold-equal elements is granted in PE order
+    (a prefix-sum decides how many duplicates each PE keeps), so the
+    output size is exactly ``k`` regardless of ties.
+
+    Returns ``(selected, threshold)``; ``selected`` stays distributed --
+    possibly unevenly, which Section 9's redistribution can fix.
+    """
+    n = data.global_size
+    k = check_rank(k, n)
+    threshold = select_kth(machine, data, k, **kwargs)
+    p = machine.p
+    below_counts = []
+    equal_counts = []
+    for c in data.chunks:
+        below_counts.append(int((c < threshold).sum()))
+        equal_counts.append(int((c == threshold).sum()))
+    machine.charge_ops(data.sizes().astype(np.float64))
+    n_below = int(machine.allreduce(below_counts, op="sum")[0])
+    quota = k - n_below  # how many threshold-equal elements are kept
+    eq_before = machine.exscan(equal_counts, op="sum")
+    out = []
+    for i, c in enumerate(data.chunks):
+        keep_eq = int(np.clip(quota - eq_before[i], 0, equal_counts[i]))
+        sel = np.concatenate([c[c < threshold], c[c == threshold][:keep_eq]])
+        out.append(sel)
+    return DistArray(machine, out), threshold
+
+
+def select_topk_largest(
+    machine: Machine, data: DistArray, k: int, **kwargs
+) -> tuple[DistArray, float]:
+    """Extract the k globally largest elements, exactly (dual of
+    :func:`select_topk_smallest` via negation)."""
+    negated = DistArray(machine, [-np.asarray(c) for c in data.chunks])
+    sel, thr = select_topk_smallest(machine, negated, k, **kwargs)
+    return DistArray(machine, [-c for c in sel.chunks]), -thr

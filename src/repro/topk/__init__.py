@@ -1,0 +1,25 @@
+"""Multicriteria top-k (Section 6): threshold algorithms."""
+
+from .dta import DTAPrefixes, DTAResult, dta_prefixes, dta_topk
+from .index import LocalIndex, build_distributed_index, global_topk_oracle
+from .rdta import RDTAResult, rdta_topk
+from .scoring import MinScore, ScoringFunction, SumScore, WeightedSum
+from .threshold import TAResult, ta_topk
+
+__all__ = [
+    "DTAPrefixes",
+    "DTAResult",
+    "LocalIndex",
+    "MinScore",
+    "RDTAResult",
+    "ScoringFunction",
+    "SumScore",
+    "TAResult",
+    "WeightedSum",
+    "build_distributed_index",
+    "dta_prefixes",
+    "dta_topk",
+    "global_topk_oracle",
+    "rdta_topk",
+    "ta_topk",
+]

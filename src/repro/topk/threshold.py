@@ -1,0 +1,93 @@
+"""Fagin's threshold algorithm, sequential (Section 6 baseline).
+
+The original TA [15]: in each of ``K`` iterations of the main loop, scan
+one object from each of the ``m`` sorted lists, determine its exact
+relevance with random accesses, and maintain the best ``k`` seen.  With
+``x_i`` the smallest scanned score of list ``i``, the value
+``t(x_1, .., x_m)`` bounds every unscanned object (monotonicity), so the
+scan stops once the current k-th best reaches it.
+
+The distributed algorithms of this package are measured against (a) the
+result set and (b) the scan depth ``K`` of this reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pqueue.heap import BinaryHeap
+from .index import LocalIndex
+from .scoring import ScoringFunction
+
+__all__ = ["ta_topk", "TAResult"]
+
+
+@dataclass(frozen=True)
+class TAResult:
+    """Output of the sequential threshold algorithm.
+
+    Attributes
+    ----------
+    items:
+        The top-k as ``(object id, relevance)``, best first.
+    scan_depth:
+        ``K`` -- rows scanned per list before the threshold test fired.
+    random_accesses:
+        Number of full-score lookups performed.
+    threshold:
+        Final threshold value ``t(x_1, ..., x_m)``.
+    """
+
+    items: tuple[tuple[int, float], ...]
+    scan_depth: int
+    random_accesses: int
+    threshold: float
+
+
+def ta_topk(index: LocalIndex, scorer: ScoringFunction, k: int) -> TAResult:
+    """Sequential TA over one index holding *all* objects.
+
+    ``k`` is clamped to the number of objects.  Ties in relevance are
+    broken by object id (ascending) for determinism.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n, m = index.n, index.m
+    k = min(k, n)
+    if n == 0:
+        return TAResult((), 0, 0, float("-inf"))
+
+    seen: set[int] = set()
+    # min-heap of (relevance, -id) keeps the current top-k
+    heap = BinaryHeap()
+    random_accesses = 0
+    threshold = float("inf")
+    depth = 0
+
+    for r in range(n):
+        depth = r + 1
+        frontier = np.empty(m)
+        for c in range(m):
+            if r < n:
+                oid, s = index.entry(c, r)
+                frontier[c] = s
+                if oid not in seen:
+                    seen.add(oid)
+                    row = index.row_of(oid)
+                    random_accesses += m - 1
+                    rel = scorer(row)
+                    entry = (rel, -oid)
+                    if len(heap) < k:
+                        heap.push(entry)
+                    elif entry > heap.peek():
+                        heap.pushpop(entry)
+        threshold = scorer(frontier)
+        if len(heap) >= k and heap.peek()[0] >= threshold:
+            break
+
+    items = sorted((rel, -nid) for rel, nid in heap.items())
+    items = [(int(oid), float(rel)) for rel, oid in items]
+    items.sort(key=lambda t: (-t[1], t[0]))
+    return TAResult(tuple(items), depth, random_accesses, threshold)

@@ -1,0 +1,5 @@
+"""Search-tree data structures (Section 2 / Section 5 substrate)."""
+
+from .treap import Treap
+
+__all__ = ["Treap"]

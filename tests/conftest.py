@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import CostParams, DistArray, Machine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xABCDEF)
+
+
+@pytest.fixture(params=[1, 2, 4, 8])
+def machine(request):
+    """A machine at several PE counts (power-of-two, the common case)."""
+    return Machine(p=request.param, seed=1234 + request.param)
+
+
+@pytest.fixture(params=[3, 5, 7])
+def odd_machine(request):
+    """Non-power-of-two PE counts (exercise the fallback paths)."""
+    return Machine(p=request.param, seed=4321 + request.param)
+
+
+@pytest.fixture
+def machine8():
+    return Machine(p=8, seed=99)
+
+
+def sorted_oracle(data: DistArray) -> np.ndarray:
+    """Global ascending sort of a distributed array (driver-side)."""
+    return np.sort(data.concat())
+
+
+def make_dist(machine: Machine, rng: np.random.Generator, n_per_pe: int, lo=0, hi=1_000_000) -> DistArray:
+    return DistArray(
+        machine,
+        [rng.integers(lo, hi, size=n_per_pe).astype(np.int64) for _ in range(machine.p)],
+    )

@@ -1,0 +1,111 @@
+"""Integration: every experiment driver runs and yields sane rows."""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments as E
+from repro.bench import format_table, write_csv
+
+
+SMALL_P = (1, 2, 4)
+
+
+class TestFigureDrivers:
+    def test_fig6(self):
+        rows = E.fig6_unsorted_selection(p_list=SMALL_P, n_per_pe=1 << 10, ks=(16, 256))
+        assert len(rows) == 6
+        assert all(r.time_s > 0 for r in rows)
+        assert all(r.extra["k"] >= 1 for r in rows)
+
+    def test_fig7(self):
+        rows = E.fig7_topk_frequent(p_list=SMALL_P, n_per_pe=1 << 11)
+        assert {r.algorithm for r in rows} == {"PAC", "EC", "Naive", "NaiveTree"}
+        # communication ordering at the largest p
+        at4 = {r.algorithm: r for r in rows if r.p == 4}
+        assert at4["Naive"].volume_words >= at4["PAC"].volume_words
+
+    def test_fig8(self):
+        # n must be large enough for EC's (linear-in-1/eps) sample to
+        # fit; PAC's quadratic one still cannot (the Figure 8 regime)
+        rows = E.fig8_strict_accuracy(p_list=(4,), n_per_pe=1 << 14)
+        at4 = {r.algorithm: r for r in rows if r.p == 4}
+        assert at4["EC"].extra["rho"] < 1.0
+        assert at4["PAC"].extra["rho"] == 1.0
+
+    def test_table1(self):
+        rows = E.table1_comm_volume(p=8, n_per_pe=1 << 10, k=64)
+        by_algo = {r.algorithm: r for r in rows}
+        assert (
+            by_algo["unsorted-selection/new"].volume_words
+            < by_algo["unsorted-selection/old"].volume_words
+        )
+        assert (
+            by_algo["priority-queue/new"].volume_words
+            < by_algo["priority-queue/old"].volume_words
+        )
+        assert (
+            by_algo["topk-frequent/new"].volume_words
+            < by_algo["topk-frequent/old"].volume_words
+        )
+        assert (
+            by_algo["sum-aggregation/new"].volume_words
+            < by_algo["sum-aggregation/old"].volume_words
+        )
+
+    def test_selection_latency(self):
+        rows = E.selection_latency(p_list=(2, 8), n_per_pe=1 << 10, k=256)
+        at8 = {r.algorithm: r for r in rows if r.p == 8}
+        assert at8["amsSelect(flex)"].startups <= at8["msSelect(exact)"].startups
+
+
+class TestComparisonDrivers:
+    def test_priority_queue(self):
+        rows = E.priority_queue_comparison(p_list=(2, 4), n_per_pe=256, batch=64, iterations=2)
+        at4 = {r.algorithm: r for r in rows if r.p == 4}
+        assert at4["BulkPQ(ours)"].volume_words < at4["RandomAlloc(KZ)"].volume_words
+
+    def test_multicriteria(self):
+        rows = E.multicriteria_comparison(p_list=(2, 4), n_per_pe=256, m_criteria=2, k=8)
+        assert {r.algorithm for r in rows} == {"DTA", "RDTA", "TA(sequential)"}
+
+    def test_sum_aggregation(self):
+        rows = E.sum_aggregation_comparison(p_list=(2, 4), n_per_pe=1 << 10)
+        assert {r.algorithm for r in rows} == {"SumPAC", "SumEC"}
+
+    def test_redistribution(self):
+        rows = E.redistribution_comparison(p=8, n_total=1 << 12)
+        by_name = {r.algorithm: r for r in rows}
+        assert by_name["adaptive/balanced"].extra["moved"] == 0
+        assert (
+            by_name["adaptive/point"].extra["moved"]
+            <= by_name["naive/point"].extra["moved"]
+        )
+
+
+class TestAblationDrivers:
+    def test_ams_trials(self):
+        rows = E.ablation_ams_trials(
+            p=8, n_per_pe=1 << 10, k=128, width_divisors=(1, 16), ds=(1, 8), trials=5
+        )
+        assert len(rows) == 4
+        # narrow window: more trials help
+        narrow = {r.extra["d"]: r.extra["avg_rounds"] for r in rows if r.extra["width_div"] == 16}
+        assert narrow[8] <= narrow[1] + 1.0
+
+    def test_ec_kstar(self):
+        rows = E.ablation_ec_kstar(p=8, n_per_pe=1 << 11, factors=(1, 8))
+        assert all(r.extra["rho"] <= 1.0 for r in rows)
+
+    def test_selection_sampling(self):
+        rows = E.ablation_selection_sampling(p=8, n_per_pe=1 << 10, factors=(0.5, 4.0))
+        assert all(r.extra["rounds"] >= 1 for r in rows)
+
+
+class TestHarnessPlumbing:
+    def test_format_and_csv(self, tmp_path):
+        rows = E.fig6_unsorted_selection(p_list=(1, 2), n_per_pe=256, ks=(8,))
+        txt = format_table(rows)
+        assert "select k=8" in txt
+        path = tmp_path / "f6.csv"
+        write_csv(rows, path)
+        assert path.read_text().count("\n") == 3

@@ -1,0 +1,119 @@
+"""Integration: frequent-objects algorithms under the paper's error
+model, across seeds and distributions."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    gapped_workload,
+    negative_binomial_workload,
+    zipf_keys_workload,
+)
+from repro.frequent import (
+    exact_counts_oracle,
+    pac_error,
+    top_k_frequent_ec,
+    top_k_frequent_exact,
+    top_k_frequent_naive,
+    top_k_frequent_naive_tree,
+    top_k_frequent_pac,
+    top_k_frequent_pec,
+)
+from repro.machine import Machine
+
+
+K = 16
+EPS = 8e-3
+DELTA = 1e-2
+
+
+def check_eps_bound(machine, data, fn, **kwargs):
+    true = exact_counts_oracle(data)
+    res = fn(machine, data, K, **kwargs)
+    err = pac_error(res.keys, true, K)
+    assert err <= EPS * data.global_size, (fn.__name__, err)
+    return res
+
+
+class TestErrorBoundsAcrossSeeds:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_pac_zipf(self, seed):
+        m = Machine(p=8, seed=seed)
+        data = zipf_keys_workload(m, 20_000, universe=1 << 12, s=1.0)
+        check_eps_bound(m, data, top_k_frequent_pac, eps=EPS, delta=DELTA)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_ec_zipf(self, seed):
+        m = Machine(p=8, seed=seed)
+        data = zipf_keys_workload(m, 20_000, universe=1 << 12, s=1.0)
+        res = check_eps_bound(m, data, top_k_frequent_ec, eps=EPS, delta=DELTA)
+        assert res.exact_counts
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_baselines_zipf(self, seed):
+        m = Machine(p=8, seed=seed)
+        data = zipf_keys_workload(m, 15_000, universe=1 << 12, s=1.0)
+        check_eps_bound(m, data, top_k_frequent_naive, eps=EPS, delta=DELTA)
+        check_eps_bound(m, data, top_k_frequent_naive_tree, eps=EPS, delta=DELTA)
+
+
+class TestHardDistributions:
+    def test_negative_binomial_plateau(self):
+        """The paper's hard case: near-equal frequencies.  The epsilon
+        error model tolerates swaps inside the plateau."""
+        m = Machine(p=8, seed=7)
+        data = negative_binomial_workload(m, 20_000)
+        true = exact_counts_oracle(data)
+        res = top_k_frequent_pac(m, data, K, eps=EPS, delta=DELTA)
+        assert pac_error(res.keys, true, K) <= EPS * data.global_size
+
+    def test_gapped_pec_exact(self):
+        m = Machine(p=8, seed=8)
+        data = gapped_workload(m, 20_000, universe=1 << 10, k=K, gap=8.0)
+        true = exact_counts_oracle(data)
+        oracle = sorted(true.items(), key=lambda t: (-t[1], t[0]))[:K]
+        res = top_k_frequent_pec(m, data, K, delta=1e-3)
+        assert set(res.keys) == {key for key, _ in oracle}
+
+    def test_all_same_key(self):
+        m = Machine(p=8, seed=9)
+        from repro.machine import DistArray
+
+        data = DistArray(m, [np.full(1000, 5, dtype=np.int64)] * 8)
+        res = top_k_frequent_pac(m, data, 3, rho=0.5)
+        assert res.items[0][0] == 5
+        assert len(res.items) == 1  # only one distinct key exists
+
+
+class TestAlgorithmsAgreeAtFullSampling:
+    def test_all_algorithms_identical_at_rho_one(self):
+        m = Machine(p=8, seed=10)
+        data = zipf_keys_workload(m, 5000, universe=1 << 10, s=1.1)
+        exact = top_k_frequent_exact(m, data, K)
+        pac = top_k_frequent_pac(m, data, K, rho=1.0)
+        naive = top_k_frequent_naive(m, data, K, rho=1.0)
+        tree = top_k_frequent_naive_tree(m, data, K, rho=1.0)
+        keys = exact.keys
+        assert pac.keys == keys
+        assert naive.keys == keys
+        assert tree.keys == keys
+
+
+class TestCommunicationOrdering:
+    def test_volume_ranking_matches_paper(self):
+        """Figure 7's structural claim at fixed sampling rate:
+        coordinator volume(Naive) > tree-root volume(NaiveTree) >
+        hash-partitioned volume(PAC)."""
+        p = 16
+        vols = {}
+        for name, fn in (
+            ("pac", top_k_frequent_pac),
+            ("naive", top_k_frequent_naive),
+            ("tree", top_k_frequent_naive_tree),
+        ):
+            m = Machine(p=p, seed=11)
+            data = zipf_keys_workload(m, 4000, universe=1 << 12, s=1.0)
+            m.reset()
+            fn(m, data, K, rho=0.5)
+            vols[name] = m.metrics.bottleneck_words
+        assert vols["naive"] > vols["tree"] > vols["pac"]

@@ -1,0 +1,86 @@
+"""Integration: multicriteria top-k pipelines (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import multicriteria_workload
+from repro.machine import Machine
+from repro.topk import (
+    MinScore,
+    SumScore,
+    WeightedSum,
+    dta_topk,
+    global_topk_oracle,
+    rdta_topk,
+    ta_topk,
+)
+from repro.topk.index import LocalIndex
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_dta_exact_across_machine_sizes(self, p):
+        m = Machine(p=p, seed=200 + p)
+        idx = multicriteria_workload(m, 600, 3)
+        scorer = SumScore(3)
+        res = dta_topk(m, idx, scorer, 20)
+        assert list(res.items) == global_topk_oracle(idx, scorer, 20)
+
+    @pytest.mark.parametrize("m_crit", [1, 2, 5])
+    def test_dta_across_criteria_counts(self, m_crit):
+        m = Machine(p=4, seed=210 + m_crit)
+        idx = multicriteria_workload(m, 500, m_crit)
+        scorer = SumScore(m_crit)
+        res = dta_topk(m, idx, scorer, 10)
+        assert list(res.items) == global_topk_oracle(idx, scorer, 10)
+
+    def test_rdta_and_dta_agree_on_random_placement(self):
+        m = Machine(p=8, seed=220)
+        idx = multicriteria_workload(m, 400, 3)
+        scorer = WeightedSum((0.5, 0.3, 0.2))
+        r1 = rdta_topk(m, idx, scorer, 15)
+        r2 = dta_topk(m, idx, scorer, 15)
+        assert list(r1.items) == list(r2.items)
+
+    def test_dta_on_adversarial_placement(self):
+        m = Machine(p=8, seed=230)
+        idx = multicriteria_workload(m, 400, 3, adversarial=True)
+        scorer = SumScore(3)
+        res = dta_topk(m, idx, scorer, 25)
+        assert list(res.items) == global_topk_oracle(idx, scorer, 25)
+
+    def test_min_scorer_end_to_end(self):
+        m = Machine(p=4, seed=240)
+        idx = multicriteria_workload(m, 500, 3)
+        scorer = MinScore(3)
+        res = dta_topk(m, idx, scorer, 10)
+        assert list(res.items) == global_topk_oracle(idx, scorer, 10)
+
+
+class TestScanEfficiency:
+    def test_dta_prefixes_near_sequential_scan_depth(self):
+        """Theorem 6: DTA identifies O(K) objects where K is TA's scan
+        depth -- the exponential search cannot overshoot by much more
+        than a doubling."""
+        m = Machine(p=8, seed=250)
+        idx = multicriteria_workload(m, 1000, 2, skew=3.0)
+        scorer = SumScore(2)
+        merged = LocalIndex(
+            np.concatenate([ix.ids for ix in idx]),
+            np.vstack([ix.scores for ix in idx]),
+        )
+        seq = ta_topk(merged, scorer, 16)
+        res = dta_topk(m, idx, scorer, 16)
+        # DTA's guessed K should not exceed a generous multiple of TA's
+        assert res.prefixes.scanned <= 64 * max(seq.scan_depth, 1)
+
+    def test_work_sublinear_in_input(self):
+        """DTA coordination volume must not scale with n/p."""
+        vols = []
+        for n_per_pe in (400, 3200):
+            m = Machine(p=8, seed=260)
+            idx = multicriteria_workload(m, n_per_pe, 3)
+            m.reset()
+            dta_topk(m, idx, SumScore(3), 16)
+            vols.append(m.metrics.bottleneck_words)
+        assert vols[1] < 4 * vols[0]

@@ -1,0 +1,109 @@
+"""Integration: selection pipelines across modules.
+
+Generate (bench workloads) -> select (Section 4) -> redistribute
+(Section 9) -> verify, end to end on one machine instance, with
+communication accounting sanity checks along the way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import selection_workload
+from repro.machine import DistArray, Machine
+from repro.redistribution import redistribute
+from repro.selection import (
+    ams_select,
+    ms_select,
+    select_kth,
+    select_topk_largest,
+    select_topk_smallest,
+)
+
+
+class TestSelectThenRedistribute:
+    def test_full_pipeline(self):
+        m = Machine(p=16, seed=100)
+        data = selection_workload(m, 2000)
+        k = 5000
+        sel, thr = select_topk_largest(m, data, k)
+        # the selected set may be arbitrarily skewed; redistribution
+        # must even it out while preserving content
+        before = np.sort(sel.concat())
+        balanced, stats = redistribute(m, sel)
+        assert np.array_equal(np.sort(balanced.concat()), before)
+        n_bar = -(-k // 16)
+        assert all(s <= n_bar for s in balanced.sizes())
+
+    def test_pipeline_makespan_accumulates(self):
+        m = Machine(p=8, seed=101)
+        data = selection_workload(m, 1000)
+        with m.phase("select"):
+            sel, _ = select_topk_smallest(m, data, 500)
+        with m.phase("balance"):
+            redistribute(m, sel)
+        rep = m.report()
+        assert [ph.name for ph in rep.phases] == ["select", "balance"]
+        assert rep.makespan >= max(ph.time for ph in rep.phases)
+
+
+class TestCrossAlgorithmConsistency:
+    """The three selection algorithms must agree on the same data."""
+
+    def test_unsorted_vs_sorted_vs_flexible(self):
+        m = Machine(p=8, seed=102)
+        data = DistArray.generate(m, lambda r, g: g.random(3000))
+        k = 9000
+        v_unsorted = select_kth(m, data, k)
+        sorted_chunks = [np.sort(c) for c in data.chunks]
+        v_sorted = ms_select(m, sorted_chunks, k)
+        assert v_unsorted == v_sorted
+        res = ams_select(m, sorted_chunks, k, k + 2000)
+        s = np.sort(data.concat())
+        assert s[res.k - 1] == res.value
+
+    def test_permutation_invariance_across_pes(self):
+        """Moving elements between PEs must not change the answer."""
+        rng = np.random.default_rng(103)
+        values = rng.integers(0, 10**6, 8000)
+        k = 1234
+        expected = np.sort(values)[k - 1]
+        for trial in range(3):
+            m = Machine(p=8, seed=trial)
+            perm = rng.permutation(len(values))
+            data = DistArray.from_global(m, values[perm])
+            assert select_kth(m, data, k) == expected
+
+    def test_duplicate_only_input(self):
+        m = Machine(p=8, seed=104)
+        data = DistArray(m, [np.full(100, 42)] * 8)
+        assert select_kth(m, data, 1) == 42
+        assert select_kth(m, data, 800) == 42
+        sel, _ = select_topk_smallest(m, data, 137)
+        assert sel.global_size == 137
+
+
+class TestCommunicationRegression:
+    def test_volume_independent_of_local_size(self):
+        """Theorem 1's point: growing n/p must not grow the per-PE
+        communication volume proportionally."""
+        vols = []
+        for n_per_pe in (1000, 8000):
+            m = Machine(p=16, seed=105)
+            data = selection_workload(m, n_per_pe)
+            m.reset()
+            select_kth(m, data, data.global_size // 2)
+            vols.append(m.metrics.bottleneck_words)
+        assert vols[1] < 3 * vols[0]
+
+    def test_latency_polylogarithmic_in_p(self):
+        startups = []
+        for p in (4, 64):
+            m = Machine(p=p, seed=106)
+            data = selection_workload(m, 512)
+            m.reset()
+            select_kth(m, data, data.global_size // 2)
+            startups.append(m.metrics.bottleneck_startups)
+        # weak scaling: 16x more PEs also means 16x larger n, so both the
+        # level count (log n) and the per-level collectives (log p) grow;
+        # the product must still stay far below the 16x data growth
+        assert startups[1] < 12 * startups[0]

@@ -1,0 +1,108 @@
+"""Statistical validation of the probabilistic guarantees.
+
+The (eps, delta) analyses promise failure probability below delta.
+These tests estimate the empirical failure frequency over repeated
+seeded runs: with delta = 0.1 and 20 trials the expected number of
+failures is 2; we assert a generous <= 6 (P[Binom(20, 0.1) > 6] < 1e-3)
+so the suite stays deterministic-stable while still catching any
+systematic violation (e.g. a sample-size formula off by a constant).
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import zipf_sample
+from repro.common.distributions import GappedSpec
+from repro.frequent import (
+    exact_counts_oracle,
+    pac_error,
+    top_k_frequent_pac,
+    top_k_frequent_pec,
+)
+from repro.machine import DistArray, Machine
+from repro.selection import ams_select
+
+TRIALS = 20
+DELTA = 0.1
+MAX_FAILURES = 6
+
+
+class TestPacGuarantee:
+    def test_failure_rate_below_delta(self):
+        k, eps = 8, 1e-2
+        failures = 0
+        for seed in range(TRIALS):
+            m = Machine(p=4, seed=seed)
+            data = DistArray.generate(
+                m, lambda r, g: zipf_sample(g, 10_000, universe=1 << 11, s=0.9)
+            )
+            true = exact_counts_oracle(data)
+            res = top_k_frequent_pac(m, data, k, eps=eps, delta=DELTA)
+            if pac_error(res.keys, true, k) > eps * data.global_size:
+                failures += 1
+        assert failures <= MAX_FAILURES, f"{failures}/{TRIALS} eps-violations"
+
+
+class TestPecGuarantee:
+    def test_exactness_rate_on_gapped_input(self):
+        k = 8
+        spec = GappedSpec(universe=512, k=k, gap=8.0)
+        failures = 0
+        for seed in range(TRIALS):
+            m = Machine(p=4, seed=100 + seed)
+            data = DistArray.generate(m, lambda r, g: spec.sample(g, 10_000))
+            true = exact_counts_oracle(data)
+            oracle = {
+                key for key, _ in sorted(true.items(), key=lambda t: (-t[1], t[0]))[:k]
+            }
+            res = top_k_frequent_pec(m, data, k, delta=DELTA)
+            if set(res.keys) != oracle:
+                failures += 1
+        assert failures <= MAX_FAILURES, f"{failures}/{TRIALS} inexact results"
+
+
+class TestAmsSelectExpectedRounds:
+    def test_mean_rounds_constant_for_wide_windows(self):
+        """Theorem 3: expected O(1) rounds when width = Omega(k)."""
+        total_rounds = 0
+        fallbacks = 0
+        for seed in range(TRIALS):
+            m = Machine(p=8, seed=200 + seed)
+            seqs = [np.sort(m.rngs[i].random(1000)) for i in range(8)]
+            res = ams_select(m, seqs, 2000, 4000)
+            total_rounds += res.rounds
+            fallbacks += res.exact_fallback
+        assert fallbacks == 0
+        assert total_rounds / TRIALS < 4.0
+
+    def test_geometric_estimator_is_truthful(self):
+        """The rank of the min-based pivot estimate is geometric: its
+        empirical mean must track 1/rho."""
+        from repro.selection.flexible import _min_based_rate
+
+        rho = _min_based_rate(100, 200)
+        rng = np.random.default_rng(0)
+        draws = rng.geometric(rho, size=20_000)
+        assert abs(draws.mean() - 1.0 / rho) < 0.05 / rho
+
+
+class TestSamplingConcentration:
+    def test_pac_estimate_concentration(self):
+        """Scaled sample counts concentrate around true counts at the
+        Chernoff rate: the RMS relative error over the top keys shrinks
+        as the sampling rate grows."""
+        rng = np.random.default_rng(7)
+        data_global = zipf_sample(rng, 200_000, universe=1 << 10, s=1.0)
+        true = {}
+        for v in data_global:
+            true[int(v)] = true.get(int(v), 0) + 1
+        rms = []
+        for rho in (0.02, 0.3):
+            m = Machine(p=4, seed=9)
+            d = DistArray.from_global(m, data_global)
+            res = top_k_frequent_pac(m, d, 8, rho=rho)
+            errs = [
+                (est - true[key]) / true[key] for key, est in res.items if key in true
+            ]
+            rms.append(float(np.sqrt(np.mean(np.square(errs)))))
+        assert rms[1] < rms[0]

@@ -1,0 +1,70 @@
+"""Property-based tests: sum aggregation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import DistKeyValue, exact_sums_oracle, top_k_sums_ec
+from repro.machine import Machine
+
+kv_chunks = st.lists(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.floats(0.0, 100.0, allow_nan=False)),
+        max_size=50,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestOracle:
+    @given(kv_chunks)
+    @settings(max_examples=50, deadline=None)
+    def test_oracle_totals(self, chunks):
+        m = Machine(p=len(chunks), seed=12)
+        keys = [np.array([k for k, _ in c], dtype=np.int64) for c in chunks]
+        vals = [np.array([v for _, v in c]) for c in chunks]
+        kv = DistKeyValue(m, keys, vals)
+        oracle = exact_sums_oracle(kv)
+        assert sum(oracle.values()) == sum(
+            v for c in chunks for _, v in c
+        ) or np.isclose(sum(oracle.values()), sum(v for c in chunks for _, v in c))
+
+
+class TestEcSums:
+    @given(kv_chunks, st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_ec_sums_are_exact_for_reported_keys(self, chunks, k):
+        total_pairs = sum(len(c) for c in chunks)
+        if total_pairs == 0:
+            return
+        m = Machine(p=len(chunks), seed=13)
+        keys = [np.array([key for key, _ in c], dtype=np.int64) for c in chunks]
+        vals = [np.array([v for _, v in c]) for c in chunks]
+        kv = DistKeyValue(m, keys, vals)
+        oracle = exact_sums_oracle(kv)
+        if sum(oracle.values()) == 0.0:
+            return
+        res = top_k_sums_ec(m, kv, k, k_star=max(k, 8))
+        for key, s in res.items:
+            assert np.isclose(s, oracle[key], rtol=1e-9, atol=1e-9)
+
+    @given(kv_chunks)
+    @settings(max_examples=30, deadline=None)
+    def test_top1_is_global_max_when_candidates_cover(self, chunks):
+        total_pairs = sum(len(c) for c in chunks)
+        if total_pairs == 0:
+            return
+        m = Machine(p=len(chunks), seed=14)
+        keys = [np.array([key for key, _ in c], dtype=np.int64) for c in chunks]
+        vals = [np.array([v for _, v in c]) for c in chunks]
+        kv = DistKeyValue(m, keys, vals)
+        oracle = exact_sums_oracle(kv)
+        mass = sum(oracle.values())
+        if mass == 0.0:
+            return
+        # k_star = all distinct keys: result must be the exact argmax
+        res = top_k_sums_ec(m, kv, 1, k_star=max(1, len(oracle)), sample_size=64.0)
+        if res.items:
+            best = max(oracle.items(), key=lambda t: (t[1], -t[0]))
+            assert np.isclose(res.items[0][1], best[1], rtol=1e-9)

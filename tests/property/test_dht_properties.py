@@ -1,0 +1,50 @@
+"""Property-based tests: DHT counting and top-k entry extraction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequent import count_into_dht, take_topk_entries
+from repro.machine import Machine
+
+key_chunks = st.lists(
+    st.lists(st.integers(0, 40), max_size=80),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestCounting:
+    @given(key_chunks)
+    @settings(max_examples=50, deadline=None)
+    def test_counts_match_oracle(self, chunks):
+        m = Machine(p=len(chunks), seed=8)
+        samples = [np.array(c, dtype=np.int64) for c in chunks]
+        routed = count_into_dht(m, samples)
+        got: dict = {}
+        for d in routed:
+            for key, c in d.items():
+                got[key] = got.get(key, 0) + c
+        allv = np.concatenate([s for s in samples if s.size] or [np.empty(0, dtype=np.int64)])
+        expect = {}
+        for v in allv:
+            expect[int(v)] = expect.get(int(v), 0) + 1
+        assert got == expect
+
+
+class TestTopkEntries:
+    @given(key_chunks, st.integers(1, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_topk_is_count_ranking_prefix(self, chunks, k):
+        m = Machine(p=len(chunks), seed=9)
+        samples = [np.array(c, dtype=np.int64) for c in chunks]
+        routed = count_into_dht(m, samples)
+        items = take_topk_entries(m, routed, k)
+        # oracle ranking
+        allv = np.concatenate([s for s in samples if s.size] or [np.empty(0, dtype=np.int64)])
+        expect: dict = {}
+        for v in allv:
+            expect[int(v)] = expect.get(int(v), 0) + 1
+        oracle = sorted(expect.items(), key=lambda t: (-t[1], t[0]))
+        assert items == oracle[: len(items)]
+        assert len(items) == min(k, len(oracle))

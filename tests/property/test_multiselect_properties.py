@@ -1,0 +1,45 @@
+"""Property-based tests: multiselection vs the sort oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import DistArray, Machine
+from repro.selection import multi_select
+
+chunk_lists = st.lists(
+    st.lists(st.integers(-5000, 5000), max_size=50),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestMultiSelect:
+    @given(chunk_lists, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_all_ranks_match_oracle(self, chunks, data):
+        total = sum(len(c) for c in chunks)
+        if total == 0:
+            return
+        n_ranks = data.draw(st.integers(1, min(5, total)))
+        ks = sorted(
+            set(data.draw(st.integers(1, total)) for _ in range(n_ranks))
+        )
+        m = Machine(p=len(chunks), seed=15)
+        d = DistArray(m, [np.array(c, dtype=np.int64) for c in chunks])
+        s = np.sort(d.concat())
+        vals = multi_select(m, d, ks)
+        for k, v in zip(ks, vals):
+            assert v == s[k - 1]
+
+    @given(chunk_lists, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_rank(self, chunks, data):
+        total = sum(len(c) for c in chunks)
+        if total < 2:
+            return
+        ks = sorted(set(data.draw(st.integers(1, total)) for _ in range(4)))
+        m = Machine(p=len(chunks), seed=16)
+        d = DistArray(m, [np.array(c, dtype=np.int64) for c in chunks])
+        vals = multi_select(m, d, ks)
+        assert all(a <= b for a, b in zip(vals, vals[1:]))

@@ -1,0 +1,71 @@
+"""Property-based tests: redistribution planning and execution."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import DistArray, Machine
+from repro.redistribution import balance_plan, redistribute
+from repro.redistribution.batcher import merge_sorted_pair
+
+sizes_strategy = st.lists(st.integers(0, 300), min_size=1, max_size=16)
+
+
+class TestPlan:
+    @given(sizes_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_plan_respects_roles_and_caps(self, sizes):
+        sizes = np.array(sizes)
+        p = sizes.size
+        n_bar = -(-int(sizes.sum()) // p) if sizes.sum() else 0
+        plan = balance_plan(sizes)
+        sent = np.zeros(p, dtype=int)
+        recv = np.zeros(p, dtype=int)
+        for t in plan:
+            assert t.count > 0
+            sent[t.src] += t.count
+            recv[t.dst] += t.count
+        # senders only send, receivers only receive
+        assert np.all(sent * recv == 0)
+        final = sizes - sent + recv
+        assert np.all(final <= max(n_bar, 0) + (sizes.sum() == 0))
+        # surplus fully drained
+        assert np.all(sent == np.maximum(sizes - n_bar, 0))
+
+    @given(sizes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_plan_is_minimal_volume(self, sizes):
+        sizes = np.array(sizes)
+        plan = balance_plan(sizes)
+        n_bar = -(-int(sizes.sum()) // sizes.size) if sizes.sum() else 0
+        lower_bound = int(np.maximum(sizes - n_bar, 0).sum())
+        assert sum(t.count for t in plan) == lower_bound
+
+
+class TestExecution:
+    @given(sizes_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_redistribute_preserves_multiset(self, sizes):
+        m = Machine(p=len(sizes), seed=6)
+        rng = np.random.default_rng(7)
+        data = DistArray(
+            m, [rng.integers(0, 10**6, size=s).astype(np.int64) for s in sizes]
+        )
+        before = np.sort(data.concat())
+        out, stats = redistribute(m, data)
+        assert np.array_equal(np.sort(out.concat()), before)
+        n_bar = -(-sum(sizes) // len(sizes)) if sum(sizes) else 0
+        assert all(len(c) <= max(n_bar, 0) + (sum(sizes) == 0) for c in out.chunks)
+
+
+class TestBatcherMerge:
+    @given(
+        st.lists(st.integers(0, 100), max_size=40),
+        st.lists(st.integers(0, 100), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_sort(self, a, b):
+        a = np.sort(np.array(a, dtype=float))
+        b = np.sort(np.array(b, dtype=float))
+        got = merge_sorted_pair(a, b)
+        assert np.array_equal(got, np.sort(np.concatenate([a, b])))

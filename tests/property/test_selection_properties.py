@@ -1,0 +1,107 @@
+"""Property-based tests: the selection algorithms vs the sort oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import DistArray, Machine
+from repro.selection import (
+    ams_select,
+    kth_smallest,
+    ms_select,
+    ms_select_with_cuts,
+    select_kth,
+    select_topk_smallest,
+)
+
+# partition of a value list over up to 8 PEs, allowing empty PEs
+chunk_lists = st.lists(
+    st.lists(st.integers(-10_000, 10_000), max_size=60),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestSequential:
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=300), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_kth_smallest_matches_sort(self, vals, data):
+        k = data.draw(st.integers(1, len(vals)))
+        arr = np.array(vals)
+        assert kth_smallest(arr, k) == np.sort(arr)[k - 1]
+
+
+class TestDistributedUnsorted:
+    @given(chunk_lists, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_select_kth_matches_oracle(self, chunks, data):
+        total = sum(len(c) for c in chunks)
+        if total == 0:
+            return
+        k = data.draw(st.integers(1, total))
+        m = Machine(p=len(chunks), seed=42)
+        d = DistArray(m, [np.array(c, dtype=np.int64) for c in chunks])
+        s = np.sort(d.concat())
+        assert select_kth(m, d, k) == s[k - 1]
+
+    @given(chunk_lists, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_topk_extraction_exact_size_and_content(self, chunks, data):
+        total = sum(len(c) for c in chunks)
+        if total == 0:
+            return
+        k = data.draw(st.integers(1, total))
+        m = Machine(p=len(chunks), seed=43)
+        d = DistArray(m, [np.array(c, dtype=np.int64) for c in chunks])
+        sel, thr = select_topk_smallest(m, d, k)
+        s = np.sort(d.concat())
+        assert sel.global_size == k
+        assert np.array_equal(np.sort(sel.concat()), s[:k])
+
+
+class TestDistributedSorted:
+    @given(chunk_lists, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_ms_select_matches_oracle(self, chunks, data):
+        total = sum(len(c) for c in chunks)
+        if total == 0:
+            return
+        k = data.draw(st.integers(1, total))
+        m = Machine(p=len(chunks), seed=44)
+        seqs = [np.sort(np.array(c, dtype=np.int64)) for c in chunks]
+        s = np.sort(np.concatenate([q for q in seqs if q.size] or [np.empty(0)]))
+        assert ms_select(m, seqs, k) == s[k - 1]
+
+    @given(chunk_lists, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_cuts_partition_prefix(self, chunks, data):
+        total = sum(len(c) for c in chunks)
+        if total == 0:
+            return
+        k = data.draw(st.integers(1, total))
+        m = Machine(p=len(chunks), seed=45)
+        seqs = [np.sort(np.array(c, dtype=np.int64)) for c in chunks]
+        value, cuts = ms_select_with_cuts(m, seqs, k)
+        assert sum(cuts) == k
+        got = np.sort(np.concatenate([seqs[i][: cuts[i]] for i in range(len(seqs))]))
+        s = np.sort(np.concatenate(seqs))
+        assert np.array_equal(got, s[:k])
+
+
+class TestFlexible:
+    @given(chunk_lists, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_ams_k_in_range_and_prefix(self, chunks, data):
+        total = sum(len(c) for c in chunks)
+        if total == 0:
+            return
+        k_lo = data.draw(st.integers(1, total))
+        k_hi = data.draw(st.integers(k_lo, total))
+        m = Machine(p=len(chunks), seed=46)
+        seqs = [np.sort(np.array(c, dtype=np.float64)) for c in chunks]
+        res = ams_select(m, seqs, k_lo, k_hi)
+        assert k_lo <= res.k <= k_hi
+        assert sum(res.cuts) == res.k
+        got = np.sort(np.concatenate([seqs[i][: res.cuts[i]] for i in range(len(seqs))]))
+        s = np.sort(np.concatenate(seqs))
+        assert np.allclose(got, s[: res.k])

@@ -1,0 +1,86 @@
+"""Unit tests: Batcher networks (repro.redistribution.batcher)."""
+
+import numpy as np
+import pytest
+
+from repro.redistribution import (
+    apply_network,
+    levelize,
+    merge_round_count,
+    odd_even_merge_network,
+    odd_even_mergesort_network,
+)
+from repro.redistribution.batcher import merge_sorted_pair
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(83)
+
+
+class TestMergeNetwork:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64, 128])
+    def test_merges_sorted_halves(self, rng, n):
+        a = np.sort(rng.integers(0, 100, n // 2))
+        b = np.sort(rng.integers(0, 100, n // 2))
+        vals = np.concatenate([a, b]).astype(float)
+        out = apply_network(vals, odd_even_merge_network(n))
+        assert np.array_equal(out, np.sort(vals))
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            odd_even_merge_network(6)
+
+    def test_depth_logarithmic(self):
+        for n in (4, 16, 64, 256):
+            depth = len(levelize(odd_even_merge_network(n)))
+            assert depth <= int(np.log2(n)) + 1
+
+    def test_trivial_sizes(self):
+        assert odd_even_merge_network(1) == []
+
+    def test_zero_one_principle_spot_check(self, rng):
+        n = 16
+        net = odd_even_merge_network(n)
+        for _ in range(200):
+            half = rng.integers(0, 2, n)
+            vals = np.concatenate([np.sort(half[: n // 2]), np.sort(half[n // 2:])])
+            out = apply_network(vals.astype(float), net)
+            assert np.array_equal(out, np.sort(vals))
+
+
+class TestSortNetwork:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64])
+    def test_sorts_permutations(self, rng, n):
+        out = apply_network(
+            rng.permutation(n).astype(float), odd_even_mergesort_network(n)
+        )
+        assert np.array_equal(out, np.arange(n))
+
+    def test_sorts_duplicates(self, rng):
+        vals = rng.integers(0, 3, 32).astype(float)
+        out = apply_network(vals, odd_even_mergesort_network(32))
+        assert np.array_equal(out, np.sort(vals))
+
+
+class TestMergeSortedPair:
+    @pytest.mark.parametrize("la,lb", [(3, 5), (1, 9), (7, 7), (0, 4), (13, 2), (0, 0)])
+    def test_arbitrary_lengths(self, rng, la, lb):
+        a = np.sort(rng.integers(0, 50, la))
+        b = np.sort(rng.integers(0, 50, lb))
+        got = merge_sorted_pair(a, b)
+        assert np.array_equal(got, np.sort(np.concatenate([a, b])))
+
+
+class TestRoundCount:
+    def test_monotone_in_n(self):
+        assert merge_round_count(16) <= merge_round_count(64)
+
+    def test_pads_non_pow2(self):
+        assert merge_round_count(20) == merge_round_count(32)
+
+    def test_levelize_pairs_disjoint_per_round(self, rng):
+        net = odd_even_mergesort_network(32)
+        for rnd in levelize(net):
+            wires = [w for pair in rnd for w in pair]
+            assert len(wires) == len(set(wires))

@@ -1,0 +1,100 @@
+"""Unit tests: branch-and-bound application (repro.apps.branch_and_bound)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    KnapsackInstance,
+    knapsack_dp,
+    random_knapsack,
+    solve_knapsack_parallel,
+    solve_knapsack_sequential,
+)
+from repro.machine import Machine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(97)
+
+
+class TestInstance:
+    def test_density_sorted(self, rng):
+        inst = random_knapsack(rng, 20)
+        density = inst.values / inst.weights
+        assert np.all(np.diff(density) <= 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnapsackInstance.create([1.0], [0.0], 10)
+        with pytest.raises(ValueError):
+            KnapsackInstance.create([-1.0], [1.0], 10)
+        with pytest.raises(ValueError):
+            KnapsackInstance.create([1.0, 2.0], [1.0], 10)
+
+    def test_greedy_bound_upper_bounds_dp(self, rng):
+        inst = random_knapsack(rng, 25)
+        assert inst.greedy_bound(0, 0.0, 0.0) >= knapsack_dp(inst) - 1e-9
+
+
+class TestDP:
+    def test_tiny_instance(self):
+        inst = KnapsackInstance.create([6.0, 10.0, 12.0], [1.0, 2.0, 3.0], 5)
+        assert knapsack_dp(inst) == 22.0
+
+    def test_zero_capacity(self):
+        inst = KnapsackInstance.create([5.0], [2.0], 0)
+        assert knapsack_dp(inst) == 0.0
+
+    def test_requires_integer_weights(self):
+        inst = KnapsackInstance.create([1.0], [1.5], 10)
+        with pytest.raises(ValueError):
+            knapsack_dp(inst)
+
+
+class TestSequentialBnB:
+    def test_matches_dp(self, rng):
+        for _ in range(8):
+            inst = random_knapsack(rng, 24, tightness=0.4)
+            assert solve_knapsack_sequential(inst).optimum == pytest.approx(
+                knapsack_dp(inst)
+            )
+
+    def test_tight_capacity(self, rng):
+        inst = random_knapsack(rng, 20, tightness=0.1)
+        assert solve_knapsack_sequential(inst).optimum == pytest.approx(
+            knapsack_dp(inst)
+        )
+
+
+class TestParallelBnB:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_matches_dp(self, rng, p):
+        inst = random_knapsack(rng, 26, tightness=0.4)
+        m = Machine(p=p, seed=p)
+        res = solve_knapsack_parallel(m, inst)
+        assert res.optimum == pytest.approx(knapsack_dp(inst))
+
+    def test_node_overhead_bounded(self, rng):
+        """Section 5: K = m + O(hp) -- parallel expansion overhead stays
+        within a small multiple of the sequential node count."""
+        inst = random_knapsack(rng, 28, tightness=0.5)
+        seq = solve_knapsack_sequential(inst)
+        m = Machine(p=4, seed=3)
+        par = solve_knapsack_parallel(m, inst)
+        assert par.nodes_expanded <= 5 * seq.nodes_expanded + 40 * 4
+
+    def test_insertions_stay_local(self, rng):
+        """The bulk PQ advantage: expansion-phase traffic is only the
+        selection coordination, not the node payloads."""
+        inst = random_knapsack(rng, 26, tightness=0.5)
+        m = Machine(p=4, seed=4)
+        solve_knapsack_parallel(m, inst)
+        # no per-node element movement: the redistribution kinds are absent
+        assert "p2p" not in m.metrics.by_kind
+
+    def test_loose_capacity_all_items_fit(self):
+        inst = KnapsackInstance.create([1.0, 2.0], [1.0, 1.0], 10)
+        m = Machine(p=2, seed=5)
+        res = solve_knapsack_parallel(m, inst)
+        assert res.optimum == 3.0

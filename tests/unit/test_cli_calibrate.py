@@ -1,0 +1,65 @@
+"""Unit tests: CLI entry points and cost calibration."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.machine.calibrate import calibrated_params, measure_local_rate, preset
+
+
+class TestCalibrate:
+    def test_presets_exist(self):
+        for name in ("infiniband-cluster", "ethernet-cluster", "wan", "shared-memory"):
+            c = preset(name)
+            assert c.alpha > 0 and c.beta > 0
+
+    def test_wan_slower_than_infiniband(self):
+        assert preset("wan").alpha > preset("infiniband-cluster").alpha
+        assert preset("wan").beta > preset("infiniband-cluster").beta
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            preset("quantum-link")
+
+    def test_measure_local_rate_sane(self):
+        rate = measure_local_rate(n=1 << 16, repeats=1)
+        assert 1e-12 < rate < 1e-5  # between a picosecond and 10 us/op
+
+    def test_measure_requires_enough_elements(self):
+        with pytest.raises(ValueError):
+            measure_local_rate(n=10)
+
+    def test_calibrated_params_host(self):
+        c = calibrated_params(host_ops=True)
+        assert c.time_per_op > 0
+        assert c.alpha == preset("infiniband-cluster").alpha
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["demo", "-p", "4"])
+        assert args.command == "demo" and args.p == 4
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "infiniband-cluster" in out
+        assert "fig6_unsorted_selection" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "-p", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "median" in out
+        assert "deleteMin*" in out
+
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest", "-p", "4"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "redistribution_comparison"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive/point" in out

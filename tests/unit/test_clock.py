@@ -1,0 +1,83 @@
+"""Unit tests: simulated per-PE clocks (repro.machine.clock)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.clock import SimClock
+
+
+class TestLocalCharging:
+    def test_scalar_applies_to_all(self):
+        c = SimClock(4)
+        c.charge_local(1.5)
+        assert np.allclose(c.t, 1.5)
+
+    def test_vector_applies_per_pe(self):
+        c = SimClock(3)
+        c.charge_local([1.0, 2.0, 3.0])
+        assert c.makespan == pytest.approx(3.0)
+
+    def test_negative_duration_rejected(self):
+        c = SimClock(2)
+        with pytest.raises(ValueError):
+            c.charge_local(-1.0)
+
+    def test_single_pe_charge(self):
+        c = SimClock(4)
+        c.charge_local_one(2, 5.0)
+        assert c.t[2] == pytest.approx(5.0)
+        assert c.t[0] == 0.0
+
+
+class TestCollectiveSync:
+    def test_all_pes_end_at_max_plus_cost(self):
+        c = SimClock(3)
+        c.charge_local([1.0, 5.0, 2.0])
+        end = c.sync_collective(0.5)
+        assert end == pytest.approx(5.5)
+        assert np.allclose(c.t, 5.5)
+
+    def test_waiting_counts_as_comm_time(self):
+        c = SimClock(2)
+        c.charge_local([0.0, 10.0])
+        c.sync_collective(1.0)
+        assert c.comm_time[0] == pytest.approx(11.0)
+        assert c.comm_time[1] == pytest.approx(1.0)
+
+    def test_subset_sync_leaves_others_untouched(self):
+        c = SimClock(4)
+        c.charge_local([1.0, 2.0, 3.0, 4.0])
+        c.sync_collective(1.0, ranks=[0, 1])
+        assert c.t[0] == c.t[1] == pytest.approx(3.0)
+        assert c.t[3] == pytest.approx(4.0)
+
+
+class TestP2P:
+    def test_both_endpoints_meet(self):
+        c = SimClock(3)
+        c.charge_local([1.0, 4.0, 0.0])
+        end = c.charge_p2p(0, 1, 2.0)
+        assert end == pytest.approx(6.0)
+        assert c.t[0] == c.t[1] == pytest.approx(6.0)
+        assert c.t[2] == 0.0
+
+
+class TestDerivedStats:
+    def test_imbalance_balanced(self):
+        c = SimClock(4)
+        c.charge_local(2.0)
+        assert c.imbalance == pytest.approx(1.0)
+
+    def test_imbalance_skewed(self):
+        c = SimClock(2)
+        c.charge_local([0.0, 4.0])
+        assert c.imbalance == pytest.approx(2.0)
+
+    def test_imbalance_of_idle_machine_is_one(self):
+        assert SimClock(4).imbalance == 1.0
+
+    def test_reset(self):
+        c = SimClock(2)
+        c.charge_local(3.0)
+        c.reset()
+        assert c.makespan == 0.0

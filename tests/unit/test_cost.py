@@ -1,0 +1,94 @@
+"""Unit tests: the alpha-beta cost model (repro.machine.cost)."""
+
+import math
+
+import pytest
+
+from repro.machine.cost import FREE_COMMUNICATION, CollectiveCost, CostParams, log2_ceil
+
+
+class TestLog2Ceil:
+    def test_single_pe_is_free(self):
+        assert log2_ceil(1) == 0
+
+    def test_powers_of_two(self):
+        assert log2_ceil(2) == 1
+        assert log2_ceil(8) == 3
+        assert log2_ceil(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert log2_ceil(3) == 2
+        assert log2_ceil(5) == 3
+        assert log2_ceil(1000) == 10
+
+
+class TestPointToPoint:
+    def test_message_cost_is_alpha_plus_beta_m(self):
+        c = CostParams(alpha=2.0, beta=0.5)
+        assert c.p2p(10) == pytest.approx(2.0 + 5.0)
+
+    def test_empty_message_still_pays_startup(self):
+        c = CostParams(alpha=3.0, beta=1.0)
+        assert c.p2p(0) == pytest.approx(3.0)
+
+    def test_local_work_scales_linearly(self):
+        c = CostParams(time_per_op=1e-9)
+        assert c.local(1000) == pytest.approx(1e-6)
+
+
+class TestCollectiveFormulas:
+    C = CostParams(alpha=1.0, beta=0.01)
+
+    def test_broadcast_has_log_p_startups(self):
+        for p in (2, 4, 16, 64):
+            cc = self.C.broadcast(10, p)
+            assert cc.startups == log2_ceil(p)
+
+    def test_broadcast_volume_independent_of_p(self):
+        v8 = self.C.broadcast(100, 8).words
+        v64 = self.C.broadcast(100, 64).words
+        assert v8 == v64 == 100
+
+    def test_allreduce_doubles_volume(self):
+        assert self.C.allreduce(50, 8).words == 2 * self.C.reduce(50, 8).words
+
+    def test_gather_direct_startups_linear_in_p(self):
+        assert self.C.gather_direct(100, 32).startups == 31
+        assert self.C.gather(100, 32).startups == 5
+
+    def test_allgather_volume_scales_with_p(self):
+        cc = self.C.allgather(10, 16)
+        assert cc.words == 10 * 15
+
+    def test_alltoall_direct_vs_hypercube_tradeoff(self):
+        p = 64
+        direct = self.C.alltoall_direct(10, p)
+        hyper = self.C.alltoall_hypercube(10, p)
+        # direct: fewer transferred words, more startups
+        assert direct.startups > hyper.startups
+        assert direct.words < hyper.words
+
+    def test_barrier_moves_no_data(self):
+        assert self.C.barrier(32).words == 0
+
+    def test_single_pe_collectives_free(self):
+        for fn in ("broadcast", "reduce", "allreduce", "scan"):
+            cc = getattr(self.C, fn)(100, 1)
+            assert cc.startups == 0
+            assert cc.time == pytest.approx(self.C.beta * cc.words)
+
+
+class TestFreeCommunication:
+    def test_zero_cost(self):
+        assert FREE_COMMUNICATION.p2p(1_000_000) == 0.0
+        assert FREE_COMMUNICATION.broadcast(100, 64).time == 0.0
+
+    def test_local_work_still_costs(self):
+        assert FREE_COMMUNICATION.local(100) > 0
+
+
+class TestCollectiveCostDataclass:
+    def test_frozen(self):
+        cc = CollectiveCost(1.0, 2, 3.0)
+        with pytest.raises(AttributeError):
+            cc.time = 5.0

@@ -1,0 +1,114 @@
+"""Unit tests: input distributions (repro.common.distributions)."""
+
+import numpy as np
+import pytest
+
+from repro.common.distributions import (
+    GappedSpec,
+    ZipfDistribution,
+    gapped_sample,
+    harmonic_number,
+    negative_binomial_sample,
+    zipf_sample,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestHarmonic:
+    def test_known_values(self):
+        assert harmonic_number(1, 1.0) == pytest.approx(1.0)
+        assert harmonic_number(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_s_zero_counts(self):
+        assert harmonic_number(10, 0.0) == pytest.approx(10.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            harmonic_number(0, 1.0)
+
+
+class TestZipf:
+    def test_range(self, rng):
+        x = ZipfDistribution(100, 1.0).sample(rng, 5000)
+        assert x.min() >= 1 and x.max() <= 100
+
+    def test_rank_one_most_frequent(self, rng):
+        x = ZipfDistribution(1000, 1.2).sample(rng, 50_000)
+        vals, counts = np.unique(x, return_counts=True)
+        assert vals[np.argmax(counts)] == 1
+
+    def test_frequency_matches_law(self, rng):
+        d = ZipfDistribution(64, 1.0)
+        n = 200_000
+        x = d.sample(rng, n)
+        c1 = (x == 1).sum()
+        c2 = (x == 2).sum()
+        # expect c1/c2 ~= 2
+        assert 1.7 < c1 / c2 < 2.3
+
+    def test_expected_count_formula(self, rng):
+        d = ZipfDistribution(64, 1.0)
+        n = 100_000
+        x = d.sample(rng, n)
+        exp1 = d.expected_count(1, n)
+        assert abs((x == 1).sum() - exp1) < 0.1 * exp1
+
+    def test_pmf_sums_to_one(self):
+        assert ZipfDistribution(500, 1.3).pmf().sum() == pytest.approx(1.0)
+
+    def test_s_zero_is_uniform(self, rng):
+        pmf = ZipfDistribution(10, 0.0).pmf()
+        assert np.allclose(pmf, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfDistribution(10, -1.0)
+
+    def test_wrapper(self, rng):
+        x = zipf_sample(rng, 100, universe=50, s=1.0)
+        assert x.dtype == np.int64 and x.size == 100
+
+
+class TestNegativeBinomial:
+    def test_plateau_center(self, rng):
+        x = negative_binomial_sample(rng, 100_000, r=1000, p_success=0.05)
+        # mean of NB(r, p) counting failures: r (1-p)/p = 19000
+        assert abs(x.mean() - 19_000) < 200
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            negative_binomial_sample(rng, 10, r=0)
+        with pytest.raises(ValueError):
+            negative_binomial_sample(rng, 10, p_success=1.5)
+
+
+class TestGapped:
+    def test_head_heavier_than_tail(self, rng):
+        spec = GappedSpec(universe=256, k=8, gap=6.0)
+        x = spec.sample(rng, 100_000)
+        vals, counts = np.unique(x, return_counts=True)
+        cmap = dict(zip(vals, counts))
+        head_min = min(cmap.get(i, 0) for i in range(1, 9))
+        tail_max = max(cmap.get(i, 0) for i in range(9, 257))
+        assert head_min > 2 * tail_max  # gap factor 6 with noise margin
+
+    def test_pmf_gap_ratio(self):
+        spec = GappedSpec(universe=100, k=5, gap=4.0)
+        pmf = spec.pmf()
+        assert pmf[0] / pmf[50] == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GappedSpec(universe=10, k=10, gap=2.0)
+        with pytest.raises(ValueError):
+            GappedSpec(universe=10, k=2, gap=1.0)
+
+    def test_wrapper(self, rng):
+        x = gapped_sample(rng, 1000, universe=64, k=4, gap=8.0)
+        assert x.min() >= 1 and x.max() <= 64

@@ -1,0 +1,76 @@
+"""Unit tests: benchmark harness (repro.bench.harness)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BenchRow,
+    format_table,
+    run_algorithm,
+    weak_scaling,
+    write_csv,
+)
+from repro.machine import DistArray
+
+
+class TestRunAlgorithm:
+    def test_excludes_generation_cost(self):
+        def make(machine):
+            machine.charge_ops(10**9)  # expensive generation
+            return DistArray(machine, [np.arange(10)] * machine.p)
+
+        row = run_algorithm("exp", "algo", 4, 10, make, lambda m, d: None)
+        assert row.time_s == 0.0
+
+    def test_extra_columns(self):
+        row = run_algorithm(
+            "exp", "a", 2, 5,
+            lambda m: None,
+            lambda m, d: {"custom": 42},
+        )
+        assert row.extra["custom"] == 42
+        assert row.as_dict()["custom"] == 42
+
+    def test_measures_modeled_time(self):
+        def run(machine, _):
+            machine.allreduce([1] * machine.p)
+
+        row = run_algorithm("exp", "a", 8, 1, lambda m: None, run)
+        assert row.time_s > 0
+        assert row.startups > 0
+
+
+class TestWeakScaling:
+    def test_row_grid(self):
+        rows = weak_scaling(
+            "exp",
+            {"x": lambda m, d: None, "y": lambda m, d: None},
+            (1, 2, 4),
+            10,
+            lambda m: None,
+        )
+        assert len(rows) == 6
+        assert {r.p for r in rows} == {1, 2, 4}
+        assert {r.algorithm for r in rows} == {"x", "y"}
+
+
+class TestFormatting:
+    def _rows(self):
+        return weak_scaling(
+            "exp", {"a": lambda m, d: m.allreduce([1] * m.p) and None},
+            (2, 4), 10, lambda m: None,
+        )
+
+    def test_format_table_contains_columns(self):
+        txt = format_table(self._rows())
+        assert "algorithm" in txt and "time_s" in txt
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        write_csv(self._rows(), path)
+        content = path.read_text().splitlines()
+        assert content[0].startswith("experiment,")
+        assert len(content) == 3

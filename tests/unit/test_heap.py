@@ -1,0 +1,63 @@
+"""Unit tests: binary heap (repro.pqueue.heap)."""
+
+import numpy as np
+import pytest
+
+from repro.pqueue import BinaryHeap
+
+
+class TestHeap:
+    def test_heapify_constructor(self):
+        h = BinaryHeap([5, 2, 8, 1])
+        h.check_invariants()
+        assert h.peek() == 1
+
+    def test_push_pop_sorted_drain(self):
+        rng = np.random.default_rng(3)
+        vals = rng.integers(0, 1000, 500).tolist()
+        h = BinaryHeap()
+        for v in vals:
+            h.push(v)
+        h.check_invariants()
+        assert [h.pop() for _ in range(len(vals))] == sorted(vals)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinaryHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinaryHeap().peek()
+
+    def test_pop_k(self):
+        h = BinaryHeap([4, 1, 3, 2])
+        assert h.pop_k(2) == [1, 2]
+        assert len(h) == 2
+
+    def test_pop_k_clamps(self):
+        h = BinaryHeap([2, 1])
+        assert h.pop_k(10) == [1, 2]
+
+    def test_pop_k_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryHeap([1]).pop_k(-1)
+
+    def test_pushpop_smaller_than_min(self):
+        h = BinaryHeap([5, 7])
+        assert h.pushpop(1) == 1
+        assert len(h) == 2
+
+    def test_pushpop_larger_than_min(self):
+        h = BinaryHeap([5, 7])
+        assert h.pushpop(6) == 5
+        assert sorted(h.items()) == [6, 7]
+
+    def test_bool_and_len(self):
+        h = BinaryHeap()
+        assert not h
+        h.push(1)
+        assert h and len(h) == 1
+
+    def test_tuple_keys(self):
+        h = BinaryHeap([(2, "b"), (1, "a")])
+        assert h.pop() == (1, "a")

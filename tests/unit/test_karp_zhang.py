@@ -1,0 +1,59 @@
+"""Unit tests: random-allocation PQ baseline (repro.pqueue.karp_zhang)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.pqueue import BulkParallelPQ, RandomAllocPQ
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(37)
+
+
+class TestRandomAllocPQ:
+    def test_insert_and_delete_correct(self, machine, rng):
+        pq = RandomAllocPQ(machine)
+        batches = [list(rng.random(50)) for _ in range(machine.p)]
+        pq.insert(batches)
+        allv = sorted(v for b in batches for v in b)
+        assert pq.total_size() == len(allv)
+        got = sorted(s for b in pq.delete_min(20) for s, _ in b)
+        assert got == pytest.approx(allv[:20])
+
+    def test_insert_pays_communication(self, rng):
+        """The defining contrast to Section 5's queue: insertions move
+        elements to random PEs."""
+        m_kz = Machine(p=8, seed=1)
+        kz = RandomAllocPQ(m_kz)
+        m_kz.reset()
+        kz.insert([list(rng.random(50)) for _ in range(8)])
+        m_bulk = Machine(p=8, seed=1)
+        bulk = BulkParallelPQ(m_bulk)
+        m_bulk.reset()
+        bulk.insert([list(rng.random(50)) for _ in range(8)])
+        assert m_kz.metrics.total_traffic > 0
+        assert m_bulk.metrics.total_traffic == 0
+
+    def test_placement_is_balanced(self, rng):
+        m = Machine(p=8, seed=2)
+        pq = RandomAllocPQ(m)
+        pq.insert([list(rng.random(400)) for _ in range(8)])
+        sizes = [len(h) for h in pq.heaps]
+        assert max(sizes) < 2 * min(sizes) + 50
+
+    def test_invalid_k(self, machine8, rng):
+        pq = RandomAllocPQ(machine8)
+        pq.insert([[1.0]] * 8)
+        with pytest.raises(ValueError):
+            pq.delete_min(9)
+
+    def test_wrong_arity(self, machine8):
+        with pytest.raises(ValueError):
+            RandomAllocPQ(machine8).insert([[1.0]] * 2)
+
+    def test_empty_batches_ok(self, machine8):
+        pq = RandomAllocPQ(machine8)
+        pq.insert([[] for _ in range(8)])
+        assert pq.total_size() == 0

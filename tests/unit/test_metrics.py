@@ -1,0 +1,99 @@
+"""Unit tests: per-PE communication metering (repro.machine.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.metrics import CommMetrics, payload_words
+
+
+class TestPayloadWords:
+    def test_scalars_cost_one_word(self):
+        assert payload_words(5) == 1
+        assert payload_words(3.14) == 1
+        assert payload_words(np.int64(7)) == 1
+        assert payload_words(True) == 1
+
+    def test_none_is_free(self):
+        assert payload_words(None) == 0
+
+    def test_array_costs_size(self):
+        assert payload_words(np.zeros(17)) == 17
+        assert payload_words(np.zeros((0,))) == 0
+
+    def test_dict_costs_two_per_entry(self):
+        assert payload_words({1: 2, 3: 4, 5: 6}) == 6
+
+    def test_nested_list(self):
+        assert payload_words([1, 2.0, np.arange(3)]) == 5
+
+    def test_string_costs_words(self):
+        assert payload_words("ab") == 1
+        assert payload_words("x" * 17) == 3
+
+    def test_custom_comm_words_protocol(self):
+        class Thing:
+            def comm_words(self):
+                return 42
+
+        assert payload_words(Thing()) == 42
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            payload_words(object())
+
+
+class TestCommMetrics:
+    def test_requires_at_least_one_pe(self):
+        with pytest.raises(ValueError):
+            CommMetrics(0)
+
+    def test_p2p_recording(self):
+        m = CommMetrics(4)
+        m.record_p2p(0, 3, 10)
+        assert m.words_sent[0] == 10
+        assert m.words_recv[3] == 10
+        assert m.msgs_sent[0] == 1
+        assert m.bottleneck_words == 10
+
+    def test_self_message_not_counted(self):
+        m = CommMetrics(4)
+        m.record_p2p(2, 2, 100)
+        assert m.total_traffic == 0
+
+    def test_bottleneck_is_max_of_sent_and_recv(self):
+        m = CommMetrics(3)
+        m.record_p2p(0, 1, 5)
+        m.record_p2p(2, 1, 7)
+        assert m.bottleneck_words == 12  # PE 1 receives 12
+
+    def test_schedule_recording_tracks_kind(self):
+        m = CommMetrics(4)
+        m.record_schedule([(0, 1, 4.0), (2, 3, 6.0)], kind="mykind")
+        assert m.by_kind["mykind"] == 10.0
+        assert m.calls["mykind"] == 1
+
+    def test_snapshot_diff(self):
+        m = CommMetrics(2)
+        m.record_p2p(0, 1, 5)
+        snap = m.snapshot()
+        m.record_p2p(0, 1, 7)
+        diff = m.snapshot() - snap
+        assert diff.bottleneck_words == 7
+
+    def test_reset(self):
+        m = CommMetrics(2)
+        m.record_p2p(0, 1, 5)
+        m.reset()
+        assert m.total_traffic == 0
+        assert m.by_kind == {}
+
+    def test_describe_mentions_kinds(self):
+        m = CommMetrics(2)
+        m.record_p2p(0, 1, 5, kind="zz_test")
+        assert "zz_test" in m.describe()
+
+    def test_bottleneck_startups(self):
+        m = CommMetrics(3)
+        for _ in range(4):
+            m.record_p2p(0, 1, 1)
+        assert m.bottleneck_startups == 4

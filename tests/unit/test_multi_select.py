@@ -1,0 +1,113 @@
+"""Unit tests: distributed multiselection and quantiles."""
+
+import numpy as np
+import pytest
+
+from repro.machine import DistArray, Machine
+from repro.selection import multi_select, quantiles
+
+from ..conftest import make_dist, sorted_oracle
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+class TestMultiSelect:
+    def test_matches_oracle_many_ranks(self, machine8, rng):
+        data = make_dist(machine8, rng, 2000)
+        s = sorted_oracle(data)
+        ks = [1, 7, 500, 8000, 15999, 16000]
+        vals = multi_select(machine8, data, ks)
+        for k, v in zip(sorted(set(ks)), vals):
+            assert v == s[k - 1]
+
+    def test_single_rank_matches_select_kth(self, machine8, rng):
+        from repro.selection import select_kth
+
+        data = make_dist(machine8, rng, 1000)
+        assert multi_select(machine8, data, [4000])[0] == select_kth(
+            machine8, data, 4000
+        )
+
+    def test_duplicate_ranks_deduplicated(self, machine8, rng):
+        data = make_dist(machine8, rng, 500)
+        vals = multi_select(machine8, data, [100, 100, 100])
+        assert len(vals) == 1
+
+    def test_duplicate_heavy_values(self, machine8, rng):
+        data = make_dist(machine8, rng, 1000, lo=0, hi=5)
+        s = sorted_oracle(data)
+        ks = [1, 2000, 4000, 8000]
+        vals = multi_select(machine8, data, ks)
+        for k, v in zip(ks, vals):
+            assert v == s[k - 1]
+
+    def test_empty_ranks(self, machine8, rng):
+        data = make_dist(machine8, rng, 10)
+        assert multi_select(machine8, data, []) == []
+
+    def test_rank_out_of_range(self, machine8, rng):
+        data = make_dist(machine8, rng, 10)
+        with pytest.raises(ValueError):
+            multi_select(machine8, data, [0])
+        with pytest.raises(ValueError):
+            multi_select(machine8, data, [81])
+
+    def test_skewed_placement(self, machine8, rng):
+        chunks = [rng.integers(0, 10**6, 5000)] + [np.empty(0, dtype=np.int64)] * 7
+        data = DistArray(machine8, chunks)
+        s = sorted_oracle(data)
+        vals = multi_select(machine8, data, [1, 2500, 5000])
+        assert vals == [s[0], s[2499], s[4999]]
+
+    def test_shared_recursion_cheaper_than_independent(self, rng):
+        """m shared ranks must beat m independent selections on local
+        work: every element is partitioned once per shared level instead
+        of once per rank (traffic is comparable since the deep segments
+        dominate either way)."""
+        from repro.selection import select_kth
+
+        ks = [1000, 2000, 4000, 8000, 12000]
+        m1 = Machine(p=8, seed=9)
+        data1 = make_dist(m1, np.random.default_rng(5), 2000)
+        m1.reset()
+        multi_select(m1, data1, ks)
+        shared = m1.clock.work_time.max()
+        m2 = Machine(p=8, seed=9)
+        data2 = make_dist(m2, np.random.default_rng(5), 2000)
+        m2.reset()
+        for k in ks:
+            select_kth(m2, data2, k)
+        independent = m2.clock.work_time.max()
+        assert shared < independent
+
+
+class TestQuantiles:
+    def test_median(self, machine8, rng):
+        data = make_dist(machine8, rng, 1000)
+        s = sorted_oracle(data)
+        med = quantiles(machine8, data, [0.5])[0]
+        assert med == s[int(np.ceil(0.5 * 8000)) - 1]
+
+    def test_order_preserved(self, machine8, rng):
+        data = make_dist(machine8, rng, 500)
+        out = quantiles(machine8, data, [0.9, 0.1])
+        assert out[0] >= out[1]
+
+    def test_extremes(self, machine8, rng):
+        data = make_dist(machine8, rng, 300)
+        s = sorted_oracle(data)
+        lo, hi = quantiles(machine8, data, [0.0, 1.0])
+        assert lo == s[0] and hi == s[-1]
+
+    def test_invalid_q(self, machine8, rng):
+        data = make_dist(machine8, rng, 10)
+        with pytest.raises(ValueError):
+            quantiles(machine8, data, [1.5])
+
+    def test_empty_data(self, machine8):
+        data = DistArray(machine8, [np.empty(0)] * 8)
+        with pytest.raises(ValueError):
+            quantiles(machine8, data, [0.5])

@@ -1,0 +1,80 @@
+"""Unit tests: Naive / Naive-Tree baselines (repro.frequent.naive)."""
+
+import numpy as np
+import pytest
+
+from repro.common import zipf_sample
+from repro.frequent import (
+    exact_counts_oracle,
+    pac_error,
+    top_k_frequent_naive,
+    top_k_frequent_naive_tree,
+)
+from repro.machine import DistArray, Machine
+
+
+def zipf_data(machine, n_per_pe=10_000, universe=1024):
+    return DistArray.generate(
+        machine, lambda r, g: zipf_sample(g, n_per_pe, universe=universe, s=1.0)
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("fn", [top_k_frequent_naive, top_k_frequent_naive_tree])
+    def test_rho_one_exact(self, machine8, fn):
+        data = zipf_data(machine8, 3000)
+        true = exact_counts_oracle(data)
+        res = fn(machine8, data, 8, rho=1.0)
+        oracle = sorted(true.items(), key=lambda t: (-t[1], t[0]))[:8]
+        assert [(key, int(c)) for key, c in res.items] == oracle
+
+    @pytest.mark.parametrize("fn", [top_k_frequent_naive, top_k_frequent_naive_tree])
+    def test_error_bound(self, machine8, fn):
+        data = zipf_data(machine8, 20_000)
+        true = exact_counts_oracle(data)
+        eps = 5e-3
+        res = fn(machine8, data, 16, eps=eps, delta=1e-3)
+        assert pac_error(res.keys, true, 16) <= eps * data.global_size
+
+    @pytest.mark.parametrize("fn", [top_k_frequent_naive, top_k_frequent_naive_tree])
+    def test_empty(self, machine8, fn):
+        data = DistArray(machine8, [np.empty(0, dtype=np.int64)] * 8)
+        assert fn(machine8, data, 4).items == ()
+
+
+class TestScalingStructure:
+    def test_naive_coordinator_receives_everything(self):
+        p = 16
+        m = Machine(p=p, seed=9)
+        data = zipf_data(m, 2000, universe=256)
+        m.reset()
+        top_k_frequent_naive(m, data, 8, rho=1.0)
+        # coordinator inbound messages = p - 1 (the scaling killer)
+        assert m.metrics.msgs_recv[0] >= p - 1
+
+    def test_tree_coordinator_less_loaded_than_naive(self):
+        p = 16
+        m_tree = Machine(p=p, seed=9)
+        data = zipf_data(m_tree, 2000, universe=256)
+        m_tree.reset()
+        top_k_frequent_naive_tree(m_tree, data, 8, rho=1.0)
+        m_dir = Machine(p=p, seed=9)
+        data2 = zipf_data(m_dir, 2000, universe=256)
+        m_dir.reset()
+        top_k_frequent_naive(m_dir, data2, 8, rho=1.0)
+        # the aggregation-tree coordinator accepts fewer messages than
+        # the direct-gather coordinator (log p vs p - 1)
+        tree_msgs = m_tree.metrics.calls.get("naive_tree", 0)
+        assert tree_msgs <= p - 1
+        assert m_tree.metrics.msgs_recv[0] < m_dir.metrics.msgs_recv[0]
+
+    def test_naive_slower_than_tree_at_scale(self):
+        p = 32
+        rows = {}
+        for name, fn in (("naive", top_k_frequent_naive), ("tree", top_k_frequent_naive_tree)):
+            m = Machine(p=p, seed=10)
+            data = zipf_data(m, 1000, universe=256)
+            m.reset()
+            fn(m, data, 8, rho=1.0)
+            rows[name] = m.clock.makespan
+        assert rows["naive"] > rows["tree"]

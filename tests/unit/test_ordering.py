@@ -1,0 +1,54 @@
+"""Unit tests: order sentinels (repro.common.ordering)."""
+
+import pytest
+
+from repro.common.ordering import BOTTOM, TOP, is_sentinel
+
+
+class TestSentinels:
+    def test_top_greater_than_everything(self):
+        for x in (0, 1e300, "zzz", (99, 99), float("inf")):
+            assert TOP > x
+            assert x < TOP
+            assert not (TOP < x)
+
+    def test_bottom_smaller_than_everything(self):
+        for x in (0, -1e300, "", (0,), float("-inf")):
+            assert BOTTOM < x
+            assert x > BOTTOM
+            assert not (BOTTOM > x)
+
+    def test_ordering_between_sentinels(self):
+        assert BOTTOM < TOP
+        assert TOP > BOTTOM
+
+    def test_equality_is_identity(self):
+        assert TOP == TOP
+        assert BOTTOM == BOTTOM
+        assert TOP != BOTTOM
+        assert TOP != 5
+
+    def test_singletons(self):
+        from repro.common.ordering import _Bottom, _Top
+
+        assert _Top() is TOP
+        assert _Bottom() is BOTTOM
+
+    def test_min_max_builtin_compatibility(self):
+        vals = [3, TOP, 1, BOTTOM, 2]
+        assert min(vals) is BOTTOM
+        assert max(vals) is TOP
+
+    def test_works_with_tuples(self):
+        assert min([(2, 1), TOP]) == (2, 1)
+        assert max([(2, 1), BOTTOM]) == (2, 1)
+
+    def test_comm_words(self):
+        assert TOP.comm_words() == 1
+        assert BOTTOM.comm_words() == 1
+
+    def test_is_sentinel(self):
+        assert is_sentinel(TOP)
+        assert is_sentinel(BOTTOM)
+        assert is_sentinel(float("inf"))
+        assert not is_sentinel(42)

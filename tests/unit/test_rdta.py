@@ -1,0 +1,62 @@
+"""Unit tests: RDTA (repro.topk.rdta)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.topk import SumScore, build_distributed_index, global_topk_oracle, rdta_topk
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(47)
+
+
+def random_placement(machine, rng, n, m):
+    ids = np.arange(n)
+    scores = rng.random((n, m))
+    parts = np.array_split(rng.permutation(n), machine.p)
+    return build_distributed_index(
+        machine, [ids[pt] for pt in parts], [scores[pt] for pt in parts]
+    )
+
+
+class TestRDTA:
+    def test_matches_oracle(self, machine, rng):
+        idx = random_placement(machine, rng, 1200, 3)
+        scorer = SumScore(3)
+        res = rdta_topk(machine, idx, scorer, 25)
+        assert list(res.items) == global_topk_oracle(idx, scorer, 25)
+
+    def test_k_one(self, machine8, rng):
+        idx = random_placement(machine8, rng, 800, 2)
+        scorer = SumScore(2)
+        res = rdta_topk(machine8, idx, scorer, 1)
+        assert list(res.items) == global_topk_oracle(idx, scorer, 1)
+
+    def test_larger_k(self, machine8, rng):
+        idx = random_placement(machine8, rng, 800, 2)
+        scorer = SumScore(2)
+        res = rdta_topk(machine8, idx, scorer, 100)
+        assert list(res.items) == global_topk_oracle(idx, scorer, 100)
+
+    def test_rounds_small_for_random_placement(self, machine8, rng):
+        idx = random_placement(machine8, rng, 2000, 3)
+        res = rdta_topk(machine8, idx, scorer=SumScore(3), k=32)
+        assert res.rounds <= 3
+
+    def test_invalid_k(self, machine8, rng):
+        idx = random_placement(machine8, rng, 100, 2)
+        with pytest.raises(ValueError):
+            rdta_topk(machine8, idx, SumScore(2), 0)
+
+    def test_wrong_index_count(self, machine8, rng):
+        idx = random_placement(machine8, rng, 100, 2)
+        with pytest.raises(ValueError):
+            rdta_topk(machine8, idx[:4], SumScore(2), 5)
+
+    def test_result_replicated_and_sorted(self, machine8, rng):
+        idx = random_placement(machine8, rng, 500, 2)
+        res = rdta_topk(machine8, idx, SumScore(2), 10)
+        rels = [r for _, r in res.items]
+        assert rels == sorted(rels, reverse=True)

@@ -1,0 +1,133 @@
+"""Unit tests: adaptive redistribution (repro.redistribution.balance)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import DistArray, Machine
+from repro.redistribution import balance_plan, naive_rebalance, redistribute
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(89)
+
+
+def dist_with_sizes(machine, sizes, rng):
+    chunks = [rng.integers(0, 10**6, size=int(s)).astype(np.int64) for s in sizes]
+    return DistArray(machine, chunks)
+
+
+class TestBalancePlan:
+    def test_balanced_input_no_moves(self):
+        assert balance_plan(np.array([10, 10, 10, 10])) == []
+
+    def test_point_imbalance(self):
+        plan = balance_plan(np.array([40, 0, 0, 0]))
+        moved = sum(t.count for t in plan)
+        assert moved == 30
+        assert all(t.src == 0 for t in plan)
+
+    def test_senders_only_send_receivers_only_receive(self, rng):
+        sizes = rng.integers(0, 100, 16)
+        n_bar = -(-int(sizes.sum()) // 16)
+        plan = balance_plan(sizes)
+        senders = {t.src for t in plan}
+        receivers = {t.dst for t in plan}
+        for s in senders:
+            assert sizes[s] > n_bar
+        for r in receivers:
+            assert sizes[r] < n_bar
+
+    def test_moved_equals_total_surplus(self, rng):
+        sizes = rng.integers(0, 200, 8)
+        n_bar = -(-int(sizes.sum()) // 8)
+        surplus = np.maximum(sizes - n_bar, 0).sum()
+        plan = balance_plan(sizes)
+        assert sum(t.count for t in plan) == surplus
+
+    def test_no_overfill(self, rng):
+        sizes = rng.integers(0, 500, 32)
+        n_bar = -(-int(sizes.sum()) // 32)
+        plan = balance_plan(sizes)
+        received = np.zeros(32, dtype=np.int64)
+        for t in plan:
+            received[t.dst] += t.count
+        final = sizes + received - np.array(
+            [sum(t.count for t in plan if t.src == i) for i in range(32)]
+        )
+        assert np.all(final <= n_bar)
+
+    def test_custom_n_bar(self):
+        plan = balance_plan(np.array([10, 0]), n_bar=8)
+        assert sum(t.count for t in plan) == 2
+
+
+class TestRedistribute:
+    def test_multiset_preserved(self, machine8, rng):
+        data = dist_with_sizes(machine8, [100, 0, 50, 300, 10, 0, 40, 20], rng)
+        before = np.sort(data.concat())
+        out, stats = redistribute(machine8, data)
+        assert np.array_equal(np.sort(out.concat()), before)
+
+    def test_capacity_respected(self, machine8, rng):
+        data = dist_with_sizes(machine8, [400, 0, 0, 0, 0, 0, 0, 0], rng)
+        out, stats = redistribute(machine8, data)
+        assert all(s <= 50 for s in out.sizes())
+        assert stats.moved == 350
+
+    def test_balanced_input_moves_nothing(self, machine8, rng):
+        data = dist_with_sizes(machine8, [50] * 8, rng)
+        machine8.reset()
+        out, stats = redistribute(machine8, data)
+        assert stats.moved == 0
+        assert machine8.metrics.by_kind.get("redistribute", 0) == 0
+
+    def test_senders_keep_prefix(self, machine8, rng):
+        """Kept elements preserve their local order (tail is shipped)."""
+        data = dist_with_sizes(machine8, [200, 0, 0, 0, 0, 0, 0, 0], rng)
+        orig = data.chunks[0].copy()
+        out, _ = redistribute(machine8, data)
+        keep = len(out.chunks[0])
+        assert np.array_equal(out.chunks[0], orig[:keep])
+
+    def test_stats_fields(self, machine8, rng):
+        data = dist_with_sizes(machine8, [100, 20, 0, 0, 0, 0, 0, 0], rng)
+        _, stats = redistribute(machine8, data)
+        assert stats.max_sent <= stats.moved
+        assert stats.merge_rounds >= 1
+
+    def test_odd_p(self, odd_machine, rng):
+        sizes = [60] + [2] * (odd_machine.p - 1)
+        data = dist_with_sizes(odd_machine, sizes, rng)
+        out, _ = redistribute(odd_machine, data)
+        n_bar = -(-sum(sizes) // odd_machine.p)
+        assert all(s <= n_bar for s in out.sizes())
+
+
+class TestNaiveRebalance:
+    def test_result_balanced(self, machine8, rng):
+        data = dist_with_sizes(machine8, [100, 0, 50, 300, 10, 0, 40, 20], rng)
+        out, moved = naive_rebalance(machine8, data)
+        sizes = out.sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_moves_at_least_adaptive(self, rng):
+        sizes = [100, 0, 50, 300, 10, 0, 40, 20]
+        m1 = Machine(p=8, seed=1)
+        d1 = dist_with_sizes(m1, sizes, np.random.default_rng(0))
+        _, stats = redistribute(m1, d1)
+        m2 = Machine(p=8, seed=1)
+        d2 = dist_with_sizes(m2, sizes, np.random.default_rng(0))
+        _, moved = naive_rebalance(m2, d2)
+        assert moved >= stats.moved
+
+    def test_even_input_still_moves_data(self, machine8, rng):
+        """The contrast case: naive repartition is not adaptive --
+        with an uneven-but-acceptable layout it still shuffles."""
+        data = dist_with_sizes(machine8, [51, 49, 50, 50, 50, 50, 50, 50], rng)
+        _, moved = naive_rebalance(machine8, data)
+        m2 = Machine(p=8, seed=2)
+        d2 = dist_with_sizes(m2, [51, 49, 50, 50, 50, 50, 50, 50], rng)
+        _, stats = redistribute(m2, d2)
+        assert stats.moved <= 1
+        assert moved >= stats.moved

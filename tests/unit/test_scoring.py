@@ -1,0 +1,48 @@
+"""Unit tests: scoring functions (repro.topk.scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.topk import MinScore, SumScore, WeightedSum
+
+
+class TestSumScore:
+    def test_scalar(self):
+        assert SumScore(3)(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_rows(self):
+        rows = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert list(SumScore(2).apply_rows(rows)) == [3.0, 7.0]
+
+    def test_ops_per_eval(self):
+        assert SumScore(5).ops_per_eval == 5
+
+
+class TestWeightedSum:
+    def test_scalar(self):
+        assert WeightedSum((2.0, 0.5))(np.array([1.0, 4.0])) == 4.0
+
+    def test_scalar_vector_bit_identical(self):
+        rng = np.random.default_rng(1)
+        rows = rng.random((100, 4))
+        w = WeightedSum((0.3, 0.1, 0.45, 0.15))
+        vec = w.apply_rows(rows)
+        for i in (0, 13, 99):
+            assert w(rows[i]) == vec[i]  # exact equality required
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightedSum((1.0, -0.1))
+
+    def test_monotone(self):
+        w = WeightedSum((1.0, 2.0))
+        assert w(np.array([1.0, 1.0])) < w(np.array([1.0, 1.1]))
+
+
+class TestMinScore:
+    def test_scalar(self):
+        assert MinScore(3)(np.array([0.5, 0.2, 0.9])) == 0.2
+
+    def test_rows(self):
+        rows = np.array([[1.0, 2.0], [0.5, 3.0]])
+        assert list(MinScore(2).apply_rows(rows)) == [1.0, 0.5]

@@ -1,0 +1,95 @@
+"""Unit tests: sequential quickselect / Floyd-Rivest."""
+
+import numpy as np
+import pytest
+
+from repro.selection import floyd_rivest_select, fr_pivots, kth_smallest, quickselect
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(13)
+
+
+class TestQuickselect:
+    def test_matches_sort(self, rng):
+        data = rng.integers(0, 1000, 2000)
+        s = np.sort(data)
+        for k in (1, 2, 1000, 1999, 2000):
+            assert quickselect(data, k) == s[k - 1]
+
+    def test_all_equal(self):
+        data = np.full(100, 7)
+        assert quickselect(data, 50) == 7
+
+    def test_duplicate_heavy(self, rng):
+        data = rng.integers(0, 5, 1000)
+        s = np.sort(data)
+        for k in (1, 500, 1000):
+            assert quickselect(data, k) == s[k - 1]
+
+    def test_input_not_modified(self, rng):
+        data = rng.integers(0, 100, 500)
+        before = data.copy()
+        quickselect(data, 250)
+        assert np.array_equal(data, before)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            quickselect(np.arange(10), 0)
+        with pytest.raises(ValueError):
+            quickselect(np.arange(10), 11)
+
+    def test_floats(self, rng):
+        data = rng.random(777)
+        assert quickselect(data, 300) == np.sort(data)[299]
+
+
+class TestFloydRivest:
+    def test_matches_sort_large(self, rng):
+        data = rng.integers(0, 10**6, 50_000)
+        s = np.sort(data)
+        for k in (1, 100, 25_000, 50_000):
+            assert floyd_rivest_select(data, k) == s[k - 1]
+
+    def test_skewed_input(self, rng):
+        data = np.concatenate([np.zeros(10_000), rng.integers(1, 100, 10_000)])
+        s = np.sort(data)
+        assert floyd_rivest_select(data, 10_000) == s[9999]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            floyd_rivest_select(np.arange(10), 0)
+
+
+class TestFrPivots:
+    def test_pivots_bracket_target(self, rng):
+        sample = np.sort(rng.random(100))
+        lo, hi = fr_pivots(sample, k=5000, n=10_000)
+        assert lo <= sample[50] <= hi
+
+    def test_pivots_ordered(self, rng):
+        sample = np.sort(rng.random(64))
+        lo, hi = fr_pivots(sample, k=1, n=1000)
+        assert lo <= hi
+
+    def test_extreme_ranks_clamped(self, rng):
+        sample = np.sort(rng.random(32))
+        lo, hi = fr_pivots(sample, k=10**9, n=10**9)
+        assert hi == sample[-1]
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            fr_pivots(np.empty(0), 1, 10)
+
+
+class TestDispatch:
+    def test_kth_smallest_small_and_large(self, rng):
+        small = rng.integers(0, 50, 100)
+        large = rng.integers(0, 50, 10_000)
+        assert kth_smallest(small, 50) == np.sort(small)[49]
+        assert kth_smallest(large, 5000) == np.sort(large)[4999]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            kth_smallest(np.arange(5), 6)

@@ -1,0 +1,116 @@
+"""Unit tests: multisequence selection (Appendix A, Algorithm 9)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.selection import ms_select, ms_select_with_cuts
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+def sorted_chunks(machine, rng, n_per_pe, lo=0, hi=10**6):
+    return [np.sort(rng.integers(lo, hi, n_per_pe)) for _ in range(machine.p)]
+
+
+class TestMsSelect:
+    def test_matches_oracle(self, machine, rng):
+        seqs = sorted_chunks(machine, rng, 500)
+        s = np.sort(np.concatenate(seqs))
+        for k in (1, len(s) // 2, len(s)):
+            assert ms_select(machine, seqs, k) == s[k - 1]
+
+    def test_odd_p(self, odd_machine, rng):
+        seqs = sorted_chunks(odd_machine, rng, 300)
+        s = np.sort(np.concatenate(seqs))
+        assert ms_select(odd_machine, seqs, 200) == s[199]
+
+    def test_uneven_lengths(self, machine8, rng):
+        seqs = [np.sort(rng.integers(0, 1000, rng.integers(0, 500))) for _ in range(8)]
+        s = np.sort(np.concatenate(seqs))
+        if s.size:
+            assert ms_select(machine8, seqs, s.size // 2 + 1) == s[s.size // 2]
+
+    def test_empty_sequences_on_some_pes(self, machine8, rng):
+        seqs = [np.sort(rng.integers(0, 100, 200))] + [np.empty(0)] * 7
+        s = np.sort(seqs[0])
+        assert ms_select(machine8, seqs, 100) == s[99]
+
+    def test_duplicates(self, machine8, rng):
+        seqs = sorted_chunks(machine8, rng, 400, lo=0, hi=5)
+        s = np.sort(np.concatenate(seqs))
+        for k in (1, 1600, 3200):
+            assert ms_select(machine8, seqs, k) == s[k - 1]
+
+    def test_invalid_k(self, machine8, rng):
+        seqs = sorted_chunks(machine8, rng, 10)
+        with pytest.raises(ValueError):
+            ms_select(machine8, seqs, 0)
+        with pytest.raises(ValueError):
+            ms_select(machine8, seqs, 81)
+
+    def test_wrong_seq_count(self, machine8, rng):
+        with pytest.raises(ValueError, match="one sequence per PE"):
+            ms_select(machine8, [np.arange(5)] * 3, 1)
+
+    def test_stats_round_counting(self, machine8, rng):
+        seqs = sorted_chunks(machine8, rng, 1000)
+        stats = ms_select(machine8, seqs, 4000, return_stats=True)
+        assert stats.rounds >= 0
+        assert stats.comm_rounds >= 1
+        s = np.sort(np.concatenate(seqs))
+        assert stats.value == s[3999]
+
+    def test_restricts_to_first_k(self, machine8, rng):
+        """k=1 must not look past the local heads (latency argument)."""
+        seqs = sorted_chunks(machine8, rng, 2000)
+        s = np.sort(np.concatenate(seqs))
+        assert ms_select(machine8, seqs, 1) == s[0]
+
+    def test_tuple_keys(self, machine8):
+        seqs = [
+            [(float(v), (i, j)) for j, v in enumerate(sorted(np.random.default_rng(i).integers(0, 100, 50)))]
+            for i in range(8)
+        ]
+
+        class ListSeq:
+            def __init__(self, xs):
+                self.xs = xs
+
+            def __len__(self):
+                return len(self.xs)
+
+            def item(self, i):
+                return self.xs[i]
+
+            def count_le(self, v):
+                import bisect
+
+                return bisect.bisect_right(self.xs, v)
+
+        wrapped = [ListSeq(s) for s in seqs]
+        allv = sorted(x for s in seqs for x in s)
+        assert ms_select(machine8, wrapped, 100) == allv[99]
+
+
+class TestMsSelectWithCuts:
+    def test_cuts_sum_to_k(self, machine8, rng):
+        seqs = sorted_chunks(machine8, rng, 300)
+        value, cuts = ms_select_with_cuts(machine8, seqs, 1000)
+        assert sum(cuts) == 1000
+
+    def test_cuts_select_global_prefix(self, machine8, rng):
+        seqs = sorted_chunks(machine8, rng, 300)
+        s = np.sort(np.concatenate(seqs))
+        value, cuts = ms_select_with_cuts(machine8, seqs, 500)
+        got = np.sort(np.concatenate([seqs[i][: cuts[i]] for i in range(8)]))
+        assert np.array_equal(got, s[:500])
+
+    def test_cuts_with_heavy_ties(self, machine8):
+        seqs = [np.zeros(100) for _ in range(8)]
+        value, cuts = ms_select_with_cuts(machine8, seqs, 357)
+        assert sum(cuts) == 357
+        assert value == 0.0

@@ -1,0 +1,135 @@
+"""Unit tests: top-k sum aggregation (repro.aggregation.sum_topk)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    DistKeyValue,
+    exact_sums_oracle,
+    sum_sample_size,
+    top_k_sums_ec,
+    top_k_sums_pac,
+)
+from repro.common import zipf_sample
+from repro.machine import Machine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(79)
+
+
+def kv_data(machine, n_per_pe=15_000, universe=1024, s=1.1):
+    def make(rank, rng):
+        keys = zipf_sample(rng, n_per_pe, universe=universe, s=s)
+        values = rng.exponential(5.0, size=keys.size)
+        return keys, values
+
+    return DistKeyValue.generate(machine, make)
+
+
+class TestDistKeyValue:
+    def test_shapes_checked(self, machine8):
+        with pytest.raises(ValueError, match="differ in length"):
+            DistKeyValue(machine8, [np.arange(3)] * 8, [np.zeros(2)] * 8)
+
+    def test_negative_values_rejected(self, machine8):
+        with pytest.raises(ValueError, match="non-negative"):
+            DistKeyValue(machine8, [np.arange(2)] * 8, [np.array([-1.0, 1.0])] * 8)
+
+    def test_local_aggregate(self, machine8):
+        kv = DistKeyValue(
+            machine8,
+            [np.array([1, 1, 2])] * 8,
+            [np.array([2.0, 3.0, 4.0])] * 8,
+        )
+        uniq, sums = kv.local_aggregate(0)
+        assert list(uniq) == [1, 2]
+        assert list(sums) == [5.0, 4.0]
+
+    def test_global_size(self, machine8):
+        kv = DistKeyValue(machine8, [np.arange(5)] * 8, [np.ones(5)] * 8)
+        assert kv.global_size == 40
+
+
+class TestOracle:
+    def test_exact_sums(self, machine8):
+        kv = DistKeyValue(
+            machine8, [np.array([7, 7])] * 8, [np.array([1.0, 2.0])] * 8
+        )
+        assert exact_sums_oracle(kv) == {7: 24.0}
+
+
+class TestSampleSize:
+    def test_grows_with_p(self):
+        assert sum_sample_size(10**6, 64, 1e-3, 1e-4) > sum_sample_size(
+            10**6, 4, 1e-3, 1e-4
+        )
+
+    def test_inverse_in_eps(self):
+        a = sum_sample_size(10**6, 16, 1e-2, 1e-4)
+        b = sum_sample_size(10**6, 16, 1e-3, 1e-4)
+        assert b / a == pytest.approx(10.0, rel=1e-6)
+
+
+class TestPacSum:
+    def test_estimates_within_bound(self, machine8):
+        kv = kv_data(machine8)
+        oracle = exact_sums_oracle(kv)
+        mass = sum(oracle.values())
+        eps = 1e-2
+        res = top_k_sums_pac(machine8, kv, 12, eps=eps, delta=1e-3)
+        for key, est in res.items:
+            assert abs(est - oracle.get(key, 0.0)) <= 2 * eps * mass
+
+    def test_top_set_quality(self, machine8):
+        kv = kv_data(machine8)
+        oracle = exact_sums_oracle(kv)
+        rank = sorted(oracle.items(), key=lambda t: (-t[1], t[0]))
+        res = top_k_sums_pac(machine8, kv, 12, eps=5e-3, delta=1e-3)
+        # every reported key must have a true sum no worse than the
+        # k-th best minus the error budget
+        kth = rank[11][1]
+        mass = sum(oracle.values())
+        for key in res.keys:
+            assert oracle.get(key, 0.0) >= kth - 2 * 5e-3 * mass
+
+    def test_empty(self, machine8):
+        kv = DistKeyValue(machine8, [np.empty(0, dtype=np.int64)] * 8, [np.empty(0)] * 8)
+        assert top_k_sums_pac(machine8, kv, 4).items == ()
+
+    def test_zero_mass(self, machine8):
+        kv = DistKeyValue(machine8, [np.arange(5)] * 8, [np.zeros(5)] * 8)
+        res = top_k_sums_pac(machine8, kv, 4)
+        assert res.items == ()
+
+
+class TestEcSum:
+    def test_sums_exact(self, machine8):
+        kv = kv_data(machine8)
+        oracle = exact_sums_oracle(kv)
+        res = top_k_sums_ec(machine8, kv, 12, eps=1e-2, delta=1e-3)
+        assert res.exact_sums
+        for key, s in res.items:
+            assert s == pytest.approx(oracle[key], rel=1e-9)
+
+    def test_recovers_true_topk(self, machine8):
+        kv = kv_data(machine8, s=1.3)  # steep: clear ranking
+        oracle = exact_sums_oracle(kv)
+        rank = sorted(oracle.items(), key=lambda t: (-t[1], t[0]))[:8]
+        res = top_k_sums_ec(machine8, kv, 8, eps=5e-3, delta=1e-3)
+        assert set(res.keys) == {key for key, _ in rank}
+
+    def test_k_star_override(self, machine8):
+        kv = kv_data(machine8, 2000)
+        res = top_k_sums_ec(machine8, kv, 4, k_star=32)
+        assert res.k_star == 32
+
+    def test_no_second_input_scan_needed(self, machine8):
+        """EC-sum answers exact sums from the aggregation tables; the
+        communication for it is just the k*-vector reduction."""
+        kv = kv_data(machine8, 4000, universe=256)
+        machine8.reset()
+        top_k_sums_ec(machine8, kv, 8, k_star=32)
+        # candidate identities + exact count vectors: O(k*) words/PE
+        assert machine8.metrics.bottleneck_words < 4000

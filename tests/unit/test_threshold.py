@@ -1,0 +1,70 @@
+"""Unit tests: sequential threshold algorithm (repro.topk.threshold)."""
+
+import numpy as np
+import pytest
+
+from repro.topk import LocalIndex, MinScore, SumScore, global_topk_oracle, ta_topk
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(43)
+
+
+class TestTA:
+    def test_matches_oracle(self, rng):
+        ix = LocalIndex(np.arange(500), rng.random((500, 3)))
+        scorer = SumScore(3)
+        res = ta_topk(ix, scorer, 10)
+        assert list(res.items) == global_topk_oracle([ix], scorer, 10)
+
+    def test_scan_depth_less_than_n(self, rng):
+        """TA's whole point: stop well before scanning everything."""
+        ix = LocalIndex(np.arange(2000), rng.random((2000, 2)) ** 3)
+        res = ta_topk(ix, SumScore(2), 5)
+        assert res.scan_depth < 2000
+
+    def test_threshold_bounds_result(self, rng):
+        ix = LocalIndex(np.arange(300), rng.random((300, 2)))
+        res = ta_topk(ix, SumScore(2), 10)
+        kth = res.items[-1][1]
+        assert kth >= res.threshold or res.scan_depth == 300
+
+    def test_min_scorer(self, rng):
+        ix = LocalIndex(np.arange(400), rng.random((400, 3)))
+        scorer = MinScore(3)
+        res = ta_topk(ix, scorer, 7)
+        assert list(res.items) == global_topk_oracle([ix], scorer, 7)
+
+    def test_k_clamped_to_n(self, rng):
+        ix = LocalIndex(np.arange(5), rng.random((5, 2)))
+        res = ta_topk(ix, SumScore(2), 50)
+        assert len(res.items) == 5
+
+    def test_k_one(self, rng):
+        ix = LocalIndex(np.arange(100), rng.random((100, 2)))
+        res = ta_topk(ix, SumScore(2), 1)
+        assert len(res.items) == 1
+        oracle = global_topk_oracle([ix], SumScore(2), 1)
+        assert list(res.items) == oracle
+
+    def test_invalid_k(self, rng):
+        ix = LocalIndex(np.arange(5), rng.random((5, 2)))
+        with pytest.raises(ValueError):
+            ta_topk(ix, SumScore(2), 0)
+
+    def test_empty_index(self):
+        ix = LocalIndex(np.empty(0, dtype=np.int64), np.zeros((0, 2)))
+        res = ta_topk(ix, SumScore(2), 3)
+        assert res.items == ()
+
+    def test_items_sorted_best_first(self, rng):
+        ix = LocalIndex(np.arange(200), rng.random((200, 2)))
+        res = ta_topk(ix, SumScore(2), 20)
+        rels = [r for _, r in res.items]
+        assert rels == sorted(rels, reverse=True)
+
+    def test_random_access_count_bounded(self, rng):
+        ix = LocalIndex(np.arange(100), rng.random((100, 2)))
+        res = ta_topk(ix, SumScore(2), 5)
+        assert res.random_accesses <= 100 * 1  # at most (m-1) per object

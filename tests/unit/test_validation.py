@@ -1,0 +1,63 @@
+"""Unit tests: argument validation helpers (repro.common.validation)."""
+
+import pytest
+
+from repro.common.validation import (
+    check_positive,
+    check_probability,
+    check_rank,
+    check_rank_range,
+)
+
+
+class TestCheckRank:
+    def test_valid_passes_through(self):
+        assert check_rank(5, 10) == 5
+
+    def test_bounds(self):
+        assert check_rank(1, 10) == 1
+        assert check_rank(10, 10) == 10
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match="1 <= k"):
+            check_rank(0, 10)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            check_rank(11, 10)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="kk"):
+            check_rank(0, 10, what="kk")
+
+
+class TestCheckRankRange:
+    def test_valid(self):
+        assert check_rank_range(2, 5, 10) == (2, 5)
+
+    def test_degenerate_range_ok(self):
+        assert check_rank_range(3, 3, 10) == (3, 3)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            check_rank_range(5, 2, 10)
+
+    def test_out_of_n(self):
+        with pytest.raises(ValueError):
+            check_rank_range(1, 11, 10)
+
+
+class TestOthers:
+    def test_check_positive(self):
+        assert check_positive(2, "x") == 2
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            check_probability(0.0, "p")
+        assert check_probability(0.0, "p", open_left=False) == 0.0
+        with pytest.raises(ValueError):
+            check_probability(1.1, "p")

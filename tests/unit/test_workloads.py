@@ -1,0 +1,89 @@
+"""Unit tests: benchmark workload generators (repro.bench.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import (
+    gapped_workload,
+    multicriteria_workload,
+    negative_binomial_workload,
+    selection_workload,
+    skewed_sizes_workload,
+    sum_workload,
+    zipf_keys_workload,
+)
+from repro.machine import Machine
+
+
+class TestSelectionWorkload:
+    def test_shape(self, machine8):
+        d = selection_workload(machine8, 500)
+        assert d.global_size == 500 * 8
+
+    def test_per_pe_distributions_differ(self, machine8):
+        d = selection_workload(machine8, 2000)
+        maxima = [c.max() for c in d.chunks]
+        assert len(set(maxima)) > 1  # randomized universes
+
+
+class TestKeyWorkloads:
+    def test_zipf_universe(self, machine8):
+        d = zipf_keys_workload(machine8, 1000, universe=128, s=1.0)
+        assert d.concat().max() <= 128
+
+    def test_negative_binomial_plateau(self, machine8):
+        d = negative_binomial_workload(machine8, 2000)
+        assert 15_000 < d.concat().mean() < 23_000
+
+    def test_gapped(self, machine8):
+        d = gapped_workload(machine8, 2000, universe=64, k=4, gap=8.0)
+        assert d.concat().max() <= 64
+
+
+class TestMulticriteria:
+    def test_index_count_and_dims(self, machine8):
+        idx = multicriteria_workload(machine8, 100, 3)
+        assert len(idx) == 8
+        assert all(ix.m == 3 and ix.n == 100 for ix in idx)
+
+    def test_globally_unique_ids(self, machine8):
+        idx = multicriteria_workload(machine8, 200, 2)
+        ids = np.concatenate([ix.ids for ix in idx])
+        assert len(np.unique(ids)) == len(ids)
+
+    def test_adversarial_concentrates_best(self, machine8):
+        idx = multicriteria_workload(machine8, 200, 2, adversarial=True)
+        mean0 = idx[0].scores.sum(axis=1).mean()
+        mean7 = idx[7].scores.sum(axis=1).mean()
+        assert mean0 > mean7
+
+
+class TestSumWorkload:
+    def test_nonnegative_values(self, machine8):
+        kv = sum_workload(machine8, 500)
+        assert all((v >= 0).all() for v in kv.values)
+
+
+class TestSkewedSizes:
+    def test_point(self, machine8):
+        d = skewed_sizes_workload(machine8, 1000, "point")
+        assert d.sizes()[0] == 1000
+        assert d.sizes()[1:].sum() == 0
+
+    def test_ramp_monotone(self, machine8):
+        d = skewed_sizes_workload(machine8, 10_000, "ramp")
+        sizes = d.sizes()
+        assert sizes[-1] > sizes[0]
+        assert sizes.sum() == 10_000
+
+    def test_random_conserves_total(self, machine8):
+        d = skewed_sizes_workload(machine8, 5000, "random")
+        assert d.sizes().sum() == 5000
+
+    def test_balanced(self, machine8):
+        d = skewed_sizes_workload(machine8, 801, "balanced")
+        assert d.sizes().max() - d.sizes().min() <= 1
+
+    def test_unknown_kind(self, machine8):
+        with pytest.raises(ValueError):
+            skewed_sizes_workload(machine8, 100, "sawtooth")
