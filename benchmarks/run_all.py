@@ -3,17 +3,21 @@
 
 Usage::
 
-    python benchmarks/run_all.py            # all experiments
-    python benchmarks/run_all.py fig6 fig8  # a subset
+    python benchmarks/run_all.py                        # all experiments
+    python benchmarks/run_all.py fig6 fig8              # a subset
+    python benchmarks/run_all.py --quick                # CI smoke: small p/n
+    python benchmarks/run_all.py --quick --backend mp   # real worker processes
 
 Each experiment is also persisted to ``benchmarks/results/<name>.csv``
-(plus a pretty ``.txt``), the files EXPERIMENTS.md quotes.
+(plus a pretty ``.txt``), the files EXPERIMENTS.md quotes.  ``--quick``
+shrinks the PE sweep and the per-PE input so the full registry runs in
+a few seconds (the mode CI uses to catch collection/registry rot).
 """
 
 from __future__ import annotations
 
+import argparse
 import pathlib
-import sys
 import time
 
 from repro.bench import experiments as E
@@ -21,77 +25,138 @@ from repro.bench import format_table, write_csv
 
 RESULTS = pathlib.Path(__file__).parent / "results"
 
+_QUICK_P = (1, 2, 4)
+
+# name -> (title, runner(quick, backend), display columns)
 EXPERIMENTS = {
     "fig6": (
         "Figure 6: weak scaling, unsorted selection (Zipf high tail)",
-        lambda: E.fig6_unsorted_selection(),
+        lambda q, b: E.fig6_unsorted_selection(
+            **(dict(p_list=_QUICK_P, n_per_pe=1 << 10, ks=(16, 64)) if q else {}),
+            backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "startups", "imbalance"),
     ),
     "fig7a": (
         "Figure 7a: top-k frequent objects, n/p=2^13 (scaled from 2^26)",
-        lambda: E.fig7_topk_frequent(n_per_pe=1 << 13, eps=3e-2),
+        lambda q, b: E.fig7_topk_frequent(
+            n_per_pe=1 << 10 if q else 1 << 13, eps=3e-2,
+            **(dict(p_list=_QUICK_P) if q else {}), backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
     ),
     "fig7b": (
         "Figure 7b: top-k frequent objects, n/p=2^15 (scaled from 2^28)",
-        lambda: E.fig7_topk_frequent(n_per_pe=1 << 15, eps=3e-2),
+        lambda q, b: E.fig7_topk_frequent(
+            n_per_pe=1 << 11 if q else 1 << 15, eps=3e-2,
+            **(dict(p_list=_QUICK_P) if q else {}), backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
     ),
     "fig8": (
         "Figure 8: strict accuracy (only EC can sample)",
-        lambda: E.fig8_strict_accuracy(n_per_pe=1 << 15),
+        lambda q, b: E.fig8_strict_accuracy(
+            n_per_pe=1 << 11 if q else 1 << 15,
+            **(dict(p_list=_QUICK_P) if q else {}), backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "startups", "rho"),
     ),
     "table1": (
         "Table 1: measured old-vs-new bottleneck volume per problem",
-        lambda: E.table1_comm_volume(),
+        lambda q, b: E.table1_comm_volume(
+            **(dict(p=4, n_per_pe=1 << 10, k=64) if q else {}), backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "startups"),
     ),
     "selection_latency": (
         "Sorted selection latency: exact vs flexible vs batched",
-        lambda: E.selection_latency(),
+        lambda q, b: E.selection_latency(
+            **(dict(p_list=_QUICK_P, n_per_pe=1 << 10, k=64) if q else {}),
+            backend=b,
+        ),
         ("algorithm", "p", "time_s", "startups", "rounds"),
     ),
     "priority_queue": (
         "Bulk PQ vs random allocation (insert* + deleteMin* cycles)",
-        lambda: E.priority_queue_comparison(),
+        lambda q, b: E.priority_queue_comparison(
+            **(dict(p_list=_QUICK_P, iterations=2) if q else {}), backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "startups"),
     ),
     "multicriteria": (
         "Multicriteria top-k: DTA / RDTA / sequential TA",
-        lambda: E.multicriteria_comparison(),
+        lambda q, b: E.multicriteria_comparison(
+            **(dict(p_list=(2, 4), n_per_pe=1 << 8) if q else {}), backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "startups"),
     ),
     "sum_aggregation": (
         "Top-k sum aggregation: PAC-sum vs EC-sum",
-        lambda: E.sum_aggregation_comparison(),
+        lambda q, b: E.sum_aggregation_comparison(
+            **(dict(p_list=_QUICK_P, n_per_pe=1 << 10) if q else {}), backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "startups"),
     ),
     "redistribution": (
         "Data redistribution: adaptive vs naive, per imbalance shape",
-        lambda: E.redistribution_comparison(),
+        lambda q, b: E.redistribution_comparison(
+            **(dict(p=4, n_total=1 << 12) if q else {}), backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "moved"),
     ),
     "ablation_ams_trials": (
         "Ablation: amsSelect concurrent trials d (Theorem 4)",
-        lambda: E.ablation_ams_trials(),
+        lambda q, b: E.ablation_ams_trials(
+            **(dict(p=4, n_per_pe=1 << 10, k=256, ds=(1, 4), trials=3,
+                    width_divisors=(1, 16)) if q else {}),
+            backend=b,
+        ),
         ("algorithm", "p", "avg_rounds", "startups"),
     ),
     "ablation_ec_kstar": (
         "Ablation: EC candidate count k* (Theorem 11)",
-        lambda: E.ablation_ec_kstar(),
+        lambda q, b: E.ablation_ec_kstar(
+            **(dict(p=4, n_per_pe=1 << 10, factors=(1, 16)) if q else {}),
+            backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "rho"),
     ),
     "ablation_selection_sampling": (
         "Ablation: unsorted-selection sampling factor (Theorem 1)",
-        lambda: E.ablation_selection_sampling(),
+        lambda q, b: E.ablation_selection_sampling(
+            **(dict(p=4, n_per_pe=1 << 10, k=64, factors=(1.0, 4.0)) if q else {}),
+            backend=b,
+        ),
         ("algorithm", "p", "time_s", "volume_words", "rounds", "sampled"),
+    ),
+    "collectives": (
+        "Collective micro-benchmarks (driver/data-plane overhead)",
+        lambda q, b: E.collectives_microbench(
+            **(dict(p_list=(2, 4), repeats=5) if q else {}), backend=b,
+        ),
+        ("algorithm", "p", "time_s", "volume_words", "wall_s", "backend"),
     ),
 }
 
 
-def main(argv: list[str]) -> int:
-    names = argv or list(EXPERIMENTS)
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*", help="experiments to run (default: all)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small PE sweep + small inputs (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--backend", choices=("sim", "mp"), default="sim",
+        help="execution backend for every machine",
+    )
+    args = parser.parse_args(argv)
+    if args.backend != "sim" and not args.quick:
+        parser.error(
+            "--backend mp requires --quick: the full sweeps go to p=64, "
+            "far beyond the mp backend's one-process-per-PE design point"
+        )
+    names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
@@ -100,7 +165,7 @@ def main(argv: list[str]) -> int:
     for name in names:
         title, runner, columns = EXPERIMENTS[name]
         t0 = time.perf_counter()
-        rows = runner()
+        rows = runner(args.quick, args.backend)
         dt = time.perf_counter() - t0
         table = format_table(rows, columns)
         write_csv(rows, RESULTS / f"{name}.csv")
@@ -111,4 +176,4 @@ def main(argv: list[str]) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main(sys.argv[1:]))
+    raise SystemExit(main())

@@ -3,6 +3,9 @@
 The project metadata lives in ``pyproject.toml``; this file only enables
 legacy ``pip install -e . --no-use-pep517`` editable installs on systems
 where PEP 517 build isolation is unavailable (e.g. offline machines).
+On machines without ``wheel`` at all, no install is needed for testing:
+``pyproject.toml`` configures pytest's ``pythonpath`` so ``python -m
+pytest`` works from a plain checkout.
 """
 
 from setuptools import setup

@@ -113,6 +113,13 @@ def sum_sample_size(n: int, p: int, eps: float, delta: float) -> float:
     return (1.0 / eps) * np.sqrt(2.0 * p * np.log(2.0 * max(n, 2) / delta))
 
 
+def _safe_v_avg(m_total: float, s: float) -> float:
+    """Per-sample mass ``m_total / s``, clamped away from zero: for
+    subnormal total masses the division can underflow to 0.0, which
+    :func:`weighted_sample_counts` (rightly) rejects."""
+    return max(m_total / s, float(np.finfo(np.float64).tiny))
+
+
 def _sample_to_dht(machine: Machine, data: DistKeyValue, v_avg: float):
     """Stages 1-3: aggregate, value-weighted sample, DHT count."""
     sample_dicts = []
@@ -152,7 +159,7 @@ def top_k_sums_pac(
     if m_total == 0.0:
         return SumAggResult((), True, 1.0, 0, k, {"mass": 0.0})
     s = sample_size if sample_size is not None else sum_sample_size(n, machine.p, eps, delta)
-    v_avg = m_total / s
+    v_avg = _safe_v_avg(m_total, s)
     routed, realized = _sample_to_dht(machine, data, v_avg)
     items = take_topk_entries(machine, routed, k)
     return SumAggResult(
@@ -197,7 +204,7 @@ def top_k_sums_ec(
         sample_size = max(
             16.0, sum_sample_size(n, p, eps, delta) / np.sqrt(max(k_star, 1))
         )
-    v_avg = m_total / sample_size
+    v_avg = _safe_v_avg(m_total, sample_size)
     routed, realized = _sample_to_dht(machine, data, v_avg)
     candidates = take_topk_entries(machine, routed, k_star)
     if not candidates:

@@ -55,6 +55,7 @@ __all__ = [
     "ablation_ams_trials",
     "ablation_ec_kstar",
     "ablation_selection_sampling",
+    "collectives_microbench",
     "DEFAULT_P_LIST",
 ]
 
@@ -70,6 +71,7 @@ def fig6_unsorted_selection(
     n_per_pe: int = 1 << 14,
     ks=(1 << 6, 1 << 10, 1 << 14),
     seed: int = 6,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Select the k-th *largest* element of the Section 10.1 workload.
 
@@ -92,7 +94,7 @@ def fig6_unsorted_selection(
             p_list,
             n_per_pe,
             lambda m: selection_workload(m, n_per_pe),
-            seed=seed,
+            seed=seed, backend=backend,
         )
     return rows
 
@@ -124,6 +126,7 @@ def fig7_topk_frequent(
     delta: float = 1e-4,
     universe: int = 1 << 14,
     seed: int = 7,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Figure 7: PAC / EC / Naive / Naive-Tree on Zipfian keys.
 
@@ -139,7 +142,7 @@ def fig7_topk_frequent(
         p_list,
         n_per_pe,
         lambda m: zipf_keys_workload(m, n_per_pe, universe=universe, s=1.0),
-        seed=seed,
+        seed=seed, backend=backend,
     )
 
 
@@ -151,6 +154,7 @@ def fig8_strict_accuracy(
     delta: float = 1e-8,
     universe: int = 1 << 14,
     seed: int = 8,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Figure 8: strict accuracy (paper: eps=1e-6, delta=1e-8).
 
@@ -164,7 +168,7 @@ def fig8_strict_accuracy(
         p_list,
         n_per_pe,
         lambda m: zipf_keys_workload(m, n_per_pe, universe=universe, s=1.0),
-        seed=seed,
+        seed=seed, backend=backend,
     )
 
 
@@ -177,6 +181,7 @@ def table1_comm_volume(
     n_per_pe: int = 1 << 14,
     k: int = 256,
     seed: int = 1,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Measured bottleneck volume/startups for each Table 1 row.
 
@@ -214,8 +219,8 @@ def table1_comm_volume(
         return {}
 
     make_sel = lambda m: selection_workload(m, n_per_pe)
-    rows.append(run_algorithm("table1", "unsorted-selection/old", p, n_per_pe, make_sel, old_selection, seed=seed))
-    rows.append(run_algorithm("table1", "unsorted-selection/new", p, n_per_pe, make_sel, new_selection, seed=seed))
+    rows.append(run_algorithm("table1", "unsorted-selection/old", p, n_per_pe, make_sel, old_selection, seed=seed, backend=backend))
+    rows.append(run_algorithm("table1", "unsorted-selection/new", p, n_per_pe, make_sel, new_selection, seed=seed, backend=backend))
 
     # --- sorted selection: exact msSelect (old: alpha log^2 kp) vs
     #     flexible amsSelect (new: alpha log kp)
@@ -225,12 +230,12 @@ def table1_comm_volume(
     rows.append(run_algorithm(
         "table1", "sorted-selection/old", p, n_per_pe, make_sorted,
         lambda m, seqs: {"rounds": ms_select(m, seqs, k, return_stats=True).rounds},
-        seed=seed,
+        seed=seed, backend=backend,
     ))
     rows.append(run_algorithm(
         "table1", "sorted-selection/new", p, n_per_pe, make_sorted,
         lambda m, seqs: {"rounds": ams_select(m, seqs, k, 2 * k).rounds},
-        seed=seed,
+        seed=seed, backend=backend,
     ))
 
     # --- bulk priority queue: insert* + deleteMin* cycles
@@ -247,18 +252,18 @@ def table1_comm_volume(
 
         return run
 
-    rows.append(run_algorithm("table1", "priority-queue/old", p, n_per_pe, lambda m: None, pq_cycles(RandomAllocPQ), seed=seed))
-    rows.append(run_algorithm("table1", "priority-queue/new", p, n_per_pe, lambda m: None, pq_cycles(BulkParallelPQ), seed=seed))
+    rows.append(run_algorithm("table1", "priority-queue/old", p, n_per_pe, lambda m: None, pq_cycles(RandomAllocPQ), seed=seed, backend=backend))
+    rows.append(run_algorithm("table1", "priority-queue/new", p, n_per_pe, lambda m: None, pq_cycles(BulkParallelPQ), seed=seed, backend=backend))
 
     # --- top-k most frequent: master-worker (old [3]-style) vs PAC
     make_freq = lambda m: zipf_keys_workload(m, n_per_pe, universe=1 << 12, s=1.0)
     rows.append(run_algorithm(
         "table1", "topk-frequent/old", p, n_per_pe, make_freq,
-        lambda m, d: _freq_extra(top_k_frequent_naive(m, d, 32, 2e-2, 1e-4)), seed=seed,
+        lambda m, d: _freq_extra(top_k_frequent_naive(m, d, 32, 2e-2, 1e-4)), seed=seed, backend=backend,
     ))
     rows.append(run_algorithm(
         "table1", "topk-frequent/new", p, n_per_pe, make_freq,
-        lambda m, d: _freq_extra(top_k_frequent_pac(m, d, 32, 2e-2, 1e-4)), seed=seed,
+        lambda m, d: _freq_extra(top_k_frequent_pac(m, d, 32, 2e-2, 1e-4)), seed=seed, backend=backend,
     ))
 
     # --- top-k sum aggregation: centralized gather (old) vs sampled (new)
@@ -279,10 +284,10 @@ def table1_comm_volume(
         machine.broadcast(top, root=0)
         return {}
 
-    rows.append(run_algorithm("table1", "sum-aggregation/old", p, n_per_pe, make_sum, old_sum, seed=seed))
+    rows.append(run_algorithm("table1", "sum-aggregation/old", p, n_per_pe, make_sum, old_sum, seed=seed, backend=backend))
     rows.append(run_algorithm(
         "table1", "sum-aggregation/new", p, n_per_pe, make_sum,
-        lambda m, kv: {"k_star": top_k_sums_ec(m, kv, 32, 2e-2, 1e-4).k_star}, seed=seed,
+        lambda m, kv: {"k_star": top_k_sums_ec(m, kv, 32, 2e-2, 1e-4).k_star}, seed=seed, backend=backend,
     ))
 
     # --- multicriteria: DTA (no directly comparable "old" in our model;
@@ -291,7 +296,7 @@ def table1_comm_volume(
     rows.append(run_algorithm(
         "table1", "multicriteria/new", p, n_per_pe, make_mc,
         lambda m, idx: {"K": dta_topk(m, idx, SumScore(4), 32).prefixes.scanned},
-        seed=seed,
+        seed=seed, backend=backend,
     ))
     return rows
 
@@ -305,6 +310,7 @@ def selection_latency(
     n_per_pe: int = 1 << 14,
     k: int = 1 << 10,
     seed: int = 2,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Startup (alpha) counts: msSelect O(log^2 kp) vs amsSelect
     O(log kp) vs the d-trial batched variant."""
@@ -321,7 +327,7 @@ def selection_latency(
             "rounds": ams_select_batched(m, s, k, 2 * k, d=8).rounds
         },
     }
-    return weak_scaling("selection-latency", algos, p_list, n_per_pe, make, seed=seed)
+    return weak_scaling("selection-latency", algos, p_list, n_per_pe, make, seed=seed, backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -334,6 +340,7 @@ def priority_queue_comparison(
     batch: int = 256,
     iterations: int = 6,
     seed: int = 3,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """insert* + deleteMin* cycles: communication-free insertions vs
     random-allocation element movement."""
@@ -353,7 +360,7 @@ def priority_queue_comparison(
         return {}
 
     algos = {"BulkPQ(ours)": run_bulk, "RandomAlloc(KZ)": run_kz}
-    return weak_scaling("priority-queue", algos, p_list, n_per_pe, lambda m: None, seed=seed)
+    return weak_scaling("priority-queue", algos, p_list, n_per_pe, lambda m: None, seed=seed, backend=backend)
 
 
 # ----------------------------------------------------------------------
@@ -366,6 +373,7 @@ def multicriteria_comparison(
     m_criteria: int = 4,
     k: int = 32,
     seed: int = 4,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """DTA vs RDTA (random placement) plus the sequential TA scan depth
     as the work reference."""
@@ -399,7 +407,7 @@ def multicriteria_comparison(
         p_list,
         n_per_pe,
         lambda m: multicriteria_workload(m, n_per_pe, m_criteria),
-        seed=seed,
+        seed=seed, backend=backend,
     )
 
 
@@ -414,6 +422,7 @@ def sum_aggregation_comparison(
     eps: float = 2e-2,
     delta: float = 1e-4,
     seed: int = 5,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """PAC-sum vs EC-sum (Theorem 15 vs the exact-sum refinement)."""
 
@@ -431,7 +440,7 @@ def sum_aggregation_comparison(
         p_list,
         n_per_pe,
         lambda m: sum_workload(m, n_per_pe),
-        seed=seed,
+        seed=seed, backend=backend,
     )
 
 
@@ -444,6 +453,7 @@ def redistribution_comparison(
     n_total: int = 1 << 16,
     kinds=("point", "ramp", "random", "balanced"),
     seed: int = 9,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Adaptive (Section 9) vs blind repartition, across imbalance
     shapes.  The adaptive scheme's volume tracks the actual surplus
@@ -461,8 +471,8 @@ def redistribution_comparison(
             return {"moved": moved, "kind": kind}
 
         make = lambda m, kind=kind: skewed_sizes_workload(m, n_total, kind)
-        rows.append(run_algorithm("redistribution", f"adaptive/{kind}", p, n_total // p, make, run_adaptive, seed=seed))
-        rows.append(run_algorithm("redistribution", f"naive/{kind}", p, n_total // p, make, run_naive, seed=seed))
+        rows.append(run_algorithm("redistribution", f"adaptive/{kind}", p, n_total // p, make, run_adaptive, seed=seed, backend=backend))
+        rows.append(run_algorithm("redistribution", f"naive/{kind}", p, n_total // p, make, run_naive, seed=seed, backend=backend))
     return rows
 
 
@@ -478,6 +488,7 @@ def ablation_ams_trials(
     ds=(1, 2, 4, 8, 16),
     trials: int = 20,
     seed: int = 10,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Theorem 4 knob: expected rounds vs number of concurrent trials d,
     for shrinking flexibility windows ``k_hi - k_lo = k / divisor``."""
@@ -499,7 +510,7 @@ def ablation_ams_trials(
             rows.append(run_algorithm(
                 "ablation-ams", f"d={d}/width=k/{div}", p, n_per_pe,
                 lambda m: [np.sort(m.rngs[i].random(n_per_pe)) for i in range(m.p)],
-                run, seed=seed,
+                run, seed=seed, backend=backend,
             ))
     return rows
 
@@ -512,6 +523,7 @@ def ablation_ec_kstar(
     delta: float = 1e-4,
     factors=(1, 4, 16, 64, 256),
     seed: int = 11,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Theorem 11 knob: candidate count k* trades sample volume against
     candidate-broadcast volume; the optimum lies between the extremes."""
@@ -522,7 +534,7 @@ def ablation_ec_kstar(
             res = top_k_frequent_ec(machine, data, k, eps, delta, k_star=k * f)
             return {"k_star": res.k_star, "rho": res.rho, "sample": res.sample_size}
 
-        rows.append(run_algorithm("ablation-ec", f"k*={k * f}", p, n_per_pe, make, run, seed=seed))
+        rows.append(run_algorithm("ablation-ec", f"k*={k * f}", p, n_per_pe, make, run, seed=seed, backend=backend))
     return rows
 
 
@@ -532,6 +544,7 @@ def ablation_selection_sampling(
     k: int = 1 << 10,
     factors=(0.25, 1.0, 4.0, 16.0),
     seed: int = 12,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Theorem 1 knob: Bernoulli rate multiplier vs recursion depth and
     per-level sample volume in unsorted selection."""
@@ -542,5 +555,63 @@ def ablation_selection_sampling(
             stats = select_kth(machine, data, k, sample_factor=f, return_stats=True)
             return {"factor": f, "rounds": stats.rounds, "sampled": stats.sample_total}
 
-        rows.append(run_algorithm("ablation-sampling", f"factor={f}", p, n_per_pe, make, run, seed=seed))
+        rows.append(run_algorithm("ablation-sampling", f"factor={f}", p, n_per_pe, make, run, seed=seed, backend=backend))
     return rows
+
+
+# ----------------------------------------------------------------------
+# Collective micro-benchmarks (backend data-plane overhead)
+# ----------------------------------------------------------------------
+
+def collectives_microbench(
+    p_list=None,
+    payload: int = 256,
+    repeats: int = 50,
+    seed: int = 13,
+    backend: str = "sim",
+) -> list[BenchRow]:
+    """Driver overhead of each collective: ``repeats`` calls with a
+    ``payload``-word NumPy vector per PE.
+
+    On the ``sim`` backend ``wall_s`` is pure driver/data-plane Python
+    overhead (the quantity the fused/vectorized paths optimize); on a
+    real backend it measures actual IPC.  ``time_s`` stays the modeled
+    alpha-beta cost either way.  The default sweep is clamped for real
+    backends (one OS process per PE, direct O(p^2) exchanges).
+    """
+    if p_list is None:
+        p_list = (4, 16, 64) if backend == "sim" else (2, 4, 8)
+
+    def make(m: Machine):
+        return [m.rngs[i].random(payload) for i in range(m.p)]
+
+    def bench(fn):
+        def run(machine: Machine, vecs):
+            for _ in range(repeats):
+                fn(machine, vecs)
+            return {}
+        return run
+
+    algos = {
+        "allreduce": bench(lambda m, v: m.allreduce(v, op="sum")),
+        "allgather": bench(lambda m, v: m.allgather(v)),
+        "scan": bench(lambda m, v: m.scan(v, op="sum")),
+        "allreduce_exscan(fused)": bench(
+            lambda m, v: m.allreduce_exscan(v, op="sum", initial=0.0)
+        ),
+        "broadcast": bench(lambda m, v: m.broadcast(v[0], root=0)),
+        "alltoall(hypercube)": bench(
+            lambda m, v: m.alltoall(
+                [[v[i] for _ in range(m.p)] for i in range(m.p)], mode="hypercube"
+            )
+        ),
+        "aggregate_exchange": bench(
+            lambda m, v: m.aggregate_exchange(
+                [{int(j): 1 for j in range(i, i + 32)} for i in range(m.p)],
+                owner=lambda key: key % m.p,
+            )
+        ),
+    }
+    return weak_scaling(
+        "collectives", algos, p_list, payload, make, seed=seed, backend=backend
+    )

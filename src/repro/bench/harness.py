@@ -7,6 +7,12 @@ model; see :mod:`repro.machine.clock`) plus the measured communication
 quantities (bottleneck volume, startups).  ``BenchRow`` carries both, so
 every figure can be regenerated as "series over p" exactly like the
 paper's plots, and EXPERIMENTS.md can quote paper-vs-measured shapes.
+
+Every entry point accepts ``backend=`` (``"sim"`` default, ``"mp"`` for
+one worker process per PE).  On the simulated backend ``time_s`` (the
+modeled makespan) is the headline metric and ``wall_s`` only measures
+driver overhead; on a real backend ``wall_s`` is genuine parallel
+wall-clock while the modeled columns remain available for comparison.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ class BenchRow:
     traffic_words: float
     imbalance: float
     wall_s: float
+    backend: str = "sim"
     extra: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -54,6 +61,7 @@ class BenchRow:
             "traffic_words": self.traffic_words,
             "imbalance": self.imbalance,
             "wall_s": self.wall_s,
+            "backend": self.backend,
         }
         d.update(self.extra)
         return d
@@ -69,6 +77,7 @@ def run_algorithm(
     *,
     cost: CostParams | None = None,
     seed: int = 0xBE7C,
+    backend: str = "sim",
 ) -> BenchRow:
     """One measurement: build the workload, reset the meters, run.
 
@@ -76,13 +85,13 @@ def run_algorithm(
     generation and index building are excluded from the measurement
     (the paper's timers also start after input generation).
     """
-    machine = Machine(p=p, cost=cost, seed=seed)
-    data = make_data(machine)
-    machine.reset()  # exclude generation/build cost from the measurement
-    t0 = time.perf_counter()
-    extra = run(machine, data) or {}
-    wall = time.perf_counter() - t0
-    rep = machine.report()
+    with Machine(p=p, cost=cost, seed=seed, backend=backend) as machine:
+        data = make_data(machine)
+        machine.reset()  # exclude generation/build cost from the measurement
+        t0 = time.perf_counter()
+        extra = run(machine, data) or {}
+        wall = time.perf_counter() - t0
+        rep = machine.report()
     return BenchRow(
         experiment=experiment,
         algorithm=algorithm,
@@ -96,6 +105,7 @@ def run_algorithm(
         traffic_words=rep.total_traffic,
         imbalance=rep.imbalance,
         wall_s=wall,
+        backend=rep.backend,
         extra=dict(extra),
     )
 
@@ -109,6 +119,7 @@ def weak_scaling(
     *,
     cost: CostParams | None = None,
     seed: int = 0xBE7C,
+    backend: str = "sim",
 ) -> list[BenchRow]:
     """Fixed ``n/p``, sweep ``p``, run every algorithm on the same data."""
     rows: list[BenchRow] = []
@@ -116,7 +127,8 @@ def weak_scaling(
         for name, fn in algorithms.items():
             rows.append(
                 run_algorithm(
-                    experiment, name, p, n_per_pe, make_data, fn, cost=cost, seed=seed
+                    experiment, name, p, n_per_pe, make_data, fn,
+                    cost=cost, seed=seed, backend=backend,
                 )
             )
     return rows

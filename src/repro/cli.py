@@ -31,17 +31,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_arg(p):
+        p.add_argument(
+            "--backend",
+            choices=("sim", "mp"),
+            default="sim",
+            help="execution backend: 'sim' = modeled in-process (default), "
+            "'mp' = one worker process per PE (real parallelism)",
+        )
+
     sub.add_parser("info", help="machine presets and package inventory")
 
     demo = sub.add_parser("demo", help="guided tour of the core algorithms")
-    demo.add_argument("-p", type=int, default=8, help="number of simulated PEs")
+    demo.add_argument("-p", type=int, default=8, help="number of PEs")
     demo.add_argument("--seed", type=int, default=2016)
+    add_backend_arg(demo)
 
     selftest = sub.add_parser("selftest", help="fast oracle-checked pass")
     selftest.add_argument("-p", type=int, default=8)
+    add_backend_arg(selftest)
 
     exp = sub.add_parser("experiment", help="run a paper-figure experiment")
     exp.add_argument("name", help="experiment name (see `repro info`)")
+    add_backend_arg(exp)
 
     return parser
 
@@ -53,24 +65,29 @@ def _cmd_info() -> int:
     for name, c in sorted(_PRESETS.items()):
         print(f"  {name:<20s} alpha={c.alpha:.2e}s beta={c.beta:.2e}s/word "
               f"op={c.time_per_op:.2e}s")
+    from .machine import available_backends
+
+    print("\nexecution backends (select with --backend):")
+    print(f"  {', '.join(available_backends())}")
     print("\nexperiments (run with: repro experiment <name>):")
     from .bench import experiments as E
 
     for name in E.__all__:
         if name.startswith(("fig", "table", "selection", "priority",
-                            "multicriteria", "sum", "redistribution", "ablation")):
+                            "multicriteria", "sum", "redistribution",
+                            "ablation", "collectives")):
             print(f"  {name}")
     return 0
 
 
-def _cmd_demo(p: int, seed: int) -> int:
+def _cmd_demo(p: int, seed: int, backend: str = "sim") -> int:
     from .machine import DistArray, Machine
     from .frequent import top_k_frequent_pac
     from .pqueue import BulkParallelPQ
     from .selection import select_kth
 
-    machine = Machine(p=p, seed=seed)
-    print(f"[1/3] selection on {p} PEs")
+    machine = Machine(p=p, seed=seed, backend=backend)
+    print(f"[1/3] selection on {p} PEs ({backend} backend)")
     data = DistArray.generate(machine, lambda r, g: g.random(50_000))
     k = len(data) // 2
     median = select_kth(machine, data, k)
@@ -96,16 +113,19 @@ def _cmd_demo(p: int, seed: int) -> int:
     print(f"      deleteMin* -> k={batch.k} in {batch.rounds} round(s); "
           f"insertion traffic was {machine.metrics.by_kind.get('p2p', 0):.0f} words "
           f"(communication-free)")
+    if machine.backend.is_real:
+        print(f"      backend wall-clock: {machine.backend.wall_time:.3f}s")
+    machine.close()
     return 0
 
 
-def _cmd_selftest(p: int) -> int:
+def _cmd_selftest(p: int, backend: str = "sim") -> int:
     from .machine import DistArray, Machine
     from .frequent import exact_counts_oracle, top_k_frequent_exact
     from .selection import ms_select, select_kth
 
     failures = 0
-    machine = Machine(p=p, seed=7)
+    machine = Machine(p=p, seed=7, backend=backend)
     data = DistArray.generate(machine, lambda r, g: g.integers(0, 10**6, 2000))
     oracle = np.sort(data.concat())
     for k in (1, len(oracle) // 2, len(oracle)):
@@ -125,17 +145,18 @@ def _cmd_selftest(p: int) -> int:
     failures += not ok
     print(f"  frequent exact      {'OK' if ok else 'FAIL'}")
     print("selftest:", "PASS" if failures == 0 else f"{failures} FAILURES")
+    machine.close()
     return 1 if failures else 0
 
 
-def _cmd_experiment(name: str) -> int:
+def _cmd_experiment(name: str, backend: str = "sim") -> int:
     from .bench import experiments as E
     from .bench import format_table
 
     if not hasattr(E, name):
         print(f"unknown experiment {name!r}; try `repro info`")
         return 2
-    rows = getattr(E, name)()
+    rows = getattr(E, name)(backend=backend)
     print(format_table(rows))
     return 0
 
@@ -145,11 +166,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "info":
         return _cmd_info()
     if args.command == "demo":
-        return _cmd_demo(args.p, args.seed)
+        return _cmd_demo(args.p, args.seed, args.backend)
     if args.command == "selftest":
-        return _cmd_selftest(args.p)
+        return _cmd_selftest(args.p, args.backend)
     if args.command == "experiment":
-        return _cmd_experiment(args.name)
+        return _cmd_experiment(args.name, args.backend)
     return 2  # pragma: no cover
 
 

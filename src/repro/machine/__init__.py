@@ -9,11 +9,22 @@ simulation:
   analytic collective costs,
 * :class:`~repro.machine.comm.Machine` -- ``p`` PEs, RNG streams,
   simulated clocks, communication metering and the collective operations,
+* :mod:`~repro.machine.backends` -- pluggable execution backends for the
+  collectives' data plane (``"sim"`` in-process, ``"mp"`` one worker
+  process per PE),
 * :class:`~repro.machine.dist_array.DistArray` -- per-PE NumPy chunks,
 * :class:`~repro.machine.metrics.CommMetrics` -- bottleneck-volume
   accounting (the paper's key communication-efficiency metric).
 """
 
+from .backends import (
+    Backend,
+    MultiprocessingBackend,
+    SimBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from .clock import SimClock
 from .comm import Machine, MachineReport, PhaseStats
 from .cost import FREE_COMMUNICATION, CollectiveCost, CostParams, log2_ceil
@@ -21,6 +32,7 @@ from .dist_array import DistArray
 from .metrics import CommMetrics, MetricsSnapshot, payload_words
 
 __all__ = [
+    "Backend",
     "CollectiveCost",
     "CommMetrics",
     "CostParams",
@@ -29,8 +41,13 @@ __all__ = [
     "Machine",
     "MachineReport",
     "MetricsSnapshot",
+    "MultiprocessingBackend",
     "PhaseStats",
+    "SimBackend",
     "SimClock",
+    "available_backends",
     "log2_ceil",
+    "make_backend",
     "payload_words",
+    "register_backend",
 ]

@@ -1,0 +1,68 @@
+"""Pluggable execution backends for the machine layer.
+
+See :mod:`repro.machine.backends.base` for the protocol.  Select a
+backend by name when building a machine::
+
+    >>> from repro.machine import Machine
+    >>> m = Machine(p=4, backend="sim")      # modeled, in-process (default)
+    >>> m = Machine(p=4, backend="mp")       # one worker process per PE
+
+or pass a :class:`Backend` instance for full control.  New backends
+(e.g. async or genuinely distributed transports) register by name via
+:func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Backend
+from .mp import MultiprocessingBackend
+from .sim import SimBackend
+
+__all__ = [
+    "Backend",
+    "SimBackend",
+    "MultiprocessingBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+]
+
+_REGISTRY: dict[str, Callable[[int], Backend]] = {
+    SimBackend.name: SimBackend,
+    MultiprocessingBackend.name: MultiprocessingBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[[int], Backend]) -> None:
+    """Register ``factory(p) -> Backend`` under ``name`` (overwrites)."""
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Names accepted by ``Machine(backend=...)``."""
+    return sorted(_REGISTRY)
+
+
+def make_backend(spec, p: int) -> Backend:
+    """Resolve a backend spec: a name, a ``Backend`` instance, or None.
+
+    Instances are checked for a matching PE count; names are looked up
+    in the registry (``None`` means the default ``"sim"``).
+    """
+    if spec is None:
+        spec = SimBackend.name
+    if isinstance(spec, Backend):
+        if spec.p != p:
+            raise ValueError(
+                f"backend was built for p={spec.p}, machine has p={p}"
+            )
+        return spec
+    try:
+        factory = _REGISTRY[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown backend {spec!r}; available: {available_backends()}"
+        ) from None
+    return factory(p)

@@ -1,0 +1,137 @@
+"""The execution-backend protocol: who actually moves the bytes.
+
+A :class:`~repro.machine.comm.Machine` splits every collective into two
+planes:
+
+* the **control plane** (cost charging, per-PE clocks, communication
+  metering) stays in :class:`~repro.machine.comm.Machine` -- it is what
+  makes the alpha-beta model's predictions reportable regardless of how
+  the data plane is executed;
+* the **data plane** (computing the per-PE result values of a
+  collective) is delegated to a :class:`Backend`.
+
+Backends implement the same list-in/list-out SPMD convention as the
+machine itself: each data-plane method receives one contribution per PE
+and returns one result per PE.  Two backends ship with the package:
+
+``sim`` (:class:`~repro.machine.backends.sim.SimBackend`)
+    Computes results in-process with deterministic combination orders
+    (binomial-tree reductions, linear prefix scans).  The default; all
+    reported *time* is modeled alpha-beta cost.
+
+``mp`` (:class:`~repro.machine.backends.mp.MultiprocessingBackend`)
+    Runs one OS worker process per PE; collectives physically move
+    pickled payloads between the workers through queues.  Combination
+    orders replicate the simulated backend exactly, so results are
+    bit-identical for the package's integer/array payloads.  Reported
+    *wall-clock* reflects genuine parallel execution (the modeled cost
+    is still charged, so both metrics stay available).
+
+Reduction ``op`` arguments follow :data:`repro.machine.collectives.
+REDUCTION_OPS`: the strings ``"sum"``/``"min"``/``"max"`` or a callable.
+Real backends require ops and payloads to be picklable; the named
+string ops always are.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+__all__ = ["Backend"]
+
+
+class Backend(abc.ABC):
+    """Data-plane executor for the collectives of one :class:`Machine`.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"sim"``, ``"mp"``, ...).
+    is_real:
+        True when collectives physically move data between OS processes
+        (wall-clock is then a meaningful parallel-execution metric).
+    wall_time:
+        Cumulative seconds spent inside data-plane calls.
+    """
+
+    name: str = "abstract"
+    is_real: bool = False
+
+    def __init__(self, p: int):
+        if p < 1:
+            raise ValueError(f"need at least one PE, got p={p}")
+        self.p = int(p)
+        self.wall_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Value collectives (list-in, list-out; one entry per PE)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def broadcast(self, value, root: int = 0) -> list:
+        """Every PE receives ``value`` (held by ``root``)."""
+
+    @abc.abstractmethod
+    def reduce(self, values: Sequence, op, root: int = 0) -> list:
+        """Binomial-tree-order reduction to ``root``; others get ``None``."""
+
+    @abc.abstractmethod
+    def allreduce(self, values: Sequence, op) -> list:
+        """Binomial-tree-order reduction, result replicated on every PE."""
+
+    @abc.abstractmethod
+    def scan(self, values: Sequence, op) -> list:
+        """Inclusive prefix combine in rank order."""
+
+    @abc.abstractmethod
+    def allreduce_exscan(self, values: Sequence, op, initial=0) -> tuple[list, list]:
+        """Fused total + exclusive prefix (one schedule, two outputs).
+
+        Returns ``(totals, prefixes)`` where ``totals[i]`` is the
+        tree-order reduction of all contributions and ``prefixes[i]``
+        is ``op(values[0..i-1])`` (``initial`` on PE 0).
+        """
+
+    @abc.abstractmethod
+    def gather(self, values: Sequence, root: int = 0) -> list:
+        """``root`` receives the rank-ordered list; others get ``None``."""
+
+    @abc.abstractmethod
+    def allgather(self, values: Sequence) -> list:
+        """Every PE receives the rank-ordered list of all contributions."""
+
+    @abc.abstractmethod
+    def scatter(self, pieces: Sequence, root: int = 0) -> list:
+        """PE ``i`` receives ``pieces[i]`` (held by ``root``)."""
+
+    @abc.abstractmethod
+    def alltoall(self, matrix: Sequence[Sequence]) -> list[list]:
+        """Personalized exchange: ``out[j][i] == matrix[i][j]``."""
+
+    @abc.abstractmethod
+    def p2p(self, src: int, dst: int, payload):
+        """Move ``payload`` from PE ``src`` to PE ``dst``; returns it."""
+
+    # ------------------------------------------------------------------
+    # Local work
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def map(self, fn: Callable[[int, object], object], items: Sequence) -> list:
+        """Apply ``fn(rank, items[rank])`` on every PE, in parallel where
+        the backend can (falls back to in-process application when ``fn``
+        cannot cross a process boundary)."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker processes, queues)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(p={self.p})"

@@ -1,0 +1,386 @@
+"""Real shared-memory execution: one worker process per PE.
+
+Every PE of the machine is backed by a long-lived OS process; a
+collective ships each PE's contribution to its worker, the workers
+exchange the payloads among themselves (pickled messages through
+per-worker inbox queues), and each worker computes its own result and
+returns it to the driver.  The combination orders replicate
+:class:`~repro.machine.backends.sim.SimBackend` exactly -- reductions
+gather all contributions and combine them in binomial-tree order, scans
+combine in rank order -- so every value collective (and with it all the
+package's pipelines) is bit-identical to the simulated run, including
+floating-point reductions.  The one carve-out is
+:meth:`Machine.aggregate_exchange` with *float* values: the simulated
+hypercube merges on the way while this backend merges delivered buckets
+in rank order, a different float-addition association (last-ulp
+differences).  Integer counts -- what every pipeline in this package
+ships through the DHT -- are association-free and stay bit-identical.
+
+Wire protocol
+-------------
+The driver sends every worker one command per collective, tagged with a
+monotonically increasing sequence number; workers exchange peer messages
+tagged with the same number and stash anything that arrives early, so
+fast workers can run ahead without confusing slow ones.  Symmetric
+collectives exchange directly (every worker messages every peer, O(p^2)
+messages), rooted collectives and point-to-point sends only touch the
+participating workers; this is the right trade-off for the
+shared-memory PE counts this backend targets, and tree schedules for
+larger ``p`` are a backend evolution, not an algorithm change.
+
+Caveats
+-------
+* Payloads and callable reduction ops must be picklable.  The named ops
+  (``"sum"``, ``"min"``, ``"max"``) always are; ``map`` falls back to
+  in-process execution when its function cannot be pickled.
+* Per-PE *local* algorithm work still executes in the driver (the
+  algorithms are written driver-side SPMD); what runs in parallel is the
+  collective data plane plus :meth:`map`.  Wall-clock therefore measures
+  real IPC + parallel combine cost, while the machine's modeled time
+  remains the analytic alpha-beta prediction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+from collections import deque
+from typing import Callable, Sequence
+
+from ..collectives import inclusive_scan, tree_reduce_order
+from .base import Backend
+
+__all__ = ["MultiprocessingBackend"]
+
+#: seconds to wait for a worker before declaring the pool dead
+_TIMEOUT = 120.0
+
+
+def _worker_sendrecv(rank, seq, sends, expect_from, inboxes, backlog, stash):
+    """Send ``sends[j]`` to each peer ``j`` and collect one payload from
+    every peer in ``expect_from`` for this ``seq``.  Returns a src->payload
+    dict.  Sparse by design: rooted collectives involve only the root's
+    fan-in/fan-out instead of a p^2 all-exchange."""
+    for j, payload in sends.items():
+        inboxes[j].put(("msg", seq, rank, payload))
+    recv: dict = {}
+    pending = set(expect_from)
+    for src in list(pending):
+        if (seq, src) in stash:
+            recv[src] = stash.pop((seq, src))
+            pending.discard(src)
+    while pending:
+        item = inboxes[rank].get(timeout=_TIMEOUT)
+        if item[0] == "cmd":
+            backlog.append(item)
+            continue
+        _, mseq, src, payload = item
+        if mseq == seq and src in pending:
+            recv[src] = payload
+            pending.discard(src)
+        else:
+            stash[(mseq, src)] = payload
+    return recv
+
+
+def _worker_exchange(rank, p, seq, row, inboxes, backlog, stash):
+    """Full exchange: send ``row[j]`` to every peer and collect one
+    payload from each.  Returns the rank-ordered received list
+    (``row[rank]`` fills the local slot)."""
+    sends = {j: row[j] for j in range(p) if j != rank}
+    recv = _worker_sendrecv(
+        rank, seq, sends, [j for j in range(p) if j != rank], inboxes, backlog, stash
+    )
+    recv[rank] = row[rank]
+    return [recv[j] for j in range(p)]
+
+
+def _worker_main(rank, p, inboxes, results, parent_pid):
+    """Command loop of one PE worker (module-level for spawn support)."""
+    backlog: deque = deque()
+    stash: dict = {}
+    while True:
+        if backlog:
+            item = backlog.popleft()
+        else:
+            try:
+                item = inboxes[rank].get(timeout=5.0)
+            except queue_mod.Empty:
+                # daemon workers survive a SIGKILL'd driver; bail out
+                # once the parent is gone instead of blocking forever
+                if os.getppid() != parent_pid:
+                    return
+                continue
+        if item[0] != "cmd":
+            _, mseq, src, payload = item
+            stash[(mseq, src)] = payload
+            continue
+        _, seq, spec, local = item
+        op_name = spec[0]
+        if op_name == "stop":
+            results.put((rank, seq, None))
+            return
+        try:
+            result = _execute(rank, p, seq, spec, local, inboxes, backlog, stash)
+            results.put((rank, seq, result))
+        except Exception as exc:  # surface worker failures to the driver
+            results.put((rank, seq, _WorkerError(repr(exc))))
+
+
+class _WorkerError:
+    """Marker wrapping an exception that happened inside a worker."""
+
+    def __init__(self, message: str):
+        self.message = message
+
+
+def _execute(rank, p, seq, spec, local, inboxes, backlog, stash):
+    """Run one collective on this worker; returns this PE's result."""
+    kind = spec[0]
+
+    if kind == "map":
+        fn = pickle.loads(spec[1])
+        return fn(rank, local)
+
+    exchange = lambda row: _worker_exchange(
+        rank, p, seq, row, inboxes, backlog, stash
+    )
+    sendrecv = lambda sends, expect: _worker_sendrecv(
+        rank, seq, sends, expect, inboxes, backlog, stash
+    )
+    others = [j for j in range(p) if j != rank]
+
+    if kind == "bcast":
+        root = spec[1]
+        if rank == root:
+            sendrecv({j: local for j in others}, ())
+            return local
+        return sendrecv({}, (root,))[root]
+    if kind == "reduce":
+        op, root = spec[1], spec[2]
+        if rank != root:
+            sendrecv({root: local}, ())
+            return None
+        recv = sendrecv({}, others)
+        recv[rank] = local
+        return tree_reduce_order([recv[j] for j in range(p)], op)
+    if kind == "allreduce":
+        recv = exchange([local] * p)
+        return tree_reduce_order(recv, spec[1])
+    if kind == "scan":
+        recv = exchange([local] * p)
+        return inclusive_scan(recv, spec[1])[rank]
+    if kind == "allreduce_exscan":
+        op, initial = spec[1], spec[2]
+        recv = exchange([local] * p)
+        total = tree_reduce_order(recv, op)
+        prefix = initial if rank == 0 else inclusive_scan(recv, op)[rank - 1]
+        return total, prefix
+    if kind == "gather":
+        root = spec[1]
+        if rank != root:
+            sendrecv({root: local}, ())
+            return None
+        recv = sendrecv({}, others)
+        recv[rank] = local
+        return [recv[j] for j in range(p)]
+    if kind == "allgather":
+        return exchange([local] * p)
+    if kind == "scatter":
+        root = spec[1]
+        if rank == root:
+            # ``local`` is the full pieces list
+            sendrecv({j: local[j] for j in others}, ())
+            return local[rank]
+        return sendrecv({}, (root,))[root]
+    if kind == "alltoall":
+        return exchange(list(local))
+    if kind == "p2p":
+        # pair operation: only src and dst receive this command, so the
+        # rest of the pool keeps working undisturbed
+        src, dst = spec[1], spec[2]
+        if rank == src:
+            sendrecv({dst: local}, ())
+            return None
+        return sendrecv({}, (src,))[src]
+    raise ValueError(f"unknown backend command {kind!r}")
+
+
+class MultiprocessingBackend(Backend):
+    """One OS process per PE; collectives move real pickled messages."""
+
+    name = "mp"
+    is_real = True
+
+    def __init__(self, p: int, *, start_method: str | None = None):
+        super().__init__(p)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._seq = 0
+        self._workers: list = []
+        self._inboxes: list = []
+        self._results = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise RuntimeError("backend already closed")
+        if self._started:
+            return
+        self._inboxes = [self._ctx.Queue() for _ in range(self.p)]
+        self._results = self._ctx.Queue()
+        self._workers = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(rank, self.p, self._inboxes, self._results, os.getpid()),
+                daemon=True,
+                name=f"repro-pe-{rank}",
+            )
+            for rank in range(self.p)
+        ]
+        for w in self._workers:
+            w.start()
+        self._started = True
+
+    def close(self) -> None:
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        try:
+            self._seq += 1
+            for rank in range(self.p):
+                self._inboxes[rank].put(("cmd", self._seq, ("stop",), None))
+            for w in self._workers:
+                w.join(timeout=5.0)
+        finally:
+            for w in self._workers:
+                if w.is_alive():  # pragma: no cover - cleanup path
+                    w.terminate()
+            for q in self._inboxes:
+                q.close()
+                q.cancel_join_thread()
+            if self._results is not None:
+                self._results.close()
+                self._results.cancel_join_thread()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Driver-side dispatch
+    # ------------------------------------------------------------------
+    def _run(
+        self, spec: tuple, locals_per_pe: Sequence, participants=None
+    ) -> list:
+        """Issue one command to the participating workers (default: all)
+        and collect their results."""
+        self._ensure_started()
+        t0 = time.perf_counter()
+        self._seq += 1
+        seq = self._seq
+        # Fail fast on unpicklable specs (e.g. a lambda reduction op):
+        # Queue's feeder thread would otherwise drop the command silently
+        # and the collective would time out with a bare queue.Empty.
+        try:
+            pickle.dumps(spec)
+        except Exception as exc:
+            raise TypeError(
+                f"backend command {spec[0]!r} is not picklable (op/arguments "
+                f"must cross a process boundary; use a named op like 'sum' "
+                f"or a module-level callable): {exc}"
+            ) from None
+        ranks = range(self.p) if participants is None else participants
+        for rank in ranks:
+            self._inboxes[rank].put(("cmd", seq, spec, locals_per_pe[rank]))
+        out: list = [None] * self.p
+        failures: list[tuple[int, str]] = []
+        # drain every participant's result even on error, so a failed
+        # collective does not leave stale entries that poison the next one
+        for _ in ranks:
+            try:
+                rank, rseq, value = self._results.get(timeout=_TIMEOUT)
+            except Exception:
+                dead = [w.name for w in self._workers if not w.is_alive()]
+                raise RuntimeError(
+                    f"collective {spec[0]!r} timed out after {_TIMEOUT:.0f}s; "
+                    + (
+                        f"dead workers: {dead}"
+                        if dead
+                        else "likely an unpicklable payload (check for a "
+                        "feeder-thread PicklingError traceback above)"
+                    )
+                ) from None
+            if rseq != seq:  # pragma: no cover - protocol violation
+                raise RuntimeError(
+                    f"backend protocol error: expected seq {seq}, got {rseq}"
+                )
+            if isinstance(value, _WorkerError):
+                failures.append((rank, value.message))
+            else:
+                out[rank] = value
+        self.wall_time += time.perf_counter() - t0
+        if failures:
+            detail = "; ".join(f"worker {r} failed: {m}" for r, m in failures)
+            raise RuntimeError(detail)
+        return out
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def broadcast(self, value, root: int = 0) -> list:
+        locals_per_pe = [value if i == root else None for i in range(self.p)]
+        return self._run(("bcast", root), locals_per_pe)
+
+    def reduce(self, values: Sequence, op, root: int = 0) -> list:
+        return self._run(("reduce", op, root), values)
+
+    def allreduce(self, values: Sequence, op) -> list:
+        return self._run(("allreduce", op), values)
+
+    def scan(self, values: Sequence, op) -> list:
+        return self._run(("scan", op), values)
+
+    def allreduce_exscan(self, values: Sequence, op, initial=0) -> tuple[list, list]:
+        pairs = self._run(("allreduce_exscan", op, initial), values)
+        totals = [t for t, _ in pairs]
+        prefixes = [pre for _, pre in pairs]
+        return totals, prefixes
+
+    def gather(self, values: Sequence, root: int = 0) -> list:
+        return self._run(("gather", root), values)
+
+    def allgather(self, values: Sequence) -> list:
+        return self._run(("allgather",), values)
+
+    def scatter(self, pieces: Sequence, root: int = 0) -> list:
+        locals_per_pe = [list(pieces) if i == root else None for i in range(self.p)]
+        return self._run(("scatter", root), locals_per_pe)
+
+    def alltoall(self, matrix: Sequence[Sequence]) -> list[list]:
+        return self._run(("alltoall",), [list(row) for row in matrix])
+
+    def p2p(self, src: int, dst: int, payload):
+        if src == dst:
+            return payload
+        locals_per_pe = [payload if i == src else None for i in range(self.p)]
+        out = self._run(("p2p", src, dst), locals_per_pe, participants=(src, dst))
+        return out[dst]
+
+    def map(self, fn: Callable[[int, object], object], items: Sequence) -> list:
+        try:
+            blob = pickle.dumps(fn)
+        except Exception:
+            # closures/lambdas cannot cross the process boundary; degrade
+            # gracefully to in-process application
+            return [fn(i, x) for i, x in enumerate(items)]
+        return self._run(("map", blob), items)

@@ -1,4 +1,4 @@
-"""The simulated distributed-memory machine.
+"""The distributed-memory machine (simulated or real execution).
 
 :class:`Machine` bundles ``p`` processing elements (PEs) with
 
@@ -7,7 +7,10 @@
   "choose the same random number on all PEs"),
 * per-PE simulated clocks (:class:`repro.machine.clock.SimClock`),
 * per-PE communication metering (:class:`repro.machine.metrics.CommMetrics`),
-* the alpha-beta cost model (:class:`repro.machine.cost.CostParams`), and
+* the alpha-beta cost model (:class:`repro.machine.cost.CostParams`),
+* a pluggable execution backend
+  (:class:`repro.machine.backends.Backend`) that carries out the data
+  plane of every collective, and
 * the collective operations every algorithm in this package is written
   against.
 
@@ -15,6 +18,36 @@ All collectives follow the SPMD-by-construction convention: the caller
 passes a list of length ``p`` holding each PE's contribution and receives
 a list of length ``p`` with each PE's result.  Returned objects may be
 shared between ranks -- treat them as read-only.
+
+Execution backends
+------------------
+Every collective is split into a *control plane* (always executed here:
+schedule metering into :class:`CommMetrics` and analytic alpha-beta cost
+charging into :class:`SimClock`) and a *data plane* (computing the
+result values), which is delegated to the machine's backend:
+
+``backend="sim"`` (default)
+    In-process execution with deterministic combination orders.  The
+    meaningful time metric is the **modeled** makespan
+    (:attr:`MachineReport.makespan`); wall-clock only measures driver
+    overhead.
+``backend="mp"``
+    One OS worker process per PE; payloads physically move between the
+    workers, so the same SPMD call sites execute with genuine
+    parallelism.  Results are bit-identical to ``"sim"`` (identical
+    combination orders) for every value collective; the one exception
+    is :meth:`Machine.aggregate_exchange` with float values, whose
+    merge association differs between the routing paths (integer
+    counts, the package-wide case, are exactly identical).  The
+    meaningful extra metric is **wall-clock**
+    (``machine.backend.wall_time`` and the bench harness's ``wall_s``
+    column); modeled cost is still charged so both views stay
+    comparable.
+
+Select a backend from the CLI (``repro demo --backend mp``), the bench
+harness (``run_algorithm(..., backend="mp")``), or directly as shown
+below.  Custom transports register via
+:func:`repro.machine.backends.register_backend`.
 
 Example
 -------
@@ -24,6 +57,9 @@ Example
 [10, 10, 10, 10]
 >>> m.metrics.bottleneck_words > 0
 True
+>>> with Machine(p=2, seed=1, backend="mp") as real:
+...     real.allreduce([1, 2], op="sum")
+[3, 3]
 """
 
 from __future__ import annotations
@@ -34,18 +70,41 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .backends import Backend, make_backend
 from .clock import SimClock
-from .collectives import (
-    binomial_edges,
-    combine,
-    hypercube_rounds,
-    inclusive_scan,
-    tree_reduce_order,
-)
+from .collectives import binomial_edges, hypercube_rounds
 from .cost import CollectiveCost, CostParams, log2_ceil
 from .metrics import CommMetrics, payload_words
 
 __all__ = ["Machine", "MachineReport", "PhaseStats"]
+
+
+def _canonical_dict(d: dict) -> dict:
+    """Rebuild ``d`` with keys in sorted order (fall back to the given
+    order for unsortable key types), so merged dicts are identical no
+    matter which routing path produced them."""
+    try:
+        return dict(sorted(d.items()))
+    except TypeError:
+        return d
+
+
+class _WireDict(dict):
+    """Wire-format (key, value) bucket; sized by ``words_per_entry``.
+
+    Must live at module level so real backends can pickle it across the
+    process boundary.
+    """
+
+    def __init__(self, words_per_entry: float = 2.0, items=()):
+        super().__init__(items)
+        self.words_per_entry = words_per_entry
+
+    def comm_words(self) -> int:
+        return int(np.ceil(self.words_per_entry * len(self)))
+
+    def __reduce__(self):
+        return (_WireDict, (self.words_per_entry, tuple(self.items())))
 
 
 @dataclass(frozen=True)
@@ -61,7 +120,13 @@ class PhaseStats:
 
 @dataclass(frozen=True)
 class MachineReport:
-    """Summary of one simulated run, the unit reported by benchmarks."""
+    """Summary of one run, the unit reported by benchmarks.
+
+    ``makespan``/``work_time``/``comm_time`` are *modeled* alpha-beta
+    seconds on every backend; ``backend_wall_s`` is the real seconds the
+    execution backend spent moving data (only meaningful for real
+    backends such as ``"mp"``; ~0 for ``"sim"``).
+    """
 
     p: int
     makespan: float
@@ -72,6 +137,8 @@ class MachineReport:
     total_traffic: float
     imbalance: float
     phases: tuple[PhaseStats, ...] = ()
+    backend: str = "sim"
+    backend_wall_s: float = 0.0
 
     def row(self) -> dict:
         """Flat dict form for tabular output."""
@@ -84,6 +151,7 @@ class MachineReport:
             "startups": self.bottleneck_startups,
             "traffic_words": self.total_traffic,
             "imbalance": self.imbalance,
+            "backend": self.backend,
         }
 
 
@@ -99,12 +167,23 @@ class Machine:
     seed:
         Master seed.  Per-PE streams are spawned deterministically from
         it, so every run with the same seed is bit-reproducible.
+    backend:
+        Execution backend: a name (``"sim"``, ``"mp"``) or a
+        :class:`~repro.machine.backends.Backend` instance built for the
+        same ``p``.  See the module docstring for the trade-offs.
     """
 
-    def __init__(self, p: int, cost: CostParams | None = None, seed: int = 0xC0FFEE):
+    def __init__(
+        self,
+        p: int,
+        cost: CostParams | None = None,
+        seed: int = 0xC0FFEE,
+        backend: str | Backend = "sim",
+    ):
         if p < 1:
             raise ValueError(f"need at least one PE, got p={p}")
         self.p = int(p)
+        self.backend: Backend = make_backend(backend, self.p)
         self.cost = cost if cost is not None else CostParams()
         self.clock = SimClock(self.p)
         self.metrics = CommMetrics(self.p)
@@ -163,7 +242,7 @@ class Machine:
             ((s, d, m) for _, s, d in binomial_edges(self.p, root)), "broadcast"
         )
         self._charge(self.cost.broadcast(m, self.p))
-        return [value] * self.p
+        return self.backend.broadcast(value, root)
 
     def reduce(self, values: Sequence, op="sum", root: int = 0) -> list:
         """Reduce per-PE contributions to ``root``; other PEs get ``None``."""
@@ -172,10 +251,7 @@ class Machine:
         edges = [(d, s, m) for _, s, d in binomial_edges(self.p, root)]
         self.metrics.record_schedule(edges, "reduce")
         self._charge(self.cost.reduce(m, self.p))
-        result = tree_reduce_order(values, op)
-        out: list = [None] * self.p
-        out[root] = result
-        return out
+        return self.backend.reduce(values, op, root)
 
     def allreduce(self, values: Sequence, op="sum") -> list:
         """Reduce per-PE contributions; every PE receives the result."""
@@ -186,8 +262,7 @@ class Machine:
         edges += [(s, d, m) for _, s, d in binomial_edges(self.p, 0)]
         self.metrics.record_schedule(edges, "allreduce")
         self._charge(self.cost.allreduce(m, self.p))
-        result = tree_reduce_order(values, op)
-        return [result] * self.p
+        return self.backend.allreduce(values, op)
 
     def scan(self, values: Sequence, op="sum") -> list:
         """Inclusive prefix combine: PE ``j`` receives ``op(values[0..j])``."""
@@ -196,13 +271,60 @@ class Machine:
         pairs = [(s, d, m) for rnd in hypercube_rounds(self.p) for s, d in rnd]
         self.metrics.record_schedule(pairs, "scan")
         self._charge(self.cost.scan(m, self.p))
-        return inclusive_scan(values, op)
+        return self.backend.scan(values, op)
 
     def exscan(self, values: Sequence, op="sum", initial=0) -> list:
         """Exclusive prefix combine: PE ``j`` receives ``op(values[0..j-1])``
         and PE 0 receives ``initial``."""
         inc = self.scan(values, op)  # charges once
         return [initial] + inc[:-1]
+
+    def allreduce_exscan(
+        self, values: Sequence, op="sum", initial=0
+    ) -> tuple[list, list]:
+        """Fused total + exclusive prefix in one hypercube schedule.
+
+        Equivalent to ``(allreduce(values, op), exscan(values, op,
+        initial))`` but pays the ``alpha log p`` startups only once: the
+        recursive-doubling prefix schedule carries a second accumulator
+        holding the running total (a standard scan-and-reduce fusion),
+        so each round ships a two-slot tuple instead of running two
+        separate collectives.  The hot call sites are the
+        "count-below + tie-prefix" pairs of the selection and top-k
+        extraction kernels.
+        """
+        self._check_len(values, "allreduce_exscan")
+        m = payload_words(values[0])
+        pairs = [
+            (s, d, 2 * m) for rnd in hypercube_rounds(self.p) for s, d in rnd
+        ]
+        self.metrics.record_schedule(pairs, "allreduce_exscan")
+        self._charge(self.cost.allreduce_exscan(m, self.p))
+        return self.backend.allreduce_exscan(values, op, initial)
+
+    def tie_grant_prefix(
+        self, strict_counts: Sequence[int], tie_counts: Sequence[int], k: int
+    ) -> tuple[int, list[int]]:
+        """Exact-k tie granting in one fused schedule.
+
+        The selection/top-k extraction kernels all end the same way:
+        elements strictly inside the threshold are kept, and the
+        remaining quota of threshold-equal elements is granted in PE
+        order.  This wraps the required ``k - sum(strict_counts)`` total
+        and the exclusive prefix of ``tie_counts`` into a single
+        :meth:`allreduce_exscan` of (strict, tie) pairs.
+
+        Returns ``(quota, tie_before)`` where PE ``i`` may keep
+        ``clip(quota - tie_before[i], 0, tie_counts[i])`` tied elements.
+        """
+        pairs = [
+            np.array([s, t], dtype=np.int64)
+            for s, t in zip(strict_counts, tie_counts)
+        ]
+        totals, prefixes = self.allreduce_exscan(
+            pairs, op="sum", initial=np.zeros(2, dtype=np.int64)
+        )
+        return k - int(totals[0][0]), [int(pre[1]) for pre in prefixes]
 
     def gather(self, values: Sequence, root: int = 0, mode: str = "tree") -> list:
         """Collect all contributions at ``root`` (a list in rank order).
@@ -230,9 +352,7 @@ class Machine:
             self._charge(self.cost.gather_direct(total, self.p))
         else:
             raise ValueError(f"unknown gather mode {mode!r}")
-        out: list = [None] * self.p
-        out[root] = list(values)
-        return out
+        return self.backend.gather(values, root)
 
     def allgather(self, values: Sequence) -> list:
         """All-to-all broadcast (gossiping): every PE gets every piece."""
@@ -251,8 +371,7 @@ class Machine:
             acc = nxt
         self.metrics.record_schedule(edges, "allgather")
         self._charge(self.cost.allgather(float(sizes.mean()), self.p))
-        result = list(values)
-        return [result] * self.p
+        return self.backend.allgather(values)
 
     def scatter(self, pieces: Sequence, root: int = 0) -> list:
         """Distribute ``pieces[i]`` from ``root`` to PE ``i``."""
@@ -268,7 +387,7 @@ class Machine:
             acc[s] += acc[d]
         self.metrics.record_schedule(reversed(fwd), "scatter")
         self._charge(self.cost.scatter(total, self.p))
-        return list(pieces)
+        return self.backend.scatter(pieces, root)
 
     # ------------------------------------------------------------------
     # Personalized exchanges
@@ -288,7 +407,7 @@ class Machine:
         for i, row in enumerate(matrix):
             if len(row) != self.p:
                 raise ValueError(f"alltoall row {i} has length {len(row)} != p")
-        out: list[list] = [[matrix[i][j] for i in range(self.p)] for j in range(self.p)]
+        out = self.backend.alltoall(matrix)
         sizes = np.array(
             [[payload_words(matrix[i][j]) if i != j else 0 for j in range(self.p)] for i in range(self.p)],
             dtype=np.float64,
@@ -322,24 +441,19 @@ class Machine:
         # buckets[i][j] = words currently parked at i, destined for j
         buckets = sizes.copy()
         dims = log2_ceil(p)
+        ranks = np.arange(p)
         for r in range(dims):
             bit = 1 << r
-            edges = []
-            moved = np.zeros(p)
-            newbuckets = buckets.copy()
-            for i in range(p):
-                partner = i ^ bit
-                if partner >= p:
-                    continue
-                # forward everything whose destination differs in bit r
-                dest_mask = np.array([(j ^ i) & bit != 0 for j in range(p)])
-                w = float(buckets[i][dest_mask].sum())
-                if w > 0:
-                    edges.append((i, partner, w))
-                    newbuckets[partner][dest_mask] += buckets[i][dest_mask]
-                    newbuckets[i][dest_mask] = 0
-                moved[i] = w
-            buckets = newbuckets
+            partners = ranks ^ bit
+            active = partners < p  # PEs whose round-r partner exists
+            # dest_mask[i, j]: destination j differs from i in bit r
+            dest_mask = ((ranks[:, None] ^ ranks[None, :]) & bit) != 0
+            forwarded = np.where(dest_mask & active[:, None], buckets, 0.0)
+            moved = forwarded.sum(axis=1)
+            senders = ranks[active & (moved > 0)]
+            edges = [(int(i), int(partners[i]), float(moved[i])) for i in senders]
+            buckets = buckets - forwarded
+            np.add.at(buckets, partners[senders], forwarded[senders])
             if edges:
                 self.metrics.record_schedule(edges, kind)
             self.clock.sync_collective(self.cost.alpha + self.cost.beta * float(moved.max(initial=0.0)))
@@ -377,7 +491,13 @@ class Machine:
         Returns
         -------
         Per-PE dict holding exactly the keys owned by that PE, with all
-        contributions merged.
+        contributions merged.  Keys are in canonical (sorted) order, so
+        the result is identical no matter which routing path or backend
+        delivered it -- exactly identical for order-insensitive merges
+        (integer counts, the package-wide case); float-valued merges can
+        differ in the last ulp between routing paths because the
+        hypercube path associates additions differently than direct
+        delivery.
         """
         self._check_len(dicts, "aggregate_exchange")
         p = self.p
@@ -385,7 +505,7 @@ class Machine:
             merged: dict = {}
             for k, v in dicts[0].items():
                 merged[k] = combine_values(merged[k], v) if k in merged else v
-            return [merged]
+            return [_canonical_dict(merged)]
 
         # Pre-split each PE's dict by destination
         owner_cache: dict = {}
@@ -413,6 +533,17 @@ class Machine:
                 bucket[k] = combine_values(bucket[k], v) if k in bucket else v
             held.append(byd)
 
+        # A real backend additionally ships the pre-aggregated buckets to
+        # their owners; snapshot them now (copies -- the walk below merges
+        # into these dicts) so the physical delivery reuses the split
+        # instead of re-splitting every entry.
+        wire_matrix = None
+        if self.backend.is_real:
+            wire_matrix = [[None] * p for _ in range(p)]
+            for i in range(p):
+                for d, bucket in held[i].items():
+                    wire_matrix[i][d] = dict(bucket)
+
         dims = log2_ceil(p)
         for r in range(dims):
             bit = 1 << r
@@ -422,11 +553,13 @@ class Machine:
             for i in range(p):
                 partner = i ^ bit
                 send: dict[int, dict] = {}
-                for d in list(held[i].keys()):
-                    if (d ^ i) & bit:
-                        send[d] = held[i].pop(d)
+                n_entries = 0
+                for d in [d for d in held[i] if (d ^ i) & bit]:
+                    bucket = held[i].pop(d)
+                    send[d] = bucket
+                    n_entries += len(bucket)
                 if send:
-                    words = words_per_entry * sum(len(b) for b in send.values())
+                    words = words_per_entry * n_entries
                     edges.append((i, partner, words))
                     max_words = max(max_words, words)
                     for d, bucket in send.items():
@@ -434,51 +567,72 @@ class Machine:
                         for k, v in bucket.items():
                             tgt[k] = combine_values(tgt[k], v) if k in tgt else v
             # merge deliveries into recipients
+            merge_ops = np.zeros(p, dtype=np.float64)
             for i in range(p):
                 for d, bucket in outgoing[i].items():
                     tgt = held[i].setdefault(d, {})
                     for k, v in bucket.items():
                         tgt[k] = combine_values(tgt[k], v) if k in tgt else v
-                    # charge merge work: one hash probe per entry
-                    self.charge_ops_one(i, len(bucket))
+                    # merge work: one hash probe per entry
+                    merge_ops[i] += len(bucket)
+            self.charge_ops(merge_ops)
             if edges:
                 self.metrics.record_schedule(edges, "dht_exchange")
             self.clock.sync_collective(self.cost.alpha + self.cost.beta * max_words)
 
-        return [held[i].get(i, {}) for i in range(p)]
+        out = [held[i].get(i, {}) for i in range(p)]
+        if wire_matrix is not None:
+            # The hypercube walk above is the charging model; on a real
+            # backend the (already aggregated) buckets additionally make
+            # the physical trip to their owners through the workers.
+            received = self.backend.alltoall(wire_matrix)
+            out = [
+                self._merge_received(received[j], combine_values)[0]
+                for j in range(p)
+            ]
+        return [_canonical_dict(d) for d in out]
+
+    def _split_by_owner(self, dicts, owner_fn, combine_values, make_bucket):
+        """Per-PE destination matrix: ``matrix[i][d]`` holds PE ``i``'s
+        locally pre-aggregated (key, value) bucket for owner ``d``."""
+        p = self.p
+        matrix: list[list] = [[None] * p for _ in range(p)]
+        for i in range(p):
+            for k, v in dicts[i].items():
+                d = owner_fn(k)
+                bucket = matrix[i][d]
+                if bucket is None:
+                    bucket = matrix[i][d] = make_bucket()
+                bucket[k] = combine_values(bucket[k], v) if k in bucket else v
+        return matrix
+
+    @staticmethod
+    def _merge_received(received_row, combine_values) -> tuple[dict, int]:
+        """Merge one owner's received buckets in rank order; returns the
+        merged dict plus the number of entries processed."""
+        merged: dict = {}
+        n_entries = 0
+        for piece in received_row:
+            if piece is None:
+                continue
+            for k, v in piece.items():
+                merged[k] = combine_values(merged[k], v) if k in merged else v
+            n_entries += len(piece)
+        return merged, n_entries
 
     def _aggregate_direct(
         self, dicts, owner_fn, combine_values, words_per_entry: float = 2.0
     ) -> list[dict]:
         """Direct-delivery fallback of :meth:`aggregate_exchange`."""
-        p = self.p
-
-        class _Wire(dict):
-            def comm_words(self):
-                return int(np.ceil(words_per_entry * len(self)))
-
-        matrix: list[list] = [[None] * p for _ in range(p)]
-        for i in range(p):
-            byd: dict[int, dict] = {}
-            for k, v in dicts[i].items():
-                d = owner_fn(k)
-                bucket = byd.setdefault(d, _Wire())
-                bucket[k] = combine_values(bucket[k], v) if k in bucket else v
-            for d, bucket in byd.items():
-                matrix[i][d] = bucket
+        matrix = self._split_by_owner(
+            dicts, owner_fn, combine_values, lambda: _WireDict(words_per_entry)
+        )
         received = self.alltoall(matrix, mode="direct")
         out = []
-        for j in range(p):
-            merged: dict = {}
-            n_entries = 0
-            for piece in received[j]:
-                if piece is None:
-                    continue
-                for k, v in piece.items():
-                    merged[k] = combine_values(merged[k], v) if k in merged else v
-                n_entries += len(piece)
+        for j in range(self.p):
+            merged, n_entries = self._merge_received(received[j], combine_values)
             self.charge_ops_one(j, n_entries)
-            out.append(merged)
+            out.append(_canonical_dict(merged))
         return out
 
     def reduce_tree(
@@ -505,6 +659,7 @@ class Machine:
             if child != parent:
                 self.metrics.record_p2p(child, parent, w, kind)
                 self.clock.charge_p2p(child, parent, self.cost.p2p(w))
+                payload = self.backend.p2p(child, parent, payload)
             merged = merge(acc[parent], payload)
             # merging cost: proportional to the incoming payload
             self.charge_ops_one(parent, max(1.0, w))
@@ -525,6 +680,7 @@ class Machine:
         if src != dst:
             self.metrics.record_p2p(src, dst, w, kind)
             self.clock.charge_p2p(src, dst, self.cost.p2p(w))
+            payload = self.backend.p2p(src, dst, payload)
         return payload
 
     # ------------------------------------------------------------------
@@ -559,6 +715,8 @@ class Machine:
             total_traffic=self.metrics.total_traffic,
             imbalance=self.clock.imbalance,
             phases=tuple(self._phases),
+            backend=self.backend.name,
+            backend_wall_s=self.backend.wall_time,
         )
 
     def reset(self) -> None:
@@ -566,6 +724,20 @@ class Machine:
         self.clock.reset()
         self.metrics.reset()
         self._phases.clear()
+        self.backend.wall_time = 0.0
+
+    def close(self) -> None:
+        """Release backend resources (worker processes for ``"mp"``)."""
+        self.backend.close()
+
+    def __enter__(self) -> "Machine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Machine(p={self.p}, makespan={self.clock.makespan:.3e}s)"
+        return (
+            f"Machine(p={self.p}, backend={self.backend.name!r}, "
+            f"makespan={self.clock.makespan:.3e}s)"
+        )

@@ -121,6 +121,16 @@ class CostParams:
         r = log2_ceil(p)
         return CollectiveCost(self.alpha * r + self.beta * m, r, m)
 
+    def allreduce_exscan(self, m: float, p: int) -> CollectiveCost:
+        """Fused total + exclusive prefix of ``m``-word vectors.
+
+        One recursive-doubling schedule carrying a (prefix, total)
+        accumulator pair: the ``alpha log p`` startups of a separate
+        allreduce + exscan are paid once, at twice the per-round payload.
+        """
+        r = log2_ceil(p)
+        return CollectiveCost(self.alpha * r + 2.0 * self.beta * m, r, 2.0 * m)
+
     def gather(self, m_total: float, p: int) -> CollectiveCost:
         """Gather pieces summing to ``m_total`` words onto one PE (tree)."""
         r = log2_ceil(p)

@@ -18,6 +18,11 @@ from .comm import Machine
 __all__ = ["DistArray"]
 
 
+def _sort_chunk(rank: int, chunk: np.ndarray) -> np.ndarray:
+    """Module-level so real backends can ship it to worker processes."""
+    return np.sort(chunk)
+
+
 class DistArray:
     """A vector distributed over the PEs of a :class:`Machine`.
 
@@ -100,8 +105,14 @@ class DistArray:
     # Local transforms
     # ------------------------------------------------------------------
     def map_chunks(self, fn: Callable[[int, np.ndarray], np.ndarray], ops_per_elem: float = 1.0) -> "DistArray":
-        """Apply ``fn(rank, chunk)`` on every PE, charging local work."""
-        out = [fn(i, c) for i, c in enumerate(self.chunks)]
+        """Apply ``fn(rank, chunk)`` on every PE, charging local work.
+
+        On a real backend (``Machine(backend="mp")``) the per-PE
+        applications run in the worker processes -- genuinely in
+        parallel -- provided ``fn`` is picklable; otherwise they fall
+        back to the driver process.
+        """
+        out = self.machine.backend.map(fn, self.chunks)
         self.machine.charge_ops(self.sizes().astype(np.float64) * ops_per_elem)
         return DistArray(self.machine, out)
 
@@ -109,7 +120,7 @@ class DistArray:
         """Sort each chunk locally (charges ``m log m`` per PE)."""
         sizes = self.sizes().astype(np.float64)
         self.machine.charge_ops(sizes * np.log2(np.maximum(sizes, 2.0)))
-        return DistArray(self.machine, [np.sort(c) for c in self.chunks])
+        return DistArray(self.machine, self.machine.backend.map(_sort_chunk, self.chunks))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DistArray(p={self.machine.p}, n={self.global_size}, dtype={self.dtype})"

@@ -49,15 +49,20 @@ def multi_select(
         base_case = int(max(64, 4 * np.sqrt(machine.p)))
 
     out: dict[int, object] = {}
-    # work list of (chunks, ranks-relative, rank-offset) segments
-    segments = [([np.asarray(c) for c in data.chunks], ks_sorted, 0)]
+    # Work list of (chunks, ranks-relative, rank-offset, segment-size).
+    # The root size comes from one all-reduction; child segment sizes are
+    # derived locally from the per-level part counts, so each segment
+    # pays one collective per level instead of two.
+    chunks0 = [np.asarray(c) for c in data.chunks]
+    sizes0 = [c.size for c in chunks0]
+    n_total = int(machine.allreduce(sizes0, op="sum")[0])
+    segments = [(chunks0, ks_sorted, 0, n_total)]
     depth = 0
     while segments:
         depth += 1
         next_segments = []
-        for chunks, ranks, offset in segments:
+        for chunks, ranks, offset, seg_n in segments:
             sizes = np.array([c.size for c in chunks], dtype=np.int64)
-            seg_n = int(machine.allreduce(list(sizes), op="sum")[0])
             if seg_n <= base_case or depth >= max_depth:
                 _finish_segment(machine, chunks, ranks, offset, out)
                 continue
@@ -71,7 +76,7 @@ def multi_select(
             gathered = machine.allgather(local_samples)[0]
             nonempty = [s for s in gathered if s.size]
             if not nonempty:
-                next_segments.append((chunks, ranks, offset))
+                next_segments.append((chunks, ranks, offset, seg_n))
                 continue
             sample = np.sort(np.concatenate(nonempty))
             machine.charge_ops(sample.size * np.log2(max(sample.size, 2)))
@@ -102,7 +107,7 @@ def multi_select(
             mid_ranks = [k - na for k in ranks if na < k <= na + nb]
             hi_ranks = [k - na - nb for k in ranks if k > na + nb]
             if lo_ranks:
-                next_segments.append((parts_lo, lo_ranks, offset))
+                next_segments.append((parts_lo, lo_ranks, offset, na))
             if mid_ranks:
                 if lo_p == hi_p:
                     for k in mid_ranks:
@@ -110,9 +115,11 @@ def multi_select(
                             lo_p.item() if hasattr(lo_p, "item") else lo_p
                         )
                 else:
-                    next_segments.append((parts_mid, mid_ranks, offset + na))
+                    next_segments.append((parts_mid, mid_ranks, offset + na, nb))
             if hi_ranks:
-                next_segments.append((parts_hi, hi_ranks, offset + na + nb))
+                next_segments.append(
+                    (parts_hi, hi_ranks, offset + na + nb, seg_n - na - nb)
+                )
         segments = next_segments
 
     return [out[k] for k in ks_sorted]

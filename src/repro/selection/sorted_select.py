@@ -185,9 +185,8 @@ def ms_select_with_cuts(
         lt.append(n_lt)
         eq.append(n_le - n_lt)
         machine.charge_ops_one(i, np.log2(max(len(seqs[i]), 2)))
-    n_lt_total = int(machine.allreduce(lt, op="sum")[0])
-    quota = k - n_lt_total
-    eq_before = machine.exscan(eq, op="sum")
+    # fused: strict-below total and tie prefix share one schedule
+    quota, eq_before = machine.tie_grant_prefix(lt, eq, k)
     cuts = []
     for i in range(machine.p):
         keep_eq = int(np.clip(quota - eq_before[i], 0, eq[i]))

@@ -85,9 +85,13 @@ def select_kth(
     chunks = [np.asarray(c) for c in data.chunks]
     rounds = 0
     sample_total = 0
+    # One all-reduction establishes the global size; afterwards every PE
+    # updates n locally from the part counts it already received, so the
+    # recursion pays a single collective per level instead of two.
+    sizes = np.array([c.size for c in chunks], dtype=np.int64)
+    n = int(machine.allreduce(list(sizes), op="sum")[0])
     while True:
         sizes = np.array([c.size for c in chunks], dtype=np.int64)
-        n = int(machine.allreduce(list(sizes), op="sum")[0])
         if n <= base_case or rounds >= max_rounds:
             value = _gather_base_case(machine, chunks, k)
             if return_stats:
@@ -143,9 +147,11 @@ def select_kth(
 
         if na >= k:
             chunks = parts_lo
+            n = na
         elif na + nb < k:
             chunks = parts_hi
             k -= na + nb
+            n = n - na - nb
         else:
             if lo_p == hi_p:
                 # rank k falls inside a run of duplicates of the pivot
@@ -155,6 +161,7 @@ def select_kth(
                 return value
             chunks = parts_mid
             k -= na
+            n = nb
         rounds += 1
 
 
@@ -192,9 +199,8 @@ def select_topk_smallest(
         below_counts.append(int((c < threshold).sum()))
         equal_counts.append(int((c == threshold).sum()))
     machine.charge_ops(data.sizes().astype(np.float64))
-    n_below = int(machine.allreduce(below_counts, op="sum")[0])
-    quota = k - n_below  # how many threshold-equal elements are kept
-    eq_before = machine.exscan(equal_counts, op="sum")
+    # fused collective: below-threshold total and tie prefix in one schedule
+    quota, eq_before = machine.tie_grant_prefix(below_counts, equal_counts, k)
     out = []
     for i, c in enumerate(data.chunks):
         keep_eq = int(np.clip(quota - eq_before[i], 0, equal_counts[i]))

@@ -1,0 +1,37 @@
+"""Reusable test/driver helpers.
+
+These used to live only in ``tests/conftest.py``, which test modules
+cannot import reliably (pytest does not make the conftest importable as
+a package module without ``__init__.py`` files).  Keeping them in the
+package proper lets every test module -- and downstream users writing
+their own oracles -- import them with a plain absolute import::
+
+    from repro.testing import make_dist, sorted_oracle
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import DistArray, Machine
+
+__all__ = ["make_dist", "sorted_oracle"]
+
+
+def sorted_oracle(data: DistArray) -> np.ndarray:
+    """Global ascending sort of a distributed array (driver-side)."""
+    return np.sort(data.concat())
+
+
+def make_dist(
+    machine: Machine,
+    rng: np.random.Generator,
+    n_per_pe: int,
+    lo: int = 0,
+    hi: int = 1_000_000,
+) -> DistArray:
+    """Uniform random integer workload: ``n_per_pe`` values per PE."""
+    return DistArray(
+        machine,
+        [rng.integers(lo, hi, size=n_per_pe).astype(np.int64) for _ in range(machine.p)],
+    )

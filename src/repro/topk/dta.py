@@ -271,9 +271,10 @@ def _collect_winners(machine, hits_per_pe, thr, k):
     """Exact-k extraction with PE-ordered tie granting, then allgather."""
     strict = [[(o, r) for (o, r) in h if r > thr] for h in hits_per_pe]
     ties = [[(o, r) for (o, r) in h if r == thr] for h in hits_per_pe]
-    n_strict = int(machine.allreduce([len(s) for s in strict], op="sum")[0])
-    quota = k - n_strict
-    tie_before = machine.exscan([len(t) for t in ties], op="sum")
+    # fused: strict-winner total and tie prefix share one schedule
+    quota, tie_before = machine.tie_grant_prefix(
+        [len(s) for s in strict], [len(t) for t in ties], k
+    )
     winners_per_pe = []
     for i in range(machine.p):
         grant = int(np.clip(quota - tie_before[i], 0, len(ties[i])))

@@ -127,10 +127,10 @@ def _materialize(machine, local_results, sel, thr, k):
         ties = [(oid, rel) for (oid, rel) in r.items if rel == thr]
         per_pe.append((mine, ties))
     # grant threshold ties in PE order to hit exactly k
-    n_strict = int(machine.allreduce([len(m_) for m_, _ in per_pe], op="sum")[0])
-    quota = k - n_strict
-    tie_counts = [len(t) for _, t in per_pe]
-    tie_before = machine.exscan(tie_counts, op="sum")
+    # fused: strict-winner total and tie prefix share one schedule
+    quota, tie_before = machine.tie_grant_prefix(
+        [len(m_) for m_, _ in per_pe], [len(t) for _, t in per_pe], k
+    )
     out_per_pe = []
     for i, (mine, ties) in enumerate(per_pe):
         grant = int(np.clip(quota - tie_before[i], 0, len(ties)))

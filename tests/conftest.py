@@ -1,4 +1,9 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The plain-function helpers (``make_dist``, ``sorted_oracle``) live in
+:mod:`repro.testing` so test modules can import them absolutely; they
+are re-exported here for any remaining in-conftest users.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.machine import CostParams, DistArray, Machine
+from repro.testing import make_dist, sorted_oracle  # noqa: F401 (re-export)
 
 
 @pytest.fixture
@@ -30,13 +36,3 @@ def machine8():
     return Machine(p=8, seed=99)
 
 
-def sorted_oracle(data: DistArray) -> np.ndarray:
-    """Global ascending sort of a distributed array (driver-side)."""
-    return np.sort(data.concat())
-
-
-def make_dist(machine: Machine, rng: np.random.Generator, n_per_pe: int, lo=0, hi=1_000_000) -> DistArray:
-    return DistArray(
-        machine,
-        [rng.integers(lo, hi, size=n_per_pe).astype(np.int64) for _ in range(machine.p)],
-    )

@@ -1,0 +1,112 @@
+"""Integration: whole pipelines produce identical results on every
+backend (the acceptance bar of the backend refactor).
+
+Runs the unsorted-selection and frequent-objects pipelines -- plus the
+supporting multiselection and exact top-k paths -- on ``sim`` and
+``mp`` machines built from the same seed, and demands *identical*
+outputs: same values, same tie-breaks, same reported diagnostics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frequent import top_k_frequent_exact, top_k_frequent_pac
+from repro.machine import DistArray, Machine
+from repro.selection import multi_select, select_kth, select_topk_smallest
+from repro.testing import make_dist, sorted_oracle
+
+PS = [1, 2, 4]
+
+
+def _machines(p, seed):
+    return Machine(p=p, seed=seed), Machine(p=p, seed=seed, backend="mp")
+
+
+def _data(machine, seed, n_per_pe=400, lo=0, hi=2_000):
+    # modest universe -> plenty of duplicates, exercising tie-granting
+    return make_dist(machine, np.random.default_rng(seed), n_per_pe, lo=lo, hi=hi)
+
+
+@pytest.mark.parametrize("p", PS)
+class TestUnsortedSelectionParity:
+    def test_select_kth(self, p):
+        sim, real = _machines(p, seed=7)
+        with real:
+            d_sim, d_real = _data(sim, 1), _data(real, 1)
+            n = d_sim.global_size
+            for k in (1, n // 3, n):
+                s_stats = select_kth(sim, d_sim, k, return_stats=True)
+                r_stats = select_kth(real, d_real, k, return_stats=True)
+                assert s_stats.value == r_stats.value
+                assert s_stats.rounds == r_stats.rounds
+                assert s_stats.sample_total == r_stats.sample_total
+                assert s_stats.value == sorted_oracle(d_sim)[k - 1]
+
+    def test_select_topk_smallest(self, p):
+        sim, real = _machines(p, seed=8)
+        with real:
+            d_sim, d_real = _data(sim, 2), _data(real, 2)
+            s_sel, s_thr = select_topk_smallest(sim, d_sim, 123)
+            r_sel, r_thr = select_topk_smallest(real, d_real, 123)
+        assert s_thr == r_thr
+        for cs, cr in zip(s_sel.chunks, r_sel.chunks):
+            np.testing.assert_array_equal(cs, cr)
+        assert s_sel.global_size == 123
+
+    def test_multi_select(self, p):
+        sim, real = _machines(p, seed=9)
+        with real:
+            d_sim, d_real = _data(sim, 3), _data(real, 3)
+            ks = [1, 50, d_sim.global_size // 2, d_sim.global_size]
+            assert multi_select(sim, d_sim, ks) == multi_select(real, d_real, ks)
+
+
+@pytest.mark.parametrize("p", PS)
+class TestFrequentObjectsParity:
+    def test_pac_pipeline(self, p):
+        sim, real = _machines(p, seed=10)
+        with real:
+            keys_sim = DistArray.generate(
+                sim, lambda r, g: g.integers(0, 256, 3_000)
+            )
+            keys_real = DistArray.generate(
+                real, lambda r, g: g.integers(0, 256, 3_000)
+            )
+            res_sim = top_k_frequent_pac(sim, keys_sim, 8, eps=5e-2, delta=1e-3)
+            res_real = top_k_frequent_pac(real, keys_real, 8, eps=5e-2, delta=1e-3)
+        assert res_sim.items == res_real.items
+        assert res_sim.rho == res_real.rho
+        assert res_sim.sample_size == res_real.sample_size
+
+    def test_exact_pipeline(self, p):
+        sim, real = _machines(p, seed=11)
+        with real:
+            keys_sim = DistArray.generate(sim, lambda r, g: g.integers(0, 64, 2_000))
+            keys_real = DistArray.generate(real, lambda r, g: g.integers(0, 64, 2_000))
+            res_sim = top_k_frequent_exact(sim, keys_sim, 5)
+            res_real = top_k_frequent_exact(real, keys_real, 5)
+        assert res_sim.items == res_real.items
+
+
+@pytest.mark.parametrize("p", PS)
+class TestBenchHarnessBackends:
+    def test_run_algorithm_mp(self, p):
+        from repro.bench import run_algorithm
+
+        row = run_algorithm(
+            "parity", "median", p, 200,
+            lambda m: DistArray.generate(m, lambda r, g: g.integers(0, 999, 200)),
+            lambda m, d: {"v": select_kth(m, d, d.global_size // 2)},
+            backend="mp",
+        )
+        row_sim = run_algorithm(
+            "parity", "median", p, 200,
+            lambda m: DistArray.generate(m, lambda r, g: g.integers(0, 999, 200)),
+            lambda m, d: {"v": select_kth(m, d, d.global_size // 2)},
+            backend="sim",
+        )
+        assert row.backend == "mp" and row_sim.backend == "sim"
+        assert row.extra["v"] == row_sim.extra["v"]
+        # modeled quantities are backend-independent
+        assert row.time_s == row_sim.time_s
+        assert row.volume_words == row_sim.volume_words

@@ -5,8 +5,7 @@ import pytest
 
 from repro.machine import DistArray, Machine
 from repro.selection import multi_select, quantiles
-
-from ..conftest import make_dist, sorted_oracle
+from repro.testing import make_dist, sorted_oracle
 
 
 @pytest.fixture

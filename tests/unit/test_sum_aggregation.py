@@ -103,6 +103,18 @@ class TestPacSum:
         res = top_k_sums_pac(machine8, kv, 4)
         assert res.items == ()
 
+    def test_subnormal_mass_does_not_underflow(self):
+        """Regression: a subnormal total mass made v_avg = m/s round to
+        0.0, which weighted_sample_counts rejects."""
+        m = Machine(p=1, seed=13)
+        kv = DistKeyValue(m, [np.array([0], dtype=np.int64)], [np.array([5e-324])])
+        assert top_k_sums_pac(m, kv, 1).v_avg > 0
+        m2 = Machine(p=1, seed=13)
+        kv2 = DistKeyValue(m2, [np.array([0], dtype=np.int64)], [np.array([5e-324])])
+        res = top_k_sums_ec(m2, kv2, 1, k_star=8)
+        for key, s in res.items:
+            assert s == 5e-324
+
 
 class TestEcSum:
     def test_sums_exact(self, machine8):

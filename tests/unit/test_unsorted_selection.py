@@ -5,8 +5,7 @@ import pytest
 
 from repro.machine import DistArray, Machine
 from repro.selection import select_kth, select_topk_largest, select_topk_smallest
-
-from ..conftest import make_dist, sorted_oracle
+from repro.testing import make_dist, sorted_oracle
 
 
 @pytest.fixture
