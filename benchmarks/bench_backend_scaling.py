@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Backend scaling: sim-modeled vs mp wall-clock across p.
+
+Runs the Figure-6 unsorted-selection sweep and the collectives
+micro-benchmark on both execution backends and records, per ``p``:
+
+* ``time_s`` -- the modeled alpha-beta makespan (backend-independent,
+  asserted equal across backends),
+* ``wall_s`` -- real seconds of the whole run (driver + data plane),
+* ``backend_wall_s`` -- real seconds inside the backend data plane
+  (IPC + in-worker execution for ``mp``),
+* ``worker_msgs`` -- total worker-exchange messages (the O(p log p)
+  quantity the resident-chunk refactor bounds).
+
+Results are appended-as-written to ``results/BENCH_backend_scaling.json``
+so the perf trajectory accumulates across PRs; each invocation stores
+its rows under a fresh ``runs[]`` entry with the parameters used.
+
+Usage::
+
+    python benchmarks/bench_backend_scaling.py                 # p = 1 2 4 8
+    python benchmarks/bench_backend_scaling.py --p 1 2 4 8 16
+    python benchmarks/bench_backend_scaling.py --quick         # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro.bench import experiments as E
+from repro.machine import Machine
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+OUT = RESULTS / "BENCH_backend_scaling.json"
+
+
+def _selection_rows(p_list, n_per_pe, ks, backend):
+    rows = E.fig6_unsorted_selection(
+        p_list=p_list, n_per_pe=n_per_pe, ks=ks, backend=backend
+    )
+    return [
+        {
+            "experiment": "fig6_unsorted_selection",
+            "algorithm": r.algorithm,
+            "backend": r.backend,
+            "p": r.p,
+            "n_per_pe": r.n_per_pe,
+            "time_s": r.time_s,
+            "wall_s": r.wall_s,
+            "backend_wall_s": r.backend_wall_s,
+        }
+        for r in rows
+    ]
+
+
+def _collective_msgs(p_list):
+    """Worker message counts per collective (the O(p log p) evidence)."""
+    out = []
+    for p in p_list:
+        if p < 2:
+            continue
+        with Machine(p=p, seed=31, backend="mp") as m:
+            vals = list(range(p))
+            m.allreduce(vals)  # start the pool
+            for name, fn in [
+                ("allreduce", lambda: m.allreduce(vals)),
+                ("allgather", lambda: m.allgather(vals)),
+                ("alltoall", lambda: m.alltoall(
+                    [[(i, j) if i != j else None for j in range(p)] for i in range(p)]
+                )),
+            ]:
+                before = sum(m.backend.worker_message_counts())
+                t0 = time.perf_counter()
+                fn()
+                wall = time.perf_counter() - t0
+                msgs = sum(m.backend.worker_message_counts()) - before
+                out.append(
+                    {
+                        "experiment": "collectives",
+                        "algorithm": name,
+                        "backend": "mp",
+                        "p": p,
+                        "worker_msgs": msgs,
+                        "direct_msgs": p * (p - 1),
+                        "wall_s": wall,
+                    }
+                )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--p", nargs="+", type=int, default=[1, 2, 4, 8])
+    parser.add_argument("--n-per-pe", type=int, default=1 << 14)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: tiny inputs, p <= 4"
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=OUT)
+    args = parser.parse_args(argv)
+
+    p_list = [p for p in args.p if p <= 4] if args.quick else args.p
+    n_per_pe = 1 << 10 if args.quick else args.n_per_pe
+    ks = (64, 1024) if args.quick else (1 << 6, 1 << 10, 1 << 14)
+
+    rows = []
+    for backend in ("sim", "mp"):
+        rows += _selection_rows(tuple(p_list), n_per_pe, ks, backend)
+    rows += _collective_msgs(p_list)
+
+    # modeled time must be backend-independent, wall-clock is the story
+    by_key = {}
+    for r in rows:
+        if r["experiment"] != "fig6_unsorted_selection":
+            continue
+        key = (r["algorithm"], r["p"])
+        by_key.setdefault(key, {})[r["backend"]] = r
+    for key, pair in by_key.items():
+        if {"sim", "mp"} <= set(pair):
+            assert pair["sim"]["time_s"] == pair["mp"]["time_s"], key
+
+    run = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "params": {"p_list": p_list, "n_per_pe": n_per_pe, "ks": list(ks),
+                   "quick": args.quick},
+        "rows": rows,
+    }
+    args.out.parent.mkdir(exist_ok=True)
+    history = {"runs": []}
+    if args.out.exists():
+        try:
+            history = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            pass
+    history.setdefault("runs", []).append(run)
+    args.out.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(f"{'experiment':26s} {'algorithm':16s} {'backend':7s} {'p':>3s} "
+          f"{'time_s':>10s} {'wall_s':>8s} {'msgs':>6s}")
+    for r in rows:
+        print(f"{r['experiment']:26s} {r['algorithm']:16s} {r['backend']:7s} "
+              f"{r['p']:3d} {r.get('time_s', float('nan')):10.3e} "
+              f"{r.get('wall_s', 0.0):8.4f} {r.get('worker_msgs', ''):>6}")
+    print(f"\nwrote {args.out} ({len(history['runs'])} accumulated runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

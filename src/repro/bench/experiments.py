@@ -84,8 +84,7 @@ def fig6_unsorted_selection(
     for k in ks:
         def run(machine: Machine, data: DistArray, k=k):
             k_eff = min(k, data.global_size)
-            neg = DistArray(machine, [-c for c in data.chunks])
-            value = select_kth(machine, neg, k_eff)
+            value = select_kth(machine, data.negate(), k_eff)
             return {"k": k_eff, "value": -value}
 
         rows += weak_scaling(
@@ -577,10 +576,11 @@ def collectives_microbench(
     overhead (the quantity the fused/vectorized paths optimize); on a
     real backend it measures actual IPC.  ``time_s`` stays the modeled
     alpha-beta cost either way.  The default sweep is clamped for real
-    backends (one OS process per PE, direct O(p^2) exchanges).
+    backends (one OS process per PE; the in-worker O(p log p) schedules
+    make p=16 practical, but each p still spawns that many processes).
     """
     if p_list is None:
-        p_list = (4, 16, 64) if backend == "sim" else (2, 4, 8)
+        p_list = (4, 16, 64) if backend == "sim" else (2, 4, 8, 16)
 
     def make(m: Machine):
         return [m.rngs[i].random(payload) for i in range(m.p)]
@@ -598,6 +598,9 @@ def collectives_microbench(
         "scan": bench(lambda m, v: m.scan(v, op="sum")),
         "allreduce_exscan(fused)": bench(
             lambda m, v: m.allreduce_exscan(v, op="sum", initial=0.0)
+        ),
+        "reduce_allgather(fused)": bench(
+            lambda m, v: m.reduce_allgather([float(x[0]) for x in v], v, op="sum")
         ),
         "broadcast": bench(lambda m, v: m.broadcast(v[0], root=0)),
         "alltoall(hypercube)": bench(

@@ -45,6 +45,7 @@ class BenchRow:
     imbalance: float
     wall_s: float
     backend: str = "sim"
+    backend_wall_s: float = 0.0
     extra: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -62,6 +63,7 @@ class BenchRow:
             "imbalance": self.imbalance,
             "wall_s": self.wall_s,
             "backend": self.backend,
+            "backend_wall_s": self.backend_wall_s,
         }
         d.update(self.extra)
         return d
@@ -106,6 +108,7 @@ def run_algorithm(
         imbalance=rep.imbalance,
         wall_s=wall,
         backend=rep.backend,
+        backend_wall_s=rep.backend_wall_s,
         extra=dict(extra),
     )
 

@@ -25,12 +25,38 @@ import numpy as np
 
 __all__ = [
     "bernoulli_sample",
+    "bernoulli_sample_indices",
     "bernoulli_skip_indices",
     "geometric_rank",
     "weighted_sample_counts",
     "pac_sample_rate",
     "ec_sample_rate",
 ]
+
+
+def bernoulli_sample_indices(
+    rng: np.random.Generator, n: int, rho: float
+) -> np.ndarray | None:
+    """Index set of a Bernoulli(rho) sample of ``n`` elements.
+
+    The draw sequence is exactly that of :func:`bernoulli_sample`, so
+    the two formulations are interchangeable without perturbing the RNG
+    stream.  Only the indices are produced -- the element *extraction*
+    can then happen wherever the data lives (the resident-chunk
+    execution path ships these small index arrays to the workers
+    instead of pulling the chunks to the driver).  Returns ``None`` as
+    the "take everything" sentinel when ``rho >= 1``.
+    """
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"sampling probability must be in [0, 1], got {rho}")
+    if n == 0 or rho == 0.0:
+        return np.empty(0, dtype=np.int64)
+    if rho >= 1.0:
+        return None
+    count = rng.binomial(n, rho)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(n, size=count, replace=False)
 
 
 def bernoulli_sample(rng: np.random.Generator, data: np.ndarray, rho: float) -> np.ndarray:
@@ -41,17 +67,9 @@ def bernoulli_sample(rng: np.random.Generator, data: np.ndarray, rho: float) -> 
     the sample is a uniform subset.  Returns the sampled elements (order
     not meaningful).
     """
-    if not 0.0 <= rho <= 1.0:
-        raise ValueError(f"sampling probability must be in [0, 1], got {rho}")
-    n = len(data)
-    if n == 0 or rho == 0.0:
-        return data[:0].copy()
-    if rho >= 1.0:
+    idx = bernoulli_sample_indices(rng, len(data), rho)
+    if idx is None:
         return np.asarray(data).copy()
-    count = rng.binomial(n, rho)
-    if count == 0:
-        return data[:0].copy()
-    idx = rng.choice(n, size=count, replace=False)
     return np.asarray(data)[idx]
 
 

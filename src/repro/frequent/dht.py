@@ -26,7 +26,12 @@ from ..common.hashing import make_owner_fn
 from ..machine import DistArray, Machine
 from ..selection.unsorted import select_kth
 
-__all__ = ["count_into_dht", "take_topk_entries", "local_key_counts"]
+__all__ = [
+    "count_into_dht",
+    "count_into_dht_resident",
+    "take_topk_entries",
+    "local_key_counts",
+]
 
 
 def local_key_counts(machine: Machine, rank: int, keys: np.ndarray) -> dict[int, int]:
@@ -58,17 +63,52 @@ def count_into_dht(
     return machine.aggregate_exchange(local, owner)
 
 
+def _unique_counts_step(rank: int, chunk: np.ndarray) -> dict[int, int]:
+    """Resident worker callback: local key -> count aggregation."""
+    if chunk.size == 0:
+        return {}
+    uniq, counts = np.unique(chunk, return_counts=True)
+    return {int(key): int(c) for key, c in zip(uniq, counts)}
+
+
+def count_into_dht_resident(
+    machine: Machine, data: DistArray, salt: int = 0
+) -> list[dict[int, int]]:
+    """:func:`count_into_dht` over a full distributed array.
+
+    The local aggregation (step 1) runs where the chunks live -- only
+    the (key, count) dicts return to the driver for the merging
+    hypercube exchange; the raw chunks never move.
+    """
+    local = data.map_values(_unique_counts_step)
+    sizes = data.sizes().astype(np.float64)
+    machine.charge_ops(
+        np.where(sizes > 0, sizes * np.log2(np.maximum(sizes, 2.0)), 0.0)
+    )
+    owner = make_owner_fn(machine.p, salt=salt)
+    return machine.aggregate_exchange(local, owner)
+
+
 def take_topk_entries(
-    machine: Machine, dicts: list[dict[int, int]], k: int
-) -> list[tuple[int, int]]:
+    machine: Machine, dicts: list[dict[int, int]], k: int, piggyback=None
+):
     """The ``k`` entries with the largest counts, replicated on all PEs.
 
     Runs distributed unsorted selection (Algorithm 1) over the count
     multiset for the threshold, then grants threshold ties globally by
-    ascending key (each PE nominates at most ``quota`` local tie keys,
-    one small all-gather decides) so the output is deterministic and
-    exactly ``k`` entries win.  If fewer than ``k`` entries exist, all
-    are returned.  Output is sorted by (count desc, key asc).
+    ascending key so the output is deterministic and exactly ``k``
+    entries win.  Both tie-granting and the winner exchange use the
+    fused reduce+allgather collective: the above-threshold total rides
+    the nomination all-gather (each PE nominates its ``k`` smallest tie
+    keys -- a superset of the eventual quota, which never exceeds ``k``,
+    so the granted set is unchanged), saving one ``alpha log p``
+    schedule per call.  If fewer than ``k`` entries exist, all are
+    returned.  Output is sorted by (count desc, key asc).
+
+    ``piggyback`` optionally supplies per-PE integers (the pipelines'
+    local sample sizes) whose global sum is fused into the final winner
+    all-gather; the return value is then ``(items, piggyback_total)``
+    instead of bare ``items``.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -78,7 +118,9 @@ def take_topk_entries(
     ]
     total = int(machine.allreduce([c.size for c in count_chunks], op="sum")[0])
     if total == 0:
-        return []
+        if piggyback is None:
+            return []
+        return [], int(machine.allreduce(list(piggyback), op="sum")[0])
     if total <= k:
         winners_per_pe = [sorted(d.items()) for d in dicts]
     else:
@@ -86,17 +128,15 @@ def take_topk_entries(
         thr = -int(select_kth(machine, neg, k))  # k-th largest count
         n_gt = [int((c > thr).sum()) for c in count_chunks]
         machine.charge_ops([max(1, c.size) for c in count_chunks])
-        total_gt = int(machine.allreduce(n_gt, op="sum")[0])
-        quota = k - total_gt
-        # each PE nominates its `quota` smallest tie keys; the global
-        # quota smallest among the nominations win (<= p * quota words)
-        nominations = []
-        for d in dicts:
-            ties = sorted(key for key, c in d.items() if c == thr)[: max(quota, 0)]
-            nominations.append(ties)
-        all_ties = sorted(
-            key for piece in machine.allgather(nominations)[0] for key in piece
-        )
+        # each PE nominates its k smallest tie keys (the quota is at most
+        # k, so this is always enough); the above-threshold total rides
+        # the same fused schedule as the nominations
+        nominations = [
+            sorted(key for key, c in d.items() if c == thr)[:k] for d in dicts
+        ]
+        totals, noms = machine.reduce_allgather(n_gt, nominations, op="sum")
+        quota = k - int(totals[0])
+        all_ties = sorted(key for piece in noms[0] for key in piece)
         granted = set(all_ties[: max(quota, 0)])
         winners_per_pe = []
         for i, d in enumerate(dicts):
@@ -108,7 +148,16 @@ def take_topk_entries(
                 key=lambda t: t[0],
             )
             winners_per_pe.append(gt_items + eq_items)
-    gathered = machine.allgather(winners_per_pe)[0]
+    if piggyback is None:
+        gathered = machine.allgather(winners_per_pe)[0]
+        pb_total = None
+    else:
+        pb_totals, gathered_all = machine.reduce_allgather(
+            list(piggyback), winners_per_pe, op="sum"
+        )
+        gathered = gathered_all[0]
+        pb_total = int(pb_totals[0])
     items = [it for piece in gathered for it in piece]
     items.sort(key=lambda t: (-t[1], t[0]))
-    return items[:k] if total > k else items
+    items = items[:k] if total > k else items
+    return items if piggyback is None else (items, pb_total)

@@ -60,11 +60,14 @@ def dsbf_top_candidates(
     kappa0: int | None = None,
     salt: int = 0xD5BF,
     max_rounds: int = 4,
-) -> tuple[list[tuple[int, int]], DsbfStats]:
+    piggyback=None,
+):
     """The ``k_star`` most frequently sampled keys, via fingerprints.
 
     Returns ``(candidates, stats)`` where candidates are (key, sample
     count) pairs replicated on all PEs, at most ``k_star`` of them.
+    With ``piggyback`` (per-PE sample sizes), the sum is fused into the
+    first head extraction and a third return entry carries the total.
     """
     if k_star < 1:
         raise ValueError(f"k_star must be >= 1, got {k_star}")
@@ -94,9 +97,15 @@ def dsbf_top_candidates(
 
     kappa = kappa0 if kappa0 is not None else max(8, k_star // 4)
     rounds = 0
+    pb_total = None
     while True:
         rounds += 1
-        head = take_topk_entries(machine, routed, k_star + kappa)
+        if piggyback is not None and pb_total is None:
+            head, pb_total = take_topk_entries(
+                machine, routed, k_star + kappa, piggyback=piggyback
+            )
+        else:
+            head = take_topk_entries(machine, routed, k_star + kappa)
         # fewer fingerprints exist than requested: resolution will
         # reveal every sampled key, no retry can add more
         exhausted = len(head) < k_star + kappa
@@ -121,7 +130,10 @@ def dsbf_top_candidates(
         if len(exact) >= k_star or exhausted or rounds >= max_rounds:
             items = sorted(exact.items(), key=lambda t: (-t[1], t[0]))[:k_star]
             flat = (not exhausted) and len(exact) < k_star and rounds >= max_rounds
-            return items, DsbfStats(kappa, rounds, collisions, flat)
+            stats = DsbfStats(kappa, rounds, collisions, flat)
+            if piggyback is None:
+                return items, stats
+            return items, stats, pb_total
         kappa *= 2
 
 
@@ -147,7 +159,7 @@ def top_k_frequent_ec_dsbf(
     from .pac import sample_distributed
 
     p = machine.p
-    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    n = int(machine.allreduce([int(s) for s in data.sizes()], op="sum")[0])
     if n == 0:
         return FrequentResult((), True, 1.0, 0, k, {})
     if k_star is None:
@@ -156,8 +168,9 @@ def top_k_frequent_ec_dsbf(
         rho = ec_sample_rate(n, k_star, eps, delta)
 
     samples = sample_distributed(machine, data, rho)
-    sample_size = int(machine.allreduce([s.size for s in samples], op="sum")[0])
-    candidates, stats = dsbf_top_candidates(machine, samples, k_star)
+    candidates, stats, sample_size = dsbf_top_candidates(
+        machine, samples, k_star, piggyback=[int(s.size) for s in samples]
+    )
     if not candidates:
         return FrequentResult((), True, rho, sample_size, k_star, {})
     cand_keys = np.array([key for key, _ in candidates], dtype=np.int64)

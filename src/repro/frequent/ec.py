@@ -40,27 +40,40 @@ def optimal_k_star(n: int, k: int, p: int, eps: float, delta: float) -> int:
     return int(max(k, np.ceil(comm_opt)))
 
 
+def _count_keys_step(
+    rank: int, chunk: np.ndarray, sorted_keys: np.ndarray, order: np.ndarray
+) -> np.ndarray:
+    """Resident worker callback: count ``sorted_keys`` occurrences in the
+    local chunk, reported in the candidates' original order."""
+    pos = np.searchsorted(sorted_keys, chunk)
+    pos = np.clip(pos, 0, len(sorted_keys) - 1)
+    hit = sorted_keys[pos] == chunk
+    counts_sorted = np.bincount(pos[hit], minlength=len(sorted_keys))
+    counts = np.empty(len(sorted_keys), dtype=np.int64)
+    counts[order] = counts_sorted
+    return counts
+
+
 def exact_count_keys(
     machine: Machine, data: DistArray, keys: np.ndarray
 ) -> np.ndarray:
     """Exact global counts of ``keys`` (replicated on all PEs).
 
-    Every PE scans its full local input once (``O(n/p)``) and one
-    vector-valued reduction sums the per-PE counts.
+    Every PE scans its full local input once (``O(n/p)``) -- inside the
+    workers, where the chunks live; only the small candidate-key array
+    travels out and the count vectors travel back, summed by one
+    vector-valued reduction.
     """
     keys = np.asarray(keys)
     order = np.argsort(keys, kind="stable")
     sorted_keys = keys[order]
-    per_pe = []
-    for i, chunk in enumerate(data.chunks):
-        pos = np.searchsorted(sorted_keys, chunk)
-        pos = np.clip(pos, 0, len(sorted_keys) - 1)
-        hit = sorted_keys[pos] == chunk
-        counts_sorted = np.bincount(pos[hit], minlength=len(sorted_keys))
-        counts = np.empty(len(keys), dtype=np.int64)
-        counts[order] = counts_sorted
-        machine.charge_ops_one(i, max(1.0, chunk.size * np.log2(max(len(keys), 2))))
-        per_pe.append(counts)
+    per_pe = data.map_values(
+        _count_keys_step, args=[(sorted_keys, order)] * machine.p
+    )
+    sizes = data.sizes()
+    machine.charge_ops(
+        [max(1.0, int(s) * np.log2(max(len(keys), 2))) for s in sizes]
+    )
     return np.asarray(machine.allreduce(per_pe, op="sum")[0])
 
 
@@ -81,7 +94,7 @@ def top_k_frequent_ec(
     (Lemma 10); only membership of the borderline objects can err.
     """
     p = machine.p
-    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    n = int(machine.allreduce([int(s) for s in data.sizes()], op="sum")[0])
     if n == 0:
         return FrequentResult((), True, 1.0, 0, k, {})
     if k_star is None:
@@ -90,9 +103,10 @@ def top_k_frequent_ec(
         rho = ec_sample_rate(n, k_star, eps, delta)
 
     samples = sample_distributed(machine, data, rho)
-    sample_size = int(machine.allreduce([s.size for s in samples], op="sum")[0])
     sample_counts = count_into_dht(machine, samples)
-    candidates = take_topk_entries(machine, sample_counts, k_star)
+    candidates, sample_size = take_topk_entries(
+        machine, sample_counts, k_star, piggyback=[int(s.size) for s in samples]
+    )
     if not candidates:
         return FrequentResult((), True, rho, sample_size, k_star, {})
     cand_keys = np.array([key for key, _ in candidates], dtype=np.int64)

@@ -12,15 +12,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine import DistArray, Machine
-from .dht import count_into_dht, take_topk_entries
+from .dht import count_into_dht_resident, take_topk_entries
 from .result import FrequentResult
 
 __all__ = ["top_k_frequent_exact", "exact_counts_oracle"]
 
 
 def top_k_frequent_exact(machine: Machine, data: DistArray, k: int) -> FrequentResult:
-    """Exact top-k by full counting (rho = 1)."""
-    counts = count_into_dht(machine, data.chunks)
+    """Exact top-k by full counting (rho = 1).
+
+    The local aggregation runs where the chunks live; only the per-PE
+    (key, count) dicts enter the merging hypercube exchange.
+    """
+    counts = count_into_dht_resident(machine, data)
     items = take_topk_entries(machine, counts, k)
     n = data.global_size
     return FrequentResult(

@@ -65,7 +65,7 @@ def top_k_frequent_naive(
     rho: float | None = None,
 ) -> FrequentResult:
     """Master-worker baseline: direct gather of all local samples."""
-    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    n = int(machine.allreduce([int(s) for s in data.sizes()], op="sum")[0])
     if n == 0:
         return FrequentResult((), False, 1.0, 0, k, {})
     if rho is None:
@@ -100,7 +100,7 @@ def top_k_frequent_naive_tree(
     rho: float | None = None,
 ) -> FrequentResult:
     """Tree-reduction baseline: counts merged on the way up."""
-    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    n = int(machine.allreduce([int(s) for s in data.sizes()], op="sum")[0])
     if n == 0:
         return FrequentResult((), False, 1.0, 0, k, {})
     if rho is None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..common.sampling import bernoulli_sample, pac_sample_rate
+from ..common.sampling import pac_sample_rate
 from ..machine import DistArray, Machine
 from .dht import count_into_dht, take_topk_entries
 from .result import FrequentResult
@@ -33,13 +33,13 @@ def sample_distributed(
     machine: Machine, data: DistArray, rho: float
 ) -> list[np.ndarray]:
     """Per-PE Bernoulli(rho) samples, with the sampling work charged at
-    the skip-value rate ``O(rho n/p)`` (Section 2)."""
-    samples = []
-    for i, chunk in enumerate(data.chunks):
-        s = bernoulli_sample(machine.rngs[i], chunk, rho)
-        machine.charge_ops_one(i, max(1.0, rho * chunk.size))
-        samples.append(s)
-    return samples
+    the skip-value rate ``O(rho n/p)`` (Section 2).
+
+    The index draws stay in the driver (advancing ``machine.rngs``
+    identically on every backend) while the extraction runs where the
+    chunks live; only the small sample arrays return.
+    """
+    return data.bernoulli_sample_local(rho)
 
 
 def top_k_frequent_pac(
@@ -55,15 +55,18 @@ def top_k_frequent_pac(
 
     ``rho`` overrides the Equation-3 sampling probability (ablations).
     """
-    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    n = int(machine.allreduce([int(s) for s in data.sizes()], op="sum")[0])
     if n == 0:
         return FrequentResult((), False, 1.0, 0, k, {})
     if rho is None:
         rho = pac_sample_rate(n, k, eps, delta)
     samples = sample_distributed(machine, data, rho)
-    sample_size = int(machine.allreduce([s.size for s in samples], op="sum")[0])
     counts = count_into_dht(machine, samples)
-    items = take_topk_entries(machine, counts, k)
+    # the global sample size rides the winner exchange (fused
+    # reduce+allgather) instead of paying its own allreduce
+    items, sample_size = take_topk_entries(
+        machine, counts, k, piggyback=[int(s.size) for s in samples]
+    )
     return FrequentResult(
         items=tuple((key, c / rho) for key, c in items),
         exact_counts=rho >= 1.0,

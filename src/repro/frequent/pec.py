@@ -37,6 +37,11 @@ from .result import FrequentResult
 __all__ = ["top_k_frequent_pec", "top_k_frequent_pec_zipf", "estimate_k_star"]
 
 
+def _local_max_step(rank: int, chunk: np.ndarray) -> int:
+    """Resident worker callback: local universe probe."""
+    return int(chunk.max()) if chunk.size else 1
+
+
 def estimate_k_star(
     machine: Machine,
     sample_counts: list[dict[int, int]],
@@ -44,7 +49,8 @@ def estimate_k_star(
     delta: float,
     *,
     cap_factor: int = 16,
-) -> tuple[int, bool]:
+    piggyback=None,
+):
     """Gap-based candidate count from stage-1 sample counts (Lemma 12).
 
     Returns ``(k_star, gap_found)``.  The head of the sample ranking
@@ -53,19 +59,33 @@ def estimate_k_star(
     entry is above the Lemma-12 threshold the distribution is too flat
     and ``gap_found`` is False (callers should fall back to plain EC
     semantics with the capped ``k*``).
+
+    ``piggyback`` (per-PE sample sizes) is fused into the head
+    extraction's winner exchange; the return value then grows a third
+    entry with the summed total.
     """
     cap = max(cap_factor * k, k + 1)
-    head = take_topk_entries(machine, sample_counts, cap)
+    if piggyback is None:
+        head = take_topk_entries(machine, sample_counts, cap)
+        pb_total = None
+    else:
+        head, pb_total = take_topk_entries(
+            machine, sample_counts, cap, piggyback=piggyback
+        )
+
+    def _out(k_star: int, gap: bool):
+        return (k_star, gap) if piggyback is None else (k_star, gap, pb_total)
+
     if len(head) <= k:
-        return max(k, len(head)), True  # fewer candidates than the cap: exact
+        return _out(max(k, len(head)), True)  # fewer candidates than the cap: exact
     s_k = head[k - 1][1]
     # high-probability lower bound on E[s_k] (Theorem 13)
     e_sk = max(0.0, s_k - np.sqrt(2.0 * s_k * np.log(1.0 / delta)))
     threshold = e_sk - np.sqrt(2.0 * max(e_sk, 1e-12) * np.log(k / delta))
     for rank in range(k, len(head)):
         if head[rank][1] <= threshold:
-            return rank + 1, True
-    return len(head), False
+            return _out(rank + 1, True)
+    return _out(len(head), False)
 
 
 def top_k_frequent_pec(
@@ -85,17 +105,17 @@ def top_k_frequent_pec(
     answer degrades gracefully to an EC-style approximation with the
     capped candidate set.
     """
-    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    n = int(machine.allreduce([int(s) for s in data.sizes()], op="sum")[0])
     if n == 0:
         return FrequentResult((), True, 1.0, 0, k, {"gap_found": True})
 
     # ---- stage 1: probing sample -------------------------------------
     rho0 = pac_sample_rate(n, k, eps0, delta)
     samples = sample_distributed(machine, data, rho0)
-    stage1_size = int(machine.allreduce([s.size for s in samples], op="sum")[0])
     sample_counts = count_into_dht(machine, samples)
-    k_star, gap_found = estimate_k_star(
-        machine, sample_counts, k, delta, cap_factor=cap_factor
+    k_star, gap_found, stage1_size = estimate_k_star(
+        machine, sample_counts, k, delta, cap_factor=cap_factor,
+        piggyback=[int(s.size) for s in samples],
     )
 
     # ---- stage 2: exact counting of the k* candidates ----------------
@@ -131,20 +151,21 @@ def top_k_frequent_pec_zipf(
     ``k* = ceil((2 + sqrt 2)^{1/s} k)`` are computed in closed form, and
     the exact result is returned with probability ``>= 1 - delta``.
     """
-    n = int(machine.allreduce([c.size for c in data.chunks], op="sum")[0])
+    n = int(machine.allreduce([int(s) for s in data.sizes()], op="sum")[0])
     if n == 0:
         return FrequentResult((), True, 1.0, 0, k, {})
     if universe is None:
-        local_max = [int(c.max()) if c.size else 1 for c in data.chunks]
+        local_max = data.map_values(_local_max_step)
         universe = int(machine.allreduce(local_max, op="max")[0])
     h = harmonic_number(universe, s)
     rho = min(1.0, 4.0 * k**s * h * np.log(k / delta) / n)
     k_star = int(np.ceil((2.0 + np.sqrt(2.0)) ** (1.0 / s) * k))
 
     samples = sample_distributed(machine, data, rho)
-    sample_size = int(machine.allreduce([x.size for x in samples], op="sum")[0])
     sample_counts = count_into_dht(machine, samples)
-    candidates = take_topk_entries(machine, sample_counts, k_star)
+    candidates, sample_size = take_topk_entries(
+        machine, sample_counts, k_star, piggyback=[int(x.size) for x in samples]
+    )
     if not candidates:
         return FrequentResult((), True, rho, sample_size, k_star, {})
     cand_keys = np.array([key for key, _ in candidates], dtype=np.int64)

@@ -19,6 +19,7 @@ simulation:
 
 from .backends import (
     Backend,
+    ChunkRef,
     MultiprocessingBackend,
     SimBackend,
     available_backends,
@@ -33,6 +34,7 @@ from .metrics import CommMetrics, MetricsSnapshot, payload_words
 
 __all__ = [
     "Backend",
+    "ChunkRef",
     "CollectiveCost",
     "CommMetrics",
     "CostParams",

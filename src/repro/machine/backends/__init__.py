@@ -16,12 +16,13 @@ from __future__ import annotations
 
 from typing import Callable
 
-from .base import Backend
+from .base import Backend, ChunkRef
 from .mp import MultiprocessingBackend
 from .sim import SimBackend
 
 __all__ = [
     "Backend",
+    "ChunkRef",
     "SimBackend",
     "MultiprocessingBackend",
     "available_backends",

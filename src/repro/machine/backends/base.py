@@ -36,9 +36,31 @@ string ops always are.
 from __future__ import annotations
 
 import abc
+import weakref
 from typing import Callable, Sequence
 
-__all__ = ["Backend"]
+__all__ = ["Backend", "ChunkRef"]
+
+
+class ChunkRef:
+    """Opaque handle to per-PE chunks pinned inside a backend.
+
+    A ``ChunkRef`` names one resident object per PE (for real backends
+    the objects live in the worker processes; for in-process backends
+    they live in a driver-side store).  The handle frees its slots
+    automatically when garbage collected, so intermediate arrays built
+    by recursive algorithms never leak worker memory.
+    """
+
+    __slots__ = ("id", "p", "_finalizer", "__weakref__")
+
+    def __init__(self, ref_id: int, p: int, free_fn: Callable[[int], None]):
+        self.id = ref_id
+        self.p = p
+        self._finalizer = weakref.finalize(self, free_fn, ref_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChunkRef(id={self.id}, p={self.p})"
 
 
 class Backend(abc.ABC):
@@ -63,6 +85,11 @@ class Backend(abc.ABC):
             raise ValueError(f"need at least one PE, got p={p}")
         self.p = int(p)
         self.wall_time: float = 0.0
+        #: driver-side resident store (default data plane for in-process
+        #: backends; real backends override the resident methods and keep
+        #: the chunks in their workers instead)
+        self._store: dict[int, list] = {}
+        self._next_ref_id: int = 0
 
     # ------------------------------------------------------------------
     # Value collectives (list-in, list-out; one entry per PE)
@@ -112,6 +139,16 @@ class Backend(abc.ABC):
     def p2p(self, src: int, dst: int, payload):
         """Move ``payload`` from PE ``src`` to PE ``dst``; returns it."""
 
+    def reduce_allgather(self, values: Sequence, payloads: Sequence, op) -> tuple[list, list]:
+        """Fused ``allreduce(values)`` + ``allgather(payloads)``.
+
+        Returns ``(totals, gathered)``: ``totals[i]`` is the binomial-
+        tree-order reduction of ``values``, ``gathered[i]`` the
+        rank-ordered payload list, both replicated on every PE.  Real
+        backends override this to run one schedule instead of two.
+        """
+        return self.allreduce(values, op), self.allgather(payloads)
+
     # ------------------------------------------------------------------
     # Local work
     # ------------------------------------------------------------------
@@ -122,10 +159,114 @@ class Backend(abc.ABC):
         cannot cross a process boundary)."""
 
     # ------------------------------------------------------------------
+    # Resident chunks (the SPMD data plane of DistArray)
+    # ------------------------------------------------------------------
+    # Per-PE chunks are pinned behind ChunkRef handles so per-PE
+    # algorithm callbacks execute where the data lives and only small
+    # values travel.  The default implementations below keep the store
+    # in the driver process -- correct for any backend and free for the
+    # in-process ``sim`` backend; ``mp`` overrides them to pin the
+    # chunks inside its worker processes.
+
+    def put_chunks(self, chunks: Sequence) -> ChunkRef:
+        """Pin one object per PE; returns the opaque handle."""
+        if len(chunks) != self.p:
+            raise ValueError(f"need one chunk per PE, got {len(chunks)} for p={self.p}")
+        ref_id = self._next_ref_id
+        self._next_ref_id += 1
+        self._store[ref_id] = list(chunks)
+        return ChunkRef(ref_id, self.p, self._free_ref)
+
+    def get_chunks(self, ref: ChunkRef) -> list:
+        """Fetch the per-PE objects back to the driver (result assembly)."""
+        return self._store[ref.id]
+
+    def _free_ref(self, ref_id: int) -> None:
+        """Release one handle's slots (called by ChunkRef finalizers)."""
+        self._store.pop(ref_id, None)
+
+    def map_resident(
+        self,
+        fn: Callable,
+        refs: Sequence[ChunkRef],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+        collect: tuple | None = None,
+    ) -> tuple[list[ChunkRef], list, list | None]:
+        """Apply ``fn(rank, *chunks, *args[rank])`` where the chunks live.
+
+        ``fn`` must return ``n_out`` new chunks followed by a small
+        per-PE value (just the value when ``n_out == 0``); the chunks
+        stay resident behind fresh handles and only the values return.
+        ``collect`` optionally fuses a value collective into the same
+        backend round trip: ``("allgather",)`` or ``("allreduce", op)``.
+
+        Returns ``(out_refs, values, collected)`` where ``collected`` is
+        ``None`` without ``collect``, the replicated rank-ordered value
+        list for ``"allgather"``, or the replicated reduction for
+        ``"allreduce"`` (one entry per PE in both cases).
+        """
+        chunk_lists = [self._store[r.id] for r in refs]
+        outs, values = _apply_resident(self.p, fn, chunk_lists, n_out, args)
+        out_refs = [self.put_chunks(chunks) for chunks in outs]
+        return out_refs, values, _collect_values(values, collect, self.p)
+
+    def run_spmd(
+        self,
+        fn: Callable,
+        refs: Sequence[ChunkRef],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+    ) -> tuple[list[ChunkRef], list]:
+        """Run a *generator* callback as one SPMD step on every PE.
+
+        ``fn(rank, *chunks, *args[rank])`` must be a generator that
+        ``yield``s collective requests and receives their results::
+
+            sample = chunk[idx]
+            gathered = yield ("allgather", sample)
+            ...
+            totals = yield ("allreduce", counts, "sum")
+            return part_a, part_b, value        # n_out chunks + a value
+
+        Every rank must issue the identical yield sequence (standard
+        SPMD discipline).  Real backends execute the whole step -- local
+        work *and* the embedded collectives -- inside the workers in a
+        single command round trip; chunks never leave the workers.  The
+        embedded collectives use the same combination orders as the
+        machine's, so results are bit-identical across backends.  Cost
+        charging stays with the caller (the driver re-plays the model
+        from the small returned values).
+
+        Returns ``(out_refs, values)``.
+        """
+        chunk_lists = [self._store[r.id] for r in refs]
+        outs, values = _run_spmd_inprocess(self.p, fn, chunk_lists, n_out, args)
+        out_refs = [self.put_chunks(chunks) for chunks in outs]
+        return out_refs, values
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def worker_message_counts(self) -> list[int]:
+        """Per-PE count of peer-to-peer transport messages sent so far.
+
+        In-process backends move no physical messages and report zeros;
+        real backends report their actual worker-exchange traffic (the
+        quantity the O(p log p) schedules bound).
+        """
+        return [0] * self.p
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release backend resources (worker processes, queues)."""
+        """Release backend resources (worker processes, queues).
+
+        The driver-side resident store is deliberately left intact so
+        results remain readable after close (real backends salvage
+        their live worker-resident chunks into it before shutdown).
+        """
 
     def __enter__(self) -> "Backend":
         return self
@@ -135,3 +276,119 @@ class Backend(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(p={self.p})"
+
+
+def _apply_resident(
+    p: int, fn: Callable, chunk_lists: Sequence[Sequence], n_out: int,
+    args: Sequence[tuple] | None,
+) -> tuple[list[list], list]:
+    """Driver-side reference semantics of :meth:`Backend.map_resident`:
+    returns ``(out_chunk_lists, values)`` with ``out_chunk_lists[j][i]``
+    the j-th output chunk of PE ``i``.  Shared by the in-process default
+    and by real backends' fallback path for unpicklable callbacks."""
+    outs: list[list] = [[None] * p for _ in range(n_out)]
+    values: list = [None] * p
+    for rank in range(p):
+        ins = [chunks[rank] for chunks in chunk_lists]
+        extra = tuple(args[rank]) if args is not None else ()
+        res = fn(rank, *ins, *extra)
+        if n_out:
+            if not isinstance(res, tuple) or len(res) != n_out + 1:
+                raise ValueError(
+                    f"resident callback must return {n_out} chunks + 1 value, "
+                    f"got {type(res).__name__}"
+                )
+            for j in range(n_out):
+                outs[j][rank] = res[j]
+            values[rank] = res[n_out]
+        else:
+            values[rank] = res
+    return outs, values
+
+
+def spmd_collective(requests: Sequence[tuple]) -> object:
+    """Reference data plane of one in-step SPMD collective.
+
+    ``requests[i]`` is rank i's yielded tuple; all ranks must agree on
+    the kind.  Returns the (shared) result every rank receives --
+    combination orders match the plain collectives exactly.
+    """
+    from ..collectives import inclusive_scan, tree_reduce_order
+
+    kinds = {req[0] for req in requests}
+    if len(kinds) != 1:
+        raise ValueError(f"SPMD ranks diverged: mixed collectives {sorted(kinds)}")
+    kind = kinds.pop()
+    payloads = [req[1] for req in requests]
+    if kind == "allgather":
+        return [list(payloads)] * len(requests)
+    if kind == "allreduce":
+        return [tree_reduce_order(payloads, requests[0][2])] * len(requests)
+    if kind == "allreduce_exscan":
+        op, initial = requests[0][2], requests[0][3]
+        total = tree_reduce_order(payloads, op)
+        inc = inclusive_scan(payloads, op)
+        return [(total, initial if i == 0 else inc[i - 1]) for i in range(len(requests))]
+    raise ValueError(f"unknown SPMD collective {kind!r}")
+
+
+def _run_spmd_inprocess(
+    p: int, fn: Callable, chunk_lists: Sequence[Sequence], n_out: int,
+    args: Sequence[tuple] | None,
+) -> tuple[list[list], list]:
+    """Drive p SPMD generators in lockstep in the driver process."""
+    gens = []
+    for rank in range(p):
+        ins = [chunks[rank] for chunks in chunk_lists]
+        extra = tuple(args[rank]) if args is not None else ()
+        gens.append(fn(rank, *ins, *extra))
+    results: list = [None] * p
+    requests: list = [None] * p
+    done = 0
+    # advance every rank to its first yield
+    for rank, gen in enumerate(gens):
+        try:
+            requests[rank] = gen.send(None)
+        except StopIteration as stop:
+            results[rank] = stop.value
+            done += 1
+    while done == 0:
+        shared = spmd_collective(requests)
+        for rank, gen in enumerate(gens):
+            try:
+                requests[rank] = gen.send(shared[rank])
+            except StopIteration as stop:
+                results[rank] = stop.value
+                done += 1
+    if done != p:
+        raise ValueError("SPMD ranks diverged: some returned while others yielded")
+    outs: list[list] = [[None] * p for _ in range(n_out)]
+    values: list = [None] * p
+    for rank, res in enumerate(results):
+        if n_out:
+            if not isinstance(res, tuple) or len(res) != n_out + 1:
+                raise ValueError(
+                    f"SPMD callback must return {n_out} chunks + 1 value, "
+                    f"got {type(res).__name__}"
+                )
+            for j in range(n_out):
+                outs[j][rank] = res[j]
+            values[rank] = res[n_out]
+        else:
+            values[rank] = res
+    return outs, values
+
+
+def _collect_values(values: list, collect: tuple | None, p: int) -> list | None:
+    """Reference semantics of the fused value collective of
+    :meth:`Backend.map_resident` (identical combination orders to the
+    plain collectives, so results stay bit-identical across backends)."""
+    if collect is None:
+        return None
+    from ..collectives import tree_reduce_order
+
+    if collect[0] == "allgather":
+        return [list(values)] * p
+    if collect[0] == "allreduce":
+        return [tree_reduce_order(values, collect[1])] * p
+    raise ValueError(f"unknown collect spec {collect!r}")

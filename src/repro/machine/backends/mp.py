@@ -1,107 +1,500 @@
 """Real shared-memory execution: one worker process per PE.
 
-Every PE of the machine is backed by a long-lived OS process; a
-collective ships each PE's contribution to its worker, the workers
-exchange the payloads among themselves (pickled messages through
-per-worker inbox queues), and each worker computes its own result and
-returns it to the driver.  The combination orders replicate
-:class:`~repro.machine.backends.sim.SimBackend` exactly -- reductions
-gather all contributions and combine them in binomial-tree order, scans
-combine in rank order -- so every value collective (and with it all the
-package's pipelines) is bit-identical to the simulated run, including
-floating-point reductions.  The one carve-out is
-:meth:`Machine.aggregate_exchange` with *float* values: the simulated
-hypercube merges on the way while this backend merges delivered buckets
-in rank order, a different float-addition association (last-ulp
-differences).  Integer counts -- what every pipeline in this package
-ships through the DHT -- are association-free and stay bit-identical.
+Every PE of the machine is backed by a long-lived OS process.  Two
+kinds of state live in the workers:
+
+* **transient collective payloads** -- a collective ships each PE's
+  contribution to its worker, the workers exchange among themselves and
+  each returns its own result to the driver;
+* **resident chunks** -- :class:`~repro.machine.dist_array.DistArray`
+  data pinned behind :class:`~repro.machine.backends.base.ChunkRef`
+  handles.  Per-PE algorithm callbacks (``map_resident``) execute inside
+  the workers, next to the data; only small per-PE values (sample
+  arrays, partition counts) return to the driver, and an optional fused
+  value collective (``allgather``/``allreduce``) runs in the same round
+  trip.  Chunks never round-trip through the driver per collective.
+
+Combination orders replicate :class:`~repro.machine.backends.sim.
+SimBackend` exactly -- reductions gather all contributions and combine
+them in binomial-tree order, scans combine in rank order -- so every
+value collective (and with it all the package's pipelines) is
+bit-identical to the simulated run, including floating-point
+reductions.  The one carve-out is :meth:`Machine.aggregate_exchange`
+with *float* values, whose merge association differs between routing
+paths (integer counts, the package-wide case, stay bit-identical).
 
 Wire protocol
 -------------
-The driver sends every worker one command per collective, tagged with a
-monotonically increasing sequence number; workers exchange peer messages
-tagged with the same number and stash anything that arrives early, so
-fast workers can run ahead without confusing slow ones.  Symmetric
-collectives exchange directly (every worker messages every peer, O(p^2)
-messages), rooted collectives and point-to-point sends only touch the
-participating workers; this is the right trade-off for the
-shared-memory PE counts this backend targets, and tree schedules for
-larger ``p`` are a backend evolution, not an algorithm change.
+The driver sends every worker one command per operation, tagged with a
+monotonically increasing sequence number; workers exchange peer
+messages tagged with the same number (plus a per-schedule round tag)
+and stash anything that arrives early, so fast workers can run ahead
+without confusing slow ones.  Worker-to-worker exchanges follow
+logarithmic schedules instead of direct O(p^2) delivery:
+
+* rooted collectives (broadcast, reduce, gather, scatter) walk a
+  binomial tree -- ``p - 1`` messages, ``log p`` depth;
+* symmetric collectives (allgather, allreduce, scan, the fused
+  ``allreduce_exscan``/``reduce_allgather`` and the value collectives
+  fused into ``map_resident``) use the dissemination (Bruck) schedule
+  -- ``p * ceil(log2 p)`` messages on any ``p``, power of two or not;
+* ``alltoall`` store-and-forwards along the same hop sequence
+  (hypercube routing, Leighton Thm 3.24) -- ``p * ceil(log2 p)``
+  messages instead of ``p * (p - 1)``.
+
+Every worker counts its sends; :meth:`MultiprocessingBackend.
+worker_message_counts` exposes the totals so tests can assert the
+O(p log p) bound.
 
 Caveats
 -------
-* Payloads and callable reduction ops must be picklable.  The named ops
-  (``"sum"``, ``"min"``, ``"max"``) always are; ``map`` falls back to
-  in-process execution when its function cannot be pickled.
-* Per-PE *local* algorithm work still executes in the driver (the
-  algorithms are written driver-side SPMD); what runs in parallel is the
-  collective data plane plus :meth:`map`.  Wall-clock therefore measures
-  real IPC + parallel combine cost, while the machine's modeled time
-  remains the analytic alpha-beta prediction.
+* Payloads, resident callbacks and callable reduction ops must be
+  picklable.  The named ops (``"sum"``, ``"min"``, ``"max"``) always
+  are; ``map`` and ``map_resident`` fall back to driver-side execution
+  when the function cannot cross a process boundary.
+* Worker pools are cleaned up by ``close()`` (idempotent), by
+  ``Machine``'s context manager, and by an ``atexit`` guard that
+  terminates any pool leaked by a crashed driver.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import pickle
 import queue as queue_mod
+import select
 import time
+import weakref
 from collections import deque
 from typing import Callable, Sequence
 
-from ..collectives import inclusive_scan, tree_reduce_order
-from .base import Backend
+from ..collectives import (
+    binomial_edges,
+    binomial_subtrees,
+    bruck_hops,
+    bruck_send_blocks,
+    inclusive_scan,
+    tree_reduce_order,
+)
+from .base import (
+    Backend,
+    ChunkRef,
+    _apply_resident,
+    _collect_values,
+    _run_spmd_inprocess,
+)
 
 __all__ = ["MultiprocessingBackend"]
 
 #: seconds to wait for a worker before declaring the pool dead
 _TIMEOUT = 120.0
 
+#: pools that still own live worker processes (for the atexit guard)
+_LIVE_POOLS: "weakref.WeakSet[MultiprocessingBackend]" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
 
-def _worker_sendrecv(rank, seq, sends, expect_from, inboxes, backlog, stash):
-    """Send ``sends[j]`` to each peer ``j`` and collect one payload from
-    every peer in ``expect_from`` for this ``seq``.  Returns a src->payload
-    dict.  Sparse by design: rooted collectives involve only the root's
-    fan-in/fan-out instead of a p^2 all-exchange."""
-    for j, payload in sends.items():
-        inboxes[j].put(("msg", seq, rank, payload))
-    recv: dict = {}
-    pending = set(expect_from)
-    for src in list(pending):
-        if (seq, src) in stash:
-            recv[src] = stash.pop((seq, src))
-            pending.discard(src)
-    while pending:
-        item = inboxes[rank].get(timeout=_TIMEOUT)
-        if item[0] == "cmd":
-            backlog.append(item)
-            continue
-        _, mseq, src, payload = item
-        if mseq == seq and src in pending:
-            recv[src] = payload
-            pending.discard(src)
+
+def _close_leaked_pools() -> None:  # pragma: no cover - interpreter exit path
+    for backend in list(_LIVE_POOLS):
+        try:
+            backend.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Transport: low-latency message channels
+# ----------------------------------------------------------------------
+
+class _Channel:
+    """Multi-producer, single-consumer message channel over an OS pipe.
+
+    ``multiprocessing.Queue`` routes every message through a per-process
+    feeder thread -- two scheduler hops per hop, which dominates the
+    latency of fine-grained collective schedules.  This channel writes
+    length-prefixed pickle frames straight into the pipe under a lock
+    (like ``SimpleQueue``), with two additions that make it safe for
+    worker meshes:
+
+    * **timed receive** -- ``get(timeout)`` waits on the pipe with
+      ``select``, so workers can still detect an orphaned driver;
+    * **deadlock-free sends** -- writes are non-blocking; when the pipe
+      is full (payload bigger than the kernel buffer and a busy
+      receiver) the writer invokes its ``drain`` callback to consume its
+      *own* inbox while waiting, so a cycle of mutually-sending workers
+      always makes progress.
+
+    Frames stay contiguous because the write lock is held for the whole
+    frame; the single reader reassembles partial reads in a local
+    buffer.
+    """
+
+    def __init__(self, ctx):
+        self._reader, self._writer = ctx.Pipe(duplex=False)
+        self._wlock = ctx.Lock()
+        self._rbuf = bytearray()
+
+    # -- producer side -------------------------------------------------
+    def put(self, obj, drain: Callable | None = None) -> None:
+        buf = pickle.dumps(obj)
+        frame = len(buf).to_bytes(8, "little") + buf
+        while not self._wlock.acquire(timeout=0.005):
+            if drain is not None:
+                drain()
+        try:
+            fd = self._writer.fileno()
+            os.set_blocking(fd, False)
+            view = memoryview(frame)
+            while view:
+                try:
+                    view = view[os.write(fd, view):]
+                except BlockingIOError:
+                    if drain is not None:
+                        drain()
+                    select.select([], [fd], [], 0.005)
+        finally:
+            self._wlock.release()
+
+    # -- consumer side (single reader) ---------------------------------
+    def _read_available(self) -> None:
+        fd = self._reader.fileno()
+        os.set_blocking(fd, False)
+        while True:
+            try:
+                piece = os.read(fd, 1 << 16)
+            except BlockingIOError:
+                return
+            if not piece:
+                raise EOFError("channel closed by peer")
+            self._rbuf += piece
+
+    def _pop_frame(self):
+        if len(self._rbuf) < 8:
+            return None
+        n = int.from_bytes(self._rbuf[:8], "little")
+        if len(self._rbuf) < 8 + n:
+            return None
+        obj = pickle.loads(bytes(self._rbuf[8:8 + n]))
+        del self._rbuf[:8 + n]
+        return (obj,)
+
+    def get(self, timeout: float | None = None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            frame = self._pop_frame()
+            if frame is not None:
+                return frame[0]
+            self._read_available()
+            frame = self._pop_frame()
+            if frame is not None:
+                return frame[0]
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise queue_mod.Empty
+            select.select([self._reader.fileno()], [], [],
+                          remaining if remaining is not None else 1.0)
+
+    # -- lifecycle (mirrors the mp.Queue calls the pool makes) ---------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._writer.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def cancel_join_thread(self) -> None:  # no feeder thread to join
+        pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+class _Comm:
+    """Per-collective messaging context of one worker.
+
+    Messages are addressed by ``(seq, tag, src)`` where ``tag`` is the
+    schedule round, so multi-round schedules can never confuse two
+    messages from the same peer, and out-of-order arrivals from
+    run-ahead peers are stashed for their own collective.
+    """
+
+    __slots__ = ("rank", "p", "seq", "inboxes", "backlog", "stash", "counters")
+
+    def __init__(self, rank, p, inboxes, backlog, stash, counters):
+        self.rank = rank
+        self.p = p
+        self.seq = 0
+        self.inboxes = inboxes
+        self.backlog = backlog
+        self.stash = stash
+        self.counters = counters
+
+    def send(self, dst: int, tag: int, payload) -> None:
+        self.inboxes[dst].put(
+            ("msg", self.seq, tag, self.rank, payload), drain=self.drain
+        )
+        self.counters["msgs"] += 1
+
+    def drain(self) -> None:
+        """Consume whatever already sits in this worker's inbox (called
+        while a send waits on a full pipe, keeping the mesh live)."""
+        while True:
+            try:
+                item = self.inboxes[self.rank].get(timeout=0)
+            except queue_mod.Empty:
+                return
+            if item[0] == "cmd":
+                self.backlog.append(item)
+            else:
+                _, mseq, mtag, msrc, payload = item
+                self.stash[(mseq, mtag, msrc)] = payload
+
+    def recv(self, src: int, tag: int):
+        key = (self.seq, tag, src)
+        if key in self.stash:
+            return self.stash.pop(key)
+        while True:
+            item = self.inboxes[self.rank].get(timeout=_TIMEOUT)
+            if item[0] == "cmd":
+                self.backlog.append(item)
+                continue
+            _, mseq, mtag, msrc, payload = item
+            if (mseq, mtag, msrc) == key:
+                return payload
+            self.stash[(mseq, mtag, msrc)] = payload
+
+
+# -- logarithmic worker schedules --------------------------------------
+
+def _tree_bcast(comm: _Comm, root: int, value, tag: int = 0):
+    """Binomial-tree broadcast: p-1 messages, log p depth."""
+    edges = binomial_edges(comm.p, root)
+    if comm.rank != root:
+        parent = next(s for _, s, d in edges if d == comm.rank)
+        value = comm.recv(parent, tag)
+    for _, s, d in edges:
+        if s == comm.rank:
+            comm.send(d, tag, value)
+    return value
+
+
+def _tree_gather(comm: _Comm, root: int, local, tag: int = 1):
+    """Binomial-tree gather of subtree bundles; rank-ordered list at
+    ``root``, ``None`` elsewhere."""
+    bundle = {comm.rank: local}
+    for _, s, d in reversed(binomial_edges(comm.p, root)):
+        if s == comm.rank:
+            bundle.update(comm.recv(d, tag))
+        elif d == comm.rank:
+            comm.send(s, tag, bundle)
+            return None
+    return [bundle[j] for j in range(comm.p)]
+
+
+def _tree_allgather(comm: _Comm, myval, tag_base: int = 1) -> list:
+    """Gather-to-root + broadcast composition: ``2 (p - 1)`` messages,
+    ``2 log p`` depth.  The message-count winner for the small values
+    the reduction-type collectives combine; the payload-heavy allgather
+    and alltoall use the dissemination/hypercube schedules instead."""
+    vals = _tree_gather(comm, 0, myval, tag_base)
+    return _tree_bcast(comm, 0, vals, tag_base + 16)
+
+
+def _tree_scatter(comm: _Comm, root: int, pieces, tag: int = 2):
+    """Binomial-tree scatter: parents forward each child its subtree's
+    bundle; returns this PE's piece."""
+    edges = binomial_edges(comm.p, root)
+    if comm.rank == root:
+        bundle = {j: pieces[j] for j in range(comm.p)}
+    else:
+        parent = next(s for _, s, d in edges if d == comm.rank)
+        bundle = comm.recv(parent, tag)
+    subtrees = binomial_subtrees(comm.p, root)
+    for _, s, d in edges:
+        if s == comm.rank:
+            comm.send(d, tag, {j: bundle[j] for j in subtrees[d]})
+    return bundle[comm.rank]
+
+
+def _bruck_allgather(comm: _Comm, myval, tag_base: int = 3) -> list:
+    """Dissemination allgather: ceil(log2 p) rounds on any p, one
+    message per PE per round; returns the rank-ordered value list."""
+    rank, p = comm.rank, comm.p
+    blocks = {rank: myval}
+    for tag, hop in enumerate(bruck_hops(p)):
+        dst = (rank + hop) % p
+        src = (rank - hop) % p
+        send = bruck_send_blocks(p, rank, hop, list(blocks))
+        comm.send(dst, tag_base + tag, {b: blocks[b] for b in send})
+        blocks.update(comm.recv(src, tag_base + tag))
+    return [blocks[j] for j in range(p)]
+
+
+def _run_spmd_step(comm: _Comm, gen):
+    """Drive one SPMD generator inside the worker: every yielded
+    collective becomes a tree exchange with its own tag block."""
+    tag_base = 100
+    try:
+        req = gen.send(None)
+        while True:
+            kind = req[0]
+            gathered = _tree_allgather(comm, req[1], tag_base)
+            tag_base += 32
+            if kind == "allgather":
+                res = gathered
+            elif kind == "allreduce":
+                res = tree_reduce_order(gathered, req[2])
+            elif kind == "allreduce_exscan":
+                op, initial = req[2], req[3]
+                total = tree_reduce_order(gathered, op)
+                res = (
+                    total,
+                    initial if comm.rank == 0 else inclusive_scan(gathered, op)[comm.rank - 1],
+                )
+            else:
+                raise ValueError(f"unknown SPMD collective {kind!r}")
+            req = gen.send(res)
+    except StopIteration as stop:
+        return stop.value
+
+
+def _bruck_alltoall(comm: _Comm, row) -> list:
+    """Store-and-forward personalized exchange along the dissemination
+    hop sequence: each payload travels the binary decomposition of its
+    rank offset, p * ceil(log2 p) messages total."""
+    rank, p = comm.rank, comm.p
+    # (src, remaining_offset, payload); offset 0 means delivered
+    pending = [(rank, (j - rank) % p, row[j]) for j in range(p) if j != rank]
+    delivered = {rank: row[rank]}
+    for tag, hop in enumerate(bruck_hops(p)):
+        dst = (rank + hop) % p
+        src = (rank - hop) % p
+        moving = [(s, d - hop, v) for s, d, v in pending if d & hop]
+        pending = [e for e in pending if not (e[1] & hop)]
+        comm.send(dst, 20 + tag, moving)
+        for s, d, v in comm.recv(src, 20 + tag):
+            if d == 0:
+                delivered[s] = v
+            else:
+                pending.append((s, d, v))
+    return [delivered[j] for j in range(p)]
+
+
+# -- command execution -------------------------------------------------
+
+class _WorkerError:
+    """Marker wrapping an exception that happened inside a worker."""
+
+    def __init__(self, message: str):
+        self.message = message
+
+
+def _execute(comm: _Comm, spec, local, store):
+    """Run one command on this worker; returns this PE's result."""
+    rank, p = comm.rank, comm.p
+    kind = spec[0]
+
+    # -- resident chunk store ------------------------------------------
+    if kind == "put":
+        store[spec[1]] = local
+        return None
+    if kind == "get":
+        return store[spec[1]]
+    if kind == "mapres":
+        fn = pickle.loads(spec[1])
+        in_ids, out_ids, collect = spec[2], spec[3], spec[4]
+        ins = [store[i] for i in in_ids]
+        extra = tuple(local) if local is not None else ()
+        res = fn(rank, *ins, *extra)
+        if out_ids:
+            if not isinstance(res, tuple) or len(res) != len(out_ids) + 1:
+                raise ValueError(
+                    f"resident callback must return {len(out_ids)} chunks "
+                    f"+ 1 value, got {type(res).__name__}"
+                )
+            for oid, chunk in zip(out_ids, res):
+                store[oid] = chunk
+            value = res[len(out_ids)]
         else:
-            stash[(mseq, src)] = payload
-    return recv
+            value = res
+        if collect is None:
+            return value
+        gathered = _tree_allgather(comm, value, 40)
+        if collect[0] == "allgather":
+            return value, gathered
+        return value, tree_reduce_order(gathered, collect[1])
+    if kind == "spmd":
+        fn = pickle.loads(spec[1])
+        in_ids, out_ids = spec[2], spec[3]
+        ins = [store[i] for i in in_ids]
+        extra = tuple(local) if local is not None else ()
+        res = _run_spmd_step(comm, fn(rank, *ins, *extra))
+        if out_ids:
+            if not isinstance(res, tuple) or len(res) != len(out_ids) + 1:
+                raise ValueError(
+                    f"SPMD callback must return {len(out_ids)} chunks + 1 "
+                    f"value, got {type(res).__name__}"
+                )
+            for oid, chunk in zip(out_ids, res):
+                store[oid] = chunk
+            return res[len(out_ids)]
+        return res
+    if kind == "stats":
+        return {"msgs": comm.counters["msgs"], "resident": len(store)}
+    if kind == "map":
+        fn = pickle.loads(spec[1])
+        return fn(rank, local)
 
-
-def _worker_exchange(rank, p, seq, row, inboxes, backlog, stash):
-    """Full exchange: send ``row[j]`` to every peer and collect one
-    payload from each.  Returns the rank-ordered received list
-    (``row[rank]`` fills the local slot)."""
-    sends = {j: row[j] for j in range(p) if j != rank}
-    recv = _worker_sendrecv(
-        rank, seq, sends, [j for j in range(p) if j != rank], inboxes, backlog, stash
-    )
-    recv[rank] = row[rank]
-    return [recv[j] for j in range(p)]
+    # -- collectives ---------------------------------------------------
+    if kind == "bcast":
+        return _tree_bcast(comm, spec[1], local)
+    if kind == "reduce":
+        op, root = spec[1], spec[2]
+        recv = _tree_gather(comm, root, local)
+        return None if recv is None else tree_reduce_order(recv, op)
+    if kind == "allreduce":
+        return tree_reduce_order(_tree_allgather(comm, local), spec[1])
+    if kind == "scan":
+        return inclusive_scan(_tree_allgather(comm, local), spec[1])[rank]
+    if kind == "allreduce_exscan":
+        op, initial = spec[1], spec[2]
+        recv = _tree_allgather(comm, local)
+        total = tree_reduce_order(recv, op)
+        prefix = initial if rank == 0 else inclusive_scan(recv, op)[rank - 1]
+        return total, prefix
+    if kind == "reduce_allgather":
+        op = spec[1]
+        pairs = _tree_allgather(comm, local)
+        total = tree_reduce_order([rv for rv, _ in pairs], op)
+        return total, [gv for _, gv in pairs]
+    if kind == "gather":
+        return _tree_gather(comm, spec[1], local)
+    if kind == "allgather":
+        return _bruck_allgather(comm, local)
+    if kind == "scatter":
+        return _tree_scatter(comm, spec[1], local)
+    if kind == "alltoall":
+        return _bruck_alltoall(comm, list(local))
+    if kind == "p2p":
+        # pair operation: only src and dst receive this command, so the
+        # rest of the pool keeps working undisturbed
+        src, dst = spec[1], spec[2]
+        if rank == src:
+            comm.send(dst, 0, local)
+            return None
+        return comm.recv(src, 0)
+    raise ValueError(f"unknown backend command {kind!r}")
 
 
 def _worker_main(rank, p, inboxes, results, parent_pid):
     """Command loop of one PE worker (module-level for spawn support)."""
     backlog: deque = deque()
     stash: dict = {}
+    store: dict = {}
+    comm = _Comm(rank, p, inboxes, backlog, stash, {"msgs": 0})
     while True:
         if backlog:
             item = backlog.popleft()
@@ -114,103 +507,33 @@ def _worker_main(rank, p, inboxes, results, parent_pid):
                 if os.getppid() != parent_pid:
                     return
                 continue
+            except EOFError:
+                return  # driver closed the channel
         if item[0] != "cmd":
-            _, mseq, src, payload = item
-            stash[(mseq, src)] = payload
+            _, mseq, mtag, msrc, payload = item
+            stash[(mseq, mtag, msrc)] = payload
             continue
-        _, seq, spec, local = item
-        op_name = spec[0]
-        if op_name == "stop":
-            results.put((rank, seq, None))
+        _, seq, spec, local, free_ids = item
+        for ref_id in free_ids:
+            store.pop(ref_id, None)
+        if spec[0] == "stop":
+            results.put((rank, seq, None), drain=comm.drain)
             return
+        comm.seq = seq
         try:
-            result = _execute(rank, p, seq, spec, local, inboxes, backlog, stash)
-            results.put((rank, seq, result))
+            result = _execute(comm, spec, local, store)
+            results.put((rank, seq, result), drain=comm.drain)
         except Exception as exc:  # surface worker failures to the driver
-            results.put((rank, seq, _WorkerError(repr(exc))))
+            results.put((rank, seq, _WorkerError(repr(exc))), drain=comm.drain)
 
 
-class _WorkerError:
-    """Marker wrapping an exception that happened inside a worker."""
-
-    def __init__(self, message: str):
-        self.message = message
-
-
-def _execute(rank, p, seq, spec, local, inboxes, backlog, stash):
-    """Run one collective on this worker; returns this PE's result."""
-    kind = spec[0]
-
-    if kind == "map":
-        fn = pickle.loads(spec[1])
-        return fn(rank, local)
-
-    exchange = lambda row: _worker_exchange(
-        rank, p, seq, row, inboxes, backlog, stash
-    )
-    sendrecv = lambda sends, expect: _worker_sendrecv(
-        rank, seq, sends, expect, inboxes, backlog, stash
-    )
-    others = [j for j in range(p) if j != rank]
-
-    if kind == "bcast":
-        root = spec[1]
-        if rank == root:
-            sendrecv({j: local for j in others}, ())
-            return local
-        return sendrecv({}, (root,))[root]
-    if kind == "reduce":
-        op, root = spec[1], spec[2]
-        if rank != root:
-            sendrecv({root: local}, ())
-            return None
-        recv = sendrecv({}, others)
-        recv[rank] = local
-        return tree_reduce_order([recv[j] for j in range(p)], op)
-    if kind == "allreduce":
-        recv = exchange([local] * p)
-        return tree_reduce_order(recv, spec[1])
-    if kind == "scan":
-        recv = exchange([local] * p)
-        return inclusive_scan(recv, spec[1])[rank]
-    if kind == "allreduce_exscan":
-        op, initial = spec[1], spec[2]
-        recv = exchange([local] * p)
-        total = tree_reduce_order(recv, op)
-        prefix = initial if rank == 0 else inclusive_scan(recv, op)[rank - 1]
-        return total, prefix
-    if kind == "gather":
-        root = spec[1]
-        if rank != root:
-            sendrecv({root: local}, ())
-            return None
-        recv = sendrecv({}, others)
-        recv[rank] = local
-        return [recv[j] for j in range(p)]
-    if kind == "allgather":
-        return exchange([local] * p)
-    if kind == "scatter":
-        root = spec[1]
-        if rank == root:
-            # ``local`` is the full pieces list
-            sendrecv({j: local[j] for j in others}, ())
-            return local[rank]
-        return sendrecv({}, (root,))[root]
-    if kind == "alltoall":
-        return exchange(list(local))
-    if kind == "p2p":
-        # pair operation: only src and dst receive this command, so the
-        # rest of the pool keeps working undisturbed
-        src, dst = spec[1], spec[2]
-        if rank == src:
-            sendrecv({dst: local}, ())
-            return None
-        return sendrecv({}, (src,))[src]
-    raise ValueError(f"unknown backend command {kind!r}")
-
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
 
 class MultiprocessingBackend(Backend):
-    """One OS process per PE; collectives move real pickled messages."""
+    """One OS process per PE; collectives move real pickled messages and
+    DistArray chunks stay resident in the workers."""
 
     name = "mp"
     is_real = True
@@ -224,6 +547,10 @@ class MultiprocessingBackend(Backend):
         self._results = None
         self._started = False
         self._closed = False
+        self._dead_refs: list[int] = []
+        self._live_ids: set[int] = set()
+        self._fn_blobs: dict[int, tuple[Callable, bytes]] = {}
+        self._result_buffer: list = []
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -233,8 +560,8 @@ class MultiprocessingBackend(Backend):
             raise RuntimeError("backend already closed")
         if self._started:
             return
-        self._inboxes = [self._ctx.Queue() for _ in range(self.p)]
-        self._results = self._ctx.Queue()
+        self._inboxes = [_Channel(self._ctx) for _ in range(self.p)]
+        self._results = _Channel(self._ctx)
         self._workers = [
             self._ctx.Process(
                 target=_worker_main,
@@ -247,16 +574,38 @@ class MultiprocessingBackend(Backend):
         for w in self._workers:
             w.start()
         self._started = True
+        global _ATEXIT_REGISTERED
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_close_leaked_pools)
+            _ATEXIT_REGISTERED = True
+        _LIVE_POOLS.add(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
-        if not self._started or self._closed:
-            self._closed = True
+        """Shut the worker pool down; safe to call any number of times.
+
+        Live resident chunks are salvaged into the driver-side store
+        first, so a ``DistArray`` result stays readable after its
+        machine's context exits.
+        """
+        if self._closed:
             return
+        if self._started:
+            try:
+                self._salvage_resident()
+            except Exception:  # pragma: no cover - dead-pool cleanup path
+                pass
         self._closed = True
+        _LIVE_POOLS.discard(self)
+        if not self._started:
+            return
         try:
             self._seq += 1
             for rank in range(self.p):
-                self._inboxes[rank].put(("cmd", self._seq, ("stop",), None))
+                self._inboxes[rank].put(("cmd", self._seq, ("stop",), None, ()))
             for w in self._workers:
                 w.join(timeout=5.0)
         finally:
@@ -279,6 +628,16 @@ class MultiprocessingBackend(Backend):
     # ------------------------------------------------------------------
     # Driver-side dispatch
     # ------------------------------------------------------------------
+    def _drain_results(self) -> None:
+        """Buffer early results while a command send waits on a full inbox
+        (a worker blocked writing a large result would otherwise hold
+        the driver and worker in a two-party cycle)."""
+        while True:
+            try:
+                self._result_buffer.append(self._results.get(timeout=0))
+            except queue_mod.Empty:
+                return
+
     def _run(
         self, spec: tuple, locals_per_pe: Sequence, participants=None
     ) -> list:
@@ -299,16 +658,30 @@ class MultiprocessingBackend(Backend):
                 f"must cross a process boundary; use a named op like 'sum' "
                 f"or a module-level callable): {exc}"
             ) from None
+        # freed handles piggyback only on full-pool commands -- a partial-
+        # participant command (p2p) would free the slots on two workers
+        # and leak them on the rest
+        if participants is None:
+            free_ids = tuple(self._dead_refs)
+            self._dead_refs.clear()
+        else:
+            free_ids = ()
         ranks = range(self.p) if participants is None else participants
         for rank in ranks:
-            self._inboxes[rank].put(("cmd", seq, spec, locals_per_pe[rank]))
+            self._inboxes[rank].put(
+                ("cmd", seq, spec, locals_per_pe[rank], free_ids),
+                drain=self._drain_results,
+            )
         out: list = [None] * self.p
         failures: list[tuple[int, str]] = []
         # drain every participant's result even on error, so a failed
         # collective does not leave stale entries that poison the next one
         for _ in ranks:
             try:
-                rank, rseq, value = self._results.get(timeout=_TIMEOUT)
+                if self._result_buffer:
+                    rank, rseq, value = self._result_buffer.pop(0)
+                else:
+                    rank, rseq, value = self._results.get(timeout=_TIMEOUT)
             except Exception:
                 dead = [w.name for w in self._workers if not w.is_alive()]
                 raise RuntimeError(
@@ -356,6 +729,12 @@ class MultiprocessingBackend(Backend):
         prefixes = [pre for _, pre in pairs]
         return totals, prefixes
 
+    def reduce_allgather(self, values: Sequence, payloads: Sequence, op) -> tuple[list, list]:
+        pairs = self._run(
+            ("reduce_allgather", op), list(zip(values, payloads))
+        )
+        return [t for t, _ in pairs], [g for _, g in pairs]
+
     def gather(self, values: Sequence, root: int = 0) -> list:
         return self._run(("gather", root), values)
 
@@ -378,9 +757,119 @@ class MultiprocessingBackend(Backend):
 
     def map(self, fn: Callable[[int, object], object], items: Sequence) -> list:
         try:
-            blob = pickle.dumps(fn)
+            blob = self._blob(fn)
         except Exception:
             # closures/lambdas cannot cross the process boundary; degrade
             # gracefully to in-process application
             return [fn(i, x) for i, x in enumerate(items)]
         return self._run(("map", blob), items)
+
+    # ------------------------------------------------------------------
+    # Resident chunks
+    # ------------------------------------------------------------------
+    def _blob(self, fn) -> bytes:
+        """Pickle a callback once per identity (hot loops reuse it).
+
+        The cache pins the callable itself so its ``id`` cannot be
+        recycled by the allocator while the entry is alive.
+        """
+        entry = self._fn_blobs.get(id(fn))
+        if entry is None or entry[0] is not fn:
+            if len(self._fn_blobs) > 256:  # unbounded-growth guard
+                self._fn_blobs.clear()
+            entry = (fn, pickle.dumps(fn))
+            self._fn_blobs[id(fn)] = entry
+        return entry[1]
+
+    def _new_ref(self) -> ChunkRef:
+        ref_id = self._next_ref_id
+        self._next_ref_id += 1
+        self._live_ids.add(ref_id)
+        return ChunkRef(ref_id, self.p, self._free_ref)
+
+    def _free_ref(self, ref_id: int) -> None:
+        # freeing piggybacks on the next command's envelope; nothing to
+        # send eagerly (and the pool may already be closed)
+        self._live_ids.discard(ref_id)
+        self._store.pop(ref_id, None)
+        self._dead_refs.append(ref_id)
+
+    def _salvage_resident(self) -> None:
+        """Pull live worker-resident chunks into the driver store so
+        handles stay readable after the pool shuts down."""
+        for ref_id in sorted(self._live_ids):
+            if ref_id not in self._store:
+                self._store[ref_id] = self._run(("get", ref_id), [None] * self.p)
+
+    def put_chunks(self, chunks: Sequence) -> ChunkRef:
+        if len(chunks) != self.p:
+            raise ValueError(f"need one chunk per PE, got {len(chunks)} for p={self.p}")
+        ref = self._new_ref()
+        self._run(("put", ref.id), list(chunks))
+        # keep an alias to the driver-born objects (read-only convention):
+        # get_chunks then never re-fetches them and close() never pays to
+        # salvage data the driver already holds
+        self._store[ref.id] = list(chunks)
+        return ref
+
+    def get_chunks(self, ref: ChunkRef) -> list:
+        if ref.id in self._store:  # driver-born or salvaged at close
+            return self._store[ref.id]
+        return self._run(("get", ref.id), [None] * self.p)
+
+    def map_resident(
+        self,
+        fn: Callable,
+        refs: Sequence[ChunkRef],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+        collect: tuple | None = None,
+    ) -> tuple[list[ChunkRef], list, list | None]:
+        try:
+            blob = self._blob(fn)
+        except Exception:
+            # driver-side fallback: fetch, apply, re-pin.  Slow (the
+            # chunks make a round trip) but correct, and only hit by
+            # closures that cannot cross the process boundary.
+            chunk_lists = [self.get_chunks(r) for r in refs]
+            outs, values = _apply_resident(self.p, fn, chunk_lists, n_out, args)
+            out_refs = [self.put_chunks(chunks) for chunks in outs]
+            return out_refs, values, _collect_values(values, collect, self.p)
+        out_refs = [self._new_ref() for _ in range(n_out)]
+        spec = ("mapres", blob, tuple(r.id for r in refs),
+                tuple(r.id for r in out_refs), collect)
+        locals_per_pe = list(args) if args is not None else [None] * self.p
+        out = self._run(spec, locals_per_pe)
+        if collect is None:
+            return out_refs, out, None
+        return out_refs, [v for v, _ in out], [c for _, c in out]
+
+    def run_spmd(
+        self,
+        fn: Callable,
+        refs: Sequence[ChunkRef],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+    ) -> tuple[list[ChunkRef], list]:
+        try:
+            blob = self._blob(fn)
+        except Exception:
+            chunk_lists = [self.get_chunks(r) for r in refs]
+            outs, values = _run_spmd_inprocess(self.p, fn, chunk_lists, n_out, args)
+            out_refs = [self.put_chunks(chunks) for chunks in outs]
+            return out_refs, values
+        out_refs = [self._new_ref() for _ in range(n_out)]
+        spec = ("spmd", blob, tuple(r.id for r in refs),
+                tuple(r.id for r in out_refs))
+        locals_per_pe = list(args) if args is not None else [None] * self.p
+        values = self._run(spec, locals_per_pe)
+        return out_refs, values
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def worker_message_counts(self) -> list[int]:
+        if not self._started or self._closed:
+            return [0] * self.p
+        stats = self._run(("stats",), [None] * self.p)
+        return [s["msgs"] for s in stats]

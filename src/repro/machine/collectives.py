@@ -29,6 +29,9 @@ from .cost import log2_ceil
 
 __all__ = [
     "binomial_edges",
+    "binomial_subtrees",
+    "bruck_hops",
+    "bruck_send_blocks",
     "hypercube_rounds",
     "combine",
     "REDUCTION_OPS",
@@ -92,6 +95,55 @@ def binomial_edges(p: int, root: int = 0) -> list[tuple[int, int, int]]:
         have *= 2
         r += 1
     return edges
+
+
+def binomial_subtrees(p: int, root: int = 0) -> dict[int, list[int]]:
+    """Subtree membership of every PE in the binomial tree rooted at ``root``.
+
+    ``subtrees[i]`` lists the ranks (including ``i`` itself) whose path
+    to the root passes through ``i`` -- what a tree scatter must forward
+    to ``i``'s subtree.
+    """
+    children: dict[int, list[int]] = {i: [] for i in range(p)}
+    for _, s, d in binomial_edges(p, root):
+        children[s].append(d)
+    subtrees: dict[int, list[int]] = {}
+
+    def fill(node: int) -> list[int]:
+        out = [node]
+        for c in children[node]:
+            out += fill(c)
+        subtrees[node] = out
+        return out
+
+    fill(root)
+    return subtrees
+
+
+def bruck_hops(p: int) -> list[int]:
+    """Hop distances of the dissemination (Bruck) schedule on ``p`` PEs.
+
+    In round ``r`` every PE sends to ``(i + hops[r]) mod p`` and receives
+    from ``(i - hops[r]) mod p``; after ``ceil(log2 p)`` rounds an
+    allgather is complete on *any* ``p``, power of two or not.  Total
+    message count is ``p * ceil(log2 p)`` -- the O(p log p) schedule that
+    replaces direct O(p^2) exchanges inside real backends.
+    """
+    hops: list[int] = []
+    hop = 1
+    while hop < p:
+        hops.append(hop)
+        hop *= 2
+    return hops
+
+
+def bruck_send_blocks(p: int, rank: int, hop: int, held: Sequence[int]) -> list[int]:
+    """Blocks ``rank`` must forward to ``(rank + hop) % p`` in a Bruck
+    allgather round: the held source ranks the receiver does not already
+    own (the receiver holds the ``hop`` ranks ending at itself)."""
+    dst = (rank + hop) % p
+    receiver_has = {(dst - i) % p for i in range(min(hop, p))}
+    return [b for b in held if b not in receiver_has]
 
 
 def hypercube_rounds(p: int) -> list[list[tuple[int, int]]]:

@@ -256,13 +256,17 @@ class Machine:
     def allreduce(self, values: Sequence, op="sum") -> list:
         """Reduce per-PE contributions; every PE receives the result."""
         self._check_len(values, "allreduce")
+        self._meter_allreduce(values)
+        return self.backend.allreduce(values, op)
+
+    def _meter_allreduce(self, values: Sequence) -> None:
+        """Control plane of :meth:`allreduce` (schedule + charge only)."""
         m = payload_words(values[0])
         # reduce followed by broadcast over the same tree
         edges = [(d, s, m) for _, s, d in binomial_edges(self.p, 0)]
         edges += [(s, d, m) for _, s, d in binomial_edges(self.p, 0)]
         self.metrics.record_schedule(edges, "allreduce")
         self._charge(self.cost.allreduce(m, self.p))
-        return self.backend.allreduce(values, op)
 
     def scan(self, values: Sequence, op="sum") -> list:
         """Inclusive prefix combine: PE ``j`` receives ``op(values[0..j])``."""
@@ -357,7 +361,28 @@ class Machine:
     def allgather(self, values: Sequence) -> list:
         """All-to-all broadcast (gossiping): every PE gets every piece."""
         self._check_len(values, "allgather")
-        sizes = np.array([payload_words(v) for v in values], dtype=np.float64)
+        self._meter_allgather(values)
+        return self.backend.allgather(values)
+
+    def _meter_allgather(
+        self,
+        values: Sequence | None = None,
+        extra_words: float = 0.0,
+        kind: str = "allgather",
+        *,
+        words: Sequence | None = None,
+    ) -> None:
+        """Control plane of :meth:`allgather` (schedule + charge only).
+
+        ``extra_words`` rides every edge -- the piggybacked reduction
+        accumulator of the fused :meth:`reduce_allgather`.  ``words``
+        supplies per-PE payload sizes directly when the values
+        themselves stayed inside the workers (SPMD steps).
+        """
+        if words is not None:
+            sizes = np.asarray(words, dtype=np.float64)
+        else:
+            sizes = np.array([payload_words(v) for v in values], dtype=np.float64)
         # recursive-doubling schedule: in round r partners exchange the
         # blocks accumulated so far
         acc = sizes.copy()
@@ -365,13 +390,39 @@ class Machine:
         for rnd in hypercube_rounds(self.p):
             nxt = acc.copy()
             for i, j in rnd:
-                edges.append((i, j, acc[i]))
-                edges.append((j, i, acc[j]))
+                edges.append((i, j, acc[i] + extra_words))
+                edges.append((j, i, acc[j] + extra_words))
                 nxt[i] = nxt[j] = acc[i] + acc[j]
             acc = nxt
-        self.metrics.record_schedule(edges, "allgather")
-        self._charge(self.cost.allgather(float(sizes.mean()), self.p))
-        return self.backend.allgather(values)
+        self.metrics.record_schedule(edges, kind)
+        if extra_words:
+            self._charge(
+                self.cost.reduce_allgather(extra_words, float(sizes.mean()), self.p)
+            )
+        else:
+            self._charge(self.cost.allgather(float(sizes.mean()), self.p))
+
+    def reduce_allgather(
+        self, values: Sequence, payloads: Sequence, op="sum"
+    ) -> tuple[list, list]:
+        """Fused ``allreduce(values)`` + ``allgather(payloads)``.
+
+        One dissemination schedule carries the gathered payload blocks
+        with the reduction accumulator riding along, so the ``alpha log
+        p`` startups of a separate allreduce are paid only once.  The
+        hot call sites are the sample-size + sample-payload pairs of the
+        ``frequent/*`` pipelines (ROADMAP's remaining fusion candidate).
+
+        Returns ``(totals, gathered)``, both replicated on every PE:
+        ``totals[i]`` is the binomial-tree-order reduction of ``values``
+        and ``gathered[i]`` the rank-ordered list of ``payloads``.
+        """
+        self._check_len(values, "reduce_allgather")
+        self._check_len(payloads, "reduce_allgather")
+        self._meter_allgather(
+            payloads, extra_words=payload_words(values[0]), kind="reduce_allgather"
+        )
+        return self.backend.reduce_allgather(values, payloads, op)
 
     def scatter(self, pieces: Sequence, root: int = 0) -> list:
         """Distribute ``pieces[i]`` from ``root`` to PE ``i``."""

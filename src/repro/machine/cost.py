@@ -162,6 +162,19 @@ class CostParams:
         vol = m_per_pe * max(p - 1, 0)
         return CollectiveCost(self.alpha * r + self.beta * vol, r, vol)
 
+    def reduce_allgather(self, m_reduce: float, m_per_pe: float, p: int) -> CollectiveCost:
+        """Fused allreduce + allgather in one dissemination schedule.
+
+        The reduction accumulator (``m_reduce`` words) rides every round
+        of the allgather, so the ``alpha log p`` startups of a separate
+        allreduce are saved at the price of ``m_reduce`` extra words per
+        round.  Used for the sample-size + sample-payload pairs of the
+        frequent-objects pipelines.
+        """
+        r = log2_ceil(p)
+        vol = m_per_pe * max(p - 1, 0) + m_reduce * r
+        return CollectiveCost(self.alpha * r + self.beta * vol, r, vol)
+
     def alltoall_direct(self, m_per_pair: float, p: int) -> CollectiveCost:
         """All-to-all personalized, direct delivery.
 

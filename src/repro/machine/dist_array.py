@@ -1,26 +1,81 @@
-"""Distributed arrays: one NumPy chunk per PE.
+"""Distributed arrays: one NumPy chunk per PE, resident in the backend.
 
 :class:`DistArray` is the input/output container of every algorithm in
-this package.  It is deliberately thin -- a list of per-PE chunks plus
-convenience constructors -- because the algorithms themselves must only
-touch a chunk through its owning PE (all cross-PE flow goes through
-:class:`repro.machine.Machine` collectives).
+this package.  Chunks are pinned behind an opaque
+:class:`~repro.machine.backends.base.ChunkRef` handle in the machine's
+execution backend -- in worker-process memory for real backends
+(``"mp"``), in a driver-side store for the in-process default
+(``"sim"``).  Per-PE algorithm callbacks therefore execute *where the
+data lives* (:meth:`map_chunks`, :meth:`map_values`, :meth:`map_collect`)
+and only small per-PE values travel (:meth:`map_chunks`,
+:meth:`map_values`, :meth:`map_collect`); full chunks cross the process
+boundary exactly twice -- once when the input is pinned and once if the
+driver asks for the result (:attr:`chunks`, :meth:`concat`).
+
+Cross-PE data flow still goes exclusively through
+:class:`repro.machine.Machine` collectives: the resident map methods
+never communicate by themselves (their optional fused value collective
+is charged through the machine's control plane by the call sites).
 """
 
 from __future__ import annotations
 
+import weakref
+from functools import partial
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .backends.base import ChunkRef
 from .comm import Machine
 
 __all__ = ["DistArray"]
 
 
-def _sort_chunk(rank: int, chunk: np.ndarray) -> np.ndarray:
-    """Module-level so real backends can ship it to worker processes."""
-    return np.sort(chunk)
+# ----------------------------------------------------------------------
+# Module-level resident callbacks (must be picklable for real backends)
+# ----------------------------------------------------------------------
+
+def _sort_chunk(rank: int, chunk: np.ndarray) -> tuple:
+    return (np.sort(chunk), None)
+
+def _negate_chunk(rank: int, chunk: np.ndarray) -> tuple:
+    return (-chunk, None)
+
+def _take_indices(rank: int, chunk: np.ndarray, idx) -> np.ndarray:
+    """Extract ``chunk[idx]`` (``None`` selects the whole chunk)."""
+    return chunk.copy() if idx is None else chunk[idx]
+
+def _measured(fn: Callable, rank: int, chunk: np.ndarray) -> tuple:
+    """Wrap a chunk->chunk callback so the driver learns the new size
+    and dtype without fetching the (worker-resident) result."""
+    out = np.asarray(fn(rank, chunk))
+    if out.ndim != 1:
+        raise ValueError(
+            f"map_chunks callback must return a one-dimensional array, "
+            f"got shape {out.shape} on PE {rank}"
+        )
+    return (out, (out.size, out.dtype.str))
+
+
+#: wrapped-callback cache: repeated map_chunks with the same fn must
+#: reuse one partial so real backends' pickle caches can hit (weak keys,
+#: so user callbacks are not pinned alive)
+_measured_cache: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _measured_wrapper(fn: Callable) -> Callable:
+    try:
+        wrapped = _measured_cache.get(fn)
+    except TypeError:  # unhashable or non-weakrefable callable
+        return partial(_measured, fn)
+    if wrapped is None:
+        wrapped = partial(_measured, fn)
+        try:
+            _measured_cache[fn] = wrapped
+        except TypeError:
+            pass
+    return wrapped
 
 
 class DistArray:
@@ -29,20 +84,87 @@ class DistArray:
     Attributes
     ----------
     chunks:
-        List of per-PE one-dimensional NumPy arrays.  ``chunks[i]`` lives
-        in PE ``i``'s memory; cross-PE access requires communication.
+        List of per-PE one-dimensional NumPy arrays.  ``chunks[i]``
+        lives in PE ``i``'s memory; reading this property from the
+        driver fetches resident chunks out of the backend (cheap for
+        ``sim``, a real transfer for ``mp``) -- algorithms should prefer
+        the resident map methods and :meth:`sizes`, which never move
+        chunk data.  Cross-PE access requires machine collectives.
     """
 
-    def __init__(self, machine: Machine, chunks: Sequence[np.ndarray]):
-        if len(chunks) != machine.p:
-            raise ValueError(
-                f"need one chunk per PE: got {len(chunks)} chunks for p={machine.p}"
-            )
+    def __init__(
+        self,
+        machine: Machine,
+        chunks: Sequence[np.ndarray] | None = None,
+        *,
+        ref: ChunkRef | None = None,
+        sizes: Sequence[int] | None = None,
+        dtype=None,
+        resident: bool = False,
+    ):
         self.machine = machine
-        self.chunks: list[np.ndarray] = [np.asarray(c) for c in chunks]
-        for i, c in enumerate(self.chunks):
-            if c.ndim != 1:
-                raise ValueError(f"chunk {i} must be one-dimensional, got shape {c.shape}")
+        if (chunks is None) == (ref is None):
+            raise ValueError("exactly one of chunks/ref is required")
+        if chunks is not None:
+            if len(chunks) != machine.p:
+                raise ValueError(
+                    f"need one chunk per PE: got {len(chunks)} chunks for p={machine.p}"
+                )
+            arr = [np.asarray(c) for c in chunks]
+            for i, c in enumerate(arr):
+                if c.ndim != 1:
+                    raise ValueError(
+                        f"chunk {i} must be one-dimensional, got shape {c.shape}"
+                    )
+            self._chunks: list[np.ndarray] | None = arr
+            self._sizes = np.array([c.size for c in arr], dtype=np.int64)
+            self._dtype = arr[0].dtype
+            self._ref: ChunkRef | None = None
+            if resident:
+                self._ensure_ref()
+        else:
+            if sizes is None:
+                raise ValueError("resident construction requires sizes")
+            self._chunks = None
+            self._sizes = np.asarray(sizes, dtype=np.int64)
+            self._dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+            self._ref = ref
+
+    # ------------------------------------------------------------------
+    # Residency plumbing
+    # ------------------------------------------------------------------
+    def _ensure_ref(self) -> ChunkRef:
+        """Pin the chunks in the backend (no-op if already resident)."""
+        if self._ref is None:
+            self._ref = self.machine.backend.put_chunks(self._chunks)
+        return self._ref
+
+    @property
+    def chunks(self) -> list[np.ndarray]:
+        if self._chunks is None:
+            self._chunks = list(self.machine.backend.get_chunks(self._ref))
+            if self._chunks and hasattr(self._chunks[0], "dtype"):
+                self._dtype = self._chunks[0].dtype
+        return self._chunks
+
+    def _map_resident(
+        self,
+        fn: Callable,
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+        collect: tuple | None = None,
+    ) -> tuple[list[ChunkRef], list, list | None]:
+        """Raw resident map (no charging -- call sites charge in their
+        own order so modeled time is schedule-exact)."""
+        return self.machine.backend.map_resident(
+            fn, [self._ensure_ref()], n_out, args, collect
+        )
+
+    def _wrap(self, ref: ChunkRef, sizes, dtype=None) -> "DistArray":
+        return DistArray(
+            self.machine, ref=ref, sizes=sizes,
+            dtype=self._dtype if dtype is None else dtype,
+        )
 
     # ------------------------------------------------------------------
     # Constructors
@@ -53,10 +175,15 @@ class DistArray:
 
         This models the paper's input convention: each PE holds
         ``O(n/p)`` elements.  No communication is charged -- the input is
-        assumed to already reside on the PEs.
+        assumed to already reside on the PEs (real backends pin the
+        chunks into their workers here, before any timer starts).
         """
         data = np.asarray(data)
-        return cls(machine, np.array_split(data, machine.p))
+        return cls(
+            machine,
+            np.array_split(data, machine.p),
+            resident=machine.backend.is_real,
+        )
 
     @classmethod
     def generate(
@@ -69,24 +196,28 @@ class DistArray:
         return cls(
             machine,
             [make_chunk(i, machine.rngs[i]) for i in range(machine.p)],
+            resident=machine.backend.is_real,
         )
 
     @classmethod
     def empty_like(cls, other: "DistArray") -> "DistArray":
-        dtype = other.chunks[0].dtype if other.chunks else np.float64
-        return cls(other.machine, [np.empty(0, dtype=dtype) for _ in range(other.machine.p)])
+        return cls(
+            other.machine,
+            [np.empty(0, dtype=other._dtype) for _ in range(other.machine.p)],
+        )
 
     # ------------------------------------------------------------------
     # Inspection (driver-side; used by tests and result assembly, not by
     # the distributed algorithms themselves)
     # ------------------------------------------------------------------
     def sizes(self) -> np.ndarray:
-        """Per-PE chunk lengths (a local quantity on each PE)."""
-        return np.array([len(c) for c in self.chunks], dtype=np.int64)
+        """Per-PE chunk lengths (a local quantity on each PE; tracked
+        driver-side, so no chunk data moves)."""
+        return self._sizes.copy()
 
     @property
     def global_size(self) -> int:
-        return int(self.sizes().sum())
+        return int(self._sizes.sum())
 
     def concat(self) -> np.ndarray:
         """Concatenate all chunks in rank order (test/driver-side oracle)."""
@@ -96,31 +227,99 @@ class DistArray:
 
     @property
     def dtype(self):
-        return self.chunks[0].dtype
+        return self._dtype
 
     def __len__(self) -> int:
         return self.global_size
 
     # ------------------------------------------------------------------
-    # Local transforms
+    # Resident transforms: the callback runs where the chunk lives
     # ------------------------------------------------------------------
     def map_chunks(self, fn: Callable[[int, np.ndarray], np.ndarray], ops_per_elem: float = 1.0) -> "DistArray":
         """Apply ``fn(rank, chunk)`` on every PE, charging local work.
 
         On a real backend (``Machine(backend="mp")``) the per-PE
         applications run in the worker processes -- genuinely in
-        parallel -- provided ``fn`` is picklable; otherwise they fall
-        back to the driver process.
+        parallel, with the chunks staying resident -- provided ``fn`` is
+        picklable; otherwise they fall back to the driver process.
         """
-        out = self.machine.backend.map(fn, self.chunks)
-        self.machine.charge_ops(self.sizes().astype(np.float64) * ops_per_elem)
-        return DistArray(self.machine, out)
+        refs, metas, _ = self._map_resident(_measured_wrapper(fn), n_out=1)
+        self.machine.charge_ops(self._sizes.astype(np.float64) * ops_per_elem)
+        return DistArray(
+            self.machine, ref=refs[0],
+            sizes=[m[0] for m in metas], dtype=np.dtype(metas[0][1]),
+        )
 
     def sort_local(self) -> "DistArray":
         """Sort each chunk locally (charges ``m log m`` per PE)."""
-        sizes = self.sizes().astype(np.float64)
+        sizes = self._sizes.astype(np.float64)
         self.machine.charge_ops(sizes * np.log2(np.maximum(sizes, 2.0)))
-        return DistArray(self.machine, self.machine.backend.map(_sort_chunk, self.chunks))
+        refs, _, _ = self._map_resident(_sort_chunk, n_out=1)
+        return self._wrap(refs[0], self._sizes)
+
+    def negate(self) -> "DistArray":
+        """Elementwise negation, in place in the workers (free in the
+        cost model, like the sign flips the selection duals perform)."""
+        refs, _, _ = self._map_resident(_negate_chunk, n_out=1)
+        return self._wrap(refs[0], self._sizes)
+
+    def map_values(
+        self, fn: Callable, args: Sequence[tuple] | None = None
+    ) -> list:
+        """Apply ``fn(rank, chunk, *args[rank])`` on every PE and return
+        only the per-PE values (no new chunks; nothing charged -- the
+        call site charges its own op count)."""
+        _, values, _ = self._map_resident(fn, n_out=0, args=args)
+        return values
+
+    def map_collect(
+        self,
+        fn: Callable,
+        args: Sequence[tuple] | None = None,
+        *,
+        op: str | Callable | None = None,
+    ) -> tuple[list, list]:
+        """Resident map with the value collective fused into the same
+        backend round trip.
+
+        Returns ``(values, collected)``: without ``op`` the collected
+        entry is the rank-ordered value list (allgather semantics), with
+        ``op`` the replicated reduction.  The collective's modeled cost
+        and metering are charged through the machine exactly as if
+        :meth:`Machine.allgather`/:meth:`Machine.allreduce` had been
+        called on ``values``, so both backends report identical models.
+        """
+        collect = ("allgather",) if op is None else ("allreduce", op)
+        _, values, collected = self._map_resident(fn, n_out=0, args=args, collect=collect)
+        if op is None:
+            self.machine._meter_allgather(values)
+        else:
+            self.machine._meter_allreduce(values)
+        return values, collected
+
+    def _bernoulli_indices(self, rho: float) -> list:
+        """Driver-side index draws + the skip-value sampling charge.
+
+        Draws advance ``machine.rngs`` exactly like a driver-side sample
+        would, so results are bit-identical across backends; the charge
+        is the paper's ``O(rho * n/p)`` expected sampling work.
+        """
+        from ..common.sampling import bernoulli_sample_indices
+
+        idx = [
+            bernoulli_sample_indices(self.machine.rngs[i], int(self._sizes[i]), rho)
+            for i in range(self.machine.p)
+        ]
+        self.machine.charge_ops([max(1.0, rho * s) for s in self._sizes])
+        return idx
+
+    def bernoulli_sample_local(self, rho: float) -> list:
+        """Per-PE Bernoulli(rho) samples, extracted where the chunks
+        live: index draws happen in the driver (see
+        :meth:`_bernoulli_indices`), only the small index arrays travel
+        out and only the sampled values travel back."""
+        idx = self._bernoulli_indices(rho)
+        return self.map_values(_take_indices, args=[(ix,) for ix in idx])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DistArray(p={self.machine.p}, n={self.global_size}, dtype={self.dtype})"

@@ -12,6 +12,14 @@ are picked, and every PE partitions its slice into
 A two-word all-reduction yields the global part sizes and the recursion
 continues in the part containing rank ``k``.
 
+Execution is resident-chunk SPMD: the slices stay pinned in the
+backend's workers for the whole recursion.  Sampling ships only small
+index sets to the workers (with the sample union riding back in a fused
+allgather) and the three-way partition runs where the data lives, with
+its two-word counts fused into the same round trip as an in-worker
+all-reduction -- per level, exactly two backend round trips and zero
+chunk movement.
+
 Expected running time ``O(n/p + beta * min(sqrt(p) log_p n, n/p)
 + alpha * log n)`` (Theorem 1); for constant alpha/beta this is
 ``O(n/p + log p)`` (Corollary 2).
@@ -23,7 +31,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..common.sampling import bernoulli_sample
 from ..common.validation import check_rank
 from ..machine import DistArray, Machine
 
@@ -38,6 +45,65 @@ class SelectionStats:
     rounds: int
     sample_total: int
     base_case_size: int
+
+
+# ----------------------------------------------------------------------
+# Resident worker callbacks (module-level so real backends can ship them)
+# ----------------------------------------------------------------------
+
+def _selection_round_kernel(rank: int, chunk: np.ndarray, idx, k: int, n: int):
+    """One full recursion level, executed where the chunk lives.
+
+    SPMD generator: extract the pre-drawn Bernoulli sample, share it
+    (in-worker allgather), pick the Floyd-Rivest pivots from the
+    replicated union, three-way partition the local slice and combine
+    the two-word part counts (in-worker allreduce) -- a single backend
+    round trip per level; the slice itself never moves.
+
+    Returns the three part chunks plus the small value tuple
+    ``(sample_words, sample_total, lo_pivot, hi_pivot, na, nb,
+    n_lo, n_mid)`` the driver re-plays the cost model from
+    (``sample_total == 0`` flags an empty-sample level: the parts are
+    ``(chunk, empty, empty)`` and no pivots exist).
+    """
+    from ..machine.metrics import payload_words
+    from .sequential import fr_pivots
+
+    sample = chunk.copy() if idx is None else chunk[idx]
+    gathered = yield ("allgather", sample)
+    sample_words = payload_words(sample)
+    nonempty = [s for s in gathered if s.size]
+    if not nonempty:
+        empty = chunk[:0]
+        return chunk, empty, empty, (sample_words, 0, None, None, 0, 0, chunk.size, 0)
+    union = np.sort(np.concatenate(nonempty))
+    lo_p, hi_p = fr_pivots(union, k, n)
+
+    below = chunk < lo_p
+    mid = (chunk >= lo_p) & (chunk <= hi_p)
+    part_lo = chunk[below]
+    part_mid = chunk[mid]
+    part_hi = chunk[~below & ~mid]
+    counts = np.array([part_lo.size, part_mid.size], dtype=np.int64)
+    totals = yield ("allreduce", counts, "sum")
+    return part_lo, part_mid, part_hi, (
+        sample_words, int(union.size), lo_p, hi_p,
+        int(totals[0]), int(totals[1]), part_lo.size, part_mid.size,
+    )
+
+
+def _below_equal_step(rank: int, chunk: np.ndarray, threshold) -> np.ndarray:
+    return np.array(
+        [int((chunk < threshold).sum()), int((chunk == threshold).sum())],
+        dtype=np.int64,
+    )
+
+
+def _cut_step(rank: int, chunk: np.ndarray, threshold, keep_eq: int) -> tuple:
+    sel = np.concatenate(
+        [chunk[chunk < threshold], chunk[chunk == threshold][: int(keep_eq)]]
+    )
+    return (sel, sel.size)
 
 
 def select_kth(
@@ -55,7 +121,7 @@ def select_kth(
     Parameters
     ----------
     machine:
-        The simulated machine ``data`` lives on.
+        The machine ``data`` lives on.
     data:
         Distributed input; chunks need not be sorted or balanced.
     k:
@@ -82,74 +148,66 @@ def select_kth(
     if base_case is None:
         base_case = int(max(64, 4 * np.sqrt(p)))
 
-    chunks = [np.asarray(c) for c in data.chunks]
+    cur = data
+    sizes = data.sizes()
     rounds = 0
     sample_total = 0
     # One all-reduction establishes the global size; afterwards every PE
     # updates n locally from the part counts it already received, so the
     # recursion pays a single collective per level instead of two.
-    sizes = np.array([c.size for c in chunks], dtype=np.int64)
     n = int(machine.allreduce(list(sizes), op="sum")[0])
     while True:
-        sizes = np.array([c.size for c in chunks], dtype=np.int64)
         if n <= base_case or rounds >= max_rounds:
-            value = _gather_base_case(machine, chunks, k)
+            value = _gather_base_case(machine, cur, k)
             if return_stats:
                 return SelectionStats(value, rounds, sample_total, n)
             return value
 
-        # Bernoulli sampling at rate sqrt(p)/n on every PE (Theorem 1)
+        # Bernoulli sampling at rate sqrt(p)/n on every PE (Theorem 1).
+        # Index draws stay in the driver (keeping machine.rngs exactly in
+        # step across backends); everything else -- sample extraction,
+        # the sample-union allgather (expected O(sqrt(p)) words per PE,
+        # O(alpha log p) startups; the "fast inefficient sorting" of
+        # Section 2 sorts the replicated union locally), pivot picking,
+        # the three-way partition and the two-word count all-reduction --
+        # runs inside the workers as ONE SPMD step per level.
         rho = min(1.0, sample_factor * np.sqrt(p) / n)
-        local_samples = [
-            bernoulli_sample(machine.rngs[i], chunks[i], rho) for i in range(p)
-        ]
-        machine.charge_ops([max(1.0, rho * s) for s in sizes])
-
-        # Share the sample: expected O(sqrt(p)) words per PE, O(alpha log p)
-        # startups (the "fast inefficient sorting" of Section 2 sorts the
-        # replicated sample locally after an all-gather).
-        gathered = machine.allgather(local_samples)[0]
-        sample = np.concatenate([s for s in gathered if s.size]) if any(
-            s.size for s in gathered
-        ) else np.empty(0, dtype=chunks[0].dtype if chunks else np.float64)
-        if sample.size == 0:
+        idx = cur._bernoulli_indices(rho)  # draws + sampling charge
+        part_refs, vals = machine.backend.run_spmd(
+            _selection_round_kernel,
+            [cur._ensure_ref()],
+            n_out=3,
+            args=[(idx[i], k, n) for i in range(p)],
+        )
+        # re-play the model from the small returned values, in the same
+        # order a step-by-step driver would have charged it
+        machine._meter_allgather(words=[v[0] for v in vals])
+        s_total = int(vals[0][1])
+        if s_total == 0:
+            cur = DistArray(machine, ref=part_refs[0], sizes=sizes, dtype=cur.dtype)
             rounds += 1
             continue
-        sample = np.sort(sample)
-        machine.charge_ops(sample.size * np.log2(max(sample.size, 2)))
-        sample_total += int(sample.size)
-
-        from .sequential import fr_pivots
-
-        lo_p, hi_p = fr_pivots(sample, k, n)
-
-        # Local three-way partition (one pass over the slice)
-        n_lo = np.zeros(p, dtype=np.int64)
-        n_mid = np.zeros(p, dtype=np.int64)
-        parts_lo, parts_mid, parts_hi = [], [], []
-        for i in range(p):
-            c = chunks[i]
-            below = c < lo_p
-            mid = (c >= lo_p) & (c <= hi_p)
-            parts_lo.append(c[below])
-            parts_mid.append(c[mid])
-            parts_hi.append(c[~below & ~mid])
-            n_lo[i] = parts_lo[-1].size
-            n_mid[i] = parts_mid[-1].size
+        machine.charge_ops(s_total * np.log2(max(s_total, 2)))
+        sample_total += s_total
         machine.charge_ops(sizes.astype(np.float64))
-
-        # One vector all-reduction delivers both counts (na, nb)
-        counts = machine.allreduce(
-            [np.array([n_lo[i], n_mid[i]], dtype=np.int64) for i in range(p)],
-            op="sum",
-        )[0]
-        na, nb = int(counts[0]), int(counts[1])
+        raw_counts = [
+            np.array([v[6], v[7]], dtype=np.int64) for v in vals
+        ]
+        machine._meter_allreduce(raw_counts)
+        n_lo = np.array([int(v[6]) for v in vals], dtype=np.int64)
+        n_mid = np.array([int(v[7]) for v in vals], dtype=np.int64)
+        lo_p, hi_p = vals[0][2], vals[0][3]
+        na, nb = int(vals[0][4]), int(vals[0][5])
 
         if na >= k:
-            chunks = parts_lo
+            cur = DistArray(machine, ref=part_refs[0], sizes=n_lo, dtype=cur.dtype)
+            sizes = n_lo
             n = na
         elif na + nb < k:
-            chunks = parts_hi
+            cur = DistArray(
+                machine, ref=part_refs[2], sizes=sizes - n_lo - n_mid, dtype=cur.dtype
+            )
+            sizes = sizes - n_lo - n_mid
             k -= na + nb
             n = n - na - nb
         else:
@@ -159,15 +217,16 @@ def select_kth(
                 if return_stats:
                     return SelectionStats(value, rounds + 1, sample_total, 0)
                 return value
-            chunks = parts_mid
+            cur = DistArray(machine, ref=part_refs[1], sizes=n_mid, dtype=cur.dtype)
+            sizes = n_mid
             k -= na
             n = nb
         rounds += 1
 
 
-def _gather_base_case(machine: Machine, chunks: list[np.ndarray], k: int):
+def _gather_base_case(machine: Machine, data: DistArray, k: int):
     """Gather the residual problem to PE 0, solve it, broadcast the result."""
-    gathered = machine.gather(chunks, root=0)[0]
+    gathered = machine.gather(data.chunks, root=0)[0]
     rest = np.concatenate([c for c in gathered if c.size])
     rest_sorted = np.sort(rest)
     machine.charge_ops_one(0, rest.size * np.log2(max(rest.size, 2)))
@@ -180,11 +239,11 @@ def select_topk_smallest(
 ) -> tuple[DistArray, float]:
     """Extract the k globally smallest elements, exactly.
 
-    Runs :func:`select_kth` to find the threshold, then cuts locally:
-    all elements strictly below the threshold are selected, and the
-    remaining quota of threshold-equal elements is granted in PE order
-    (a prefix-sum decides how many duplicates each PE keeps), so the
-    output size is exactly ``k`` regardless of ties.
+    Runs :func:`select_kth` to find the threshold, then cuts locally
+    inside the workers: all elements strictly below the threshold are
+    selected, and the remaining quota of threshold-equal elements is
+    granted in PE order (a prefix-sum decides how many duplicates each
+    PE keeps), so the output size is exactly ``k`` regardless of ties.
 
     Returns ``(selected, threshold)``; ``selected`` stays distributed --
     possibly unevenly, which Section 9's redistribution can fix.
@@ -193,27 +252,27 @@ def select_topk_smallest(
     k = check_rank(k, n)
     threshold = select_kth(machine, data, k, **kwargs)
     p = machine.p
-    below_counts = []
-    equal_counts = []
-    for c in data.chunks:
-        below_counts.append(int((c < threshold).sum()))
-        equal_counts.append(int((c == threshold).sum()))
+    counts = data.map_values(_below_equal_step, args=[(threshold,)] * p)
+    below_counts = [int(c[0]) for c in counts]
+    equal_counts = [int(c[1]) for c in counts]
     machine.charge_ops(data.sizes().astype(np.float64))
     # fused collective: below-threshold total and tie prefix in one schedule
     quota, eq_before = machine.tie_grant_prefix(below_counts, equal_counts, k)
-    out = []
-    for i, c in enumerate(data.chunks):
-        keep_eq = int(np.clip(quota - eq_before[i], 0, equal_counts[i]))
-        sel = np.concatenate([c[c < threshold], c[c == threshold][:keep_eq]])
-        out.append(sel)
-    return DistArray(machine, out), threshold
+    keep_eq = [
+        int(np.clip(quota - eq_before[i], 0, equal_counts[i])) for i in range(p)
+    ]
+    refs, sel_sizes, _ = data._map_resident(
+        _cut_step, n_out=1, args=[(threshold, keep_eq[i]) for i in range(p)]
+    )
+    out = DistArray(machine, ref=refs[0], sizes=sel_sizes, dtype=data.dtype)
+    return out, threshold
 
 
 def select_topk_largest(
     machine: Machine, data: DistArray, k: int, **kwargs
 ) -> tuple[DistArray, float]:
     """Extract the k globally largest elements, exactly (dual of
-    :func:`select_topk_smallest` via negation)."""
-    negated = DistArray(machine, [-np.asarray(c) for c in data.chunks])
-    sel, thr = select_topk_smallest(machine, negated, k, **kwargs)
-    return DistArray(machine, [-c for c in sel.chunks]), -thr
+    :func:`select_topk_smallest` via negation -- performed where the
+    chunks live)."""
+    sel, thr = select_topk_smallest(machine, data.negate(), k, **kwargs)
+    return sel.negate(), -thr

@@ -10,12 +10,23 @@ outputs: same values, same tie-breaks, same reported diagnostics.
 import numpy as np
 import pytest
 
-from repro.frequent import top_k_frequent_exact, top_k_frequent_pac
+from repro.frequent import (
+    top_k_frequent_ec,
+    top_k_frequent_ec_dsbf,
+    top_k_frequent_exact,
+    top_k_frequent_pac,
+    top_k_frequent_pec,
+)
 from repro.machine import DistArray, Machine
-from repro.selection import multi_select, select_kth, select_topk_smallest
+from repro.selection import (
+    multi_select,
+    select_kth,
+    select_topk_largest,
+    select_topk_smallest,
+)
 from repro.testing import make_dist, sorted_oracle
 
-PS = [1, 2, 4]
+PS = [1, 2, 4, 8]
 
 
 def _machines(p, seed):
@@ -60,6 +71,17 @@ class TestUnsortedSelectionParity:
             ks = [1, 50, d_sim.global_size // 2, d_sim.global_size]
             assert multi_select(sim, d_sim, ks) == multi_select(real, d_real, ks)
 
+    def test_select_topk_largest(self, p):
+        sim, real = _machines(p, seed=21)
+        with real:
+            d_sim, d_real = _data(sim, 4), _data(real, 4)
+            s_sel, s_thr = select_topk_largest(sim, d_sim, 77)
+            r_sel, r_thr = select_topk_largest(real, d_real, 77)
+        assert s_thr == r_thr
+        for cs, cr in zip(s_sel.chunks, r_sel.chunks):
+            np.testing.assert_array_equal(cs, cr)
+        assert r_sel.global_size == 77
+
 
 @pytest.mark.parametrize("p", PS)
 class TestFrequentObjectsParity:
@@ -86,6 +108,50 @@ class TestFrequentObjectsParity:
             res_sim = top_k_frequent_exact(sim, keys_sim, 5)
             res_real = top_k_frequent_exact(real, keys_real, 5)
         assert res_sim.items == res_real.items
+
+    def test_ec_pipeline(self, p):
+        sim, real = _machines(p, seed=22)
+        with real:
+            keys_sim = DistArray.generate(sim, lambda r, g: g.integers(0, 256, 3_000))
+            keys_real = DistArray.generate(real, lambda r, g: g.integers(0, 256, 3_000))
+            res_sim = top_k_frequent_ec(sim, keys_sim, 8, eps=5e-2, delta=1e-3)
+            res_real = top_k_frequent_ec(real, keys_real, 8, eps=5e-2, delta=1e-3)
+        assert res_sim.items == res_real.items
+        assert res_sim.sample_size == res_real.sample_size
+        assert res_sim.k_star == res_real.k_star
+
+    def test_pec_pipeline(self, p):
+        sim, real = _machines(p, seed=23)
+        with real:
+            keys_sim = DistArray.generate(sim, lambda r, g: g.integers(0, 128, 2_000))
+            keys_real = DistArray.generate(real, lambda r, g: g.integers(0, 128, 2_000))
+            res_sim = top_k_frequent_pec(sim, keys_sim, 6, delta=1e-3)
+            res_real = top_k_frequent_pec(real, keys_real, 6, delta=1e-3)
+        assert res_sim.items == res_real.items
+        assert res_sim.sample_size == res_real.sample_size
+        assert res_sim.info == res_real.info
+
+    def test_ec_dsbf_pipeline(self, p):
+        sim, real = _machines(p, seed=24)
+        with real:
+            keys_sim = DistArray.generate(sim, lambda r, g: g.integers(0, 256, 2_000))
+            keys_real = DistArray.generate(real, lambda r, g: g.integers(0, 256, 2_000))
+            res_sim = top_k_frequent_ec_dsbf(sim, keys_sim, 6, eps=5e-2, delta=1e-3)
+            res_real = top_k_frequent_ec_dsbf(real, keys_real, 6, eps=5e-2, delta=1e-3)
+        assert res_sim.items == res_real.items
+        assert res_sim.sample_size == res_real.sample_size
+
+    def test_modeled_cost_is_backend_independent(self, p):
+        """The control plane must charge identically on both backends."""
+        sim, real = _machines(p, seed=25)
+        with real:
+            d_sim, d_real = _data(sim, 5), _data(real, 5)
+            sim.reset(), real.reset()
+            select_topk_smallest(sim, d_sim, 99)
+            select_topk_smallest(real, d_real, 99)
+        assert sim.clock.makespan == real.clock.makespan
+        assert sim.metrics.bottleneck_words == real.metrics.bottleneck_words
+        assert sim.metrics.bottleneck_startups == real.metrics.bottleneck_startups
 
 
 @pytest.mark.parametrize("p", PS)

@@ -1,0 +1,228 @@
+"""Unit tests: the resident-chunk SPMD execution path.
+
+DistArray chunks are pinned behind opaque handles in the execution
+backend; per-PE callbacks run where the data lives and only small
+values travel.  These tests cover the backend protocol (put/get/free,
+``map_resident`` with fused value collectives, generator ``run_spmd``),
+the DistArray surface on top of it, the driver fallback for unpicklable
+callbacks, and the lifecycle guarantees (salvage at close, idempotent
+close, atexit guard registration).
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import ChunkRef, DistArray, Machine
+
+BACKENDS = ["sim", "mp"]
+
+
+def _chunk_step(rank, chunk):
+    return (chunk * 2, chunk.sum())
+
+
+def _value_step(rank, chunk, offset):
+    return int(chunk.sum()) + offset
+
+
+def _split_step(rank, chunk, pivot):
+    lo, hi = chunk[chunk < pivot], chunk[chunk >= pivot]
+    return lo, hi, (lo.size, hi.size)
+
+
+def _spmd_kernel(rank, chunk, scale):
+    total = yield ("allreduce", int(chunk.sum()), "sum")
+    gathered = yield ("allgather", rank * scale)
+    return (chunk + total, (total, tuple(gathered)))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBackendResidentProtocol:
+    def _machine(self, backend, p=3):
+        return Machine(p=p, seed=11, backend=backend)
+
+    def test_put_get_roundtrip(self, backend):
+        with self._machine(backend) as m:
+            chunks = [np.arange(i + 2) for i in range(3)]
+            ref = m.backend.put_chunks(chunks)
+            assert isinstance(ref, ChunkRef)
+            out = m.backend.get_chunks(ref)
+            for a, b in zip(chunks, out):
+                np.testing.assert_array_equal(a, b)
+
+    def test_map_resident_values_only(self, backend):
+        with self._machine(backend) as m:
+            ref = m.backend.put_chunks([np.full(4, i) for i in range(3)])
+            _, values, collected = m.backend.map_resident(
+                _value_step, [ref], 0, args=[(10,), (20,), (30,)]
+            )
+            assert values == [10, 24, 38]
+            assert collected is None
+
+    def test_map_resident_with_outputs(self, backend):
+        with self._machine(backend) as m:
+            ref = m.backend.put_chunks([np.arange(6) for _ in range(3)])
+            out_refs, values, _ = m.backend.map_resident(
+                _split_step, [ref], 2, args=[(3,)] * 3
+            )
+            assert values == [(3, 3)] * 3
+            lo = m.backend.get_chunks(out_refs[0])
+            hi = m.backend.get_chunks(out_refs[1])
+            for c in lo:
+                np.testing.assert_array_equal(c, [0, 1, 2])
+            for c in hi:
+                np.testing.assert_array_equal(c, [3, 4, 5])
+
+    def test_map_resident_fused_collect(self, backend):
+        with self._machine(backend) as m:
+            ref = m.backend.put_chunks([np.full(2, i + 1) for i in range(3)])
+            _, values, gathered = m.backend.map_resident(
+                _value_step, [ref], 0, args=[(0,)] * 3, collect=("allgather",)
+            )
+            assert values == [2, 4, 6]
+            assert gathered == [[2, 4, 6]] * 3
+            _, values, totals = m.backend.map_resident(
+                _value_step, [ref], 0, args=[(0,)] * 3, collect=("allreduce", "sum")
+            )
+            assert totals == [12] * 3
+
+    def test_run_spmd_generator(self, backend):
+        with self._machine(backend) as m:
+            ref = m.backend.put_chunks([np.full(2, i) for i in range(3)])
+            out_refs, values = m.backend.run_spmd(
+                _spmd_kernel, [ref], n_out=1, args=[(2,)] * 3
+            )
+            # allreduce of chunk sums 0+2+4 = 6; allgather of rank*2
+            assert values == [(6, (0, 2, 4))] * 3
+            out = m.backend.get_chunks(out_refs[0])
+            for rank, c in enumerate(out):
+                np.testing.assert_array_equal(c, np.full(2, rank) + 6)
+
+    def test_free_reclaims_slots(self, backend):
+        import gc
+
+        with self._machine(backend) as m:
+            ref = m.backend.put_chunks([np.arange(3)] * 3)
+            ref_id = ref.id
+            del ref
+            gc.collect()
+            # sim frees immediately; mp piggybacks on the next command
+            m.allreduce([1, 1, 1])
+            if m.backend.is_real:
+                stats = m.backend._run(("stats",), [None] * 3)
+                assert all(s["resident"] == 0 for s in stats)
+            else:
+                assert ref_id not in m.backend._store
+
+
+class TestUnpicklableFallback:
+    def test_mp_map_resident_falls_back(self):
+        bias = 7  # closure -> unpicklable callback
+        with Machine(p=2, seed=12, backend="mp") as m:
+            ref = m.backend.put_chunks([np.arange(3), np.arange(3) + 1])
+            out_refs, values, gathered = m.backend.map_resident(
+                lambda rank, c: (int(c.sum()) + bias),
+                [ref], 0, collect=("allgather",),
+            )
+            assert values == [10, 13]
+            assert gathered == [[10, 13]] * 2
+
+    def test_mp_run_spmd_falls_back(self):
+        scale = 3
+
+        def kernel(rank, chunk):
+            total = yield ("allreduce", rank * scale, "sum")
+            return total
+
+        with Machine(p=2, seed=12, backend="mp") as m:
+            ref = m.backend.put_chunks([np.arange(2)] * 2)
+            _, values = m.backend.run_spmd(kernel, [ref])
+            assert values == [3, 3]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestDistArrayResident:
+    def test_chunks_property_fetches(self, backend):
+        with Machine(p=2, seed=13, backend=backend) as m:
+            da = DistArray(m, [np.array([3, 1]), np.array([2, 5])])
+            sorted_da = da.sort_local()
+            np.testing.assert_array_equal(sorted_da.chunks[0], [1, 3])
+            np.testing.assert_array_equal(sorted_da.chunks[1], [2, 5])
+            assert list(sorted_da.sizes()) == [2, 2]
+
+    def test_negate_roundtrip(self, backend):
+        with Machine(p=2, seed=13, backend=backend) as m:
+            da = DistArray(m, [np.array([1, -2]), np.array([0, 4])])
+            neg = da.negate()
+            np.testing.assert_array_equal(neg.concat(), [-1, 2, 0, -4])
+            assert neg.dtype == da.dtype
+
+    def test_map_values_and_collect(self, backend):
+        with Machine(p=2, seed=13, backend=backend) as m:
+            da = DistArray(m, [np.arange(4), np.arange(4) + 10])
+            values = da.map_values(_value_step, args=[(0,), (0,)])
+            assert values == [6, 46]
+            raw, collected = da.map_collect(_value_step, args=[(0,), (0,)])
+            assert raw == [6, 46] and collected[0] == [6, 46]
+            raw, totals = da.map_collect(_value_step, args=[(0,), (0,)], op="sum")
+            assert totals[0] == 52
+
+    def test_sizes_never_fetch(self, backend):
+        with Machine(p=2, seed=13, backend=backend) as m:
+            da = DistArray.from_global(m, np.arange(10))
+            out = da.map_chunks(lambda r, c: c[c % 2 == 0])
+            # sizes are tracked driver-side even for resident outputs
+            assert int(out.sizes().sum()) == out.global_size == 5
+
+    def test_bernoulli_sample_matches_driver_draws(self, backend):
+        ref_m = Machine(p=2, seed=14)  # reference stream
+        from repro.common.sampling import bernoulli_sample
+
+        with Machine(p=2, seed=14, backend=backend) as m:
+            chunks = [np.arange(100), np.arange(100, 200)]
+            da = DistArray(m, chunks)
+            samples = da.bernoulli_sample_local(0.2)
+            expected = [
+                bernoulli_sample(ref_m.rngs[i], chunks[i], 0.2) for i in range(2)
+            ]
+            for s, e in zip(samples, expected):
+                np.testing.assert_array_equal(s, e)
+
+
+class TestLifecycle:
+    def test_results_readable_after_close(self):
+        with Machine(p=2, seed=15, backend="mp") as m:
+            da = DistArray(m, [np.array([3, 1, 2]), np.array([9, 7, 8])])
+            out = da.sort_local()
+        # the worker pool is gone; salvage must keep the handle readable
+        np.testing.assert_array_equal(out.chunks[0], [1, 2, 3])
+        np.testing.assert_array_equal(out.chunks[1], [7, 8, 9])
+
+    def test_machine_context_manager_closes_backend(self):
+        with Machine(p=2, seed=15, backend="mp") as m:
+            m.allreduce([1, 2])
+        assert m.backend.closed
+
+    def test_close_idempotent_even_before_start(self):
+        m = Machine(p=2, seed=15, backend="mp")
+        m.close()
+        m.close()
+        assert m.backend.closed
+
+    def test_atexit_guard_tracks_started_pools(self):
+        import repro.machine.backends.mp as mp_mod
+
+        with Machine(p=2, seed=15, backend="mp") as m:
+            m.allreduce([1, 2])
+            assert m.backend in mp_mod._LIVE_POOLS
+            assert mp_mod._ATEXIT_REGISTERED
+        assert m.backend not in mp_mod._LIVE_POOLS
+
+    def test_leaked_pool_closed_by_guard(self):
+        import repro.machine.backends.mp as mp_mod
+
+        m = Machine(p=2, seed=15, backend="mp")
+        m.allreduce([1, 2])
+        assert m.backend in mp_mod._LIVE_POOLS
+        mp_mod._close_leaked_pools()
+        assert m.backend.closed
