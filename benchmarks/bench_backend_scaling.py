@@ -1,8 +1,10 @@
 #!/usr/bin/env python
 """Backend scaling: sim-modeled vs mp wall-clock across p.
 
-Runs the Figure-6 unsorted-selection sweep and the collectives
-micro-benchmark on both execution backends and records, per ``p``:
+Runs the Figure-6 unsorted-selection sweep, the resident-subsystem
+workloads (multiselection, redistribution, bulk priority queue) and the
+collectives micro-benchmark on both execution backends and records,
+per ``p``:
 
 * ``time_s`` -- the modeled alpha-beta makespan (backend-independent,
   asserted equal across backends),
@@ -10,7 +12,9 @@ micro-benchmark on both execution backends and records, per ``p``:
 * ``backend_wall_s`` -- real seconds inside the backend data plane
   (IPC + in-worker execution for ``mp``),
 * ``worker_msgs`` -- total worker-exchange messages (the O(p log p)
-  quantity the resident-chunk refactor bounds).
+  quantity the resident-chunk refactor bounds),
+* ``driver_sends`` -- driver command-channel writes per collective (the
+  O(1) the broadcast command channel bounds; p direct sends before it).
 
 Results are appended-as-written to ``results/BENCH_backend_scaling.json``
 so the perf trajectory accumulates across PRs; each invocation stores
@@ -31,11 +35,24 @@ import pathlib
 import platform
 import time
 
+import numpy as np
+
 from repro.bench import experiments as E
-from repro.machine import Machine
+from repro.machine import DistArray, Machine
+from repro.pqueue import BulkParallelPQ
+from repro.redistribution import redistribute
+from repro.selection import multi_select
 
 RESULTS = pathlib.Path(__file__).parent / "results"
 OUT = RESULTS / "BENCH_backend_scaling.json"
+
+#: experiments whose modeled time must be identical across backends
+_PARITY_EXPERIMENTS = (
+    "fig6_unsorted_selection",
+    "multi_select",
+    "redistribution",
+    "pqueue",
+)
 
 
 def _selection_rows(p_list, n_per_pe, ks, backend):
@@ -57,8 +74,72 @@ def _selection_rows(p_list, n_per_pe, ks, backend):
     ]
 
 
+def _resident_rows(p_list, n_per_pe, backend):
+    """The PR-3 resident subsystems: one row per (workload, p)."""
+    rows = []
+    for p in p_list:
+        # -- multiselection: shared recursion, one worker command/level
+        with Machine(p=p, seed=61, backend=backend) as m:
+            data = DistArray.generate(
+                m, lambda r, g: g.integers(0, 1 << 20, n_per_pe)
+            )
+            m.reset()
+            n = data.global_size
+            ks = sorted({1, n // 16, n // 4, n // 2, 3 * n // 4, n})
+            t0 = time.perf_counter()
+            multi_select(m, data, ks)
+            wall = time.perf_counter() - t0
+            rep = m.report()
+        rows.append(_row("multi_select", f"{len(ks)} ranks", rep, p, n_per_pe, wall))
+
+        # -- redistribution: skewed layout, worker-to-worker transfers
+        with Machine(p=p, seed=62, backend=backend) as m:
+            rng = np.random.default_rng(62)
+            sizes = [6 * n_per_pe] + [n_per_pe // 4] * (p - 1)
+            data = DistArray(
+                m,
+                [rng.integers(0, 10**6, s).astype(np.int64) for s in sizes],
+                resident=m.backend.is_real,
+            )
+            m.reset()
+            t0 = time.perf_counter()
+            redistribute(m, data)
+            wall = time.perf_counter() - t0
+            rep = m.report()
+        rows.append(_row("redistribution", "adaptive", rep, p, n_per_pe, wall))
+
+        # -- bulk priority queue: insert/deleteMin cycles on resident trees
+        with Machine(p=p, seed=63, backend=backend) as m:
+            pq = BulkParallelPQ(m)
+            rng = np.random.default_rng(63)
+            per_pe = max(200, n_per_pe // 32)
+            m.reset()
+            t0 = time.perf_counter()
+            for _ in range(3):
+                pq.insert([list(rng.random(per_pe)) for _ in range(p)])
+                pq.delete_min(max(1, per_pe * p // 2))
+            wall = time.perf_counter() - t0
+            rep = m.report()
+        rows.append(_row("pqueue", "insert+deleteMin x3", rep, p, per_pe, wall))
+    return rows
+
+
+def _row(experiment, algorithm, rep, p, n_per_pe, wall):
+    return {
+        "experiment": experiment,
+        "algorithm": algorithm,
+        "backend": rep.backend,
+        "p": p,
+        "n_per_pe": n_per_pe,
+        "time_s": rep.makespan,
+        "wall_s": wall,
+        "backend_wall_s": rep.backend_wall_s,
+    }
+
+
 def _collective_msgs(p_list):
-    """Worker message counts per collective (the O(p log p) evidence)."""
+    """Worker message counts per collective (the O(p log p) evidence)
+    plus the driver command fan-out (the O(1) evidence)."""
     out = []
     for p in p_list:
         if p < 2:
@@ -74,9 +155,11 @@ def _collective_msgs(p_list):
                 )),
             ]:
                 before = sum(m.backend.worker_message_counts())
+                sends0 = m.backend.driver_sends
                 t0 = time.perf_counter()
                 fn()
                 wall = time.perf_counter() - t0
+                driver_sends = m.backend.driver_sends - sends0
                 msgs = sum(m.backend.worker_message_counts()) - before
                 out.append(
                     {
@@ -86,6 +169,7 @@ def _collective_msgs(p_list):
                         "p": p,
                         "worker_msgs": msgs,
                         "direct_msgs": p * (p - 1),
+                        "driver_sends": driver_sends,
                         "wall_s": wall,
                     }
                 )
@@ -109,18 +193,23 @@ def main(argv=None) -> int:
     rows = []
     for backend in ("sim", "mp"):
         rows += _selection_rows(tuple(p_list), n_per_pe, ks, backend)
+        rows += _resident_rows(p_list, n_per_pe, backend)
     rows += _collective_msgs(p_list)
 
     # modeled time must be backend-independent, wall-clock is the story
     by_key = {}
     for r in rows:
-        if r["experiment"] != "fig6_unsorted_selection":
+        if r["experiment"] not in _PARITY_EXPERIMENTS:
             continue
-        key = (r["algorithm"], r["p"])
+        key = (r["experiment"], r["algorithm"], r["p"])
         by_key.setdefault(key, {})[r["backend"]] = r
     for key, pair in by_key.items():
         if {"sim", "mp"} <= set(pair):
             assert pair["sim"]["time_s"] == pair["mp"]["time_s"], key
+    # the broadcast command channel: O(1) driver sends per collective
+    for r in rows:
+        if r["experiment"] == "collectives":
+            assert r["driver_sends"] == 1, r
 
     run = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -139,12 +228,13 @@ def main(argv=None) -> int:
     history.setdefault("runs", []).append(run)
     args.out.write_text(json.dumps(history, indent=2) + "\n")
 
-    print(f"{'experiment':26s} {'algorithm':16s} {'backend':7s} {'p':>3s} "
-          f"{'time_s':>10s} {'wall_s':>8s} {'msgs':>6s}")
+    print(f"{'experiment':26s} {'algorithm':20s} {'backend':7s} {'p':>3s} "
+          f"{'time_s':>10s} {'wall_s':>8s} {'msgs':>6s} {'sends':>5s}")
     for r in rows:
-        print(f"{r['experiment']:26s} {r['algorithm']:16s} {r['backend']:7s} "
+        print(f"{r['experiment']:26s} {r['algorithm']:20s} {r['backend']:7s} "
               f"{r['p']:3d} {r.get('time_s', float('nan')):10.3e} "
-              f"{r.get('wall_s', 0.0):8.4f} {r.get('worker_msgs', ''):>6}")
+              f"{r.get('wall_s', 0.0):8.4f} {r.get('worker_msgs', ''):>6} "
+              f"{r.get('driver_sends', ''):>5}")
     print(f"\nwrote {args.out} ({len(history['runs'])} accumulated runs)")
     return 0
 

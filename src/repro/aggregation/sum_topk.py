@@ -35,6 +35,7 @@ import numpy as np
 from ..common.sampling import weighted_sample_counts
 from ..common.validation import check_probability
 from ..machine import DistArray, Machine
+from ..machine.rngstate import restore_rng, rng_from_state, rng_state
 from ..frequent.dht import take_topk_entries
 from ..common.hashing import make_owner_fn
 
@@ -48,8 +49,70 @@ __all__ = [
 ]
 
 
+class _SumAggState:
+    """Per-PE resident state: the raw (key, value) pairs plus a cached
+    key -> local-sum aggregation table (built on first use, next to the
+    data; the EC variant reuses it for its exact-sum lookups, the
+    Section 8.2 "no second input scan" remark)."""
+
+    __slots__ = ("keys", "values", "agg")
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray):
+        self.keys = keys
+        self.values = values
+        self.agg: tuple | None = None
+
+    def aggregate(self) -> tuple[tuple[np.ndarray, np.ndarray], bool]:
+        """Key -> local-sum table; returns ``(table, computed_now)``."""
+        if self.agg is not None:
+            return self.agg, False
+        if self.keys.size == 0:
+            self.agg = (np.empty(0, dtype=np.int64), np.empty(0))
+        else:
+            uniq, inverse = np.unique(self.keys, return_inverse=True)
+            sums = np.zeros(uniq.size)
+            np.add.at(sums, inverse, self.values)
+            self.agg = (uniq, sums)
+        return self.agg, True
+
+
+def _sample_step(rank: int, state: _SumAggState, v_avg: float, rstate):
+    """Stages 1-2, resident: aggregate (cached) + value-weighted sample.
+
+    Only the small sample dict, counts and the advanced rng state
+    return; the pairs and the aggregation table stay with the worker.
+    """
+    (uniq, sums), fresh = state.aggregate()
+    if uniq.size == 0:
+        return ({}, 0, 0, fresh, None)
+    gen = rng_from_state(rstate)
+    counts = weighted_sample_counts(gen, sums, v_avg)
+    nz = counts > 0
+    sample = {int(key): int(c) for key, c in zip(uniq[nz], counts[nz])}
+    return (sample, int(counts.sum()), int(uniq.size), fresh, rng_state(gen))
+
+
+def _exact_lookup_step(rank: int, state: _SumAggState, cand_keys: np.ndarray):
+    """EC stage 4, resident: one table lookup per candidate key."""
+    (uniq, sums), fresh = state.aggregate()
+    pos = np.searchsorted(uniq, cand_keys)
+    pos = np.clip(pos, 0, max(uniq.size - 1, 0))
+    if uniq.size:
+        hit = uniq[pos] == cand_keys
+        vals = np.where(hit, sums[pos], 0.0)
+    else:
+        vals = np.zeros(len(cand_keys))
+    return (vals, int(uniq.size), fresh)
+
+
 class DistKeyValue:
-    """Distributed (key, value) pairs: one key chunk + value chunk per PE."""
+    """Distributed (key, value) pairs: one key chunk + value chunk per PE.
+
+    The chunks are pinned resident in the machine's execution backend on
+    first use; the sum-aggregation pipelines aggregate, sample and look
+    up exact sums *where the pairs live* and only key -> count summaries
+    travel.
+    """
 
     def __init__(self, machine: Machine, keys, values):
         if len(keys) != machine.p or len(values) != machine.p:
@@ -62,6 +125,15 @@ class DistKeyValue:
                 raise ValueError(f"chunk {i}: keys and values differ in length")
             if np.any(val_c < 0):
                 raise ValueError(f"chunk {i}: sum aggregation needs non-negative values")
+        self._ref = None
+
+    def _ensure_ref(self):
+        """Pin the per-PE state in the backend (no-op if already done)."""
+        if self._ref is None:
+            self._ref = self.machine.backend.put_chunks(
+                [_SumAggState(k, v) for k, v in zip(self.keys, self.values)]
+            )
+        return self._ref
 
     @classmethod
     def generate(cls, machine: Machine, make_chunk) -> "DistKeyValue":
@@ -121,22 +193,32 @@ def _safe_v_avg(m_total: float, s: float) -> float:
 
 
 def _sample_to_dht(machine: Machine, data: DistKeyValue, v_avg: float):
-    """Stages 1-3: aggregate, value-weighted sample, DHT count."""
+    """Stages 1-3: aggregate, value-weighted sample, DHT count.
+
+    Aggregation and sampling run as a resident callback next to the
+    pairs; the per-PE random streams travel by state pass-through so
+    the draw sequence is exactly the driver-side one on every backend.
+    """
+    p = machine.p
+    _, vals, _ = machine.backend.map_resident(
+        _sample_step,
+        [data._ensure_ref()],
+        n_out=0,
+        args=[(v_avg, rng_state(machine.rngs[i])) for i in range(p)],
+    )
     sample_dicts = []
     realized = 0
-    for i in range(machine.p):
-        uniq, sums = data.local_aggregate(i)
-        if uniq.size == 0:
-            sample_dicts.append({})
-            continue
-        counts = weighted_sample_counts(machine.rngs[i], sums, v_avg)
-        machine.charge_ops_one(i, uniq.size)
-        nz = counts > 0
-        sample_dicts.append(
-            {int(key): int(c) for key, c in zip(uniq[nz], counts[nz])}
-        )
-        realized += int(counts.sum())
-    owner = make_owner_fn(machine.p)
+    for i, (sample, real_i, uniq_size, fresh, rstate) in enumerate(vals):
+        if fresh:  # the aggregation table was built in this pass
+            ks = int(data.keys[i].size)
+            if ks:
+                machine.charge_ops_one(i, ks * np.log2(max(ks, 2)))
+        if rstate is not None:
+            restore_rng(machine.rngs[i], rstate)
+            machine.charge_ops_one(i, uniq_size)
+        sample_dicts.append(sample)
+        realized += real_i
+    owner = make_owner_fn(p)
     routed = machine.aggregate_exchange(sample_dicts, owner)
     return routed, realized
 
@@ -211,18 +293,21 @@ def top_k_sums_ec(
         return SumAggResult((), True, v_avg, realized, k_star, {})
     cand_keys = np.array([key for key, _ in candidates], dtype=np.int64)
 
-    # exact sums from the local aggregation tables (one lookup per key)
+    # exact sums from the resident aggregation tables (one lookup per
+    # key, answered where the pairs live -- no second input scan)
+    _, lookups, _ = machine.backend.map_resident(
+        _exact_lookup_step,
+        [data._ensure_ref()],
+        n_out=0,
+        args=[(cand_keys,)] * p,
+    )
     per_pe = []
-    for i in range(p):
-        uniq, sums = data.local_aggregate(i)
-        pos = np.searchsorted(uniq, cand_keys)
-        pos = np.clip(pos, 0, max(uniq.size - 1, 0))
-        if uniq.size:
-            hit = uniq[pos] == cand_keys
-            vals = np.where(hit, sums[pos], 0.0)
-        else:
-            vals = np.zeros(len(cand_keys))
-        machine.charge_ops_one(i, max(1.0, len(cand_keys) * np.log2(max(uniq.size, 2))))
+    for i, (vals, uniq_size, fresh) in enumerate(lookups):
+        if fresh:  # only if the sampling pass never built the table
+            ks = int(data.keys[i].size)
+            if ks:
+                machine.charge_ops_one(i, ks * np.log2(max(ks, 2)))
+        machine.charge_ops_one(i, max(1.0, len(cand_keys) * np.log2(max(uniq_size, 2))))
         per_pe.append(vals)
     exact = np.asarray(machine.allreduce(per_pe, op="sum")[0])
     order = np.lexsort((cand_keys, -exact))

@@ -227,6 +227,7 @@ class Backend(abc.ABC):
             gathered = yield ("allgather", sample)
             ...
             totals = yield ("allreduce", counts, "sum")
+            received = yield ("alltoall", row)  # row[j] -> PE j
             return part_a, part_b, value        # n_out chunks + a value
 
         Every rank must issue the identical yield sequence (standard
@@ -329,6 +330,32 @@ def spmd_collective(requests: Sequence[tuple]) -> object:
         total = tree_reduce_order(payloads, op)
         inc = inclusive_scan(payloads, op)
         return [(total, initial if i == 0 else inc[i - 1]) for i in range(len(requests))]
+    if kind == "alltoall":
+        p = len(requests)
+        return [[payloads[i][j] for i in range(p)] for j in range(p)]
+    if kind == "sendrecv":
+        # Sparse personalized exchange: rank i yields ("sendrecv", row,
+        # srcs) where row[j] is its payload for j (None = no message)
+        # and srcs lists the ranks it expects messages from (driver-
+        # derived, so real backends can deliver directly in one hop
+        # without a discovery round).  Result: row indexed by source.
+        # The declared srcs must match the non-None row entries exactly
+        # -- a mismatch would silently drop or indefinitely await a
+        # message on a real backend, so the reference path fails loudly.
+        p = len(requests)
+        out: list[list] = []
+        for j in range(p):
+            declared = set(requests[j][2])
+            actual = {i for i in range(p) if i != j and payloads[i][j] is not None}
+            if declared - {j} != actual:
+                raise ValueError(
+                    f"sendrecv mismatch at rank {j}: declared senders "
+                    f"{sorted(declared)} but actual senders {sorted(actual)}"
+                )
+            out.append(
+                [payloads[i][j] if (i == j or i in declared) else None for i in range(p)]
+            )
+        return out
     raise ValueError(f"unknown SPMD collective {kind!r}")
 
 

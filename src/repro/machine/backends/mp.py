@@ -25,12 +25,20 @@ paths (integer counts, the package-wide case, stay bit-identical).
 
 Wire protocol
 -------------
-The driver sends every worker one command per operation, tagged with a
-monotonically increasing sequence number; workers exchange peer
-messages tagged with the same number (plus a per-schedule round tag)
-and stash anything that arrives early, so fast workers can run ahead
-without confusing slow ones.  Worker-to-worker exchanges follow
-logarithmic schedules instead of direct O(p^2) delivery:
+The driver issues one command per operation, tagged with a monotonically
+increasing sequence number.  Full-pool commands ride the **broadcast
+command channel**: the driver writes a single frame (spec + the per-PE
+locals map) to rank 0's inbox and the workers fan it out along the
+binomial tree, each forwarding its children their subtree's slice of
+the locals -- O(1) driver sends (:attr:`MultiprocessingBackend.
+driver_sends`) and exactly ``p - 1`` worker forwards
+(:meth:`MultiprocessingBackend.command_fanout_counts`) instead of ``p``
+serialized driver writes.  Partial-participant commands (``p2p``) keep
+the direct per-worker path.  Workers exchange peer messages tagged with
+the same sequence number (plus a per-schedule round tag) and stash
+anything that arrives early, so fast workers can run ahead without
+confusing slow ones.  Worker-to-worker exchanges follow logarithmic
+schedules instead of direct O(p^2) delivery:
 
 * rooted collectives (broadcast, reduce, gather, scatter) walk a
   binomial tree -- ``p - 1`` messages, ``log p`` depth;
@@ -246,7 +254,7 @@ class _Comm:
                 item = self.inboxes[self.rank].get(timeout=0)
             except queue_mod.Empty:
                 return
-            if item[0] == "cmd":
+            if item[0] != "msg":
                 self.backlog.append(item)
             else:
                 _, mseq, mtag, msrc, payload = item
@@ -258,7 +266,7 @@ class _Comm:
             return self.stash.pop(key)
         while True:
             item = self.inboxes[self.rank].get(timeout=_TIMEOUT)
-            if item[0] == "cmd":
+            if item[0] != "msg":
                 self.backlog.append(item)
                 continue
             _, mseq, mtag, msrc, payload = item
@@ -341,6 +349,28 @@ def _run_spmd_step(comm: _Comm, gen):
         req = gen.send(None)
         while True:
             kind = req[0]
+            if kind == "alltoall":
+                res = _bruck_alltoall(comm, list(req[1]), tag_base)
+                tag_base += 32
+                req = gen.send(res)
+                continue
+            if kind == "sendrecv":
+                # sparse direct exchange: payloads travel exactly one
+                # hop (the plan's p2p schedule), message count = number
+                # of non-empty pairs; the expected-sender lists come
+                # from the driver so no discovery round is needed
+                row, srcs = list(req[1]), req[2]
+                for dst, payload in enumerate(row):
+                    if dst != comm.rank and payload is not None:
+                        comm.send(dst, tag_base, payload)
+                res = [None] * comm.p
+                res[comm.rank] = row[comm.rank]
+                for src in srcs:
+                    if src != comm.rank:
+                        res[src] = comm.recv(src, tag_base)
+                tag_base += 32
+                req = gen.send(res)
+                continue
             gathered = _tree_allgather(comm, req[1], tag_base)
             tag_base += 32
             if kind == "allgather":
@@ -361,7 +391,7 @@ def _run_spmd_step(comm: _Comm, gen):
         return stop.value
 
 
-def _bruck_alltoall(comm: _Comm, row) -> list:
+def _bruck_alltoall(comm: _Comm, row, tag_base: int = 20) -> list:
     """Store-and-forward personalized exchange along the dissemination
     hop sequence: each payload travels the binary decomposition of its
     rank offset, p * ceil(log2 p) messages total."""
@@ -374,8 +404,8 @@ def _bruck_alltoall(comm: _Comm, row) -> list:
         src = (rank - hop) % p
         moving = [(s, d - hop, v) for s, d, v in pending if d & hop]
         pending = [e for e in pending if not (e[1] & hop)]
-        comm.send(dst, 20 + tag, moving)
-        for s, d, v in comm.recv(src, 20 + tag):
+        comm.send(dst, tag_base + tag, moving)
+        for s, d, v in comm.recv(src, tag_base + tag):
             if d == 0:
                 delivered[s] = v
             else:
@@ -443,7 +473,11 @@ def _execute(comm: _Comm, spec, local, store):
             return res[len(out_ids)]
         return res
     if kind == "stats":
-        return {"msgs": comm.counters["msgs"], "resident": len(store)}
+        return {
+            "msgs": comm.counters["msgs"],
+            "cmd_fwd": comm.counters["cmd_fwd"],
+            "resident": len(store),
+        }
     if kind == "map":
         fn = pickle.loads(spec[1])
         return fn(rank, local)
@@ -494,7 +528,12 @@ def _worker_main(rank, p, inboxes, results, parent_pid):
     backlog: deque = deque()
     stash: dict = {}
     store: dict = {}
-    comm = _Comm(rank, p, inboxes, backlog, stash, {"msgs": 0})
+    comm = _Comm(rank, p, inboxes, backlog, stash, {"msgs": 0, "cmd_fwd": 0})
+    # broadcast-command fan-out tree: the driver hands a full-pool command
+    # to rank 0 only; every rank forwards its binomial-tree children their
+    # subtree's slice of the per-PE locals
+    tree_children = [d for _, s, d in binomial_edges(p, 0) if s == rank]
+    subtree_of = binomial_subtrees(p, 0)
     while True:
         if backlog:
             item = backlog.popleft()
@@ -509,10 +548,24 @@ def _worker_main(rank, p, inboxes, results, parent_pid):
                 continue
             except EOFError:
                 return  # driver closed the channel
-        if item[0] != "cmd":
+        if item[0] == "msg":
             _, mseq, mtag, msrc, payload = item
             stash[(mseq, mtag, msrc)] = payload
             continue
+        if item[0] == "bcmd":
+            # forward first (children must not wait on our execution),
+            # pruned to each child's subtree so every edge carries only
+            # the locals its subtree needs (a rank's local still hops
+            # once per tree edge on its root path -- which is why the
+            # arg-heavy "put" command keeps the direct driver path)
+            _, seq, spec, locals_map, free_ids = item
+            for child in tree_children:
+                sub = {r: locals_map[r] for r in subtree_of[child] if r in locals_map}
+                inboxes[child].put(
+                    ("bcmd", seq, spec, sub, free_ids), drain=comm.drain
+                )
+                comm.counters["cmd_fwd"] += 1
+            item = ("cmd", seq, spec, locals_map.get(rank), free_ids)
         _, seq, spec, local, free_ids = item
         for ref_id in free_ids:
             store.pop(ref_id, None)
@@ -551,6 +604,10 @@ class MultiprocessingBackend(Backend):
         self._live_ids: set[int] = set()
         self._fn_blobs: dict[int, tuple[Callable, bytes]] = {}
         self._result_buffer: list = []
+        #: driver-side channel writes issued for commands -- the fan-out
+        #: the broadcast command channel bounds at O(1) per full-pool
+        #: command (one frame to rank 0; workers tree-forward the rest)
+        self.driver_sends: int = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -667,11 +724,26 @@ class MultiprocessingBackend(Backend):
         else:
             free_ids = ()
         ranks = range(self.p) if participants is None else participants
-        for rank in ranks:
-            self._inboxes[rank].put(
-                ("cmd", seq, spec, locals_per_pe[rank], free_ids),
+        # broadcast command channel: one driver send regardless of p;
+        # rank 0 fans the frame out along the binomial tree.  Chunk
+        # uploads ("put") keep the direct path -- their per-PE locals
+        # are the one arg-heavy payload, and tree forwarding would
+        # re-serialize each rank's chunk once per edge on its root path
+        # (~(log2 p)/2 times on average) for no latency benefit.
+        if participants is None and spec[0] != "put":
+            locals_map = {r: locals_per_pe[r] for r in range(self.p)}
+            self._inboxes[0].put(
+                ("bcmd", seq, spec, locals_map, free_ids),
                 drain=self._drain_results,
             )
+            self.driver_sends += 1
+        else:
+            for rank in ranks:
+                self._inboxes[rank].put(
+                    ("cmd", seq, spec, locals_per_pe[rank], free_ids),
+                    drain=self._drain_results,
+                )
+                self.driver_sends += 1
         out: list = [None] * self.p
         failures: list[tuple[int, str]] = []
         # drain every participant's result even on error, so a failed
@@ -873,3 +945,18 @@ class MultiprocessingBackend(Backend):
             return [0] * self.p
         stats = self._run(("stats",), [None] * self.p)
         return [s["msgs"] for s in stats]
+
+    def command_fanout_counts(self) -> list[int]:
+        """Per-worker count of forwarded broadcast-command frames.
+
+        Every full-pool command costs exactly ``p - 1`` forwards in total
+        (the binomial-tree edges), paid by the workers instead of the
+        driver; the driver's own channel writes are
+        :attr:`driver_sends`.  Note the ``stats`` round trip used to read
+        these counters is itself a broadcast command, so a delta between
+        two reads includes the forwards of one stats command.
+        """
+        if not self._started or self._closed:
+            return [0] * self.p
+        stats = self._run(("stats",), [None] * self.p)
+        return [s["cmd_fwd"] for s in stats]

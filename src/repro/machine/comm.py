@@ -259,9 +259,15 @@ class Machine:
         self._meter_allreduce(values)
         return self.backend.allreduce(values, op)
 
-    def _meter_allreduce(self, values: Sequence) -> None:
-        """Control plane of :meth:`allreduce` (schedule + charge only)."""
-        m = payload_words(values[0])
+    def _meter_allreduce(
+        self, values: Sequence | None = None, *, words: float | None = None
+    ) -> None:
+        """Control plane of :meth:`allreduce` (schedule + charge only).
+
+        ``words`` supplies the payload size directly when the values
+        themselves stayed inside the workers (SPMD steps).
+        """
+        m = float(words) if words is not None else payload_words(values[0])
         # reduce followed by broadcast over the same tree
         edges = [(d, s, m) for _, s, d in binomial_edges(self.p, 0)]
         edges += [(s, d, m) for _, s, d in binomial_edges(self.p, 0)]
@@ -271,11 +277,15 @@ class Machine:
     def scan(self, values: Sequence, op="sum") -> list:
         """Inclusive prefix combine: PE ``j`` receives ``op(values[0..j])``."""
         self._check_len(values, "scan")
-        m = payload_words(values[0])
+        self._meter_scan(payload_words(values[0]))
+        return self.backend.scan(values, op)
+
+    def _meter_scan(self, words: float) -> None:
+        """Control plane of :meth:`scan` (schedule + charge only)."""
+        m = float(words)
         pairs = [(s, d, m) for rnd in hypercube_rounds(self.p) for s, d in rnd]
         self.metrics.record_schedule(pairs, "scan")
         self._charge(self.cost.scan(m, self.p))
-        return self.backend.scan(values, op)
 
     def exscan(self, values: Sequence, op="sum", initial=0) -> list:
         """Exclusive prefix combine: PE ``j`` receives ``op(values[0..j-1])``
@@ -298,13 +308,17 @@ class Machine:
         extraction kernels.
         """
         self._check_len(values, "allreduce_exscan")
-        m = payload_words(values[0])
+        self._meter_allreduce_exscan(payload_words(values[0]))
+        return self.backend.allreduce_exscan(values, op, initial)
+
+    def _meter_allreduce_exscan(self, words: float) -> None:
+        """Control plane of :meth:`allreduce_exscan` (schedule + charge)."""
+        m = float(words)
         pairs = [
             (s, d, 2 * m) for rnd in hypercube_rounds(self.p) for s, d in rnd
         ]
         self.metrics.record_schedule(pairs, "allreduce_exscan")
         self._charge(self.cost.allreduce_exscan(m, self.p))
-        return self.backend.allreduce_exscan(values, op, initial)
 
     def tie_grant_prefix(
         self, strict_counts: Sequence[int], tie_counts: Sequence[int], k: int
@@ -463,6 +477,18 @@ class Machine:
             [[payload_words(matrix[i][j]) if i != j else 0 for j in range(self.p)] for i in range(self.p)],
             dtype=np.float64,
         )
+        self._meter_alltoall(sizes, mode)
+        return out
+
+    def _meter_alltoall(self, sizes: np.ndarray, mode: str = "direct") -> None:
+        """Control plane of :meth:`alltoall` (schedule + charge only).
+
+        ``sizes[i][j]`` is the word count PE ``i`` sends to PE ``j``
+        (diagonal ignored).  Used directly by call sites whose payloads
+        stay inside the workers (SPMD ``alltoall`` yields).
+        """
+        sizes = np.array(sizes, dtype=np.float64, copy=True)
+        np.fill_diagonal(sizes, 0.0)  # self-delivery is a local handoff
         if mode == "direct":
             edges = [
                 (i, j, sizes[i][j])
@@ -480,7 +506,6 @@ class Machine:
             self._route_hypercube_sizes(sizes, kind="alltoall_hc")
         else:
             raise ValueError(f"unknown alltoall mode {mode!r}")
-        return out
 
     def _route_hypercube_sizes(self, sizes: np.ndarray, kind: str) -> None:
         """Charge metrics/time for hypercube-routing the ``sizes`` matrix.
@@ -719,6 +744,52 @@ class Machine:
         out: list = [None] * self.p
         out[root] = acc[root]
         return out
+
+    # ------------------------------------------------------------------
+    # Deferred charging (resident SPMD steps)
+    # ------------------------------------------------------------------
+    def replay_charges(self, logs: Sequence[Sequence[tuple]]) -> None:
+        """Re-play the cost model from per-PE charge logs.
+
+        A resident SPMD kernel runs many rounds of local work and
+        embedded collectives inside one backend command; the driver
+        cannot charge step by step, so the kernel records what it did
+        and the driver replays the model afterwards in the exact
+        execution order (interleaving local charges with collective
+        synchronizations, so straggler effects land where they would
+        have).  ``logs[i]`` is rank ``i``'s entry list; all ranks must
+        have appended the same entry sequence (SPMD discipline):
+
+        * ``("ops", x)`` -- ``x`` elementary operations of local work on
+          this rank (:meth:`charge_ops`),
+        * ``("allgather", w)`` -- an embedded allgather whose local
+          contribution was ``w`` words,
+        * ``("allreduce", w)`` / ``("allreduce_exscan", w)`` -- embedded
+          reduction-type collectives of ``w`` payload words (replicated
+          entries; rank 0's word count sizes the schedule, matching
+          what the live collective would have metered).
+
+        Modeled time and metered volume are identical on every backend
+        because the log contains only small scalars.
+        """
+        self._check_len(logs, "replay_charges")
+        length = len(logs[0])
+        if any(len(entries) != length for entries in logs):
+            raise ValueError("charge logs diverged across ranks")
+        for t in range(length):
+            kind = logs[0][t][0]
+            if kind == "ops":
+                self.charge_ops([float(logs[i][t][1]) for i in range(self.p)])
+            elif kind == "allgather":
+                self._meter_allgather(
+                    words=[float(logs[i][t][1]) for i in range(self.p)]
+                )
+            elif kind == "allreduce":
+                self._meter_allreduce(words=float(logs[0][t][1]))
+            elif kind == "allreduce_exscan":
+                self._meter_allreduce_exscan(float(logs[0][t][1]))
+            else:
+                raise ValueError(f"unknown charge-log entry kind {kind!r}")
 
     # ------------------------------------------------------------------
     # Point-to-point

@@ -104,6 +104,19 @@ class CommMetrics:
         self.calls: dict[str, int] = {}
 
     # ------------------------------------------------------------------
+    def charge(self, kind: str, words: float = 0.0, calls: int = 1) -> None:
+        """Attribute ``words`` of volume (and ``calls`` invocations) to an
+        operation kind without touching the per-PE counters.
+
+        The single entry point for the per-kind breakdown: the schedule
+        recorders below route through it, and algorithm phases that model
+        a schedule analytically (e.g. the Batcher merge of the
+        redistribution planner) use it instead of poking ``by_kind`` /
+        ``calls`` dictionaries inline.
+        """
+        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + words
+        self.calls[kind] = self.calls.get(kind, 0) + calls
+
     def record_p2p(self, src: int, dst: int, words: float, kind: str = "p2p") -> None:
         """One message of ``words`` machine words from ``src`` to ``dst``."""
         if src == dst:
@@ -112,8 +125,7 @@ class CommMetrics:
         self.words_recv[dst] += words
         self.msgs_sent[src] += 1
         self.msgs_recv[dst] += 1
-        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + words
-        self.calls[kind] = self.calls.get(kind, 0) + 1
+        self.charge(kind, words)
 
     def record_schedule(
         self,
@@ -122,7 +134,6 @@ class CommMetrics:
     ) -> None:
         """Record a batch of (src, dst, words) message triples."""
         total = 0.0
-        n = 0
         for src, dst, words in edges:
             if src == dst:
                 continue
@@ -131,9 +142,7 @@ class CommMetrics:
             self.msgs_sent[src] += 1
             self.msgs_recv[dst] += 1
             total += words
-            n += 1
-        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + total
-        self.calls[kind] = self.calls.get(kind, 0) + 1
+        self.charge(kind, total)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> MetricsSnapshot:

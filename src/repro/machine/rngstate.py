@@ -1,0 +1,43 @@
+"""RNG state pass-through for resident (in-worker) execution.
+
+Several algorithms draw from the machine's random streams
+(:attr:`Machine.rngs`, :attr:`Machine.shared_rng`) *while* operating on
+worker-resident data.  Shipping the generator objects themselves would
+fork the streams: the in-process ``sim`` backend would advance the
+driver's generators while a real backend advances pickled copies, and
+the two backends would diverge on the very next driver-side draw.
+
+Instead, resident callbacks receive the generator *state*, reconstruct
+an identical generator where the data lives, draw from it, and return
+the final state; the driver then fast-forwards its own stream to that
+state.  Both backends therefore observe exactly the same draw sequence,
+and driver-side and worker-side draws interleave in one well-defined
+stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rng_state", "rng_from_state", "restore_rng"]
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """Portable snapshot of a generator's position in its stream."""
+    return rng.bit_generator.state
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Reconstruct a generator at exactly the snapshotted position.
+
+    The bit-generator class is looked up from the state dict itself, so
+    any NumPy bit generator (the machine uses PCG64) round-trips.
+    """
+    bg = getattr(np.random, state["bit_generator"])()
+    bg.state = state
+    return np.random.Generator(bg)
+
+
+def restore_rng(rng: np.random.Generator, state: dict) -> None:
+    """Fast-forward a driver-side generator to a returned final state."""
+    rng.bit_generator.state = state

@@ -12,6 +12,17 @@ The queue keeps one search tree per PE and **never moves elements**:
   all ``msSelect``/``amsSelect`` need from a "sorted sequence".  The
   selected per-PE prefixes are then split off the trees.
 
+Execution is resident: the treaps live in the execution backend's
+worker memory behind a :class:`~repro.machine.backends.base.ChunkRef`
+handle.  Insertions are buffered driver-side and flushed as one
+resident callback (the machine's per-PE random streams travel by state
+pass-through, so backends stay bit-identical); a ``deleteMin*`` is a
+single generator SPMD step (:meth:`Backend.run_spmd`) in which the
+whole multisequence-selection recursion -- pivot draws, rank counts,
+tie granting and the final tree split -- executes next to the trees.
+Only the extracted batches and a small charge log (replayed through
+:meth:`Machine.replay_charges`) return to the driver.
+
 Costs (Theorem 5): ``O(alpha log^2 kp)`` for fixed batch size ``k``,
 ``O(alpha log kp)`` for flexible batch size in ``[k_lo, k_hi]`` with
 ``k_hi - k_lo = Omega(k_hi)``, and ``O(d log k + beta d + alpha log p)``
@@ -24,13 +35,17 @@ convention).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..common.ordering import TOP
+from ..common.validation import check_rank_range
 from ..machine import Machine
-from ..selection.flexible import AmsResult, ams_select
-from ..selection.sorted_select import ms_select_with_cuts
+from ..machine.rngstate import restore_rng, rng_from_state, rng_state
+from ..selection.flexible import ams_select_gen
+from ..selection.sorted_select import ms_select_with_cuts_gen
 from ..trees import Treap
 
 __all__ = ["BulkParallelPQ", "TreapSeq", "DeleteMinResult"]
@@ -76,16 +91,104 @@ class DeleteMinResult:
     rounds: int
 
 
+# ----------------------------------------------------------------------
+# Resident worker callbacks (module-level so real backends can ship them)
+# ----------------------------------------------------------------------
+
+def _make_tree(rank: int) -> tuple:
+    """Per-PE resident state: one (initially empty) treap."""
+    return (Treap(None), None)
+
+
+def _insert_step(rank: int, tree: Treap, scores, first_uid, state):
+    """Flush this PE's buffered insertions into its resident tree.
+
+    ``scores`` arrives as a binary float array (cheap on the wire) with
+    uids reconstructed from ``first_uid`` -- buffered insertions number
+    their uids contiguously per PE.  The treap's rotation priorities
+    come from the machine's per-PE stream, reconstructed from ``state``
+    and returned advanced, so the draw sequence is exactly the one a
+    driver-side insert made.
+    """
+    if scores is None or len(scores) == 0:
+        return None
+    gen = rng_from_state(state)
+    tree._rng = gen
+    uid = int(first_uid)
+    for s in scores:
+        tree.insert((float(s), (rank, uid)))
+        uid += 1
+    return rng_state(gen)
+
+
+def _peek_step(rank: int, tree: Treap):
+    return tree.min() if len(tree) else TOP
+
+
+def _delete_min_kernel(rank: int, tree: Treap, k: int, p: int, shared_state):
+    """``deleteMin`` as ONE SPMD step: exact multisequence selection on
+    the resident trees (Theorem 5's ``O(alpha log^2 kp)`` recursion runs
+    entirely in-worker), tie-grant, tree split, batch extraction."""
+    log: list = []
+    shared = rng_from_state(shared_state)
+    value, cut, _ = yield from ms_select_with_cuts_gen(
+        rank, p, TreapSeq(tree), k, shared, log
+    )
+    taken = tree.split_at_rank(int(cut))
+    batch = tuple((key[0], key[1]) for key in taken)
+    log.append(("ops", max(1.0, cut * tree.access_cost(k))))
+    return {
+        "batch": batch,
+        "value": value,
+        "log": log,
+        "shared": rng_state(shared),
+    }
+
+
+def _delete_flex_kernel(
+    rank: int, tree: Treap, k_lo: int, k_hi: int, p: int, shared_state, my_state
+):
+    """``deleteMin*`` with flexible batch size, resident: ``amsSelect``'s
+    estimator rounds draw from this PE's machine stream (state
+    pass-through) and the shared stream only if the exact fallback
+    fires."""
+    log: list = []
+    shared = rng_from_state(shared_state)
+    local = rng_from_state(my_state)
+    value, k_hat, cut, rounds, _ = yield from ams_select_gen(
+        rank, p, TreapSeq(tree), k_lo, k_hi, local, shared, log
+    )
+    taken = tree.split_at_rank(int(cut))
+    batch = tuple((key[0], key[1]) for key in taken)
+    log.append(("ops", max(1.0, cut * tree.access_cost(k_hat))))
+    return {
+        "batch": batch,
+        "value": value,
+        "k": k_hat,
+        "rounds": rounds,
+        "log": log,
+        "shared": rng_state(shared),
+        "local": rng_state(local),
+    }
+
+
 class BulkParallelPQ:
-    """Distributed bulk priority queue over ``machine.p`` local trees."""
+    """Distributed bulk priority queue over ``machine.p`` worker-resident
+    trees."""
 
     def __init__(self, machine: Machine):
         self.machine = machine
-        self.trees = [Treap(machine.rngs[i]) for i in range(machine.p)]
+        refs, _, _ = machine.backend.map_resident(
+            _make_tree, [], n_out=1, args=[()] * machine.p
+        )
+        self._ref = refs[0]
         self._uid = [0] * machine.p
+        self._sizes = [0] * machine.p  # driver-tracked (resident + pending)
+        self._pending: list[list] = [[] for _ in range(machine.p)]
 
     # ------------------------------------------------------------------
-    # Insertion: local, communication-free
+    # Insertion: local, communication-free (buffered driver-side and
+    # flushed as one resident callback before the next tree query)
     # ------------------------------------------------------------------
     def insert(self, per_pe_scores) -> None:
         """``insert*``: bulk-insert scores, each batch into its own PE.
@@ -100,14 +203,7 @@ class BulkParallelPQ:
                 f"got {len(per_pe_scores)})"
             )
         for i, scores in enumerate(per_pe_scores):
-            tree = self.trees[i]
-            ops = 0.0
-            for s in scores:
-                tree.insert((s, (i, self._uid[i])))
-                self._uid[i] += 1
-                ops += tree.access_cost()
-            if ops:
-                self.machine.charge_ops_one(i, ops)
+            self.insert_local(i, scores)
 
     def insert_local(self, rank: int, scores) -> list[tuple[int, int]]:
         """Insert elements on a single PE (e.g. children in B&B).
@@ -115,38 +211,75 @@ class BulkParallelPQ:
         Returns the assigned uids ``(rank, counter)`` so applications can
         attach satellite data in per-PE side tables.
         """
-        tree = self.trees[rank]
         ops = 0.0
         uids = []
+        n = self._sizes[rank]
         for s in scores:
-            uid = (rank, self._uid[rank])
-            tree.insert((s, uid))
-            uids.append(uid)
+            uids.append((rank, self._uid[rank]))
+            self._pending[rank].append(float(s))
             self._uid[rank] += 1
-            ops += tree.access_cost()
+            n += 1
+            ops += math.log2(max(n, 2))
+        self._sizes[rank] = n
         if ops:
             self.machine.charge_ops_one(rank, ops)
         return uids
+
+    def _flush(self) -> None:
+        """Ship buffered insertions into the resident trees (one
+        backend round trip for any number of buffered batches)."""
+        if not any(self._pending):
+            return
+        machine = self.machine
+        args = []
+        for i in range(machine.p):
+            batch = self._pending[i]
+            if batch:
+                args.append((
+                    np.asarray(batch, dtype=np.float64),
+                    self._uid[i] - len(batch),
+                    rng_state(machine.rngs[i]),
+                ))
+            else:
+                args.append((None, 0, None))
+        _, states, _ = machine.backend.map_resident(
+            _insert_step, [self._ref], n_out=0, args=args
+        )
+        for i, state in enumerate(states):
+            if state is not None:
+                restore_rng(machine.rngs[i], state)
+        self._pending = [[] for _ in range(machine.p)]
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def total_size(self) -> int:
         """Global element count (one all-reduction)."""
-        return int(self.machine.allreduce([len(t) for t in self.trees], op="sum")[0])
+        return int(self.machine.allreduce(list(self._sizes), op="sum")[0])
 
     def peek_min(self):
-        """Globally smallest score without removing it (one reduction)."""
-        from ..common.ordering import TOP
-
-        mins = [t.min() if len(t) else TOP for t in self.trees]
-        v = self.machine.allreduce(mins, op="min")[0]
+        """Globally smallest score without removing it (one reduction,
+        fused into the resident lookup's round trip)."""
+        self._flush()
+        _, values, collected = self.machine.backend.map_resident(
+            _peek_step, [self._ref], n_out=0, collect=("allreduce", "min")
+        )
+        self.machine._meter_allreduce(values)
+        v = collected[0]
         if v is TOP:
             raise IndexError("peek_min on empty queue")
         return v[0]
 
     def local_sizes(self) -> list[int]:
-        return [len(t) for t in self.trees]
+        return list(self._sizes)
+
+    @property
+    def trees(self) -> list[Treap]:
+        """Driver-side view of the resident trees (live objects on the
+        in-process backend, fetched copies on real backends; tests and
+        debugging only -- the algorithms never move the trees)."""
+        self._flush()
+        return list(self.machine.backend.get_chunks(self._ref))
 
     # ------------------------------------------------------------------
     # deleteMin*
@@ -155,14 +288,23 @@ class BulkParallelPQ:
         """Remove exactly the ``k`` globally smallest elements.
 
         Runs exact multisequence selection (``O(alpha log^2 kp)``,
-        Theorem 5) on the trees and splits each tree at its cut rank.
+        Theorem 5) on the resident trees and splits each tree at its cut
+        rank -- one SPMD worker command end to end.
         """
         total = self.total_size()
         if not 1 <= k <= total:
             raise ValueError(f"k must satisfy 1 <= k <= {total}, got {k}")
-        seqs = [TreapSeq(t) for t in self.trees]
-        value, cuts = ms_select_with_cuts(self.machine, seqs, k)
-        return self._extract(cuts, k, value, rounds=0)
+        self._flush()
+        machine = self.machine
+        p = machine.p
+        shared = rng_state(machine.shared_rng)
+        _, vals = machine.backend.run_spmd(
+            _delete_min_kernel, [self._ref], n_out=0,
+            args=[(k, p, shared)] * p,
+        )
+        machine.replay_charges([v["log"] for v in vals])
+        restore_rng(machine.shared_rng, vals[0]["shared"])
+        return self._finish(vals, k, vals[0]["value"], rounds=0)
 
     def delete_min_flexible(self, k_lo: int, k_hi: int) -> DeleteMinResult:
         """Remove the k̂ smallest elements for some ``k̂ in [k_lo, k_hi]``.
@@ -170,20 +312,29 @@ class BulkParallelPQ:
         Uses ``amsSelect``; with ``k_hi - k_lo = Omega(k_hi)`` this runs
         in ``O(alpha log kp)`` expected (Theorem 5's flexible variant).
         """
-        seqs = [TreapSeq(t) for t in self.trees]
-        res: AmsResult = ams_select(self.machine, seqs, k_lo, k_hi)
-        return self._extract(list(res.cuts), res.k, res.value, res.rounds)
+        check_rank_range(k_lo, k_hi, sum(self._sizes))  # fail driver-side
+        self._flush()
+        machine = self.machine
+        p = machine.p
+        shared = rng_state(machine.shared_rng)
+        _, vals = machine.backend.run_spmd(
+            _delete_flex_kernel, [self._ref], n_out=0,
+            args=[
+                (k_lo, k_hi, p, shared, rng_state(machine.rngs[i]))
+                for i in range(p)
+            ],
+        )
+        machine.replay_charges([v["log"] for v in vals])
+        restore_rng(machine.shared_rng, vals[0]["shared"])
+        for i in range(p):
+            restore_rng(machine.rngs[i], vals[i]["local"])
+        return self._finish(vals, vals[0]["k"], vals[0]["value"], vals[0]["rounds"])
 
-    def _extract(self, cuts, k: int, threshold, rounds: int) -> DeleteMinResult:
-        batches = []
-        for i, c in enumerate(cuts):
-            taken = self.trees[i].split_at_rank(int(c))
-            batch = tuple((key[0], key[1]) for key in taken)
-            batches.append(batch)
-            self.machine.charge_ops_one(
-                i, max(1.0, c * self.trees[i].access_cost(k))
-            )
-        return DeleteMinResult(tuple(batches), k, threshold, rounds)
+    def _finish(self, vals, k: int, threshold, rounds: int) -> DeleteMinResult:
+        batches = tuple(v["batch"] for v in vals)
+        for i, batch in enumerate(batches):
+            self._sizes[i] -= len(batch)
+        return DeleteMinResult(batches, k, threshold, rounds)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"BulkParallelPQ(p={self.machine.p}, sizes={self.local_sizes()})"

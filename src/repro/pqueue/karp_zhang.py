@@ -6,10 +6,13 @@ global content (so bulk deletions are easy and provably balanced) but
 costs ``Theta(beta * k / p + alpha)`` communication per inserted batch --
 the communication the Section 5 queue eliminates entirely.
 
-``deleteMin*`` here follows [31]: an exact multisequence selection over
-the local queues, then local extraction.  Comparing
-:class:`RandomAllocPQ` against
-:class:`~repro.pqueue.bulk_pq.BulkParallelPQ` in
+Like :class:`~repro.pqueue.bulk_pq.BulkParallelPQ`, the local heaps are
+worker-resident: an ``insert`` routes the batch worker-to-worker in one
+sparse direct exchange (the random destinations are drawn driver-side,
+keeping the machine streams in step across backends), and
+``deleteMin*`` -- exact multisequence selection over sorted snapshots,
+as in [31] -- runs as one generator SPMD step next to the heaps.
+Comparing :class:`RandomAllocPQ` against the Section 5 queue in
 ``benchmarks/bench_priority_queue.py`` reproduces the Table 1 contrast
 (old: ``log(n/k) + alpha*(k/p + log p)`` insert+delete vs. new:
 ``alpha log kp``).
@@ -17,12 +20,11 @@ the local queues, then local extraction.  Comparing
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..machine import Machine
-from ..selection.sorted_select import ms_select_with_cuts
+from ..machine.rngstate import restore_rng, rng_from_state, rng_state
+from ..selection.sorted_select import ms_select_with_cuts_gen
 from .heap import BinaryHeap
 
 __all__ = ["RandomAllocPQ"]
@@ -48,69 +50,125 @@ class _HeapSeq:
         return bisect.bisect_right(self.snapshot, v)
 
 
+# ----------------------------------------------------------------------
+# Resident worker callbacks (module-level so real backends can ship them)
+# ----------------------------------------------------------------------
+
+def _make_heap(rank: int) -> tuple:
+    return (BinaryHeap(), None)
+
+
+def _kz_insert_kernel(rank: int, heap: BinaryHeap, buckets, srcs, p: int):
+    """Route this PE's randomly-addressed items worker-to-worker and
+    deliver arrivals into the local heap (the communication this design
+    pays and Section 5's avoids)."""
+    row: list = [None] * p
+    for dst, items in buckets:
+        row[dst] = items
+    received = yield ("sendrecv", row, srcs)
+    ops = 0.0
+    for src in range(p):
+        items = received[src]
+        if not items:
+            continue
+        for item in items:
+            heap.push(tuple(item))
+        ops += len(items) * np.log2(max(len(heap), 2))
+    return ops
+
+
+def _kz_delete_kernel(rank: int, heap: BinaryHeap, k: int, p: int, shared_state):
+    """Exact ``deleteMin`` of [31] as one SPMD step: snapshot-sort the
+    local heap, multisequence-select over the snapshots, pop the cut."""
+    log: list = []
+    seq = _HeapSeq(heap)
+    # snapshot sort models the heap-ordered scan of [31]
+    log.append(("ops", max(1.0, min(len(seq), k) * np.log2(max(len(seq), 2)))))
+    shared = rng_from_state(shared_state)
+    _, cut, _ = yield from ms_select_with_cuts_gen(
+        rank, p, seq, k, shared, log
+    )
+    batch = tuple((b[0], b[1]) for b in heap.pop_k(int(cut)))
+    log.append(("ops", max(1.0, cut * np.log2(max(len(heap) + cut, 2)))))
+    return {"batch": batch, "log": log, "shared": rng_state(shared)}
+
+
 class RandomAllocPQ:
     """Bulk PQ with randomized element placement (the [20]/[31] design)."""
 
     def __init__(self, machine: Machine):
         self.machine = machine
-        self.heaps = [BinaryHeap() for _ in range(machine.p)]
+        refs, _, _ = machine.backend.map_resident(
+            _make_heap, [], n_out=1, args=[()] * machine.p
+        )
+        self._ref = refs[0]
         self._uid = [0] * machine.p
+        self._sizes = [0] * machine.p  # driver-tracked heap sizes
 
     # ------------------------------------------------------------------
     def insert(self, per_pe_scores) -> None:
         """``insert*`` with random allocation: elements are routed to
-        uniformly random PEs via an all-to-all (the communication cost
+        uniformly random PEs worker-to-worker (the communication cost
         this design pays and ours avoids)."""
-        p = self.machine.p
+        machine = self.machine
+        p = machine.p
         if len(per_pe_scores) != p:
             raise ValueError(f"need one insertion batch per PE (p={p})")
-        matrix: list[list] = [[None] * p for _ in range(p)]
+        words = np.zeros((p, p), dtype=np.float64)
         routed: list[dict[int, list]] = []
         for i, scores in enumerate(per_pe_scores):
             scores = list(scores)
             buckets: dict[int, list] = {}
             if scores:
-                dests = self.machine.rngs[i].integers(0, p, size=len(scores))
+                dests = machine.rngs[i].integers(0, p, size=len(scores))
                 for s, d in zip(scores, dests):
                     buckets.setdefault(int(d), []).append((s, (i, self._uid[i])))
                     self._uid[i] += 1
                 for d, items in buckets.items():
                     # wire format: one word per score + two per uid
-                    matrix[i][d] = np.zeros(3 * len(items))
+                    words[i][d] = 3 * len(items)
+                    self._sizes[d] += len(items)
             routed.append(buckets)
-        self.machine.alltoall(matrix, mode="direct")
-        # deliver the routed items into the destination heaps
-        for i in range(p):
-            for d, items in routed[i].items():
-                heap = self.heaps[d]
-                for it in items:
-                    heap.push(it)
-                self.machine.charge_ops_one(d, len(items) * np.log2(max(len(heap), 2)))
+        machine._meter_alltoall(words, mode="direct")
+        srcs = [
+            [i for i in range(p) if i != d and d in routed[i]] for d in range(p)
+        ]
+        _, ops = machine.backend.run_spmd(
+            _kz_insert_kernel, [self._ref], n_out=0,
+            args=[
+                (sorted(routed[i].items()), srcs[i], p) for i in range(p)
+            ],
+        )
+        machine.charge_ops([float(o) for o in ops])
 
     # ------------------------------------------------------------------
+    @property
+    def heaps(self) -> list[BinaryHeap]:
+        """Driver-side view of the resident heaps (live objects on the
+        in-process backend, fetched copies on real ones; tests only)."""
+        return list(self.machine.backend.get_chunks(self._ref))
+
     def total_size(self) -> int:
-        return int(self.machine.allreduce([len(h) for h in self.heaps], op="sum")[0])
+        return int(self.machine.allreduce(list(self._sizes), op="sum")[0])
 
     def delete_min(self, k: int) -> tuple[tuple, ...]:
         """Remove the ``k`` globally smallest elements (exact, as in [31])."""
         total = self.total_size()
         if not 1 <= k <= total:
             raise ValueError(f"k must satisfy 1 <= k <= {total}, got {k}")
-        seqs = [_HeapSeq(h) for h in self.heaps]
-        for i, s in enumerate(seqs):
-            # snapshot sort models the heap-ordered scan of [31]
-            self.machine.charge_ops_one(
-                i, max(1.0, min(len(s), k) * np.log2(max(len(s), 2)))
-            )
-        _, cuts = ms_select_with_cuts(self.machine, seqs, k)
-        batches = []
-        for i, c in enumerate(cuts):
-            batch = tuple(self.heaps[i].pop_k(int(c)))
-            batches.append(tuple((b[0], b[1]) for b in batch))
-            self.machine.charge_ops_one(
-                i, max(1.0, c * np.log2(max(len(self.heaps[i]) + c, 2)))
-            )
-        return tuple(batches)
+        machine = self.machine
+        p = machine.p
+        shared = rng_state(machine.shared_rng)
+        _, vals = machine.backend.run_spmd(
+            _kz_delete_kernel, [self._ref], n_out=0,
+            args=[(k, p, shared)] * p,
+        )
+        machine.replay_charges([v["log"] for v in vals])
+        restore_rng(machine.shared_rng, vals[0]["shared"])
+        batches = tuple(v["batch"] for v in vals)
+        for i, batch in enumerate(batches):
+            self._sizes[i] -= len(batch)
+        return batches
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RandomAllocPQ(p={self.machine.p})"

@@ -89,6 +89,51 @@ def balance_plan(sizes: np.ndarray, n_bar: int | None = None) -> list[Transfer]:
     return transfers
 
 
+# ----------------------------------------------------------------------
+# Resident worker kernels (module-level so real backends can ship them)
+# ----------------------------------------------------------------------
+
+def _redistribute_kernel(rank: int, chunk: np.ndarray, sends, srcs, p: int):
+    """Execute this PE's side of the balance plan where the chunk lives.
+
+    ``sends`` lists ``(dst, count)`` transfers in plan order (tail
+    slices walk downward so kept elements keep their local order);
+    ``srcs`` lists the senders this PE receives from.  The transfers
+    ride one in-worker sparse direct exchange -- exactly the plan's p2p
+    messages, each payload travelling a single hop, receivers appending
+    in sender-rank order.  The chunk never visits the driver.
+    """
+    hi = chunk.size
+    row: list = [None] * p
+    for dst, count in sends:
+        lo = hi - int(count)
+        row[dst] = chunk[lo:hi]
+        hi = lo
+    received = yield ("sendrecv", row, srcs)
+    base = chunk[:hi]
+    pieces = [r for r in received if r is not None and r.size]
+    new = np.concatenate([base] + pieces) if pieces else base
+    return new, new.size
+
+
+def _naive_rebalance_kernel(
+    rank: int, chunk: np.ndarray, bounds, offset: int, srcs, p: int
+):
+    """Blind repartition, resident: slice by global target bounds and
+    exchange worker-to-worker (direct delivery, like the driver-side
+    ``alltoall(mode="direct")`` it replaces)."""
+    row: list = [None] * p
+    hi_off = offset + chunk.size
+    for j, (t_lo, t_hi) in enumerate(bounds):
+        a, b = max(offset, t_lo), min(hi_off, t_hi)
+        if a < b:
+            row[j] = chunk[a - offset : b - offset]
+    received = yield ("sendrecv", row, srcs)
+    pieces = [x for x in received if x is not None and len(x)]
+    new = np.concatenate(pieces) if pieces else chunk[:0]
+    return new, new.size
+
+
 def redistribute(
     machine: Machine, data: DistArray, *, n_bar: int | None = None
 ) -> tuple[DistArray, RedistributionStats]:
@@ -96,62 +141,46 @@ def redistribute(
 
     Senders part with their *tail* elements (the chunk order of kept
     elements is preserved); receivers append.  Returns the balanced
-    array and movement statistics.  The prefix sums are real ``scan``
-    collectives; the Batcher merge is charged as its round count times
-    one constant-size exchange per PE.
+    array and movement statistics.
+
+    The plan is computed from the driver-tracked resident sizes (a
+    local quantity on every PE); the prefix sums and the Batcher merge
+    are charged per the paper's schedule; the transfers themselves are
+    charged as the plan's p2p messages and *execute worker-to-worker*
+    as one resident SPMD exchange -- the moved elements never visit the
+    driver, and the result is a new resident :class:`DistArray`.
     """
     p = machine.p
     sizes = data.sizes()
-    n = int(machine.allreduce(list(sizes), op="sum")[0])
+    # the global size falls out of the driver-tracked per-PE sizes; the
+    # one-word all-reduction the algorithm semantically needs is still
+    # charged so the model matches the paper's schedule
+    machine._meter_allreduce(words=1)
+    n = int(sizes.sum())
     if n_bar is None:
         n_bar = -(-n // p)
 
     # prefix sums over surpluses and deficits (two scans, or one
-    # two-vector scan; we use one scan of a 2-vector for honesty)
-    surplus = np.maximum(sizes - n_bar, 0)
-    deficit = np.maximum(n_bar - sizes, 0)
-    machine.scan(
-        [np.array([surplus[i], deficit[i]], dtype=np.int64) for i in range(p)],
-        op="sum",
-    )
+    # two-vector scan; we charge one scan of a 2-vector for honesty --
+    # the plan itself falls out of the driver-tracked sizes)
+    machine._meter_scan(2)
     # Batcher merge of the two enumerations: log p rounds of
     # constant-size compare-exchanges
     rounds = merge_round_count(2 * p)
     for _ in range(rounds):
         machine.clock.sync_collective(machine.cost.alpha + machine.cost.beta * 2.0)
-    machine.metrics.by_kind["batcher_merge"] = (
-        machine.metrics.by_kind.get("batcher_merge", 0.0) + 2.0 * rounds * p
-    )
-    machine.metrics.calls["batcher_merge"] = (
-        machine.metrics.calls.get("batcher_merge", 0) + 1
-    )
+    machine.metrics.charge("batcher_merge", 2.0 * rounds * p)
 
     plan = balance_plan(sizes, n_bar)
-
-    # execute: senders ship tail slices, receivers append
-    chunks = [np.asarray(c) for c in data.chunks]
-    keep = list(chunks)
-    outgoing: dict[int, list[np.ndarray]] = {}
-    sent_ptr = {}
-    for t in plan:
-        if t.src not in sent_ptr:
-            sent_ptr[t.src] = int(sizes[t.src])
-        hi = sent_ptr[t.src]
-        lo = hi - t.count
-        payload = chunks[t.src][lo:hi]
-        sent_ptr[t.src] = lo
-        machine.send(t.src, t.dst, payload, kind="redistribute")
-        outgoing.setdefault(t.dst, []).append(payload)
-    new_chunks = []
     sent_per_pe = np.zeros(p, dtype=np.int64)
     recv_per_pe = np.zeros(p, dtype=np.int64)
     for t in plan:
+        # charge the planned message exactly as a driver-side send would
+        machine.metrics.record_p2p(t.src, t.dst, t.count, kind="redistribute")
+        machine.clock.charge_p2p(t.src, t.dst, machine.cost.p2p(t.count))
         sent_per_pe[t.src] += t.count
         recv_per_pe[t.dst] += t.count
-    for i in range(p):
-        base = chunks[i][: int(sizes[i] - sent_per_pe[i])]
-        extra = outgoing.get(i, [])
-        new_chunks.append(np.concatenate([base] + extra) if extra else base)
+
     stats = RedistributionStats(
         moved=int(sent_per_pe.sum()),
         transfers=len(plan),
@@ -159,7 +188,25 @@ def redistribute(
         max_received=int(recv_per_pe.max(initial=0)),
         merge_rounds=rounds,
     )
-    return DistArray(machine, new_chunks), stats
+    if not plan:  # already acceptable: nothing moves, nothing executes
+        return (
+            DistArray(machine, ref=data._ensure_ref(), sizes=sizes, dtype=data.dtype),
+            stats,
+        )
+
+    sends: list[list] = [[] for _ in range(p)]
+    srcs: list[list] = [[] for _ in range(p)]
+    for t in plan:
+        sends[t.src].append((t.dst, t.count))
+        srcs[t.dst].append(t.src)
+    refs, _ = machine.backend.run_spmd(
+        _redistribute_kernel,
+        [data._ensure_ref()],
+        n_out=1,
+        args=[(sends[i], srcs[i], p) for i in range(p)],
+    )
+    new_sizes = sizes - sent_per_pe + recv_per_pe
+    return DistArray(machine, ref=refs[0], sizes=new_sizes, dtype=data.dtype), stats
 
 
 def naive_rebalance(machine: Machine, data: DistArray) -> tuple[DistArray, int]:
@@ -168,7 +215,9 @@ def naive_rebalance(machine: Machine, data: DistArray) -> tuple[DistArray, int]:
     Every element whose contiguous-layout position falls on another PE
     moves; volume can approach ``n`` even for mild imbalance.  Used by
     ``benchmarks/bench_redistribution.py`` as the contrast to the
-    adaptive scheme.
+    adaptive scheme.  Like :func:`redistribute`, the exchange executes
+    worker-to-worker over resident chunks; the driver only derives the
+    slice bounds from the tracked sizes and charges the alltoall model.
     """
     p = machine.p
     sizes = data.sizes()
@@ -176,7 +225,7 @@ def naive_rebalance(machine: Machine, data: DistArray) -> tuple[DistArray, int]:
     n = int(offsets[-1])
     target = np.array_split(np.arange(n), p)
     bounds = [(int(t[0]), int(t[-1]) + 1) if len(t) else (0, 0) for t in target]
-    matrix: list[list] = [[None] * p for _ in range(p)]
+    words = np.zeros((p, p), dtype=np.float64)
     moved = 0
     for i in range(p):
         lo, hi = int(offsets[i]), int(offsets[i + 1])
@@ -184,15 +233,21 @@ def naive_rebalance(machine: Machine, data: DistArray) -> tuple[DistArray, int]:
             t_lo, t_hi = bounds[j]
             a, b = max(lo, t_lo), min(hi, t_hi)
             if a < b:
-                piece = data.chunks[i][a - lo : b - lo]
+                words[i][j] = b - a
                 if i != j:
                     moved += b - a
-                matrix[i][j] = piece
-    received = machine.alltoall(matrix, mode="direct")
-    new_chunks = []
-    for j in range(p):
-        pieces = [x for x in received[j] if x is not None and len(x)]
-        new_chunks.append(
-            np.concatenate(pieces) if pieces else data.chunks[j][:0]
-        )
-    return DistArray(machine, new_chunks), moved
+    srcs = [
+        [i for i in range(p) if i != j and words[i][j] > 0] for j in range(p)
+    ]
+    refs, _ = machine.backend.run_spmd(
+        _naive_rebalance_kernel,
+        [data._ensure_ref()],
+        n_out=1,
+        args=[(bounds, int(offsets[i]), srcs[i], p) for i in range(p)],
+    )
+    machine._meter_alltoall(words, mode="direct")
+    new_sizes = [hi - lo for lo, hi in bounds]
+    return (
+        DistArray(machine, ref=refs[0], sizes=new_sizes, dtype=data.dtype),
+        moved,
+    )

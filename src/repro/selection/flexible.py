@@ -177,26 +177,103 @@ def _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n):
 
 def _exact_fallback(machine, seqs, lo, hi, accepted, k_rel):
     """Exact rank-``k_rel`` selection on the remaining windows."""
-
-    class _Window:
-        __slots__ = ("seq", "lo", "hi")
-
-        def __init__(self, seq, lo_, hi_):
-            self.seq, self.lo, self.hi = seq, lo_, hi_
-
-        def __len__(self):
-            return self.hi - self.lo
-
-        def item(self, i):
-            return self.seq.item(self.lo + i)
-
-        def count_le(self, v):
-            return int(np.clip(self.seq.count_le(v), self.lo, self.hi)) - self.lo
-
-    windows = [_Window(seqs[i], lo[i], hi[i]) for i in range(machine.p)]
+    windows = [_SeqWindow(seqs[i], lo[i], hi[i]) for i in range(machine.p)]
     value, rel_cuts = ms_select_with_cuts(machine, windows, k_rel)
     cuts = tuple(accepted[i] + rel_cuts[i] for i in range(machine.p))
     return value, cuts
+
+
+# ----------------------------------------------------------------------
+# SPMD generator form (resident execution inside backend workers)
+# ----------------------------------------------------------------------
+
+class _SeqWindow:
+    """Window view of a sorted-sequence adapter (kernel-side helper for
+    the exact fallback of :func:`ams_select_gen`)."""
+
+    __slots__ = ("seq", "lo", "hi")
+
+    def __init__(self, seq, lo: int, hi: int):
+        self.seq, self.lo, self.hi = seq, lo, hi
+
+    def __len__(self):
+        return self.hi - self.lo
+
+    def item(self, i):
+        return self.seq.item(self.lo + i)
+
+    def count_le(self, v):
+        return int(np.clip(self.seq.count_le(v), self.lo, self.hi)) - self.lo
+
+
+def ams_select_gen(rank, p, seq, k_lo, k_hi, local_rng, shared_rng, log, *, max_rounds=60):
+    """SPMD generator form of :func:`ams_select` over per-rank views.
+
+    ``local_rng`` is this rank's machine stream (state pass-through);
+    ``shared_rng`` is only consumed if the exact fallback fires.  Yields
+    SPMD collectives, appends charge entries to ``log`` and returns
+    ``(value, k_hat, cut, rounds, exact_fallback)``.
+    """
+    from ..machine.metrics import payload_words
+    from .sorted_select import ms_select_with_cuts_gen
+
+    totals = yield ("allreduce", len(seq), "sum")
+    log.append(("allreduce", 1))
+    n = int(totals)
+    k_lo, k_hi = check_rank_range(k_lo, k_hi, n)
+
+    lo, hi = 0, len(seq)
+    accepted = 0
+    accepted_total = 0
+    cur_lo, cur_hi, cur_n = k_lo, k_hi, n
+
+    for rnd in range(1, max_rounds + 1):
+        # estimator round: geometric deviate + min/max reduction
+        size = hi - lo
+        use_min = cur_lo < cur_n - cur_hi
+        if use_min:
+            rho = _min_based_rate(cur_lo, cur_hi)
+            x = int(local_rng.geometric(rho)) if rho < 1.0 else 1
+            pick = seq.item(lo + x - 1) if 1 <= x <= size else TOP
+            log.append(("ops", np.log2(max(size, 2))))
+            v = yield ("allreduce", pick, "min")
+            log.append(("allreduce", payload_words(pick)))
+            if v is TOP:
+                continue
+        else:
+            rho = _max_based_rate(cur_lo, cur_hi, cur_n)
+            x = int(local_rng.geometric(rho)) if rho < 1.0 else 1
+            pick = seq.item(hi - x) if 1 <= x <= size else BOTTOM
+            log.append(("ops", np.log2(max(size, 2))))
+            v = yield ("allreduce", pick, "max")
+            log.append(("allreduce", payload_words(pick)))
+            if v is BOTTOM:
+                continue
+
+        j = int(np.clip(seq.count_le(v), lo, hi)) - lo
+        log.append(("ops", np.log2(max(size, 2))))
+        count = yield ("allreduce", j, "sum")
+        log.append(("allreduce", 1))
+        count = int(count)
+
+        if count < cur_lo:
+            accepted += j
+            lo += j
+            accepted_total += count
+            cur_lo -= count
+            cur_hi -= count
+            cur_n -= count
+        elif count > cur_hi:
+            hi = lo + j
+            cur_n = count
+        else:
+            return v, accepted_total + count, accepted + j, rnd, False
+
+    # safety net: exact selection of rank cur_lo in the remaining windows
+    value, rel_cut, _ = yield from ms_select_with_cuts_gen(
+        rank, p, _SeqWindow(seq, lo, hi), cur_lo, shared_rng, log
+    )
+    return value, accepted_total + cur_lo, accepted + rel_cut, max_rounds, True
 
 
 def ams_select_batched(

@@ -9,19 +9,134 @@ it down to ``O(n/p log m)`` -- each recursion level splits both the data
 *and* the rank set, so every element takes part in at most
 ``O(log m + log_p n)`` partitioning rounds.
 
+Execution is resident-chunk SPMD: every PE keeps a *list* of segment
+slices pinned in the backend, and one level of the shared recursion is
+ONE worker command (:meth:`Backend.run_spmd`) covering every active
+segment at once.  The per-segment Bernoulli samples (and the residual
+content of segments small enough to finish) share a single in-worker
+allgather; the per-segment two-word part counts share a single
+in-worker all-reduction.  Only per-segment counts, pivots and finished
+values return to the driver -- the slices never move, and the level
+cost is two fused collectives instead of two per segment.
+
 :func:`quantiles` exposes the everyday use case (percentiles /
 histogram boundaries of a distributed vector).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from ..common.sampling import bernoulli_sample
+from ..common.sampling import bernoulli_sample_indices
 from ..machine import DistArray, Machine
 from .sequential import fr_pivots
 
 __all__ = ["multi_select", "quantiles"]
+
+
+@dataclass
+class _Segment:
+    """Driver-side metadata of one recursion segment (the data itself
+    stays resident; ``sizes`` mirrors the per-PE slice lengths, which
+    the driver derives from returned part counts)."""
+
+    ranks: tuple[int, ...]  # target ranks, relative to the segment
+    offset: int             # global rank offset of the segment
+    n: int                  # global segment size
+    sizes: np.ndarray       # per-PE slice lengths
+
+
+# ----------------------------------------------------------------------
+# Resident worker kernel (module-level so real backends can ship it)
+# ----------------------------------------------------------------------
+
+def _wrap_segments(rank: int, chunk: np.ndarray) -> tuple:
+    """Initial resident state: a one-segment list per PE."""
+    return ([np.asarray(chunk)], None)
+
+
+def _multi_select_level(rank: int, segs: list, specs, idxs):
+    """One full level of the shared recursion, where the slices live.
+
+    ``specs[s]`` describes segment ``s``: ``("split", ranks, mid_rank,
+    seg_n)`` for a segment that recurses or ``("finish", ranks)`` for a
+    residual one.  ``idxs[s]`` holds this PE's pre-drawn Bernoulli
+    sample indices for split segments (``None`` = take everything).
+
+    SPMD generator: ALL segments' samples (and finish segments' full
+    residual content) ride one in-worker allgather; all split segments'
+    two-word part counts ride one in-worker all-reduction.  Returns the
+    next level's segment list plus per-segment small values
+    (``("finish", values, rest_size)`` / ``("empty",)`` /
+    ``("split", lo_p, hi_p, na, nb, union_size, n_lo, n_mid)``) and this
+    PE's allgather contribution in words.
+    """
+    samples = []
+    for seg, spec, idx in zip(segs, specs, idxs):
+        if spec[0] == "finish":
+            samples.append(seg)  # residual content is small by now
+        else:
+            samples.append(seg.copy() if idx is None else seg[idx])
+    sample_words = int(sum(s.size for s in samples))
+    gathered = yield ("allgather", samples)
+
+    infos: list[tuple] = []
+    partitions: list = []
+    counts_vec: list[int] = []
+    for s, (seg, spec) in enumerate(zip(segs, specs)):
+        contrib = [g[s] for g in gathered if g[s].size]
+        if spec[0] == "finish":
+            rest = np.sort(np.concatenate(contrib)) if contrib else seg[:0]
+            values = tuple(
+                rest[min(k, rest.size) - 1].item() for k in spec[1]
+            )
+            infos.append(("finish", values, int(rest.size)))
+            partitions.append(None)
+            continue
+        if not contrib:  # empty sample union: retry the segment
+            infos.append(("empty",))
+            partitions.append(None)
+            continue
+        _, ranks, mid_rank, seg_n = spec
+        union = np.sort(np.concatenate(contrib))
+        lo_p, hi_p = fr_pivots(union, mid_rank, seg_n)
+        below = seg < lo_p
+        mid = (seg >= lo_p) & (seg <= hi_p)
+        parts = (seg[below], seg[mid], seg[~below & ~mid])
+        infos.append(None)  # filled in below, once the counts arrive
+        partitions.append((parts, lo_p, hi_p, int(union.size)))
+        counts_vec.extend([parts[0].size, parts[1].size])
+
+    totals = None
+    if counts_vec:  # replicated decision: all ranks agree on the specs
+        totals = yield (
+            "allreduce", np.asarray(counts_vec, dtype=np.int64), "sum"
+        )
+
+    new_segs: list[np.ndarray] = []
+    ci = 0
+    for s, spec in enumerate(specs):
+        if partitions[s] is None:
+            if infos[s][0] == "empty":
+                new_segs.append(segs[s])
+            continue
+        parts, lo_p, hi_p, usize = partitions[s]
+        na, nb = int(totals[2 * ci]), int(totals[2 * ci + 1])
+        ci += 1
+        infos[s] = (
+            "split", lo_p, hi_p, na, nb, usize,
+            int(parts[0].size), int(parts[1].size),
+        )
+        ranks = spec[1]
+        if any(k <= na for k in ranks):
+            new_segs.append(parts[0])
+        if any(na < k <= na + nb for k in ranks) and lo_p != hi_p:
+            new_segs.append(parts[1])
+        if any(k > na + nb for k in ranks):
+            new_segs.append(parts[2])
+    return new_segs, (infos, sample_words)
 
 
 def multi_select(
@@ -36,8 +151,10 @@ def multi_select(
 
     Returns results in the order of the *sorted, deduplicated* ranks --
     use :func:`quantiles` for a friendlier interface.  Cost: shared
-    recursion over disjoint segments; each segment pays one Bernoulli
-    sample + one vector all-reduction per level.
+    recursion over disjoint segments; each *level* pays one fused
+    Bernoulli-sample allgather and one fused part-count all-reduction
+    covering every active segment, executed as a single resident SPMD
+    worker command (the slices never leave the backend).
     """
     n = data.global_size
     ks_sorted = sorted(set(int(k) for k in ks))
@@ -45,95 +162,106 @@ def multi_select(
         return []
     if ks_sorted[0] < 1 or ks_sorted[-1] > n:
         raise ValueError(f"ranks must lie in 1..{n}, got {ks_sorted[0]}..{ks_sorted[-1]}")
+    p = machine.p
     if base_case is None:
-        base_case = int(max(64, 4 * np.sqrt(machine.p)))
+        base_case = int(max(64, 4 * np.sqrt(p)))
 
     out: dict[int, object] = {}
-    # Work list of (chunks, ranks-relative, rank-offset, segment-size).
-    # The root size comes from one all-reduction; child segment sizes are
-    # derived locally from the per-level part counts, so each segment
-    # pays one collective per level instead of two.
-    chunks0 = [np.asarray(c) for c in data.chunks]
-    sizes0 = [c.size for c in chunks0]
-    n_total = int(machine.allreduce(sizes0, op="sum")[0])
-    segments = [(chunks0, ks_sorted, 0, n_total)]
+    # The root size falls out of the driver-tracked sizes (the one-word
+    # all-reduction the algorithm needs is charged through the meter);
+    # child segment sizes derive from the returned per-level part counts.
+    sizes0 = data.sizes()
+    machine._meter_allreduce(words=1)
+    n_total = int(sizes0.sum())
+    seg_refs, _, _ = machine.backend.map_resident(
+        _wrap_segments, [data._ensure_ref()], n_out=1
+    )
+    seg_ref = seg_refs[0]
+    segments = [_Segment(tuple(ks_sorted), 0, n_total, sizes0.astype(np.int64))]
     depth = 0
     while segments:
         depth += 1
-        next_segments = []
-        for chunks, ranks, offset, seg_n in segments:
-            sizes = np.array([c.size for c in chunks], dtype=np.int64)
-            if seg_n <= base_case or depth >= max_depth:
-                _finish_segment(machine, chunks, ranks, offset, out)
+        force_finish = depth >= max_depth
+        specs: list[tuple] = []
+        idxs: list[list] = [[] for _ in range(p)]
+        for seg in segments:
+            if seg.n <= base_case or force_finish:
+                specs.append(("finish", seg.ranks))
+                for i in range(p):
+                    idxs[i].append(None)
                 continue
+            rho = min(1.0, np.sqrt(p) / seg.n)
+            # index draws stay in the driver, keeping machine.rngs in
+            # step across backends (same draw sequence as sampling the
+            # values directly); only the small index arrays travel
+            for i in range(p):
+                idxs[i].append(
+                    bernoulli_sample_indices(machine.rngs[i], int(seg.sizes[i]), rho)
+                )
+            machine.charge_ops([max(1.0, rho * s) for s in seg.sizes])
+            mid_rank = seg.ranks[len(seg.ranks) // 2]
+            specs.append(("split", seg.ranks, mid_rank, seg.n))
 
-            rho = min(1.0, np.sqrt(machine.p) / seg_n)
-            local_samples = [
-                bernoulli_sample(machine.rngs[i], chunks[i], rho)
-                for i in range(machine.p)
-            ]
-            machine.charge_ops([max(1.0, rho * s) for s in sizes])
-            gathered = machine.allgather(local_samples)[0]
-            nonempty = [s for s in gathered if s.size]
-            if not nonempty:
-                next_segments.append((chunks, ranks, offset, seg_n))
+        out_refs, vals = machine.backend.run_spmd(
+            _multi_select_level,
+            [seg_ref],
+            n_out=1,
+            args=[(specs, idxs[i]) for i in range(p)],
+        )
+        seg_ref = out_refs[0]
+        # re-play the model from the small returned values
+        machine._meter_allgather(words=[v[1] for v in vals])
+        infos0 = vals[0][0]
+        next_segments: list[_Segment] = []
+        counted_split = False
+        for s, seg in enumerate(segments):
+            info = infos0[s]
+            if info[0] == "finish":
+                _, values, rest_size = info
+                machine.charge_ops(
+                    max(1, rest_size) * np.log2(max(rest_size, 2))
+                )
+                for k, v in zip(seg.ranks, values):
+                    out[seg.offset + k] = v
                 continue
-            sample = np.sort(np.concatenate(nonempty))
-            machine.charge_ops(sample.size * np.log2(max(sample.size, 2)))
-
-            # pivot around the median *rank* of this segment
-            mid_rank = ranks[len(ranks) // 2]
-            lo_p, hi_p = fr_pivots(sample, mid_rank, seg_n)
-
-            parts_lo, parts_mid, parts_hi = [], [], []
-            n_lo = np.zeros(machine.p, dtype=np.int64)
-            n_mid = np.zeros(machine.p, dtype=np.int64)
-            for i in range(machine.p):
-                c = chunks[i]
-                below = c < lo_p
-                mid = (c >= lo_p) & (c <= hi_p)
-                parts_lo.append(c[below])
-                parts_mid.append(c[mid])
-                parts_hi.append(c[~below & ~mid])
-                n_lo[i] = parts_lo[-1].size
-                n_mid[i] = parts_mid[-1].size
-            machine.charge_ops(sizes.astype(np.float64))
-            counts = machine.allreduce(
-                [np.array([n_lo[i], n_mid[i]]) for i in range(machine.p)], op="sum"
-            )[0]
-            na, nb = int(counts[0]), int(counts[1])
-
-            lo_ranks = [k for k in ranks if k <= na]
-            mid_ranks = [k - na for k in ranks if na < k <= na + nb]
-            hi_ranks = [k - na - nb for k in ranks if k > na + nb]
+            if info[0] == "empty":
+                next_segments.append(seg)
+                continue
+            _, lo_p, hi_p, na, nb, usize, _, _ = info
+            counted_split = True
+            machine.charge_ops(usize * np.log2(max(usize, 2)))
+            machine.charge_ops(seg.sizes.astype(np.float64))
+            n_lo = np.array([int(vals[i][0][s][6]) for i in range(p)], dtype=np.int64)
+            n_mid = np.array([int(vals[i][0][s][7]) for i in range(p)], dtype=np.int64)
+            lo_ranks = [k for k in seg.ranks if k <= na]
+            mid_ranks = [k - na for k in seg.ranks if na < k <= na + nb]
+            hi_ranks = [k - na - nb for k in seg.ranks if k > na + nb]
             if lo_ranks:
-                next_segments.append((parts_lo, lo_ranks, offset, na))
+                next_segments.append(
+                    _Segment(tuple(lo_ranks), seg.offset, na, n_lo)
+                )
             if mid_ranks:
                 if lo_p == hi_p:
+                    v = lo_p.item() if hasattr(lo_p, "item") else lo_p
                     for k in mid_ranks:
-                        out[offset + na + k] = (
-                            lo_p.item() if hasattr(lo_p, "item") else lo_p
-                        )
+                        out[seg.offset + na + k] = v
                 else:
-                    next_segments.append((parts_mid, mid_ranks, offset + na, nb))
+                    next_segments.append(
+                        _Segment(tuple(mid_ranks), seg.offset + na, nb, n_mid)
+                    )
             if hi_ranks:
                 next_segments.append(
-                    (parts_hi, hi_ranks, offset + na + nb, seg_n - na - nb)
+                    _Segment(
+                        tuple(hi_ranks), seg.offset + na + nb,
+                        seg.n - na - nb, seg.sizes - n_lo - n_mid,
+                    )
                 )
+        if counted_split:
+            n_split = sum(1 for info in infos0 if info[0] == "split")
+            machine._meter_allreduce(words=2 * n_split)
         segments = next_segments
 
     return [out[k] for k in ks_sorted]
-
-
-def _finish_segment(machine, chunks, ranks, offset, out) -> None:
-    """Gather a small residual segment to PE 0 and read off its ranks."""
-    gathered = machine.gather(chunks, root=0)[0]
-    rest = np.sort(np.concatenate([c for c in gathered if c.size]))
-    machine.charge_ops_one(0, max(1, rest.size) * np.log2(max(rest.size, 2)))
-    values = [rest[min(k, rest.size) - 1].item() for k in ranks]
-    values = machine.broadcast(values, root=0)[0]
-    for k, v in zip(ranks, values):
-        out[offset + k] = v
 
 
 def quantiles(machine: Machine, data: DistArray, qs) -> list:

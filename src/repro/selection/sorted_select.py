@@ -165,6 +165,108 @@ def _sorted_base_case(machine: Machine, seqs, lo, hi, k: int):
     return machine.broadcast(value, root=0)[0]
 
 
+# ----------------------------------------------------------------------
+# SPMD generator form (resident execution inside backend workers)
+# ----------------------------------------------------------------------
+#
+# The bulk priority queues keep their search trees resident in the
+# execution backend; their rank selection therefore runs *where the
+# trees live* as one generator SPMD step (``Backend.run_spmd``).  The
+# generators below mirror the driver algorithms above collective for
+# collective, but each rank sees only its own sequence; embedded
+# collectives are ``yield``ed, the machine's random streams travel by
+# state pass-through (:mod:`repro.machine.rngstate`), and every charge
+# the driver version would have made is appended to ``log`` for
+# :meth:`Machine.replay_charges`.
+
+def ms_select_gen(rank, p, seq, k, shared_rng, log, *, base_case=64, max_rounds=200):
+    """SPMD generator: globally k-th smallest over per-rank sorted views.
+
+    ``seq`` is this rank's :class:`SortedSequence`-style view;
+    ``shared_rng`` a generator reconstructed from the machine's shared
+    stream (every rank draws identically).  Yields SPMD collectives and
+    returns ``(value, rounds)``.
+    """
+    from ..machine.metrics import payload_words
+
+    totals = yield ("allreduce", len(seq), "sum")
+    log.append(("allreduce", 1))
+    n = int(totals)
+    k = check_rank(k, n)
+
+    lo, hi = 0, min(len(seq), k)
+    rounds = 0
+    while True:
+        size = hi - lo
+        total, offset = yield ("allreduce_exscan", size, "sum", 0)
+        log.append(("allreduce_exscan", 1))
+        if total <= max(base_case, 1) or rounds >= max_rounds:
+            window = [seq.item(x) for x in range(lo, hi)]
+            log.append(("ops", max(1, size)))
+            gathered = yield ("allgather", window)
+            log.append(("allgather", payload_words(window)))
+            rest = sorted(x for w in gathered for x in w)
+            log.append(("ops", len(rest) * np.log2(max(len(rest), 2))))
+            value = rest[min(k, len(rest)) - 1]
+            value = value.item() if hasattr(value, "item") else value
+            return value, rounds
+
+        # pivot: the g-th element of the remaining windows, g replicated
+        g = int(shared_rng.integers(total))
+        if offset <= g < offset + size:
+            candidate = seq.item(lo + (g - offset))
+            log.append(("ops", np.log2(max(size, 2))))
+        else:
+            candidate = TOP
+            log.append(("ops", 0.0))
+        v = yield ("allreduce", candidate, "min")
+        log.append(("allreduce", payload_words(candidate)))
+
+        le = int(np.clip(seq.count_le(v), lo, hi)) - lo
+        lt = _count_lt(seq, v, lo, hi)
+        log.append(("ops", np.log2(max(size, 2))))
+        counts = yield (
+            "allreduce", np.array([lt, le - lt], dtype=np.int64), "sum"
+        )
+        log.append(("allreduce", 2))
+        n_lt, n_eq = int(counts[0]), int(counts[1])
+
+        if n_lt >= k:
+            hi = lo + lt
+        elif n_lt + n_eq >= k:
+            return v, rounds + 1
+        else:
+            lo = lo + lt + (le - lt)
+            k -= n_lt + n_eq
+        rounds += 1
+
+
+def ms_select_with_cuts_gen(rank, p, seq, k, shared_rng, log, **kwargs):
+    """SPMD generator: k-th smallest plus this rank's exact cut.
+
+    Mirrors :func:`ms_select_with_cuts` -- the tie quota is granted in
+    PE order through one fused in-worker ``allreduce_exscan``.  Returns
+    ``(value, cut, rounds)`` with ``sum(cut) == k`` across ranks.
+    """
+    value, rounds = yield from ms_select_gen(
+        rank, p, seq, k, shared_rng, log, **kwargs
+    )
+    n_le = seq.count_le(value)
+    n_lt = _count_lt(seq, value, 0, len(seq))
+    eq = n_le - n_lt
+    log.append(("ops", np.log2(max(len(seq), 2))))
+    totals, prefix = yield (
+        "allreduce_exscan",
+        np.array([n_lt, eq], dtype=np.int64),
+        "sum",
+        np.zeros(2, dtype=np.int64),
+    )
+    log.append(("allreduce_exscan", 2))
+    quota = k - int(totals[0])
+    keep_eq = int(np.clip(quota - int(prefix[1]), 0, eq))
+    return value, n_lt + keep_eq, rounds
+
+
 def ms_select_with_cuts(
     machine: Machine, seqs, k: int, **kwargs
 ) -> tuple[object, list[int]]:

@@ -92,18 +92,26 @@ def _selection_round_kernel(rank: int, chunk: np.ndarray, idx, k: int, n: int):
     )
 
 
-def _below_equal_step(rank: int, chunk: np.ndarray, threshold) -> np.ndarray:
-    return np.array(
-        [int((chunk < threshold).sum()), int((chunk == threshold).sum())],
-        dtype=np.int64,
-    )
+def _topk_cut_kernel(rank: int, chunk: np.ndarray, threshold, k: int):
+    """Count + tie-grant + cut as ONE SPMD step (one backend round trip).
 
-
-def _cut_step(rank: int, chunk: np.ndarray, threshold, keep_eq: int) -> tuple:
-    sel = np.concatenate(
-        [chunk[chunk < threshold], chunk[chunk == threshold][: int(keep_eq)]]
+    The below/equal counts ride a fused in-worker ``allreduce_exscan``
+    (exactly :meth:`Machine.tie_grant_prefix`'s schedule); each PE then
+    grants its tie quota and cuts locally, so the selected elements
+    never leave the worker.  Returns the cut chunk plus the small
+    ``(below, equal, selected)`` count triple the driver re-plays the
+    cost model from.
+    """
+    below = chunk < threshold
+    equal = chunk == threshold
+    counts = np.array([int(below.sum()), int(equal.sum())], dtype=np.int64)
+    totals, prefix = yield (
+        "allreduce_exscan", counts, "sum", np.zeros(2, dtype=np.int64)
     )
-    return (sel, sel.size)
+    quota = k - int(totals[0])
+    keep_eq = int(np.clip(quota - int(prefix[1]), 0, counts[1]))
+    sel = np.concatenate([chunk[below], chunk[equal][:keep_eq]])
+    return sel, (int(counts[0]), int(counts[1]), sel.size)
 
 
 def select_kth(
@@ -239,11 +247,14 @@ def select_topk_smallest(
 ) -> tuple[DistArray, float]:
     """Extract the k globally smallest elements, exactly.
 
-    Runs :func:`select_kth` to find the threshold, then cuts locally
-    inside the workers: all elements strictly below the threshold are
-    selected, and the remaining quota of threshold-equal elements is
-    granted in PE order (a prefix-sum decides how many duplicates each
-    PE keeps), so the output size is exactly ``k`` regardless of ties.
+    Runs :func:`select_kth` to find the threshold, then finishes in a
+    single SPMD step per Section 4's output convention: every PE counts
+    its below/equal elements, the two-word counts ride one fused
+    in-worker ``allreduce_exscan`` (total below + tie prefix), and each
+    PE grants its remaining quota of threshold-equal duplicates in PE
+    order and cuts locally -- so the output size is exactly ``k``
+    regardless of ties, at the price of ONE backend round trip (the
+    former count + tie-grant + cut sequence paid three).
 
     Returns ``(selected, threshold)``; ``selected`` stays distributed --
     possibly unevenly, which Section 9's redistribution can fix.
@@ -252,19 +263,19 @@ def select_topk_smallest(
     k = check_rank(k, n)
     threshold = select_kth(machine, data, k, **kwargs)
     p = machine.p
-    counts = data.map_values(_below_equal_step, args=[(threshold,)] * p)
-    below_counts = [int(c[0]) for c in counts]
-    equal_counts = [int(c[1]) for c in counts]
-    machine.charge_ops(data.sizes().astype(np.float64))
-    # fused collective: below-threshold total and tie prefix in one schedule
-    quota, eq_before = machine.tie_grant_prefix(below_counts, equal_counts, k)
-    keep_eq = [
-        int(np.clip(quota - eq_before[i], 0, equal_counts[i])) for i in range(p)
-    ]
-    refs, sel_sizes, _ = data._map_resident(
-        _cut_step, n_out=1, args=[(threshold, keep_eq[i]) for i in range(p)]
+    refs, vals = machine.backend.run_spmd(
+        _topk_cut_kernel,
+        [data._ensure_ref()],
+        n_out=1,
+        args=[(threshold, k)] * p,
     )
-    out = DistArray(machine, ref=refs[0], sizes=sel_sizes, dtype=data.dtype)
+    # re-play the model: the local counting pass, then the fused
+    # two-word collective (same charges the step-by-step driver made)
+    machine.charge_ops(data.sizes().astype(np.float64))
+    machine._meter_allreduce_exscan(2)
+    out = DistArray(
+        machine, ref=refs[0], sizes=[v[2] for v in vals], dtype=data.dtype
+    )
     return out, threshold
 
 

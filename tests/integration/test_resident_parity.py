@@ -1,0 +1,206 @@
+"""Integration: the PR-3 resident conversions are bit-identical across
+backends with unchanged modeled cost.
+
+Covers the subsystems converted to resident-chunk SPMD execution after
+the selection/frequent pipelines: multiselection (and quantiles), data
+redistribution, and both bulk priority queues.  Each test builds a sim
+and an mp machine from the same seed, runs the same workload, and
+demands identical outputs *and* identical modeled quantities (makespan,
+bottleneck volume/startups) -- the acceptance bar of the conversion.
+
+``PS`` includes a non-power-of-two p so the in-worker schedules'
+general-p paths are exercised end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import DistKeyValue, top_k_sums_ec
+from repro.machine import DistArray, Machine
+from repro.pqueue import BulkParallelPQ, RandomAllocPQ
+from repro.redistribution import naive_rebalance, redistribute
+from repro.selection import multi_select, quantiles, select_topk_smallest
+from repro.testing import make_dist, sorted_oracle
+
+PS = [1, 2, 4, 5, 8]
+
+
+def _machines(p, seed):
+    return Machine(p=p, seed=seed), Machine(p=p, seed=seed, backend="mp")
+
+
+def _assert_model_equal(sim, real):
+    assert sim.clock.makespan == real.clock.makespan
+    assert sim.metrics.bottleneck_words == real.metrics.bottleneck_words
+    assert sim.metrics.bottleneck_startups == real.metrics.bottleneck_startups
+
+
+@pytest.mark.parametrize("p", PS)
+class TestMultiSelectParity:
+    def test_multi_select_bit_identical_and_cost_equal(self, p):
+        sim, real = _machines(p, seed=41)
+        with real:
+            rng = np.random.default_rng(5)
+            d_sim = make_dist(sim, np.random.default_rng(5), 700)
+            d_real = make_dist(real, np.random.default_rng(5), 700)
+            n = d_sim.global_size
+            ks = [1, 13, n // 3, n // 2, n]
+            sim.reset(), real.reset()
+            v_sim = multi_select(sim, d_sim, ks)
+            v_real = multi_select(real, d_real, ks)
+        assert v_sim == v_real
+        s = sorted_oracle(d_sim)
+        assert v_sim == [s[k - 1] for k in sorted(set(ks))]
+        _assert_model_equal(sim, real)
+
+    def test_quantiles(self, p):
+        sim, real = _machines(p, seed=42)
+        with real:
+            d_sim = make_dist(sim, np.random.default_rng(6), 300)
+            d_real = make_dist(real, np.random.default_rng(6), 300)
+            qs = [0.0, 0.25, 0.5, 0.9, 1.0]
+            assert quantiles(sim, d_sim, qs) == quantiles(real, d_real, qs)
+
+
+@pytest.mark.parametrize("p", PS)
+class TestRedistributionParity:
+    def _skewed(self, machine, seed):
+        rng = np.random.default_rng(seed)
+        sizes = [400] + [7] * (machine.p - 1)
+        return DistArray(
+            machine,
+            [rng.integers(0, 10**6, s).astype(np.int64) for s in sizes],
+        )
+
+    def test_redistribute_bit_identical_and_cost_equal(self, p):
+        sim, real = _machines(p, seed=43)
+        with real:
+            d_sim, d_real = self._skewed(sim, 7), self._skewed(real, 7)
+            sim.reset(), real.reset()
+            o_sim, s_sim = redistribute(sim, d_sim)
+            o_real, s_real = redistribute(real, d_real)
+            assert s_sim == s_real
+            for a, b in zip(o_sim.chunks, o_real.chunks):
+                np.testing.assert_array_equal(a, b)
+            n_bar = -(-o_sim.global_size // p)
+            assert all(s <= n_bar for s in o_sim.sizes())
+            _assert_model_equal(sim, real)
+
+    def test_naive_rebalance(self, p):
+        sim, real = _machines(p, seed=44)
+        with real:
+            d_sim, d_real = self._skewed(sim, 8), self._skewed(real, 8)
+            o_sim, m_sim = naive_rebalance(sim, d_sim)
+            o_real, m_real = naive_rebalance(real, d_real)
+            assert m_sim == m_real
+            for a, b in zip(o_sim.chunks, o_real.chunks):
+                np.testing.assert_array_equal(a, b)
+            _assert_model_equal(sim, real)
+
+    def test_balanced_input_shares_the_resident_chunks(self, p):
+        """No plan -> no worker exchange; the result aliases the input's
+        resident handle instead of copying it."""
+        sim, real = _machines(p, seed=45)
+        with real:
+            rng = np.random.default_rng(9)
+            mk = lambda m: DistArray(
+                m, [rng.integers(0, 100, 20) for _ in range(p)]
+            )
+            rng = np.random.default_rng(9)
+            d_sim = mk(sim)
+            rng = np.random.default_rng(9)
+            d_real = mk(real)
+            o_sim, s_sim = redistribute(sim, d_sim)
+            o_real, s_real = redistribute(real, d_real)
+            assert s_sim.moved == s_real.moved == 0
+            assert o_real._ref is d_real._ensure_ref()
+
+
+@pytest.mark.parametrize("p", PS)
+class TestPriorityQueueParity:
+    def test_bulk_pq_full_cycle(self, p):
+        sim, real = _machines(p, seed=46)
+        with real:
+            q_sim, q_real = BulkParallelPQ(sim), BulkParallelPQ(real)
+            r1, r2 = np.random.default_rng(11), np.random.default_rng(11)
+            sim.reset(), real.reset()
+            for _ in range(3):
+                q_sim.insert([list(r1.random(40)) for _ in range(p)])
+                q_real.insert([list(r2.random(40)) for _ in range(p)])
+                assert q_sim.peek_min() == q_real.peek_min()
+                assert q_sim.total_size() == q_real.total_size()
+                res_sim = q_sim.delete_min(15 * p)
+                res_real = q_real.delete_min(15 * p)
+                assert res_sim == res_real
+            f_sim = q_sim.delete_min_flexible(3, 10 * p)
+            f_real = q_real.delete_min_flexible(3, 10 * p)
+            assert f_sim == f_real
+            _assert_model_equal(sim, real)
+
+    def test_bulk_pq_matches_oracle(self, p):
+        sim, real = _machines(p, seed=47)
+        with real:
+            q = BulkParallelPQ(real)
+            rng = np.random.default_rng(13)
+            batches = [list(rng.random(30)) for _ in range(p)]
+            q.insert(batches)
+            res = q.delete_min(10 * p)
+            got = sorted(s for b in res.batches for s, _ in b)
+            allv = sorted(v for b in batches for v in b)
+            assert got == pytest.approx(allv[: 10 * p])
+
+    def test_random_alloc_pq(self, p):
+        sim, real = _machines(p, seed=48)
+        with real:
+            q_sim, q_real = RandomAllocPQ(sim), RandomAllocPQ(real)
+            r1, r2 = np.random.default_rng(17), np.random.default_rng(17)
+            sim.reset(), real.reset()
+            q_sim.insert([list(r1.random(30)) for _ in range(p)])
+            q_real.insert([list(r2.random(30)) for _ in range(p)])
+            assert q_sim.total_size() == q_real.total_size()
+            assert q_sim.delete_min(9 * p) == q_real.delete_min(9 * p)
+            _assert_model_equal(sim, real)
+
+    def test_insert_stays_communication_free_on_mp(self, p):
+        """Section 5's defining property survives the resident port."""
+        with Machine(p=p, seed=49, backend="mp") as real:
+            q = BulkParallelPQ(real)
+            real.reset()
+            q.insert([[0.5, 0.25] for _ in range(p)])
+            assert real.metrics.total_traffic == 0
+
+
+@pytest.mark.parametrize("p", PS)
+class TestTopkCutParity:
+    def test_one_step_cut_modeled_cost(self, p):
+        """The collapsed count+tie-grant+cut step stays bit-identical
+        and model-identical (heavy ties force the tie-grant path)."""
+        sim, real = _machines(p, seed=50)
+        with real:
+            d_sim = make_dist(sim, np.random.default_rng(19), 200, lo=0, hi=5)
+            d_real = make_dist(real, np.random.default_rng(19), 200, lo=0, hi=5)
+            sim.reset(), real.reset()
+            s_sel, s_thr = select_topk_smallest(sim, d_sim, 77)
+            r_sel, r_thr = select_topk_smallest(real, d_real, 77)
+            assert s_thr == r_thr
+            assert s_sel.global_size == r_sel.global_size == 77
+            for a, b in zip(s_sel.chunks, r_sel.chunks):
+                np.testing.assert_array_equal(a, b)
+            _assert_model_equal(sim, real)
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 8])
+class TestSumAggregationParity:
+    def test_ec_resident_tables(self, p):
+        sim, real = _machines(p, seed=51)
+        with real:
+            mk = lambda m: DistKeyValue.generate(
+                m, lambda r, g: (g.integers(0, 48, 500), g.random(500) * 3)
+            )
+            d_sim, d_real = mk(sim), mk(real)
+            sim.reset(), real.reset()
+            r_sim = top_k_sums_ec(sim, d_sim, 5, eps=5e-2, delta=1e-3)
+            r_real = top_k_sums_ec(real, d_real, 5, eps=5e-2, delta=1e-3)
+            assert r_sim.items == r_real.items
+            assert r_sim.sample_size == r_real.sample_size
+            _assert_model_equal(sim, real)

@@ -36,6 +36,20 @@ def _spmd_kernel(rank, chunk, scale):
     return (chunk + total, (total, tuple(gathered)))
 
 
+def _spmd_alltoall_kernel(rank, chunk, p):
+    received = yield ("alltoall", [(rank, j) for j in range(p)])
+    return tuple(received)
+
+
+def _spmd_sendrecv_kernel(rank, chunk, p):
+    # ring exchange: everyone sends one payload to rank+1
+    row = [None] * p
+    row[(rank + 1) % p] = ("from", rank)
+    srcs = [(rank - 1) % p]
+    received = yield ("sendrecv", row, srcs)
+    return tuple(received)
+
+
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestBackendResidentProtocol:
     def _machine(self, backend, p=3):
@@ -97,6 +111,28 @@ class TestBackendResidentProtocol:
             out = m.backend.get_chunks(out_refs[0])
             for rank, c in enumerate(out):
                 np.testing.assert_array_equal(c, np.full(2, rank) + 6)
+
+    def test_run_spmd_alltoall(self, backend):
+        with self._machine(backend) as m:
+            p = m.p
+            ref = m.backend.put_chunks([np.zeros(1)] * p)
+            _, values = m.backend.run_spmd(
+                _spmd_alltoall_kernel, [ref], args=[(p,)] * p
+            )
+            for j in range(p):
+                assert values[j] == tuple((i, j) for i in range(p))
+
+    def test_run_spmd_sendrecv(self, backend):
+        with self._machine(backend) as m:
+            p = m.p
+            ref = m.backend.put_chunks([np.zeros(1)] * p)
+            _, values = m.backend.run_spmd(
+                _spmd_sendrecv_kernel, [ref], args=[(p,)] * p
+            )
+            for j in range(p):
+                expected = [None] * p
+                expected[(j - 1) % p] = ("from", (j - 1) % p)
+                assert values[j] == tuple(expected)
 
     def test_free_reclaims_slots(self, backend):
         import gc

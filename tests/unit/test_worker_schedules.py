@@ -170,6 +170,43 @@ class TestMessageCounts:
         assert delta < stats.rounds * p * (p - 1)  # direct exchange would
 
 
+class TestBroadcastCommandChannel:
+    """Full-pool commands cost O(1) driver sends: one frame to rank 0,
+    tree-forwarded by the workers (p - 1 forwards per command)."""
+
+    @pytest.mark.parametrize("p", [2, 4, 5, 8])
+    def test_driver_sends_one_frame_per_collective(self, p):
+        with Machine(p=p, seed=9, backend="mp") as m:
+            vals = list(range(p))
+            m.allreduce(vals)  # start the pool
+            matrix = [[(i, j) if i != j else None for j in range(p)] for i in range(p)]
+            before = m.backend.driver_sends
+            m.allreduce(vals)
+            m.allgather(vals)
+            m.scan(vals)
+            m.alltoall(matrix)
+            assert m.backend.driver_sends - before == 4
+
+    @pytest.mark.parametrize("p", [4, 5, 8])
+    def test_workers_forward_along_the_tree(self, p):
+        with Machine(p=p, seed=9, backend="mp") as m:
+            vals = list(range(p))
+            m.allreduce(vals)
+            base = sum(m.backend.command_fanout_counts())
+            m.allreduce(vals)
+            after = sum(m.backend.command_fanout_counts())
+            # the allreduce plus the stats read itself: two commands,
+            # p - 1 tree forwards each
+            assert after - base == 2 * (p - 1)
+
+    def test_p2p_keeps_the_direct_path(self):
+        with Machine(p=4, seed=9, backend="mp") as m:
+            m.allreduce([1, 2, 3, 4])
+            before = m.backend.driver_sends
+            assert m.send(0, 2, 17) == 17
+            assert m.backend.driver_sends - before == 2  # src and dst only
+
+
 class TestLargePayloads:
     """Payloads far beyond the pipe buffer must flow (the cooperative-
     drain path of the channel transport; a regression here deadlocks,
