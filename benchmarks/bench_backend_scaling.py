@@ -14,7 +14,12 @@ per ``p``:
 * ``worker_msgs`` -- total worker-exchange messages (the O(p log p)
   quantity the resident-chunk refactor bounds),
 * ``driver_sends`` -- driver command-channel writes per collective (the
-  O(1) the broadcast command channel bounds; p direct sends before it).
+  O(1) the broadcast command channel bounds; p direct sends before it),
+* ``wire_bytes`` / ``shm_bytes`` -- measured driver transport bytes:
+  what physically crossed the command/result pipes vs what rode
+  shared-memory blocks (the zero-copy data plane; see the ``transport``
+  experiment, which runs the same large-payload workloads with the
+  shared-memory lane on and off and asserts the wire bytes collapse).
 
 Results are appended-as-written to ``results/BENCH_backend_scaling.json``
 so the perf trajectory accumulates across PRs; each invocation stores
@@ -134,7 +139,77 @@ def _row(experiment, algorithm, rep, p, n_per_pe, wall):
         "time_s": rep.makespan,
         "wall_s": wall,
         "backend_wall_s": rep.backend_wall_s,
+        "wire_bytes": rep.wire_bytes,
+        "shm_bytes": rep.shm_bytes,
     }
+
+
+def _transport_rows(p, n_per_pe, repeats=3):
+    """Zero-copy data plane: the same large-payload workloads with the
+    shared-memory lane enabled vs disabled (in-band pipe framing).
+
+    Covers the two bulk flows: chunk upload/download (driver <-> worker)
+    and skewed redistribution (worker <-> worker sendrecv rows).
+    """
+    from repro.machine.backends import MultiprocessingBackend
+    from repro.machine.backends.shm import DEFAULT_THRESHOLD
+
+    rows = []
+    for lane, threshold in (("shm", DEFAULT_THRESHOLD), ("inband", None)):
+        # -- chunk roundtrip: pin p chunks, transform, fetch the result
+        with Machine(p=p, seed=71, backend=MultiprocessingBackend(
+                p, shm_threshold=threshold)) as m:
+            rng = np.random.default_rng(71)
+            chunks = [rng.random(n_per_pe) for _ in range(p)]
+            m.allreduce([0] * p)  # start the pool outside the timer
+            m.reset()
+            wall = float("inf")  # min over repeats: stable on busy boxes
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                d = DistArray(m, chunks, resident=True)
+                out = d.negate()          # worker-side result: fetch is real
+                out.chunks               # download through the transport
+                wall = min(wall, time.perf_counter() - t0)
+            rep = m.report()
+        rows.append(_row("transport", f"chunk_roundtrip[{lane}]",
+                         rep, p, n_per_pe, wall))
+
+        # -- redistribution: skewed layout, worker-to-worker transfers.
+        # The bulk payload here moves between the workers, invisible to
+        # the driver-side report counters -- record the per-worker
+        # transport totals so the lane split shows up in the row.
+        with Machine(p=p, seed=72, backend=MultiprocessingBackend(
+                p, shm_threshold=threshold)) as m:
+            rng = np.random.default_rng(72)
+            sizes = [(p - 1) * n_per_pe] + [n_per_pe // 4] * (p - 1)
+            wall = float("inf")
+            w0 = None
+            for i in range(repeats):
+                data = DistArray(
+                    m,
+                    [rng.integers(0, 10**6, s).astype(np.int64) for s in sizes],
+                    resident=True,
+                )
+                if i == repeats - 1:
+                    # snapshot right before the last timed section so the
+                    # byte delta covers exactly ONE redistribution (no
+                    # staging/pinning traffic, no repeat accumulation)
+                    w0 = m.backend.worker_transport_counts()
+                m.reset()  # time (and model) only the redistribution
+                t0 = time.perf_counter()
+                redistribute(m, data)
+                wall = min(wall, time.perf_counter() - t0)
+            w1 = m.backend.worker_transport_counts()
+            rep = m.report()
+        row = _row("transport", f"redistribute[{lane}]", rep, p, n_per_pe, wall)
+        row["worker_wire_bytes"] = sum(
+            b["wire_tx"] - a["wire_tx"] for a, b in zip(w0, w1)
+        )
+        row["worker_shm_bytes"] = sum(
+            b["shm_tx"] - a["shm_tx"] for a, b in zip(w0, w1)
+        )
+        rows.append(row)
+    return rows
 
 
 def _collective_msgs(p_list):
@@ -183,18 +258,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke: tiny inputs, p <= 4"
     )
+    parser.add_argument(
+        "--transport-n", type=int, default=None,
+        help="per-PE elements of the transport (shm vs in-band) workloads"
+        " (default: 1<<17 elements = 1 MiB per chunk; 1<<14 with --quick)",
+    )
     parser.add_argument("--out", type=pathlib.Path, default=OUT)
     args = parser.parse_args(argv)
 
     p_list = [p for p in args.p if p <= 4] if args.quick else args.p
     n_per_pe = 1 << 10 if args.quick else args.n_per_pe
     ks = (64, 1024) if args.quick else (1 << 6, 1 << 10, 1 << 14)
+    if args.transport_n is None:
+        args.transport_n = 1 << 14 if args.quick else 1 << 17
 
     rows = []
     for backend in ("sim", "mp"):
         rows += _selection_rows(tuple(p_list), n_per_pe, ks, backend)
         rows += _resident_rows(p_list, n_per_pe, backend)
     rows += _collective_msgs(p_list)
+    rows += _transport_rows(max(p_list), args.transport_n)
 
     # modeled time must be backend-independent, wall-clock is the story
     by_key = {}
@@ -210,6 +293,12 @@ def main(argv=None) -> int:
     for r in rows:
         if r["experiment"] == "collectives":
             assert r["driver_sends"] == 1, r
+    # the zero-copy data plane: with the shm lane on, per-collective
+    # wire bytes of the large-chunk workload collapse to descriptors
+    tr = {r["algorithm"]: r for r in rows if r["experiment"] == "transport"}
+    shm_r, inband_r = tr["chunk_roundtrip[shm]"], tr["chunk_roundtrip[inband]"]
+    assert shm_r["shm_bytes"] > 0, shm_r
+    assert shm_r["wire_bytes"] < inband_r["wire_bytes"] / 10, (shm_r, inband_r)
 
     run = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -228,13 +317,15 @@ def main(argv=None) -> int:
     history.setdefault("runs", []).append(run)
     args.out.write_text(json.dumps(history, indent=2) + "\n")
 
-    print(f"{'experiment':26s} {'algorithm':20s} {'backend':7s} {'p':>3s} "
-          f"{'time_s':>10s} {'wall_s':>8s} {'msgs':>6s} {'sends':>5s}")
+    print(f"{'experiment':26s} {'algorithm':24s} {'backend':7s} {'p':>3s} "
+          f"{'time_s':>10s} {'wall_s':>8s} {'msgs':>6s} {'sends':>5s} "
+          f"{'wire_B':>10s} {'shm_B':>10s}")
     for r in rows:
-        print(f"{r['experiment']:26s} {r['algorithm']:20s} {r['backend']:7s} "
+        print(f"{r['experiment']:26s} {r['algorithm']:24s} {r['backend']:7s} "
               f"{r['p']:3d} {r.get('time_s', float('nan')):10.3e} "
               f"{r.get('wall_s', 0.0):8.4f} {r.get('worker_msgs', ''):>6} "
-              f"{r.get('driver_sends', ''):>5}")
+              f"{r.get('driver_sends', ''):>5} {r.get('wire_bytes', ''):>10} "
+              f"{r.get('shm_bytes', ''):>10}")
     print(f"\nwrote {args.out} ({len(history['runs'])} accumulated runs)")
     return 0
 

@@ -172,9 +172,15 @@ def solve_knapsack_parallel(
     # stay one machine word of priority plus the uid
     tables: list[dict] = [dict() for _ in range(p)]
 
-    def push_local(rank: int, node, bound: float) -> None:
-        (uid,) = pq.insert_local(rank, [-bound])
-        tables[rank][uid[1]] = node
+    def push_batch(rank: int, nodes: list, bounds: list) -> None:
+        """Flush one PE's surviving children as a single bulk insert
+        (one ``insert_local`` call per PE per iteration instead of one
+        per element; identical uids, charges and queue state)."""
+        if not nodes:
+            return
+        uids = pq.insert_local(rank, [-b for b in bounds])
+        for uid, node in zip(uids, nodes):
+            tables[rank][uid[1]] = node
 
     incumbent = 0.0
     expanded = 0
@@ -212,8 +218,8 @@ def solve_knapsack_parallel(
         pieces[idx % p].append(item)
     machine.scatter(pieces, root=0)
     for rank, piece in enumerate(pieces):
-        for neg_bound, node in piece:
-            push_local(rank, node, -neg_bound)
+        push_batch(rank, [node for _, node in piece],
+                   [-neg_bound for neg_bound, _ in piece])
     incumbent = float(machine.allreduce([incumbent] * p, op="max")[0])
 
     while iterations < max_iterations:
@@ -229,6 +235,11 @@ def solve_knapsack_parallel(
         local_best = [0.0] * p
         for rank, batch in enumerate(res.batches):
             ops = 0.0
+            # batch this iteration's surviving children and flush them
+            # through one insert_local call per PE (the per-element
+            # bound filtering below is unchanged)
+            new_nodes: list = []
+            new_bounds: list = []
             for neg_bound, uid in batch:
                 node = tables[rank].pop(uid[1])
                 if -neg_bound <= incumbent + 1e-12:
@@ -240,8 +251,10 @@ def solve_knapsack_parallel(
                     local_best[rank] = max(local_best[rank], c_value)
                     bound = inst.greedy_bound(c_level, c_value, c_weight)
                     if bound > incumbent + 1e-12:
-                        push_local(rank, child, bound)
+                        new_nodes.append(child)
+                        new_bounds.append(bound)
                 ops += inst.n_items
+            push_batch(rank, new_nodes, new_bounds)
             if ops:
                 machine.charge_ops_one(rank, ops)
         incumbent = max(

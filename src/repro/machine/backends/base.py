@@ -79,6 +79,14 @@ class Backend(abc.ABC):
 
     name: str = "abstract"
     is_real: bool = False
+    #: transport capability flags (the zero-copy data plane).  In-process
+    #: backends move no bytes and leave both False; real transports that
+    #: frame messages as protocol-5 pickles with out-of-band buffers set
+    #: ``supports_oob_pickle``, and those that additionally route large
+    #: buffers through shared-memory segments set ``supports_shm``.
+    #: Future socket/MPI backends opt out simply by not setting them.
+    supports_oob_pickle: bool = False
+    supports_shm: bool = False
 
     def __init__(self, p: int):
         if p < 1:
@@ -257,6 +265,17 @@ class Backend(abc.ABC):
         quantity the O(p log p) schedules bound).
         """
         return [0] * self.p
+
+    def transport_bytes(self) -> dict[str, dict[str, int]]:
+        """Measured driver-side transport bytes per command kind:
+        ``{kind: {"wire": ..., "shm": ...}}`` where ``wire`` counts bytes
+        that physically crossed the command/result pipes and ``shm``
+        counts payload bytes that rode shared-memory blocks instead.
+        In-process backends move no bytes and return ``{}``; the machine
+        mirrors these counters into :class:`~repro.machine.metrics.
+        CommMetrics` (``wire_bytes``/``shm_bytes``).
+        """
+        return {}
 
     # ------------------------------------------------------------------
     # Lifecycle

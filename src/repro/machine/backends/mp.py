@@ -25,6 +25,17 @@ paths (integer counts, the package-wide case, stay bit-identical).
 
 Wire protocol
 -------------
+Messages are protocol-5 pickles whose out-of-band buffers travel on two
+lanes (the *zero-copy data plane*): small buffers ride the pipe inline
+via scatter-gather ``os.writev`` framing (no concatenation on send, no
+``bytes()`` copy on receive), and buffers at or above the shm threshold
+are copied once into a :mod:`~repro.machine.backends.shm` segment block
+while only a ``(name, offset, nbytes)`` descriptor crosses the pipe.
+Block recycling is round-based: the driver recycles when a command's
+results are all in, a worker when the next command (strictly larger
+sequence number) arrives -- both points at which every receiver of the
+finished round has provably decoded (and thereby copied) its payloads.
+
 The driver issues one command per operation, tagged with a monotonically
 increasing sequence number.  Full-pool commands ride the **broadcast
 command channel**: the driver writes a single frame (spec + the per-PE
@@ -93,11 +104,15 @@ from .base import (
     _collect_values,
     _run_spmd_inprocess,
 )
+from .shm import ShmPool, env_threshold, new_token, pool_family, reap_segments
 
 __all__ = ["MultiprocessingBackend"]
 
 #: seconds to wait for a worker before declaring the pool dead
 _TIMEOUT = 120.0
+
+#: "caller gave no value" marker for the shm-threshold override
+_UNSET = object()
 
 #: pools that still own live worker processes (for the atexit guard)
 _LIVE_POOLS: "weakref.WeakSet[MultiprocessingBackend]" = weakref.WeakSet()
@@ -113,8 +128,23 @@ def _close_leaked_pools() -> None:  # pragma: no cover - interpreter exit path
 
 
 # ----------------------------------------------------------------------
-# Transport: low-latency message channels
+# Transport: low-latency zero-copy message channels
 # ----------------------------------------------------------------------
+
+#: frames at least this big are received straight into a dedicated
+#: buffer (skipping the shared read buffer entirely)
+_DIRECT_RX_MIN = 1 << 16
+
+#: inline out-of-band buffers below this size are copied out of a
+#: dedicated frame instead of aliasing it (a tiny array must not pin a
+#: multi-megabyte frame alive)
+_ALIAS_MIN = 1 << 12
+
+#: compact the shared read buffer once this many bytes are consumed
+_COMPACT_MIN = 1 << 16
+
+_NO_FRAME = object()
+
 
 class _Channel:
     """Multi-producer, single-consumer message channel over an OS pipe.
@@ -122,9 +152,8 @@ class _Channel:
     ``multiprocessing.Queue`` routes every message through a per-process
     feeder thread -- two scheduler hops per hop, which dominates the
     latency of fine-grained collective schedules.  This channel writes
-    length-prefixed pickle frames straight into the pipe under a lock
-    (like ``SimpleQueue``), with two additions that make it safe for
-    worker meshes:
+    frames straight into the pipe under a lock (like ``SimpleQueue``),
+    with two additions that make it safe for worker meshes:
 
     * **timed receive** -- ``get(timeout)`` waits on the pipe with
       ``select``, so workers can still detect an orphaned driver;
@@ -134,70 +163,234 @@ class _Channel:
       *own* inbox while waiting, so a cycle of mutually-sending workers
       always makes progress.
 
+    Framing is zero-copy in both directions.  A frame is::
+
+        [8B frame_len][8B meta_len][meta][spec][inline buffers...]
+
+    where ``spec`` is the protocol-5 pickle of the object with its
+    out-of-band ``PickleBuffer``s elided and ``meta`` describes each
+    buffer: either ``(0, nbytes)`` -- the raw bytes follow inline in the
+    frame -- or ``(1, name, offset, nbytes)`` -- the bytes sit in a
+    shared-memory block (:mod:`repro.machine.backends.shm`) and only
+    this descriptor crosses the pipe.  The sender never concatenates:
+    header, spec and buffer views go out through scatter-gather
+    ``os.writev``.  The receiver slices buffers back out of the frame as
+    ``memoryview``s (large frames land in a dedicated ``bytearray`` the
+    decoded arrays then own) and reassembles the object with
+    ``pickle.loads(spec, buffers=...)``; shared-memory descriptors are
+    copied out of their segment exactly once, at decode time, which is
+    what makes the sender's round-based block recycling safe.
+
     Frames stay contiguous because the write lock is held for the whole
     frame; the single reader reassembles partial reads in a local
-    buffer.
+    buffer, compacted amortizedly (``_COMPACT_MIN``) instead of
+    ``del``-shifted per frame.
     """
 
     def __init__(self, ctx):
         self._reader, self._writer = ctx.Pipe(duplex=False)
         self._wlock = ctx.Lock()
         self._rbuf = bytearray()
+        self._roff = 0           # consumed prefix of _rbuf
+        self._direct = None      # [bytearray, filled] of an in-flight big frame
+        #: consumer-side byte counters (each process sees its own copy
+        #: of the channel object, so these count that process's traffic)
+        self.wire_rx = 0
+        self.shm_rx = 0
 
     # -- producer side -------------------------------------------------
-    def put(self, obj, drain: Callable | None = None) -> None:
-        buf = pickle.dumps(obj)
-        frame = len(buf).to_bytes(8, "little") + buf
+    def put(self, obj, drain: Callable | None = None, pool=None,
+            counters: dict | None = None) -> None:
+        """Send one message.  ``pool`` (a :class:`~repro.machine.
+        backends.shm.ShmPool`) routes large pickle buffers through
+        shared memory; ``counters`` (keys ``wire_tx``/``shm_tx``)
+        receives this message's byte accounting."""
+        bufs: list[pickle.PickleBuffer] = []
+
+        def _keep_oob(pb: pickle.PickleBuffer):
+            # pickle's convention: a falsy return takes the buffer
+            # out-of-band, a truthy one serializes it in-band
+            try:
+                pb.raw()
+            except BufferError:  # non-contiguous: let pickle copy in-band
+                return True
+            bufs.append(pb)
+            return False
+
+        spec = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL,
+                            buffer_callback=_keep_oob)
+        bufspecs: list[tuple] = []
+        tail: list[memoryview] = []
+        inline_bytes = 0
+        shm_bytes = 0
+        for pb in bufs:
+            raw = pb.raw()
+            nbytes = raw.nbytes
+            desc = pool.share(raw) if pool is not None else None
+            if desc is None:
+                bufspecs.append((0, nbytes))
+                tail.append(raw)
+                inline_bytes += nbytes
+            else:
+                bufspecs.append((1, desc[0], desc[1], nbytes))
+                shm_bytes += nbytes
+        meta = pickle.dumps((len(spec), tuple(bufspecs)),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        frame_len = 8 + len(meta) + len(spec) + inline_bytes
+        head = frame_len.to_bytes(8, "little") + len(meta).to_bytes(8, "little") + meta
+        # drop empty views (zero-length buffers): os.writev reports 0
+        # bytes for them, which the advance loop would spin on forever
+        views = [v for v in [memoryview(head), memoryview(spec), *tail] if len(v)]
         while not self._wlock.acquire(timeout=0.005):
             if drain is not None:
                 drain()
         try:
             fd = self._writer.fileno()
             os.set_blocking(fd, False)
-            view = memoryview(frame)
-            while view:
+            while views:
                 try:
-                    view = view[os.write(fd, view):]
+                    written = os.writev(fd, views[:1024])
                 except BlockingIOError:
                     if drain is not None:
                         drain()
                     select.select([], [fd], [], 0.005)
+                    continue
+                while written:
+                    v = views[0]
+                    if written >= len(v):
+                        written -= len(v)
+                        views.pop(0)
+                    else:
+                        views[0] = v[written:]
+                        written = 0
         finally:
             self._wlock.release()
+        if counters is not None:
+            counters["wire_tx"] += 8 + frame_len
+            counters["shm_tx"] += shm_bytes
 
     # -- consumer side (single reader) ---------------------------------
-    def _read_available(self) -> None:
+    def _decode(self, body: memoryview, pool, copy_buffers: bool):
+        """Reassemble one frame body (everything after the length
+        prefix) into its object, materializing buffer descriptors."""
+        meta_len = int.from_bytes(body[:8], "little")
+        spec_len, bufspecs = pickle.loads(body[8:8 + meta_len])
+        off = 8 + meta_len
+        spec = body[off:off + spec_len]
+        off += spec_len
+        buffers = []
+        for bs in bufspecs:
+            if bs[0] == 0:
+                nbytes = bs[1]
+                piece = body[off:off + nbytes]
+                off += nbytes
+                if copy_buffers or nbytes < _ALIAS_MIN:
+                    piece = bytearray(piece)
+                buffers.append(piece)
+            else:
+                _, name, boff, nbytes = bs
+                if pool is None:
+                    raise RuntimeError(
+                        "received a shared-memory payload descriptor on a "
+                        "channel with no pool attached"
+                    )
+                buffers.append(pool.materialize(name, boff, nbytes))
+                self.shm_rx += nbytes
+        obj = pickle.loads(spec, buffers=buffers)
+        self.wire_rx += 8 + len(body)
+        return obj
+
+    def _fill(self) -> bool:
+        """Read whatever the pipe holds; returns True if bytes arrived."""
         fd = self._reader.fileno()
         os.set_blocking(fd, False)
+        got = False
         while True:
+            direct = self._direct
+            if direct is not None:
+                frame, filled = direct
+                want = len(frame) - filled
+                if want == 0:
+                    return got
+                try:
+                    n = os.readv(fd, [memoryview(frame)[filled:]])
+                except BlockingIOError:
+                    return got
+                if n == 0:
+                    raise EOFError("channel closed by peer")
+                direct[1] = filled + n
+                got = True
+                continue
             try:
                 piece = os.read(fd, 1 << 16)
             except BlockingIOError:
-                return
+                return got
             if not piece:
                 raise EOFError("channel closed by peer")
             self._rbuf += piece
+            got = True
+            # a large frame header may just have landed: switch the
+            # remainder of that frame to the dedicated direct buffer
+            if self._maybe_go_direct():
+                continue
 
-    def _pop_frame(self):
-        if len(self._rbuf) < 8:
-            return None
-        n = int.from_bytes(self._rbuf[:8], "little")
-        if len(self._rbuf) < 8 + n:
-            return None
-        obj = pickle.loads(bytes(self._rbuf[8:8 + n]))
-        del self._rbuf[:8 + n]
-        return (obj,)
+    def _maybe_go_direct(self) -> bool:
+        """If the buffer starts with a large, incomplete frame, move its
+        prefix into a dedicated buffer that the rest is read into."""
+        avail = len(self._rbuf) - self._roff
+        if avail < 8:
+            return False
+        n = int.from_bytes(self._rbuf[self._roff:self._roff + 8], "little")
+        if n < _DIRECT_RX_MIN or avail >= 8 + n:
+            return False
+        frame = bytearray(n)
+        have = avail - 8
+        frame[:have] = memoryview(self._rbuf)[self._roff + 8:]
+        self._rbuf.clear()
+        self._roff = 0
+        self._direct = [frame, have]
+        return True
 
-    def get(self, timeout: float | None = None):
+    def _pop_frame(self, pool):
+        direct = self._direct
+        if direct is not None:
+            frame, filled = direct
+            if filled < len(frame):
+                return _NO_FRAME
+            self._direct = None
+            # the decoded arrays alias (and keep alive) the dedicated
+            # frame buffer -- no further copy
+            return self._decode(memoryview(frame), pool, copy_buffers=False)
+        self._maybe_go_direct()
+        if self._direct is not None:
+            return self._pop_frame(pool)
+        avail = len(self._rbuf) - self._roff
+        if avail < 8:
+            return _NO_FRAME
+        n = int.from_bytes(self._rbuf[self._roff:self._roff + 8], "little")
+        if avail < 8 + n:
+            return _NO_FRAME
+        body = memoryview(self._rbuf)[self._roff + 8:self._roff + 8 + n]
+        try:
+            # copy_buffers: decoded objects must not alias the shared
+            # read buffer (compaction would corrupt them)
+            obj = self._decode(body, pool, copy_buffers=True)
+        finally:
+            body.release()
+        self._roff += 8 + n
+        if self._roff >= _COMPACT_MIN:
+            del self._rbuf[:self._roff]
+            self._roff = 0
+        return obj
+
+    def get(self, timeout: float | None = None, pool=None):
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
-            frame = self._pop_frame()
-            if frame is not None:
-                return frame[0]
-            self._read_available()
-            frame = self._pop_frame()
-            if frame is not None:
-                return frame[0]
+            obj = self._pop_frame(pool)
+            if obj is not _NO_FRAME:
+                return obj
+            if self._fill():
+                continue
             remaining = None if deadline is None else deadline - time.monotonic()
             if remaining is not None and remaining <= 0:
                 raise queue_mod.Empty
@@ -229,9 +422,11 @@ class _Comm:
     run-ahead peers are stashed for their own collective.
     """
 
-    __slots__ = ("rank", "p", "seq", "inboxes", "backlog", "stash", "counters")
+    __slots__ = ("rank", "p", "seq", "inboxes", "backlog", "stash", "counters",
+                 "pool", "parent_pid")
 
-    def __init__(self, rank, p, inboxes, backlog, stash, counters):
+    def __init__(self, rank, p, inboxes, backlog, stash, counters, pool=None,
+                 parent_pid=None):
         self.rank = rank
         self.p = p
         self.seq = 0
@@ -239,19 +434,30 @@ class _Comm:
         self.backlog = backlog
         self.stash = stash
         self.counters = counters
+        self.pool = pool
+        self.parent_pid = parent_pid
 
     def send(self, dst: int, tag: int, payload) -> None:
         self.inboxes[dst].put(
-            ("msg", self.seq, tag, self.rank, payload), drain=self.drain
+            ("msg", self.seq, tag, self.rank, payload),
+            drain=self.drain, pool=self.pool, counters=self.counters,
         )
         self.counters["msgs"] += 1
 
     def drain(self) -> None:
         """Consume whatever already sits in this worker's inbox (called
-        while a send waits on a full pipe, keeping the mesh live)."""
+        while a send waits on a full pipe, keeping the mesh live).
+
+        Doubles as the liveness check of every blocked wait loop: a
+        worker spinning on a full pipe or a contended write lock would
+        otherwise outlive a killed driver forever, because the peers'
+        inherited pipe ends keep EPIPE from ever firing.
+        """
+        if self.parent_pid is not None and os.getppid() != self.parent_pid:
+            os._exit(1)  # orphaned: the driver is gone
         while True:
             try:
-                item = self.inboxes[self.rank].get(timeout=0)
+                item = self.inboxes[self.rank].get(timeout=0, pool=self.pool)
             except queue_mod.Empty:
                 return
             if item[0] != "msg":
@@ -265,7 +471,7 @@ class _Comm:
         if key in self.stash:
             return self.stash.pop(key)
         while True:
-            item = self.inboxes[self.rank].get(timeout=_TIMEOUT)
+            item = self.inboxes[self.rank].get(timeout=_TIMEOUT, pool=self.pool)
             if item[0] != "msg":
                 self.backlog.append(item)
                 continue
@@ -476,6 +682,8 @@ def _execute(comm: _Comm, spec, local, store):
         return {
             "msgs": comm.counters["msgs"],
             "cmd_fwd": comm.counters["cmd_fwd"],
+            "wire_tx": comm.counters["wire_tx"],
+            "shm_tx": comm.counters["shm_tx"],
             "resident": len(store),
         }
     if kind == "map":
@@ -523,61 +731,87 @@ def _execute(comm: _Comm, spec, local, store):
     raise ValueError(f"unknown backend command {kind!r}")
 
 
-def _worker_main(rank, p, inboxes, results, parent_pid):
+def _worker_main(rank, p, inboxes, results, parent_pid, shm_family=None,
+                 shm_threshold=None):
     """Command loop of one PE worker (module-level for spawn support)."""
+    from .shm import ShmPool
+
     backlog: deque = deque()
     stash: dict = {}
     store: dict = {}
-    comm = _Comm(rank, p, inboxes, backlog, stash, {"msgs": 0, "cmd_fwd": 0})
+    pool = (
+        ShmPool(shm_family, f"w{rank}", shm_threshold)
+        if shm_family is not None else None
+    )
+    counters = {"msgs": 0, "cmd_fwd": 0, "wire_tx": 0, "shm_tx": 0}
+    comm = _Comm(rank, p, inboxes, backlog, stash, counters, pool, parent_pid)
     # broadcast-command fan-out tree: the driver hands a full-pool command
     # to rank 0 only; every rank forwards its binomial-tree children their
     # subtree's slice of the per-PE locals
     tree_children = [d for _, s, d in binomial_edges(p, 0) if s == rank]
     subtree_of = binomial_subtrees(p, 0)
-    while True:
-        if backlog:
-            item = backlog.popleft()
-        else:
-            try:
-                item = inboxes[rank].get(timeout=5.0)
-            except queue_mod.Empty:
-                # daemon workers survive a SIGKILL'd driver; bail out
-                # once the parent is gone instead of blocking forever
-                if os.getppid() != parent_pid:
-                    return
+    last_seq = 0
+    try:
+        while True:
+            if backlog:
+                item = backlog.popleft()
+            else:
+                try:
+                    item = inboxes[rank].get(timeout=5.0, pool=pool)
+                except queue_mod.Empty:
+                    # daemon workers survive a SIGKILL'd driver; bail out
+                    # once the parent is gone instead of blocking forever
+                    if os.getppid() != parent_pid:
+                        return
+                    continue
+                except EOFError:
+                    return  # driver closed the channel
+            if item[0] == "msg":
+                _, mseq, mtag, msrc, payload = item
+                stash[(mseq, mtag, msrc)] = payload
                 continue
-            except EOFError:
-                return  # driver closed the channel
-        if item[0] == "msg":
-            _, mseq, mtag, msrc, payload = item
-            stash[(mseq, mtag, msrc)] = payload
-            continue
-        if item[0] == "bcmd":
-            # forward first (children must not wait on our execution),
-            # pruned to each child's subtree so every edge carries only
-            # the locals its subtree needs (a rank's local still hops
-            # once per tree edge on its root path -- which is why the
-            # arg-heavy "put" command keeps the direct driver path)
-            _, seq, spec, locals_map, free_ids = item
-            for child in tree_children:
-                sub = {r: locals_map[r] for r in subtree_of[child] if r in locals_map}
-                inboxes[child].put(
-                    ("bcmd", seq, spec, sub, free_ids), drain=comm.drain
-                )
-                comm.counters["cmd_fwd"] += 1
-            item = ("cmd", seq, spec, locals_map.get(rank), free_ids)
-        _, seq, spec, local, free_ids = item
-        for ref_id in free_ids:
-            store.pop(ref_id, None)
-        if spec[0] == "stop":
-            results.put((rank, seq, None), drain=comm.drain)
-            return
-        comm.seq = seq
-        try:
-            result = _execute(comm, spec, local, store)
-            results.put((rank, seq, result), drain=comm.drain)
-        except Exception as exc:  # surface worker failures to the driver
-            results.put((rank, seq, _WorkerError(repr(exc))), drain=comm.drain)
+            if item[0] == "bcmd":
+                # forward first (children must not wait on our execution),
+                # pruned to each child's subtree so every edge carries only
+                # the locals its subtree needs (a rank's local still hops
+                # once per tree edge on its root path -- which is why the
+                # arg-heavy "put" command keeps the direct driver path)
+                _, seq, spec, locals_map, free_ids = item
+                if seq > last_seq and pool is not None:
+                    # a new command proves the driver collected every
+                    # result of the previous one, i.e. all our earlier
+                    # shared blocks were copied out -- recycle them
+                    pool.release_round()
+                last_seq = max(last_seq, seq)
+                for child in tree_children:
+                    sub = {r: locals_map[r] for r in subtree_of[child] if r in locals_map}
+                    inboxes[child].put(
+                        ("bcmd", seq, spec, sub, free_ids),
+                        drain=comm.drain, pool=pool, counters=counters,
+                    )
+                    comm.counters["cmd_fwd"] += 1
+                item = ("cmd", seq, spec, locals_map.get(rank), free_ids)
+            _, seq, spec, local, free_ids = item
+            if seq > last_seq and pool is not None:
+                pool.release_round()
+            last_seq = max(last_seq, seq)
+            for ref_id in free_ids:
+                store.pop(ref_id, None)
+            if spec[0] == "stop":
+                results.put((rank, seq, None), drain=comm.drain,
+                            counters=counters)
+                return
+            comm.seq = seq
+            try:
+                result = _execute(comm, spec, local, store)
+                results.put((rank, seq, result), drain=comm.drain,
+                            pool=pool, counters=counters)
+            except Exception as exc:  # surface worker failures to the driver
+                results.put((rank, seq, _WorkerError(repr(exc))),
+                            drain=comm.drain, counters=counters)
+    finally:
+        if pool is not None:
+            pool.close()
 
 
 # ----------------------------------------------------------------------
@@ -590,8 +824,15 @@ class MultiprocessingBackend(Backend):
 
     name = "mp"
     is_real = True
+    supports_oob_pickle = True
 
-    def __init__(self, p: int, *, start_method: str | None = None):
+    def __init__(
+        self,
+        p: int,
+        *,
+        start_method: str | None = None,
+        shm_threshold: int | None | object = _UNSET,
+    ):
         super().__init__(p)
         self._ctx = multiprocessing.get_context(start_method)
         self._seq = 0
@@ -608,6 +849,29 @@ class MultiprocessingBackend(Backend):
         #: the broadcast command channel bounds at O(1) per full-pool
         #: command (one frame to rank 0; workers tree-forward the rest)
         self.driver_sends: int = 0
+        # -- zero-copy payload lane ------------------------------------
+        if shm_threshold is _UNSET:
+            shm_threshold = env_threshold()
+        if shm_threshold is not None and shm_threshold <= 0:
+            shm_threshold = None  # "0 disables", like REPRO_SHM_THRESHOLD
+        self._shm_threshold = shm_threshold
+        self._shm_family = pool_family(new_token())
+        self._shm = ShmPool(self._shm_family, "d", shm_threshold)
+        #: driver-side transport accounting per command kind:
+        #: ``{kind: {"wire": bytes_on_the_pipe, "shm": bytes_via_shm}}``
+        self._transport: dict[str, dict[str, int]] = {}
+        self._tx = {"wire_tx": 0, "shm_tx": 0}
+
+    @property
+    def supports_shm(self) -> bool:
+        return self._shm.enabled
+
+    @property
+    def shm_threshold(self) -> int | None:
+        return self._shm_threshold
+
+    def transport_bytes(self) -> dict[str, dict[str, int]]:
+        return self._transport
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -617,12 +881,24 @@ class MultiprocessingBackend(Backend):
             raise RuntimeError("backend already closed")
         if self._started:
             return
+        # start the resource tracker BEFORE forking, so every worker
+        # inherits the one live tracker process: shared-memory
+        # registrations then deduplicate in a single cache and the
+        # owner's unlink clears them (a worker that lazily spawned its
+        # own tracker would "clean up" the driver's live segments at
+        # worker exit)
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - non-POSIX fallback
+            pass
         self._inboxes = [_Channel(self._ctx) for _ in range(self.p)]
         self._results = _Channel(self._ctx)
         self._workers = [
             self._ctx.Process(
                 target=_worker_main,
-                args=(rank, self.p, self._inboxes, self._results, os.getpid()),
+                args=(rank, self.p, self._inboxes, self._results, os.getpid(),
+                      self._shm_family, self._shm_threshold),
                 daemon=True,
                 name=f"repro-pe-{rank}",
             )
@@ -658,23 +934,33 @@ class MultiprocessingBackend(Backend):
         self._closed = True
         _LIVE_POOLS.discard(self)
         if not self._started:
+            self._shm.close()
             return
         try:
             self._seq += 1
             for rank in range(self.p):
-                self._inboxes[rank].put(("cmd", self._seq, ("stop",), None, ()))
+                try:
+                    self._inboxes[rank].put(("cmd", self._seq, ("stop",), None, ()))
+                except OSError:  # pragma: no cover - worker already dead
+                    pass
             for w in self._workers:
                 w.join(timeout=5.0)
         finally:
             for w in self._workers:
                 if w.is_alive():  # pragma: no cover - cleanup path
                     w.terminate()
+                    w.join(timeout=1.0)
             for q in self._inboxes:
                 q.close()
                 q.cancel_join_thread()
             if self._results is not None:
                 self._results.close()
                 self._results.cancel_join_thread()
+            # segment lifecycle backstop: unlink the driver pool's
+            # segments and reap any a killed worker left behind, so no
+            # shared memory outlives the backend
+            self._shm.close()
+            reap_segments(self._shm_family)
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown safety
         try:
@@ -691,7 +977,9 @@ class MultiprocessingBackend(Backend):
         the driver and worker in a two-party cycle)."""
         while True:
             try:
-                self._result_buffer.append(self._results.get(timeout=0))
+                self._result_buffer.append(
+                    self._results.get(timeout=0, pool=self._shm)
+                )
             except queue_mod.Empty:
                 return
 
@@ -704,11 +992,13 @@ class MultiprocessingBackend(Backend):
         t0 = time.perf_counter()
         self._seq += 1
         seq = self._seq
+        wire0 = self._tx["wire_tx"] + self._results.wire_rx
+        shm0 = self._tx["shm_tx"] + self._results.shm_rx
         # Fail fast on unpicklable specs (e.g. a lambda reduction op):
         # Queue's feeder thread would otherwise drop the command silently
         # and the collective would time out with a bare queue.Empty.
         try:
-            pickle.dumps(spec)
+            pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
             raise TypeError(
                 f"backend command {spec[0]!r} is not picklable (op/arguments "
@@ -734,14 +1024,14 @@ class MultiprocessingBackend(Backend):
             locals_map = {r: locals_per_pe[r] for r in range(self.p)}
             self._inboxes[0].put(
                 ("bcmd", seq, spec, locals_map, free_ids),
-                drain=self._drain_results,
+                drain=self._drain_results, pool=self._shm, counters=self._tx,
             )
             self.driver_sends += 1
         else:
             for rank in ranks:
                 self._inboxes[rank].put(
                     ("cmd", seq, spec, locals_per_pe[rank], free_ids),
-                    drain=self._drain_results,
+                    drain=self._drain_results, pool=self._shm, counters=self._tx,
                 )
                 self.driver_sends += 1
         out: list = [None] * self.p
@@ -753,7 +1043,9 @@ class MultiprocessingBackend(Backend):
                 if self._result_buffer:
                     rank, rseq, value = self._result_buffer.pop(0)
                 else:
-                    rank, rseq, value = self._results.get(timeout=_TIMEOUT)
+                    rank, rseq, value = self._results.get(
+                        timeout=_TIMEOUT, pool=self._shm
+                    )
             except Exception:
                 dead = [w.name for w in self._workers if not w.is_alive()]
                 raise RuntimeError(
@@ -773,6 +1065,12 @@ class MultiprocessingBackend(Backend):
                 failures.append((rank, value.message))
             else:
                 out[rank] = value
+        # every participant answered, so every shared block of this
+        # command has been copied out -- the driver pool can recycle
+        self._shm.release_round()
+        tb = self._transport.setdefault(spec[0], {"wire": 0, "shm": 0})
+        tb["wire"] += self._tx["wire_tx"] + self._results.wire_rx - wire0
+        tb["shm"] += self._tx["shm_tx"] + self._results.shm_rx - shm0
         self.wall_time += time.perf_counter() - t0
         if failures:
             detail = "; ".join(f"worker {r} failed: {m}" for r, m in failures)
@@ -849,7 +1147,7 @@ class MultiprocessingBackend(Backend):
         if entry is None or entry[0] is not fn:
             if len(self._fn_blobs) > 256:  # unbounded-growth guard
                 self._fn_blobs.clear()
-            entry = (fn, pickle.dumps(fn))
+            entry = (fn, pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL))
             self._fn_blobs[id(fn)] = entry
         return entry[1]
 
@@ -960,3 +1258,13 @@ class MultiprocessingBackend(Backend):
             return [0] * self.p
         stats = self._run(("stats",), [None] * self.p)
         return [s["cmd_fwd"] for s in stats]
+
+    def worker_transport_counts(self) -> list[dict[str, int]]:
+        """Per-worker cumulative transport bytes: ``wire_tx`` (pipe
+        frames written, peer messages + forwarded commands + results)
+        and ``shm_tx`` (payload bytes shared out of that worker's shm
+        pool).  Complements the driver-side :meth:`transport_bytes`."""
+        if not self._started or self._closed:
+            return [{"wire_tx": 0, "shm_tx": 0} for _ in range(self.p)]
+        stats = self._run(("stats",), [None] * self.p)
+        return [{"wire_tx": s["wire_tx"], "shm_tx": s["shm_tx"]} for s in stats]

@@ -1,0 +1,282 @@
+"""Shared-memory segment pool: the bulk-payload lane of the mp backend.
+
+The mp transport frames every message as a protocol-5 pickle whose
+out-of-band buffers are split into two lanes (see ``_Channel`` in
+:mod:`repro.machine.backends.mp`):
+
+* buffers *below* the size threshold ride the pipe inline, written by
+  scatter-gather ``os.writev`` with no intermediate concatenation;
+* buffers *at or above* the threshold are copied once into a block of a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment and only a
+  ``(name, offset, nbytes)`` descriptor crosses the pipe.  The receiver
+  copies the block out while decoding the frame, so by the time a
+  message is visible to any consumer its payload is private memory and
+  the block can be recycled.
+
+Lifecycle
+---------
+Every process owns one :class:`ShmPool`.  Segments the pool *created*
+are its own: they are bump-allocated in rounds and recycled wholesale at
+safe points (:meth:`ShmPool.release_round`) -- the driver recycles when
+a command's results are all in, a worker recycles when the next command
+(a strictly larger sequence number) arrives, both points at which every
+block of the finished round has provably been copied out by its
+receiver.  Segments of *other* pools are attached lazily and cached
+(:meth:`ShmPool.materialize`), so a recycled segment is never re-mmapped.
+
+``close()`` unlinks owned segments and detaches cached ones.  Because
+all segment names carry the pool family's prefix
+(``reproshm-<driver pid>-<token>-``), a driver can additionally reap the
+segments of workers that died without cleaning up
+(:func:`reap_segments`), so leaked pools never outlive the backend --
+the mp backend calls it from ``close()`` and from its ``atexit`` guard.
+
+The size threshold is ``DEFAULT_THRESHOLD`` bytes, overridable per
+backend (``MultiprocessingBackend(p, shm_threshold=...)``) or globally
+through the ``REPRO_SHM_THRESHOLD`` environment variable (``0`` or a
+negative value disables the shared-memory lane entirely; payloads then
+ride the pipe inline, still out-of-band pickled).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "ShmPool",
+    "env_threshold",
+    "reap_segments",
+    "segment_names",
+]
+
+#: payloads of at least this many bytes ride shared memory (64 KiB --
+#: below it the pipe's copy costs less than a segment round trip)
+DEFAULT_THRESHOLD = 1 << 16
+
+#: granularity of fresh segments (blocks are bump-allocated inside)
+_SEGMENT_MIN = 1 << 22
+
+#: keep at most this many idle segments across rounds
+_MAX_SEGMENTS = 4
+
+#: cached attachments to foreign segments (LRU-evicted beyond this)
+_MAX_ATTACHED = 32
+
+_PREFIX_FMT = "reproshm-{pid}-{token}-"
+
+
+def env_threshold(default: int | None = DEFAULT_THRESHOLD) -> int | None:
+    """Resolve ``REPRO_SHM_THRESHOLD``: unset -> ``default``; ``0`` or
+    negative -> ``None`` (shared-memory lane disabled)."""
+    raw = os.environ.get("REPRO_SHM_THRESHOLD")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else None
+
+
+def pool_family(token: str) -> str:
+    """The segment-name prefix shared by a driver pool and its workers'
+    pools (the reapable unit)."""
+    return _PREFIX_FMT.format(pid=os.getpid(), token=token)
+
+
+def new_token() -> str:
+    return secrets.token_hex(4)
+
+
+def segment_names(family: str) -> list[str]:
+    """Live ``/dev/shm`` segments of one pool family (Linux; empty list
+    where the tmpfs mount is not observable)."""
+    try:
+        return sorted(n for n in os.listdir("/dev/shm") if n.startswith(family))
+    except OSError:  # pragma: no cover - non-Linux or restricted /dev
+        return []
+
+
+def reap_segments(family: str) -> int:
+    """Force-unlink every surviving segment of ``family``; returns the
+    number reaped.  Used for pools whose owners died uncleanly."""
+    reaped = 0
+    for name in segment_names(family):
+        try:
+            os.unlink(os.path.join("/dev/shm", name))
+            reaped += 1
+        except OSError:  # pragma: no cover - raced with owner cleanup
+            continue
+        _untrack("/" + name)
+    return reaped
+
+
+def _untrack(tracked_name: str) -> None:
+    """Drop a resource_tracker registration we satisfied out of band."""
+    try:
+        resource_tracker.unregister(tracked_name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker already gone
+        pass
+
+
+class _Segment:
+    """One owned shared-memory segment with a bump allocator."""
+
+    __slots__ = ("shm", "capacity", "used")
+
+    def __init__(self, name: str, capacity: int):
+        self.shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+        self.capacity = self.shm.size  # kernel may round up
+        self.used = 0
+
+
+class ShmPool:
+    """Per-process shared-memory allocator + attach cache.
+
+    Parameters
+    ----------
+    family:
+        Name prefix shared with the sibling pools of one backend (see
+        :func:`pool_family`).
+    role:
+        Distinguishes this pool's segments inside the family
+        (``"d"`` for the driver, ``"w<rank>"`` per worker).
+    threshold:
+        Minimum payload size (bytes) routed through shared memory;
+        ``None`` disables sharing (:meth:`share` always returns ``None``).
+    """
+
+    def __init__(self, family: str, role: str, threshold: int | None = DEFAULT_THRESHOLD):
+        self.family = family
+        # a non-positive threshold means "disabled", matching the
+        # REPRO_SHM_THRESHOLD convention (0 turns the lane off)
+        if threshold is not None and threshold <= 0:
+            threshold = None
+        self.threshold = threshold
+        self._role = role
+        self._segments: list[_Segment] = []
+        self._seg_counter = 0
+        self._attached: dict[str, shared_memory.SharedMemory] = {}
+        self._closed = False
+        #: cumulative bytes copied into owned segments (tx accounting)
+        self.bytes_shared = 0
+        #: cumulative bytes copied out of foreign segments (rx accounting)
+        self.bytes_materialized = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold is not None and not self._closed
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def share(self, view: memoryview) -> tuple[str, int] | None:
+        """Copy ``view`` into an owned block if it clears the threshold.
+
+        Returns ``(segment_name, offset)`` for the descriptor, or
+        ``None`` when the payload should stay on the pipe.
+        """
+        nbytes = view.nbytes
+        if self.threshold is None or self._closed or nbytes < self.threshold:
+            return None
+        seg = self._block(nbytes)
+        offset = seg.used
+        seg.shm.buf[offset:offset + nbytes] = view
+        seg.used = offset + nbytes
+        self.bytes_shared += nbytes
+        return seg.shm.name, offset
+
+    def _block(self, nbytes: int) -> _Segment:
+        for seg in self._segments:
+            if seg.capacity - seg.used >= nbytes:
+                return seg
+        name = f"{self.family}{self._role}.{self._seg_counter}"
+        self._seg_counter += 1
+        seg = _Segment(name, max(_SEGMENT_MIN, nbytes))
+        self._segments.append(seg)
+        return seg
+
+    def release_round(self) -> None:
+        """Recycle every owned block (all receivers are provably done).
+
+        Idle segments beyond ``_MAX_SEGMENTS`` are unlinked so one burst
+        of huge payloads does not pin its peak footprint forever; the
+        *largest* segments are the ones retained, so a steady-state
+        workload keeps reusing the same hot segments (stable names the
+        peers' attach caches already hold) instead of churning fresh
+        ones every round.
+        """
+        for seg in self._segments:
+            seg.used = 0
+        if len(self._segments) > _MAX_SEGMENTS:
+            self._segments.sort(key=lambda seg: seg.capacity, reverse=True)
+            while len(self._segments) > _MAX_SEGMENTS:
+                self._unlink(self._segments.pop())
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def materialize(self, name: str, offset: int, nbytes: int) -> bytearray:
+        """Copy one block of a (possibly foreign) segment into private,
+        writable memory.  Attachments are cached so recycled segments
+        are mapped once per process."""
+        shm = self._attached.get(name)
+        if shm is not None:
+            # true LRU: re-insert on every hit so eviction below (which
+            # pops the *least* recently used front entry) never throws
+            # out a hot attachment
+            self._attached[name] = self._attached.pop(name)
+        else:
+            own = next((s.shm for s in self._segments if s.shm.name == name), None)
+            shm = own if own is not None else shared_memory.SharedMemory(name=name)
+            if own is None:
+                while len(self._attached) >= _MAX_ATTACHED:
+                    lru = next(iter(self._attached))
+                    self._detach(self._attached.pop(lru))
+                self._attached[name] = shm
+        out = bytearray(shm.buf[offset:offset + nbytes])
+        self.bytes_materialized += nbytes
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _detach(self, shm: shared_memory.SharedMemory) -> None:
+        # no unregister here: with the default fork start method every
+        # process shares one resource tracker, where the attach-time
+        # registration (py<3.13 registers unconditionally) deduplicates
+        # against the owner's -- the owner's unlink drops the single
+        # entry, and a second unregister would make the tracker complain
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def _unlink(self, seg: _Segment) -> None:
+        try:
+            seg.shm.close()
+            seg.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - reaped by sibling
+            pass  # the reaper already dropped the tracker entry
+        except OSError:  # pragma: no cover - interpreter teardown
+            pass
+
+    def close(self) -> None:
+        """Unlink owned segments and detach cached foreign ones."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._segments:
+            self._unlink(self._segments.pop())
+        while self._attached:
+            _, shm = self._attached.popitem()
+            self._detach(shm)
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -139,6 +139,11 @@ class MachineReport:
     phases: tuple[PhaseStats, ...] = ()
     backend: str = "sim"
     backend_wall_s: float = 0.0
+    #: measured data-plane bytes (real backends only; 0 for ``sim``):
+    #: bytes that crossed the driver's pipes vs bytes that rode
+    #: shared-memory blocks instead
+    wire_bytes: int = 0
+    shm_bytes: int = 0
 
     def row(self) -> dict:
         """Flat dict form for tabular output."""
@@ -152,6 +157,8 @@ class MachineReport:
             "traffic_words": self.total_traffic,
             "imbalance": self.imbalance,
             "backend": self.backend,
+            "wire_bytes": self.wire_bytes,
+            "shm_bytes": self.shm_bytes,
         }
 
 
@@ -197,6 +204,9 @@ class Machine:
         #: seeds; no communication is charged for using it)
         self.shared_rng = np.random.Generator(np.random.PCG64(children[self.p]))
         self._phases: list[PhaseStats] = []
+        #: backend transport counters already mirrored into the metrics
+        #: (so resets / repeated syncs never double-count)
+        self._transport_seen: dict[str, tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Local work
@@ -237,12 +247,16 @@ class Machine:
 
         Returns a list of length ``p``; entries may alias ``value``.
         """
-        m = payload_words(value)
+        self._meter_broadcast(payload_words(value), root)
+        return self.backend.broadcast(value, root)
+
+    def _meter_broadcast(self, words: float, root: int = 0) -> None:
+        """Control plane of :meth:`broadcast` (schedule + charge only)."""
+        m = float(words)
         self.metrics.record_schedule(
             ((s, d, m) for _, s, d in binomial_edges(self.p, root)), "broadcast"
         )
         self._charge(self.cost.broadcast(m, self.p))
-        return self.backend.broadcast(value, root)
 
     def reduce(self, values: Sequence, op="sum", root: int = 0) -> list:
         """Reduce per-PE contributions to ``root``; other PEs get ``None``."""
@@ -356,14 +370,7 @@ class Machine:
         sizes = np.array([payload_words(v) for v in values], dtype=np.float64)
         total = float(sizes.sum() - sizes[root])
         if mode == "tree":
-            # accumulate subtree payloads bottom-up along the binomial tree
-            acc = sizes.copy()
-            edges = []
-            for _, s, d in reversed(binomial_edges(self.p, root)):
-                edges.append((d, s, acc[d]))
-                acc[s] += acc[d]
-            self.metrics.record_schedule(edges, "gather")
-            self._charge(self.cost.gather(total, self.p))
+            self._meter_gather(sizes, root)
         elif mode == "direct":
             edges = [(i, root, sizes[i]) for i in range(self.p) if i != root]
             self.metrics.record_schedule(edges, "gather_direct")
@@ -371,6 +378,21 @@ class Machine:
         else:
             raise ValueError(f"unknown gather mode {mode!r}")
         return self.backend.gather(values, root)
+
+    def _meter_gather(self, words: Sequence, root: int = 0) -> None:
+        """Control plane of tree-mode :meth:`gather` (schedule + charge
+        only).  ``words[i]`` is PE ``i``'s payload size; used directly
+        by call sites whose payloads stayed inside the workers."""
+        sizes = np.asarray(words, dtype=np.float64)
+        total = float(sizes.sum() - sizes[root])
+        # accumulate subtree payloads bottom-up along the binomial tree
+        acc = sizes.copy()
+        edges = []
+        for _, s, d in reversed(binomial_edges(self.p, root)):
+            edges.append((d, s, acc[d]))
+            acc[s] += acc[d]
+        self.metrics.record_schedule(edges, "gather")
+        self._charge(self.cost.gather(total, self.p))
 
     def allgather(self, values: Sequence) -> list:
         """All-to-all broadcast (gossiping): every PE gets every piece."""
@@ -764,10 +786,15 @@ class Machine:
           this rank (:meth:`charge_ops`),
         * ``("allgather", w)`` -- an embedded allgather whose local
           contribution was ``w`` words,
-        * ``("allreduce", w)`` / ``("allreduce_exscan", w)`` -- embedded
-          reduction-type collectives of ``w`` payload words (replicated
-          entries; rank 0's word count sizes the schedule, matching
-          what the live collective would have metered).
+        * ``("allreduce", w)`` / ``("allreduce_exscan", w)`` /
+          ``("scan", w)`` -- embedded reduction-type collectives of
+          ``w`` payload words (replicated entries; rank 0's word count
+          sizes the schedule, matching what the live collective would
+          have metered),
+        * ``("broadcast", w, root)`` -- a rooted broadcast of ``w``
+          words (replicated entries),
+        * ``("gather", w, root)`` -- a tree gather where ``w`` is *this
+          rank's* contribution (per-rank word counts, shared ``root``).
 
         Modeled time and metered volume are identical on every backend
         because the log contains only small scalars.
@@ -788,6 +815,15 @@ class Machine:
                 self._meter_allreduce(words=float(logs[0][t][1]))
             elif kind == "allreduce_exscan":
                 self._meter_allreduce_exscan(float(logs[0][t][1]))
+            elif kind == "scan":
+                self._meter_scan(float(logs[0][t][1]))
+            elif kind == "broadcast":
+                self._meter_broadcast(float(logs[0][t][1]), int(logs[0][t][2]))
+            elif kind == "gather":
+                self._meter_gather(
+                    [float(logs[i][t][1]) for i in range(self.p)],
+                    int(logs[0][t][2]),
+                )
             else:
                 raise ValueError(f"unknown charge-log entry kind {kind!r}")
 
@@ -825,8 +861,22 @@ class Machine:
             )
         )
 
+    def sync_transport(self) -> None:
+        """Mirror the backend's measured transport counters into the
+        metrics (:attr:`CommMetrics.wire_bytes` / ``shm_bytes``), delta
+        by delta so repeated syncs and :meth:`reset` never double-count.
+        A no-op for in-process backends, which move no bytes.
+        """
+        for kind, tb in self.backend.transport_bytes().items():
+            wire_seen, shm_seen = self._transport_seen.get(kind, (0, 0))
+            self.metrics.record_transport(
+                kind, tb["wire"] - wire_seen, tb["shm"] - shm_seen
+            )
+            self._transport_seen[kind] = (tb["wire"], tb["shm"])
+
     def report(self) -> MachineReport:
         """Snapshot of modeled time and communication for this run."""
+        self.sync_transport()
         return MachineReport(
             p=self.p,
             makespan=self.clock.makespan,
@@ -839,6 +889,8 @@ class Machine:
             phases=tuple(self._phases),
             backend=self.backend.name,
             backend_wall_s=self.backend.wall_time,
+            wire_bytes=sum(self.metrics.wire_bytes.values()),
+            shm_bytes=sum(self.metrics.shm_bytes.values()),
         )
 
     def reset(self) -> None:
@@ -847,6 +899,10 @@ class Machine:
         self.metrics.reset()
         self._phases.clear()
         self.backend.wall_time = 0.0
+        # re-baseline the transport mirror so pre-reset traffic (input
+        # staging, pool warm-up) is excluded like the other counters
+        for kind, tb in self.backend.transport_bytes().items():
+            self._transport_seen[kind] = (tb["wire"], tb["shm"])
 
     def close(self) -> None:
         """Release backend resources (worker processes for ``"mp"``)."""

@@ -10,7 +10,11 @@ data lives* (:meth:`map_chunks`, :meth:`map_values`, :meth:`map_collect`)
 and only small per-PE values travel (:meth:`map_chunks`,
 :meth:`map_values`, :meth:`map_collect`); full chunks cross the process
 boundary exactly twice -- once when the input is pinned and once if the
-driver asks for the result (:attr:`chunks`, :meth:`concat`).
+driver asks for the result (:attr:`chunks`, :meth:`concat`).  On the
+``mp`` backend those two crossings ride the zero-copy payload lanes
+(out-of-band pickling; shared-memory blocks above the size threshold --
+see the README's "Transports" section), so pinning and fetching cost one
+memcpy per side instead of an in-band pickle through the pipe.
 
 Cross-PE data flow still goes exclusively through
 :class:`repro.machine.Machine` collectives: the resident map methods
@@ -222,7 +226,7 @@ class DistArray:
     def concat(self) -> np.ndarray:
         """Concatenate all chunks in rank order (test/driver-side oracle)."""
         if not self.chunks:
-            return np.empty(0)
+            return np.empty(0, dtype=self._dtype)
         return np.concatenate(self.chunks)
 
     @property

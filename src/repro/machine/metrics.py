@@ -102,6 +102,15 @@ class CommMetrics:
         self.by_kind: dict[str, float] = {}
         #: number of invocations per operation kind
         self.calls: dict[str, int] = {}
+        #: *measured* transport bytes per backend command kind -- bytes
+        #: that physically crossed the driver's pipes (``wire_bytes``)
+        #: vs payload bytes that rode shared-memory blocks
+        #: (``shm_bytes``).  Unlike the modeled word counters above these
+        #: are real data-plane quantities, populated only by real
+        #: backends (``Machine.sync_transport``); ``sim`` leaves them
+        #: empty.
+        self.wire_bytes: dict[str, int] = {}
+        self.shm_bytes: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def charge(self, kind: str, words: float = 0.0, calls: int = 1) -> None:
@@ -116,6 +125,15 @@ class CommMetrics:
         """
         self.by_kind[kind] = self.by_kind.get(kind, 0.0) + words
         self.calls[kind] = self.calls.get(kind, 0) + calls
+
+    def record_transport(self, kind: str, wire_bytes: int, shm_bytes: int) -> None:
+        """Attribute measured transport traffic to a backend command
+        kind (the data-plane complement of :meth:`charge`'s modeled
+        words)."""
+        if wire_bytes:
+            self.wire_bytes[kind] = self.wire_bytes.get(kind, 0) + int(wire_bytes)
+        if shm_bytes:
+            self.shm_bytes[kind] = self.shm_bytes.get(kind, 0) + int(shm_bytes)
 
     def record_p2p(self, src: int, dst: int, words: float, kind: str = "p2p") -> None:
         """One message of ``words`` machine words from ``src`` to ``dst``."""
@@ -160,6 +178,8 @@ class CommMetrics:
         self.msgs_recv[:] = 0
         self.by_kind.clear()
         self.calls.clear()
+        self.wire_bytes.clear()
+        self.shm_bytes.clear()
 
     # ------------------------------------------------------------------
     @property
@@ -187,6 +207,13 @@ class CommMetrics:
                 f"  {kind:<18s}: {self.by_kind[kind]:,.0f} words"
                 f" in {self.calls.get(kind, 0):,d} calls"
             )
+        if self.wire_bytes or self.shm_bytes:
+            lines.append("  measured transport (wire / shm bytes):")
+            for kind in sorted(set(self.wire_bytes) | set(self.shm_bytes)):
+                lines.append(
+                    f"    {kind:<16s}: {self.wire_bytes.get(kind, 0):,d}"
+                    f" / {self.shm_bytes.get(kind, 0):,d}"
+                )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

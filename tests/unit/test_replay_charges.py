@@ -1,0 +1,108 @@
+"""Machine.replay_charges must re-play the alpha-beta model exactly.
+
+A resident SPMD kernel records what it did (local ops + embedded
+collectives) and the driver replays the model afterwards; the replayed
+modeled quantities must be indistinguishable from charging the live
+collectives directly.  These tests pin that equality for every
+supported entry kind, including the gather/broadcast/scan entries that
+let rooted driver algorithms move into single SPMD commands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.machine.metrics import payload_words
+
+PS = [1, 2, 4, 5, 8]
+
+
+def _assert_same_model(direct: Machine, replayed: Machine):
+    assert replayed.clock.makespan == direct.clock.makespan
+    np.testing.assert_array_equal(
+        replayed.metrics.words_sent, direct.metrics.words_sent
+    )
+    np.testing.assert_array_equal(
+        replayed.metrics.words_recv, direct.metrics.words_recv
+    )
+    np.testing.assert_array_equal(
+        replayed.metrics.msgs_sent, direct.metrics.msgs_sent
+    )
+    np.testing.assert_array_equal(
+        replayed.metrics.msgs_recv, direct.metrics.msgs_recv
+    )
+    assert replayed.metrics.by_kind == direct.metrics.by_kind
+
+
+@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_broadcast_entry_matches_direct_call(p, root):
+    root = p - 1 if root == "last" else root
+    direct, replayed = Machine(p=p), Machine(p=p)
+    value = np.arange(17, dtype=np.int64)
+    direct.broadcast(value, root=root)
+    replayed.replay_charges(
+        [[("broadcast", payload_words(value), root)]] * p
+    )
+    _assert_same_model(direct, replayed)
+
+
+@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_gather_entry_matches_direct_call(p, root):
+    root = p - 1 if root == "last" else root
+    direct, replayed = Machine(p=p), Machine(p=p)
+    values = [np.arange(3 + 2 * i, dtype=np.int64) for i in range(p)]
+    direct.gather(values, root=root)
+    replayed.replay_charges(
+        [[("gather", payload_words(values[i]), root)] for i in range(p)]
+    )
+    _assert_same_model(direct, replayed)
+
+
+@pytest.mark.parametrize("p", PS)
+def test_scan_entry_matches_direct_call(p):
+    direct, replayed = Machine(p=p), Machine(p=p)
+    values = [np.arange(5, dtype=np.int64)] * p
+    direct.scan(values)
+    replayed.replay_charges([[("scan", payload_words(values[0]))]] * p)
+    _assert_same_model(direct, replayed)
+
+
+@pytest.mark.parametrize("p", [2, 5, 8])
+def test_mixed_log_matches_direct_sequence(p):
+    """Interleaved ops + collectives replay in execution order."""
+    direct, replayed = Machine(p=p), Machine(p=p)
+    vec = np.arange(4, dtype=np.int64)
+    per_rank_ops = [float(3 * i + 1) for i in range(p)]
+    direct.charge_ops(per_rank_ops)
+    direct.broadcast(vec, root=0)
+    direct.allreduce([7] * p)
+    direct.gather([vec] * p, root=p - 1)
+    direct.scan([1] * p)
+    w = payload_words(vec)
+    replayed.replay_charges(
+        [
+            [
+                ("ops", per_rank_ops[i]),
+                ("broadcast", w, 0),
+                ("allreduce", 1),
+                ("gather", w, p - 1),
+                ("scan", 1),
+            ]
+            for i in range(p)
+        ]
+    )
+    _assert_same_model(direct, replayed)
+
+
+def test_unknown_entry_kind_rejected():
+    m = Machine(p=2)
+    with pytest.raises(ValueError, match="unknown charge-log entry"):
+        m.replay_charges([[("scatter", 3)], [("scatter", 3)]])
+
+
+def test_diverged_logs_rejected():
+    m = Machine(p=2)
+    with pytest.raises(ValueError, match="diverged"):
+        m.replay_charges([[("ops", 1)], []])
