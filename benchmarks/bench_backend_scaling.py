@@ -145,20 +145,26 @@ def _row(experiment, algorithm, rep, p, n_per_pe, wall):
 
 
 def _transport_rows(p, n_per_pe, repeats=3):
-    """Zero-copy data plane: the same large-payload workloads with the
-    shared-memory lane enabled vs disabled (in-band pipe framing).
+    """Transport lanes compared on the same large-payload workloads:
+    the mp backend with the shared-memory lane enabled vs disabled
+    (in-band pipe framing), and the tcp socket backend (no shm lane by
+    construction -- every payload rides the socket inline).
 
     Covers the two bulk flows: chunk upload/download (driver <-> worker)
     and skewed redistribution (worker <-> worker sendrecv rows).
     """
-    from repro.machine.backends import MultiprocessingBackend
+    from repro.machine.backends import MultiprocessingBackend, TcpBackend
     from repro.machine.backends.shm import DEFAULT_THRESHOLD
 
+    lanes = (
+        ("shm", lambda: MultiprocessingBackend(p, shm_threshold=DEFAULT_THRESHOLD)),
+        ("inband", lambda: MultiprocessingBackend(p, shm_threshold=None)),
+        ("tcp", lambda: TcpBackend(p)),
+    )
     rows = []
-    for lane, threshold in (("shm", DEFAULT_THRESHOLD), ("inband", None)):
+    for lane, make in lanes:
         # -- chunk roundtrip: pin p chunks, transform, fetch the result
-        with Machine(p=p, seed=71, backend=MultiprocessingBackend(
-                p, shm_threshold=threshold)) as m:
+        with Machine(p=p, seed=71, backend=make()) as m:
             rng = np.random.default_rng(71)
             chunks = [rng.random(n_per_pe) for _ in range(p)]
             m.allreduce([0] * p)  # start the pool outside the timer
@@ -178,8 +184,7 @@ def _transport_rows(p, n_per_pe, repeats=3):
         # The bulk payload here moves between the workers, invisible to
         # the driver-side report counters -- record the per-worker
         # transport totals so the lane split shows up in the row.
-        with Machine(p=p, seed=72, backend=MultiprocessingBackend(
-                p, shm_threshold=threshold)) as m:
+        with Machine(p=p, seed=72, backend=make()) as m:
             rng = np.random.default_rng(72)
             sizes = [(p - 1) * n_per_pe] + [n_per_pe // 4] * (p - 1)
             wall = float("inf")

@@ -146,15 +146,17 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="small PE sweep + small inputs (CI smoke mode)",
     )
+    from repro.machine import available_backends
+
     parser.add_argument(
-        "--backend", choices=("sim", "mp"), default="sim",
+        "--backend", choices=available_backends(), default="sim",
         help="execution backend for every machine",
     )
     args = parser.parse_args(argv)
     if args.backend != "sim" and not args.quick:
         parser.error(
-            "--backend mp requires --quick: the full sweeps go to p=64, "
-            "far beyond the mp backend's one-process-per-PE design point"
+            f"--backend {args.backend} requires --quick: the full sweeps go "
+            "to p=64, far beyond a one-process-per-PE backend's design point"
         )
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]

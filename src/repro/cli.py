@@ -31,13 +31,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from .machine import available_backends
+
+    backend_help = {
+        "sim": "'sim' = modeled in-process (default)",
+        "mp": "'mp' = one worker process per PE (real parallelism)",
+        "tcp": "'tcp' = socket workers, multi-host via REPRO_TCP_HOSTS",
+    }
+
     def add_backend_arg(p):
+        names = available_backends()
         p.add_argument(
             "--backend",
-            choices=("sim", "mp"),
+            choices=names,
             default="sim",
-            help="execution backend: 'sim' = modeled in-process (default), "
-            "'mp' = one worker process per PE (real parallelism)",
+            help="execution backend: " + ", ".join(
+                backend_help.get(n, f"{n!r} (registered)") for n in names
+            ),
         )
 
     sub.add_parser("info", help="machine presets and package inventory")

@@ -1,14 +1,19 @@
 """Pluggable execution backends for the machine layer.
 
-See :mod:`repro.machine.backends.base` for the protocol.  Select a
-backend by name when building a machine::
+See :mod:`repro.machine.backends.base` for the protocol.  Real backends
+are layered: a *transport* (:mod:`.transport`: framing over pipes or
+sockets), the shared *worker runtime* (:mod:`.runtime`: command loop,
+resident chunks, exchange schedules, driver dispatch), and thin
+*launchers* (:mod:`.mp`, :mod:`.tcp`).  Select a backend by name when
+building a machine::
 
     >>> from repro.machine import Machine
     >>> m = Machine(p=4, backend="sim")      # modeled, in-process (default)
     >>> m = Machine(p=4, backend="mp")       # one worker process per PE
+    >>> m = Machine(p=4, backend="tcp")      # socket workers (multi-host capable)
 
 or pass a :class:`Backend` instance for full control.  New backends
-(e.g. async or genuinely distributed transports) register by name via
+(e.g. async or MPI transports) register by name via
 :func:`register_backend`.
 """
 
@@ -19,12 +24,14 @@ from typing import Callable
 from .base import Backend, ChunkRef
 from .mp import MultiprocessingBackend
 from .sim import SimBackend
+from .tcp import TcpBackend
 
 __all__ = [
     "Backend",
     "ChunkRef",
     "SimBackend",
     "MultiprocessingBackend",
+    "TcpBackend",
     "available_backends",
     "make_backend",
     "register_backend",
@@ -33,6 +40,7 @@ __all__ = [
 _REGISTRY: dict[str, Callable[[int], Backend]] = {
     SimBackend.name: SimBackend,
     MultiprocessingBackend.name: MultiprocessingBackend,
+    TcpBackend.name: TcpBackend,
 }
 
 

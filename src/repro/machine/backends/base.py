@@ -12,7 +12,7 @@ planes:
 
 Backends implement the same list-in/list-out SPMD convention as the
 machine itself: each data-plane method receives one contribution per PE
-and returns one result per PE.  Two backends ship with the package:
+and returns one result per PE.  Three backends ship with the package:
 
 ``sim`` (:class:`~repro.machine.backends.sim.SimBackend`)
     Computes results in-process with deterministic combination orders
@@ -21,11 +21,24 @@ and returns one result per PE.  Two backends ship with the package:
 
 ``mp`` (:class:`~repro.machine.backends.mp.MultiprocessingBackend`)
     Runs one OS worker process per PE; collectives physically move
-    pickled payloads between the workers through queues.  Combination
-    orders replicate the simulated backend exactly, so results are
-    bit-identical for the package's integer/array payloads.  Reported
-    *wall-clock* reflects genuine parallel execution (the modeled cost
-    is still charged, so both metrics stay available).
+    pickled payloads between the workers.  Combination orders replicate
+    the simulated backend exactly, so results are bit-identical for the
+    package's integer/array payloads.  Reported *wall-clock* reflects
+    genuine parallel execution (the modeled cost is still charged, so
+    both metrics stay available).
+
+``tcp`` (:class:`~repro.machine.backends.tcp.TcpBackend`)
+    The same worker runtime over length-framed stream sockets, so
+    workers can live on other hosts (host list via ``hosts=`` /
+    ``REPRO_TCP_HOSTS``; loopback by default).  Bit-identical to the
+    other two backends as well.
+
+Real backends share one three-layer architecture: the *transport*
+(:mod:`repro.machine.backends.transport`) frames objects onto byte
+streams, the *worker runtime* (:mod:`repro.machine.backends.runtime`)
+owns the command loop, resident chunk store, exchange schedules and
+driver dispatch, and a thin *launcher* per transport (``mp.py``,
+``tcp.py``) wires workers to channels.
 
 Reduction ``op`` arguments follow :data:`repro.machine.collectives.
 REDUCTION_OPS`: the strings ``"sum"``/``"min"``/``"max"`` or a callable.

@@ -1,18 +1,32 @@
-"""Real shared-memory execution: one worker process per PE.
+"""Multiprocessing launcher: one forked worker process per PE.
+
+This module is deliberately thin.  The wire protocol (protocol-5
+out-of-band framing, scatter-gather ``writev``/``readv``, partial-read
+reassembly) lives in :mod:`repro.machine.backends.transport`; the
+worker command loop, resident chunk store, exchange schedules and the
+driver-side dispatch live in :mod:`repro.machine.backends.runtime`.
+What remains here is the *launch wiring* specific to a single host:
+
+* fork one daemon process per PE (``multiprocessing`` context,
+  ``start_method`` selectable);
+* one :class:`~repro.machine.backends.transport.PipeChannel` inbox per
+  worker plus a shared results channel -- pipes with a cross-process
+  write lock, since every peer writes into every inbox;
+* the shared-memory bulk lane (:mod:`repro.machine.backends.shm`):
+  buffers at or above the threshold are copied once into pooled
+  ``multiprocessing.shared_memory`` blocks and only ``(name, offset,
+  nbytes)`` descriptors cross the pipe.  Round-based recycling and the
+  close-time segment reaping are supervised here because only this
+  launcher has a shm lane (``supports_shm``); the ``tcp`` launcher runs
+  the identical runtime with the lane absent.
 
 Every PE of the machine is backed by a long-lived OS process.  Two
-kinds of state live in the workers:
-
-* **transient collective payloads** -- a collective ships each PE's
-  contribution to its worker, the workers exchange among themselves and
-  each returns its own result to the driver;
-* **resident chunks** -- :class:`~repro.machine.dist_array.DistArray`
-  data pinned behind :class:`~repro.machine.backends.base.ChunkRef`
-  handles.  Per-PE algorithm callbacks (``map_resident``) execute inside
-  the workers, next to the data; only small per-PE values (sample
-  arrays, partition counts) return to the driver, and an optional fused
-  value collective (``allgather``/``allreduce``) runs in the same round
-  trip.  Chunks never round-trip through the driver per collective.
+kinds of state live in the workers: **transient collective payloads**
+(each PE's contribution travels to its worker, the workers exchange
+among themselves, each returns its own result) and **resident chunks**
+(:class:`~repro.machine.dist_array.DistArray` data pinned behind
+:class:`~repro.machine.backends.base.ChunkRef` handles, operated on by
+``map_resident``/``run_spmd`` callbacks next to the data).
 
 Combination orders replicate :class:`~repro.machine.backends.sim.
 SimBackend` exactly -- reductions gather all contributions and combine
@@ -22,48 +36,6 @@ bit-identical to the simulated run, including floating-point
 reductions.  The one carve-out is :meth:`Machine.aggregate_exchange`
 with *float* values, whose merge association differs between routing
 paths (integer counts, the package-wide case, stay bit-identical).
-
-Wire protocol
--------------
-Messages are protocol-5 pickles whose out-of-band buffers travel on two
-lanes (the *zero-copy data plane*): small buffers ride the pipe inline
-via scatter-gather ``os.writev`` framing (no concatenation on send, no
-``bytes()`` copy on receive), and buffers at or above the shm threshold
-are copied once into a :mod:`~repro.machine.backends.shm` segment block
-while only a ``(name, offset, nbytes)`` descriptor crosses the pipe.
-Block recycling is round-based: the driver recycles when a command's
-results are all in, a worker when the next command (strictly larger
-sequence number) arrives -- both points at which every receiver of the
-finished round has provably decoded (and thereby copied) its payloads.
-
-The driver issues one command per operation, tagged with a monotonically
-increasing sequence number.  Full-pool commands ride the **broadcast
-command channel**: the driver writes a single frame (spec + the per-PE
-locals map) to rank 0's inbox and the workers fan it out along the
-binomial tree, each forwarding its children their subtree's slice of
-the locals -- O(1) driver sends (:attr:`MultiprocessingBackend.
-driver_sends`) and exactly ``p - 1`` worker forwards
-(:meth:`MultiprocessingBackend.command_fanout_counts`) instead of ``p``
-serialized driver writes.  Partial-participant commands (``p2p``) keep
-the direct per-worker path.  Workers exchange peer messages tagged with
-the same sequence number (plus a per-schedule round tag) and stash
-anything that arrives early, so fast workers can run ahead without
-confusing slow ones.  Worker-to-worker exchanges follow logarithmic
-schedules instead of direct O(p^2) delivery:
-
-* rooted collectives (broadcast, reduce, gather, scatter) walk a
-  binomial tree -- ``p - 1`` messages, ``log p`` depth;
-* symmetric collectives (allgather, allreduce, scan, the fused
-  ``allreduce_exscan``/``reduce_allgather`` and the value collectives
-  fused into ``map_resident``) use the dissemination (Bruck) schedule
-  -- ``p * ceil(log2 p)`` messages on any ``p``, power of two or not;
-* ``alltoall`` store-and-forwards along the same hop sequence
-  (hypercube routing, Leighton Thm 3.24) -- ``p * ceil(log2 p)``
-  messages instead of ``p * (p - 1)``.
-
-Every worker counts its sends; :meth:`MultiprocessingBackend.
-worker_message_counts` exposes the totals so tests can assert the
-O(p log p) bound.
 
 Caveats
 -------
@@ -78,747 +50,68 @@ Caveats
 
 from __future__ import annotations
 
-import atexit
 import multiprocessing
 import os
-import pickle
-import queue as queue_mod
-import select
-import time
-import weakref
-from collections import deque
-from typing import Callable, Sequence
+from typing import Callable
 
-from ..collectives import (
-    binomial_edges,
-    binomial_subtrees,
-    bruck_hops,
-    bruck_send_blocks,
-    inclusive_scan,
-    tree_reduce_order,
-)
-from .base import (
-    Backend,
-    ChunkRef,
-    _apply_resident,
-    _collect_values,
-    _run_spmd_inprocess,
-)
+from .runtime import RuntimeBackend, WorkerLinks, worker_loop
 from .shm import ShmPool, env_threshold, new_token, pool_family, reap_segments
+from .transport import PipeChannel
 
 __all__ = ["MultiprocessingBackend"]
 
-#: seconds to wait for a worker before declaring the pool dead
-_TIMEOUT = 120.0
-
 #: "caller gave no value" marker for the shm-threshold override
 _UNSET = object()
-
-#: pools that still own live worker processes (for the atexit guard)
-_LIVE_POOLS: "weakref.WeakSet[MultiprocessingBackend]" = weakref.WeakSet()
-_ATEXIT_REGISTERED = False
-
-
-def _close_leaked_pools() -> None:  # pragma: no cover - interpreter exit path
-    for backend in list(_LIVE_POOLS):
-        try:
-            backend.close()
-        except Exception:
-            pass
-
-
-# ----------------------------------------------------------------------
-# Transport: low-latency zero-copy message channels
-# ----------------------------------------------------------------------
-
-#: frames at least this big are received straight into a dedicated
-#: buffer (skipping the shared read buffer entirely)
-_DIRECT_RX_MIN = 1 << 16
-
-#: inline out-of-band buffers below this size are copied out of a
-#: dedicated frame instead of aliasing it (a tiny array must not pin a
-#: multi-megabyte frame alive)
-_ALIAS_MIN = 1 << 12
-
-#: compact the shared read buffer once this many bytes are consumed
-_COMPACT_MIN = 1 << 16
-
-_NO_FRAME = object()
-
-
-class _Channel:
-    """Multi-producer, single-consumer message channel over an OS pipe.
-
-    ``multiprocessing.Queue`` routes every message through a per-process
-    feeder thread -- two scheduler hops per hop, which dominates the
-    latency of fine-grained collective schedules.  This channel writes
-    frames straight into the pipe under a lock (like ``SimpleQueue``),
-    with two additions that make it safe for worker meshes:
-
-    * **timed receive** -- ``get(timeout)`` waits on the pipe with
-      ``select``, so workers can still detect an orphaned driver;
-    * **deadlock-free sends** -- writes are non-blocking; when the pipe
-      is full (payload bigger than the kernel buffer and a busy
-      receiver) the writer invokes its ``drain`` callback to consume its
-      *own* inbox while waiting, so a cycle of mutually-sending workers
-      always makes progress.
-
-    Framing is zero-copy in both directions.  A frame is::
-
-        [8B frame_len][8B meta_len][meta][spec][inline buffers...]
-
-    where ``spec`` is the protocol-5 pickle of the object with its
-    out-of-band ``PickleBuffer``s elided and ``meta`` describes each
-    buffer: either ``(0, nbytes)`` -- the raw bytes follow inline in the
-    frame -- or ``(1, name, offset, nbytes)`` -- the bytes sit in a
-    shared-memory block (:mod:`repro.machine.backends.shm`) and only
-    this descriptor crosses the pipe.  The sender never concatenates:
-    header, spec and buffer views go out through scatter-gather
-    ``os.writev``.  The receiver slices buffers back out of the frame as
-    ``memoryview``s (large frames land in a dedicated ``bytearray`` the
-    decoded arrays then own) and reassembles the object with
-    ``pickle.loads(spec, buffers=...)``; shared-memory descriptors are
-    copied out of their segment exactly once, at decode time, which is
-    what makes the sender's round-based block recycling safe.
-
-    Frames stay contiguous because the write lock is held for the whole
-    frame; the single reader reassembles partial reads in a local
-    buffer, compacted amortizedly (``_COMPACT_MIN``) instead of
-    ``del``-shifted per frame.
-    """
-
-    def __init__(self, ctx):
-        self._reader, self._writer = ctx.Pipe(duplex=False)
-        self._wlock = ctx.Lock()
-        self._rbuf = bytearray()
-        self._roff = 0           # consumed prefix of _rbuf
-        self._direct = None      # [bytearray, filled] of an in-flight big frame
-        #: consumer-side byte counters (each process sees its own copy
-        #: of the channel object, so these count that process's traffic)
-        self.wire_rx = 0
-        self.shm_rx = 0
-
-    # -- producer side -------------------------------------------------
-    def put(self, obj, drain: Callable | None = None, pool=None,
-            counters: dict | None = None) -> None:
-        """Send one message.  ``pool`` (a :class:`~repro.machine.
-        backends.shm.ShmPool`) routes large pickle buffers through
-        shared memory; ``counters`` (keys ``wire_tx``/``shm_tx``)
-        receives this message's byte accounting."""
-        bufs: list[pickle.PickleBuffer] = []
-
-        def _keep_oob(pb: pickle.PickleBuffer):
-            # pickle's convention: a falsy return takes the buffer
-            # out-of-band, a truthy one serializes it in-band
-            try:
-                pb.raw()
-            except BufferError:  # non-contiguous: let pickle copy in-band
-                return True
-            bufs.append(pb)
-            return False
-
-        spec = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL,
-                            buffer_callback=_keep_oob)
-        bufspecs: list[tuple] = []
-        tail: list[memoryview] = []
-        inline_bytes = 0
-        shm_bytes = 0
-        for pb in bufs:
-            raw = pb.raw()
-            nbytes = raw.nbytes
-            desc = pool.share(raw) if pool is not None else None
-            if desc is None:
-                bufspecs.append((0, nbytes))
-                tail.append(raw)
-                inline_bytes += nbytes
-            else:
-                bufspecs.append((1, desc[0], desc[1], nbytes))
-                shm_bytes += nbytes
-        meta = pickle.dumps((len(spec), tuple(bufspecs)),
-                            protocol=pickle.HIGHEST_PROTOCOL)
-        frame_len = 8 + len(meta) + len(spec) + inline_bytes
-        head = frame_len.to_bytes(8, "little") + len(meta).to_bytes(8, "little") + meta
-        # drop empty views (zero-length buffers): os.writev reports 0
-        # bytes for them, which the advance loop would spin on forever
-        views = [v for v in [memoryview(head), memoryview(spec), *tail] if len(v)]
-        while not self._wlock.acquire(timeout=0.005):
-            if drain is not None:
-                drain()
-        try:
-            fd = self._writer.fileno()
-            os.set_blocking(fd, False)
-            while views:
-                try:
-                    written = os.writev(fd, views[:1024])
-                except BlockingIOError:
-                    if drain is not None:
-                        drain()
-                    select.select([], [fd], [], 0.005)
-                    continue
-                while written:
-                    v = views[0]
-                    if written >= len(v):
-                        written -= len(v)
-                        views.pop(0)
-                    else:
-                        views[0] = v[written:]
-                        written = 0
-        finally:
-            self._wlock.release()
-        if counters is not None:
-            counters["wire_tx"] += 8 + frame_len
-            counters["shm_tx"] += shm_bytes
-
-    # -- consumer side (single reader) ---------------------------------
-    def _decode(self, body: memoryview, pool, copy_buffers: bool):
-        """Reassemble one frame body (everything after the length
-        prefix) into its object, materializing buffer descriptors."""
-        meta_len = int.from_bytes(body[:8], "little")
-        spec_len, bufspecs = pickle.loads(body[8:8 + meta_len])
-        off = 8 + meta_len
-        spec = body[off:off + spec_len]
-        off += spec_len
-        buffers = []
-        for bs in bufspecs:
-            if bs[0] == 0:
-                nbytes = bs[1]
-                piece = body[off:off + nbytes]
-                off += nbytes
-                if copy_buffers or nbytes < _ALIAS_MIN:
-                    piece = bytearray(piece)
-                buffers.append(piece)
-            else:
-                _, name, boff, nbytes = bs
-                if pool is None:
-                    raise RuntimeError(
-                        "received a shared-memory payload descriptor on a "
-                        "channel with no pool attached"
-                    )
-                buffers.append(pool.materialize(name, boff, nbytes))
-                self.shm_rx += nbytes
-        obj = pickle.loads(spec, buffers=buffers)
-        self.wire_rx += 8 + len(body)
-        return obj
-
-    def _fill(self) -> bool:
-        """Read whatever the pipe holds; returns True if bytes arrived."""
-        fd = self._reader.fileno()
-        os.set_blocking(fd, False)
-        got = False
-        while True:
-            direct = self._direct
-            if direct is not None:
-                frame, filled = direct
-                want = len(frame) - filled
-                if want == 0:
-                    return got
-                try:
-                    n = os.readv(fd, [memoryview(frame)[filled:]])
-                except BlockingIOError:
-                    return got
-                if n == 0:
-                    raise EOFError("channel closed by peer")
-                direct[1] = filled + n
-                got = True
-                continue
-            try:
-                piece = os.read(fd, 1 << 16)
-            except BlockingIOError:
-                return got
-            if not piece:
-                raise EOFError("channel closed by peer")
-            self._rbuf += piece
-            got = True
-            # a large frame header may just have landed: switch the
-            # remainder of that frame to the dedicated direct buffer
-            if self._maybe_go_direct():
-                continue
-
-    def _maybe_go_direct(self) -> bool:
-        """If the buffer starts with a large, incomplete frame, move its
-        prefix into a dedicated buffer that the rest is read into."""
-        avail = len(self._rbuf) - self._roff
-        if avail < 8:
-            return False
-        n = int.from_bytes(self._rbuf[self._roff:self._roff + 8], "little")
-        if n < _DIRECT_RX_MIN or avail >= 8 + n:
-            return False
-        frame = bytearray(n)
-        have = avail - 8
-        frame[:have] = memoryview(self._rbuf)[self._roff + 8:]
-        self._rbuf.clear()
-        self._roff = 0
-        self._direct = [frame, have]
-        return True
-
-    def _pop_frame(self, pool):
-        direct = self._direct
-        if direct is not None:
-            frame, filled = direct
-            if filled < len(frame):
-                return _NO_FRAME
-            self._direct = None
-            # the decoded arrays alias (and keep alive) the dedicated
-            # frame buffer -- no further copy
-            return self._decode(memoryview(frame), pool, copy_buffers=False)
-        self._maybe_go_direct()
-        if self._direct is not None:
-            return self._pop_frame(pool)
-        avail = len(self._rbuf) - self._roff
-        if avail < 8:
-            return _NO_FRAME
-        n = int.from_bytes(self._rbuf[self._roff:self._roff + 8], "little")
-        if avail < 8 + n:
-            return _NO_FRAME
-        body = memoryview(self._rbuf)[self._roff + 8:self._roff + 8 + n]
-        try:
-            # copy_buffers: decoded objects must not alias the shared
-            # read buffer (compaction would corrupt them)
-            obj = self._decode(body, pool, copy_buffers=True)
-        finally:
-            body.release()
-        self._roff += 8 + n
-        if self._roff >= _COMPACT_MIN:
-            del self._rbuf[:self._roff]
-            self._roff = 0
-        return obj
-
-    def get(self, timeout: float | None = None, pool=None):
-        deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            obj = self._pop_frame(pool)
-            if obj is not _NO_FRAME:
-                return obj
-            if self._fill():
-                continue
-            remaining = None if deadline is None else deadline - time.monotonic()
-            if remaining is not None and remaining <= 0:
-                raise queue_mod.Empty
-            select.select([self._reader.fileno()], [], [],
-                          remaining if remaining is not None else 1.0)
-
-    # -- lifecycle (mirrors the mp.Queue calls the pool makes) ---------
-    def close(self) -> None:
-        try:
-            self._reader.close()
-            self._writer.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
-
-    def cancel_join_thread(self) -> None:  # no feeder thread to join
-        pass
 
 
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
 
-class _Comm:
-    """Per-collective messaging context of one worker.
+class _PipeLinks(WorkerLinks):
+    """Pipe binding of one worker: every peer's inbox is reachable
+    directly (the channel ends are inherited across the fork), results
+    ride a channel shared by the whole pool."""
 
-    Messages are addressed by ``(seq, tag, src)`` where ``tag`` is the
-    schedule round, so multi-round schedules can never confuse two
-    messages from the same peer, and out-of-order arrivals from
-    run-ahead peers are stashed for their own collective.
-    """
+    def __init__(self, rank, p, inboxes, results, pool, parent_pid):
+        super().__init__(rank, p, pool, parent_pid)
+        self._inboxes = inboxes
+        self._results = results
 
-    __slots__ = ("rank", "p", "seq", "inboxes", "backlog", "stash", "counters",
-                 "pool", "parent_pid")
+    def send(self, dst: int, item, drain: Callable | None = None) -> None:
+        self._inboxes[dst].put(item, drain=drain, pool=self.pool,
+                               counters=self.counters)
 
-    def __init__(self, rank, p, inboxes, backlog, stash, counters, pool=None,
-                 parent_pid=None):
-        self.rank = rank
-        self.p = p
-        self.seq = 0
-        self.inboxes = inboxes
-        self.backlog = backlog
-        self.stash = stash
-        self.counters = counters
-        self.pool = pool
-        self.parent_pid = parent_pid
+    def send_result(self, item, drain: Callable | None = None,
+                    pool: bool = True) -> None:
+        self._results.put(item, drain=drain,
+                          pool=self.pool if pool else None,
+                          counters=self.counters)
 
-    def send(self, dst: int, tag: int, payload) -> None:
-        self.inboxes[dst].put(
-            ("msg", self.seq, tag, self.rank, payload),
-            drain=self.drain, pool=self.pool, counters=self.counters,
-        )
-        self.counters["msgs"] += 1
+    def recv(self, timeout: float | None = None):
+        return self._inboxes[self.rank].get(timeout=timeout, pool=self.pool)
 
-    def drain(self) -> None:
-        """Consume whatever already sits in this worker's inbox (called
-        while a send waits on a full pipe, keeping the mesh live).
-
-        Doubles as the liveness check of every blocked wait loop: a
-        worker spinning on a full pipe or a contended write lock would
-        otherwise outlive a killed driver forever, because the peers'
-        inherited pipe ends keep EPIPE from ever firing.
-        """
-        if self.parent_pid is not None and os.getppid() != self.parent_pid:
-            os._exit(1)  # orphaned: the driver is gone
-        while True:
-            try:
-                item = self.inboxes[self.rank].get(timeout=0, pool=self.pool)
-            except queue_mod.Empty:
-                return
-            if item[0] != "msg":
-                self.backlog.append(item)
-            else:
-                _, mseq, mtag, msrc, payload = item
-                self.stash[(mseq, mtag, msrc)] = payload
-
-    def recv(self, src: int, tag: int):
-        key = (self.seq, tag, src)
-        if key in self.stash:
-            return self.stash.pop(key)
-        while True:
-            item = self.inboxes[self.rank].get(timeout=_TIMEOUT, pool=self.pool)
-            if item[0] != "msg":
-                self.backlog.append(item)
-                continue
-            _, mseq, mtag, msrc, payload = item
-            if (mseq, mtag, msrc) == key:
-                return payload
-            self.stash[(mseq, mtag, msrc)] = payload
-
-
-# -- logarithmic worker schedules --------------------------------------
-
-def _tree_bcast(comm: _Comm, root: int, value, tag: int = 0):
-    """Binomial-tree broadcast: p-1 messages, log p depth."""
-    edges = binomial_edges(comm.p, root)
-    if comm.rank != root:
-        parent = next(s for _, s, d in edges if d == comm.rank)
-        value = comm.recv(parent, tag)
-    for _, s, d in edges:
-        if s == comm.rank:
-            comm.send(d, tag, value)
-    return value
-
-
-def _tree_gather(comm: _Comm, root: int, local, tag: int = 1):
-    """Binomial-tree gather of subtree bundles; rank-ordered list at
-    ``root``, ``None`` elsewhere."""
-    bundle = {comm.rank: local}
-    for _, s, d in reversed(binomial_edges(comm.p, root)):
-        if s == comm.rank:
-            bundle.update(comm.recv(d, tag))
-        elif d == comm.rank:
-            comm.send(s, tag, bundle)
-            return None
-    return [bundle[j] for j in range(comm.p)]
-
-
-def _tree_allgather(comm: _Comm, myval, tag_base: int = 1) -> list:
-    """Gather-to-root + broadcast composition: ``2 (p - 1)`` messages,
-    ``2 log p`` depth.  The message-count winner for the small values
-    the reduction-type collectives combine; the payload-heavy allgather
-    and alltoall use the dissemination/hypercube schedules instead."""
-    vals = _tree_gather(comm, 0, myval, tag_base)
-    return _tree_bcast(comm, 0, vals, tag_base + 16)
-
-
-def _tree_scatter(comm: _Comm, root: int, pieces, tag: int = 2):
-    """Binomial-tree scatter: parents forward each child its subtree's
-    bundle; returns this PE's piece."""
-    edges = binomial_edges(comm.p, root)
-    if comm.rank == root:
-        bundle = {j: pieces[j] for j in range(comm.p)}
-    else:
-        parent = next(s for _, s, d in edges if d == comm.rank)
-        bundle = comm.recv(parent, tag)
-    subtrees = binomial_subtrees(comm.p, root)
-    for _, s, d in edges:
-        if s == comm.rank:
-            comm.send(d, tag, {j: bundle[j] for j in subtrees[d]})
-    return bundle[comm.rank]
-
-
-def _bruck_allgather(comm: _Comm, myval, tag_base: int = 3) -> list:
-    """Dissemination allgather: ceil(log2 p) rounds on any p, one
-    message per PE per round; returns the rank-ordered value list."""
-    rank, p = comm.rank, comm.p
-    blocks = {rank: myval}
-    for tag, hop in enumerate(bruck_hops(p)):
-        dst = (rank + hop) % p
-        src = (rank - hop) % p
-        send = bruck_send_blocks(p, rank, hop, list(blocks))
-        comm.send(dst, tag_base + tag, {b: blocks[b] for b in send})
-        blocks.update(comm.recv(src, tag_base + tag))
-    return [blocks[j] for j in range(p)]
-
-
-def _run_spmd_step(comm: _Comm, gen):
-    """Drive one SPMD generator inside the worker: every yielded
-    collective becomes a tree exchange with its own tag block."""
-    tag_base = 100
-    try:
-        req = gen.send(None)
-        while True:
-            kind = req[0]
-            if kind == "alltoall":
-                res = _bruck_alltoall(comm, list(req[1]), tag_base)
-                tag_base += 32
-                req = gen.send(res)
-                continue
-            if kind == "sendrecv":
-                # sparse direct exchange: payloads travel exactly one
-                # hop (the plan's p2p schedule), message count = number
-                # of non-empty pairs; the expected-sender lists come
-                # from the driver so no discovery round is needed
-                row, srcs = list(req[1]), req[2]
-                for dst, payload in enumerate(row):
-                    if dst != comm.rank and payload is not None:
-                        comm.send(dst, tag_base, payload)
-                res = [None] * comm.p
-                res[comm.rank] = row[comm.rank]
-                for src in srcs:
-                    if src != comm.rank:
-                        res[src] = comm.recv(src, tag_base)
-                tag_base += 32
-                req = gen.send(res)
-                continue
-            gathered = _tree_allgather(comm, req[1], tag_base)
-            tag_base += 32
-            if kind == "allgather":
-                res = gathered
-            elif kind == "allreduce":
-                res = tree_reduce_order(gathered, req[2])
-            elif kind == "allreduce_exscan":
-                op, initial = req[2], req[3]
-                total = tree_reduce_order(gathered, op)
-                res = (
-                    total,
-                    initial if comm.rank == 0 else inclusive_scan(gathered, op)[comm.rank - 1],
-                )
-            else:
-                raise ValueError(f"unknown SPMD collective {kind!r}")
-            req = gen.send(res)
-    except StopIteration as stop:
-        return stop.value
-
-
-def _bruck_alltoall(comm: _Comm, row, tag_base: int = 20) -> list:
-    """Store-and-forward personalized exchange along the dissemination
-    hop sequence: each payload travels the binary decomposition of its
-    rank offset, p * ceil(log2 p) messages total."""
-    rank, p = comm.rank, comm.p
-    # (src, remaining_offset, payload); offset 0 means delivered
-    pending = [(rank, (j - rank) % p, row[j]) for j in range(p) if j != rank]
-    delivered = {rank: row[rank]}
-    for tag, hop in enumerate(bruck_hops(p)):
-        dst = (rank + hop) % p
-        src = (rank - hop) % p
-        moving = [(s, d - hop, v) for s, d, v in pending if d & hop]
-        pending = [e for e in pending if not (e[1] & hop)]
-        comm.send(dst, tag_base + tag, moving)
-        for s, d, v in comm.recv(src, tag_base + tag):
-            if d == 0:
-                delivered[s] = v
-            else:
-                pending.append((s, d, v))
-    return [delivered[j] for j in range(p)]
-
-
-# -- command execution -------------------------------------------------
-
-class _WorkerError:
-    """Marker wrapping an exception that happened inside a worker."""
-
-    def __init__(self, message: str):
-        self.message = message
-
-
-def _execute(comm: _Comm, spec, local, store):
-    """Run one command on this worker; returns this PE's result."""
-    rank, p = comm.rank, comm.p
-    kind = spec[0]
-
-    # -- resident chunk store ------------------------------------------
-    if kind == "put":
-        store[spec[1]] = local
-        return None
-    if kind == "get":
-        return store[spec[1]]
-    if kind == "mapres":
-        fn = pickle.loads(spec[1])
-        in_ids, out_ids, collect = spec[2], spec[3], spec[4]
-        ins = [store[i] for i in in_ids]
-        extra = tuple(local) if local is not None else ()
-        res = fn(rank, *ins, *extra)
-        if out_ids:
-            if not isinstance(res, tuple) or len(res) != len(out_ids) + 1:
-                raise ValueError(
-                    f"resident callback must return {len(out_ids)} chunks "
-                    f"+ 1 value, got {type(res).__name__}"
-                )
-            for oid, chunk in zip(out_ids, res):
-                store[oid] = chunk
-            value = res[len(out_ids)]
-        else:
-            value = res
-        if collect is None:
-            return value
-        gathered = _tree_allgather(comm, value, 40)
-        if collect[0] == "allgather":
-            return value, gathered
-        return value, tree_reduce_order(gathered, collect[1])
-    if kind == "spmd":
-        fn = pickle.loads(spec[1])
-        in_ids, out_ids = spec[2], spec[3]
-        ins = [store[i] for i in in_ids]
-        extra = tuple(local) if local is not None else ()
-        res = _run_spmd_step(comm, fn(rank, *ins, *extra))
-        if out_ids:
-            if not isinstance(res, tuple) or len(res) != len(out_ids) + 1:
-                raise ValueError(
-                    f"SPMD callback must return {len(out_ids)} chunks + 1 "
-                    f"value, got {type(res).__name__}"
-                )
-            for oid, chunk in zip(out_ids, res):
-                store[oid] = chunk
-            return res[len(out_ids)]
-        return res
-    if kind == "stats":
-        return {
-            "msgs": comm.counters["msgs"],
-            "cmd_fwd": comm.counters["cmd_fwd"],
-            "wire_tx": comm.counters["wire_tx"],
-            "shm_tx": comm.counters["shm_tx"],
-            "resident": len(store),
-        }
-    if kind == "map":
-        fn = pickle.loads(spec[1])
-        return fn(rank, local)
-
-    # -- collectives ---------------------------------------------------
-    if kind == "bcast":
-        return _tree_bcast(comm, spec[1], local)
-    if kind == "reduce":
-        op, root = spec[1], spec[2]
-        recv = _tree_gather(comm, root, local)
-        return None if recv is None else tree_reduce_order(recv, op)
-    if kind == "allreduce":
-        return tree_reduce_order(_tree_allgather(comm, local), spec[1])
-    if kind == "scan":
-        return inclusive_scan(_tree_allgather(comm, local), spec[1])[rank]
-    if kind == "allreduce_exscan":
-        op, initial = spec[1], spec[2]
-        recv = _tree_allgather(comm, local)
-        total = tree_reduce_order(recv, op)
-        prefix = initial if rank == 0 else inclusive_scan(recv, op)[rank - 1]
-        return total, prefix
-    if kind == "reduce_allgather":
-        op = spec[1]
-        pairs = _tree_allgather(comm, local)
-        total = tree_reduce_order([rv for rv, _ in pairs], op)
-        return total, [gv for _, gv in pairs]
-    if kind == "gather":
-        return _tree_gather(comm, spec[1], local)
-    if kind == "allgather":
-        return _bruck_allgather(comm, local)
-    if kind == "scatter":
-        return _tree_scatter(comm, spec[1], local)
-    if kind == "alltoall":
-        return _bruck_alltoall(comm, list(local))
-    if kind == "p2p":
-        # pair operation: only src and dst receive this command, so the
-        # rest of the pool keeps working undisturbed
-        src, dst = spec[1], spec[2]
-        if rank == src:
-            comm.send(dst, 0, local)
-            return None
-        return comm.recv(src, 0)
-    raise ValueError(f"unknown backend command {kind!r}")
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
 
 
 def _worker_main(rank, p, inboxes, results, parent_pid, shm_family=None,
                  shm_threshold=None):
-    """Command loop of one PE worker (module-level for spawn support)."""
-    from .shm import ShmPool
-
-    backlog: deque = deque()
-    stash: dict = {}
-    store: dict = {}
+    """Entry point of one PE worker (module-level for spawn support):
+    build the pipe links + shm pool, then run the shared command loop."""
     pool = (
         ShmPool(shm_family, f"w{rank}", shm_threshold)
         if shm_family is not None else None
     )
-    counters = {"msgs": 0, "cmd_fwd": 0, "wire_tx": 0, "shm_tx": 0}
-    comm = _Comm(rank, p, inboxes, backlog, stash, counters, pool, parent_pid)
-    # broadcast-command fan-out tree: the driver hands a full-pool command
-    # to rank 0 only; every rank forwards its binomial-tree children their
-    # subtree's slice of the per-PE locals
-    tree_children = [d for _, s, d in binomial_edges(p, 0) if s == rank]
-    subtree_of = binomial_subtrees(p, 0)
-    last_seq = 0
-    try:
-        while True:
-            if backlog:
-                item = backlog.popleft()
-            else:
-                try:
-                    item = inboxes[rank].get(timeout=5.0, pool=pool)
-                except queue_mod.Empty:
-                    # daemon workers survive a SIGKILL'd driver; bail out
-                    # once the parent is gone instead of blocking forever
-                    if os.getppid() != parent_pid:
-                        return
-                    continue
-                except EOFError:
-                    return  # driver closed the channel
-            if item[0] == "msg":
-                _, mseq, mtag, msrc, payload = item
-                stash[(mseq, mtag, msrc)] = payload
-                continue
-            if item[0] == "bcmd":
-                # forward first (children must not wait on our execution),
-                # pruned to each child's subtree so every edge carries only
-                # the locals its subtree needs (a rank's local still hops
-                # once per tree edge on its root path -- which is why the
-                # arg-heavy "put" command keeps the direct driver path)
-                _, seq, spec, locals_map, free_ids = item
-                if seq > last_seq and pool is not None:
-                    # a new command proves the driver collected every
-                    # result of the previous one, i.e. all our earlier
-                    # shared blocks were copied out -- recycle them
-                    pool.release_round()
-                last_seq = max(last_seq, seq)
-                for child in tree_children:
-                    sub = {r: locals_map[r] for r in subtree_of[child] if r in locals_map}
-                    inboxes[child].put(
-                        ("bcmd", seq, spec, sub, free_ids),
-                        drain=comm.drain, pool=pool, counters=counters,
-                    )
-                    comm.counters["cmd_fwd"] += 1
-                item = ("cmd", seq, spec, locals_map.get(rank), free_ids)
-            _, seq, spec, local, free_ids = item
-            if seq > last_seq and pool is not None:
-                pool.release_round()
-            last_seq = max(last_seq, seq)
-            for ref_id in free_ids:
-                store.pop(ref_id, None)
-            if spec[0] == "stop":
-                results.put((rank, seq, None), drain=comm.drain,
-                            counters=counters)
-                return
-            comm.seq = seq
-            try:
-                result = _execute(comm, spec, local, store)
-                results.put((rank, seq, result), drain=comm.drain,
-                            pool=pool, counters=counters)
-            except Exception as exc:  # surface worker failures to the driver
-                results.put((rank, seq, _WorkerError(repr(exc))),
-                            drain=comm.drain, counters=counters)
-    finally:
-        if pool is not None:
-            pool.close()
+    worker_loop(_PipeLinks(rank, p, inboxes, results, pool, parent_pid))
 
 
 # ----------------------------------------------------------------------
 # Driver side
 # ----------------------------------------------------------------------
 
-class MultiprocessingBackend(Backend):
+class MultiprocessingBackend(RuntimeBackend):
     """One OS process per PE; collectives move real pickled messages and
     DistArray chunks stay resident in the workers."""
 
@@ -835,20 +128,7 @@ class MultiprocessingBackend(Backend):
     ):
         super().__init__(p)
         self._ctx = multiprocessing.get_context(start_method)
-        self._seq = 0
         self._workers: list = []
-        self._inboxes: list = []
-        self._results = None
-        self._started = False
-        self._closed = False
-        self._dead_refs: list[int] = []
-        self._live_ids: set[int] = set()
-        self._fn_blobs: dict[int, tuple[Callable, bytes]] = {}
-        self._result_buffer: list = []
-        #: driver-side channel writes issued for commands -- the fan-out
-        #: the broadcast command channel bounds at O(1) per full-pool
-        #: command (one frame to rank 0; workers tree-forward the rest)
-        self.driver_sends: int = 0
         # -- zero-copy payload lane ------------------------------------
         if shm_threshold is _UNSET:
             shm_threshold = env_threshold()
@@ -856,31 +136,20 @@ class MultiprocessingBackend(Backend):
             shm_threshold = None  # "0 disables", like REPRO_SHM_THRESHOLD
         self._shm_threshold = shm_threshold
         self._shm_family = pool_family(new_token())
-        self._shm = ShmPool(self._shm_family, "d", shm_threshold)
-        #: driver-side transport accounting per command kind:
-        #: ``{kind: {"wire": bytes_on_the_pipe, "shm": bytes_via_shm}}``
-        self._transport: dict[str, dict[str, int]] = {}
-        self._tx = {"wire_tx": 0, "shm_tx": 0}
+        self._pool = ShmPool(self._shm_family, "d", shm_threshold)
 
     @property
     def supports_shm(self) -> bool:
-        return self._shm.enabled
+        return self._pool.enabled
 
     @property
     def shm_threshold(self) -> int | None:
         return self._shm_threshold
 
-    def transport_bytes(self) -> dict[str, dict[str, int]]:
-        return self._transport
-
     # ------------------------------------------------------------------
-    # Pool lifecycle
+    # Pool lifecycle (RuntimeBackend hooks)
     # ------------------------------------------------------------------
-    def _ensure_started(self) -> None:
-        if self._closed:
-            raise RuntimeError("backend already closed")
-        if self._started:
-            return
+    def _start_pool(self) -> None:
         # start the resource tracker BEFORE forking, so every worker
         # inherits the one live tracker process: shared-memory
         # registrations then deduplicate in a single cache and the
@@ -892,8 +161,8 @@ class MultiprocessingBackend(Backend):
             resource_tracker.ensure_running()
         except Exception:  # pragma: no cover - non-POSIX fallback
             pass
-        self._inboxes = [_Channel(self._ctx) for _ in range(self.p)]
-        self._results = _Channel(self._ctx)
+        self._inboxes = [PipeChannel(self._ctx) for _ in range(self.p)]
+        self._results = PipeChannel(self._ctx)
         self._workers = [
             self._ctx.Process(
                 target=_worker_main,
@@ -906,365 +175,30 @@ class MultiprocessingBackend(Backend):
         ]
         for w in self._workers:
             w.start()
-        self._started = True
-        global _ATEXIT_REGISTERED
-        if not _ATEXIT_REGISTERED:
-            atexit.register(_close_leaked_pools)
-            _ATEXIT_REGISTERED = True
-        _LIVE_POOLS.add(self)
 
-    @property
-    def closed(self) -> bool:
-        return self._closed
+    def _join_workers(self) -> None:
+        for w in self._workers:
+            w.join(timeout=5.0)
 
-    def close(self) -> None:
-        """Shut the worker pool down; safe to call any number of times.
+    def _teardown(self) -> None:
+        for w in self._workers:
+            if w.is_alive():  # pragma: no cover - cleanup path
+                w.terminate()
+                w.join(timeout=1.0)
+        for q in self._inboxes:
+            q.close()
+            q.cancel_join_thread()
+        if self._results is not None:
+            self._results.close()
+            self._results.cancel_join_thread()
+        # segment lifecycle backstop: unlink the driver pool's
+        # segments and reap any a killed worker left behind, so no
+        # shared memory outlives the backend
+        self._pool.close()
+        reap_segments(self._shm_family)
 
-        Live resident chunks are salvaged into the driver-side store
-        first, so a ``DistArray`` result stays readable after its
-        machine's context exits.
-        """
-        if self._closed:
-            return
-        if self._started:
-            try:
-                self._salvage_resident()
-            except Exception:  # pragma: no cover - dead-pool cleanup path
-                pass
-        self._closed = True
-        _LIVE_POOLS.discard(self)
-        if not self._started:
-            self._shm.close()
-            return
-        try:
-            self._seq += 1
-            for rank in range(self.p):
-                try:
-                    self._inboxes[rank].put(("cmd", self._seq, ("stop",), None, ()))
-                except OSError:  # pragma: no cover - worker already dead
-                    pass
-            for w in self._workers:
-                w.join(timeout=5.0)
-        finally:
-            for w in self._workers:
-                if w.is_alive():  # pragma: no cover - cleanup path
-                    w.terminate()
-                    w.join(timeout=1.0)
-            for q in self._inboxes:
-                q.close()
-                q.cancel_join_thread()
-            if self._results is not None:
-                self._results.close()
-                self._results.cancel_join_thread()
-            # segment lifecycle backstop: unlink the driver pool's
-            # segments and reap any a killed worker left behind, so no
-            # shared memory outlives the backend
-            self._shm.close()
-            reap_segments(self._shm_family)
+    def _teardown_idle(self) -> None:
+        self._pool.close()
 
-    def __del__(self):  # pragma: no cover - interpreter-shutdown safety
-        try:
-            self.close()
-        except Exception:
-            pass
-
-    # ------------------------------------------------------------------
-    # Driver-side dispatch
-    # ------------------------------------------------------------------
-    def _drain_results(self) -> None:
-        """Buffer early results while a command send waits on a full inbox
-        (a worker blocked writing a large result would otherwise hold
-        the driver and worker in a two-party cycle)."""
-        while True:
-            try:
-                self._result_buffer.append(
-                    self._results.get(timeout=0, pool=self._shm)
-                )
-            except queue_mod.Empty:
-                return
-
-    def _run(
-        self, spec: tuple, locals_per_pe: Sequence, participants=None
-    ) -> list:
-        """Issue one command to the participating workers (default: all)
-        and collect their results."""
-        self._ensure_started()
-        t0 = time.perf_counter()
-        self._seq += 1
-        seq = self._seq
-        wire0 = self._tx["wire_tx"] + self._results.wire_rx
-        shm0 = self._tx["shm_tx"] + self._results.shm_rx
-        # Fail fast on unpicklable specs (e.g. a lambda reduction op):
-        # Queue's feeder thread would otherwise drop the command silently
-        # and the collective would time out with a bare queue.Empty.
-        try:
-            pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception as exc:
-            raise TypeError(
-                f"backend command {spec[0]!r} is not picklable (op/arguments "
-                f"must cross a process boundary; use a named op like 'sum' "
-                f"or a module-level callable): {exc}"
-            ) from None
-        # freed handles piggyback only on full-pool commands -- a partial-
-        # participant command (p2p) would free the slots on two workers
-        # and leak them on the rest
-        if participants is None:
-            free_ids = tuple(self._dead_refs)
-            self._dead_refs.clear()
-        else:
-            free_ids = ()
-        ranks = range(self.p) if participants is None else participants
-        # broadcast command channel: one driver send regardless of p;
-        # rank 0 fans the frame out along the binomial tree.  Chunk
-        # uploads ("put") keep the direct path -- their per-PE locals
-        # are the one arg-heavy payload, and tree forwarding would
-        # re-serialize each rank's chunk once per edge on its root path
-        # (~(log2 p)/2 times on average) for no latency benefit.
-        if participants is None and spec[0] != "put":
-            locals_map = {r: locals_per_pe[r] for r in range(self.p)}
-            self._inboxes[0].put(
-                ("bcmd", seq, spec, locals_map, free_ids),
-                drain=self._drain_results, pool=self._shm, counters=self._tx,
-            )
-            self.driver_sends += 1
-        else:
-            for rank in ranks:
-                self._inboxes[rank].put(
-                    ("cmd", seq, spec, locals_per_pe[rank], free_ids),
-                    drain=self._drain_results, pool=self._shm, counters=self._tx,
-                )
-                self.driver_sends += 1
-        out: list = [None] * self.p
-        failures: list[tuple[int, str]] = []
-        # drain every participant's result even on error, so a failed
-        # collective does not leave stale entries that poison the next one
-        for _ in ranks:
-            try:
-                if self._result_buffer:
-                    rank, rseq, value = self._result_buffer.pop(0)
-                else:
-                    rank, rseq, value = self._results.get(
-                        timeout=_TIMEOUT, pool=self._shm
-                    )
-            except Exception:
-                dead = [w.name for w in self._workers if not w.is_alive()]
-                raise RuntimeError(
-                    f"collective {spec[0]!r} timed out after {_TIMEOUT:.0f}s; "
-                    + (
-                        f"dead workers: {dead}"
-                        if dead
-                        else "likely an unpicklable payload (check for a "
-                        "feeder-thread PicklingError traceback above)"
-                    )
-                ) from None
-            if rseq != seq:  # pragma: no cover - protocol violation
-                raise RuntimeError(
-                    f"backend protocol error: expected seq {seq}, got {rseq}"
-                )
-            if isinstance(value, _WorkerError):
-                failures.append((rank, value.message))
-            else:
-                out[rank] = value
-        # every participant answered, so every shared block of this
-        # command has been copied out -- the driver pool can recycle
-        self._shm.release_round()
-        tb = self._transport.setdefault(spec[0], {"wire": 0, "shm": 0})
-        tb["wire"] += self._tx["wire_tx"] + self._results.wire_rx - wire0
-        tb["shm"] += self._tx["shm_tx"] + self._results.shm_rx - shm0
-        self.wall_time += time.perf_counter() - t0
-        if failures:
-            detail = "; ".join(f"worker {r} failed: {m}" for r, m in failures)
-            raise RuntimeError(detail)
-        return out
-
-    # ------------------------------------------------------------------
-    # Collectives
-    # ------------------------------------------------------------------
-    def broadcast(self, value, root: int = 0) -> list:
-        locals_per_pe = [value if i == root else None for i in range(self.p)]
-        return self._run(("bcast", root), locals_per_pe)
-
-    def reduce(self, values: Sequence, op, root: int = 0) -> list:
-        return self._run(("reduce", op, root), values)
-
-    def allreduce(self, values: Sequence, op) -> list:
-        return self._run(("allreduce", op), values)
-
-    def scan(self, values: Sequence, op) -> list:
-        return self._run(("scan", op), values)
-
-    def allreduce_exscan(self, values: Sequence, op, initial=0) -> tuple[list, list]:
-        pairs = self._run(("allreduce_exscan", op, initial), values)
-        totals = [t for t, _ in pairs]
-        prefixes = [pre for _, pre in pairs]
-        return totals, prefixes
-
-    def reduce_allgather(self, values: Sequence, payloads: Sequence, op) -> tuple[list, list]:
-        pairs = self._run(
-            ("reduce_allgather", op), list(zip(values, payloads))
-        )
-        return [t for t, _ in pairs], [g for _, g in pairs]
-
-    def gather(self, values: Sequence, root: int = 0) -> list:
-        return self._run(("gather", root), values)
-
-    def allgather(self, values: Sequence) -> list:
-        return self._run(("allgather",), values)
-
-    def scatter(self, pieces: Sequence, root: int = 0) -> list:
-        locals_per_pe = [list(pieces) if i == root else None for i in range(self.p)]
-        return self._run(("scatter", root), locals_per_pe)
-
-    def alltoall(self, matrix: Sequence[Sequence]) -> list[list]:
-        return self._run(("alltoall",), [list(row) for row in matrix])
-
-    def p2p(self, src: int, dst: int, payload):
-        if src == dst:
-            return payload
-        locals_per_pe = [payload if i == src else None for i in range(self.p)]
-        out = self._run(("p2p", src, dst), locals_per_pe, participants=(src, dst))
-        return out[dst]
-
-    def map(self, fn: Callable[[int, object], object], items: Sequence) -> list:
-        try:
-            blob = self._blob(fn)
-        except Exception:
-            # closures/lambdas cannot cross the process boundary; degrade
-            # gracefully to in-process application
-            return [fn(i, x) for i, x in enumerate(items)]
-        return self._run(("map", blob), items)
-
-    # ------------------------------------------------------------------
-    # Resident chunks
-    # ------------------------------------------------------------------
-    def _blob(self, fn) -> bytes:
-        """Pickle a callback once per identity (hot loops reuse it).
-
-        The cache pins the callable itself so its ``id`` cannot be
-        recycled by the allocator while the entry is alive.
-        """
-        entry = self._fn_blobs.get(id(fn))
-        if entry is None or entry[0] is not fn:
-            if len(self._fn_blobs) > 256:  # unbounded-growth guard
-                self._fn_blobs.clear()
-            entry = (fn, pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL))
-            self._fn_blobs[id(fn)] = entry
-        return entry[1]
-
-    def _new_ref(self) -> ChunkRef:
-        ref_id = self._next_ref_id
-        self._next_ref_id += 1
-        self._live_ids.add(ref_id)
-        return ChunkRef(ref_id, self.p, self._free_ref)
-
-    def _free_ref(self, ref_id: int) -> None:
-        # freeing piggybacks on the next command's envelope; nothing to
-        # send eagerly (and the pool may already be closed)
-        self._live_ids.discard(ref_id)
-        self._store.pop(ref_id, None)
-        self._dead_refs.append(ref_id)
-
-    def _salvage_resident(self) -> None:
-        """Pull live worker-resident chunks into the driver store so
-        handles stay readable after the pool shuts down."""
-        for ref_id in sorted(self._live_ids):
-            if ref_id not in self._store:
-                self._store[ref_id] = self._run(("get", ref_id), [None] * self.p)
-
-    def put_chunks(self, chunks: Sequence) -> ChunkRef:
-        if len(chunks) != self.p:
-            raise ValueError(f"need one chunk per PE, got {len(chunks)} for p={self.p}")
-        ref = self._new_ref()
-        self._run(("put", ref.id), list(chunks))
-        # keep an alias to the driver-born objects (read-only convention):
-        # get_chunks then never re-fetches them and close() never pays to
-        # salvage data the driver already holds
-        self._store[ref.id] = list(chunks)
-        return ref
-
-    def get_chunks(self, ref: ChunkRef) -> list:
-        if ref.id in self._store:  # driver-born or salvaged at close
-            return self._store[ref.id]
-        return self._run(("get", ref.id), [None] * self.p)
-
-    def map_resident(
-        self,
-        fn: Callable,
-        refs: Sequence[ChunkRef],
-        n_out: int = 0,
-        args: Sequence[tuple] | None = None,
-        collect: tuple | None = None,
-    ) -> tuple[list[ChunkRef], list, list | None]:
-        try:
-            blob = self._blob(fn)
-        except Exception:
-            # driver-side fallback: fetch, apply, re-pin.  Slow (the
-            # chunks make a round trip) but correct, and only hit by
-            # closures that cannot cross the process boundary.
-            chunk_lists = [self.get_chunks(r) for r in refs]
-            outs, values = _apply_resident(self.p, fn, chunk_lists, n_out, args)
-            out_refs = [self.put_chunks(chunks) for chunks in outs]
-            return out_refs, values, _collect_values(values, collect, self.p)
-        out_refs = [self._new_ref() for _ in range(n_out)]
-        spec = ("mapres", blob, tuple(r.id for r in refs),
-                tuple(r.id for r in out_refs), collect)
-        locals_per_pe = list(args) if args is not None else [None] * self.p
-        out = self._run(spec, locals_per_pe)
-        if collect is None:
-            return out_refs, out, None
-        return out_refs, [v for v, _ in out], [c for _, c in out]
-
-    def run_spmd(
-        self,
-        fn: Callable,
-        refs: Sequence[ChunkRef],
-        n_out: int = 0,
-        args: Sequence[tuple] | None = None,
-    ) -> tuple[list[ChunkRef], list]:
-        try:
-            blob = self._blob(fn)
-        except Exception:
-            chunk_lists = [self.get_chunks(r) for r in refs]
-            outs, values = _run_spmd_inprocess(self.p, fn, chunk_lists, n_out, args)
-            out_refs = [self.put_chunks(chunks) for chunks in outs]
-            return out_refs, values
-        out_refs = [self._new_ref() for _ in range(n_out)]
-        spec = ("spmd", blob, tuple(r.id for r in refs),
-                tuple(r.id for r in out_refs))
-        locals_per_pe = list(args) if args is not None else [None] * self.p
-        values = self._run(spec, locals_per_pe)
-        return out_refs, values
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    def worker_message_counts(self) -> list[int]:
-        if not self._started or self._closed:
-            return [0] * self.p
-        stats = self._run(("stats",), [None] * self.p)
-        return [s["msgs"] for s in stats]
-
-    def command_fanout_counts(self) -> list[int]:
-        """Per-worker count of forwarded broadcast-command frames.
-
-        Every full-pool command costs exactly ``p - 1`` forwards in total
-        (the binomial-tree edges), paid by the workers instead of the
-        driver; the driver's own channel writes are
-        :attr:`driver_sends`.  Note the ``stats`` round trip used to read
-        these counters is itself a broadcast command, so a delta between
-        two reads includes the forwards of one stats command.
-        """
-        if not self._started or self._closed:
-            return [0] * self.p
-        stats = self._run(("stats",), [None] * self.p)
-        return [s["cmd_fwd"] for s in stats]
-
-    def worker_transport_counts(self) -> list[dict[str, int]]:
-        """Per-worker cumulative transport bytes: ``wire_tx`` (pipe
-        frames written, peer messages + forwarded commands + results)
-        and ``shm_tx`` (payload bytes shared out of that worker's shm
-        pool).  Complements the driver-side :meth:`transport_bytes`."""
-        if not self._started or self._closed:
-            return [{"wire_tx": 0, "shm_tx": 0} for _ in range(self.p)]
-        stats = self._run(("stats",), [None] * self.p)
-        return [{"wire_tx": s["wire_tx"], "shm_tx": s["shm_tx"]} for s in stats]
+    def _dead_workers(self) -> list[str]:
+        return [w.name for w in self._workers if not w.is_alive()]

@@ -1,0 +1,966 @@
+"""Transport-agnostic worker runtime shared by every real backend.
+
+A real backend is three layers:
+
+* the **transport** (:mod:`repro.machine.backends.transport`) frames
+  objects onto byte streams -- pipes for ``mp``, sockets for ``tcp``;
+* this **runtime** owns everything above the bytes: the per-worker
+  command loop (:func:`worker_loop`), the resident ``ChunkRef`` store,
+  the logarithmic worker-exchange schedules, the SPMD generator driver,
+  the broadcast-command fan-out and the driver-side command dispatch
+  (:class:`RuntimeBackend`);
+* the **launcher** (``mp.py`` / ``tcp.py``) wires the two together:
+  it starts workers, builds their :class:`WorkerLinks`, and tears the
+  pool down.
+
+Because every real backend executes this same runtime, results and
+modeled costs are bit-identical across ``sim``, ``mp`` and ``tcp`` for
+every pipeline in the package (see
+``tests/integration/test_resident_parity.py``).
+
+Protocol
+--------
+The driver issues one command per operation, tagged with a
+monotonically increasing sequence number.  Full-pool commands ride the
+**broadcast command channel**: the driver writes a single frame (spec +
+the per-PE locals map) to rank 0's inbox and the workers fan it out
+along the binomial tree, each forwarding its children their subtree's
+slice of the locals -- O(1) driver sends (:attr:`RuntimeBackend.
+driver_sends`) and exactly ``p - 1`` worker forwards
+(:meth:`RuntimeBackend.command_fanout_counts`) instead of ``p``
+serialized driver writes.  Partial-participant commands (``p2p``) keep
+the direct per-worker path.  Workers exchange peer messages tagged with
+the same sequence number (plus a per-schedule round tag) and stash
+anything that arrives early, so fast workers can run ahead without
+confusing slow ones.  Worker-to-worker exchanges follow logarithmic
+schedules instead of direct O(p^2) delivery:
+
+* rooted collectives (broadcast, reduce, gather, scatter) walk a
+  binomial tree -- ``p - 1`` messages, ``log p`` depth;
+* symmetric collectives (allgather, allreduce, scan, the fused
+  ``allreduce_exscan``/``reduce_allgather`` and the value collectives
+  fused into ``map_resident``) use the dissemination (Bruck) schedule
+  -- ``p * ceil(log2 p)`` messages on any ``p``, power of two or not;
+* ``alltoall`` store-and-forwards along the same hop sequence
+  (hypercube routing, Leighton Thm 3.24) -- ``p * ceil(log2 p)``
+  messages instead of ``p * (p - 1)``.
+
+Every worker counts its sends; :meth:`RuntimeBackend.
+worker_message_counts` exposes the totals so tests can assert the
+O(p log p) bound.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import queue as queue_mod
+import time
+import weakref
+from collections import deque
+from typing import Callable, Sequence
+
+from ..collectives import (
+    binomial_edges,
+    binomial_subtrees,
+    bruck_hops,
+    bruck_send_blocks,
+    inclusive_scan,
+    tree_reduce_order,
+)
+from .base import (
+    Backend,
+    ChunkRef,
+    _apply_resident,
+    _collect_values,
+    _run_spmd_inprocess,
+)
+
+__all__ = ["Comm", "RuntimeBackend", "WorkerError", "WorkerLinks", "worker_loop"]
+
+#: seconds to wait for a worker before declaring the pool dead
+_TIMEOUT = 120.0
+
+#: pools that still own live worker processes (for the atexit guard)
+_LIVE_POOLS: "weakref.WeakSet[RuntimeBackend]" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+
+
+def _close_leaked_pools() -> None:  # pragma: no cover - interpreter exit path
+    for backend in list(_LIVE_POOLS):
+        try:
+            backend.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+class WorkerLinks:
+    """Transport binding of one worker: where its bytes come from and go.
+
+    The runtime never touches fds or frames; it sends runtime *items*
+    (tagged tuples) to peers and the driver and receives its own inbox
+    through this object.  Launchers subclass it per transport:
+
+    * ``send(dst, item, drain)`` -- deliver ``item`` to peer ``dst``'s
+      inbox (pipes: write the peer's pipe; sockets: write the pair's
+      socket);
+    * ``send_result(item, drain, pool)`` -- deliver to the driver
+      (``pool=False`` forces the inline lane -- used for error markers
+      and the stop acknowledgement, which must not depend on a
+      shared-memory pool about to close);
+    * ``recv(timeout)`` -- next item from this worker's own inbox, any
+      source (raises ``queue.Empty`` on timeout, ``EOFError`` when the
+      driver hung up).
+    """
+
+    def __init__(self, rank: int, p: int, pool=None, parent_pid: int | None = None):
+        self.rank = rank
+        self.p = p
+        self.pool = pool
+        self.parent_pid = parent_pid
+        self.counters = {"msgs": 0, "cmd_fwd": 0, "wire_tx": 0, "shm_tx": 0}
+
+    # -- liveness --------------------------------------------------------
+    def orphaned(self) -> bool:
+        """True when the spawning driver process is gone (fork-launched
+        workers only; externally launched workers rely on driver EOF)."""
+        return self.parent_pid is not None and os.getppid() != self.parent_pid
+
+    def check_parent(self) -> None:
+        """Hard-exit if orphaned: a worker spinning on a full channel or
+        a contended lock would otherwise outlive a killed driver forever
+        (inherited pipe/socket ends keep EOF from ever firing)."""
+        if self.orphaned():
+            os._exit(1)
+
+    # -- transport hooks (subclass responsibility) -----------------------
+    def send(self, dst: int, item, drain: Callable | None = None) -> None:
+        raise NotImplementedError
+
+    def send_result(self, item, drain: Callable | None = None,
+                    pool: bool = True) -> None:
+        raise NotImplementedError
+
+    def recv(self, timeout: float | None = None):
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (called as the loop exits)."""
+
+
+class Comm:
+    """Per-collective messaging context of one worker.
+
+    Messages are addressed by ``(seq, tag, src)`` where ``tag`` is the
+    schedule round, so multi-round schedules can never confuse two
+    messages from the same peer, and out-of-order arrivals from
+    run-ahead peers are stashed for their own collective.
+    """
+
+    __slots__ = ("rank", "p", "seq", "links", "backlog", "stash", "counters")
+
+    def __init__(self, links: WorkerLinks, backlog: deque, stash: dict):
+        self.rank = links.rank
+        self.p = links.p
+        self.seq = 0
+        self.links = links
+        self.backlog = backlog
+        self.stash = stash
+        self.counters = links.counters
+
+    def send(self, dst: int, tag: int, payload) -> None:
+        self.links.send(dst, ("msg", self.seq, tag, self.rank, payload),
+                        drain=self.drain)
+        self.counters["msgs"] += 1
+
+    def drain(self) -> None:
+        """Consume whatever already sits in this worker's inbox (called
+        while a send waits on a full channel, keeping the mesh live).
+
+        Doubles as the liveness check of every blocked wait loop.
+        """
+        self.links.check_parent()
+        while True:
+            try:
+                item = self.links.recv(timeout=0)
+            except queue_mod.Empty:
+                return
+            if item[0] != "msg":
+                self.backlog.append(item)
+            else:
+                _, mseq, mtag, msrc, payload = item
+                self.stash[(mseq, mtag, msrc)] = payload
+
+    def recv(self, src: int, tag: int):
+        key = (self.seq, tag, src)
+        if key in self.stash:
+            return self.stash.pop(key)
+        while True:
+            item = self.links.recv(timeout=_TIMEOUT)
+            if item[0] != "msg":
+                self.backlog.append(item)
+                continue
+            _, mseq, mtag, msrc, payload = item
+            if (mseq, mtag, msrc) == key:
+                return payload
+            self.stash[(mseq, mtag, msrc)] = payload
+
+
+# -- logarithmic worker schedules --------------------------------------
+
+def _tree_bcast(comm: Comm, root: int, value, tag: int = 0):
+    """Binomial-tree broadcast: p-1 messages, log p depth."""
+    edges = binomial_edges(comm.p, root)
+    if comm.rank != root:
+        parent = next(s for _, s, d in edges if d == comm.rank)
+        value = comm.recv(parent, tag)
+    for _, s, d in edges:
+        if s == comm.rank:
+            comm.send(d, tag, value)
+    return value
+
+
+def _tree_gather(comm: Comm, root: int, local, tag: int = 1):
+    """Binomial-tree gather of subtree bundles; rank-ordered list at
+    ``root``, ``None`` elsewhere."""
+    bundle = {comm.rank: local}
+    for _, s, d in reversed(binomial_edges(comm.p, root)):
+        if s == comm.rank:
+            bundle.update(comm.recv(d, tag))
+        elif d == comm.rank:
+            comm.send(s, tag, bundle)
+            return None
+    return [bundle[j] for j in range(comm.p)]
+
+
+def _tree_allgather(comm: Comm, myval, tag_base: int = 1) -> list:
+    """Gather-to-root + broadcast composition: ``2 (p - 1)`` messages,
+    ``2 log p`` depth.  The message-count winner for the small values
+    the reduction-type collectives combine; the payload-heavy allgather
+    and alltoall use the dissemination/hypercube schedules instead."""
+    vals = _tree_gather(comm, 0, myval, tag_base)
+    return _tree_bcast(comm, 0, vals, tag_base + 16)
+
+
+def _tree_scatter(comm: Comm, root: int, pieces, tag: int = 2):
+    """Binomial-tree scatter: parents forward each child its subtree's
+    bundle; returns this PE's piece."""
+    edges = binomial_edges(comm.p, root)
+    if comm.rank == root:
+        bundle = {j: pieces[j] for j in range(comm.p)}
+    else:
+        parent = next(s for _, s, d in edges if d == comm.rank)
+        bundle = comm.recv(parent, tag)
+    subtrees = binomial_subtrees(comm.p, root)
+    for _, s, d in edges:
+        if s == comm.rank:
+            comm.send(d, tag, {j: bundle[j] for j in subtrees[d]})
+    return bundle[comm.rank]
+
+
+def _bruck_allgather(comm: Comm, myval, tag_base: int = 3) -> list:
+    """Dissemination allgather: ceil(log2 p) rounds on any p, one
+    message per PE per round; returns the rank-ordered value list."""
+    rank, p = comm.rank, comm.p
+    blocks = {rank: myval}
+    for tag, hop in enumerate(bruck_hops(p)):
+        dst = (rank + hop) % p
+        src = (rank - hop) % p
+        send = bruck_send_blocks(p, rank, hop, list(blocks))
+        comm.send(dst, tag_base + tag, {b: blocks[b] for b in send})
+        blocks.update(comm.recv(src, tag_base + tag))
+    return [blocks[j] for j in range(p)]
+
+
+def _bruck_alltoall(comm: Comm, row, tag_base: int = 20) -> list:
+    """Store-and-forward personalized exchange along the dissemination
+    hop sequence: each payload travels the binary decomposition of its
+    rank offset, p * ceil(log2 p) messages total."""
+    rank, p = comm.rank, comm.p
+    # (src, remaining_offset, payload); offset 0 means delivered
+    pending = [(rank, (j - rank) % p, row[j]) for j in range(p) if j != rank]
+    delivered = {rank: row[rank]}
+    for tag, hop in enumerate(bruck_hops(p)):
+        dst = (rank + hop) % p
+        src = (rank - hop) % p
+        moving = [(s, d - hop, v) for s, d, v in pending if d & hop]
+        pending = [e for e in pending if not (e[1] & hop)]
+        comm.send(dst, tag_base + tag, moving)
+        for s, d, v in comm.recv(src, tag_base + tag):
+            if d == 0:
+                delivered[s] = v
+            else:
+                pending.append((s, d, v))
+    return [delivered[j] for j in range(p)]
+
+
+def _run_spmd_step(comm: Comm, gen):
+    """Drive one SPMD generator inside the worker: every yielded
+    collective becomes a tree exchange with its own tag block."""
+    tag_base = 100
+    try:
+        req = gen.send(None)
+        while True:
+            kind = req[0]
+            if kind == "alltoall":
+                res = _bruck_alltoall(comm, list(req[1]), tag_base)
+                tag_base += 32
+                req = gen.send(res)
+                continue
+            if kind == "sendrecv":
+                # sparse direct exchange: payloads travel exactly one
+                # hop (the plan's p2p schedule), message count = number
+                # of non-empty pairs; the expected-sender lists come
+                # from the driver so no discovery round is needed
+                row, srcs = list(req[1]), req[2]
+                for dst, payload in enumerate(row):
+                    if dst != comm.rank and payload is not None:
+                        comm.send(dst, tag_base, payload)
+                res = [None] * comm.p
+                res[comm.rank] = row[comm.rank]
+                for src in srcs:
+                    if src != comm.rank:
+                        res[src] = comm.recv(src, tag_base)
+                tag_base += 32
+                req = gen.send(res)
+                continue
+            gathered = _tree_allgather(comm, req[1], tag_base)
+            tag_base += 32
+            if kind == "allgather":
+                res = gathered
+            elif kind == "allreduce":
+                res = tree_reduce_order(gathered, req[2])
+            elif kind == "allreduce_exscan":
+                op, initial = req[2], req[3]
+                total = tree_reduce_order(gathered, op)
+                res = (
+                    total,
+                    initial if comm.rank == 0 else inclusive_scan(gathered, op)[comm.rank - 1],
+                )
+            else:
+                raise ValueError(f"unknown SPMD collective {kind!r}")
+            req = gen.send(res)
+    except StopIteration as stop:
+        return stop.value
+
+
+# -- command execution -------------------------------------------------
+
+class WorkerError:
+    """Marker wrapping an exception that happened inside a worker."""
+
+    def __init__(self, message: str):
+        self.message = message
+
+
+def _execute(comm: Comm, spec, local, store):
+    """Run one command on this worker; returns this PE's result."""
+    rank, p = comm.rank, comm.p
+    kind = spec[0]
+
+    # -- resident chunk store ------------------------------------------
+    if kind == "put":
+        store[spec[1]] = local
+        return None
+    if kind == "get":
+        return store[spec[1]]
+    if kind == "mapres":
+        fn = pickle.loads(spec[1])
+        in_ids, out_ids, collect = spec[2], spec[3], spec[4]
+        ins = [store[i] for i in in_ids]
+        extra = tuple(local) if local is not None else ()
+        res = fn(rank, *ins, *extra)
+        if out_ids:
+            if not isinstance(res, tuple) or len(res) != len(out_ids) + 1:
+                raise ValueError(
+                    f"resident callback must return {len(out_ids)} chunks "
+                    f"+ 1 value, got {type(res).__name__}"
+                )
+            for oid, chunk in zip(out_ids, res):
+                store[oid] = chunk
+            value = res[len(out_ids)]
+        else:
+            value = res
+        if collect is None:
+            return value
+        gathered = _tree_allgather(comm, value, 40)
+        if collect[0] == "allgather":
+            return value, gathered
+        return value, tree_reduce_order(gathered, collect[1])
+    if kind == "spmd":
+        fn = pickle.loads(spec[1])
+        in_ids, out_ids = spec[2], spec[3]
+        ins = [store[i] for i in in_ids]
+        extra = tuple(local) if local is not None else ()
+        res = _run_spmd_step(comm, fn(rank, *ins, *extra))
+        if out_ids:
+            if not isinstance(res, tuple) or len(res) != len(out_ids) + 1:
+                raise ValueError(
+                    f"SPMD callback must return {len(out_ids)} chunks + 1 "
+                    f"value, got {type(res).__name__}"
+                )
+            for oid, chunk in zip(out_ids, res):
+                store[oid] = chunk
+            return res[len(out_ids)]
+        return res
+    if kind == "stats":
+        return {
+            "msgs": comm.counters["msgs"],
+            "cmd_fwd": comm.counters["cmd_fwd"],
+            "wire_tx": comm.counters["wire_tx"],
+            "shm_tx": comm.counters["shm_tx"],
+            "resident": len(store),
+        }
+    if kind == "map":
+        fn = pickle.loads(spec[1])
+        return fn(rank, local)
+
+    # -- collectives ---------------------------------------------------
+    if kind == "bcast":
+        return _tree_bcast(comm, spec[1], local)
+    if kind == "reduce":
+        op, root = spec[1], spec[2]
+        recv = _tree_gather(comm, root, local)
+        return None if recv is None else tree_reduce_order(recv, op)
+    if kind == "allreduce":
+        return tree_reduce_order(_tree_allgather(comm, local), spec[1])
+    if kind == "scan":
+        return inclusive_scan(_tree_allgather(comm, local), spec[1])[rank]
+    if kind == "allreduce_exscan":
+        op, initial = spec[1], spec[2]
+        recv = _tree_allgather(comm, local)
+        total = tree_reduce_order(recv, op)
+        prefix = initial if rank == 0 else inclusive_scan(recv, op)[rank - 1]
+        return total, prefix
+    if kind == "reduce_allgather":
+        op = spec[1]
+        pairs = _tree_allgather(comm, local)
+        total = tree_reduce_order([rv for rv, _ in pairs], op)
+        return total, [gv for _, gv in pairs]
+    if kind == "gather":
+        return _tree_gather(comm, spec[1], local)
+    if kind == "allgather":
+        return _bruck_allgather(comm, local)
+    if kind == "scatter":
+        return _tree_scatter(comm, spec[1], local)
+    if kind == "alltoall":
+        return _bruck_alltoall(comm, list(local))
+    if kind == "p2p":
+        # pair operation: only src and dst receive this command, so the
+        # rest of the pool keeps working undisturbed
+        src, dst = spec[1], spec[2]
+        if rank == src:
+            comm.send(dst, 0, local)
+            return None
+        return comm.recv(src, 0)
+    raise ValueError(f"unknown backend command {kind!r}")
+
+
+def worker_loop(links: WorkerLinks) -> None:
+    """Command loop of one PE worker, over any transport.
+
+    Runs until a ``stop`` command, driver EOF, or orphaning.  Owns this
+    worker's resident chunk store and drives the broadcast-command
+    fan-out: a ``bcmd`` frame is forwarded to the binomial-tree children
+    *first* (they must not wait on our execution), pruned to each
+    child's subtree so every edge carries only the locals its subtree
+    needs.
+    """
+    rank, p = links.rank, links.p
+    backlog: deque = deque()
+    stash: dict = {}
+    store: dict = {}
+    pool = links.pool
+    comm = Comm(links, backlog, stash)
+    # broadcast-command fan-out tree: the driver hands a full-pool command
+    # to rank 0 only; every rank forwards its binomial-tree children their
+    # subtree's slice of the per-PE locals
+    tree_children = [d for _, s, d in binomial_edges(p, 0) if s == rank]
+    subtree_of = binomial_subtrees(p, 0)
+    last_seq = 0
+    try:
+        while True:
+            if backlog:
+                item = backlog.popleft()
+            else:
+                try:
+                    item = links.recv(timeout=5.0)
+                except queue_mod.Empty:
+                    # daemon workers survive a SIGKILL'd driver; bail out
+                    # once the parent is gone instead of blocking forever
+                    if links.orphaned():
+                        return
+                    continue
+                except EOFError:
+                    return  # driver closed the channel
+            if item[0] == "msg":
+                _, mseq, mtag, msrc, payload = item
+                stash[(mseq, mtag, msrc)] = payload
+                continue
+            if item[0] == "bcmd":
+                # forward first (children must not wait on our execution),
+                # pruned to each child's subtree (a rank's local still hops
+                # once per tree edge on its root path -- which is why the
+                # arg-heavy "put" command keeps the direct driver path)
+                _, seq, spec, locals_map, free_ids = item
+                if seq > last_seq and pool is not None:
+                    # a new command proves the driver collected every
+                    # result of the previous one, i.e. all our earlier
+                    # shared blocks were copied out -- recycle them
+                    pool.release_round()
+                last_seq = max(last_seq, seq)
+                for child in tree_children:
+                    sub = {r: locals_map[r] for r in subtree_of[child] if r in locals_map}
+                    links.send(child, ("bcmd", seq, spec, sub, free_ids),
+                               drain=comm.drain)
+                    comm.counters["cmd_fwd"] += 1
+                item = ("cmd", seq, spec, locals_map.get(rank), free_ids)
+            _, seq, spec, local, free_ids = item
+            if seq > last_seq and pool is not None:
+                pool.release_round()
+            last_seq = max(last_seq, seq)
+            for ref_id in free_ids:
+                store.pop(ref_id, None)
+            if spec[0] == "stop":
+                links.send_result((rank, seq, None), drain=comm.drain,
+                                  pool=False)
+                return
+            comm.seq = seq
+            try:
+                result = _execute(comm, spec, local, store)
+                links.send_result((rank, seq, result), drain=comm.drain)
+            except Exception as exc:  # surface worker failures to the driver
+                links.send_result((rank, seq, WorkerError(repr(exc))),
+                                  drain=comm.drain, pool=False)
+    finally:
+        links.close()
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+
+class RuntimeBackend(Backend):
+    """Shared driver half of the worker runtime.
+
+    Owns command sequencing, the broadcast command channel, result
+    collection, resident ``ChunkRef`` bookkeeping, close-time salvage
+    and transport byte accounting.  Launcher subclasses provide the
+    transport and lifecycle through four hooks:
+
+    * ``_start_pool()`` -- start the workers and set ``self._inboxes``
+      (one frame channel per rank, ``put``-capable) and
+      ``self._results`` (the driver's result inbox, ``get``-capable);
+      optionally set ``self._pool`` to a driver-side shm pool.
+    * ``_join_workers()`` -- wait for workers after the stop command.
+    * ``_teardown()`` -- release transport resources (always runs).
+    * ``_teardown_idle()`` -- release resources of a never-started pool.
+    """
+
+    is_real = True
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        self._seq = 0
+        self._inboxes: list = []
+        self._results = None
+        self._started = False
+        self._closed = False
+        self._dead_refs: list[int] = []
+        self._live_ids: set[int] = set()
+        self._fn_blobs: dict[int, tuple[Callable, bytes]] = {}
+        self._result_buffer: list = []
+        #: driver-side shm pool (``None`` for transports without a
+        #: shared-memory lane; every payload then rides the wire inline)
+        self._pool = None
+        #: driver-side channel writes issued for commands -- the fan-out
+        #: the broadcast command channel bounds at O(1) per full-pool
+        #: command (one frame to rank 0; workers tree-forward the rest)
+        self.driver_sends: int = 0
+        #: driver-side transport accounting per command kind:
+        #: ``{kind: {"wire": bytes_on_the_wire, "shm": bytes_via_shm}}``
+        self._transport: dict[str, dict[str, int]] = {}
+        self._tx = {"wire_tx": 0, "shm_tx": 0}
+
+    def transport_bytes(self) -> dict[str, dict[str, int]]:
+        return self._transport
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _start_pool(self) -> None:
+        raise NotImplementedError
+
+    def _join_workers(self) -> None:
+        raise NotImplementedError
+
+    def _teardown(self) -> None:
+        raise NotImplementedError
+
+    def _teardown_idle(self) -> None:
+        """Release resources of a pool closed before it ever started."""
+
+    def _dead_workers(self) -> list[str]:
+        """Names of workers known to have died (timeout diagnostics)."""
+        return []
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise RuntimeError("backend already closed")
+        if self._started:
+            return
+        self._start_pool()
+        self._started = True
+        global _ATEXIT_REGISTERED
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_close_leaked_pools)
+            _ATEXIT_REGISTERED = True
+        _LIVE_POOLS.add(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut the worker pool down; safe to call any number of times.
+
+        Live resident chunks are salvaged into the driver-side store
+        first, so a ``DistArray`` result stays readable after its
+        machine's context exits.
+        """
+        if self._closed:
+            return
+        if self._started:
+            try:
+                self._salvage_resident()
+            except Exception:  # pragma: no cover - dead-pool cleanup path
+                pass
+        self._closed = True
+        _LIVE_POOLS.discard(self)
+        if not self._started:
+            self._teardown_idle()
+            return
+        try:
+            self._seq += 1
+            for rank in range(self.p):
+                try:
+                    self._inboxes[rank].put(("cmd", self._seq, ("stop",), None, ()))
+                except OSError:  # pragma: no cover - worker already dead
+                    pass
+            self._join_workers()
+        finally:
+            self._teardown()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Driver-side dispatch
+    # ------------------------------------------------------------------
+    def _drain_results(self) -> None:
+        """Buffer early results while a command send waits on a full inbox
+        (a worker blocked writing a large result would otherwise hold
+        the driver and worker in a two-party cycle)."""
+        while True:
+            try:
+                self._result_buffer.append(
+                    self._results.get(timeout=0, pool=self._pool)
+                )
+            except queue_mod.Empty:
+                return
+
+    def _run(
+        self, spec: tuple, locals_per_pe: Sequence, participants=None
+    ) -> list:
+        """Issue one command to the participating workers (default: all)
+        and collect their results."""
+        self._ensure_started()
+        t0 = time.perf_counter()
+        self._seq += 1
+        seq = self._seq
+        wire0 = self._tx["wire_tx"] + self._results.wire_rx
+        shm0 = self._tx["shm_tx"] + self._results.shm_rx
+        # Fail fast on unpicklable specs (e.g. a lambda reduction op):
+        # the command would otherwise surface as an opaque worker-side
+        # decode failure or a collective timeout.
+        try:
+            pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise TypeError(
+                f"backend command {spec[0]!r} is not picklable (op/arguments "
+                f"must cross a process boundary; use a named op like 'sum' "
+                f"or a module-level callable): {exc}"
+            ) from None
+        # freed handles piggyback only on full-pool commands -- a partial-
+        # participant command (p2p) would free the slots on two workers
+        # and leak them on the rest
+        if participants is None:
+            free_ids = tuple(self._dead_refs)
+            self._dead_refs.clear()
+        else:
+            free_ids = ()
+        ranks = range(self.p) if participants is None else participants
+        # broadcast command channel: one driver send regardless of p;
+        # rank 0 fans the frame out along the binomial tree.  Chunk
+        # uploads ("put") keep the direct path -- their per-PE locals
+        # are the one arg-heavy payload, and tree forwarding would
+        # re-serialize each rank's chunk once per edge on its root path
+        # (~(log2 p)/2 times on average) for no latency benefit.
+        if participants is None and spec[0] != "put":
+            locals_map = {r: locals_per_pe[r] for r in range(self.p)}
+            self._inboxes[0].put(
+                ("bcmd", seq, spec, locals_map, free_ids),
+                drain=self._drain_results, pool=self._pool, counters=self._tx,
+            )
+            self.driver_sends += 1
+        else:
+            for rank in ranks:
+                self._inboxes[rank].put(
+                    ("cmd", seq, spec, locals_per_pe[rank], free_ids),
+                    drain=self._drain_results, pool=self._pool, counters=self._tx,
+                )
+                self.driver_sends += 1
+        out: list = [None] * self.p
+        failures: list[tuple[int, str]] = []
+        # drain every participant's result even on error, so a failed
+        # collective does not leave stale entries that poison the next one
+        for _ in ranks:
+            try:
+                if self._result_buffer:
+                    rank, rseq, value = self._result_buffer.pop(0)
+                else:
+                    rank, rseq, value = self._results.get(
+                        timeout=_TIMEOUT, pool=self._pool
+                    )
+            except Exception:
+                dead = self._dead_workers()
+                raise RuntimeError(
+                    f"collective {spec[0]!r} timed out after {_TIMEOUT:.0f}s; "
+                    + (
+                        f"dead workers: {dead}"
+                        if dead
+                        else "likely an unpicklable payload (check for a "
+                        "worker-side traceback above)"
+                    )
+                ) from None
+            if rseq != seq:  # pragma: no cover - protocol violation
+                raise RuntimeError(
+                    f"backend protocol error: expected seq {seq}, got {rseq}"
+                )
+            if isinstance(value, WorkerError):
+                failures.append((rank, value.message))
+            else:
+                out[rank] = value
+        # every participant answered, so every shared block of this
+        # command has been copied out -- the driver pool can recycle
+        if self._pool is not None:
+            self._pool.release_round()
+        tb = self._transport.setdefault(spec[0], {"wire": 0, "shm": 0})
+        tb["wire"] += self._tx["wire_tx"] + self._results.wire_rx - wire0
+        tb["shm"] += self._tx["shm_tx"] + self._results.shm_rx - shm0
+        self.wall_time += time.perf_counter() - t0
+        if failures:
+            detail = "; ".join(f"worker {r} failed: {m}" for r, m in failures)
+            raise RuntimeError(detail)
+        return out
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def broadcast(self, value, root: int = 0) -> list:
+        locals_per_pe = [value if i == root else None for i in range(self.p)]
+        return self._run(("bcast", root), locals_per_pe)
+
+    def reduce(self, values: Sequence, op, root: int = 0) -> list:
+        return self._run(("reduce", op, root), values)
+
+    def allreduce(self, values: Sequence, op) -> list:
+        return self._run(("allreduce", op), values)
+
+    def scan(self, values: Sequence, op) -> list:
+        return self._run(("scan", op), values)
+
+    def allreduce_exscan(self, values: Sequence, op, initial=0) -> tuple[list, list]:
+        pairs = self._run(("allreduce_exscan", op, initial), values)
+        totals = [t for t, _ in pairs]
+        prefixes = [pre for _, pre in pairs]
+        return totals, prefixes
+
+    def reduce_allgather(self, values: Sequence, payloads: Sequence, op) -> tuple[list, list]:
+        pairs = self._run(
+            ("reduce_allgather", op), list(zip(values, payloads))
+        )
+        return [t for t, _ in pairs], [g for _, g in pairs]
+
+    def gather(self, values: Sequence, root: int = 0) -> list:
+        return self._run(("gather", root), values)
+
+    def allgather(self, values: Sequence) -> list:
+        return self._run(("allgather",), values)
+
+    def scatter(self, pieces: Sequence, root: int = 0) -> list:
+        locals_per_pe = [list(pieces) if i == root else None for i in range(self.p)]
+        return self._run(("scatter", root), locals_per_pe)
+
+    def alltoall(self, matrix: Sequence[Sequence]) -> list[list]:
+        return self._run(("alltoall",), [list(row) for row in matrix])
+
+    def p2p(self, src: int, dst: int, payload):
+        if src == dst:
+            return payload
+        locals_per_pe = [payload if i == src else None for i in range(self.p)]
+        out = self._run(("p2p", src, dst), locals_per_pe, participants=(src, dst))
+        return out[dst]
+
+    def map(self, fn: Callable[[int, object], object], items: Sequence) -> list:
+        try:
+            blob = self._blob(fn)
+        except Exception:
+            # closures/lambdas cannot cross the process boundary; degrade
+            # gracefully to in-process application
+            return [fn(i, x) for i, x in enumerate(items)]
+        return self._run(("map", blob), items)
+
+    # ------------------------------------------------------------------
+    # Resident chunks
+    # ------------------------------------------------------------------
+    def _blob(self, fn) -> bytes:
+        """Pickle a callback once per identity (hot loops reuse it).
+
+        The cache pins the callable itself so its ``id`` cannot be
+        recycled by the allocator while the entry is alive.
+        """
+        entry = self._fn_blobs.get(id(fn))
+        if entry is None or entry[0] is not fn:
+            if len(self._fn_blobs) > 256:  # unbounded-growth guard
+                self._fn_blobs.clear()
+            entry = (fn, pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL))
+            self._fn_blobs[id(fn)] = entry
+        return entry[1]
+
+    def _new_ref(self) -> ChunkRef:
+        ref_id = self._next_ref_id
+        self._next_ref_id += 1
+        self._live_ids.add(ref_id)
+        return ChunkRef(ref_id, self.p, self._free_ref)
+
+    def _free_ref(self, ref_id: int) -> None:
+        # freeing piggybacks on the next command's envelope; nothing to
+        # send eagerly (and the pool may already be closed)
+        self._live_ids.discard(ref_id)
+        self._store.pop(ref_id, None)
+        self._dead_refs.append(ref_id)
+
+    def _salvage_resident(self) -> None:
+        """Pull live worker-resident chunks into the driver store so
+        handles stay readable after the pool shuts down."""
+        for ref_id in sorted(self._live_ids):
+            if ref_id not in self._store:
+                self._store[ref_id] = self._run(("get", ref_id), [None] * self.p)
+
+    def put_chunks(self, chunks: Sequence) -> ChunkRef:
+        if len(chunks) != self.p:
+            raise ValueError(f"need one chunk per PE, got {len(chunks)} for p={self.p}")
+        ref = self._new_ref()
+        self._run(("put", ref.id), list(chunks))
+        # keep an alias to the driver-born objects (read-only convention):
+        # get_chunks then never re-fetches them and close() never pays to
+        # salvage data the driver already holds
+        self._store[ref.id] = list(chunks)
+        return ref
+
+    def get_chunks(self, ref: ChunkRef) -> list:
+        if ref.id in self._store:  # driver-born or salvaged at close
+            return self._store[ref.id]
+        return self._run(("get", ref.id), [None] * self.p)
+
+    def map_resident(
+        self,
+        fn: Callable,
+        refs: Sequence[ChunkRef],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+        collect: tuple | None = None,
+    ) -> tuple[list[ChunkRef], list, list | None]:
+        try:
+            blob = self._blob(fn)
+        except Exception:
+            # driver-side fallback: fetch, apply, re-pin.  Slow (the
+            # chunks make a round trip) but correct, and only hit by
+            # closures that cannot cross the process boundary.
+            chunk_lists = [self.get_chunks(r) for r in refs]
+            outs, values = _apply_resident(self.p, fn, chunk_lists, n_out, args)
+            out_refs = [self.put_chunks(chunks) for chunks in outs]
+            return out_refs, values, _collect_values(values, collect, self.p)
+        out_refs = [self._new_ref() for _ in range(n_out)]
+        spec = ("mapres", blob, tuple(r.id for r in refs),
+                tuple(r.id for r in out_refs), collect)
+        locals_per_pe = list(args) if args is not None else [None] * self.p
+        out = self._run(spec, locals_per_pe)
+        if collect is None:
+            return out_refs, out, None
+        return out_refs, [v for v, _ in out], [c for _, c in out]
+
+    def run_spmd(
+        self,
+        fn: Callable,
+        refs: Sequence[ChunkRef],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+    ) -> tuple[list[ChunkRef], list]:
+        try:
+            blob = self._blob(fn)
+        except Exception:
+            chunk_lists = [self.get_chunks(r) for r in refs]
+            outs, values = _run_spmd_inprocess(self.p, fn, chunk_lists, n_out, args)
+            out_refs = [self.put_chunks(chunks) for chunks in outs]
+            return out_refs, values
+        out_refs = [self._new_ref() for _ in range(n_out)]
+        spec = ("spmd", blob, tuple(r.id for r in refs),
+                tuple(r.id for r in out_refs))
+        locals_per_pe = list(args) if args is not None else [None] * self.p
+        values = self._run(spec, locals_per_pe)
+        return out_refs, values
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def worker_message_counts(self) -> list[int]:
+        if not self._started or self._closed:
+            return [0] * self.p
+        stats = self._run(("stats",), [None] * self.p)
+        return [s["msgs"] for s in stats]
+
+    def command_fanout_counts(self) -> list[int]:
+        """Per-worker count of forwarded broadcast-command frames.
+
+        Every full-pool command costs exactly ``p - 1`` forwards in total
+        (the binomial-tree edges), paid by the workers instead of the
+        driver; the driver's own channel writes are
+        :attr:`driver_sends`.  Note the ``stats`` round trip used to read
+        these counters is itself a broadcast command, so a delta between
+        two reads includes the forwards of one stats command.
+        """
+        if not self._started or self._closed:
+            return [0] * self.p
+        stats = self._run(("stats",), [None] * self.p)
+        return [s["cmd_fwd"] for s in stats]
+
+    def worker_transport_counts(self) -> list[dict[str, int]]:
+        """Per-worker cumulative transport bytes: ``wire_tx`` (frames
+        written to the wire, peer messages + forwarded commands +
+        results) and ``shm_tx`` (payload bytes shared out of that
+        worker's shm pool, if any).  Complements the driver-side
+        :meth:`transport_bytes`."""
+        if not self._started or self._closed:
+            return [{"wire_tx": 0, "shm_tx": 0} for _ in range(self.p)]
+        stats = self._run(("stats",), [None] * self.p)
+        return [{"wire_tx": s["wire_tx"], "shm_tx": s["shm_tx"]} for s in stats]

@@ -1,8 +1,8 @@
 """Shared-memory segment pool: the bulk-payload lane of the mp backend.
 
 The mp transport frames every message as a protocol-5 pickle whose
-out-of-band buffers are split into two lanes (see ``_Channel`` in
-:mod:`repro.machine.backends.mp`):
+out-of-band buffers are split into two lanes (see
+:mod:`repro.machine.backends.transport`):
 
 * buffers *below* the size threshold ride the pipe inline, written by
   scatter-gather ``os.writev`` with no intermediate concatenation;

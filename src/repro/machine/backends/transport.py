@@ -1,0 +1,570 @@
+"""Transport layer: the wire protocol shared by every real backend.
+
+This module owns the *framing* half of a real backend -- how one Python
+object becomes bytes on a byte stream and back -- independent of what
+that stream is.  Three stream flavors are wrapped today:
+
+* :class:`PipeChannel` -- an OS pipe pair with a cross-process write
+  lock (the ``mp`` backend's channel: many producer processes, one
+  consumer);
+* :class:`SocketChannel` -- one connected stream socket (the ``tcp``
+  backend's channel: exactly one producer per direction, so no lock);
+* :class:`MultiInbox` -- a single consumer endpoint multiplexing
+  several channels (a tcp worker's inbox: commands from the driver and
+  peer messages arrive on different sockets but drain through one
+  ``get``).
+
+Wire format
+-----------
+A *frame* is the unit every channel moves::
+
+    [8B frame_len][8B meta_len][meta][spec][inline buffers...]
+
+where ``spec`` is the protocol-5 pickle of the object with its
+out-of-band ``PickleBuffer``\\ s elided and ``meta`` describes each
+buffer: either ``(0, nbytes)`` -- the raw bytes follow inline in the
+frame -- or ``(1, name, offset, nbytes)`` -- the bytes sit in a
+shared-memory block (:mod:`repro.machine.backends.shm`) and only this
+descriptor crosses the wire.  The sender never concatenates: header,
+spec and buffer views go out through scatter-gather ``os.writev``
+(:func:`write_views`), skipping zero-length views (``os.writev``
+reports 0 bytes for them, which the advance loop would spin on
+forever).  The receiver (:class:`FrameDecoder`) reassembles partial
+reads, slices buffers back out of the frame as ``memoryview``\\ s --
+frames of at least ``DIRECT_RX_MIN`` bytes land in a dedicated
+``bytearray`` the decoded arrays then own -- and rebuilds the object
+with ``pickle.loads(spec, buffers=...)``.  Shared-memory descriptors
+are materialized (copied out of their segment) exactly once, at decode
+time, which is what makes the sender's round-based block recycling
+safe.  Channels whose peers never attach a pool (sockets) simply never
+see a descriptor: the sender's ``pool`` is ``None`` and every buffer
+rides inline.
+
+All reads and writes are non-blocking with explicit ``EINTR`` retry;
+writers invoke their ``drain`` callback while the stream is full so a
+cycle of mutually-sending peers always makes progress (the deadlock
+freedom the worker mesh relies on).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_mod
+import select
+import socket as socket_mod
+import time
+from typing import Callable
+
+__all__ = [
+    "ALIAS_MIN",
+    "COMPACT_MIN",
+    "DIRECT_RX_MIN",
+    "FrameDecoder",
+    "MultiInbox",
+    "NO_FRAME",
+    "PipeChannel",
+    "SocketChannel",
+    "encode_frame",
+    "write_views",
+]
+
+#: frames at least this big are received straight into a dedicated
+#: buffer (skipping the shared read buffer entirely)
+DIRECT_RX_MIN = 1 << 16
+
+#: inline out-of-band buffers below this size are copied out of a
+#: dedicated frame instead of aliasing it (a tiny array must not pin a
+#: multi-megabyte frame alive)
+ALIAS_MIN = 1 << 12
+
+#: compact the shared read buffer once this many bytes are consumed
+COMPACT_MIN = 1 << 16
+
+#: sentinel: the decoder holds no complete frame yet
+NO_FRAME = object()
+
+
+# ----------------------------------------------------------------------
+# Encoding (producer side)
+# ----------------------------------------------------------------------
+
+def encode_frame(obj, pool=None) -> tuple[list[memoryview], int, int]:
+    """Encode ``obj`` into scatter-gather views ready for ``writev``.
+
+    ``pool`` (a :class:`~repro.machine.backends.shm.ShmPool`) routes
+    large pickle buffers through shared memory; ``None`` keeps every
+    buffer inline.  Returns ``(views, frame_len, shm_bytes)`` where
+    ``frame_len`` excludes the 8-byte length prefix and ``shm_bytes``
+    counts payload bytes that left the wire for a segment.
+    """
+    bufs: list[pickle.PickleBuffer] = []
+
+    def _keep_oob(pb: pickle.PickleBuffer):
+        # pickle's convention: a falsy return takes the buffer
+        # out-of-band, a truthy one serializes it in-band
+        try:
+            pb.raw()
+        except BufferError:  # non-contiguous: let pickle copy in-band
+            return True
+        bufs.append(pb)
+        return False
+
+    spec = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL,
+                        buffer_callback=_keep_oob)
+    bufspecs: list[tuple] = []
+    tail: list[memoryview] = []
+    inline_bytes = 0
+    shm_bytes = 0
+    for pb in bufs:
+        raw = pb.raw()
+        nbytes = raw.nbytes
+        desc = pool.share(raw) if pool is not None else None
+        if desc is None:
+            bufspecs.append((0, nbytes))
+            tail.append(raw)
+            inline_bytes += nbytes
+        else:
+            bufspecs.append((1, desc[0], desc[1], nbytes))
+            shm_bytes += nbytes
+    meta = pickle.dumps((len(spec), tuple(bufspecs)),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    frame_len = 8 + len(meta) + len(spec) + inline_bytes
+    head = frame_len.to_bytes(8, "little") + len(meta).to_bytes(8, "little") + meta
+    # drop empty views (zero-length buffers): os.writev reports 0
+    # bytes for them, which the advance loop would spin on forever
+    views = [v for v in [memoryview(head), memoryview(spec), *tail] if len(v)]
+    return views, frame_len, shm_bytes
+
+
+def write_views(fd: int, views: list[memoryview],
+                drain: Callable | None = None) -> None:
+    """Write the views to a non-blocking ``fd``, handling short writes,
+    ``EINTR`` and full buffers (``drain()`` is invoked while waiting so
+    the caller can keep consuming its own inbox)."""
+    os.set_blocking(fd, False)
+    while views:
+        try:
+            written = os.writev(fd, views[:1024])
+        except InterruptedError:  # EINTR: retry the call itself
+            continue
+        except BlockingIOError:
+            if drain is not None:
+                drain()
+            _wait(fd, 0.005, write=True)
+            continue
+        while written:
+            v = views[0]
+            if written >= len(v):
+                written -= len(v)
+                views.pop(0)
+            else:
+                views[0] = v[written:]
+                written = 0
+
+
+def _wait(fd: int, timeout: float, write: bool = False) -> None:
+    try:
+        if write:
+            select.select([], [fd], [], timeout)
+        else:
+            select.select([fd], [], [], timeout)
+    except InterruptedError:  # EINTR: the caller's loop re-waits
+        pass
+
+
+# ----------------------------------------------------------------------
+# Decoding (consumer side)
+# ----------------------------------------------------------------------
+
+class FrameDecoder:
+    """Reassembles length-prefixed frames out of one byte stream.
+
+    Stateful and fd-agnostic: :meth:`fill` drains whatever the given
+    non-blocking fd holds into the read buffer (partial frames stay
+    buffered; frames of at least ``DIRECT_RX_MIN`` bytes switch to a
+    dedicated buffer the decoded arrays later own), :meth:`pop` decodes
+    the next complete frame or returns :data:`NO_FRAME`.  The shared
+    read buffer compacts amortizedly (``COMPACT_MIN``) instead of being
+    ``del``-shifted per frame.
+    """
+
+    __slots__ = ("_rbuf", "_roff", "_direct", "wire_rx", "shm_rx")
+
+    def __init__(self):
+        self._rbuf = bytearray()
+        self._roff = 0           # consumed prefix of _rbuf
+        self._direct = None      # [bytearray, filled] of an in-flight big frame
+        #: consumer-side byte counters
+        self.wire_rx = 0
+        self.shm_rx = 0
+
+    def fill(self, fd: int) -> bool:
+        """Read whatever ``fd`` holds; returns True if bytes arrived."""
+        os.set_blocking(fd, False)
+        got = False
+        while True:
+            direct = self._direct
+            if direct is not None:
+                frame, filled = direct
+                want = len(frame) - filled
+                if want == 0:
+                    return got
+                try:
+                    n = os.readv(fd, [memoryview(frame)[filled:]])
+                except InterruptedError:  # EINTR: retry
+                    continue
+                except BlockingIOError:
+                    return got
+                if n == 0:
+                    raise EOFError("channel closed by peer")
+                direct[1] = filled + n
+                got = True
+                continue
+            try:
+                piece = os.read(fd, 1 << 16)
+            except InterruptedError:  # EINTR: retry
+                continue
+            except BlockingIOError:
+                return got
+            if not piece:
+                raise EOFError("channel closed by peer")
+            self._rbuf += piece
+            got = True
+            # a large frame header may just have landed: switch the
+            # remainder of that frame to the dedicated direct buffer
+            if self._maybe_go_direct():
+                continue
+
+    def _maybe_go_direct(self) -> bool:
+        """If the buffer starts with a large, incomplete frame, move its
+        prefix into a dedicated buffer that the rest is read into."""
+        avail = len(self._rbuf) - self._roff
+        if avail < 8:
+            return False
+        n = int.from_bytes(self._rbuf[self._roff:self._roff + 8], "little")
+        if n < DIRECT_RX_MIN or avail >= 8 + n:
+            return False
+        frame = bytearray(n)
+        have = avail - 8
+        frame[:have] = memoryview(self._rbuf)[self._roff + 8:]
+        self._rbuf.clear()
+        self._roff = 0
+        self._direct = [frame, have]
+        return True
+
+    def _decode(self, body: memoryview, pool, copy_buffers: bool):
+        """Reassemble one frame body (everything after the length
+        prefix) into its object, materializing buffer descriptors."""
+        meta_len = int.from_bytes(body[:8], "little")
+        spec_len, bufspecs = pickle.loads(body[8:8 + meta_len])
+        off = 8 + meta_len
+        spec = body[off:off + spec_len]
+        off += spec_len
+        buffers = []
+        for bs in bufspecs:
+            if bs[0] == 0:
+                nbytes = bs[1]
+                piece = body[off:off + nbytes]
+                off += nbytes
+                if copy_buffers or nbytes < ALIAS_MIN:
+                    piece = bytearray(piece)
+                buffers.append(piece)
+            else:
+                _, name, boff, nbytes = bs
+                if pool is None:
+                    raise RuntimeError(
+                        "received a shared-memory payload descriptor on a "
+                        "channel with no pool attached"
+                    )
+                buffers.append(pool.materialize(name, boff, nbytes))
+                self.shm_rx += nbytes
+        obj = pickle.loads(spec, buffers=buffers)
+        self.wire_rx += 8 + len(body)
+        return obj
+
+    def pop(self, pool=None):
+        """Decode the next complete frame, or return :data:`NO_FRAME`."""
+        direct = self._direct
+        if direct is not None:
+            frame, filled = direct
+            if filled < len(frame):
+                return NO_FRAME
+            self._direct = None
+            # the decoded arrays alias (and keep alive) the dedicated
+            # frame buffer -- no further copy
+            return self._decode(memoryview(frame), pool, copy_buffers=False)
+        self._maybe_go_direct()
+        if self._direct is not None:
+            return self.pop(pool)
+        avail = len(self._rbuf) - self._roff
+        if avail < 8:
+            return NO_FRAME
+        n = int.from_bytes(self._rbuf[self._roff:self._roff + 8], "little")
+        if avail < 8 + n:
+            return NO_FRAME
+        body = memoryview(self._rbuf)[self._roff + 8:self._roff + 8 + n]
+        try:
+            # copy_buffers: decoded objects must not alias the shared
+            # read buffer (compaction would corrupt them)
+            obj = self._decode(body, pool, copy_buffers=True)
+        finally:
+            body.release()
+        self._roff += 8 + n
+        if self._roff >= COMPACT_MIN:
+            del self._rbuf[:self._roff]
+            self._roff = 0
+        return obj
+
+
+# ----------------------------------------------------------------------
+# Channels
+# ----------------------------------------------------------------------
+
+class PipeChannel:
+    """Multi-producer, single-consumer frame channel over an OS pipe.
+
+    ``multiprocessing.Queue`` routes every message through a per-process
+    feeder thread -- two scheduler hops per hop, which dominates the
+    latency of fine-grained collective schedules.  This channel writes
+    frames straight into the pipe under a cross-process lock (like
+    ``SimpleQueue``), with two additions that make it safe for worker
+    meshes:
+
+    * **timed receive** -- ``get(timeout)`` waits on the pipe with
+      ``select``, so workers can still detect an orphaned driver;
+    * **deadlock-free sends** -- writes are non-blocking; when the pipe
+      is full (payload bigger than the kernel buffer and a busy
+      receiver) the writer invokes its ``drain`` callback to consume its
+      *own* inbox while waiting, so a cycle of mutually-sending workers
+      always makes progress.
+
+    Frames stay contiguous because the write lock is held for the whole
+    frame; the single reader reassembles partial reads through its
+    :class:`FrameDecoder`.
+    """
+
+    def __init__(self, ctx):
+        self._reader, self._writer = ctx.Pipe(duplex=False)
+        self._wlock = ctx.Lock()
+        self._dec = FrameDecoder()
+
+    @property
+    def wire_rx(self) -> int:
+        return self._dec.wire_rx
+
+    @property
+    def shm_rx(self) -> int:
+        return self._dec.shm_rx
+
+    # -- producer side -------------------------------------------------
+    def put(self, obj, drain: Callable | None = None, pool=None,
+            counters: dict | None = None) -> None:
+        """Send one message.  ``pool`` routes large pickle buffers
+        through shared memory; ``counters`` (keys ``wire_tx``/``shm_tx``)
+        receives this message's byte accounting."""
+        views, frame_len, shm_bytes = encode_frame(obj, pool)
+        while not self._wlock.acquire(timeout=0.005):
+            if drain is not None:
+                drain()
+        try:
+            write_views(self._writer.fileno(), views, drain)
+        finally:
+            self._wlock.release()
+        if counters is not None:
+            counters["wire_tx"] += 8 + frame_len
+            counters["shm_tx"] += shm_bytes
+
+    # -- consumer side (single reader) ---------------------------------
+    def get(self, timeout: float | None = None, pool=None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        fd = self._reader.fileno()
+        while True:
+            obj = self._dec.pop(pool)
+            if obj is not NO_FRAME:
+                return obj
+            try:
+                filled = self._dec.fill(fd)
+            except EOFError:
+                # the peer's final frame and its EOF can land in one
+                # fill: surface buffered frames before reporting EOF
+                obj = self._dec.pop(pool)
+                if obj is NO_FRAME:
+                    raise
+                return obj
+            if filled:
+                continue
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise queue_mod.Empty
+            _wait(fd, remaining if remaining is not None else 1.0)
+
+    # -- lifecycle (mirrors the mp.Queue calls the pool makes) ---------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._writer.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def cancel_join_thread(self) -> None:  # no feeder thread to join
+        pass
+
+
+class SocketChannel:
+    """One connected stream socket as a frame channel.
+
+    Each direction of a TCP connection has exactly one producer process
+    (the mesh gives every ordered peer pair its own direction), so no
+    write lock is needed; a frame stays contiguous because ``put``
+    writes it whole before returning.  ``TCP_NODELAY`` is set so the
+    fine-grained collective schedules are not serialized by Nagle
+    batching.
+    """
+
+    def __init__(self, sock: socket_mod.socket):
+        self._sock = sock
+        try:
+            sock.setsockopt(socket_mod.IPPROTO_TCP, socket_mod.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - e.g. AF_UNIX socketpair
+            pass
+        self._dec = FrameDecoder()
+
+    @property
+    def wire_rx(self) -> int:
+        return self._dec.wire_rx
+
+    @property
+    def shm_rx(self) -> int:
+        return self._dec.shm_rx
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    # -- producer side -------------------------------------------------
+    def put(self, obj, drain: Callable | None = None, pool=None,
+            counters: dict | None = None) -> None:
+        views, frame_len, shm_bytes = encode_frame(obj, pool)
+        write_views(self._sock.fileno(), views, drain)
+        if counters is not None:
+            counters["wire_tx"] += 8 + frame_len
+            counters["shm_tx"] += shm_bytes
+
+    # -- consumer side ---------------------------------------------------
+    def fill(self) -> bool:
+        return self._dec.fill(self._sock.fileno())
+
+    def pop(self, pool=None):
+        return self._dec.pop(pool)
+
+    def get(self, timeout: float | None = None, pool=None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            obj = self._dec.pop(pool)
+            if obj is not NO_FRAME:
+                return obj
+            try:
+                filled = self.fill()
+            except EOFError:
+                # final frame and FIN can land in one fill: surface
+                # buffered frames before reporting EOF
+                obj = self._dec.pop(pool)
+                if obj is NO_FRAME:
+                    raise
+                return obj
+            if filled:
+                continue
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise queue_mod.Empty
+            _wait(self._sock.fileno(), remaining if remaining is not None else 1.0)
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def cancel_join_thread(self) -> None:
+        pass
+
+
+class MultiInbox:
+    """Single consumer endpoint over several frame channels.
+
+    ``get`` returns the next complete frame from *any* source channel
+    (per-source FIFO order is preserved -- each fd has its own decoder;
+    cross-source order is irrelevant because runtime items are tagged).
+    EOF on a non-primary source quietly removes it (a peer that already
+    shut down); EOF on the ``primary`` channel raises, because losing
+    the driver is fatal.
+    """
+
+    def __init__(self):
+        self._chans: dict[int, SocketChannel] = {}
+        self._primary: SocketChannel | None = None
+        # counters of removed channels live on (cumulative accounting)
+        self._rx_base = [0, 0]
+
+    def add(self, chan: SocketChannel, primary: bool = False) -> None:
+        self._chans[chan.fileno()] = chan
+        if primary:
+            self._primary = chan
+
+    @property
+    def wire_rx(self) -> int:
+        return self._rx_base[0] + sum(c.wire_rx for c in self._chans.values())
+
+    @property
+    def shm_rx(self) -> int:
+        return self._rx_base[1] + sum(c.shm_rx for c in self._chans.values())
+
+    def _drop(self, fd: int) -> None:
+        chan = self._chans.pop(fd)
+        self._rx_base[0] += chan.wire_rx
+        self._rx_base[1] += chan.shm_rx
+        chan.close()
+
+    def get(self, timeout: float | None = None, pool=None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            moved = False
+            for fd in list(self._chans):
+                chan = self._chans.get(fd)
+                if chan is None:  # pragma: no cover - dropped this pass
+                    continue
+                obj = chan.pop(pool)
+                if obj is not NO_FRAME:
+                    return obj
+                try:
+                    moved |= chan.fill()
+                except EOFError:
+                    # a peer's final frame and its FIN can land in the
+                    # same fill -- drain buffered frames before the
+                    # channel is dropped (or the driver loss surfaced)
+                    obj = chan.pop(pool)
+                    if obj is not NO_FRAME:
+                        return obj
+                    if chan is self._primary:
+                        raise
+                    self._drop(fd)
+            if moved:
+                continue
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise queue_mod.Empty
+            if not self._chans:
+                raise EOFError("every source channel closed")
+            try:
+                select.select(list(self._chans), [], [],
+                              remaining if remaining is not None else 1.0)
+            except InterruptedError:  # EINTR: loop re-waits
+                pass
+
+    def close(self) -> None:
+        for fd in list(self._chans):
+            self._drop(fd)
+
+    def cancel_join_thread(self) -> None:
+        pass

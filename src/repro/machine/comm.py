@@ -43,11 +43,23 @@ result values), which is delegated to the machine's backend:
     (``machine.backend.wall_time`` and the bench harness's ``wall_s``
     column); modeled cost is still charged so both views stay
     comparable.
+``backend="tcp"``
+    The same worker runtime behind length-framed stream sockets
+    (workers can live on other hosts; loopback by default, host list
+    via ``REPRO_TCP_HOSTS``).  Identical guarantees to ``"mp"``: both
+    launchers execute the shared runtime of
+    :mod:`repro.machine.backends.runtime`, so results and modeled
+    costs stay bit-identical.  Transport byte accounting
+    (:meth:`Machine.sync_transport`, ``report().wire_bytes``) reports
+    the wire lane only -- there is no shared-memory lane between
+    hosts, so ``shm_bytes`` stays zero by construction.
 
 Select a backend from the CLI (``repro demo --backend mp``), the bench
 harness (``run_algorithm(..., backend="mp")``), or directly as shown
 below.  Custom transports register via
-:func:`repro.machine.backends.register_backend`.
+:func:`repro.machine.backends.register_backend` and are picked up by
+every ``--backend`` flag (the choices come from
+:func:`repro.machine.backends.available_backends`).
 
 Example
 -------

@@ -103,9 +103,11 @@ class CommMetrics:
         #: number of invocations per operation kind
         self.calls: dict[str, int] = {}
         #: *measured* transport bytes per backend command kind -- bytes
-        #: that physically crossed the driver's pipes (``wire_bytes``)
-        #: vs payload bytes that rode shared-memory blocks
-        #: (``shm_bytes``).  Unlike the modeled word counters above these
+        #: that physically crossed the driver's channels (``wire_bytes``:
+        #: pipe frames for ``mp``, socket frames for ``tcp``) vs payload
+        #: bytes that rode shared-memory blocks (``shm_bytes``; only the
+        #: ``mp`` launcher has that lane -- ``tcp`` reports zero by
+        #: construction).  Unlike the modeled word counters above these
         #: are real data-plane quantities, populated only by real
         #: backends (``Machine.sync_transport``); ``sim`` leaves them
         #: empty.

@@ -1,15 +1,19 @@
-"""Integration: the PR-3 resident conversions are bit-identical across
-backends with unchanged modeled cost.
+"""Integration: resident-SPMD execution is bit-identical across every
+backend with unchanged modeled cost.
 
 Covers the subsystems converted to resident-chunk SPMD execution after
 the selection/frequent pipelines: multiselection (and quantiles), data
 redistribution, and both bulk priority queues.  Each test builds a sim
-and an mp machine from the same seed, runs the same workload, and
-demands identical outputs *and* identical modeled quantities (makespan,
-bottleneck volume/startups) -- the acceptance bar of the conversion.
+machine and a *real* machine (``mp`` or ``tcp`` -- both run the shared
+worker runtime, over pipes and sockets respectively) from the same
+seed, runs the same workload, and demands identical outputs *and*
+identical modeled quantities (makespan, bottleneck volume/startups) --
+the acceptance bar of the conversion and of the transport split.
 
-``PS`` includes a non-power-of-two p so the in-worker schedules'
-general-p paths are exercised end to end.
+The parameter grid includes a non-power-of-two p so the in-worker
+schedules' general-p paths are exercised end to end; the socket
+transport runs at p in {1, 2, 4, 5} (same runtime, so the p=8
+mesh-heavy case stays with the cheaper pipe transport).
 """
 
 import numpy as np
@@ -22,11 +26,17 @@ from repro.redistribution import naive_rebalance, redistribute
 from repro.selection import multi_select, quantiles, select_topk_smallest
 from repro.testing import make_dist, sorted_oracle
 
-PS = [1, 2, 4, 5, 8]
+MP_PS = [1, 2, 4, 5, 8]
+TCP_PS = [1, 2, 4, 5]
+
+#: (real backend, p) pairs every parity test runs on
+GRID = [pytest.param("mp", p, id=f"mp-p{p}") for p in MP_PS] + [
+    pytest.param("tcp", p, id=f"tcp-p{p}") for p in TCP_PS
+]
 
 
-def _machines(p, seed):
-    return Machine(p=p, seed=seed), Machine(p=p, seed=seed, backend="mp")
+def _machines(backend, p, seed):
+    return Machine(p=p, seed=seed), Machine(p=p, seed=seed, backend=backend)
 
 
 def _assert_model_equal(sim, real):
@@ -35,10 +45,10 @@ def _assert_model_equal(sim, real):
     assert sim.metrics.bottleneck_startups == real.metrics.bottleneck_startups
 
 
-@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("backend,p", GRID)
 class TestMultiSelectParity:
-    def test_multi_select_bit_identical_and_cost_equal(self, p):
-        sim, real = _machines(p, seed=41)
+    def test_multi_select_bit_identical_and_cost_equal(self, backend, p):
+        sim, real = _machines(backend, p, seed=41)
         with real:
             rng = np.random.default_rng(5)
             d_sim = make_dist(sim, np.random.default_rng(5), 700)
@@ -53,8 +63,8 @@ class TestMultiSelectParity:
         assert v_sim == [s[k - 1] for k in sorted(set(ks))]
         _assert_model_equal(sim, real)
 
-    def test_quantiles(self, p):
-        sim, real = _machines(p, seed=42)
+    def test_quantiles(self, backend, p):
+        sim, real = _machines(backend, p, seed=42)
         with real:
             d_sim = make_dist(sim, np.random.default_rng(6), 300)
             d_real = make_dist(real, np.random.default_rng(6), 300)
@@ -62,7 +72,7 @@ class TestMultiSelectParity:
             assert quantiles(sim, d_sim, qs) == quantiles(real, d_real, qs)
 
 
-@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("backend,p", GRID)
 class TestRedistributionParity:
     def _skewed(self, machine, seed):
         rng = np.random.default_rng(seed)
@@ -72,8 +82,8 @@ class TestRedistributionParity:
             [rng.integers(0, 10**6, s).astype(np.int64) for s in sizes],
         )
 
-    def test_redistribute_bit_identical_and_cost_equal(self, p):
-        sim, real = _machines(p, seed=43)
+    def test_redistribute_bit_identical_and_cost_equal(self, backend, p):
+        sim, real = _machines(backend, p, seed=43)
         with real:
             d_sim, d_real = self._skewed(sim, 7), self._skewed(real, 7)
             sim.reset(), real.reset()
@@ -86,8 +96,8 @@ class TestRedistributionParity:
             assert all(s <= n_bar for s in o_sim.sizes())
             _assert_model_equal(sim, real)
 
-    def test_naive_rebalance(self, p):
-        sim, real = _machines(p, seed=44)
+    def test_naive_rebalance(self, backend, p):
+        sim, real = _machines(backend, p, seed=44)
         with real:
             d_sim, d_real = self._skewed(sim, 8), self._skewed(real, 8)
             o_sim, m_sim = naive_rebalance(sim, d_sim)
@@ -97,10 +107,10 @@ class TestRedistributionParity:
                 np.testing.assert_array_equal(a, b)
             _assert_model_equal(sim, real)
 
-    def test_balanced_input_shares_the_resident_chunks(self, p):
+    def test_balanced_input_shares_the_resident_chunks(self, backend, p):
         """No plan -> no worker exchange; the result aliases the input's
         resident handle instead of copying it."""
-        sim, real = _machines(p, seed=45)
+        sim, real = _machines(backend, p, seed=45)
         with real:
             rng = np.random.default_rng(9)
             mk = lambda m: DistArray(
@@ -116,10 +126,10 @@ class TestRedistributionParity:
             assert o_real._ref is d_real._ensure_ref()
 
 
-@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("backend,p", GRID)
 class TestPriorityQueueParity:
-    def test_bulk_pq_full_cycle(self, p):
-        sim, real = _machines(p, seed=46)
+    def test_bulk_pq_full_cycle(self, backend, p):
+        sim, real = _machines(backend, p, seed=46)
         with real:
             q_sim, q_real = BulkParallelPQ(sim), BulkParallelPQ(real)
             r1, r2 = np.random.default_rng(11), np.random.default_rng(11)
@@ -137,8 +147,8 @@ class TestPriorityQueueParity:
             assert f_sim == f_real
             _assert_model_equal(sim, real)
 
-    def test_bulk_pq_matches_oracle(self, p):
-        sim, real = _machines(p, seed=47)
+    def test_bulk_pq_matches_oracle(self, backend, p):
+        sim, real = _machines(backend, p, seed=47)
         with real:
             q = BulkParallelPQ(real)
             rng = np.random.default_rng(13)
@@ -149,8 +159,8 @@ class TestPriorityQueueParity:
             allv = sorted(v for b in batches for v in b)
             assert got == pytest.approx(allv[: 10 * p])
 
-    def test_random_alloc_pq(self, p):
-        sim, real = _machines(p, seed=48)
+    def test_random_alloc_pq(self, backend, p):
+        sim, real = _machines(backend, p, seed=48)
         with real:
             q_sim, q_real = RandomAllocPQ(sim), RandomAllocPQ(real)
             r1, r2 = np.random.default_rng(17), np.random.default_rng(17)
@@ -161,21 +171,21 @@ class TestPriorityQueueParity:
             assert q_sim.delete_min(9 * p) == q_real.delete_min(9 * p)
             _assert_model_equal(sim, real)
 
-    def test_insert_stays_communication_free_on_mp(self, p):
+    def test_insert_stays_communication_free(self, backend, p):
         """Section 5's defining property survives the resident port."""
-        with Machine(p=p, seed=49, backend="mp") as real:
+        with Machine(p=p, seed=49, backend=backend) as real:
             q = BulkParallelPQ(real)
             real.reset()
             q.insert([[0.5, 0.25] for _ in range(p)])
             assert real.metrics.total_traffic == 0
 
 
-@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("backend,p", GRID)
 class TestTopkCutParity:
-    def test_one_step_cut_modeled_cost(self, p):
+    def test_one_step_cut_modeled_cost(self, backend, p):
         """The collapsed count+tie-grant+cut step stays bit-identical
         and model-identical (heavy ties force the tie-grant path)."""
-        sim, real = _machines(p, seed=50)
+        sim, real = _machines(backend, p, seed=50)
         with real:
             d_sim = make_dist(sim, np.random.default_rng(19), 200, lo=0, hi=5)
             d_real = make_dist(real, np.random.default_rng(19), 200, lo=0, hi=5)
@@ -189,10 +199,14 @@ class TestTopkCutParity:
             _assert_model_equal(sim, real)
 
 
-@pytest.mark.parametrize("p", [1, 2, 5, 8])
+@pytest.mark.parametrize(
+    "backend,p",
+    [pytest.param("mp", p, id=f"mp-p{p}") for p in [1, 2, 5, 8]]
+    + [pytest.param("tcp", p, id=f"tcp-p{p}") for p in [1, 2, 5]],
+)
 class TestSumAggregationParity:
-    def test_ec_resident_tables(self, p):
-        sim, real = _machines(p, seed=51)
+    def test_ec_resident_tables(self, backend, p):
+        sim, real = _machines(backend, p, seed=51)
         with real:
             mk = lambda m: DistKeyValue.generate(
                 m, lambda r, g: (g.integers(0, 48, 500), g.random(500) * 3)

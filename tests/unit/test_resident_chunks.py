@@ -246,19 +246,19 @@ class TestLifecycle:
         assert m.backend.closed
 
     def test_atexit_guard_tracks_started_pools(self):
-        import repro.machine.backends.mp as mp_mod
+        import repro.machine.backends.runtime as rt_mod
 
         with Machine(p=2, seed=15, backend="mp") as m:
             m.allreduce([1, 2])
-            assert m.backend in mp_mod._LIVE_POOLS
-            assert mp_mod._ATEXIT_REGISTERED
-        assert m.backend not in mp_mod._LIVE_POOLS
+            assert m.backend in rt_mod._LIVE_POOLS
+            assert rt_mod._ATEXIT_REGISTERED
+        assert m.backend not in rt_mod._LIVE_POOLS
 
     def test_leaked_pool_closed_by_guard(self):
-        import repro.machine.backends.mp as mp_mod
+        import repro.machine.backends.runtime as rt_mod
 
         m = Machine(p=2, seed=15, backend="mp")
         m.allreduce([1, 2])
-        assert m.backend in mp_mod._LIVE_POOLS
-        mp_mod._close_leaked_pools()
+        assert m.backend in rt_mod._LIVE_POOLS
+        rt_mod._close_leaked_pools()
         assert m.backend.closed

@@ -1,0 +1,388 @@
+"""Unit: the extracted transport layer (framing, channels), no pool.
+
+Exercises :mod:`repro.machine.backends.transport` directly against
+pipes and socketpairs -- the edge cases a full worker pool would bury:
+partial reads, short writes, EINTR retries, zero-length out-of-band
+buffers, the large-frame direct-receive path, multi-producer frame
+interleaving and the MultiInbox EOF rules.
+"""
+
+import multiprocessing
+import os
+import pickle
+import queue
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.machine.backends.transport import (
+    ALIAS_MIN,
+    DIRECT_RX_MIN,
+    FrameDecoder,
+    MultiInbox,
+    NO_FRAME,
+    PipeChannel,
+    SocketChannel,
+    encode_frame,
+    write_views,
+)
+
+
+def _sock_pair():
+    a, b = socket.socketpair()
+    return SocketChannel(a), SocketChannel(b)
+
+
+def _flatten(views) -> bytes:
+    return b"".join(bytes(v) for v in views)
+
+
+# ----------------------------------------------------------------------
+# Frame encoding
+# ----------------------------------------------------------------------
+
+class TestEncodeFrame:
+    def test_roundtrip_through_decoder(self):
+        obj = {"a": np.arange(100), "b": "text", "c": (1, 2.5)}
+        views, frame_len, shm_bytes = encode_frame(obj)
+        assert shm_bytes == 0
+        raw = _flatten(views)
+        assert len(raw) == 8 + frame_len
+        dec = FrameDecoder()
+        out = dec._decode(memoryview(raw)[8:], None, copy_buffers=True)
+        np.testing.assert_array_equal(out["a"], obj["a"])
+        assert out["b"] == "text" and out["c"] == (1, 2.5)
+        assert dec.wire_rx == 8 + frame_len
+
+    def test_zero_length_buffer_emits_no_empty_iovec(self):
+        """A zero-size array must not contribute an empty view --
+        ``os.writev`` reports 0 bytes for those and the advance loop
+        would spin forever."""
+        obj = ("tag", np.empty(0, dtype=np.float64), np.arange(3))
+        views, _, _ = encode_frame(obj)
+        assert all(len(v) > 0 for v in views)
+        dec = FrameDecoder()
+        out = dec._decode(memoryview(_flatten(views))[8:], None, True)
+        assert out[0] == "tag"
+        assert out[1].size == 0 and out[1].dtype == np.float64
+        np.testing.assert_array_equal(out[2], np.arange(3))
+
+    def test_shm_descriptor_without_pool_fails_loudly(self):
+        """A descriptor frame arriving on a pool-less channel (e.g. a
+        socket) must raise, not silently decode garbage."""
+        class FakePool:
+            def share(self, view):
+                return ("segname", 0)
+
+        views, _, shm_bytes = encode_frame(np.arange(64), pool=FakePool())
+        assert shm_bytes == 64 * 8
+        dec = FrameDecoder()
+        with pytest.raises(RuntimeError, match="no pool attached"):
+            dec._decode(memoryview(_flatten(views))[8:], None, True)
+
+    def test_non_contiguous_arrays_fall_back_inband(self):
+        arr = np.arange(100).reshape(10, 10)[:, ::2]  # non-contiguous view
+        views, _, _ = encode_frame(arr)
+        dec = FrameDecoder()
+        out = dec._decode(memoryview(_flatten(views))[8:], None, True)
+        np.testing.assert_array_equal(out, arr)
+
+
+# ----------------------------------------------------------------------
+# Decoder reassembly
+# ----------------------------------------------------------------------
+
+class TestPartialReads:
+    def test_byte_by_byte_arrival(self):
+        """A frame dribbling in one byte at a time reassembles intact."""
+        tx, rx = _sock_pair()
+        obj = ("msg", 7, np.arange(50))
+        raw = _flatten(encode_frame(obj)[0])
+        sender = tx._sock
+        for i in range(len(raw) - 1):
+            sender.sendall(raw[i:i + 1])
+            # no complete frame yet
+            assert rx.fill() or True
+            assert rx.pop() is NO_FRAME
+        sender.sendall(raw[-1:])
+        out = rx.get(timeout=1.0)
+        assert out[0] == "msg" and out[1] == 7
+        np.testing.assert_array_equal(out[2], np.arange(50))
+
+    def test_two_frames_in_one_read(self):
+        """Back-to-back frames landing in one recv buffer pop in order."""
+        tx, rx = _sock_pair()
+        raw = b"".join(
+            _flatten(encode_frame(("n", i))[0]) for i in range(5)
+        )
+        tx._sock.sendall(raw)
+        assert [rx.get(timeout=1.0)[1] for _ in range(5)] == list(range(5))
+
+    def test_incomplete_timeout_raises_empty(self):
+        tx, rx = _sock_pair()
+        raw = _flatten(encode_frame(("x", 1))[0])
+        tx._sock.sendall(raw[: len(raw) // 2])
+        with pytest.raises(queue.Empty):
+            rx.get(timeout=0.05)
+
+    def test_large_frame_direct_receive_path(self):
+        """Frames >= DIRECT_RX_MIN land in a dedicated buffer the decoded
+        arrays own (no shared-read-buffer copy)."""
+        tx, rx = _sock_pair()
+        big = np.arange(DIRECT_RX_MIN, dtype=np.int64)  # 8x the threshold
+        done = threading.Event()
+        thread = threading.Thread(
+            target=lambda: (tx.put(("big", big)), done.set()))
+        thread.start()
+        out = rx.get(timeout=5.0)
+        thread.join(timeout=5.0)
+        assert done.is_set()
+        np.testing.assert_array_equal(out[1], big)
+        # the big array aliases the direct frame buffer, not a copy
+        assert out[1].size * 8 >= ALIAS_MIN
+
+    def test_eof_raises(self):
+        tx, rx = _sock_pair()
+        tx.close()
+        with pytest.raises(EOFError):
+            rx.get(timeout=1.0)
+
+
+# ----------------------------------------------------------------------
+# Short writes and EINTR
+# ----------------------------------------------------------------------
+
+class TestWritePath:
+    def test_short_writes_recover(self, monkeypatch):
+        """writev advancing a few bytes per call still ships the frame."""
+        real_writev = os.writev
+
+        def tiny_writev(fd, views):
+            v = memoryview(views[0])
+            return real_writev(fd, [v[:3]])
+
+        monkeypatch.setattr(os, "writev", tiny_writev)
+        tx, rx = _sock_pair()
+        # consume concurrently: thousands of 3-byte writes exhaust the
+        # kernel's per-skb accounting long before the frame is through,
+        # so the writer must block until the reader drains
+        out = {}
+        thread = threading.Thread(
+            target=lambda: out.__setitem__("v", rx.get(timeout=10.0)))
+        thread.start()
+        tx.put(("short-writes", np.arange(200)))
+        thread.join(timeout=10.0)
+        assert out["v"][0] == "short-writes"
+        np.testing.assert_array_equal(out["v"][1], np.arange(200))
+
+    def test_writev_eintr_retried(self, monkeypatch):
+        real_writev = os.writev
+        calls = {"n": 0}
+
+        def flaky_writev(fd, views):
+            calls["n"] += 1
+            if calls["n"] % 2 == 1:
+                raise InterruptedError  # EINTR
+            return real_writev(fd, views)
+
+        monkeypatch.setattr(os, "writev", flaky_writev)
+        tx, rx = _sock_pair()
+        tx.put(("eintr", 42))
+        assert rx.get(timeout=1.0) == ("eintr", 42)
+        assert calls["n"] >= 2
+
+    def test_read_eintr_retried(self, monkeypatch):
+        real_read = os.read
+        calls = {"n": 0}
+
+        def flaky_read(fd, n):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise InterruptedError
+            return real_read(fd, n)
+
+        tx, rx = _sock_pair()
+        tx.put(("readback", 3))
+        monkeypatch.setattr(os, "read", flaky_read)
+        assert rx.get(timeout=1.0) == ("readback", 3)
+        assert calls["n"] >= 2
+
+    def test_full_buffer_invokes_drain(self):
+        """A frame bigger than the socket buffer blocks until the other
+        side consumes; the writer's drain callback keeps firing."""
+        tx, rx = _sock_pair()
+        drained = {"n": 0}
+        out = {}
+
+        def consume():
+            out["v"] = rx.get(timeout=10.0)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        big = np.arange(1 << 20, dtype=np.int64)  # 8 MiB >> socket buffer
+        tx.put(("bulk", big), drain=lambda: drained.__setitem__("n", drained["n"] + 1))
+        thread.join(timeout=10.0)
+        np.testing.assert_array_equal(out["v"][1], big)
+        assert drained["n"] > 0
+
+
+# ----------------------------------------------------------------------
+# Pipe channel (multi-producer) and frame interleaving
+# ----------------------------------------------------------------------
+
+def _producer(chan, sender_id, n):
+    for seq in range(n):
+        chan.put(("msg", seq, sender_id, b"x" * (17 * (seq % 5))))
+
+
+class TestPipeChannel:
+    def test_same_process_roundtrip(self):
+        chan = PipeChannel(multiprocessing.get_context())
+        chan.put({"k": np.arange(10)})
+        out = chan.get(timeout=1.0)
+        np.testing.assert_array_equal(out["k"], np.arange(10))
+        chan.close()
+
+    def test_interleaved_sequence_numbers_from_two_producers(self):
+        """Two processes writing whole frames under the channel lock:
+        every frame arrives intact and per-producer seq order holds."""
+        ctx = multiprocessing.get_context()
+        chan = PipeChannel(ctx)
+        n = 40
+        procs = [
+            ctx.Process(target=_producer, args=(chan, sid, n))
+            for sid in (1, 2)
+        ]
+        for pr in procs:
+            pr.start()
+        seen = {1: [], 2: []}
+        for _ in range(2 * n):
+            tag, seq, sid, payload = chan.get(timeout=10.0)
+            assert tag == "msg" and len(payload) == 17 * (seq % 5)
+            seen[sid].append(seq)
+        for pr in procs:
+            pr.join(timeout=5.0)
+        # both producers' frames all arrived, each in FIFO order
+        assert seen[1] == list(range(n)) and seen[2] == list(range(n))
+        chan.close()
+
+    def test_counters_account_frame_bytes(self):
+        chan = PipeChannel(multiprocessing.get_context())
+        counters = {"wire_tx": 0, "shm_tx": 0}
+        chan.put(("x", np.arange(100)), counters=counters)
+        chan.get(timeout=1.0)
+        assert counters["wire_tx"] == chan.wire_rx > 800  # array + spec
+        assert counters["shm_tx"] == 0
+        chan.close()
+
+
+# ----------------------------------------------------------------------
+# MultiInbox
+# ----------------------------------------------------------------------
+
+class TestMultiInbox:
+    def test_drains_multiple_sources(self):
+        tx1, rx1 = _sock_pair()
+        tx2, rx2 = _sock_pair()
+        inbox = MultiInbox()
+        inbox.add(rx1, primary=True)
+        inbox.add(rx2)
+        tx1.put(("from", 1))
+        tx2.put(("from", 2))
+        got = {inbox.get(timeout=1.0)[1], inbox.get(timeout=1.0)[1]}
+        assert got == {1, 2}
+        with pytest.raises(queue.Empty):
+            inbox.get(timeout=0.05)
+
+    def test_secondary_eof_is_tolerated(self):
+        tx1, rx1 = _sock_pair()
+        tx2, rx2 = _sock_pair()
+        inbox = MultiInbox()
+        inbox.add(rx1, primary=True)
+        inbox.add(rx2)
+        tx2.put(("last", 2))
+        tx2.close()  # peer shut down after its final frame
+        tx1.put(("alive", 1))
+        got = {inbox.get(timeout=1.0)[0], inbox.get(timeout=1.0)[0]}
+        assert got == {"last", "alive"}
+        with pytest.raises(queue.Empty):  # rx2 was dropped, rx1 still live
+            inbox.get(timeout=0.05)
+
+    def test_primary_eof_raises(self):
+        tx1, rx1 = _sock_pair()
+        inbox = MultiInbox()
+        inbox.add(rx1, primary=True)
+        tx1.close()
+        with pytest.raises(EOFError):
+            inbox.get(timeout=1.0)
+
+    def test_rx_accounting_survives_source_removal(self):
+        tx1, rx1 = _sock_pair()
+        tx2, rx2 = _sock_pair()
+        inbox = MultiInbox()
+        inbox.add(rx1, primary=True)
+        inbox.add(rx2)
+        tx2.put(("bye", np.arange(50)))
+        inbox.get(timeout=1.0)
+        before = inbox.wire_rx
+        assert before > 0
+        tx2.close()
+        tx1.put(("ping",))
+        inbox.get(timeout=1.0)  # triggers the rx2 EOF drop
+        assert inbox.wire_rx > before  # rx2's bytes retained + rx1's added
+
+
+# ----------------------------------------------------------------------
+# TCP launcher lifecycle (registration edge cases, no algorithm pool)
+# ----------------------------------------------------------------------
+
+class TestTcpRegistration:
+    def test_failed_start_releases_resources(self):
+        """A rank that never registers must not leak the listener, the
+        registered channels or the forked local workers."""
+        from repro.machine.backends.tcp import TcpBackend
+
+        backend = TcpBackend(
+            2, hosts=["127.0.0.1", "never-launched-host"],
+            bind="127.0.0.1", connect_timeout=1.0,
+        )
+        with pytest.raises(RuntimeError, match="never registered"):
+            backend.allreduce([1, 2], "sum")
+        assert backend._listener is None
+        assert backend._workers == [] and backend._inboxes == []
+        backend.close()  # idempotent after the failed start
+
+    def test_stray_connection_does_not_claim_a_slot(self):
+        """Garbage or volunteer connections with no open slot are
+        dropped; real workers still register and the pool runs."""
+        from repro.machine.backends.tcp import TcpBackend, worker_main
+
+        backend = TcpBackend(1, hosts=["elsewhere"], bind="127.0.0.1",
+                             connect_timeout=15.0)
+        result = {}
+
+        def run():
+            try:
+                result["out"] = backend.allreduce([7], "sum")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                result["err"] = exc
+
+        driver = threading.Thread(target=run)
+        driver.start()
+        while backend._listener is None:  # wait for the bind
+            pass
+        addr = ("127.0.0.1", backend._listener.getsockname()[1])
+        # a well-formed frame with the wrong tag: rejected, not fatal
+        bogus = SocketChannel(socket.create_connection(addr))
+        bogus.put(("nonsense", 1, 2))
+        # the real (externally launched) worker registers rank 0
+        ctx = multiprocessing.get_context()
+        worker = ctx.Process(target=worker_main, args=(addr,), daemon=True)
+        worker.start()
+        driver.join(timeout=30.0)
+        assert result.get("out") == [7], result
+        backend.close()
+        worker.join(timeout=5.0)
+        bogus.close()
