@@ -1,0 +1,1 @@
+"""Development tooling for the repro tree (not shipped with the package)."""

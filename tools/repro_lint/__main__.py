@@ -1,0 +1,9 @@
+"""``python -m tools.repro_lint`` entry point."""
+
+import sys
+
+from . import checks as _checks  # noqa: F401  (populates the registry)
+from .core import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,424 @@
+"""The repro-lint framework: check registry, suppressions, config, CLI.
+
+A *check* is a small class with an ``id`` (``RL001``...), a one-line
+``summary`` and a ``run(ctx)`` method returning :class:`Finding`\\ s for
+one parsed file.  Checks register themselves with
+:func:`register_check`; the framework owns everything around them:
+
+* **suppressions** -- a trailing ``# repro-lint: disable=RL001`` comment
+  suppresses findings of that check on its line (or, when the comment
+  stands alone, on the following line); ``disable-file=`` anywhere in a
+  file suppresses for the whole file.  ``disable=all`` works in both
+  forms.  Suppressed findings are still reported (marked), so the JSON
+  artifact shows which waivers exist, but they never gate.
+* **config** -- the ``[tool.repro-lint]`` table of ``pyproject.toml``:
+  ``enable``/``disable`` check lists, tree-wide ``exclude`` globs, and
+  per-check path excludes (``[tool.repro-lint.per-check-exclude]``),
+  so behavior lives in one place rather than CLI flags.
+* **output** -- human one-line-per-finding or a JSON report
+  (``--format json``), exit code 1 when any unsuppressed finding
+  remains (CI gating), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import fnmatch
+import json
+import re
+import sys
+from pathlib import Path
+
+__all__ = [
+    "Check",
+    "Config",
+    "FileContext",
+    "Finding",
+    "all_checks",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "main",
+    "register_check",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_,\s]+?)\s*(?:$|(?:--|—)\s*(.*))"
+)
+
+
+# ----------------------------------------------------------------------
+# Findings and suppressions
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    check: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: str | None = None
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.check} {self.message}{mark}"
+
+
+class Suppressions:
+    """Per-line and per-file ``# repro-lint: disable=...`` directives."""
+
+    def __init__(self, src: str):
+        self.by_line: dict[int, tuple[set[str], str | None]] = {}
+        self.file_wide: set[str] = set()
+        self.file_reason: str | None = None
+        for lineno, text in enumerate(src.splitlines(), start=1):
+            m = _SUPPRESS_RE.search(text)
+            if not m:
+                continue
+            kind, ids_text, reason = m.group(1), m.group(2), m.group(3)
+            ids = {t.strip().upper() for t in ids_text.split(",") if t.strip()}
+            if kind == "disable-file":
+                self.file_wide |= ids
+                self.file_reason = reason or self.file_reason
+                continue
+            target = lineno
+            # a comment-only line applies to the line after it
+            if text.lstrip().startswith("#"):
+                target = lineno + 1
+            known_ids, known_reason = self.by_line.get(target, (set(), None))
+            self.by_line[target] = (known_ids | ids, reason or known_reason)
+
+    def match(self, check_id: str, line: int) -> tuple[bool, str | None]:
+        if check_id in self.file_wide or "ALL" in self.file_wide:
+            return True, self.file_reason
+        ids, reason = self.by_line.get(line, (set(), None))
+        if check_id in ids or "ALL" in ids:
+            return True, reason
+        return False, None
+
+
+# ----------------------------------------------------------------------
+# Check protocol and registry
+# ----------------------------------------------------------------------
+
+class FileContext:
+    """Everything a check needs about one parsed file."""
+
+    def __init__(self, path: str, src: str, tree: ast.Module):
+        self.path = path
+        self.src = src
+        self.tree = tree
+        #: child -> parent links for ancestor walks (lazily built once)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def finding(self, check_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            check=check_id,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class Check:
+    """Base class for one lint rule.
+
+    Subclasses set ``id`` (``RLxxx``), ``summary`` (one line, shown by
+    ``--list-checks``) and implement ``run``.  Register with
+    :func:`register_check` so the CLI and config see them.
+    """
+
+    id: str = "RL000"
+    summary: str = ""
+
+    def run(self, ctx: FileContext) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Check] = {}
+
+
+def register_check(cls: type[Check]) -> type[Check]:
+    """Class decorator: instantiate and register one check by id."""
+    inst = cls()
+    if inst.id in _REGISTRY:
+        raise ValueError(f"duplicate check id {inst.id}")
+    _REGISTRY[inst.id] = inst
+    return cls
+
+
+def all_checks() -> dict[str, Check]:
+    return dict(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Config:
+    """Resolved lint configuration (defaults + pyproject table)."""
+
+    #: check ids to run; empty means "all registered"
+    enable: set[str] = dataclasses.field(default_factory=set)
+    disable: set[str] = dataclasses.field(default_factory=set)
+    #: tree-wide path globs to skip entirely
+    exclude: list[str] = dataclasses.field(default_factory=list)
+    #: per-check path globs: {check_id: [glob, ...]}
+    per_check_exclude: dict[str, list[str]] = dataclasses.field(default_factory=dict)
+
+    def active_checks(self) -> list[Check]:
+        checks = all_checks()
+        ids = sorted(self.enable) if self.enable else sorted(checks)
+        return [checks[i] for i in ids if i in checks and i not in self.disable]
+
+    def file_excluded(self, path: str) -> bool:
+        return any(_glob_match(path, pat) for pat in self.exclude)
+
+    def check_excluded(self, check_id: str, path: str) -> bool:
+        pats = self.per_check_exclude.get(check_id, ())
+        return any(_glob_match(path, pat) for pat in pats)
+
+
+def _glob_match(path: str, pattern: str) -> bool:
+    norm = path.replace("\\", "/")
+    return fnmatch.fnmatch(norm, pattern) or fnmatch.fnmatch(norm, f"*/{pattern}")
+
+
+def _parse_mini_toml(text: str) -> dict[str, dict]:
+    """Tiny TOML subset reader (sections, string/bool/list-of-string
+    values) -- the py3.10 fallback when :mod:`tomllib` is unavailable.
+    Handles exactly the shapes ``[tool.repro-lint]`` uses."""
+    sections: dict[str, dict] = {}
+    current: dict | None = None
+    buffered = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if buffered:
+            line = buffered + " " + line
+            buffered = ""
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            name = line.strip("[]").strip().strip('"')
+            current = sections.setdefault(name, {})
+            continue
+        if current is None or "=" not in line:
+            continue
+        if line.count("[") > line.count("]"):  # multi-line list
+            buffered = line
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().strip('"')
+        value = value.split("#")[0].strip()
+        if value.startswith("["):
+            items = re.findall(r'"([^"]*)"|\'([^\']*)\'', value)
+            current[key] = [a or b for a, b in items]
+        elif value in ("true", "false"):
+            current[key] = value == "true"
+        else:
+            current[key] = value.strip("\"'")
+    return sections
+
+
+def _read_pyproject(path: Path) -> dict:
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib  # Python >= 3.11
+
+        data = tomllib.loads(text)
+        table = data.get("tool", {}).get("repro-lint", {})
+        return table if isinstance(table, dict) else {}
+    except ModuleNotFoundError:
+        sections = _parse_mini_toml(text)
+        table = dict(sections.get("tool.repro-lint", {}))
+        sub = sections.get("tool.repro-lint.per-check-exclude")
+        if sub:
+            table["per-check-exclude"] = sub
+        return table
+
+
+def load_config(pyproject: Path | str | None = None) -> Config:
+    """Build the configuration from a ``pyproject.toml`` (or defaults).
+
+    With no explicit path, walks up from the current directory looking
+    for a ``pyproject.toml`` containing a ``[tool.repro-lint]`` table.
+    """
+    cfg = Config()
+    if pyproject is None:
+        here = Path.cwd()
+        for candidate in [here, *here.parents]:
+            p = candidate / "pyproject.toml"
+            if p.is_file():
+                pyproject = p
+                break
+    if pyproject is None:
+        return cfg
+    path = Path(pyproject)
+    if not path.is_file():
+        return cfg
+    table = _read_pyproject(path)
+    cfg.enable = {str(x).upper() for x in table.get("enable", [])}
+    cfg.disable = {str(x).upper() for x in table.get("disable", [])}
+    cfg.exclude = [str(x) for x in table.get("exclude", [])]
+    per = table.get("per-check-exclude", {})
+    if isinstance(per, dict):
+        cfg.per_check_exclude = {
+            str(k).upper(): [str(v) for v in vs] for k, vs in per.items()
+        }
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+def lint_source(
+    src: str, path: str = "<string>", config: Config | None = None
+) -> list[Finding]:
+    """Lint one source string; returns findings (suppressions applied)."""
+    config = config if config is not None else Config()
+    try:
+        tree = ast.parse(src, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                check="RL000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, src, tree)
+    suppress = Suppressions(src)
+    findings: list[Finding] = []
+    for check in config.active_checks():
+        if config.check_excluded(check.id, path):
+            continue
+        for f in check.run(ctx):
+            f.suppressed, f.suppress_reason = suppress.match(f.check, f.line)
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.check))
+    return findings
+
+
+def lint_paths(
+    paths: list[Path | str], config: Config | None = None
+) -> list[Finding]:
+    """Lint files and directory trees (``*.py``, recursively)."""
+    config = config if config is not None else Config()
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[Finding] = []
+    for f in files:
+        rel = str(f)
+        if config.file_excluded(rel):
+            continue
+        findings.extend(
+            lint_source(f.read_text(encoding="utf-8"), path=rel, config=config)
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def _json_report(findings: list[Finding], n_files_hint: int | None = None) -> dict:
+    unsuppressed = [f for f in findings if not f.suppressed]
+    return {
+        "tool": "repro-lint",
+        "checks": {c.id: c.summary for c in all_checks().values()},
+        "findings": [f.as_dict() for f in findings],
+        "summary": {
+            "findings": len(findings),
+            "unsuppressed": len(unsuppressed),
+            "suppressed": len(findings) - len(unsuppressed),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="AST invariant checker for SPMD determinism + transport safety",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human", dest="fmt"
+    )
+    parser.add_argument("--output", help="write the report to a file instead of stdout")
+    parser.add_argument("--config", help="explicit pyproject.toml path")
+    parser.add_argument(
+        "--no-config", action="store_true", help="ignore pyproject configuration"
+    )
+    parser.add_argument(
+        "--select", help="comma-separated check ids to run (overrides config)"
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print the check catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check in all_checks().values():
+            print(f"{check.id}  {check.summary}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    config = Config() if args.no_config else load_config(args.config)
+    if args.select:
+        config.enable = {t.strip().upper() for t in args.select.split(",") if t.strip()}
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths, config)
+
+    if args.fmt == "json":
+        text = json.dumps(_json_report(findings), indent=2)
+    else:
+        lines = [f.render() for f in findings]
+        unsuppressed = sum(1 for f in findings if not f.suppressed)
+        lines.append(
+            f"{len(findings)} finding(s), {unsuppressed} unsuppressed"
+            if findings
+            else "clean"
+        )
+        text = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+    return 1 if any(not f.suppressed for f in findings) else 0
