@@ -81,7 +81,7 @@ def dsbf_top_candidates(
     fp_of_key = {}
     for i in range(p):
         d: dict[int, int] = {}
-        for key, c in local[i].items():
+        for key, c in sorted(local[i].items()):
             fp = fp_of_key.get(key)
             if fp is None:
                 fp = _fingerprint(key, salt)
@@ -124,7 +124,7 @@ def dsbf_top_candidates(
         gathered = machine.allgather(reveals)[0]
         exact: dict[int, int] = {}
         for piece in gathered:
-            for key, c in piece.items():
+            for key, c in sorted(piece.items()):
                 exact[key] = exact.get(key, 0) + c
         collisions = max(0, len(exact) - len(head))
         if len(exact) >= k_star or exhausted or rounds >= max_rounds:
