@@ -276,6 +276,7 @@ def table1_comm_volume(
         gathered = machine.gather(local, root=0, mode="direct")[0]
         merged: dict = {}
         for d in gathered:
+            # repro-lint: disable=RL002 -- re-keyed merge over per-PE dicts; gathered is in PE order and the result is key-sorted before broadcast
             for key, v in d.items():
                 merged[key] = merged.get(key, 0.0) + v
         machine.charge_ops_one(0, sum(len(d) for d in gathered))

@@ -114,6 +114,7 @@ def take_topk_entries(
         raise ValueError(f"k must be >= 1, got {k}")
     p = machine.p
     count_chunks = [
+        # repro-lint: disable=RL002 -- counts feed only order-insensitive reductions (sizes, kth-of-multiset threshold, > comparisons)
         np.fromiter(d.values(), dtype=np.int64, count=len(d)) for d in dicts
     ]
     total = int(machine.allreduce([c.size for c in count_chunks], op="sum")[0])

@@ -43,6 +43,7 @@ def _coordinator_topk(machine: Machine, merged: dict, k: int, rho: float):
     """Quickselect the top-k at the coordinator and broadcast."""
     if not merged:
         return tuple()
+    # repro-lint: disable=RL002 -- kth_smallest over the count multiset is order-insensitive; winners are re-derived key-sorted below
     counts = np.fromiter(merged.values(), dtype=np.int64, count=len(merged))
     k_eff = min(k, counts.size)
     thr = -kth_smallest(-counts, k_eff)
