@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from .base import Backend, ChunkRef
+from .base import Backend, ChunkRef, LockstepError
 from .mp import MultiprocessingBackend
 from .sim import SimBackend
 from .tcp import TcpBackend
@@ -29,6 +29,7 @@ from .tcp import TcpBackend
 __all__ = [
     "Backend",
     "ChunkRef",
+    "LockstepError",
     "SimBackend",
     "MultiprocessingBackend",
     "TcpBackend",
@@ -54,11 +55,17 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def make_backend(spec, p: int) -> Backend:
+def make_backend(spec, p: int, verify: bool = False) -> Backend:
     """Resolve a backend spec: a name, a ``Backend`` instance, or None.
 
     Instances are checked for a matching PE count; names are looked up
     in the registry (``None`` means the default ``"sim"``).
+
+    ``verify=True`` asks the backend to assert SPMD lockstep (every PE
+    issuing the identical collective sequence, see
+    :class:`LockstepError`).  Backends whose factory does not take a
+    ``verify`` keyword -- notably ``sim``, whose data plane verifies by
+    construction -- are built without it.
     """
     if spec is None:
         spec = SimBackend.name
@@ -67,6 +74,8 @@ def make_backend(spec, p: int) -> Backend:
             raise ValueError(
                 f"backend was built for p={spec.p}, machine has p={p}"
             )
+        if verify and hasattr(spec, "verify"):
+            spec.verify = True
         return spec
     try:
         factory = _REGISTRY[spec]
@@ -74,4 +83,9 @@ def make_backend(spec, p: int) -> Backend:
         raise ValueError(
             f"unknown backend {spec!r}; available: {available_backends()}"
         ) from None
+    if verify:
+        try:
+            return factory(p, verify=True)
+        except TypeError:
+            pass  # factory predates the verify knob; sim-style lockstep
     return factory(p)

@@ -52,7 +52,18 @@ import abc
 import weakref
 from typing import Callable, Sequence
 
-__all__ = ["Backend", "ChunkRef"]
+__all__ = ["Backend", "ChunkRef", "LockstepError"]
+
+
+class LockstepError(ValueError):
+    """SPMD ranks diverged from the lockstep collective sequence.
+
+    Raised by the sim data plane (which drives every rank's generator
+    and sees all yields at once) and by real backends running with
+    ``verify=True`` (which compare per-rank collective traces after
+    each command).  Subclasses :class:`ValueError` because a divergent
+    kernel is a caller bug, not a transport failure.
+    """
 
 
 class ChunkRef:
@@ -350,7 +361,9 @@ def spmd_collective(requests: Sequence[tuple]) -> object:
 
     kinds = {req[0] for req in requests}
     if len(kinds) != 1:
-        raise ValueError(f"SPMD ranks diverged: mixed collectives {sorted(kinds)}")
+        raise LockstepError(
+            f"SPMD ranks diverged: mixed collectives {sorted(kinds)}"
+        )
     kind = kinds.pop()
     payloads = [req[1] for req in requests]
     if kind == "allgather":
@@ -420,7 +433,9 @@ def _run_spmd_inprocess(
                 results[rank] = stop.value
                 done += 1
     if done != p:
-        raise ValueError("SPMD ranks diverged: some returned while others yielded")
+        raise LockstepError(
+            "SPMD ranks diverged: some returned while others yielded"
+        )
     outs: list[list] = [[None] * p for _ in range(n_out)]
     values: list = [None] * p
     for rank, res in enumerate(results):

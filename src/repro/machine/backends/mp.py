@@ -125,8 +125,9 @@ class MultiprocessingBackend(RuntimeBackend):
         *,
         start_method: str | None = None,
         shm_threshold: int | None | object = _UNSET,
+        verify: bool = False,
     ):
-        super().__init__(p)
+        super().__init__(p, verify=verify)
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list = []
         # -- zero-copy payload lane ------------------------------------

@@ -53,6 +53,7 @@ O(p log p) bound.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import os
 import pickle
 import queue as queue_mod
@@ -72,12 +73,20 @@ from ..collectives import (
 from .base import (
     Backend,
     ChunkRef,
+    LockstepError,
     _apply_resident,
     _collect_values,
     _run_spmd_inprocess,
 )
 
-__all__ = ["Comm", "RuntimeBackend", "WorkerError", "WorkerLinks", "worker_loop"]
+__all__ = [
+    "Comm",
+    "LockstepError",
+    "RuntimeBackend",
+    "WorkerError",
+    "WorkerLinks",
+    "worker_loop",
+]
 
 #: seconds to wait for a worker before declaring the pool dead
 _TIMEOUT = 120.0
@@ -299,13 +308,50 @@ def _bruck_alltoall(comm: Comm, row, tag_base: int = 20) -> list:
     return [delivered[j] for j in range(p)]
 
 
-def _run_spmd_step(comm: Comm, gen):
+def _collective_signature(req: tuple) -> tuple:
+    """Rank-comparable signature of one yielded collective.
+
+    Kind plus whatever shapes the exchange: the reduction op for the
+    reducing collectives (named ops compare as strings, callables by
+    their ``__name__``) and the declared sender set for ``sendrecv``.
+    Payload contents stay out -- they legitimately differ per rank.
+    """
+    kind = req[0]
+    if kind in ("allreduce", "allreduce_exscan"):
+        op = req[2]
+        return (kind, op if isinstance(op, str)
+                else getattr(op, "__name__", type(op).__name__))
+    if kind == "sendrecv":
+        return (kind, tuple(sorted(req[2])))
+    return (kind,)
+
+
+class _VerifiedValue:
+    """Worker result of a ``verify=True`` SPMD command: the kernel's
+    value plus this rank's collective trace and its digest (module-level
+    so it pickles across the transport)."""
+
+    def __init__(self, value, trace: tuple):
+        self.value = value
+        self.trace = trace
+        # content digest rather than hash(): stable across worker
+        # processes regardless of PYTHONHASHSEED
+        self.digest = hashlib.sha1(repr(trace).encode()).hexdigest()
+
+
+def _run_spmd_step(comm: Comm, gen, trace: list | None = None):
     """Drive one SPMD generator inside the worker: every yielded
-    collective becomes a tree exchange with its own tag block."""
+    collective becomes a tree exchange with its own tag block.
+
+    With ``trace`` (a list), record each yield's signature so the
+    driver can assert lockstep across ranks after the command.
+    """
     tag_base = 100
     try:
         req = gen.send(None)
         while True:
+            if trace is not None:
+                trace.append(_collective_signature(req))
             kind = req[0]
             if kind == "alltoall":
                 res = _bruck_alltoall(comm, list(req[1]), tag_base)
@@ -395,9 +441,13 @@ def _execute(comm: Comm, spec, local, store):
     if kind == "spmd":
         fn = pickle.loads(spec[1])
         in_ids, out_ids = spec[2], spec[3]
+        # specs from pre-verify drivers are 4-tuples; treat them as
+        # verify-off rather than indexing past the end
+        verify = len(spec) > 4 and bool(spec[4])
         ins = [store[i] for i in in_ids]
         extra = tuple(local) if local is not None else ()
-        res = _run_spmd_step(comm, fn(rank, *ins, *extra))
+        trace: list | None = [] if verify else None
+        res = _run_spmd_step(comm, fn(rank, *ins, *extra), trace)
         if out_ids:
             if not isinstance(res, tuple) or len(res) != len(out_ids) + 1:
                 raise ValueError(
@@ -406,7 +456,9 @@ def _execute(comm: Comm, spec, local, store):
                 )
             for oid, chunk in zip(out_ids, res):
                 store[oid] = chunk
-            return res[len(out_ids)]
+            res = res[len(out_ids)]
+        if verify:
+            return _VerifiedValue(res, tuple(trace))
         return res
     if kind == "stats":
         return {
@@ -564,8 +616,13 @@ class RuntimeBackend(Backend):
 
     is_real = True
 
-    def __init__(self, p: int):
+    def __init__(self, p: int, verify: bool = False):
         super().__init__(p)
+        #: lockstep verification: when set, every SPMD command also
+        #: collects each rank's collective trace and the driver raises
+        #: :class:`LockstepError` on divergence.  Off by default -- it
+        #: adds a per-command trace payload to every result frame.
+        self.verify = bool(verify)
         self._seq = 0
         self._inboxes: list = []
         self._results = None
@@ -926,9 +983,42 @@ class RuntimeBackend(Backend):
         out_refs = [self._new_ref() for _ in range(n_out)]
         spec = ("spmd", blob, tuple(r.id for r in refs),
                 tuple(r.id for r in out_refs))
+        if self.verify:
+            spec = spec + (True,)
         locals_per_pe = list(args) if args is not None else [None] * self.p
         values = self._run(spec, locals_per_pe)
+        if self.verify:
+            values = self._check_lockstep(values, self._seq)
         return out_refs, values
+
+    def _check_lockstep(self, values: list, seq: int) -> list:
+        """Unwrap ``verify=True`` SPMD results, asserting every rank ran
+        the same collective sequence (digest compare; traces are only
+        walked to build the diagnostic)."""
+        wrapped = [v for v in values if isinstance(v, _VerifiedValue)]
+        if len(wrapped) != self.p:  # pragma: no cover - protocol violation
+            raise RuntimeError(
+                "backend protocol error: verify=True SPMD command returned "
+                f"{len(wrapped)}/{self.p} traced results"
+            )
+        ref = wrapped[0]
+        bad = [r for r in range(1, self.p) if wrapped[r].digest != ref.digest]
+        if bad:
+            rank = bad[0]
+            a, b = ref.trace, wrapped[rank].trace
+            step = next(
+                (i for i, (x, y) in enumerate(zip(a, b)) if x != y),
+                min(len(a), len(b)),
+            )
+            mine = b[step] if step < len(b) else "<kernel returned>"
+            theirs = a[step] if step < len(a) else "<kernel returned>"
+            raise LockstepError(
+                f"SPMD lockstep violation in command seq {seq}: rank(s) "
+                f"{bad} diverged from rank 0; first divergence at "
+                f"collective #{step}: rank {rank} issued {mine} where "
+                f"rank 0 issued {theirs}"
+            )
+        return [v.value for v in wrapped]
 
     # ------------------------------------------------------------------
     # Introspection

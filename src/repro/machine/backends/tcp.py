@@ -195,8 +195,9 @@ class TcpBackend(RuntimeBackend):
         bind: str | None = None,
         connect_timeout: float = _DEFAULT_CONNECT_TIMEOUT,
         start_method: str | None = None,
+        verify: bool = False,
     ):
-        super().__init__(p)
+        super().__init__(p, verify=verify)
         self._hosts = _resolve_hosts(p, hosts)
         self._bind = bind or os.environ.get("REPRO_TCP_BIND")
         self._connect_timeout = connect_timeout

@@ -190,6 +190,15 @@ class Machine:
         Execution backend: a name (``"sim"``, ``"mp"``) or a
         :class:`~repro.machine.backends.Backend` instance built for the
         same ``p``.  See the module docstring for the trade-offs.
+    verify:
+        Assert SPMD lockstep: with a real backend, every ``run_spmd``
+        command also ships each PE's collective trace back to the
+        driver, which raises
+        :class:`~repro.machine.backends.LockstepError` naming the
+        command and the diverging rank if the sequences differ.  Off by
+        default (it adds a small trace payload per result frame).  The
+        ``sim`` backend verifies by construction -- its data plane sees
+        every rank's yield -- so the flag is a no-op there.
     """
 
     def __init__(
@@ -198,11 +207,12 @@ class Machine:
         cost: CostParams | None = None,
         seed: int = 0xC0FFEE,
         backend: str | Backend = "sim",
+        verify: bool = False,
     ):
         if p < 1:
             raise ValueError(f"need at least one PE, got p={p}")
         self.p = int(p)
-        self.backend: Backend = make_backend(backend, self.p)
+        self.backend: Backend = make_backend(backend, self.p, verify=verify)
         self.cost = cost if cost is not None else CostParams()
         self.clock = SimClock(self.p)
         self.metrics = CommMetrics(self.p)
