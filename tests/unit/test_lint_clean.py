@@ -1,0 +1,44 @@
+"""Gate: the shipped tree stays repro-lint clean.
+
+Mirrors the CI lint job (``python -m tools.repro_lint src/repro``) so a
+violation fails the ordinary test run too, with the same diagnostics.
+Suppressed findings are allowed -- they carry inline justifications --
+but every *unsuppressed* finding fails here.
+"""
+
+from pathlib import Path
+
+from tools.repro_lint import lint_paths, load_config
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_lint_clean():
+    config = load_config(REPO / "pyproject.toml")
+    findings = lint_paths([REPO / "src" / "repro"], config)
+    bad = [f for f in findings if not f.suppressed]
+    assert not bad, "unsuppressed repro-lint findings:\n" + "\n".join(
+        f.render() for f in bad
+    )
+
+
+def test_suppressions_carry_reasons():
+    """Every inline waiver in the tree must say why (the '-- reason'
+    half of the suppression comment is not optional in src/)."""
+    config = load_config(REPO / "pyproject.toml")
+    findings = lint_paths([REPO / "src" / "repro"], config)
+    missing = [
+        f for f in findings if f.suppressed and not (f.suppress_reason or "").strip()
+    ]
+    assert not missing, "suppressions without a reason:\n" + "\n".join(
+        f.render() for f in missing
+    )
+
+
+def test_tools_tree_parses_clean():
+    """The linter lints itself (no SPMD kernels there, but RL000 syntax
+    and the generic checks still apply)."""
+    config = load_config(REPO / "pyproject.toml")
+    findings = lint_paths([REPO / "tools"], config)
+    bad = [f for f in findings if not f.suppressed]
+    assert not bad, "\n".join(f.render() for f in bad)
