@@ -38,6 +38,7 @@ import argparse
 import json
 import pathlib
 import platform
+import threading
 import time
 
 import numpy as np
@@ -217,6 +218,92 @@ def _transport_rows(p, n_per_pe, repeats=3):
     return rows
 
 
+def _mixed_query(tid: int, i: int, n: int) -> dict:
+    """Deterministic per-(client, step) query from the serving mix."""
+    j = (tid * 7 + i) % 4
+    if j == 0:
+        return {"op": "select", "k": 1 + (tid * 9973 + i * 131) % n}
+    if j == 1:
+        return {"op": "quantile", "q": ((tid * 3 + i) % 10) / 10.0}
+    if j == 2:
+        return {"op": "topk", "k": 1 + (tid + i) % 8}
+    return {"op": "frequent", "k": 4 + tid % 3, "dataset": "keys"}
+
+
+def _concurrent_query_rows(p, n, clients, per_client, window=0.01):
+    """The ``repro serve`` story: N closed-loop clients against one
+    resident mp pool, serial (batch_window=0, pipeline_depth=1 -- every
+    query runs alone, strictly submit-then-wait) vs batched (admission
+    window fuses concurrent rank queries into one multi_select, and the
+    pipelined engine overlaps command issue).  Records throughput,
+    latency percentiles and the realized pipeline depth."""
+    from repro.serve import QueryEngine, default_datasets
+
+    rows = []
+    for algorithm, bw, depth in (("serial", 0.0, 1), ("batched", window, None)):
+        machine = Machine(p=p, seed=81, backend="mp", pipeline_depth=depth)
+        engine = QueryEngine(
+            machine, default_datasets(machine, n), batch_window=bw
+        )
+        try:
+            engine.query(op="select", k=1)  # start the pool off the clock
+            stats0 = dict(engine.stats)
+            latencies: list[float] = []
+            lock = threading.Lock()
+
+            def client(tid):
+                lats = []
+                for i in range(per_client):
+                    q = _mixed_query(tid, i, n)
+                    t0 = time.perf_counter()
+                    engine.submit(q).result()
+                    lats.append(time.perf_counter() - t0)
+                with lock:
+                    latencies.extend(lats)
+
+            threads = [
+                threading.Thread(target=client, args=(tid,))
+                for tid in range(clients)
+            ]
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - t0
+            stats = {
+                k: engine.stats[k] - stats0[k]
+                for k in ("queries", "batches", "fused_commands")
+            }
+            max_inflight = machine.backend.max_inflight
+        finally:
+            engine.close()
+
+        lat_ms = sorted(x * 1e3 for x in latencies)
+
+        def pct(q):
+            return lat_ms[min(len(lat_ms) - 1, int(q * len(lat_ms)))]
+
+        rows.append({
+            "experiment": "concurrent_queries",
+            "algorithm": algorithm,
+            "backend": "mp",
+            "p": p,
+            "n_per_pe": n // p,
+            "clients": clients,
+            "queries": stats["queries"],
+            "batches": stats["batches"],
+            "fused_commands": stats["fused_commands"],
+            "wall_s": wall,
+            "qps": stats["queries"] / wall,
+            "p50_ms": pct(0.50),
+            "p95_ms": pct(0.95),
+            "p99_ms": pct(0.99),
+            "max_inflight": max_inflight,
+        })
+    return rows
+
+
 def _collective_msgs(p_list):
     """Worker message counts per collective (the O(p log p) evidence)
     plus the driver command fan-out (the O(1) evidence)."""
@@ -283,6 +370,13 @@ def main(argv=None) -> int:
         rows += _resident_rows(p_list, n_per_pe, backend)
     rows += _collective_msgs(p_list)
     rows += _transport_rows(max(p_list), args.transport_n)
+    serve_p = max(p_list)
+    rows += _concurrent_query_rows(
+        serve_p,
+        n=serve_p * n_per_pe,
+        clients=4 if args.quick else 8,
+        per_client=3 if args.quick else 6,
+    )
 
     # modeled time must be backend-independent, wall-clock is the story
     by_key = {}
@@ -304,6 +398,15 @@ def main(argv=None) -> int:
     shm_r, inband_r = tr["chunk_roundtrip[shm]"], tr["chunk_roundtrip[inband]"]
     assert shm_r["shm_bytes"] > 0, shm_r
     assert shm_r["wire_bytes"] < inband_r["wire_bytes"] / 10, (shm_r, inband_r)
+    # the serving front-end: admission batching + the pipelined engine
+    # must beat the serial (window=0, depth=1) baseline, with real
+    # overlapped issue on the pool
+    cq = {r["algorithm"]: r for r in rows
+          if r["experiment"] == "concurrent_queries"}
+    assert cq["batched"]["qps"] > cq["serial"]["qps"], cq
+    assert cq["batched"]["fused_commands"] < cq["batched"]["queries"], cq
+    assert cq["batched"]["max_inflight"] > 1, cq
+    assert cq["serial"]["max_inflight"] == 1, cq
 
     run = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -326,11 +429,21 @@ def main(argv=None) -> int:
           f"{'time_s':>10s} {'wall_s':>8s} {'msgs':>6s} {'sends':>5s} "
           f"{'wire_B':>10s} {'shm_B':>10s}")
     for r in rows:
+        if r["experiment"] == "concurrent_queries":
+            continue  # own summary below (throughput/latency columns)
         print(f"{r['experiment']:26s} {r['algorithm']:24s} {r['backend']:7s} "
               f"{r['p']:3d} {r.get('time_s', float('nan')):10.3e} "
               f"{r.get('wall_s', 0.0):8.4f} {r.get('worker_msgs', ''):>6} "
               f"{r.get('driver_sends', ''):>5} {r.get('wire_bytes', ''):>10} "
               f"{r.get('shm_bytes', ''):>10}")
+    for r in rows:
+        if r["experiment"] == "concurrent_queries":
+            print(f"concurrent_queries[{r['algorithm']:7s}] p={r['p']} "
+                  f"{r['clients']} clients, {r['queries']} queries -> "
+                  f"{r['qps']:7.1f} qps, p50 {r['p50_ms']:6.1f} ms, "
+                  f"p95 {r['p95_ms']:6.1f} ms, p99 {r['p99_ms']:6.1f} ms, "
+                  f"{r['fused_commands']} fused cmds, "
+                  f"max_inflight {r['max_inflight']}")
     print(f"\nwrote {args.out} ({len(history['runs'])} accumulated runs)")
     return 0
 

@@ -65,6 +65,28 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", help="experiment name (see `repro info`)")
     add_backend_arg(exp)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve concurrent top-k/select/frequent queries over one "
+        "resident worker pool (JSON lines over TCP)",
+    )
+    serve.add_argument("-p", type=int, default=4, help="number of PEs")
+    add_backend_arg(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral; the bound port is "
+                       "printed as 'ready port=<n>')")
+    serve.add_argument("--seed", type=int, default=2016)
+    serve.add_argument("--dataset-size", type=int, default=100_000,
+                       help="elements per stock dataset")
+    serve.add_argument("--batch-window", type=float, default=0.005,
+                       help="admission window in seconds (0 disables "
+                       "query fusion)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="max queries fused per batch")
+    serve.add_argument("--pipeline-depth", type=int, default=None,
+                       help="max SPMD commands in flight (1 = serial issue)")
+
     return parser
 
 
@@ -171,6 +193,27 @@ def _cmd_experiment(name: str, backend: str = "sim") -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .machine import Machine
+    from .serve import QueryEngine, default_datasets
+    from .serve.server import serve_forever
+
+    machine = Machine(
+        p=args.p, seed=args.seed, backend=args.backend,
+        pipeline_depth=args.pipeline_depth,
+    )
+    datasets = default_datasets(machine, args.dataset_size)
+    engine = QueryEngine(
+        machine, datasets,
+        batch_window=args.batch_window, max_batch=args.max_batch,
+    )
+    print(f"serving p={args.p} backend={args.backend} "
+          f"datasets={sorted(datasets)} window={args.batch_window}s",
+          flush=True)
+    serve_forever(engine, host=args.host, port=args.port)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -181,6 +224,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_selftest(args.p, args.backend)
     if args.command == "experiment":
         return _cmd_experiment(args.name, args.backend)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2  # pragma: no cover
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from .base import Backend, ChunkRef, LockstepError
+from .base import Backend, ChunkRef, LockstepError, PendingValues
 from .mp import MultiprocessingBackend
 from .sim import SimBackend
 from .tcp import TcpBackend
@@ -30,6 +30,7 @@ __all__ = [
     "Backend",
     "ChunkRef",
     "LockstepError",
+    "PendingValues",
     "SimBackend",
     "MultiprocessingBackend",
     "TcpBackend",
@@ -55,7 +56,9 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
-def make_backend(spec, p: int, verify: bool = False) -> Backend:
+def make_backend(
+    spec, p: int, verify: bool = False, pipeline_depth: int | None = None
+) -> Backend:
     """Resolve a backend spec: a name, a ``Backend`` instance, or None.
 
     Instances are checked for a matching PE count; names are looked up
@@ -63,9 +66,11 @@ def make_backend(spec, p: int, verify: bool = False) -> Backend:
 
     ``verify=True`` asks the backend to assert SPMD lockstep (every PE
     issuing the identical collective sequence, see
-    :class:`LockstepError`).  Backends whose factory does not take a
-    ``verify`` keyword -- notably ``sim``, whose data plane verifies by
-    construction -- are built without it.
+    :class:`LockstepError`).  ``pipeline_depth`` bounds how many
+    commands the backend keeps in flight at once (``1`` forces serial
+    issue).  Backends whose factory does not take one of these keywords
+    -- notably ``sim``, which verifies by construction and executes
+    synchronously -- are built without it.
     """
     if spec is None:
         spec = SimBackend.name
@@ -76,6 +81,8 @@ def make_backend(spec, p: int, verify: bool = False) -> Backend:
             )
         if verify and hasattr(spec, "verify"):
             spec.verify = True
+        if pipeline_depth is not None and hasattr(spec, "pipeline_depth"):
+            spec.pipeline_depth = max(1, int(pipeline_depth))
         return spec
     try:
         factory = _REGISTRY[spec]
@@ -83,9 +90,21 @@ def make_backend(spec, p: int, verify: bool = False) -> Backend:
         raise ValueError(
             f"unknown backend {spec!r}; available: {available_backends()}"
         ) from None
+    kwargs: dict = {}
     if verify:
+        kwargs["verify"] = True
+    if pipeline_depth is not None:
+        kwargs["pipeline_depth"] = max(1, int(pipeline_depth))
+    while True:
         try:
-            return factory(p, verify=True)
+            return factory(p, **kwargs)
         except TypeError:
-            pass  # factory predates the verify knob; sim-style lockstep
-    return factory(p)
+            # factory predates a knob: drop the optional ones in turn
+            # (sim-style backends take neither and verify/serialize by
+            # construction)
+            if "pipeline_depth" in kwargs:
+                del kwargs["pipeline_depth"]
+            elif "verify" in kwargs:
+                del kwargs["verify"]
+            else:
+                raise

@@ -52,7 +52,48 @@ import abc
 import weakref
 from typing import Callable, Sequence
 
-__all__ = ["Backend", "ChunkRef", "LockstepError"]
+__all__ = ["Backend", "ChunkRef", "LockstepError", "PendingValues"]
+
+
+class PendingValues:
+    """Handle to the per-PE values of a submitted backend command.
+
+    Returned by :meth:`Backend.submit_spmd` /
+    :meth:`Backend.submit_map_resident`.  ``wait()`` blocks until the
+    command completed and returns the values (idempotent; a failed
+    command keeps raising on every wait).  Eager backends hand out
+    pre-resolved handles, so call sites written against the submit API
+    overlap commands where the backend pipelines and degrade to exact
+    serial execution where it does not.
+
+    Contract for overlapped call sites: wait handles in **submit
+    order** before consuming their values, so charge-log replay and
+    rng-state pass-through observe the same order as serial execution
+    (the bit-identity guarantee across backends).
+    """
+
+    __slots__ = ("_thunk", "_values")
+
+    def __init__(self, thunk: Callable[[], object]):
+        self._thunk = thunk
+        self._values = None
+
+    @classmethod
+    def resolved(cls, values) -> "PendingValues":
+        """A handle whose command already completed (eager backends)."""
+        pending = cls(None)
+        pending._values = values
+        return pending
+
+    @property
+    def done(self) -> bool:
+        return self._thunk is None
+
+    def wait(self):
+        if self._thunk is not None:
+            self._values = self._thunk()
+            self._thunk = None
+        return self._values
 
 
 class LockstepError(ValueError):
@@ -277,6 +318,40 @@ class Backend(abc.ABC):
         outs, values = _run_spmd_inprocess(self.p, fn, chunk_lists, n_out, args)
         out_refs = [self.put_chunks(chunks) for chunks in outs]
         return out_refs, values
+
+    def submit_spmd(
+        self,
+        fn: Callable,
+        refs: Sequence["ChunkRef"],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+    ) -> tuple[list["ChunkRef"], PendingValues]:
+        """Non-blocking :meth:`run_spmd`: returns ``(out_refs, pending)``
+        with ``pending.wait()`` yielding the per-PE values.
+
+        The default executes eagerly and returns a resolved handle --
+        in-process backends have no issue/execution overlap to expose;
+        pipelined backends override this to keep the command in flight
+        until ``wait()``.  See :class:`PendingValues` for the ordering
+        contract overlapped call sites must follow.
+        """
+        out_refs, values = self.run_spmd(fn, refs, n_out=n_out, args=args)
+        return out_refs, PendingValues.resolved(values)
+
+    def submit_map_resident(
+        self,
+        fn: Callable,
+        refs: Sequence["ChunkRef"],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+        collect: tuple | None = None,
+    ) -> tuple[list["ChunkRef"], PendingValues]:
+        """Non-blocking :meth:`map_resident` (same eager default);
+        ``pending.wait()`` returns ``(values, collected)``."""
+        out_refs, values, collected = self.map_resident(
+            fn, refs, n_out=n_out, args=args, collect=collect
+        )
+        return out_refs, PendingValues.resolved((values, collected))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -126,8 +126,9 @@ class MultiprocessingBackend(RuntimeBackend):
         start_method: str | None = None,
         shm_threshold: int | None | object = _UNSET,
         verify: bool = False,
+        pipeline_depth: int = 8,
     ):
-        super().__init__(p, verify=verify)
+        super().__init__(p, verify=verify, pipeline_depth=pipeline_depth)
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list = []
         # -- zero-copy payload lane ------------------------------------

@@ -35,6 +35,26 @@ anything that arrives early, so fast workers can run ahead without
 confusing slow ones.  Worker-to-worker exchanges follow logarithmic
 schedules instead of direct O(p^2) delivery:
 
+Pipelined issue
+---------------
+The driver may keep several broadcast-channel commands in flight at
+once (:meth:`RuntimeBackend._submit` / :class:`CommandFuture`, up to
+``pipeline_depth``).  This is safe for exactly the tree-forwarded
+commands: links are FIFO and every rank forwards frames in arrival
+order, so pipelined ``bcmd`` frames execute in *seq order on every
+worker* even though their results may interleave at the driver (a fast
+worker's seq ``n+1`` result can beat a slow worker's seq ``n``).  The
+driver demultiplexes the shared result channel by seq
+(:meth:`RuntimeBackend._pump`).  Direct per-worker frames (``put``,
+partial-participant ``p2p``) could overtake a tree hop still in
+flight, so they fence -- drain every in-flight command -- before
+issue.  Each command envelope carries the driver's *ack frontier* (the
+highest seq whose results are all collected); worker shm pools recycle
+their rounds only up to that frontier
+(:meth:`~repro.machine.backends.shm.ShmPool.release_through`), because
+under pipelining the arrival of a newer command no longer proves the
+older round's blocks were copied out.
+
 * rooted collectives (broadcast, reduce, gather, scatter) walk a
   binomial tree -- ``p - 1`` messages, ``log p`` depth;
 * symmetric collectives (allgather, allreduce, scan, the fused
@@ -74,6 +94,7 @@ from .base import (
     Backend,
     ChunkRef,
     LockstepError,
+    PendingValues,
     _apply_resident,
     _collect_values,
     _run_spmd_inprocess,
@@ -81,7 +102,9 @@ from .base import (
 
 __all__ = [
     "Comm",
+    "CommandFuture",
     "LockstepError",
+    "PendingValues",
     "RuntimeBackend",
     "WorkerError",
     "WorkerLinks",
@@ -467,6 +490,7 @@ def _execute(comm: Comm, spec, local, store):
             "wire_tx": comm.counters["wire_tx"],
             "shm_tx": comm.counters["shm_tx"],
             "resident": len(store),
+            "stash": len(comm.stash),
         }
     if kind == "map":
         fn = pickle.loads(spec[1])
@@ -534,7 +558,6 @@ def worker_loop(links: WorkerLinks) -> None:
     # subtree's slice of the per-PE locals
     tree_children = [d for _, s, d in binomial_edges(p, 0) if s == rank]
     subtree_of = binomial_subtrees(p, 0)
-    last_seq = 0
     try:
         while True:
             if backlog:
@@ -559,25 +582,34 @@ def worker_loop(links: WorkerLinks) -> None:
                 # pruned to each child's subtree (a rank's local still hops
                 # once per tree edge on its root path -- which is why the
                 # arg-heavy "put" command keeps the direct driver path)
-                _, seq, spec, locals_map, free_ids = item
-                if seq > last_seq and pool is not None:
-                    # a new command proves the driver collected every
-                    # result of the previous one, i.e. all our earlier
-                    # shared blocks were copied out -- recycle them
-                    pool.release_round()
-                last_seq = max(last_seq, seq)
+                _, seq, spec, locals_map, free_ids, acked = item
+                if pool is not None:
+                    # the driver's ack frontier proves every receiver
+                    # copied out our shared blocks of rounds <= acked;
+                    # under pipelined issue a newer seq alone proves
+                    # nothing (the driver may not have collected yet)
+                    pool.release_through(acked)
+                    pool.begin_round(seq)
                 for child in tree_children:
                     sub = {r: locals_map[r] for r in subtree_of[child] if r in locals_map}
-                    links.send(child, ("bcmd", seq, spec, sub, free_ids),
+                    links.send(child, ("bcmd", seq, spec, sub, free_ids, acked),
                                drain=comm.drain)
                     comm.counters["cmd_fwd"] += 1
-                item = ("cmd", seq, spec, locals_map.get(rank), free_ids)
-            _, seq, spec, local, free_ids = item
-            if seq > last_seq and pool is not None:
-                pool.release_round()
-            last_seq = max(last_seq, seq)
+                item = ("cmd", seq, spec, locals_map.get(rank), free_ids, acked)
+            _, seq, spec, local, free_ids, acked = item
+            if pool is not None:
+                pool.release_through(acked)
+                pool.begin_round(seq)
             for ref_id in free_ids:
                 store.pop(ref_id, None)
+            if stash:
+                # commands execute in seq order, so a stashed message
+                # addressed to an older seq can only be the leftover of a
+                # failed collective -- evict it.  This bounds the stash to
+                # live seqs under pipelined issue (run-ahead peers' newer
+                # messages stay put).
+                for key in [k for k in stash if k[0] < seq]:
+                    del stash[key]
             if spec[0] == "stop":
                 links.send_result((rank, seq, None), drain=comm.drain,
                                   pool=False)
@@ -596,6 +628,41 @@ def worker_loop(links: WorkerLinks) -> None:
 # ----------------------------------------------------------------------
 # Driver side
 # ----------------------------------------------------------------------
+
+class CommandFuture:
+    """Driver-side handle to one in-flight command (a single seq).
+
+    Created by :meth:`RuntimeBackend._submit`; resolved by the seq-
+    demultiplexing completion loop (:meth:`RuntimeBackend._pump`).
+    Futures may *complete* in any order -- a fast worker's seq ``n+1``
+    result can arrive before a slow worker's seq ``n`` -- but because
+    workers execute commands in seq order and each worker's result
+    channel is FIFO, a resolved future implies every lower seq is
+    resolved too.
+    """
+
+    __slots__ = ("seq", "kind", "out", "failures", "remaining", "done",
+                 "wire_rx", "shm_rx", "ref_ids", "_backend")
+
+    def __init__(self, backend: "RuntimeBackend", seq: int, kind: str,
+                 p: int, nranks: int):
+        self._backend = backend
+        self.seq = seq
+        self.kind = kind
+        self.out: list = [None] * p
+        self.failures: list[tuple[int, str]] = []
+        self.remaining = nranks
+        self.done = False
+        self.wire_rx = 0
+        self.shm_rx = 0
+        #: resident refs this command reads or writes (dependency tracker)
+        self.ref_ids: tuple[int, ...] = ()
+
+    def wait(self) -> list:
+        """Block until every participant answered; returns the per-PE
+        results (worker failures raise, and keep raising on re-wait)."""
+        return self._backend._wait(self)
+
 
 class RuntimeBackend(Backend):
     """Shared driver half of the worker runtime.
@@ -616,14 +683,36 @@ class RuntimeBackend(Backend):
 
     is_real = True
 
-    def __init__(self, p: int, verify: bool = False):
+    #: pinned callback pickles kept for reuse (LRU bound of ``_blob``)
+    _BLOB_CACHE = 256
+
+    def __init__(self, p: int, verify: bool = False,
+                 pipeline_depth: int = 8):
         super().__init__(p)
         #: lockstep verification: when set, every SPMD command also
         #: collects each rank's collective trace and the driver raises
         #: :class:`LockstepError` on divergence.  Off by default -- it
         #: adds a per-command trace payload to every result frame.
         self.verify = bool(verify)
+        #: maximum commands in flight at once.  ``1`` restores the
+        #: strictly serial issue-wait-issue engine; the default keeps a
+        #: small window so :meth:`submit_spmd`/:meth:`submit_map_resident`
+        #: call sites overlap issue with worker execution.
+        self.pipeline_depth = max(1, int(pipeline_depth))
         self._seq = 0
+        #: ack frontier: highest seq with *every* seq up to it fully
+        #: collected; piggybacked on command envelopes for the workers'
+        #: shm round recycling
+        self._acked = 0
+        self._done_seqs: set[int] = set()
+        #: in-flight commands by seq (insertion order == seq order)
+        self._inflight: dict[int, CommandFuture] = {}
+        #: in-flight writer of each resident ref id -- the driver-side
+        #: dependency tracker; reads go through :meth:`_wait_ref`
+        self._ref_seq: dict[int, int] = {}
+        #: high-water mark of concurrently in-flight commands (proof of
+        #: real overlap for the benchmarks and parity tests)
+        self.max_inflight = 0
         self._inboxes: list = []
         self._results = None
         self._started = False
@@ -631,7 +720,6 @@ class RuntimeBackend(Backend):
         self._dead_refs: list[int] = []
         self._live_ids: set[int] = set()
         self._fn_blobs: dict[int, tuple[Callable, bytes]] = {}
-        self._result_buffer: list = []
         #: driver-side shm pool (``None`` for transports without a
         #: shared-memory lane; every payload then rides the wire inline)
         self._pool = None
@@ -694,6 +782,10 @@ class RuntimeBackend(Backend):
             return
         if self._started:
             try:
+                # collect every in-flight command first: a worker still
+                # blocked writing an unharvested result must not meet a
+                # stop frame (and salvage reads require the frontier)
+                self._fence()
                 self._salvage_resident()
             except Exception:  # pragma: no cover - dead-pool cleanup path
                 pass
@@ -706,7 +798,9 @@ class RuntimeBackend(Backend):
             self._seq += 1
             for rank in range(self.p):
                 try:
-                    self._inboxes[rank].put(("cmd", self._seq, ("stop",), None, ()))
+                    self._inboxes[rank].put(
+                        ("cmd", self._seq, ("stop",), None, (), self._acked)
+                    )
                 except OSError:  # pragma: no cover - worker already dead
                     pass
             self._join_workers()
@@ -720,34 +814,139 @@ class RuntimeBackend(Backend):
             pass
 
     # ------------------------------------------------------------------
-    # Driver-side dispatch
+    # Driver-side dispatch: pipelined submit / demultiplexed completion
     # ------------------------------------------------------------------
+    def _pump(self, timeout: float | None) -> None:
+        """Receive ONE result frame and demultiplex it onto its command's
+        future by seq.  Completion may be out of issue order across
+        workers; receive-side transport bytes are attributed to the seq
+        that actually arrived."""
+        wire0, shm0 = self._results.wire_rx, self._results.shm_rx
+        rank, rseq, value = self._results.get(timeout=timeout, pool=self._pool)
+        fut = self._inflight.get(rseq)
+        if fut is None:  # pragma: no cover - protocol violation
+            raise RuntimeError(
+                f"backend protocol error: result for unknown seq {rseq}"
+            )
+        fut.wire_rx += self._results.wire_rx - wire0
+        fut.shm_rx += self._results.shm_rx - shm0
+        if isinstance(value, WorkerError):
+            fut.failures.append((rank, value.message))
+        else:
+            fut.out[rank] = value
+        fut.remaining -= 1
+        if fut.remaining == 0:
+            self._finish(fut)
+
+    def _finish(self, fut: CommandFuture) -> None:
+        """Resolve one future: book its transport bytes, release its
+        dependency-tracker entries, and advance the ack frontier."""
+        fut.done = True
+        del self._inflight[fut.seq]
+        tb = self._transport.setdefault(fut.kind, {"wire": 0, "shm": 0})
+        tb["wire"] += fut.wire_rx
+        tb["shm"] += fut.shm_rx
+        for ref_id in fut.ref_ids:
+            if self._ref_seq.get(ref_id) == fut.seq:
+                del self._ref_seq[ref_id]
+        self._done_seqs.add(fut.seq)
+        while self._acked + 1 in self._done_seqs:
+            self._done_seqs.discard(self._acked + 1)
+            self._acked += 1
+        if self._pool is not None:
+            # every block the driver shared for seqs <= acked has been
+            # decoded by its worker; recycle once nothing newer is out
+            self._pool.release_through(self._acked)
+
     def _drain_results(self) -> None:
-        """Buffer early results while a command send waits on a full inbox
-        (a worker blocked writing a large result would otherwise hold
-        the driver and worker in a two-party cycle)."""
+        """Demultiplex whatever already sits in the result inbox (called
+        while a command send waits on a full channel -- a worker blocked
+        writing a large result would otherwise hold the driver and
+        worker in a two-party cycle)."""
         while True:
             try:
-                self._result_buffer.append(
-                    self._results.get(timeout=0, pool=self._pool)
-                )
+                self._pump(timeout=0)
             except queue_mod.Empty:
                 return
 
-    def _run(
+    def _wait(self, fut: CommandFuture) -> list:
+        """Completion loop of one command: pump the shared result inbox
+        (any seq) until this future resolves, then surface its failures.
+        Waiting a future implicitly resolves every lower seq first."""
+        if not fut.done:
+            t0 = time.perf_counter()
+            while not fut.done:
+                try:
+                    self._pump(timeout=_TIMEOUT)
+                except (queue_mod.Empty, EOFError, OSError):
+                    dead = self._dead_workers()
+                    raise RuntimeError(
+                        f"collective {fut.kind!r} timed out after "
+                        f"{_TIMEOUT:.0f}s; "
+                        + (
+                            f"dead workers: {dead}"
+                            if dead
+                            else "likely an unpicklable payload (check for a "
+                            "worker-side traceback above)"
+                        )
+                    ) from None
+            self.wall_time += time.perf_counter() - t0
+        if fut.failures:
+            detail = "; ".join(
+                f"worker {r} failed: {m}" for r, m in fut.failures
+            )
+            raise RuntimeError(detail)
+        return fut.out
+
+    def _fence(self) -> None:
+        """Wait out every in-flight command, oldest first.  Required
+        before any frame that bypasses the broadcast tree (it could
+        overtake a tree hop) and before driver reads of worker state."""
+        while self._inflight:
+            self._wait(next(iter(self._inflight.values())))
+
+    def _wait_ref(self, ref_id: int) -> None:
+        """Dependency tracker: block until the in-flight command that
+        reads or writes ``ref_id`` (if any) completed, so driver-side
+        chunk reads never observe state a pipelined command is still
+        producing -- and a failed producer surfaces at the read."""
+        seq = self._ref_seq.get(ref_id)
+        if seq is not None:
+            fut = self._inflight.get(seq)
+            if fut is not None:
+                self._wait(fut)
+
+    def _track_refs(self, fut: CommandFuture, refs, out_refs) -> None:
+        # input chunks count as written too: resident kernels may mutate
+        # them in place (the bulk PQ's trees do)
+        ids = tuple(r.id for r in refs) + tuple(r.id for r in out_refs)
+        fut.ref_ids = ids
+        for ref_id in ids:
+            self._ref_seq[ref_id] = fut.seq
+
+    def _submit(
         self, spec: tuple, locals_per_pe: Sequence, participants=None
-    ) -> list:
-        """Issue one command to the participating workers (default: all)
-        and collect their results."""
+    ) -> CommandFuture:
+        """Issue one command without collecting results.
+
+        Only full-pool broadcast-channel commands may overlap: FIFO
+        links and in-order tree forwarding deliver pipelined ``bcmd``
+        frames to every worker in seq order, so execution order equals
+        issue order on each rank.  Direct per-worker frames (``put``,
+        partial-participant ``p2p``) have no such guarantee and fence
+        first.
+        """
         self._ensure_started()
         t0 = time.perf_counter()
-        self._seq += 1
-        seq = self._seq
-        wire0 = self._tx["wire_tx"] + self._results.wire_rx
-        shm0 = self._tx["shm_tx"] + self._results.shm_rx
+        if participants is not None or spec[0] == "put":
+            self._fence()
+        else:
+            while len(self._inflight) >= self.pipeline_depth:
+                self._wait(next(iter(self._inflight.values())))
         # Fail fast on unpicklable specs (e.g. a lambda reduction op):
         # the command would otherwise surface as an opaque worker-side
-        # decode failure or a collective timeout.
+        # decode failure or a collective timeout.  Probed before the seq
+        # is consumed -- a burnt seq would stall the ack frontier.
         try:
             pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception as exc:
@@ -756,6 +955,8 @@ class RuntimeBackend(Backend):
                 f"must cross a process boundary; use a named op like 'sum' "
                 f"or a module-level callable): {exc}"
             ) from None
+        self._seq += 1
+        seq = self._seq
         # freed handles piggyback only on full-pool commands -- a partial-
         # participant command (p2p) would free the slots on two workers
         # and leak them on the rest
@@ -764,7 +965,14 @@ class RuntimeBackend(Backend):
             self._dead_refs.clear()
         else:
             free_ids = ()
-        ranks = range(self.p) if participants is None else participants
+        nranks = self.p if participants is None else len(participants)
+        fut = CommandFuture(self, seq, spec[0], self.p, nranks)
+        self._inflight[seq] = fut
+        if len(self._inflight) > self.max_inflight:
+            self.max_inflight = len(self._inflight)
+        wire0, shm0 = self._tx["wire_tx"], self._tx["shm_tx"]
+        if self._pool is not None:
+            self._pool.begin_round(seq)
         # broadcast command channel: one driver send regardless of p;
         # rank 0 fans the frame out along the binomial tree.  Chunk
         # uploads ("put") keep the direct path -- their per-PE locals
@@ -774,60 +982,31 @@ class RuntimeBackend(Backend):
         if participants is None and spec[0] != "put":
             locals_map = {r: locals_per_pe[r] for r in range(self.p)}
             self._inboxes[0].put(
-                ("bcmd", seq, spec, locals_map, free_ids),
+                ("bcmd", seq, spec, locals_map, free_ids, self._acked),
                 drain=self._drain_results, pool=self._pool, counters=self._tx,
             )
             self.driver_sends += 1
         else:
-            for rank in ranks:
+            for rank in (range(self.p) if participants is None else participants):
                 self._inboxes[rank].put(
-                    ("cmd", seq, spec, locals_per_pe[rank], free_ids),
-                    drain=self._drain_results, pool=self._pool, counters=self._tx,
+                    ("cmd", seq, spec, locals_per_pe[rank], free_ids,
+                     self._acked),
+                    drain=self._drain_results, pool=self._pool,
+                    counters=self._tx,
                 )
                 self.driver_sends += 1
-        out: list = [None] * self.p
-        failures: list[tuple[int, str]] = []
-        # drain every participant's result even on error, so a failed
-        # collective does not leave stale entries that poison the next one
-        for _ in ranks:
-            try:
-                if self._result_buffer:
-                    rank, rseq, value = self._result_buffer.pop(0)
-                else:
-                    rank, rseq, value = self._results.get(
-                        timeout=_TIMEOUT, pool=self._pool
-                    )
-            except Exception:
-                dead = self._dead_workers()
-                raise RuntimeError(
-                    f"collective {spec[0]!r} timed out after {_TIMEOUT:.0f}s; "
-                    + (
-                        f"dead workers: {dead}"
-                        if dead
-                        else "likely an unpicklable payload (check for a "
-                        "worker-side traceback above)"
-                    )
-                ) from None
-            if rseq != seq:  # pragma: no cover - protocol violation
-                raise RuntimeError(
-                    f"backend protocol error: expected seq {seq}, got {rseq}"
-                )
-            if isinstance(value, WorkerError):
-                failures.append((rank, value.message))
-            else:
-                out[rank] = value
-        # every participant answered, so every shared block of this
-        # command has been copied out -- the driver pool can recycle
-        if self._pool is not None:
-            self._pool.release_round()
         tb = self._transport.setdefault(spec[0], {"wire": 0, "shm": 0})
-        tb["wire"] += self._tx["wire_tx"] + self._results.wire_rx - wire0
-        tb["shm"] += self._tx["shm_tx"] + self._results.shm_rx - shm0
+        tb["wire"] += self._tx["wire_tx"] - wire0
+        tb["shm"] += self._tx["shm_tx"] - shm0
         self.wall_time += time.perf_counter() - t0
-        if failures:
-            detail = "; ".join(f"worker {r} failed: {m}" for r, m in failures)
-            raise RuntimeError(detail)
-        return out
+        return fut
+
+    def _run(
+        self, spec: tuple, locals_per_pe: Sequence, participants=None
+    ) -> list:
+        """Issue one command to the participating workers (default: all)
+        and collect their results: submit + wait."""
+        return self._wait(self._submit(spec, locals_per_pe, participants))
 
     # ------------------------------------------------------------------
     # Collectives
@@ -893,14 +1072,21 @@ class RuntimeBackend(Backend):
         """Pickle a callback once per identity (hot loops reuse it).
 
         The cache pins the callable itself so its ``id`` cannot be
-        recycled by the allocator while the entry is alive.
+        recycled by the allocator while the entry is alive.  It is
+        LRU-bounded at ``_BLOB_CACHE`` entries so a long-running serve
+        pool cycling through distinct callbacks cannot grow it without
+        limit (evicting is always safe: the blob bytes of an in-flight
+        command already left with its envelope).
         """
-        entry = self._fn_blobs.get(id(fn))
-        if entry is None or entry[0] is not fn:
-            if len(self._fn_blobs) > 256:  # unbounded-growth guard
-                self._fn_blobs.clear()
-            entry = (fn, pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL))
-            self._fn_blobs[id(fn)] = entry
+        key = id(fn)
+        entry = self._fn_blobs.get(key)
+        if entry is not None and entry[0] is fn:
+            self._fn_blobs[key] = self._fn_blobs.pop(key)  # LRU touch
+            return entry[1]
+        entry = (fn, pickle.dumps(fn, protocol=pickle.HIGHEST_PROTOCOL))
+        self._fn_blobs[key] = entry
+        while len(self._fn_blobs) > self._BLOB_CACHE:
+            del self._fn_blobs[next(iter(self._fn_blobs))]
         return entry[1]
 
     def _new_ref(self) -> ChunkRef:
@@ -935,18 +1121,26 @@ class RuntimeBackend(Backend):
         return ref
 
     def get_chunks(self, ref: ChunkRef) -> list:
+        # dependency tracker: a pipelined command still producing (or
+        # mutating) this ref must land before the driver reads it
+        self._wait_ref(ref.id)
         if ref.id in self._store:  # driver-born or salvaged at close
             return self._store[ref.id]
         return self._run(("get", ref.id), [None] * self.p)
 
-    def map_resident(
+    def submit_map_resident(
         self,
         fn: Callable,
         refs: Sequence[ChunkRef],
         n_out: int = 0,
         args: Sequence[tuple] | None = None,
         collect: tuple | None = None,
-    ) -> tuple[list[ChunkRef], list, list | None]:
+    ) -> tuple[list[ChunkRef], PendingValues]:
+        """Non-blocking :meth:`map_resident`: the command goes out and
+        stays in flight until ``pending.wait()`` (which returns
+        ``(values, collected)``).  Overlapping call sites must wait
+        their pendings in submit order before consuming values, so
+        charge replay and rng pass-through stay in seq order."""
         try:
             blob = self._blob(fn)
         except Exception:
@@ -956,15 +1150,73 @@ class RuntimeBackend(Backend):
             chunk_lists = [self.get_chunks(r) for r in refs]
             outs, values = _apply_resident(self.p, fn, chunk_lists, n_out, args)
             out_refs = [self.put_chunks(chunks) for chunks in outs]
-            return out_refs, values, _collect_values(values, collect, self.p)
+            return out_refs, PendingValues.resolved(
+                (values, _collect_values(values, collect, self.p))
+            )
         out_refs = [self._new_ref() for _ in range(n_out)]
         spec = ("mapres", blob, tuple(r.id for r in refs),
                 tuple(r.id for r in out_refs), collect)
         locals_per_pe = list(args) if args is not None else [None] * self.p
-        out = self._run(spec, locals_per_pe)
-        if collect is None:
-            return out_refs, out, None
-        return out_refs, [v for v, _ in out], [c for _, c in out]
+        fut = self._submit(spec, locals_per_pe)
+        self._track_refs(fut, refs, out_refs)
+
+        def settle():
+            out = self._wait(fut)
+            if collect is None:
+                return out, None
+            return [v for v, _ in out], [c for _, c in out]
+
+        return out_refs, PendingValues(settle)
+
+    def map_resident(
+        self,
+        fn: Callable,
+        refs: Sequence[ChunkRef],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+        collect: tuple | None = None,
+    ) -> tuple[list[ChunkRef], list, list | None]:
+        out_refs, pending = self.submit_map_resident(
+            fn, refs, n_out=n_out, args=args, collect=collect
+        )
+        values, collected = pending.wait()
+        return out_refs, values, collected
+
+    def submit_spmd(
+        self,
+        fn: Callable,
+        refs: Sequence[ChunkRef],
+        n_out: int = 0,
+        args: Sequence[tuple] | None = None,
+    ) -> tuple[list[ChunkRef], PendingValues]:
+        """Non-blocking :meth:`run_spmd`: returns the output handles
+        immediately while the command executes; ``pending.wait()``
+        yields the per-PE values (lockstep-checked under ``verify``).
+        Same wait-in-submit-order contract as
+        :meth:`submit_map_resident`."""
+        try:
+            blob = self._blob(fn)
+        except Exception:
+            chunk_lists = [self.get_chunks(r) for r in refs]
+            outs, values = _run_spmd_inprocess(self.p, fn, chunk_lists, n_out, args)
+            out_refs = [self.put_chunks(chunks) for chunks in outs]
+            return out_refs, PendingValues.resolved(values)
+        out_refs = [self._new_ref() for _ in range(n_out)]
+        spec = ("spmd", blob, tuple(r.id for r in refs),
+                tuple(r.id for r in out_refs))
+        if self.verify:
+            spec = spec + (True,)
+        locals_per_pe = list(args) if args is not None else [None] * self.p
+        fut = self._submit(spec, locals_per_pe)
+        self._track_refs(fut, refs, out_refs)
+
+        def settle():
+            values = self._wait(fut)
+            if self.verify:
+                values = self._check_lockstep(values, fut.seq)
+            return values
+
+        return out_refs, PendingValues(settle)
 
     def run_spmd(
         self,
@@ -973,23 +1225,8 @@ class RuntimeBackend(Backend):
         n_out: int = 0,
         args: Sequence[tuple] | None = None,
     ) -> tuple[list[ChunkRef], list]:
-        try:
-            blob = self._blob(fn)
-        except Exception:
-            chunk_lists = [self.get_chunks(r) for r in refs]
-            outs, values = _run_spmd_inprocess(self.p, fn, chunk_lists, n_out, args)
-            out_refs = [self.put_chunks(chunks) for chunks in outs]
-            return out_refs, values
-        out_refs = [self._new_ref() for _ in range(n_out)]
-        spec = ("spmd", blob, tuple(r.id for r in refs),
-                tuple(r.id for r in out_refs))
-        if self.verify:
-            spec = spec + (True,)
-        locals_per_pe = list(args) if args is not None else [None] * self.p
-        values = self._run(spec, locals_per_pe)
-        if self.verify:
-            values = self._check_lockstep(values, self._seq)
-        return out_refs, values
+        out_refs, pending = self.submit_spmd(fn, refs, n_out=n_out, args=args)
+        return out_refs, pending.wait()
 
     def _check_lockstep(self, values: list, seq: int) -> list:
         """Unwrap ``verify=True`` SPMD results, asserting every rank ran

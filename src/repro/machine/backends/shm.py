@@ -16,12 +16,15 @@ out-of-band buffers are split into two lanes (see
 Lifecycle
 ---------
 Every process owns one :class:`ShmPool`.  Segments the pool *created*
-are its own: they are bump-allocated in rounds and recycled wholesale at
-safe points (:meth:`ShmPool.release_round`) -- the driver recycles when
-a command's results are all in, a worker recycles when the next command
-(a strictly larger sequence number) arrives, both points at which every
-block of the finished round has provably been copied out by its
-receiver.  Segments of *other* pools are attached lazily and cached
+are its own: they are bump-allocated in rounds (one round per command
+seq, tagged via :meth:`ShmPool.begin_round`) and recycled wholesale at
+safe points (:meth:`ShmPool.release_through`): the runtime's *ack
+frontier* -- the highest seq whose results the driver fully collected,
+piggybacked on every command envelope -- proves every block of rounds
+up to it was copied out by its receiver.  Under pipelined issue several
+rounds may be outstanding at once; the pool recycles only when nothing
+newer than the frontier has allocated, so footprint stays bounded by
+the pipeline depth.  Segments of *other* pools are attached lazily and cached
 (:meth:`ShmPool.materialize`), so a recycled segment is never re-mmapped.
 
 ``close()`` unlinks owned segments and detaches cached ones.  Because
@@ -161,6 +164,11 @@ class ShmPool:
         self._seg_counter = 0
         self._attached: dict[str, shared_memory.SharedMemory] = {}
         self._closed = False
+        #: command seq currently allocating blocks (set by begin_round)
+        self._round = 0
+        #: highest seq that allocated a block since the last recycle --
+        #: the gate release_through compares against the ack frontier
+        self._high_round = 0
         #: cumulative bytes copied into owned segments (tx accounting)
         self.bytes_shared = 0
         #: cumulative bytes copied out of foreign segments (rx accounting)
@@ -187,7 +195,13 @@ class ShmPool:
         seg.shm.buf[offset:offset + nbytes] = view
         seg.used = offset + nbytes
         self.bytes_shared += nbytes
+        self._high_round = self._round
         return seg.shm.name, offset
+
+    def begin_round(self, seq: int) -> None:
+        """Tag subsequent allocations with command ``seq`` (rounds are
+        monotone: the runtime issues seqs in increasing order)."""
+        self._round = seq
 
     def _block(self, nbytes: int) -> _Segment:
         for seg in self._segments:
@@ -211,10 +225,22 @@ class ShmPool:
         """
         for seg in self._segments:
             seg.used = 0
+        self._high_round = 0
         if len(self._segments) > _MAX_SEGMENTS:
             self._segments.sort(key=lambda seg: seg.capacity, reverse=True)
             while len(self._segments) > _MAX_SEGMENTS:
                 self._unlink(self._segments.pop())
+
+    def release_through(self, acked: int) -> None:
+        """Recycle all blocks iff every block allocated so far belongs
+        to a round ``<= acked`` (the caller's ack frontier: those blocks
+        were provably copied out by their receivers).  The bump
+        allocator recycles wholesale only, so one outstanding newer
+        round defers the whole recycle -- memory stays bounded by the
+        pipeline depth times the per-round footprint."""
+        if self._high_round > acked:
+            return
+        self.release_round()
 
     # ------------------------------------------------------------------
     # Consumer side

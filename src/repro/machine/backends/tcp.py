@@ -196,8 +196,9 @@ class TcpBackend(RuntimeBackend):
         connect_timeout: float = _DEFAULT_CONNECT_TIMEOUT,
         start_method: str | None = None,
         verify: bool = False,
+        pipeline_depth: int = 8,
     ):
-        super().__init__(p, verify=verify)
+        super().__init__(p, verify=verify, pipeline_depth=pipeline_depth)
         self._hosts = _resolve_hosts(p, hosts)
         self._bind = bind or os.environ.get("REPRO_TCP_BIND")
         self._connect_timeout = connect_timeout

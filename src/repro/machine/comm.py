@@ -199,6 +199,13 @@ class Machine:
         default (it adds a small trace payload per result frame).  The
         ``sim`` backend verifies by construction -- its data plane sees
         every rank's yield -- so the flag is a no-op there.
+    pipeline_depth:
+        Maximum number of SPMD commands a real backend keeps in flight
+        at once (``1`` forces serial issue; ``None`` keeps the
+        backend's default, currently 8).  Results, modeled costs and
+        rng streams are settled in issue order, so every pipelined run
+        is bit-identical to the serial one.  The ``sim`` backend
+        executes synchronously and ignores the knob.
     """
 
     def __init__(
@@ -208,11 +215,14 @@ class Machine:
         seed: int = 0xC0FFEE,
         backend: str | Backend = "sim",
         verify: bool = False,
+        pipeline_depth: int | None = None,
     ):
         if p < 1:
             raise ValueError(f"need at least one PE, got p={p}")
         self.p = int(p)
-        self.backend: Backend = make_backend(backend, self.p, verify=verify)
+        self.backend: Backend = make_backend(
+            backend, self.p, verify=verify, pipeline_depth=pipeline_depth
+        )
         self.cost = cost if cost is not None else CostParams()
         self.clock = SimClock(self.p)
         self.metrics = CommMetrics(self.p)

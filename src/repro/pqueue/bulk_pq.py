@@ -225,11 +225,17 @@ class BulkParallelPQ:
             self.machine.charge_ops_one(rank, ops)
         return uids
 
-    def _flush(self) -> None:
-        """Ship buffered insertions into the resident trees (one
-        backend round trip for any number of buffered batches)."""
+    def _flush_submit(self):
+        """Ship buffered insertions into the resident trees without
+        waiting (one backend round trip for any number of buffered
+        batches).  Returns a handle for :meth:`_settle_flush`, or
+        ``None`` when nothing was buffered.  While the flush is in
+        flight a *later* command may already be submitted -- workers
+        execute commands in seq order -- but the handle must be settled
+        in submit order so the rng pass-through lands before anyone
+        reads ``machine.rngs``."""
         if not any(self._pending):
-            return
+            return None
         machine = self.machine
         args = []
         for i in range(machine.p):
@@ -242,13 +248,24 @@ class BulkParallelPQ:
                 ))
             else:
                 args.append((None, 0, None))
-        _, states, _ = machine.backend.map_resident(
+        self._pending = [[] for _ in range(machine.p)]
+        _, pending = machine.backend.submit_map_resident(
             _insert_step, [self._ref], n_out=0, args=args
         )
+        return pending
+
+    def _settle_flush(self, pending) -> None:
+        """Collect an in-flight flush: restore the per-PE streams the
+        workers advanced (state pass-through)."""
+        if pending is None:
+            return
+        states, _ = pending.wait()
         for i, state in enumerate(states):
             if state is not None:
-                restore_rng(machine.rngs[i], state)
-        self._pending = [[] for _ in range(machine.p)]
+                restore_rng(self.machine.rngs[i], state)
+
+    def _flush(self) -> None:
+        self._settle_flush(self._flush_submit())
 
     # ------------------------------------------------------------------
     # Queries
@@ -260,10 +277,14 @@ class BulkParallelPQ:
     def peek_min(self):
         """Globally smallest score without removing it (one reduction,
         fused into the resident lookup's round trip)."""
-        self._flush()
-        _, values, collected = self.machine.backend.map_resident(
+        # argument-free lookup: safe to issue while the flush is in
+        # flight (same overlapped pattern as delete_min)
+        flush = self._flush_submit()
+        _, pending = self.machine.backend.submit_map_resident(
             _peek_step, [self._ref], n_out=0, collect=("allreduce", "min")
         )
+        self._settle_flush(flush)
+        values, collected = pending.wait()
         self.machine._meter_allreduce(values)
         v = collected[0]
         if v is TOP:
@@ -294,14 +315,20 @@ class BulkParallelPQ:
         total = self.total_size()
         if not 1 <= k <= total:
             raise ValueError(f"k must satisfy 1 <= k <= {total}, got {k}")
-        self._flush()
         machine = self.machine
         p = machine.p
+        # overlapped issue: the kernel's args touch only the shared
+        # stream, which the flush leaves alone, so the deleteMin command
+        # can enter the pipe right behind the flush (workers execute in
+        # seq order) instead of stalling on the flush's round trip
+        flush = self._flush_submit()
         shared = rng_state(machine.shared_rng)
-        _, vals = machine.backend.run_spmd(
+        _, pending = machine.backend.submit_spmd(
             _delete_min_kernel, [self._ref], n_out=0,
             args=[(k, p, shared)] * p,
         )
+        self._settle_flush(flush)  # settle in submit order
+        vals = pending.wait()
         machine.replay_charges([v["log"] for v in vals])
         restore_rng(machine.shared_rng, vals[0]["shared"])
         return self._finish(vals, k, vals[0]["value"], rounds=0)
@@ -313,6 +340,8 @@ class BulkParallelPQ:
         in ``O(alpha log kp)`` expected (Theorem 5's flexible variant).
         """
         check_rank_range(k_lo, k_hi, sum(self._sizes))  # fail driver-side
+        # no overlap here: amsSelect's args carry post-flush per-PE rng
+        # states, so the kernel cannot be built before the flush settles
         self._flush()
         machine = self.machine
         p = machine.p

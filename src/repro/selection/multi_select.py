@@ -173,7 +173,11 @@ def multi_select(
     sizes0 = data.sizes()
     machine._meter_allreduce(words=1)
     n_total = int(sizes0.sum())
-    seg_refs, _, _ = machine.backend.map_resident(
+    # overlapped issue: the wrap executes in the workers while the
+    # driver draws the first level's Bernoulli sample indices, and the
+    # level-1 command queues up right behind it (workers run commands
+    # in seq order, so the wrapped state is ready when level 1 starts)
+    seg_refs, wrap = machine.backend.submit_map_resident(
         _wrap_segments, [data._ensure_ref()], n_out=1
     )
     seg_ref = seg_refs[0]
@@ -202,12 +206,16 @@ def multi_select(
             mid_rank = seg.ranks[len(seg.ranks) // 2]
             specs.append(("split", seg.ranks, mid_rank, seg.n))
 
-        out_refs, vals = machine.backend.run_spmd(
+        out_refs, pending = machine.backend.submit_spmd(
             _multi_select_level,
             [seg_ref],
             n_out=1,
             args=[(specs, idxs[i]) for i in range(p)],
         )
+        if wrap is not None:
+            wrap.wait()  # settle in submit order (carries no values)
+            wrap = None
+        vals = pending.wait()
         seg_ref = out_refs[0]
         # re-play the model from the small returned values
         machine._meter_allgather(words=[v[1] for v in vals])

@@ -1,0 +1,76 @@
+"""Blocking JSON-lines client for ``repro serve``.
+
+One :class:`ServeClient` wraps one TCP connection.  :meth:`query`
+is a synchronous round trip; :meth:`query_many` writes a burst of
+requests before reading any response, so a single client can exercise
+the server's admission batching on its own.  Instances are not
+thread-safe -- give each thread its own client (each gets its own
+connection, which is also what exercises the multiplexing path).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _send(self, query: dict) -> int:
+        self._next_id += 1
+        req = {"id": self._next_id, **query}
+        self._file.write((json.dumps(req) + "\n").encode())
+        return self._next_id
+
+    def _recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    @staticmethod
+    def _unwrap(resp: dict):
+        if not resp.get("ok"):
+            raise RuntimeError(f"server error: {resp.get('error')}")
+        return resp["result"]
+
+    # ------------------------------------------------------------------
+    def query(self, op: str, **fields):
+        """One synchronous request/response round trip."""
+        self._send({"op": op, **fields})
+        self._file.flush()
+        return self._unwrap(self._recv())
+
+    def query_many(self, queries: list[dict]) -> list:
+        """Write every request, then collect every response.
+
+        Responses may return out of request order (the server resolves
+        each query as its own task); they are matched back by id, so the
+        returned list aligns with ``queries``.
+        """
+        ids = [self._send(q) for q in queries]
+        self._file.flush()
+        by_id = {}
+        for _ in ids:
+            resp = self._recv()
+            by_id[resp.get("id")] = resp
+        return [self._unwrap(by_id[i]) for i in ids]

@@ -1,0 +1,285 @@
+"""Query engine: admission batching + query fusion over one machine.
+
+Queries are submitted from any thread (:meth:`QueryEngine.submit`
+returns a :class:`concurrent.futures.Future`) and executed on one
+dedicated engine thread that owns the machine.  The engine admits a
+*batch* at a time: it blocks for the first pending query, then keeps
+admitting for ``batch_window`` seconds (up to ``max_batch`` queries)
+before executing, so concurrent clients' queries land in the same
+batch.
+
+Fusion generalizes :func:`~repro.selection.multi_select`'s segment
+fusion from one query's ranks to *many queries'* ranks: every rank
+query (``select``, ``quantile``, ``topk``) of a batch that targets the
+same dataset contributes its target ranks to one ``multi_select`` call,
+which resolves them all with a single shared recursion -- one fused
+sample allgather and one fused count reduction per level instead of one
+per query.  ``frequent`` queries on the same dataset deduplicate to a
+single exact counting pass per distinct ``k``.
+
+Supported query dicts (``dataset`` defaults to ``"default"``)::
+
+    {"op": "select",   "k": 1234}            # k-th smallest value
+    {"op": "quantile", "q": 0.5}             # nearest-rank quantile
+    {"op": "topk",     "k": 10}              # k largest, descending
+    {"op": "frequent", "k": 8}               # top-k most frequent keys
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from ..machine import DistArray, Machine
+
+__all__ = ["QueryEngine", "QueryError", "default_datasets"]
+
+#: ops fused into one multi_select per dataset
+_RANK_OPS = ("select", "quantile", "topk")
+
+
+class QueryError(ValueError):
+    """A malformed or unsatisfiable query (reported to the one client)."""
+
+
+def default_datasets(machine: Machine, n: int, *, universe: int = 1 << 12,
+                     s: float = 1.1) -> dict[str, DistArray]:
+    """The server's stock datasets, deterministic in ``(p, seed, n)``.
+
+    ``default``: ``n`` uniform floats in ``[0, 1)`` split evenly over
+    the PEs; ``keys``: ``n`` Zipf-distributed integer keys (the
+    frequent-objects workload).  Smoke tests rebuild the same arrays on
+    a sim machine with the same seed to get a driver-side oracle.
+    """
+    from ..common import zipf_sample
+
+    per_pe = [n // machine.p + (1 if i < n % machine.p else 0)
+              for i in range(machine.p)]
+    values = DistArray.generate(
+        machine, lambda r, g: g.random(per_pe[r])
+    )
+    keys = DistArray.generate(
+        machine, lambda r, g: zipf_sample(g, per_pe[r], universe=universe, s=s)
+    )
+    return {"default": values, "keys": keys}
+
+
+class _Pending:
+    __slots__ = ("query", "future")
+
+    def __init__(self, query: dict, future: Future):
+        self.query = query
+        self.future = future
+
+
+class QueryEngine:
+    """Batched, fusing front-end over one machine (thread-safe submit).
+
+    Parameters
+    ----------
+    machine:
+        The machine to serve on; the engine takes ownership (closes it
+        with :meth:`close`) and touches it only from its own thread.
+    datasets:
+        Name -> :class:`DistArray` map the queries refer to.
+    batch_window:
+        Seconds to keep admitting after the first query of a batch
+        (``0`` disables batching: every query runs alone, the serial
+        baseline the benchmark compares against).
+    max_batch:
+        Hard cap on queries per batch.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        datasets: dict[str, DistArray],
+        *,
+        batch_window: float = 0.005,
+        max_batch: int = 64,
+    ):
+        self.machine = machine
+        self.datasets = dict(datasets)
+        self.batch_window = float(batch_window)
+        self.max_batch = max(1, int(max_batch))
+        self.stats = {"queries": 0, "batches": 0, "fused_commands": 0,
+                      "max_batch_size": 0}
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-engine", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Client side (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, query: dict) -> Future:
+        """Enqueue one query; the future resolves to its result."""
+        future: Future = Future()
+        if self._closed.is_set():
+            future.set_exception(QueryError("engine is closed"))
+            return future
+        self._queue.put(_Pending(dict(query), future))
+        return future
+
+    def query(self, **query):
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(query).result()
+
+    def close(self) -> None:
+        """Drain, stop the engine thread, close the machine."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(None)  # wake the admission loop
+        self._thread.join(timeout=30.0)
+        self.machine.close()
+
+    # ------------------------------------------------------------------
+    # Engine thread
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            batch = self._admit()
+            if batch is None:
+                break
+            self.stats["queries"] += len(batch)
+            self.stats["batches"] += 1
+            self.stats["max_batch_size"] = max(
+                self.stats["max_batch_size"], len(batch)
+            )
+            self._execute(batch)
+        # engine shutting down: fail whatever is still queued
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                item.future.set_exception(QueryError("engine is closed"))
+
+    def _admit(self) -> list[_Pending] | None:
+        """One admission round: block for the first query, then keep
+        admitting until the window closes or the batch is full.
+        Returns ``None`` on shutdown."""
+        first = self._queue.get()
+        if first is None:
+            return None
+        batch = [first]
+        deadline = time.monotonic() + self.batch_window
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:
+                # shutdown sentinel: finish this batch, exit next round
+                self._queue.put(None)
+                break
+            batch.append(item)
+        return batch
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        """Group a batch by (dataset, fusion class) and run each group
+        as one fused call; per-query failures stay on their future."""
+        rank_groups: dict[str, list[_Pending]] = {}
+        freq_groups: dict[tuple[str, int], list[_Pending]] = {}
+        for item in batch:
+            try:
+                q = item.query
+                op = q.get("op")
+                name = q.get("dataset", "default")
+                if name not in self.datasets:
+                    raise QueryError(
+                        f"unknown dataset {name!r}; have {sorted(self.datasets)}"
+                    )
+                if op in _RANK_OPS:
+                    # validate eagerly so one bad query cannot poison
+                    # the fused call it would have joined
+                    self._ranks_of(q, self.datasets[name].global_size)
+                    rank_groups.setdefault(name, []).append(item)
+                elif op == "frequent":
+                    k = int(q.get("k", 0))
+                    if k < 1:
+                        raise QueryError(f"frequent needs k >= 1, got {k}")
+                    freq_groups.setdefault((name, k), []).append(item)
+                else:
+                    raise QueryError(f"unknown op {op!r}")
+            except Exception as exc:
+                item.future.set_exception(exc)
+        for name, items in rank_groups.items():
+            self._run_rank_group(name, items)
+        for (name, k), items in freq_groups.items():
+            self._run_frequent_group(name, k, items)
+
+    def _ranks_of(self, q: dict, n: int) -> list[int]:
+        """Target ranks (1-based, ascending) of one rank query."""
+        op = q["op"]
+        if n == 0:
+            raise QueryError(f"dataset {q.get('dataset', 'default')!r} is empty")
+        if op == "select":
+            k = int(q.get("k", 0))
+            if not 1 <= k <= n:
+                raise QueryError(f"select needs 1 <= k <= {n}, got {k}")
+            return [k]
+        if op == "quantile":
+            quant = float(q.get("q", -1.0))
+            if not 0.0 <= quant <= 1.0:
+                raise QueryError(f"quantile needs 0 <= q <= 1, got {quant}")
+            return [max(1, int(math.ceil(quant * n)))]
+        # topk: the k largest, i.e. ranks n-k+1 .. n
+        k = int(q.get("k", 0))
+        if not 1 <= k <= n:
+            raise QueryError(f"topk needs 1 <= k <= {n}, got {k}")
+        return list(range(n - k + 1, n + 1))
+
+    def _run_rank_group(self, name: str, items: list[_Pending]) -> None:
+        """ONE multi_select over the union of the group's target ranks."""
+        from ..selection import multi_select
+
+        data = self.datasets[name]
+        n = data.global_size
+        wanted: dict[int, list[int]] = {}
+        for i, item in enumerate(items):
+            wanted[i] = self._ranks_of(item.query, n)
+        union = sorted({k for ranks in wanted.values() for k in ranks})
+        try:
+            values = multi_select(self.machine, data, union)
+        except Exception as exc:  # pragma: no cover - backend failure
+            for item in items:
+                item.future.set_exception(exc)
+            return
+        self.stats["fused_commands"] += 1
+        by_rank = dict(zip(union, values))
+        for i, item in enumerate(items):
+            op = item.query["op"]
+            got = [by_rank[k] for k in wanted[i]]
+            if op == "topk":
+                item.future.set_result(got[::-1])  # descending
+            else:
+                item.future.set_result(got[0])
+
+    def _run_frequent_group(self, name: str, k: int, items: list[_Pending]) -> None:
+        """ONE exact counting pass shared by every duplicate query."""
+        from ..frequent import top_k_frequent_exact
+
+        data = self.datasets[name]
+        try:
+            res = top_k_frequent_exact(self.machine, data, k)
+        except Exception as exc:  # pragma: no cover - backend failure
+            for item in items:
+                item.future.set_exception(exc)
+            return
+        self.stats["fused_commands"] += 1
+        payload = [[int(key), float(c)] for key, c in res.items]
+        for item in items:
+            item.future.set_result(payload)

@@ -1,0 +1,166 @@
+"""End-to-end smoke test for ``repro serve`` (used by CI).
+
+Spawns a real server subprocess (``repro serve --port 0``), discovers
+the ephemeral port from its ``ready port=`` line, then drives it with
+several concurrent clients issuing mixed queries.  Every result is
+checked against a driver-side oracle rebuilt from the same ``(p,
+seed, size)`` -- the stock datasets are deterministic -- and the
+server's stats must show fusion actually happened
+(``fused_commands < queries``).
+
+Run as ``python -m repro.serve.smoke [--backend mp] [-p 4]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _spawn_server(args) -> tuple[subprocess.Popen, int]:
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "-p", str(args.p), "--backend", args.backend, "--port", "0",
+         "--seed", str(args.seed), "--dataset-size", str(args.size),
+         "--batch-window", str(args.window)],
+        stdout=subprocess.PIPE, stderr=None, text=True, env=env,
+    )
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before becoming ready (rc={proc.poll()})"
+            )
+        if line.startswith("ready port="):
+            return proc, int(line.split("=", 1)[1])
+    proc.kill()
+    raise RuntimeError("server did not become ready in time")
+
+
+def _oracle(args) -> tuple[np.ndarray, list[list]]:
+    """Driver-side ground truth from the same deterministic datasets."""
+    from ..machine import Machine
+    from .engine import default_datasets
+
+    with Machine(p=args.p, seed=args.seed, backend="sim") as m:
+        ds = default_datasets(m, args.size)
+        values = np.sort(ds["default"].concat())
+        keys = ds["keys"].concat()
+    uniq, counts = np.unique(keys, return_counts=True)
+    ranked = sorted(zip(uniq, counts), key=lambda t: (-t[1], t[0]))
+    frequent = [[int(key), float(c)] for key, c in ranked[:8]]
+    return values, frequent
+
+
+def _client_worker(host, port, tid, values, frequent, errors):
+    from .client import ServeClient
+
+    n = values.size
+    k = (tid * 9973) % n + 1
+    quant = tid / 7.0 % 1.0
+    queries = [
+        {"op": "select", "k": k},
+        {"op": "quantile", "q": quant},
+        {"op": "topk", "k": 5},
+        {"op": "frequent", "k": 8, "dataset": "keys"},
+    ]
+    try:
+        with ServeClient(host, port) as client:
+            got = client.query_many(queries)
+        expect = [
+            values[k - 1],
+            values[max(1, math.ceil(quant * n)) - 1],
+            values[-5:][::-1].tolist(),
+            frequent,
+        ]
+        for q, g, e in zip(queries, got, expect):
+            if isinstance(e, np.floating):
+                ok = g == float(e)
+            else:
+                ok = g == e
+            if not ok:
+                errors.append(f"client {tid} {q}: got {g!r}, want {e!r}")
+    except Exception as exc:
+        errors.append(f"client {tid}: {type(exc).__name__}: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--backend", default="mp")
+    ap.add_argument("-p", type=int, default=4)
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--seed", type=int, default=2016)
+    ap.add_argument("--size", type=int, default=20_000)
+    ap.add_argument("--window", type=float, default=0.05,
+                    help="server admission window (s)")
+    args = ap.parse_args(argv)
+
+    values, frequent = _oracle(args)
+    proc, port = _spawn_server(args)
+    host = "127.0.0.1"
+    try:
+        errors: list[str] = []
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(host, port, t, values, frequent, errors),
+            )
+            for t in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120.0)
+
+        from .client import ServeClient
+
+        with ServeClient(host, port) as control:
+            stats = control.query("stats")
+            control.query("shutdown")
+        rc = proc.wait(timeout=60.0)
+
+        total = args.clients * 4
+        print(f"smoke: {total} queries over {args.clients} clients -> "
+              f"{stats['fused_commands']} fused commands "
+              f"in {stats['batches']} batches "
+              f"(max batch {stats['max_batch_size']})")
+        if errors:
+            for e in errors:
+                print("FAIL:", e)
+            return 1
+        if stats["queries"] != total:
+            print(f"FAIL: server saw {stats['queries']} queries, sent {total}")
+            return 1
+        if stats["fused_commands"] >= stats["queries"]:
+            print("FAIL: no fusion happened "
+                  f"({stats['fused_commands']} commands for "
+                  f"{stats['queries']} queries)")
+            return 1
+        if rc != 0:
+            print(f"FAIL: server exited rc={rc}")
+            return 1
+        print("smoke: PASS")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

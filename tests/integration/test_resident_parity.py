@@ -16,6 +16,8 @@ transport runs at p in {1, 2, 4, 5} (same runtime, so the p=8
 mesh-heavy case stays with the cheaper pipe transport).
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -197,6 +199,114 @@ class TestTopkCutParity:
             for a, b in zip(s_sel.chunks, r_sel.chunks):
                 np.testing.assert_array_equal(a, b)
             _assert_model_equal(sim, real)
+
+
+# ----------------------------------------------------------------------
+# Pipelined issue (depth > 1): bit-identity, cost parity, out-of-order
+# completion, and lockstep verification under overlap
+# ----------------------------------------------------------------------
+
+def _make_stress_vals(rank: int, base):
+    """Worker-born resident array (so get_chunks reads worker state)."""
+    return (np.arange(8, dtype=np.float64) + base * (rank + 1), None)
+
+
+def _delayed_bump(rank: int, vals, delay, inc):
+    """In-place mutation behind a rank-skewed delay: completion order
+    across ranks differs from issue order, but seq order must hold."""
+    time.sleep(delay)
+    vals += inc
+    return float(vals.sum())
+
+
+def _pq_mixed_workload(machine, seed):
+    """Exercises every overlapped call site: flush+deleteMin,
+    flush+peek, wrap+level-1 of multi_select."""
+    rng = np.random.default_rng(seed)
+    p = machine.p
+    q = BulkParallelPQ(machine)
+    outs = []
+    for _ in range(3):
+        q.insert([list(rng.random(25)) for _ in range(p)])
+        outs.append(q.peek_min())
+        outs.append(q.delete_min(6 * p))
+    d = make_dist(machine, np.random.default_rng(seed + 1), 400)
+    n = d.global_size
+    outs.append(multi_select(machine, d, [1, n // 4, n // 2, n]))
+    return outs
+
+
+@pytest.mark.parametrize("backend,p", GRID)
+class TestPipelinedParity:
+    def test_pipelined_matches_serial_bit_identical(self, backend, p):
+        """depth > 1 changes wall-clock interleaving only: results AND
+        modeled cost stay bit-identical with depth = 1."""
+        serial = Machine(p=p, seed=52, backend=backend, pipeline_depth=1)
+        piped = Machine(p=p, seed=52, backend=backend, pipeline_depth=8)
+        with serial, piped:
+            serial.reset(), piped.reset()
+            out_serial = _pq_mixed_workload(serial, seed=23)
+            out_piped = _pq_mixed_workload(piped, seed=23)
+            assert out_serial == out_piped
+            assert serial.backend.max_inflight == 1
+            assert piped.backend.max_inflight > 1
+            _assert_model_equal(serial, piped)
+
+    def test_pipelined_matches_sim(self, backend, p):
+        sim, real = _machines(backend, p, seed=53)
+        with real:
+            assert real.backend.pipeline_depth > 1  # default overlaps
+            sim.reset(), real.reset()
+            assert _pq_mixed_workload(sim, 29) == _pq_mixed_workload(real, 29)
+            _assert_model_equal(sim, real)
+
+    def test_out_of_order_completion_stress(self, backend, p):
+        """Rank-skewed delays force cross-rank result interleaving
+        while several commands are in flight; per-worker seq order and
+        the driver's demux must still produce serial semantics."""
+        with Machine(p=p, seed=54, backend=backend, pipeline_depth=8) as m:
+            backend_ = m.backend
+            refs, pend0 = backend_.submit_map_resident(
+                _make_stress_vals, [], n_out=1, args=[(10,)] * p
+            )
+            base = [
+                float(np.sum(np.arange(8) + 10 * (r + 1))) for r in range(p)
+            ]
+            pendings = []
+            expect = []
+            for i in range(6):
+                inc = i + 1
+                delays = [0.002 * ((r + i) % max(p, 2)) for r in range(p)]
+                args = [(delays[r], inc) for r in range(p)]
+                _, pending = backend_.submit_map_resident(
+                    _delayed_bump, [refs[0]], n_out=0, args=args
+                )
+                base = [b + 8 * inc for b in base]
+                expect.append(list(base))
+                pendings.append(pending)
+            pend0.wait()
+            for pending, want in zip(pendings, expect):
+                values, _ = pending.wait()
+                assert values == want
+            if p > 1:
+                assert backend_.max_inflight > 1
+            final = backend_.get_chunks(refs[0])
+            for r in range(p):
+                np.testing.assert_array_equal(
+                    final[r], np.arange(8, dtype=np.float64) + 10 * (r + 1) + 21
+                )
+
+    def test_verify_lockstep_under_pipelining(self, backend, p):
+        """verify=True collects per-rank collective traces; the checks
+        must attach to the right command when several are in flight."""
+        plain = Machine(p=p, seed=55, backend=backend, pipeline_depth=8)
+        checked = Machine(
+            p=p, seed=55, backend=backend, verify=True, pipeline_depth=8
+        )
+        with plain, checked:
+            plain.reset(), checked.reset()
+            assert _pq_mixed_workload(plain, 31) == _pq_mixed_workload(checked, 31)
+            _assert_model_equal(plain, checked)
 
 
 @pytest.mark.parametrize(

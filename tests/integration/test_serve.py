@@ -1,0 +1,183 @@
+"""Integration: the ``repro serve`` front-end (engine + TCP server).
+
+Engine-level tests drive :class:`QueryEngine` directly (sim and mp
+backends): correctness against driver-side oracles, query fusion
+(many rank queries -> one ``multi_select``), frequent-query dedup, and
+error isolation.  The server-level test runs the real asyncio TCP
+front-end in a background thread and exercises the JSON-lines protocol
+end to end, including concurrent clients fusing into one batch.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.serve import QueryEngine, ServeClient, default_datasets
+from repro.serve.server import serve_forever
+
+
+def _engine(backend="sim", p=4, n=2000, window=0.02, **kw):
+    machine = Machine(p=p, seed=99, backend=backend)
+    datasets = default_datasets(machine, n)
+    return QueryEngine(machine, datasets, batch_window=window, **kw)
+
+
+def _oracle(p=4, n=2000):
+    with Machine(p=p, seed=99) as m:
+        ds = default_datasets(m, n)
+        values = np.sort(ds["default"].concat())
+        keys = ds["keys"].concat()
+    return values, keys
+
+
+class TestQueryEngine:
+    def test_rank_queries_match_oracle(self):
+        values, _ = _oracle()
+        n = values.size
+        engine = _engine()
+        try:
+            assert engine.query(op="select", k=1) == values[0]
+            assert engine.query(op="select", k=n) == values[-1]
+            assert engine.query(op="quantile", q=0.5) == values[n // 2 - 1]
+            assert engine.query(op="topk", k=3) == values[-3:][::-1].tolist()
+        finally:
+            engine.close()
+
+    def test_burst_fuses_to_one_command(self):
+        values, _ = _oracle()
+        n = values.size
+        engine = _engine(window=0.2)
+        try:
+            futures = [
+                engine.submit({"op": "select", "k": 7}),
+                engine.submit({"op": "quantile", "q": 0.25}),
+                engine.submit({"op": "topk", "k": 5}),
+                engine.submit({"op": "select", "k": n // 2}),
+            ]
+            got = [f.result(timeout=60) for f in futures]
+            assert got[0] == values[6]
+            assert got[3] == values[n // 2 - 1]
+            assert engine.stats["queries"] == 4
+            assert engine.stats["batches"] == 1
+            assert engine.stats["fused_commands"] == 1
+        finally:
+            engine.close()
+
+    def test_frequent_queries_dedupe(self):
+        _, keys = _oracle()
+        uniq, counts = np.unique(keys, return_counts=True)
+        want = [
+            [int(key), float(c)]
+            for key, c in sorted(zip(uniq, counts), key=lambda t: (-t[1], t[0]))[:4]
+        ]
+        engine = _engine(window=0.2)
+        try:
+            futures = [
+                engine.submit({"op": "frequent", "k": 4, "dataset": "keys"})
+                for _ in range(3)
+            ]
+            got = [f.result(timeout=60) for f in futures]
+            assert got == [want] * 3
+            assert engine.stats["fused_commands"] == 1
+        finally:
+            engine.close()
+
+    def test_bad_query_does_not_poison_the_batch(self):
+        values, _ = _oracle()
+        engine = _engine(window=0.2)
+        try:
+            futures = [
+                engine.submit({"op": "select", "k": 10**9}),   # out of range
+                engine.submit({"op": "nonsense"}),             # unknown op
+                engine.submit({"op": "select", "k": 5, "dataset": "nope"}),
+                engine.submit({"op": "select", "k": 1}),       # healthy
+            ]
+            for bad in futures[:3]:
+                with pytest.raises(Exception):
+                    bad.result(timeout=60)
+            assert futures[3].result(timeout=60) == values[0]
+        finally:
+            engine.close()
+
+    def test_mp_backend_pipelines_under_load(self):
+        values, _ = _oracle()
+        n = values.size
+        engine = _engine(backend="mp", window=0.2)
+        try:
+            futures = [
+                engine.submit({"op": "select", "k": 1 + (i * 37) % n})
+                for i in range(6)
+            ]
+            for i, f in enumerate(futures):
+                assert f.result(timeout=120) == values[(1 + (i * 37) % n) - 1]
+            assert engine.stats["fused_commands"] == 1
+            # the fused multi_select overlaps wrap with level 1
+            assert engine.machine.backend.max_inflight > 1
+        finally:
+            engine.close()
+
+    def test_submit_after_close_fails_fast(self):
+        engine = _engine()
+        engine.close()
+        with pytest.raises(Exception):
+            engine.submit({"op": "select", "k": 1}).result(timeout=10)
+
+
+class TestServeServer:
+    def test_tcp_round_trip_with_concurrent_clients(self):
+        values, _ = _oracle(p=2, n=1000)
+        n = values.size
+        machine = Machine(p=2, seed=99, backend="mp")
+        engine = QueryEngine(
+            machine, default_datasets(machine, 1000), batch_window=0.1
+        )
+        port_box: list[int] = []
+        ready = threading.Event()
+
+        def ready_cb(port):
+            port_box.append(port)
+            ready.set()
+
+        server = threading.Thread(
+            target=serve_forever,
+            args=(engine, "127.0.0.1", 0),
+            kwargs={"ready_cb": ready_cb},
+            daemon=True,
+        )
+        server.start()
+        assert ready.wait(timeout=60)
+        port = port_box[0]
+
+        results = {}
+
+        def client_worker(tid):
+            with ServeClient("127.0.0.1", port) as c:
+                results[tid] = c.query_many([
+                    {"op": "select", "k": tid + 1},
+                    {"op": "topk", "k": 2},
+                ])
+
+        threads = [
+            threading.Thread(target=client_worker, args=(t,)) for t in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        for tid in range(3):
+            assert results[tid][0] == values[tid]
+            assert results[tid][1] == values[-2:][::-1].tolist()
+
+        with ServeClient("127.0.0.1", port) as control:
+            assert control.query("ping") == "pong"
+            sizes = control.query("datasets")
+            assert sizes == {"default": 1000, "keys": 1000}
+            stats = control.query("stats")
+            assert stats["queries"] == 6
+            assert stats["fused_commands"] < stats["queries"]
+            control.query("shutdown")
+        server.join(timeout=60)
+        assert not server.is_alive()
+        assert engine.machine.backend.closed

@@ -1,4 +1,4 @@
-"""Golden fixtures for the repro-lint checks (RL001 -- RL006).
+"""Golden fixtures for the repro-lint checks (RL001 -- RL007).
 
 Every check has at least one firing case, one non-firing case, and one
 suppression case, so a behavior change in any check breaks a fixture
@@ -533,13 +533,76 @@ class TestRL006:
 
 
 # ----------------------------------------------------------------------
+# RL007 -- resident store reads bypassing the dependency tracker
+# ----------------------------------------------------------------------
+
+class TestRL007:
+    def test_fires_on_driver_side_store_read(self):
+        found = hits(
+            """
+            def peek(machine, ref):
+                return machine.backend._store[ref.id]
+            """,
+            "RL007",
+        )
+        assert len(found) == 1
+        assert "get_chunks" in found[0].message
+
+    def test_fires_on_store_mutation(self):
+        found = hits(
+            """
+            def drop(backend, ref):
+                backend._store.pop(ref.id, None)
+            """,
+            "RL007",
+        )
+        assert len(found) == 1
+
+    def test_clean_on_backend_internal_self_access(self):
+        assert not hits(
+            """
+            class SomeBackend:
+                def get_chunks(self, ref):
+                    self._wait_ref(ref.id)
+                    return self._store[ref.id]
+            """,
+            "RL007",
+        )
+
+    def test_clean_on_sanctioned_accessors(self):
+        assert not hits(
+            """
+            def peek(machine, ref, data):
+                chunks = machine.backend.get_chunks(ref)
+                return chunks, data.chunks
+            """,
+            "RL007",
+        )
+
+    def test_suppression(self):
+        found = [
+            f
+            for f in lint(
+                """
+                def salvage(backend, ref):
+                    # repro-lint: disable=RL007 -- teardown path, engine already fenced
+                    return backend._store.get(ref.id)
+                """
+            )
+            if f.check == "RL007"
+        ]
+        assert len(found) == 1
+        assert found[0].suppressed
+
+
+# ----------------------------------------------------------------------
 # Framework: suppressions, config, CLI
 # ----------------------------------------------------------------------
 
 class TestFramework:
-    def test_all_six_checks_registered(self):
+    def test_all_checks_registered(self):
         assert set(all_checks()) >= {
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
         }
 
     def test_syntax_error_reported_as_rl000(self):
