@@ -86,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max queries fused per batch")
     serve.add_argument("--pipeline-depth", type=int, default=None,
                        help="max SPMD commands in flight (1 = serial issue)")
+    serve.add_argument("--command-timeout", type=float, default=None,
+                       help="per-command deadline in seconds before a "
+                       "non-answering pool raises WorkerFailure")
+    serve.add_argument("--journal", action="store_true",
+                       help="record chunk provenance so a broken pool is "
+                       "rebuilt automatically (bit-identical restore)")
+    serve.add_argument("--faults", default=None,
+                       help="deterministic fault plan, e.g. 'kill@r1:s3' "
+                       "(testing; also read from REPRO_FAULTS)")
+    serve.add_argument("--query-deadline", type=float, default=None,
+                       help="seconds a query may wait before it expires "
+                       "(per-query 'deadline' field overrides)")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="admission bound; beyond it submits fail fast "
+                       "with an overloaded error")
 
     return parser
 
@@ -201,11 +216,14 @@ def _cmd_serve(args) -> int:
     machine = Machine(
         p=args.p, seed=args.seed, backend=args.backend,
         pipeline_depth=args.pipeline_depth,
+        command_timeout=args.command_timeout,
+        faults=args.faults, journal=args.journal,
     )
     datasets = default_datasets(machine, args.dataset_size)
     engine = QueryEngine(
         machine, datasets,
         batch_window=args.batch_window, max_batch=args.max_batch,
+        max_queue=args.max_queue, query_deadline=args.query_deadline,
     )
     print(f"serving p={args.p} backend={args.backend} "
           f"datasets={sorted(datasets)} window={args.batch_window}s",

@@ -22,6 +22,7 @@ from .backends import (
     ChunkRef,
     MultiprocessingBackend,
     SimBackend,
+    WorkerFailure,
     available_backends,
     make_backend,
     register_backend,
@@ -30,6 +31,7 @@ from .clock import SimClock
 from .comm import Machine, MachineReport, PhaseStats
 from .cost import FREE_COMMUNICATION, CollectiveCost, CostParams, log2_ceil
 from .dist_array import DistArray
+from .faults import FaultPlan
 from .metrics import CommMetrics, MetricsSnapshot, payload_words
 
 __all__ = [
@@ -40,6 +42,7 @@ __all__ = [
     "CostParams",
     "DistArray",
     "FREE_COMMUNICATION",
+    "FaultPlan",
     "Machine",
     "MachineReport",
     "MetricsSnapshot",
@@ -47,6 +50,7 @@ __all__ = [
     "PhaseStats",
     "SimBackend",
     "SimClock",
+    "WorkerFailure",
     "available_backends",
     "log2_ceil",
     "make_backend",

@@ -23,6 +23,7 @@ from typing import Callable
 
 from .base import Backend, ChunkRef, LockstepError, PendingValues
 from .mp import MultiprocessingBackend
+from .runtime import WorkerFailure
 from .sim import SimBackend
 from .tcp import TcpBackend
 
@@ -34,6 +35,7 @@ __all__ = [
     "SimBackend",
     "MultiprocessingBackend",
     "TcpBackend",
+    "WorkerFailure",
     "available_backends",
     "make_backend",
     "register_backend",
@@ -57,7 +59,8 @@ def available_backends() -> list[str]:
 
 
 def make_backend(
-    spec, p: int, verify: bool = False, pipeline_depth: int | None = None
+    spec, p: int, verify: bool = False, pipeline_depth: int | None = None,
+    command_timeout: float | None = None, faults=None, journal: bool = False,
 ) -> Backend:
     """Resolve a backend spec: a name, a ``Backend`` instance, or None.
 
@@ -68,9 +71,13 @@ def make_backend(
     issuing the identical collective sequence, see
     :class:`LockstepError`).  ``pipeline_depth`` bounds how many
     commands the backend keeps in flight at once (``1`` forces serial
-    issue).  Backends whose factory does not take one of these keywords
-    -- notably ``sim``, which verifies by construction and executes
-    synchronously -- are built without it.
+    issue).  ``command_timeout`` is the per-command deadline before a
+    non-answering pool raises :class:`WorkerFailure`; ``faults``
+    installs a deterministic :class:`~repro.machine.faults.FaultPlan`
+    (or spec string); ``journal=True`` records chunk provenance for
+    automatic pool recovery.  Backends whose factory does not take one
+    of these keywords -- notably ``sim``, which has no processes to
+    lose -- are built without it.
     """
     if spec is None:
         spec = SimBackend.name
@@ -83,6 +90,8 @@ def make_backend(
             spec.verify = True
         if pipeline_depth is not None and hasattr(spec, "pipeline_depth"):
             spec.pipeline_depth = max(1, int(pipeline_depth))
+        if command_timeout is not None and hasattr(spec, "command_timeout"):
+            spec.command_timeout = float(command_timeout)
         return spec
     try:
         factory = _REGISTRY[spec]
@@ -95,16 +104,23 @@ def make_backend(
         kwargs["verify"] = True
     if pipeline_depth is not None:
         kwargs["pipeline_depth"] = max(1, int(pipeline_depth))
+    if command_timeout is not None:
+        kwargs["command_timeout"] = float(command_timeout)
+    if faults is not None:
+        kwargs["faults"] = faults
+    if journal:
+        kwargs["journal"] = True
     while True:
         try:
             return factory(p, **kwargs)
         except TypeError:
             # factory predates a knob: drop the optional ones in turn
-            # (sim-style backends take neither and verify/serialize by
-            # construction)
-            if "pipeline_depth" in kwargs:
-                del kwargs["pipeline_depth"]
-            elif "verify" in kwargs:
-                del kwargs["verify"]
+            # (sim-style backends take none of them -- they verify and
+            # serialize by construction and have no processes to lose)
+            for knob in ("journal", "faults", "command_timeout",
+                         "pipeline_depth", "verify"):
+                if knob in kwargs:
+                    del kwargs[knob]
+                    break
             else:
                 raise

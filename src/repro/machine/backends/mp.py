@@ -73,8 +73,9 @@ class _PipeLinks(WorkerLinks):
     directly (the channel ends are inherited across the fork), results
     ride a channel shared by the whole pool."""
 
-    def __init__(self, rank, p, inboxes, results, pool, parent_pid):
-        super().__init__(rank, p, pool, parent_pid)
+    def __init__(self, rank, p, inboxes, results, pool, parent_pid,
+                 faults=None):
+        super().__init__(rank, p, pool, parent_pid, faults=faults)
         self._inboxes = inboxes
         self._results = results
 
@@ -95,16 +96,33 @@ class _PipeLinks(WorkerLinks):
         if self.pool is not None:
             self.pool.close()
 
+    # -- fault-injection hooks -----------------------------------------
+    def sever(self, peer: int) -> None:
+        # drop our inherited write end of the peer's inbox pipe; the
+        # peer only sees EOF once every other holder closes too, so on
+        # mp a sever starves the next exchange with that peer (the
+        # driver's "hung" detector picks it up)
+        self._inboxes[peer].close_writer()
+
+    def send_result_truncated(self, item) -> None:
+        from ..faults import truncated_frame_bytes
+        from .transport import write_views
+
+        raw = truncated_frame_bytes(item)
+        with self._results._wlock:
+            write_views(self._results._writer.fileno(), [memoryview(raw)])
+
 
 def _worker_main(rank, p, inboxes, results, parent_pid, shm_family=None,
-                 shm_threshold=None):
+                 shm_threshold=None, faults=None):
     """Entry point of one PE worker (module-level for spawn support):
     build the pipe links + shm pool, then run the shared command loop."""
     pool = (
         ShmPool(shm_family, f"w{rank}", shm_threshold)
         if shm_family is not None else None
     )
-    worker_loop(_PipeLinks(rank, p, inboxes, results, pool, parent_pid))
+    worker_loop(_PipeLinks(rank, p, inboxes, results, pool, parent_pid,
+                           faults=faults))
 
 
 # ----------------------------------------------------------------------
@@ -127,8 +145,13 @@ class MultiprocessingBackend(RuntimeBackend):
         shm_threshold: int | None | object = _UNSET,
         verify: bool = False,
         pipeline_depth: int = 8,
+        command_timeout: float | None = None,
+        faults=None,
+        journal: bool = False,
     ):
-        super().__init__(p, verify=verify, pipeline_depth=pipeline_depth)
+        super().__init__(p, verify=verify, pipeline_depth=pipeline_depth,
+                         command_timeout=command_timeout, faults=faults,
+                         journal=journal)
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list = []
         # -- zero-copy payload lane ------------------------------------
@@ -169,7 +192,8 @@ class MultiprocessingBackend(RuntimeBackend):
             self._ctx.Process(
                 target=_worker_main,
                 args=(rank, self.p, self._inboxes, self._results, os.getpid(),
-                      self._shm_family, self._shm_threshold),
+                      self._shm_family, self._shm_threshold,
+                      self.faults.for_rank(rank) if self.faults else None),
                 daemon=True,
                 name=f"repro-pe-{rank}",
             )
@@ -202,5 +226,17 @@ class MultiprocessingBackend(RuntimeBackend):
     def _teardown_idle(self) -> None:
         self._pool.close()
 
+    def _reset_for_restart(self) -> None:
+        # recovery restarts the whole pool (the pipe mesh is inherited
+        # at fork, so a single respawned rank could not rejoin it); a
+        # fresh shm family keeps old reaped segments from colliding
+        super()._reset_for_restart()
+        self._workers = []
+        self._shm_family = pool_family(new_token())
+        self._pool = ShmPool(self._shm_family, "d", self._shm_threshold)
+
     def _dead_workers(self) -> list[str]:
         return [w.name for w in self._workers if not w.is_alive()]
+
+    def _dead_ranks(self) -> list[int]:
+        return [r for r, w in enumerate(self._workers) if not w.is_alive()]

@@ -107,12 +107,20 @@ __all__ = [
     "PendingValues",
     "RuntimeBackend",
     "WorkerError",
+    "WorkerFailure",
     "WorkerLinks",
     "worker_loop",
 ]
 
-#: seconds to wait for a worker before declaring the pool dead
+#: default per-command deadline (overridable per backend via
+#: ``command_timeout``); also the worker-side peer-wait bound
 _TIMEOUT = 120.0
+
+#: how often a blocked worker re-checks driver liveness while waiting
+_LIVENESS_INTERVAL = 5.0
+
+#: how often the blocked driver probes worker liveness while waiting
+_PROBE_INTERVAL = 0.25
 
 #: pools that still own live worker processes (for the atexit guard)
 _LIVE_POOLS: "weakref.WeakSet[RuntimeBackend]" = weakref.WeakSet()
@@ -125,6 +133,34 @@ def _close_leaked_pools() -> None:  # pragma: no cover - interpreter exit path
             backend.close()
         except Exception:
             pass
+
+
+class WorkerFailure(RuntimeError):
+    """A worker died or stopped answering during a command.
+
+    Structured replacement for the raw ``EOFError`` / indefinite wait a
+    dead rank used to cause: ``rank`` is the first known-affected rank
+    (``None`` when it could not be attributed), ``seq`` the command it
+    happened in, and ``phase`` is ``"dead"`` (the process is gone --
+    EOF / waitpid) or ``"hung"`` (alive but past the command deadline).
+    ``ranks`` lists every implicated rank.
+    """
+
+    def __init__(self, rank: int | None, seq: int, phase: str,
+                 detail: str = "", ranks: tuple[int, ...] = ()):
+        self.rank = rank
+        self.seq = seq
+        self.phase = phase
+        self.ranks = tuple(ranks) if ranks else (
+            (rank,) if rank is not None else ())
+        who = (f"rank {rank}" if len(self.ranks) <= 1
+               else f"ranks {list(self.ranks)}")
+        if rank is None:
+            who = "unknown rank"
+        msg = f"worker {phase}: {who} during command seq {seq}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
 
 
 # ----------------------------------------------------------------------
@@ -150,11 +186,14 @@ class WorkerLinks:
       driver hung up).
     """
 
-    def __init__(self, rank: int, p: int, pool=None, parent_pid: int | None = None):
+    def __init__(self, rank: int, p: int, pool=None, parent_pid: int | None = None,
+                 faults=None):
         self.rank = rank
         self.p = p
         self.pool = pool
         self.parent_pid = parent_pid
+        #: this rank's slice of an installed fault plan (None = no faults)
+        self.faults = faults
         self.counters = {"msgs": 0, "cmd_fwd": 0, "wire_tx": 0, "shm_tx": 0}
 
     # -- liveness --------------------------------------------------------
@@ -183,6 +222,16 @@ class WorkerLinks:
 
     def close(self) -> None:
         """Release transport resources (called as the loop exits)."""
+
+    # -- fault-injection hooks (optional per transport) ------------------
+    def sever(self, peer: int) -> None:
+        """Cut this worker's link to ``peer`` (injected ``sever`` fault);
+        transports without a severable lane treat it as a no-op."""
+
+    def send_result_truncated(self, item) -> None:
+        """Write only a prefix of ``item``'s result frame (injected
+        ``truncate`` fault); the caller hard-exits right after.  The
+        default writes nothing, degrading to a plain mid-command kill."""
 
 
 class Comm:
@@ -232,8 +281,21 @@ class Comm:
         key = (self.seq, tag, src)
         if key in self.stash:
             return self.stash.pop(key)
+        # wait in liveness-interval slices rather than one long block, so
+        # a worker stuck mid-collective still notices a vanished driver
+        # within one cycle (and a dead peer within the overall bound)
+        deadline = time.monotonic() + _TIMEOUT
         while True:
-            item = self.links.recv(timeout=_TIMEOUT)
+            try:
+                item = self.links.recv(timeout=_LIVENESS_INTERVAL)
+            except queue_mod.Empty:
+                self.links.check_parent()
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"rank {self.rank}: no message from peer {src} "
+                        f"(seq {self.seq}, tag {tag}) within {_TIMEOUT:.0f}s"
+                    ) from None
+                continue
             if item[0] != "msg":
                 self.backlog.append(item)
                 continue
@@ -552,6 +614,7 @@ def worker_loop(links: WorkerLinks) -> None:
     stash: dict = {}
     store: dict = {}
     pool = links.pool
+    faults = links.faults
     comm = Comm(links, backlog, stash)
     # broadcast-command fan-out tree: the driver hands a full-pool command
     # to rank 0 only; every rank forwards its binomial-tree children their
@@ -615,12 +678,36 @@ def worker_loop(links: WorkerLinks) -> None:
                                   pool=False)
                 return
             comm.seq = seq
+            if faults is not None:
+                faults.fire("before", seq, links)
             try:
                 result = _execute(comm, spec, local, store)
-                links.send_result((rank, seq, result), drain=comm.drain)
+                corrupt = False
+                if faults is not None:
+                    faults.fire("after", seq, links)
+                    if faults.truncate_at(seq):
+                        from ..faults import FAULT_EXIT
+
+                        links.send_result_truncated((rank, seq, result))
+                        os._exit(FAULT_EXIT)
+                    corrupt = faults.corrupt_at(seq) and links.pool is not None
+                if corrupt:
+                    from ..faults import CorruptingPool
+
+                    real_pool = links.pool
+                    links.pool = CorruptingPool(real_pool)
+                    try:
+                        links.send_result((rank, seq, result), drain=comm.drain)
+                    finally:
+                        links.pool = real_pool
+                else:
+                    links.send_result((rank, seq, result), drain=comm.drain)
             except Exception as exc:  # surface worker failures to the driver
-                links.send_result((rank, seq, WorkerError(repr(exc))),
-                                  drain=comm.drain, pool=False)
+                try:
+                    links.send_result((rank, seq, WorkerError(repr(exc))),
+                                      drain=comm.drain, pool=False)
+                except (EOFError, OSError):
+                    return  # driver is gone; nothing left to report to
     finally:
         links.close()
 
@@ -642,10 +729,11 @@ class CommandFuture:
     """
 
     __slots__ = ("seq", "kind", "out", "failures", "remaining", "done",
-                 "wire_rx", "shm_rx", "ref_ids", "_backend")
+                 "wire_rx", "shm_rx", "ref_ids", "pending", "poisoned",
+                 "_backend")
 
     def __init__(self, backend: "RuntimeBackend", seq: int, kind: str,
-                 p: int, nranks: int):
+                 p: int, nranks: int, participants=None):
         self._backend = backend
         self.seq = seq
         self.kind = kind
@@ -657,6 +745,13 @@ class CommandFuture:
         self.shm_rx = 0
         #: resident refs this command reads or writes (dependency tracker)
         self.ref_ids: tuple[int, ...] = ()
+        #: ranks that have not answered yet (hang attribution)
+        self.pending: set[int] = set(
+            range(p) if participants is None else participants
+        )
+        #: the WorkerFailure that poisoned this still-in-flight future
+        #: when the pool broke (re-waits re-raise it)
+        self.poisoned: WorkerFailure | None = None
 
     def wait(self) -> list:
         """Block until every participant answered; returns the per-PE
@@ -687,8 +782,42 @@ class RuntimeBackend(Backend):
     _BLOB_CACHE = 256
 
     def __init__(self, p: int, verify: bool = False,
-                 pipeline_depth: int = 8):
+                 pipeline_depth: int = 8,
+                 command_timeout: float | None = None,
+                 faults=None, journal: bool = False):
         super().__init__(p)
+        #: per-command deadline: a command whose results have not fully
+        #: arrived after this many seconds fails with a structured
+        #: :class:`WorkerFailure` (phase ``"hung"``) instead of waiting
+        #: forever; worker deaths are detected much sooner by the
+        #: liveness probe (phase ``"dead"``).
+        self.command_timeout = (
+            float(command_timeout) if command_timeout else _TIMEOUT
+        )
+        # -- deterministic fault injection ------------------------------
+        if faults is None:
+            faults = os.environ.get("REPRO_FAULTS") or None
+        if isinstance(faults, str):
+            from ..faults import FaultPlan
+
+            faults = FaultPlan.parse(faults)
+        #: installed fault plan (dropped on the first recovery so an
+        #: injected death cannot re-fire on the respawned pool)
+        self.faults = faults
+        # -- chunk journal / recovery -----------------------------------
+        #: opt-in driver-side provenance journal: every ``put`` and every
+        #: resident/SPMD command is recorded so a lost pool can be
+        #: rebuilt bit-identically (:meth:`recover`).  Also enables
+        #: automatic recovery on the next command after a failure.
+        self.journal_enabled = bool(journal)
+        self._journal: list[tuple] = []
+        #: refs that could not be restored after a worker failure
+        self._lost_ids: set[int] = set()
+        #: the failure that broke the pool (None = healthy)
+        self._failure: WorkerFailure | None = None
+        self._recovering = False
+        #: completed pool recoveries (restart + restore)
+        self.recoveries = 0
         #: lockstep verification: when set, every SPMD command also
         #: collects each rank's collective trace and the driver raises
         #: :class:`LockstepError` on divergence.  Off by default -- it
@@ -754,9 +883,37 @@ class RuntimeBackend(Backend):
         """Names of workers known to have died (timeout diagnostics)."""
         return []
 
+    def _dead_ranks(self) -> list[int]:
+        """Ranks whose worker process is known dead (liveness probe);
+        launchers override.  The default cannot observe deaths."""
+        return []
+
+    def _reset_for_restart(self) -> None:
+        """Drop transport state so ``_start_pool`` can run again
+        (recovery path); launchers override to also rotate shm families,
+        worker lists etc."""
+        self._inboxes = []
+        self._results = None
+
+    @property
+    def broken(self) -> bool:
+        """True after a :class:`WorkerFailure` until the pool recovers."""
+        return self._failure is not None
+
     def _ensure_started(self) -> None:
         if self._closed:
             raise RuntimeError("backend already closed")
+        if self._failure is not None and not self._recovering:
+            # auto-recovery: with the journal on, the next command after
+            # a failure transparently restarts and restores the pool
+            if self.journal_enabled:
+                self.recover()
+            else:
+                raise RuntimeError(
+                    "worker pool is broken (journal off -- enable "
+                    "Machine(..., journal=True) for automatic recovery, "
+                    "or call recover() explicitly)"
+                ) from self._failure
         if self._started:
             return
         self._start_pool()
@@ -776,9 +933,19 @@ class RuntimeBackend(Backend):
 
         Live resident chunks are salvaged into the driver-side store
         first, so a ``DistArray`` result stays readable after its
-        machine's context exits.
+        machine's context exits.  A broken pool (post-failure) skips the
+        fence/stop handshake -- it would block on dead workers -- and
+        goes straight to best-effort salvage plus teardown.
         """
         if self._closed:
+            return
+        if self._started and self._failure is not None:
+            self._closed = True
+            _LIVE_POOLS.discard(self)
+            try:
+                self._salvage_broken()
+            finally:
+                self._teardown()
             return
         if self._started:
             try:
@@ -787,12 +954,22 @@ class RuntimeBackend(Backend):
                 # stop frame (and salvage reads require the frontier)
                 self._fence()
                 self._salvage_resident()
+            except WorkerFailure:
+                # the pool died under the close fence: fall through to
+                # the broken-pool path below
+                pass
             except Exception:  # pragma: no cover - dead-pool cleanup path
                 pass
         self._closed = True
         _LIVE_POOLS.discard(self)
         if not self._started:
             self._teardown_idle()
+            return
+        if self._failure is not None:
+            try:
+                self._salvage_broken()
+            finally:
+                self._teardown()
             return
         try:
             self._seq += 1
@@ -806,6 +983,184 @@ class RuntimeBackend(Backend):
             self._join_workers()
         finally:
             self._teardown()
+
+    # ------------------------------------------------------------------
+    # Recovery: pool restart + chunk restore
+    # ------------------------------------------------------------------
+    def recover(self) -> None:
+        """Restart the broken pool and restore its resident chunks.
+
+        The transport meshes (inherited pipe ends on mp, rank-ordered
+        sockets on tcp) are fixed at launch, so recovery is a full pool
+        restart rather than a single-rank respawn: terminate what is
+        left, reap the old shm segments, fork/register a fresh pool, and
+        re-materialize every live ref -- from the driver-side store for
+        driver-born chunks, from the journal replay for worker-computed
+        ones.  Refs that cannot be restored land in ``_lost_ids`` and
+        raise a clear error at their next read.
+        """
+        if self._closed:
+            raise RuntimeError("backend already closed")
+        if self._recovering:  # pragma: no cover - re-entrancy guard
+            return
+        self._recovering = True
+        try:
+            failure = self._failure
+            if self._started:
+                self._teardown()
+            self._reset_for_restart()
+            # fresh pool, fresh protocol state: seqs restart at 0
+            self._seq = 0
+            self._acked = 0
+            self._done_seqs.clear()
+            self._inflight.clear()
+            self._ref_seq.clear()
+            self._failure = None
+            # injected faults must not re-fire on the respawned pool
+            # (seqs restart, so the same plan would kill it again)
+            self.faults = None
+            self._started = False
+            self._ensure_started()
+            if failure is not None:
+                self._restore_live_refs()
+            self.recoveries += 1
+        finally:
+            self._recovering = False
+
+    def _restore_live_refs(self) -> None:
+        """Re-materialize every live ref on the fresh pool: driver-held
+        chunks are re-put directly; worker-computed chunks are replayed
+        from the journal (bit-identical -- recorded args carry the rng
+        states of the original issue).  Anything else is lost."""
+        replayed = self._replay_journal() if self.journal_enabled else set()
+        for ref_id in sorted(self._live_ids):
+            if ref_id in replayed:
+                continue
+            chunks = self._store.get(ref_id)
+            if chunks is not None:
+                self._run(("put", ref_id), list(chunks))
+            else:
+                self._lost_ids.add(ref_id)
+
+    def _replay_journal(self) -> set[int]:
+        """Replay the journal entries a live ref transitively depends on;
+        returns the set of ref ids restored worker-side."""
+        # backward pass: mark the entries needed to rebuild live refs.
+        # An entry is needed if it touches any needed id -- inputs count
+        # too, because resident kernels may mutate them in place.
+        needed = set(self._live_ids)
+        keep = [False] * len(self._journal)
+        for i in range(len(self._journal) - 1, -1, -1):
+            entry = self._journal[i]
+            if entry[0] == "put":
+                _, ref_id, _ = entry
+                if ref_id in needed:
+                    keep[i] = True
+            else:
+                _, _, in_ids, out_ids = entry[0], entry[1], entry[2], entry[3]
+                if needed & (set(in_ids) | set(out_ids)):
+                    keep[i] = True
+                    needed.update(in_ids)
+        restored: set[int] = set()
+        for i, entry in enumerate(self._journal):
+            if not keep[i]:
+                continue
+            kind = entry[0]
+            if kind == "put":
+                _, ref_id, chunks = entry
+                self._run(("put", ref_id), list(chunks))
+                restored.add(ref_id)
+            elif kind == "mapres":
+                _, blob, in_ids, out_ids, args, collect = entry
+                spec = ("mapres", blob, in_ids, out_ids, collect)
+                self._run(spec, args)
+                restored.update(in_ids)
+                restored.update(out_ids)
+            else:  # "spmd"
+                _, blob, in_ids, out_ids, args = entry
+                spec = ("spmd", blob, in_ids, out_ids)
+                self._run(spec, args)
+                restored.update(in_ids)
+                restored.update(out_ids)
+        # replay may have re-created refs freed since; free them again
+        dead = restored - self._live_ids
+        if dead:
+            self._dead_refs.extend(sorted(dead))
+        return restored & self._live_ids
+
+    def _record(self, entry: tuple) -> None:
+        """Append one provenance entry (suppressed during replay)."""
+        if not self.journal_enabled or self._recovering:
+            return
+        self._journal.append(entry)
+        if len(self._journal) % 256 == 0:
+            self._prune_journal()
+
+    def _prune_journal(self) -> None:
+        """Drop journal entries no live ref transitively depends on."""
+        needed = set(self._live_ids)
+        kept: list[tuple] = []
+        for entry in reversed(self._journal):
+            if entry[0] == "put":
+                if entry[1] in needed:
+                    kept.append(entry)
+            else:
+                in_ids, out_ids = entry[2], entry[3]
+                if needed & (set(in_ids) | set(out_ids)):
+                    kept.append(entry)
+                    needed.update(in_ids)
+        kept.reverse()
+        self._journal = kept
+
+    def _salvage_broken(self) -> None:
+        """Best-effort chunk salvage from a broken pool: ask each
+        surviving rank directly (short timeout, direct frames -- the
+        broadcast tree may route through the dead rank).  Only refs
+        recovered from *every* rank become readable; the rest are lost."""
+        dead = set(self._dead_ranks())
+        want = [rid for rid in sorted(self._live_ids)
+                if rid not in self._store]
+        if not want:
+            return
+        alive = [r for r in range(self.p) if r not in dead]
+        salvaged: dict[int, list] = {rid: [None] * self.p for rid in want}
+        got: dict[int, set[int]] = {rid: set() for rid in want}
+        try:
+            for rid in want:
+                self._seq += 1
+                for rank in alive:
+                    self._inboxes[rank].put(
+                        ("cmd", self._seq, ("get", rid), None, (),
+                         self._acked)
+                    )
+            deadline = time.monotonic() + 5.0
+            expect = len(want) * len(alive)
+            seen = 0
+            while seen < expect and time.monotonic() < deadline:
+                try:
+                    rank, rseq, value = self._results.get(
+                        timeout=0.25, pool=self._pool
+                    )
+                except queue_mod.Empty:
+                    continue
+                for rid, fut_seq in zip(
+                    want, range(self._seq - len(want) + 1, self._seq + 1)
+                ):
+                    if rseq == fut_seq:
+                        if not isinstance(value, WorkerError):
+                            salvaged[rid][rank] = value
+                            got[rid].add(rank)
+                        seen += 1
+                        break
+        except Exception:  # pragma: no cover - salvage is best-effort
+            pass
+        for rid in want:
+            # partial rows are useless: a chunked structure with a hole
+            # would silently mis-answer, so only full covers count
+            if got[rid] == set(range(self.p)):
+                self._store[rid] = salvaged[rid]
+            else:
+                self._lost_ids.add(rid)
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown safety
         try:
@@ -834,6 +1189,7 @@ class RuntimeBackend(Backend):
             fut.failures.append((rank, value.message))
         else:
             fut.out[rank] = value
+        fut.pending.discard(rank)
         fut.remaining -= 1
         if fut.remaining == 0:
             self._finish(fut)
@@ -869,28 +1225,77 @@ class RuntimeBackend(Backend):
             except queue_mod.Empty:
                 return
 
+    def _declare_failure(self, fut: CommandFuture, phase: str,
+                         ranks: Sequence[int], detail: str = "") -> None:
+        """Convert a detected worker death / hang into a structured
+        :class:`WorkerFailure`: mark the pool broken, poison every
+        in-flight future (the whole seq window -- workers execute in seq
+        order, so nothing behind the failure can complete), and raise."""
+        ranks = tuple(ranks)
+        failure = WorkerFailure(
+            rank=ranks[0] if ranks else None,
+            seq=fut.seq, phase=phase, detail=detail, ranks=ranks,
+        )
+        self._failure = failure
+        for f in list(self._inflight.values()):
+            f.done = True
+            f.poisoned = failure
+        self._inflight.clear()
+        raise failure
+
     def _wait(self, fut: CommandFuture) -> list:
         """Completion loop of one command: pump the shared result inbox
         (any seq) until this future resolves, then surface its failures.
-        Waiting a future implicitly resolves every lower seq first."""
+        Waiting a future implicitly resolves every lower seq first.
+
+        The loop doubles as the failure detector: between short pump
+        slices it probes worker liveness (a dead process surfaces within
+        ``_PROBE_INTERVAL`` seconds as phase ``"dead"``) and enforces
+        the per-command deadline (``command_timeout`` -> phase
+        ``"hung"``).  Either way the caller gets a structured
+        :class:`WorkerFailure`, never an indefinite block."""
+        if fut.poisoned is not None:
+            raise fut.poisoned
         if not fut.done:
             t0 = time.perf_counter()
+            deadline = t0 + self.command_timeout
             while not fut.done:
                 try:
-                    self._pump(timeout=_TIMEOUT)
-                except (queue_mod.Empty, EOFError, OSError):
-                    dead = self._dead_workers()
-                    raise RuntimeError(
-                        f"collective {fut.kind!r} timed out after "
-                        f"{_TIMEOUT:.0f}s; "
-                        + (
-                            f"dead workers: {dead}"
-                            if dead
-                            else "likely an unpicklable payload (check for a "
-                            "worker-side traceback above)"
-                        )
-                    ) from None
+                    self._pump(timeout=_PROBE_INTERVAL)
+                    continue
+                except queue_mod.Empty:
+                    pass
+                except WorkerFailure:
+                    raise
+                except Exception as exc:
+                    # EOF, a dead socket, a corrupted frame, a bogus shm
+                    # descriptor: transport-level loss of a worker
+                    self.wall_time += time.perf_counter() - t0
+                    dead = self._dead_ranks()
+                    # the death that corrupted the stream may not be
+                    # reapable yet (the garbage arrives before the exit
+                    # is visible); give attribution a moment
+                    for _ in range(20):
+                        if dead:
+                            break
+                        time.sleep(0.05)
+                        dead = self._dead_ranks()
+                    self._declare_failure(fut, "dead", dead, detail=repr(exc))
+                dead = self._dead_ranks()
+                if dead:
+                    self.wall_time += time.perf_counter() - t0
+                    self._declare_failure(fut, "dead", dead)
+                if time.perf_counter() >= deadline:
+                    self.wall_time += time.perf_counter() - t0
+                    oldest = next(iter(self._inflight.values()), fut)
+                    self._declare_failure(
+                        fut, "hung", sorted(oldest.pending),
+                        detail=f"no result within command_timeout="
+                               f"{self.command_timeout:.0f}s",
+                    )
             self.wall_time += time.perf_counter() - t0
+        if fut.poisoned is not None:
+            raise fut.poisoned
         if fut.failures:
             detail = "; ".join(
                 f"worker {r} failed: {m}" for r, m in fut.failures
@@ -966,7 +1371,8 @@ class RuntimeBackend(Backend):
         else:
             free_ids = ()
         nranks = self.p if participants is None else len(participants)
-        fut = CommandFuture(self, seq, spec[0], self.p, nranks)
+        fut = CommandFuture(self, seq, spec[0], self.p, nranks,
+                            participants=participants)
         self._inflight[seq] = fut
         if len(self._inflight) > self.max_inflight:
             self.max_inflight = len(self._inflight)
@@ -1118,9 +1524,17 @@ class RuntimeBackend(Backend):
         # get_chunks then never re-fetches them and close() never pays to
         # salvage data the driver already holds
         self._store[ref.id] = list(chunks)
+        self._record(("put", ref.id, list(chunks)))
         return ref
 
     def get_chunks(self, ref: ChunkRef) -> list:
+        if ref.id in self._lost_ids:
+            raise RuntimeError(
+                f"resident chunks of ref {ref.id} were lost in a worker "
+                f"failure and could not be salvaged or replayed (enable "
+                f"Machine(..., journal=True) to make worker-computed "
+                f"chunks recoverable)"
+            )
         # dependency tracker: a pipelined command still producing (or
         # mutating) this ref must land before the driver reads it
         self._wait_ref(ref.id)
@@ -1157,6 +1571,8 @@ class RuntimeBackend(Backend):
         spec = ("mapres", blob, tuple(r.id for r in refs),
                 tuple(r.id for r in out_refs), collect)
         locals_per_pe = list(args) if args is not None else [None] * self.p
+        self._record(("mapres", blob, spec[2], spec[3],
+                      list(locals_per_pe), collect))
         fut = self._submit(spec, locals_per_pe)
         self._track_refs(fut, refs, out_refs)
 
@@ -1207,6 +1623,7 @@ class RuntimeBackend(Backend):
         if self.verify:
             spec = spec + (True,)
         locals_per_pe = list(args) if args is not None else [None] * self.p
+        self._record(("spmd", blob, spec[2], spec[3], list(locals_per_pe)))
         fut = self._submit(spec, locals_per_pe)
         self._track_refs(fut, refs, out_refs)
 

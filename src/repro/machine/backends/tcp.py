@@ -56,18 +56,23 @@ from __future__ import annotations
 import multiprocessing
 import os
 import socket
+import time
 from typing import Callable
 
 from .runtime import RuntimeBackend, WorkerLinks, worker_loop
-from .transport import MultiInbox, SocketChannel
+from .transport import MultiInbox, SocketChannel, write_views
 
 __all__ = ["TcpBackend", "worker_main"]
 
 #: host-list entries forked locally instead of awaited from outside
 _LOOPBACK = {"127.0.0.1", "localhost", "::1", ""}
 
-#: seconds to wait for worker registration / mesh construction
+#: seconds to wait for a single connection / hello / mesh hop
 _DEFAULT_CONNECT_TIMEOUT = 120.0
+
+#: overall deadline for the whole pool to register (stray connections
+#: reset a per-accept timeout; this one they cannot)
+_DEFAULT_REGISTER_TIMEOUT = 60.0
 
 
 def _env_hosts() -> list[str] | None:
@@ -101,8 +106,10 @@ class _SocketLinks(WorkerLinks):
     driver channel (commands in, results out), one mesh socket per peer
     carries the exchanges, and a :class:`MultiInbox` drains them all."""
 
-    def __init__(self, rank, p, driver_chan, peer_chans, parent_pid):
-        super().__init__(rank, p, pool=None, parent_pid=parent_pid)
+    def __init__(self, rank, p, driver_chan, peer_chans, parent_pid,
+                 faults=None):
+        super().__init__(rank, p, pool=None, parent_pid=parent_pid,
+                         faults=faults)
         self._driver = driver_chan
         self._peers = peer_chans
         self._inbox = MultiInbox()
@@ -122,6 +129,19 @@ class _SocketLinks(WorkerLinks):
 
     def close(self) -> None:
         self._inbox.close()
+
+    # -- fault-injection hooks -----------------------------------------
+    def sever(self, peer: int) -> None:
+        # hard-cut the pair socket: the peer's next read gets EOF and
+        # its MultiInbox drops the channel, so the next exchange with
+        # this rank times out into the driver's "hung" detection
+        self._peers[peer].shutdown()
+
+    def send_result_truncated(self, item) -> None:
+        from ..faults import truncated_frame_bytes
+
+        raw = truncated_frame_bytes(item)
+        write_views(self._driver._sock.fileno(), [memoryview(raw)])
 
 
 def worker_main(driver_addr: tuple[str, int], rank: int | None = None,
@@ -144,9 +164,13 @@ def worker_main(driver_addr: tuple[str, int], rank: int | None = None,
     mesh_port = mesh_listener.getsockname()[1]
     driver = SocketChannel(socket.create_connection(driver_addr, timeout=timeout))
     driver.put(("hello", rank, mesh_port))
-    tag, rank, p, peers = driver.get(timeout=timeout)
+    # config is ("config", rank, p, peers[, faults]); the trailing fault
+    # slice is optional so externally launched workers of any vintage
+    # can join
+    tag, rank, p, peers, *rest = driver.get(timeout=timeout)
     if tag != "config":
         raise RuntimeError(f"expected config frame, got {tag!r}")
+    faults = rest[0] if rest else None
     peer_chans: dict[int, SocketChannel] = {}
     try:
         # rank i connects to every lower rank and accepts every higher
@@ -165,7 +189,8 @@ def worker_main(driver_addr: tuple[str, int], rank: int | None = None,
     finally:
         mesh_listener.close()
     driver.put(("ready",))
-    worker_loop(_SocketLinks(rank, p, driver, peer_chans, parent_pid))
+    worker_loop(_SocketLinks(rank, p, driver, peer_chans, parent_pid,
+                             faults=faults))
 
 
 def _local_worker_main(rank, p, driver_addr, parent_pid, mesh_bind=""):
@@ -194,16 +219,34 @@ class TcpBackend(RuntimeBackend):
         hosts: list[str] | str | None = None,
         bind: str | None = None,
         connect_timeout: float = _DEFAULT_CONNECT_TIMEOUT,
+        register_timeout: float | None = None,
         start_method: str | None = None,
         verify: bool = False,
         pipeline_depth: int = 8,
+        command_timeout: float | None = None,
+        faults=None,
+        journal: bool = False,
     ):
-        super().__init__(p, verify=verify, pipeline_depth=pipeline_depth)
+        super().__init__(p, verify=verify, pipeline_depth=pipeline_depth,
+                         command_timeout=command_timeout, faults=faults,
+                         journal=journal)
         self._hosts = _resolve_hosts(p, hosts)
         self._bind = bind or os.environ.get("REPRO_TCP_BIND")
         self._connect_timeout = connect_timeout
+        # all-loopback pools register in milliseconds; a remote pool
+        # needs time for the operator to launch workers by hand
+        if register_timeout is None:
+            register_timeout = (
+                _DEFAULT_REGISTER_TIMEOUT
+                if all(h in _LOOPBACK for h in self._hosts)
+                else connect_timeout
+            )
+        self._register_timeout = float(register_timeout)
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list = []
+        self._local_ranks: list[int] = []
+        #: registration-channel fd of each rank (dropped fd == dead rank)
+        self._chan_fds: dict[int, int] = {}
         self._listener: socket.socket | None = None
 
     @property
@@ -227,7 +270,10 @@ class TcpBackend(RuntimeBackend):
         local = [h in _LOOPBACK for h in self._hosts]
         bind_host = self._bind or ("127.0.0.1" if all(local) else "0.0.0.0")
         self._listener = socket.create_server((bind_host, 0), backlog=self.p + 8)
-        self._listener.settimeout(self._connect_timeout)
+        # overall registration deadline: per-accept timeouts alone would
+        # let a stream of stray connections keep a half-registered pool
+        # waiting forever
+        reg_deadline = time.monotonic() + self._register_timeout
         port = self._listener.getsockname()[1]
         remote_ranks = sorted(r for r in range(self.p) if not local[r])
         advertise = (os.environ.get("REPRO_TCP_ADVERTISE")
@@ -240,6 +286,7 @@ class TcpBackend(RuntimeBackend):
         worker_connect = ("127.0.0.1" if bind_host in ("", "0.0.0.0", "::")
                           else bind_host)
         mesh_bind = "127.0.0.1" if all(local) else ""
+        self._local_ranks = [rank for rank in range(self.p) if local[rank]]
         self._workers = [
             self._ctx.Process(
                 target=_local_worker_main,
@@ -268,19 +315,26 @@ class TcpBackend(RuntimeBackend):
         mesh_addr: dict[int, tuple[str, int]] = {}
         unclaimed = list(remote_ranks)
         while len(chans) < self.p:
-            try:
-                conn, peer = self._listener.accept()
-            except socket.timeout:
+            remaining = reg_deadline - time.monotonic()
+            if remaining <= 0:
                 missing = sorted(set(range(self.p)) - set(chans))
                 raise RuntimeError(
                     f"tcp backend: ranks {missing} never registered within "
-                    f"{self._connect_timeout:.0f}s (remote workers must be "
+                    f"{self._register_timeout:.0f}s (remote workers must be "
                     f"launched with `python -m repro.machine.backends.tcp "
                     f"HOST:PORT`)"
                 ) from None
+            self._listener.settimeout(remaining)
+            try:
+                conn, peer = self._listener.accept()
+            except socket.timeout:
+                continue  # the deadline check above raises
             chan = SocketChannel(conn)
             try:
-                tag, want, mesh_port = chan.get(timeout=self._connect_timeout)
+                tag, want, mesh_port = chan.get(
+                    timeout=min(max(reg_deadline - time.monotonic(), 0.1),
+                                10.0)
+                )
                 if tag != "hello":
                     raise ValueError(f"expected hello frame, got {tag!r}")
             except Exception:
@@ -308,12 +362,16 @@ class TcpBackend(RuntimeBackend):
         # command may race ahead of a still-forming mesh)
         peers = [mesh_addr[j] for j in range(self.p)]
         for rank in range(self.p):
-            chans[rank].put(("config", rank, self.p, peers))
+            chans[rank].put(
+                ("config", rank, self.p, peers,
+                 self.faults.for_rank(rank) if self.faults else None)
+            )
         for rank in range(self.p):
             ack = chans[rank].get(timeout=self._connect_timeout)
             if ack != ("ready",):  # pragma: no cover - protocol violation
                 raise RuntimeError(f"rank {rank}: expected ready, got {ack!r}")
         self._inboxes = [chans[r] for r in range(self.p)]
+        self._chan_fds = {r: chans[r].fileno() for r in range(self.p)}
         results = MultiInbox()
         for rank in range(self.p):
             results.add(chans[rank])
@@ -355,6 +413,27 @@ class TcpBackend(RuntimeBackend):
 
     def _dead_workers(self) -> list[str]:
         return [w.name for w in self._workers if not w.is_alive()]
+
+    def _dead_ranks(self) -> list[int]:
+        dead = {
+            self._local_ranks[i]
+            for i, w in enumerate(self._workers)
+            if not w.is_alive()
+        }
+        # a remote (or already-reaped) worker's death shows as its
+        # registration channel dropping out of the results MultiInbox
+        if self._results is not None and self._chan_fds:
+            live = set(self._results._chans)
+            dead.update(r for r, fd in self._chan_fds.items()
+                        if fd not in live)
+        return sorted(dead)
+
+    def _reset_for_restart(self) -> None:
+        super()._reset_for_restart()
+        self._workers = []
+        self._local_ranks = []
+        self._chan_fds = {}
+        self._listener = None
 
 
 def main(argv: list[str] | None = None) -> int:

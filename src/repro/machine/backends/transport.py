@@ -400,6 +400,14 @@ class PipeChannel:
             _wait(fd, remaining if remaining is not None else 1.0)
 
     # -- lifecycle (mirrors the mp.Queue calls the pool makes) ---------
+    def close_writer(self) -> None:
+        """Close only this process's write end (injected ``sever``
+        fault): once every writer end is gone the reader sees EOF."""
+        try:
+            self._writer.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
     def close(self) -> None:
         try:
             self._reader.close()
@@ -480,6 +488,15 @@ class SocketChannel:
             _wait(self._sock.fileno(), remaining if remaining is not None else 1.0)
 
     # -- lifecycle -------------------------------------------------------
+    def shutdown(self) -> None:
+        """Hard-cut both directions (injected ``sever`` fault): the peer
+        sees EOF on its next read, unlike ``close`` which only drops our
+        fd reference."""
+        try:
+            self._sock.shutdown(socket_mod.SHUT_RDWR)
+        except OSError:  # pragma: no cover - already disconnected
+            pass
+
     def close(self) -> None:
         try:
             self._sock.close()

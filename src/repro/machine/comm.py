@@ -206,6 +206,26 @@ class Machine:
         rng streams are settled in issue order, so every pipelined run
         is bit-identical to the serial one.  The ``sim`` backend
         executes synchronously and ignores the knob.
+    command_timeout:
+        Per-command deadline in seconds for real backends (default
+        120).  A command whose results have not fully arrived by then
+        raises a structured
+        :class:`~repro.machine.backends.WorkerFailure` (phase
+        ``"hung"``); dead worker processes are detected much sooner by
+        the liveness probe (phase ``"dead"``).  Ignored by ``sim``.
+    faults:
+        Deterministic fault injection: a
+        :class:`~repro.machine.faults.FaultPlan` or its spec string
+        (e.g. ``"kill@r1:s3"``); the ``REPRO_FAULTS`` environment
+        variable installs one globally.  Ignored by ``sim``.
+    journal:
+        Record chunk provenance (uploads and resident/SPMD commands) on
+        the driver so a pool lost to a worker failure is rebuilt
+        automatically on the next command -- restored chunks are
+        bit-identical (replayed with the original rng states).  Off by
+        default; without it a broken pool raises cleanly and
+        :meth:`recover` can still restore driver-held chunks.  Ignored
+        by ``sim``.
     """
 
     def __init__(
@@ -216,12 +236,16 @@ class Machine:
         backend: str | Backend = "sim",
         verify: bool = False,
         pipeline_depth: int | None = None,
+        command_timeout: float | None = None,
+        faults=None,
+        journal: bool = False,
     ):
         if p < 1:
             raise ValueError(f"need at least one PE, got p={p}")
         self.p = int(p)
         self.backend: Backend = make_backend(
-            backend, self.p, verify=verify, pipeline_depth=pipeline_depth
+            backend, self.p, verify=verify, pipeline_depth=pipeline_depth,
+            command_timeout=command_timeout, faults=faults, journal=journal,
         )
         self.cost = cost if cost is not None else CostParams()
         self.clock = SimClock(self.p)
@@ -946,6 +970,16 @@ class Machine:
     def close(self) -> None:
         """Release backend resources (worker processes for ``"mp"``)."""
         self.backend.close()
+
+    def recover(self) -> None:
+        """Restart a worker pool broken by a
+        :class:`~repro.machine.backends.WorkerFailure` and restore its
+        resident chunks (driver-held chunks always; worker-computed
+        chunks when ``journal=True``).  No-op on backends without a
+        pool (``sim``)."""
+        recover = getattr(self.backend, "recover", None)
+        if recover is not None:
+            recover()
 
     def __enter__(self) -> "Machine":
         return self

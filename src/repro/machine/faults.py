@@ -1,0 +1,256 @@
+"""Deterministic fault injection for the real backends.
+
+A :class:`FaultPlan` is a list of *actions*, each pinned to one rank
+and one command sequence number, so every failure mode the runtime has
+to survive can be reproduced exactly in a test:
+
+* ``kill`` -- the worker hard-exits (:data:`FAULT_EXIT`) either
+  *before* executing command ``seq`` (no result is ever produced) or
+  *after* executing it but before sending its result (side effects --
+  resident-store writes, peer messages -- have happened);
+* ``delay`` -- the worker sleeps before executing command ``seq``
+  (drives the driver's *hung* detection without killing anything);
+* ``truncate`` -- the worker writes only a prefix of its result frame
+  for ``seq`` and then hard-exits (a death mid-write, the nastiest
+  transport-level corruption);
+* ``sever`` -- the worker cuts its connection to one peer before
+  executing ``seq`` (tcp: socket shutdown; mp: the peer's inbox writer
+  is closed), so the next exchange with that peer fails;
+* ``shmcorrupt`` -- the worker's result for ``seq`` advertises a bogus
+  shared-memory descriptor (mp only), so the driver's materialize
+  fails.
+
+Plans are installed with ``Machine(..., faults=...)`` (a plan, or a
+spec string) or through the ``REPRO_FAULTS`` environment variable.  The
+spec grammar is semicolon-separated actions::
+
+    kill@r1:s3            # kill rank 1 before command seq 3
+    kill@r1:s3:after      # ... after executing seq 3
+    delay@r0:s2:0.5       # rank 0 sleeps 0.5s before seq 2
+    truncate@r2:s4        # rank 2 dies mid-result-frame at seq 4
+    sever@r1:s3:p0        # rank 1 cuts its link to peer 0 before seq 3
+    shmcorrupt@r0:s2      # rank 0 corrupts its seq-2 shm descriptor
+
+Plans are plain data: they pickle across the fork (mp) and ride the
+config frame (tcp), and :meth:`FaultPlan.random_kill` derives a
+reproducible kill from a seed.  A recovered pool is fault-free: the
+driver drops the plan on the first recovery, so an injected death
+cannot re-fire after the respawn and wedge the pool in a failure loop.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Iterable
+
+__all__ = [
+    "FAULT_EXIT",
+    "CorruptingPool",
+    "FaultAction",
+    "FaultPlan",
+    "RankFaults",
+    "truncated_frame_bytes",
+]
+
+#: exit status of a worker killed by an injected fault (distinguishes
+#: injected deaths from real crashes in test diagnostics)
+FAULT_EXIT = 70
+
+_KINDS = ("kill", "delay", "truncate", "sever", "shmcorrupt")
+
+
+class FaultAction:
+    """One injected fault: ``kind`` at ``(rank, seq)`` with an optional
+    phase (kill) or argument (delay seconds / sever peer)."""
+
+    __slots__ = ("kind", "rank", "seq", "phase", "arg")
+
+    def __init__(self, kind: str, rank: int, seq: int,
+                 phase: str = "before", arg=None):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; have {_KINDS}")
+        if phase not in ("before", "after"):
+            raise ValueError(f"fault phase must be before/after, got {phase!r}")
+        self.kind = kind
+        self.rank = int(rank)
+        self.seq = int(seq)
+        self.phase = phase
+        self.arg = arg
+
+    def __reduce__(self):
+        return (FaultAction, (self.kind, self.rank, self.seq, self.phase,
+                              self.arg))
+
+    def spec(self) -> str:
+        base = f"{self.kind}@r{self.rank}:s{self.seq}"
+        if self.kind == "kill" and self.phase != "before":
+            return f"{base}:{self.phase}"
+        if self.kind == "delay":
+            return f"{base}:{self.arg}"
+        if self.kind == "sever":
+            return f"{base}:p{self.arg}"
+        return base
+
+    def __repr__(self) -> str:
+        return f"FaultAction({self.spec()!r})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FaultAction)
+                and other.spec() == self.spec())
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultAction`\\ s (builder-style API)."""
+
+    def __init__(self, actions: Iterable[FaultAction] = ()):
+        self.actions: list[FaultAction] = list(actions)
+
+    # -- builders (chainable) -------------------------------------------
+    def kill(self, rank: int, seq: int, phase: str = "before") -> "FaultPlan":
+        self.actions.append(FaultAction("kill", rank, seq, phase))
+        return self
+
+    def delay(self, rank: int, seq: int, seconds: float) -> "FaultPlan":
+        self.actions.append(
+            FaultAction("delay", rank, seq, arg=float(seconds)))
+        return self
+
+    def truncate(self, rank: int, seq: int) -> "FaultPlan":
+        self.actions.append(FaultAction("truncate", rank, seq))
+        return self
+
+    def sever(self, rank: int, seq: int, peer: int) -> "FaultPlan":
+        self.actions.append(FaultAction("sever", rank, seq, arg=int(peer)))
+        return self
+
+    def corrupt_shm(self, rank: int, seq: int) -> "FaultPlan":
+        self.actions.append(FaultAction("shmcorrupt", rank, seq))
+        return self
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` grammar (see the module docstring)."""
+        plan = cls()
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                kind, _, where = part.partition("@")
+                fields = where.split(":")
+                rank = int(fields[0].lstrip("r"))
+                seq = int(fields[1].lstrip("s"))
+                extra = fields[2] if len(fields) > 2 else None
+                if kind == "kill":
+                    plan.kill(rank, seq, extra or "before")
+                elif kind == "delay":
+                    plan.delay(rank, seq, float(extra))
+                elif kind == "truncate":
+                    plan.truncate(rank, seq)
+                elif kind == "sever":
+                    plan.sever(rank, seq, int(extra.lstrip("p")))
+                elif kind == "shmcorrupt":
+                    plan.corrupt_shm(rank, seq)
+                else:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+            except (IndexError, TypeError, ValueError, AttributeError) as exc:
+                raise ValueError(
+                    f"bad fault spec {part!r} (grammar: kind@rR:sS[:extra], "
+                    f"e.g. 'kill@r1:s3:after'): {exc}"
+                ) from None
+        return plan
+
+    @classmethod
+    def random_kill(cls, p: int, *, seed: int, max_seq: int = 8) -> "FaultPlan":
+        """A reproducible single-kill plan: rank, seq and phase are all
+        drawn from ``seed`` (the chaos smoke's randomization knob)."""
+        rng = random.Random(seed)
+        return cls().kill(rng.randrange(p), rng.randrange(1, max_seq + 1),
+                          rng.choice(("before", "after")))
+
+    # -- views ----------------------------------------------------------
+    def spec(self) -> str:
+        return ";".join(a.spec() for a in self.actions)
+
+    def for_rank(self, rank: int) -> "RankFaults | None":
+        """The slice of this plan one worker consults (``None`` when no
+        action targets it -- the common, zero-overhead case)."""
+        mine = [a for a in self.actions if a.rank == rank]
+        return RankFaults(rank, mine) if mine else None
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.spec()!r})"
+
+    def __bool__(self) -> bool:
+        return bool(self.actions)
+
+
+class RankFaults:
+    """One rank's fault actions, consulted by :func:`worker_loop` at the
+    three injection points: before execution, after execution, and at
+    result send."""
+
+    __slots__ = ("rank", "actions")
+
+    def __init__(self, rank: int, actions: list[FaultAction]):
+        self.rank = rank
+        self.actions = actions
+
+    def __reduce__(self):
+        return (RankFaults, (self.rank, self.actions))
+
+    def fire(self, phase: str, seq: int, links) -> None:
+        """Apply every kill/delay/sever action pinned to ``(seq, phase)``
+        (``links`` provides the transport-specific sever hook)."""
+        import os
+
+        for a in self.actions:
+            if a.seq != seq:
+                continue
+            if a.kind == "kill" and a.phase == phase:
+                os._exit(FAULT_EXIT)
+            if phase == "before":
+                if a.kind == "delay":
+                    time.sleep(a.arg)
+                elif a.kind == "sever":
+                    links.sever(a.arg)
+
+    def truncate_at(self, seq: int) -> bool:
+        return any(a.kind == "truncate" and a.seq == seq
+                   for a in self.actions)
+
+    def corrupt_at(self, seq: int) -> bool:
+        return any(a.kind == "shmcorrupt" and a.seq == seq
+                   for a in self.actions)
+
+
+class CorruptingPool:
+    """Shm-pool proxy whose shared descriptors advertise a segment that
+    does not exist: the receiver's materialize fails with
+    ``FileNotFoundError``, which the driver converts into a structured
+    :class:`~repro.machine.backends.runtime.WorkerFailure`."""
+
+    def __init__(self, pool):
+        self._pool = pool
+
+    def share(self, view):
+        desc = self._pool.share(view)
+        if desc is None:
+            return None
+        return ("reproshm-corrupt-" + desc[0], desc[1])
+
+    def __getattr__(self, name):
+        return getattr(self._pool, name)
+
+
+def truncated_frame_bytes(obj, fraction: float = 0.5) -> bytes:
+    """The first ``fraction`` of ``obj``'s encoded wire frame -- what a
+    worker dying mid-write leaves on the stream (used by the ``truncate``
+    fault and the transport-layer corruption tests)."""
+    from .backends.transport import encode_frame
+
+    views, _, _ = encode_frame(obj)
+    raw = b"".join(bytes(v) for v in views)
+    return bytes(raw[:max(1, int(len(raw) * fraction))])

@@ -23,6 +23,7 @@ stream even under concurrent clients.
 """
 
 from .client import ServeClient
-from .engine import QueryEngine, QueryError, default_datasets
+from .engine import OverloadedError, QueryEngine, QueryError, default_datasets
 
-__all__ = ["QueryEngine", "QueryError", "ServeClient", "default_datasets"]
+__all__ = ["OverloadedError", "QueryEngine", "QueryError", "ServeClient",
+           "default_datasets"]

@@ -6,27 +6,34 @@ requests before reading any response, so a single client can exercise
 the server's admission batching on its own.  Instances are not
 thread-safe -- give each thread its own client (each gets its own
 connection, which is also what exercises the multiplexing path).
+
+The receive path honors the constructor's ``timeout`` as an *overall*
+per-response deadline: a server dribbling a partial JSON line (or
+stalling mid-response) raises :exc:`TimeoutError` naming the pending
+query ids, instead of resetting the socket timeout on every ``recv``
+and blocking forever.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 
 __all__ = ["ServeClient"]
 
 
 class ServeClient:
     def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.timeout = float(timeout)
         self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self._buf = bytearray()
         self._next_id = 0
+        #: ids sent but not yet answered (named in timeout errors)
+        self._pending: list[int] = []
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._sock.close()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -38,14 +45,45 @@ class ServeClient:
     def _send(self, query: dict) -> int:
         self._next_id += 1
         req = {"id": self._next_id, **query}
-        self._file.write((json.dumps(req) + "\n").encode())
+        self._sock.sendall((json.dumps(req) + "\n").encode())
+        self._pending.append(self._next_id)
         return self._next_id
 
     def _recv(self) -> dict:
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return json.loads(line)
+        """Next complete response line, within the overall deadline.
+
+        A per-``recv`` socket timeout alone is not enough: each byte of
+        a slow response would reset it, so a server emitting a partial
+        line one byte at a time could hold the client forever.  The
+        deadline here spans the whole response.
+        """
+        deadline = time.monotonic() + self.timeout
+        while True:
+            nl = self._buf.find(b"\n")
+            if nl >= 0:
+                line = bytes(self._buf[:nl])
+                del self._buf[:nl + 1]
+                resp = json.loads(line)
+                try:
+                    self._pending.remove(resp.get("id"))
+                except ValueError:
+                    pass
+                return resp
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no complete response within {self.timeout:.1f}s; "
+                    f"pending query ids: {self._pending}"
+                    + (" (partial line buffered)" if self._buf else "")
+                )
+            self._sock.settimeout(remaining)
+            try:
+                piece = self._sock.recv(65536)
+            except (socket.timeout, TimeoutError):
+                continue  # the deadline check above raises
+            if not piece:
+                raise ConnectionError("server closed the connection")
+            self._buf += piece
 
     @staticmethod
     def _unwrap(resp: dict):
@@ -57,7 +95,6 @@ class ServeClient:
     def query(self, op: str, **fields):
         """One synchronous request/response round trip."""
         self._send({"op": op, **fields})
-        self._file.flush()
         return self._unwrap(self._recv())
 
     def query_many(self, queries: list[dict]) -> list:
@@ -68,7 +105,6 @@ class ServeClient:
         returned list aligns with ``queries``.
         """
         ids = [self._send(q) for q in queries]
-        self._file.flush()
         by_id = {}
         for _ in ids:
             resp = self._recv()

@@ -35,9 +35,9 @@ from concurrent.futures import Future
 
 import numpy as np
 
-from ..machine import DistArray, Machine
+from ..machine import DistArray, Machine, WorkerFailure
 
-__all__ = ["QueryEngine", "QueryError", "default_datasets"]
+__all__ = ["OverloadedError", "QueryEngine", "QueryError", "default_datasets"]
 
 #: ops fused into one multi_select per dataset
 _RANK_OPS = ("select", "quantile", "topk")
@@ -45,6 +45,11 @@ _RANK_OPS = ("select", "quantile", "topk")
 
 class QueryError(ValueError):
     """A malformed or unsatisfiable query (reported to the one client)."""
+
+
+class OverloadedError(QueryError):
+    """The admission queue is full: the server sheds this query instead
+    of growing an unbounded backlog (clients should back off and retry)."""
 
 
 def default_datasets(machine: Machine, n: int, *, universe: int = 1 << 12,
@@ -70,11 +75,13 @@ def default_datasets(machine: Machine, n: int, *, universe: int = 1 << 12,
 
 
 class _Pending:
-    __slots__ = ("query", "future")
+    __slots__ = ("query", "future", "t0")
 
     def __init__(self, query: dict, future: Future):
         self.query = query
         self.future = future
+        #: admission timestamp (monotonic) for the per-query deadline
+        self.t0 = time.monotonic()
 
 
 class QueryEngine:
@@ -93,6 +100,19 @@ class QueryEngine:
         baseline the benchmark compares against).
     max_batch:
         Hard cap on queries per batch.
+    max_queue:
+        Admission bound: queries submitted while this many are already
+        queued fail immediately with :class:`OverloadedError` instead
+        of growing an unbounded backlog.
+    query_deadline:
+        Seconds a query may spend queued + batched before the engine
+        expires it with a ``QueryError`` (``None`` disables; a query
+        dict's own ``"deadline"`` key overrides per query).
+    rebuild:
+        Optional zero-arg factory returning ``(machine, datasets)``,
+        used to rebuild the engine when a broken pool cannot be
+        recovered in place (e.g. lost worker-computed datasets with the
+        journal off).
     """
 
     def __init__(
@@ -102,14 +122,27 @@ class QueryEngine:
         *,
         batch_window: float = 0.005,
         max_batch: int = 64,
+        max_queue: int = 1024,
+        query_deadline: float | None = None,
+        rebuild=None,
     ):
         self.machine = machine
         self.datasets = dict(datasets)
         self.batch_window = float(batch_window)
         self.max_batch = max(1, int(max_batch))
+        self.max_queue = max(1, int(max_queue))
+        self.query_deadline = (
+            float(query_deadline) if query_deadline else None
+        )
+        self._rebuild = rebuild
         self.stats = {"queries": 0, "batches": 0, "fused_commands": 0,
-                      "max_batch_size": 0}
+                      "max_batch_size": 0, "worker_failures": 0,
+                      "rebuilds": 0, "overloads": 0, "expired": 0}
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        #: submitted-but-not-admitted count backing the admission bound
+        #: (SimpleQueue.qsize is unreliable on some platforms)
+        self._depth = 0
+        self._depth_lock = threading.Lock()
         self._closed = threading.Event()
         self._thread = threading.Thread(
             target=self._loop, name="repro-serve-engine", daemon=True
@@ -120,11 +153,23 @@ class QueryEngine:
     # Client side (any thread)
     # ------------------------------------------------------------------
     def submit(self, query: dict) -> Future:
-        """Enqueue one query; the future resolves to its result."""
+        """Enqueue one query; the future resolves to its result.
+
+        Fails fast with :class:`OverloadedError` when ``max_queue``
+        queries are already waiting for admission."""
         future: Future = Future()
         if self._closed.is_set():
             future.set_exception(QueryError("engine is closed"))
             return future
+        with self._depth_lock:
+            if self._depth >= self.max_queue:
+                self.stats["overloads"] += 1
+                future.set_exception(OverloadedError(
+                    f"admission queue is full ({self.max_queue} queries "
+                    f"pending); retry with backoff"
+                ))
+                return future
+            self._depth += 1
         self._queue.put(_Pending(dict(query), future))
         return future
 
@@ -164,11 +209,29 @@ class QueryEngine:
             if item is not None:
                 item.future.set_exception(QueryError("engine is closed"))
 
+    def _take(self, timeout: float):
+        """Dequeue one item, keeping the admission-depth counter in sync
+        (the sentinel ``None`` is not counted)."""
+        item = self._queue.get(timeout=timeout)
+        if item is not None:
+            with self._depth_lock:
+                self._depth -= 1
+        return item
+
     def _admit(self) -> list[_Pending] | None:
         """One admission round: block for the first query, then keep
         admitting until the window closes or the batch is full.
         Returns ``None`` on shutdown."""
-        first = self._queue.get()
+        while True:
+            # bounded slices rather than one indefinite get: the engine
+            # thread stays responsive to close() even if the wake
+            # sentinel is lost
+            try:
+                first = self._take(timeout=1.0)
+                break
+            except queue.Empty:
+                if self._closed.is_set():
+                    return None
         if first is None:
             return None
         batch = [first]
@@ -178,7 +241,7 @@ class QueryEngine:
             if remaining <= 0:
                 break
             try:
-                item = self._queue.get(timeout=remaining)
+                item = self._take(timeout=remaining)
             except queue.Empty:
                 break
             if item is None:
@@ -188,12 +251,29 @@ class QueryEngine:
             batch.append(item)
         return batch
 
+    def _expired(self, item: _Pending) -> bool:
+        """Expire a query past its deadline (the dict's ``"deadline"``
+        key overrides the engine default) before paying to run it."""
+        limit = item.query.get("deadline", self.query_deadline)
+        if limit is None:
+            return False
+        if time.monotonic() - item.t0 <= float(limit):
+            return False
+        self.stats["expired"] += 1
+        item.future.set_exception(QueryError(
+            f"query expired: waited longer than its deadline "
+            f"({float(limit):.3f}s)"
+        ))
+        return True
+
     def _execute(self, batch: list[_Pending]) -> None:
         """Group a batch by (dataset, fusion class) and run each group
         as one fused call; per-query failures stay on their future."""
         rank_groups: dict[str, list[_Pending]] = {}
         freq_groups: dict[tuple[str, int], list[_Pending]] = {}
         for item in batch:
+            if self._expired(item):
+                continue
             try:
                 q = item.query
                 op = q.get("op")
@@ -242,6 +322,34 @@ class QueryEngine:
             raise QueryError(f"topk needs 1 <= k <= {n}, got {k}")
         return list(range(n - k + 1, n + 1))
 
+    def _after_backend_failure(self, exc: Exception) -> None:
+        """Failure isolation: a worker failure fails only the batch it
+        hit, costs one engine rebuild, and subsequent queries succeed on
+        the recovered pool."""
+        if not (isinstance(exc, WorkerFailure)
+                or getattr(self.machine.backend, "broken", False)):
+            return
+        self.stats["worker_failures"] += 1
+        try:
+            self.machine.recover()
+            self.stats["rebuilds"] += 1
+            return
+        except Exception:
+            pass
+        if self._rebuild is None:
+            return
+        try:
+            machine, datasets = self._rebuild()
+        except Exception:  # pragma: no cover - rebuild factory broken
+            return
+        old, self.machine = self.machine, machine
+        self.datasets = dict(datasets)
+        try:
+            old.close()
+        except Exception:  # pragma: no cover - dead-pool cleanup
+            pass
+        self.stats["rebuilds"] += 1
+
     def _run_rank_group(self, name: str, items: list[_Pending]) -> None:
         """ONE multi_select over the union of the group's target ranks."""
         from ..selection import multi_select
@@ -254,9 +362,10 @@ class QueryEngine:
         union = sorted({k for ranks in wanted.values() for k in ranks})
         try:
             values = multi_select(self.machine, data, union)
-        except Exception as exc:  # pragma: no cover - backend failure
+        except Exception as exc:
             for item in items:
                 item.future.set_exception(exc)
+            self._after_backend_failure(exc)
             return
         self.stats["fused_commands"] += 1
         by_rank = dict(zip(union, values))
@@ -275,9 +384,10 @@ class QueryEngine:
         data = self.datasets[name]
         try:
             res = top_k_frequent_exact(self.machine, data, k)
-        except Exception as exc:  # pragma: no cover - backend failure
+        except Exception as exc:
             for item in items:
                 item.future.set_exception(exc)
+            self._after_backend_failure(exc)
             return
         self.stats["fused_commands"] += 1
         payload = [[int(key), float(c)] for key, c in res.items]

@@ -181,3 +181,91 @@ class TestServeServer:
         server.join(timeout=60)
         assert not server.is_alive()
         assert engine.machine.backend.closed
+
+
+# ----------------------------------------------------------------------
+# Hardening: admission bound, query deadlines, client receive deadline
+# ----------------------------------------------------------------------
+
+class TestServeHardening:
+    def test_overload_sheds_beyond_max_queue(self):
+        from repro.serve import OverloadedError
+
+        values, _ = _oracle()
+        engine = _engine(window=0.0, max_batch=1, max_queue=2)
+        gate = threading.Event()
+        orig = engine._execute
+
+        def gated(batch):
+            gate.wait(30.0)
+            orig(batch)
+
+        engine._execute = gated
+        try:
+            futs = [engine.submit({"op": "select", "k": 1}) for _ in range(6)]
+            shed = [
+                f for f in futs
+                if f.done() and isinstance(f.exception(), OverloadedError)
+            ]
+            # one query is (at most) in execution, max_queue=2 may wait;
+            # everything beyond that must shed immediately, not queue up
+            assert len(shed) >= 3
+            assert engine.stats["overloads"] == len(shed)
+            assert "retry with backoff" in str(shed[0].exception())
+            gate.set()
+            # the admitted head of the burst still answers correctly
+            assert futs[0].result(timeout=60) == values[0]
+        finally:
+            gate.set()
+            engine.close()
+
+    def test_query_deadline_expires_stale_queries(self):
+        from repro.serve import QueryError
+
+        values, _ = _oracle()
+        engine = _engine(window=0.0)
+        try:
+            # a deadline of 0 expires in admission, before any backend work
+            with pytest.raises(QueryError, match="expired"):
+                engine.submit(
+                    {"op": "select", "k": 1, "deadline": 0.0}
+                ).result(timeout=60)
+            assert engine.stats["expired"] == 1
+            # a generous deadline does not interfere
+            assert engine.query(op="select", k=1, deadline=60.0) == values[0]
+        finally:
+            engine.close()
+
+    def test_client_receive_deadline_names_pending_ids(self):
+        """A server dribbling a partial JSON line must not hold the
+        client forever: the overall per-response deadline fires and the
+        error names what was in flight."""
+        import socket
+        import time
+
+        srv = socket.create_server(("127.0.0.1", 0))
+        port = srv.getsockname()[1]
+
+        def dribble():
+            conn, _ = srv.accept()
+            conn.recv(65536)  # the request line
+            conn.sendall(b'{"id": 1, "ok": true, "result": 4')  # no \n
+            time.sleep(3.0)  # hold the socket open past the deadline
+            conn.close()
+
+        t = threading.Thread(target=dribble, daemon=True)
+        t.start()
+        client = ServeClient("127.0.0.1", port, timeout=0.5)
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(TimeoutError) as ei:
+                client.query("select", k=1)
+            took = time.monotonic() - t0
+            assert took < 2.5, f"deadline did not bound the recv ({took:.1f}s)"
+            msg = str(ei.value)
+            assert "pending query ids: [1]" in msg
+            assert "partial line buffered" in msg
+        finally:
+            client.close()
+            srv.close()
+            t.join(timeout=10)

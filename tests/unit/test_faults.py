@@ -1,0 +1,167 @@
+"""Unit: the deterministic fault-injection plan layer (no pool).
+
+:class:`FaultPlan` is pure data -- builders, the ``REPRO_FAULTS`` spec
+grammar, per-rank slicing, and seeded randomization are all testable
+without spawning a single worker.  The integration matrix
+(``tests/integration/test_fault_tolerance.py``) covers what the plans
+*do* to a live pool.
+"""
+
+import pickle
+
+import pytest
+
+from repro.machine.faults import (
+    FAULT_EXIT,
+    CorruptingPool,
+    FaultAction,
+    FaultPlan,
+    truncated_frame_bytes,
+)
+
+
+class TestFaultAction:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultAction("explode", 0, 1)
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ValueError, match="before/after"):
+            FaultAction("kill", 0, 1, phase="during")
+
+    def test_pickles_by_value(self):
+        a = FaultAction("sever", 1, 3, arg=0)
+        b = pickle.loads(pickle.dumps(a))
+        assert b == a and b.arg == 0
+
+    def test_fault_exit_is_distinctive(self):
+        # not a shell builtin code (1/2/126/127) and not a signal death
+        assert FAULT_EXIT == 70
+
+
+class TestFaultPlanBuilders:
+    def test_builders_chain(self):
+        plan = (
+            FaultPlan()
+            .kill(1, seq=3)
+            .delay(0, seq=2, seconds=0.5)
+            .truncate(2, seq=4)
+            .sever(1, seq=3, peer=0)
+            .corrupt_shm(0, seq=2)
+        )
+        assert len(plan.actions) == 5
+        assert bool(plan)
+        assert not bool(FaultPlan())
+
+    def test_spec_roundtrip(self):
+        plan = (
+            FaultPlan()
+            .kill(1, seq=3)
+            .kill(2, seq=5, phase="after")
+            .delay(0, seq=2, seconds=0.5)
+            .truncate(2, seq=4)
+            .sever(1, seq=3, peer=0)
+            .corrupt_shm(0, seq=2)
+        )
+        spec = plan.spec()
+        assert spec == (
+            "kill@r1:s3;kill@r2:s5:after;delay@r0:s2:0.5;"
+            "truncate@r2:s4;sever@r1:s3:p0;shmcorrupt@r0:s2"
+        )
+        again = FaultPlan.parse(spec)
+        assert again.actions == plan.actions
+        assert again.spec() == spec
+
+    def test_parse_tolerates_whitespace_and_empties(self):
+        plan = FaultPlan.parse(" kill@r1:s3 ; ;delay@r0:s1:0.1 ")
+        assert [a.kind for a in plan.actions] == ["kill", "delay"]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "kill@r1",            # missing seq
+            "kill@1:3",           # missing r/s markers is fine... but:
+            "kaboom@r1:s3",       # unknown kind
+            "delay@r0:s2",        # delay without seconds
+            "delay@r0:s2:fast",   # non-numeric seconds
+            "sever@r1:s3",        # sever without peer
+            "kill@rX:s3",         # non-integer rank
+        ],
+    )
+    def test_parse_rejects_bad_specs(self, bad):
+        if bad == "kill@1:3":
+            # bare integers are accepted (r/s prefixes are optional sugar)
+            plan = FaultPlan.parse(bad)
+            assert plan.actions == [FaultAction("kill", 1, 3)]
+            return
+        with pytest.raises(ValueError, match="bad fault spec|unknown fault"):
+            FaultPlan.parse(bad)
+
+
+class TestFaultPlanViews:
+    def test_for_rank_slices_and_skips(self):
+        plan = FaultPlan().kill(1, seq=3).delay(1, seq=2, seconds=0.1).sever(
+            2, seq=4, peer=0
+        )
+        mine = plan.for_rank(1)
+        assert mine is not None and len(mine.actions) == 2
+        assert all(a.rank == 1 for a in mine.actions)
+        other = plan.for_rank(2)
+        assert other is not None and other.actions[0].kind == "sever"
+        # the common case: a rank with no actions pays nothing
+        assert plan.for_rank(0) is None
+
+    def test_rank_faults_pickle(self):
+        mine = FaultPlan().kill(1, seq=3).for_rank(1)
+        again = pickle.loads(pickle.dumps(mine))
+        assert again.rank == 1 and again.actions == mine.actions
+
+    def test_truncate_and_corrupt_lookups(self):
+        mine = FaultPlan().truncate(0, seq=4).corrupt_shm(0, seq=2).for_rank(0)
+        assert mine.truncate_at(4) and not mine.truncate_at(3)
+        assert mine.corrupt_at(2) and not mine.corrupt_at(4)
+
+    def test_random_kill_is_seed_deterministic(self):
+        a = FaultPlan.random_kill(4, seed=7)
+        b = FaultPlan.random_kill(4, seed=7)
+        c = FaultPlan.random_kill(4, seed=8)
+        assert a.spec() == b.spec()
+        assert len(a.actions) == 1
+        act = a.actions[0]
+        assert 0 <= act.rank < 4 and 1 <= act.seq <= 8
+        assert act.phase in ("before", "after")
+        # a different seed must be able to produce a different plan
+        # (7 vs 8 differ for this generator; pinned so a silent rng
+        # change surfaces here)
+        assert a.spec() != c.spec()
+
+
+class TestWireHelpers:
+    def test_truncated_frame_bytes_is_a_strict_prefix(self):
+        obj = ("result", 5, {"x": list(range(100))})
+        from repro.machine.backends.transport import encode_frame
+
+        views, _, _ = encode_frame(obj)
+        full = b"".join(bytes(v) for v in views)
+        half = truncated_frame_bytes(obj, fraction=0.5)
+        assert 0 < len(half) < len(full)
+        assert full.startswith(half)
+
+    def test_corrupting_pool_mangles_descriptor(self):
+        class FakePool:
+            threshold = 64
+
+            def share(self, view):
+                return ("reproshm-seg-3", len(view))
+
+        pool = CorruptingPool(FakePool())
+        desc = pool.share(memoryview(b"x" * 128))
+        assert desc[0].startswith("reproshm-corrupt-")
+        assert pool.threshold == 64  # passthrough for everything else
+
+    def test_corrupting_pool_passes_inline_none(self):
+        class InlinePool:
+            def share(self, view):
+                return None
+
+        assert CorruptingPool(InlinePool()).share(memoryview(b"x")) is None

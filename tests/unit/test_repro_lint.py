@@ -1,4 +1,4 @@
-"""Golden fixtures for the repro-lint checks (RL001 -- RL007).
+"""Golden fixtures for the repro-lint checks (RL001 -- RL008).
 
 Every check has at least one firing case, one non-firing case, and one
 suppression case, so a behavior change in any check breaks a fixture
@@ -596,6 +596,76 @@ class TestRL007:
 
 
 # ----------------------------------------------------------------------
+# RL008 -- unbounded blocking get()/recv()
+# ----------------------------------------------------------------------
+
+class TestRL008:
+    def test_fires_on_zero_arg_queue_get(self):
+        found = hits(
+            """
+            def worker_loop(results):
+                while True:
+                    item = results.get()
+            """,
+            "RL008",
+        )
+        assert len(found) == 1
+        assert "timeout" in found[0].message
+
+    def test_fires_on_zero_arg_pipe_recv(self):
+        found = hits(
+            """
+            def pump(conn):
+                return conn.recv()
+            """,
+            "RL008",
+        )
+        assert len(found) == 1
+        assert "byte count" in found[0].message
+
+    def test_clean_on_bounded_waits(self):
+        assert not hits(
+            """
+            def pump(q, sock, conn, d):
+                a = q.get(timeout=1.0)
+                b = q.get(True, 5.0)
+                c = q.get_nowait()
+                e = sock.recv(65536)
+                f = d.get("key")
+                g = d.get("key", None)
+                return a, b, c, e, f, g
+            """,
+            "RL008",
+        )
+
+    def test_clean_on_comm_recv_with_peer(self):
+        # the runtime Comm.recv(src, tag) carries arguments and is
+        # internally deadline-bounded
+        assert not hits(
+            """
+            def _kernel(rank, chunk, comm):
+                return comm.recv((rank + 1) % 2, tag=7)
+            """,
+            "RL008",
+        )
+
+    def test_suppression(self):
+        found = [
+            f
+            for f in lint(
+                """
+                def drain(q):
+                    # repro-lint: disable=RL008 -- producer lifetime bounds this wait
+                    return q.get()
+                """
+            )
+            if f.check == "RL008"
+        ]
+        assert len(found) == 1
+        assert found[0].suppressed
+
+
+# ----------------------------------------------------------------------
 # Framework: suppressions, config, CLI
 # ----------------------------------------------------------------------
 
@@ -664,7 +734,10 @@ class TestFramework:
         assert table["disable"] == []
         assert "tests/*" in table["exclude"]
         per = sections["tool.repro-lint.per-check-exclude"]
-        assert per["RL006"] == ["src/repro/machine/backends/*"]
+        assert per["RL006"] == [
+            "src/repro/machine/backends/*",
+            "src/repro/machine/faults.py",
+        ]
 
     def test_load_config_reads_repo_pyproject(self):
         cfg = load_config(REPO / "pyproject.toml")

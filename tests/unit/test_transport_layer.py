@@ -386,3 +386,86 @@ class TestTcpRegistration:
         backend.close()
         worker.join(timeout=5.0)
         bogus.close()
+
+    def test_register_timeout_bounds_a_missing_rank(self):
+        """The overall registration deadline -- not the much longer
+        per-connection timeout -- bounds a rank that never shows up,
+        and the error names the missing ranks."""
+        import time
+
+        from repro.machine.backends.tcp import TcpBackend
+
+        backend = TcpBackend(
+            2, hosts=["127.0.0.1", "unlaunched-host"], bind="127.0.0.1",
+            connect_timeout=60.0, register_timeout=1.5,
+        )
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError, match=r"ranks \[1\] never registered"):
+            backend.allreduce([1, 2], "sum")
+        assert time.monotonic() - t0 < 30.0  # nowhere near connect_timeout
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Injected corruption (the transport half of the fault plans)
+# ----------------------------------------------------------------------
+
+class TestInjectedCorruption:
+    def test_truncated_frame_stays_pending_then_eofs(self):
+        """A worker dying mid-result-write leaves a frame prefix on the
+        stream: the decoder must never surface a partial object, and the
+        subsequent FIN is an EOF, not garbage."""
+        from repro.machine.faults import truncated_frame_bytes
+
+        obj = ("result", 3, {"x": np.arange(200)})
+        a, b = socket.socketpair()
+        rx = SocketChannel(b)
+        a.sendall(truncated_frame_bytes(obj, fraction=0.5))
+        with pytest.raises(queue.Empty):  # incomplete: keeps waiting
+            rx.get(timeout=0.05)
+        a.close()  # the death's FIN
+        with pytest.raises(EOFError):
+            rx.get(timeout=1.0)
+        rx.close()
+
+    def test_pipe_writer_severed_mid_frame(self):
+        """The mp ``sever`` hook closes one inbox's writer end; with the
+        frame half-written the reader gets EOF, never a partial frame."""
+        from repro.machine.faults import truncated_frame_bytes
+
+        ctx = multiprocessing.get_context()
+        chan = PipeChannel(ctx)
+        raw = truncated_frame_bytes(("item", 1, list(range(50))))
+        write_views(chan._writer.fileno(), [memoryview(raw)])
+        chan.close_writer()
+        with pytest.raises(EOFError):
+            chan.get(timeout=1.0)
+        chan.close()
+
+    def test_severed_secondary_socket_is_dropped_mid_stream(self):
+        """The tcp ``sever`` fault shuts a pair socket down hard; the
+        victim's MultiInbox drops that source and keeps serving the
+        rest (the stall then surfaces as the driver's 'hung' phase)."""
+        tx1, rx1 = _sock_pair()
+        tx2, rx2 = _sock_pair()
+        inbox = MultiInbox()
+        inbox.add(rx1, primary=True)
+        inbox.add(rx2)
+        tx2.put(("pre", 2))
+        assert inbox.get(timeout=1.0) == ("pre", 2)
+        tx2.shutdown()  # the injected sever
+        tx1.put(("alive", 1))
+        assert inbox.get(timeout=1.0) == ("alive", 1)
+        assert len(inbox._chans) == 1  # the severed source is gone
+        with pytest.raises(queue.Empty):
+            inbox.get(timeout=0.05)
+
+    def test_severed_primary_socket_raises(self):
+        """Losing the driver channel is fatal for a worker, sever or
+        not: EOF propagates instead of being swallowed."""
+        tx1, rx1 = _sock_pair()
+        inbox = MultiInbox()
+        inbox.add(rx1, primary=True)
+        tx1.shutdown()
+        with pytest.raises(EOFError):
+            inbox.get(timeout=1.0)

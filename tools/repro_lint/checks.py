@@ -1,4 +1,4 @@
-"""The repro-lint check catalogue (RL001 -- RL007).
+"""The repro-lint check catalogue (RL001 -- RL008).
 
 Every check targets one hand-maintained invariant of the backend
 machinery (see ROADMAP "Architecture notes"); breaking it produces a
@@ -22,6 +22,10 @@ RL006     shm / out-of-band transport features used without consulting
 RL007     driver-side read of a backend's resident chunk store
           (``<backend>._store``) bypassing the pipelined dependency
           tracker (stale or mid-mutation data under overlapped issue)
+RL008     zero-argument blocking ``.get()`` / ``.recv()`` -- an
+          unbounded wait that turns a dead peer into a hang instead of
+          a :class:`WorkerFailure` (pass a timeout / byte count and
+          re-check liveness per cycle)
 ========  ==============================================================
 
 Adding a check: subclass :class:`~tools.repro_lint.core.Check`, give it
@@ -853,6 +857,52 @@ class ResidentStoreBypass(Check):
                     "backend; use get_chunks()/DistArray.chunks (they "
                     "fence in-flight commands that touch the chunk) "
                     "instead of raw ._store",
+                )
+            )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RL008 -- unbounded blocking get()/recv()
+# ----------------------------------------------------------------------
+
+#: zero-argument callees that block forever when the peer dies;
+#: ``get_nowait`` / ``recv_bytes(n)`` / ``dict.get(key)`` all carry
+#: arguments and never match
+_BLOCKING_WAIT_ATTRS = {"get", "recv"}
+
+
+@register_check
+class UnboundedBlockingWait(Check):
+    id = "RL008"
+    summary = (
+        "zero-argument .get()/.recv() blocks forever when the peer dies; "
+        "pass a timeout (queue) or byte count (socket) and re-check "
+        "liveness each cycle so a dead worker surfaces as WorkerFailure, "
+        "not a hang"
+    )
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            if not (
+                isinstance(fn, ast.Attribute)
+                and fn.attr in _BLOCKING_WAIT_ATTRS
+            ):
+                continue
+            if node.args or node.keywords:
+                continue  # bounded (timeout / nbytes) or a keyed dict.get
+            findings.append(
+                ctx.finding(
+                    self.id,
+                    node,
+                    f"unbounded blocking .{fn.attr}(): a dead peer turns "
+                    f"this into a permanent hang; pass "
+                    f"{'timeout=' if fn.attr == 'get' else 'a byte count'} "
+                    f"and poll liveness between cycles",
                 )
             )
         return findings
