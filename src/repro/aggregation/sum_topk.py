@@ -35,7 +35,6 @@ import numpy as np
 from ..common.sampling import weighted_sample_counts
 from ..common.validation import check_probability
 from ..machine import DistArray, Machine
-from ..machine.rngstate import restore_rng, rng_from_state, rng_state
 from ..frequent.dht import take_topk_entries
 from ..common.hashing import make_owner_fn
 
@@ -76,20 +75,20 @@ class _SumAggState:
         return self.agg, True
 
 
-def _sample_step(rank: int, state: _SumAggState, v_avg: float, rstate):
+def _sample_step(rank: int, state: _SumAggState, v_avg: float, addr):
     """Stages 1-2, resident: aggregate (cached) + value-weighted sample.
 
-    Only the small sample dict, counts and the advanced rng state
-    return; the pairs and the aggregation table stay with the worker.
+    The Bernoulli rounding draws come from this PE's counter-addressed
+    stream (``addr.local(rank)``); only the small sample dict and counts
+    return -- the pairs and the aggregation table stay with the worker.
     """
     (uniq, sums), fresh = state.aggregate()
     if uniq.size == 0:
-        return ({}, 0, 0, fresh, None)
-    gen = rng_from_state(rstate)
-    counts = weighted_sample_counts(gen, sums, v_avg)
+        return ({}, 0, 0, fresh)
+    counts = weighted_sample_counts(addr.local(rank), sums, v_avg)
     nz = counts > 0
     sample = {int(key): int(c) for key, c in zip(uniq[nz], counts[nz])}
-    return (sample, int(counts.sum()), int(uniq.size), fresh, rng_state(gen))
+    return (sample, int(counts.sum()), int(uniq.size), fresh)
 
 
 def _exact_lookup_step(rank: int, state: _SumAggState, cand_keys: np.ndarray):
@@ -196,25 +195,26 @@ def _sample_to_dht(machine: Machine, data: DistKeyValue, v_avg: float):
     """Stages 1-3: aggregate, value-weighted sample, DHT count.
 
     Aggregation and sampling run as a resident callback next to the
-    pairs; the per-PE random streams travel by state pass-through so
-    the draw sequence is exactly the driver-side one on every backend.
+    pairs; the rounding draws are counter-addressed (one draw address
+    per pass), so the sequence is identical on every backend and
+    nothing but the tiny address ships.
     """
     p = machine.p
+    addr = machine.draw_addr()
     _, vals, _ = machine.backend.map_resident(
         _sample_step,
         [data._ensure_ref()],
         n_out=0,
-        args=[(v_avg, rng_state(machine.rngs[i])) for i in range(p)],
+        args=[(v_avg, addr)] * p,
     )
     sample_dicts = []
     realized = 0
-    for i, (sample, real_i, uniq_size, fresh, rstate) in enumerate(vals):
+    for i, (sample, real_i, uniq_size, fresh) in enumerate(vals):
         if fresh:  # the aggregation table was built in this pass
             ks = int(data.keys[i].size)
             if ks:
                 machine.charge_ops_one(i, ks * np.log2(max(ks, 2)))
-        if rstate is not None:
-            restore_rng(machine.rngs[i], rstate)
+        if uniq_size:
             machine.charge_ops_one(i, uniq_size)
         sample_dicts.append(sample)
         realized += real_i

@@ -128,6 +128,7 @@ class StreamingTopKMonitor:
         target = min(target, float(n))
         v_avg = n / target
         sample_dicts = []
+        addr = self.machine.draw_addr()  # counter-addressed refresh draws
         for i in range(self.machine.p):
             table = self.tables[i]
             if not table:
@@ -135,7 +136,7 @@ class StreamingTopKMonitor:
                 continue
             keys = np.fromiter(table.keys(), dtype=np.int64, count=len(table))
             vals = np.fromiter(table.values(), dtype=np.float64, count=len(table))
-            units = weighted_sample_counts(self.machine.rngs[i], vals, v_avg)
+            units = weighted_sample_counts(addr.local(i), vals, v_avg)
             nz = units > 0
             sample_dicts.append(
                 {int(key): int(u) for key, u in zip(keys[nz], units[nz])}

@@ -35,9 +35,10 @@ def sample_distributed(
     """Per-PE Bernoulli(rho) samples, with the sampling work charged at
     the skip-value rate ``O(rho n/p)`` (Section 2).
 
-    The index draws stay in the driver (advancing ``machine.rngs``
-    identically on every backend) while the extraction runs where the
-    chunks live; only the small sample arrays return.
+    The index draws happen where the chunks live, from counter-addressed
+    per-PE streams (:mod:`repro.machine.ctrrng` -- identical on every
+    backend, nothing but the draw address on the wire); only the small
+    sample arrays return.
     """
     return data.bernoulli_sample_local(rho)
 

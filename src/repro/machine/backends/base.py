@@ -49,6 +49,7 @@ string ops always are.
 from __future__ import annotations
 
 import abc
+import contextlib
 import weakref
 from typing import Callable, Sequence
 
@@ -67,9 +68,10 @@ class PendingValues:
     serial execution where it does not.
 
     Contract for overlapped call sites: wait handles in **submit
-    order** before consuming their values, so charge-log replay and
-    rng-state pass-through observe the same order as serial execution
-    (the bit-identity guarantee across backends).
+    order** before consuming their values, so charge-log replay
+    observes the same order as serial execution (the bit-identity
+    guarantee across backends; draws are counter-addressed at command
+    build, so randomness is settle-order-free by construction).
     """
 
     __slots__ = ("_thunk", "_values")
@@ -352,6 +354,16 @@ class Backend(abc.ABC):
             fn, refs, n_out=n_out, args=args, collect=collect
         )
         return out_refs, PendingValues.resolved((values, collected))
+
+    @contextlib.contextmanager
+    def coalesced(self):
+        """Hint: the commands submitted inside this block are issued
+        back-to-back with no intervening wait, so a pipelined backend
+        may pack them into a single command frame (one fan-out, one
+        worker wake for the whole batch).  Semantics are unchanged --
+        commands still execute in issue order on every rank -- so the
+        in-process default is a no-op."""
+        yield
 
     # ------------------------------------------------------------------
     # Introspection

@@ -73,6 +73,7 @@ O(p log p) bound.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import hashlib
 import os
 import pickle
@@ -640,6 +641,35 @@ def worker_loop(links: WorkerLinks) -> None:
                 _, mseq, mtag, msrc, payload = item
                 stash[(mseq, mtag, msrc)] = payload
                 continue
+            if item[0] == "bcmds":
+                # coalesced frame: several back-to-back commands packed
+                # into one fan-out.  Forward the whole batch to each
+                # child once, then unpack into the per-command loop --
+                # head entry now, the rest ahead of anything queued
+                # behind this frame (they carry lower seqs).
+                entries = item[1]
+                if pool is not None:
+                    pool.release_through(entries[0][5])
+                    # forward blocks are tagged with the *newest*
+                    # batched seq: a grandchild may decode the tail
+                    # entries long after the head ones are acked
+                    pool.begin_round(entries[-1][1])
+                for child in tree_children:
+                    sub_entries = [
+                        ("bcmd", seq, spec,
+                         {r: lm[r] for r in subtree_of[child] if r in lm},
+                         free_ids, acked)
+                        for _, seq, spec, lm, free_ids, acked in entries
+                    ]
+                    links.send(child, ("bcmds", sub_entries),
+                               drain=comm.drain)
+                    comm.counters["cmd_fwd"] += len(entries)
+                converted = [
+                    ("cmd", seq, spec, lm.get(rank), free_ids, acked)
+                    for _, seq, spec, lm, free_ids, acked in entries
+                ]
+                backlog.extendleft(reversed(converted[1:]))
+                item = converted[0]
             if item[0] == "bcmd":
                 # forward first (children must not wait on our execution),
                 # pruned to each child's subtree (a rank's local still hops
@@ -847,6 +877,11 @@ class RuntimeBackend(Backend):
         self._started = False
         self._closed = False
         self._dead_refs: list[int] = []
+        #: broadcast commands built but not yet framed (non-empty only
+        #: inside a :meth:`coalesced` block): ``(seq, spec, locals_map,
+        #: free_ids)`` tuples that the next flush packs into one frame
+        self._cmd_buf: list[tuple] = []
+        self._coalescing = False
         self._live_ids: set[int] = set()
         self._fn_blobs: dict[int, tuple[Callable, bytes]] = {}
         #: driver-side shm pool (``None`` for transports without a
@@ -1030,8 +1065,9 @@ class RuntimeBackend(Backend):
     def _restore_live_refs(self) -> None:
         """Re-materialize every live ref on the fresh pool: driver-held
         chunks are re-put directly; worker-computed chunks are replayed
-        from the journal (bit-identical -- recorded args carry the rng
-        states of the original issue).  Anything else is lost."""
+        from the journal (bit-identical -- recorded args carry the
+        counter-addressed ``DrawAddress`` of any randomness the
+        original issue consumed).  Anything else is lost."""
         replayed = self._replay_journal() if self.journal_enabled else set()
         for ref_id in sorted(self._live_ids):
             if ref_id in replayed:
@@ -1256,6 +1292,10 @@ class RuntimeBackend(Backend):
         :class:`WorkerFailure`, never an indefinite block."""
         if fut.poisoned is not None:
             raise fut.poisoned
+        if self._cmd_buf:
+            # a wait inside a coalesced block: whatever is buffered must
+            # hit the wire now or this future can never resolve
+            self._flush_cmds()
         if not fut.done:
             t0 = time.perf_counter()
             deadline = t0 + self.command_timeout
@@ -1376,9 +1416,6 @@ class RuntimeBackend(Backend):
         self._inflight[seq] = fut
         if len(self._inflight) > self.max_inflight:
             self.max_inflight = len(self._inflight)
-        wire0, shm0 = self._tx["wire_tx"], self._tx["shm_tx"]
-        if self._pool is not None:
-            self._pool.begin_round(seq)
         # broadcast command channel: one driver send regardless of p;
         # rank 0 fans the frame out along the binomial tree.  Chunk
         # uploads ("put") keep the direct path -- their per-PE locals
@@ -1387,12 +1424,16 @@ class RuntimeBackend(Backend):
         # (~(log2 p)/2 times on average) for no latency benefit.
         if participants is None and spec[0] != "put":
             locals_map = {r: locals_per_pe[r] for r in range(self.p)}
-            self._inboxes[0].put(
-                ("bcmd", seq, spec, locals_map, free_ids, self._acked),
-                drain=self._drain_results, pool=self._pool, counters=self._tx,
-            )
-            self.driver_sends += 1
+            self._cmd_buf.append((seq, spec, locals_map, free_ids))
+            # inside a coalesced block the frame is held back so the
+            # next back-to-back submit can ride the same fan-out;
+            # everywhere else framing stays immediate
+            if not self._coalescing or len(self._cmd_buf) >= self.pipeline_depth:
+                self._flush_cmds()
         else:
+            wire0, shm0 = self._tx["wire_tx"], self._tx["shm_tx"]
+            if self._pool is not None:
+                self._pool.begin_round(seq)
             for rank in (range(self.p) if participants is None else participants):
                 self._inboxes[rank].put(
                     ("cmd", seq, spec, locals_per_pe[rank], free_ids,
@@ -1401,11 +1442,68 @@ class RuntimeBackend(Backend):
                     counters=self._tx,
                 )
                 self.driver_sends += 1
-        tb = self._transport.setdefault(spec[0], {"wire": 0, "shm": 0})
-        tb["wire"] += self._tx["wire_tx"] - wire0
-        tb["shm"] += self._tx["shm_tx"] - shm0
+            tb = self._transport.setdefault(spec[0], {"wire": 0, "shm": 0})
+            tb["wire"] += self._tx["wire_tx"] - wire0
+            tb["shm"] += self._tx["shm_tx"] - shm0
         self.wall_time += time.perf_counter() - t0
         return fut
+
+    def _flush_cmds(self) -> None:
+        """Frame and send the buffered broadcast command(s).
+
+        One buffered command goes out as a plain ``bcmd`` (the steady
+        state); two or more -- queued back-to-back inside a
+        :meth:`coalesced` block -- pack into a single ``bcmds`` frame,
+        so the whole batch costs one driver send, one tree fan-out and
+        one wake per worker.  That makes pipelined issue *cheaper* per
+        command than serial issue, not merely overlapped."""
+        buf = self._cmd_buf
+        if not buf:
+            return
+        self._cmd_buf = []
+        wire0, shm0 = self._tx["wire_tx"], self._tx["shm_tx"]
+        if self._pool is not None:
+            # blocks shared for this frame must outlive the *newest*
+            # batched command's ack (a child may decode the frame's tail
+            # entries well after the head ones settle)
+            self._pool.begin_round(buf[-1][0])
+        if len(buf) == 1:
+            seq, spec, locals_map, free_ids = buf[0]
+            frame = ("bcmd", seq, spec, locals_map, free_ids, self._acked)
+            kind = spec[0]
+        else:
+            frame = ("bcmds", [
+                ("bcmd", seq, spec, locals_map, free_ids, self._acked)
+                for seq, spec, locals_map, free_ids in buf
+            ])
+            kind = "bcmds"
+        self._inboxes[0].put(
+            frame, drain=self._drain_results, pool=self._pool,
+            counters=self._tx,
+        )
+        self.driver_sends += 1
+        tb = self._transport.setdefault(kind, {"wire": 0, "shm": 0})
+        tb["wire"] += self._tx["wire_tx"] - wire0
+        tb["shm"] += self._tx["shm_tx"] - shm0
+
+    @contextlib.contextmanager
+    def coalesced(self):
+        """Pack the broadcast commands submitted inside this block into
+        as few command frames as possible (capped at ``pipeline_depth``
+        commands per frame).  Execution order and results are identical
+        -- workers unpack a batch into the same per-command loop -- so
+        call sites opt in purely as a transport optimization where they
+        know two submits run back to back with no driver work between
+        (e.g. the two halves of a multi-selection recursion level)."""
+        if self._coalescing or self.pipeline_depth <= 1:
+            yield
+            return
+        self._coalescing = True
+        try:
+            yield
+        finally:
+            self._coalescing = False
+            self._flush_cmds()
 
     def _run(
         self, spec: tuple, locals_per_pe: Sequence, participants=None
@@ -1554,7 +1652,8 @@ class RuntimeBackend(Backend):
         stays in flight until ``pending.wait()`` (which returns
         ``(values, collected)``).  Overlapping call sites must wait
         their pendings in submit order before consuming values, so
-        charge replay and rng pass-through stay in seq order."""
+        charge replay stays in seq order (draws are counter-addressed
+        at build time, so settling order itself is free)."""
         try:
             blob = self._blob(fn)
         except Exception:

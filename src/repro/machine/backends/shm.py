@@ -195,7 +195,12 @@ class ShmPool:
         seg.shm.buf[offset:offset + nbytes] = view
         seg.used = offset + nbytes
         self.bytes_shared += nbytes
-        self._high_round = self._round
+        # max, not assignment: a coalesced command frame tags its blocks
+        # with the newest batched seq, then the batch's entries execute
+        # under their own (older) rounds -- the high-water mark must not
+        # regress, or blocks still referenced by unexecuted batched
+        # commands would be recycled early
+        self._high_round = max(self._high_round, self._round)
         return seg.shm.name, offset
 
     def begin_round(self, seq: int) -> None:

@@ -84,6 +84,7 @@ import numpy as np
 
 from .backends import Backend, make_backend
 from .clock import SimClock
+from .ctrrng import DrawAddress
 from .collectives import binomial_edges, hypercube_rounds
 from .cost import CollectiveCost, CostParams, log2_ceil
 from .metrics import CommMetrics, payload_words
@@ -202,10 +203,13 @@ class Machine:
     pipeline_depth:
         Maximum number of SPMD commands a real backend keeps in flight
         at once (``1`` forces serial issue; ``None`` keeps the
-        backend's default, currently 8).  Results, modeled costs and
-        rng streams are settled in issue order, so every pipelined run
-        is bit-identical to the serial one.  The ``sim`` backend
-        executes synchronously and ignores the knob.
+        backend's default, currently 8).  Results and modeled costs
+        (charge replay) settle in issue order, so every pipelined run
+        is bit-identical to the serial one; randomness is addressed by
+        counters (:mod:`repro.machine.ctrrng`), not shipped state, so
+        rng consumption never gates settling and commands interleave
+        freely.  The ``sim`` backend executes synchronously and
+        ignores the knob.
     command_timeout:
         Per-command deadline in seconds for real backends (default
         120).  A command whose results have not fully arrived by then
@@ -222,8 +226,9 @@ class Machine:
         Record chunk provenance (uploads and resident/SPMD commands) on
         the driver so a pool lost to a worker failure is rebuilt
         automatically on the next command -- restored chunks are
-        bit-identical (replayed with the original rng states).  Off by
-        default; without it a broken pool raises cleanly and
+        bit-identical (command args carry counter-based draw addresses,
+        so replay re-derives the exact same randomness; no generator
+        states are recorded).  Off by default; without it a broken pool raises cleanly and
         :meth:`recover` can still restore driver-held chunks.  Ignored
         by ``sim``.
     """
@@ -250,6 +255,12 @@ class Machine:
         self.cost = cost if cost is not None else CostParams()
         self.clock = SimClock(self.p)
         self.metrics = CommMetrics(self.p)
+        #: master seed, retained as the key base for counter-addressed
+        #: draws (:meth:`draw_addr`)
+        self.seed = int(seed)
+        #: next counter-addressed draw sequence number (allocated at
+        #: command-build time, in issue order)
+        self._rng_seq = 0
         seq = np.random.SeedSequence(seed)
         children = seq.spawn(self.p + 1)
         #: independent random stream per PE
@@ -263,6 +274,25 @@ class Machine:
         #: backend transport counters already mirrored into the metrics
         #: (so resets / repeated syncs never double-count)
         self._transport_seen: dict[str, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Counter-addressed randomness
+    # ------------------------------------------------------------------
+    def draw_addr(self) -> DrawAddress:
+        """Allocate the next counter-addressed draw sequence.
+
+        Called at command-build time, in issue order, so the allocated
+        addresses are identical on every backend and at every
+        ``pipeline_depth``.  The returned
+        :class:`~repro.machine.ctrrng.DrawAddress` is a tiny picklable
+        ``(seed, seq)`` pair: ship it in command args and materialise
+        generators where the data lives (``addr.local(rank)`` /
+        ``addr.shared()``).  No state ever returns -- consuming a draw
+        does not gate command settling.
+        """
+        seq = self._rng_seq
+        self._rng_seq += 1
+        return DrawAddress(self.seed, seq)
 
     # ------------------------------------------------------------------
     # Local work

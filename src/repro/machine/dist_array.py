@@ -46,8 +46,12 @@ def _sort_chunk(rank: int, chunk: np.ndarray) -> tuple:
 def _negate_chunk(rank: int, chunk: np.ndarray) -> tuple:
     return (-chunk, None)
 
-def _take_indices(rank: int, chunk: np.ndarray, idx) -> np.ndarray:
-    """Extract ``chunk[idx]`` (``None`` selects the whole chunk)."""
+def _bernoulli_take(rank: int, chunk: np.ndarray, addr, rho: float) -> np.ndarray:
+    """Bernoulli(rho) sample of ``chunk``, drawn in the kernel from the
+    counter-addressed per-PE stream (nothing but ``addr`` travels)."""
+    from ..common.sampling import bernoulli_sample_indices
+
+    idx = bernoulli_sample_indices(addr.local(rank), int(chunk.size), rho)
     return chunk.copy() if idx is None else chunk[idx]
 
 def _measured(fn: Callable, rank: int, chunk: np.ndarray) -> tuple:
@@ -301,29 +305,17 @@ class DistArray:
             self.machine._meter_allreduce(values)
         return values, collected
 
-    def _bernoulli_indices(self, rho: float) -> list:
-        """Driver-side index draws + the skip-value sampling charge.
-
-        Draws advance ``machine.rngs`` exactly like a driver-side sample
-        would, so results are bit-identical across backends; the charge
-        is the paper's ``O(rho * n/p)`` expected sampling work.
-        """
-        from ..common.sampling import bernoulli_sample_indices
-
-        idx = [
-            bernoulli_sample_indices(self.machine.rngs[i], int(self._sizes[i]), rho)
-            for i in range(self.machine.p)
-        ]
-        self.machine.charge_ops([max(1.0, rho * s) for s in self._sizes])
-        return idx
-
     def bernoulli_sample_local(self, rho: float) -> list:
-        """Per-PE Bernoulli(rho) samples, extracted where the chunks
-        live: index draws happen in the driver (see
-        :meth:`_bernoulli_indices`), only the small index arrays travel
-        out and only the sampled values travel back."""
-        idx = self._bernoulli_indices(rho)
-        return self.map_values(_take_indices, args=[(ix,) for ix in idx])
+        """Per-PE Bernoulli(rho) samples, drawn and extracted where the
+        chunks live: each PE draws from its counter-addressed stream
+        (:mod:`repro.machine.ctrrng`), so only the tiny draw address
+        travels out and only the sampled values travel back.  Charges
+        the paper's ``O(rho * n/p)`` expected sampling work."""
+        addr = self.machine.draw_addr()
+        self.machine.charge_ops([max(1.0, rho * s) for s in self._sizes])
+        return self.map_values(
+            _bernoulli_take, args=[(addr, rho)] * self.machine.p
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DistArray(p={self.machine.p}, n={self.global_size}, dtype={self.dtype})"

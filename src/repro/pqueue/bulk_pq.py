@@ -15,13 +15,18 @@ The queue keeps one search tree per PE and **never moves elements**:
 Execution is resident: the treaps live in the execution backend's
 worker memory behind a :class:`~repro.machine.backends.base.ChunkRef`
 handle.  Insertions are buffered driver-side and flushed as one
-resident callback (the machine's per-PE random streams travel by state
-pass-through, so backends stay bit-identical); a ``deleteMin*`` is a
-single generator SPMD step (:meth:`Backend.run_spmd`) in which the
-whole multisequence-selection recursion -- pivot draws, rank counts,
-tie granting and the final tree split -- executes next to the trees.
-Only the extracted batches and a small charge log (replayed through
-:meth:`Machine.replay_charges`) return to the driver.
+resident callback; a ``deleteMin*`` is a single generator SPMD step
+(:meth:`Backend.run_spmd`) in which the whole multisequence-selection
+recursion -- pivot draws, rank counts, tie granting and the final tree
+split -- executes next to the trees.  All randomness (treap rotation
+priorities, pivot and estimator draws) is counter-addressed
+(:mod:`repro.machine.ctrrng`): each command ships a tiny draw address
+and the kernels derive identical streams in place, so backends stay
+bit-identical with no generator state on the wire -- which is also why
+every ``deleteMin*`` can enter the pipe right behind an in-flight
+insertion flush.  Only the extracted batches and a small charge log
+(replayed through :meth:`Machine.replay_charges`) return to the
+driver.
 
 Costs (Theorem 5): ``O(alpha log^2 kp)`` for fixed batch size ``k``,
 ``O(alpha log kp)`` for flexible batch size in ``[k_lo, k_hi]`` with
@@ -43,7 +48,6 @@ import numpy as np
 from ..common.ordering import TOP
 from ..common.validation import check_rank_range
 from ..machine import Machine
-from ..machine.rngstate import restore_rng, rng_from_state, rng_state
 from ..selection.flexible import ams_select_gen
 from ..selection.sorted_select import ms_select_with_cuts_gen
 from ..trees import Treap
@@ -100,39 +104,39 @@ def _make_tree(rank: int) -> tuple:
     return (Treap(None), None)
 
 
-def _insert_step(rank: int, tree: Treap, scores, first_uid, state):
+def _insert_step(rank: int, tree: Treap, scores, first_uid, addr):
     """Flush this PE's buffered insertions into its resident tree.
 
     ``scores`` arrives as a binary float array (cheap on the wire) with
     uids reconstructed from ``first_uid`` -- buffered insertions number
     their uids contiguously per PE.  The treap's rotation priorities
-    come from the machine's per-PE stream, reconstructed from ``state``
-    and returned advanced, so the draw sequence is exactly the one a
-    driver-side insert made.
+    come from this flush's counter-addressed per-PE stream
+    (``addr.local(rank)``), so the draw sequence is a pure function of
+    the flush's issue-order address -- identical on every backend, with
+    nothing to ship back.
     """
     if scores is None or len(scores) == 0:
         return None
-    gen = rng_from_state(state)
-    tree._rng = gen
+    tree._rng = addr.local(rank)
     uid = int(first_uid)
     for s in scores:
         tree.insert((float(s), (rank, uid)))
         uid += 1
-    return rng_state(gen)
+    return None
 
 
 def _peek_step(rank: int, tree: Treap):
     return tree.min() if len(tree) else TOP
 
 
-def _delete_min_kernel(rank: int, tree: Treap, k: int, p: int, shared_state):
+def _delete_min_kernel(rank: int, tree: Treap, k: int, p: int, addr):
     """``deleteMin`` as ONE SPMD step: exact multisequence selection on
     the resident trees (Theorem 5's ``O(alpha log^2 kp)`` recursion runs
-    entirely in-worker), tie-grant, tree split, batch extraction."""
+    entirely in-worker), tie-grant, tree split, batch extraction.  The
+    replicated pivot stream is derived in place from ``addr``."""
     log: list = []
-    shared = rng_from_state(shared_state)
     value, cut, _ = yield from ms_select_with_cuts_gen(
-        rank, p, TreapSeq(tree), k, shared, log
+        rank, p, TreapSeq(tree), k, addr.shared(), log
     )
     taken = tree.split_at_rank(int(cut))
     batch = tuple((key[0], key[1]) for key in taken)
@@ -141,22 +145,19 @@ def _delete_min_kernel(rank: int, tree: Treap, k: int, p: int, shared_state):
         "batch": batch,
         "value": value,
         "log": log,
-        "shared": rng_state(shared),
     }
 
 
 def _delete_flex_kernel(
-    rank: int, tree: Treap, k_lo: int, k_hi: int, p: int, shared_state, my_state
+    rank: int, tree: Treap, k_lo: int, k_hi: int, p: int, addr
 ):
     """``deleteMin*`` with flexible batch size, resident: ``amsSelect``'s
-    estimator rounds draw from this PE's machine stream (state
-    pass-through) and the shared stream only if the exact fallback
-    fires."""
+    estimator rounds draw from this PE's counter-addressed stream
+    (``addr.local(rank)``) and the shared stream only if the exact
+    fallback fires."""
     log: list = []
-    shared = rng_from_state(shared_state)
-    local = rng_from_state(my_state)
     value, k_hat, cut, rounds, _ = yield from ams_select_gen(
-        rank, p, TreapSeq(tree), k_lo, k_hi, local, shared, log
+        rank, p, TreapSeq(tree), k_lo, k_hi, addr.local(rank), addr.shared(), log
     )
     taken = tree.split_at_rank(int(cut))
     batch = tuple((key[0], key[1]) for key in taken)
@@ -167,8 +168,6 @@ def _delete_flex_kernel(
         "k": k_hat,
         "rounds": rounds,
         "log": log,
-        "shared": rng_state(shared),
-        "local": rng_state(local),
     }
 
 
@@ -231,12 +230,15 @@ class BulkParallelPQ:
         batches).  Returns a handle for :meth:`_settle_flush`, or
         ``None`` when nothing was buffered.  While the flush is in
         flight a *later* command may already be submitted -- workers
-        execute commands in seq order -- but the handle must be settled
-        in submit order so the rng pass-through lands before anyone
-        reads ``machine.rngs``."""
+        execute commands in seq order -- and since the treap priorities
+        are counter-addressed (one draw address per flush) the handle
+        carries no rng state back; settling in submit order is still
+        required by the :class:`PendingValues` contract (charge replay
+        order)."""
         if not any(self._pending):
             return None
         machine = self.machine
+        addr = machine.draw_addr()
         args = []
         for i in range(machine.p):
             batch = self._pending[i]
@@ -244,7 +246,7 @@ class BulkParallelPQ:
                 args.append((
                     np.asarray(batch, dtype=np.float64),
                     self._uid[i] - len(batch),
-                    rng_state(machine.rngs[i]),
+                    addr,
                 ))
             else:
                 args.append((None, 0, None))
@@ -255,14 +257,10 @@ class BulkParallelPQ:
         return pending
 
     def _settle_flush(self, pending) -> None:
-        """Collect an in-flight flush: restore the per-PE streams the
-        workers advanced (state pass-through)."""
+        """Collect an in-flight flush (settle in submit order)."""
         if pending is None:
             return
-        states, _ = pending.wait()
-        for i, state in enumerate(states):
-            if state is not None:
-                restore_rng(self.machine.rngs[i], state)
+        pending.wait()
 
     def _flush(self) -> None:
         self._settle_flush(self._flush_submit())
@@ -317,20 +315,20 @@ class BulkParallelPQ:
             raise ValueError(f"k must satisfy 1 <= k <= {total}, got {k}")
         machine = self.machine
         p = machine.p
-        # overlapped issue: the kernel's args touch only the shared
-        # stream, which the flush leaves alone, so the deleteMin command
-        # can enter the pipe right behind the flush (workers execute in
-        # seq order) instead of stalling on the flush's round trip
-        flush = self._flush_submit()
-        shared = rng_state(machine.shared_rng)
-        _, pending = machine.backend.submit_spmd(
-            _delete_min_kernel, [self._ref], n_out=0,
-            args=[(k, p, shared)] * p,
-        )
+        # overlapped issue: every draw is counter-addressed, so the
+        # deleteMin command enters the pipe right behind the flush
+        # (workers execute in seq order) instead of stalling on the
+        # flush's round trip -- and both submits ride one command frame
+        with machine.backend.coalesced():
+            flush = self._flush_submit()
+            addr = machine.draw_addr()
+            _, pending = machine.backend.submit_spmd(
+                _delete_min_kernel, [self._ref], n_out=0,
+                args=[(k, p, addr)] * p,
+            )
         self._settle_flush(flush)  # settle in submit order
         vals = pending.wait()
         machine.replay_charges([v["log"] for v in vals])
-        restore_rng(machine.shared_rng, vals[0]["shared"])
         return self._finish(vals, k, vals[0]["value"], rounds=0)
 
     def delete_min_flexible(self, k_lo: int, k_hi: int) -> DeleteMinResult:
@@ -340,23 +338,22 @@ class BulkParallelPQ:
         in ``O(alpha log kp)`` expected (Theorem 5's flexible variant).
         """
         check_rank_range(k_lo, k_hi, sum(self._sizes))  # fail driver-side
-        # no overlap here: amsSelect's args carry post-flush per-PE rng
-        # states, so the kernel cannot be built before the flush settles
-        self._flush()
         machine = self.machine
         p = machine.p
-        shared = rng_state(machine.shared_rng)
-        _, vals = machine.backend.run_spmd(
-            _delete_flex_kernel, [self._ref], n_out=0,
-            args=[
-                (k_lo, k_hi, p, shared, rng_state(machine.rngs[i]))
-                for i in range(p)
-            ],
-        )
+        # counter addressing freed this path to overlap too: amsSelect's
+        # args are just a draw address (the estimator streams no longer
+        # depend on how far the flush advanced any generator), so the
+        # kernel pipelines right behind the in-flight flush
+        with machine.backend.coalesced():
+            flush = self._flush_submit()
+            addr = machine.draw_addr()
+            _, pending = machine.backend.submit_spmd(
+                _delete_flex_kernel, [self._ref], n_out=0,
+                args=[(k_lo, k_hi, p, addr)] * p,
+            )
+        self._settle_flush(flush)  # settle in submit order
+        vals = pending.wait()
         machine.replay_charges([v["log"] for v in vals])
-        restore_rng(machine.shared_rng, vals[0]["shared"])
-        for i in range(p):
-            restore_rng(machine.rngs[i], vals[i]["local"])
         return self._finish(vals, vals[0]["k"], vals[0]["value"], vals[0]["rounds"])
 
     def _finish(self, vals, k: int, threshold, rounds: int) -> DeleteMinResult:

@@ -8,8 +8,8 @@ the communication the Section 5 queue eliminates entirely.
 
 Like :class:`~repro.pqueue.bulk_pq.BulkParallelPQ`, the local heaps are
 worker-resident: an ``insert`` routes the batch worker-to-worker in one
-sparse direct exchange (the random destinations are drawn driver-side,
-keeping the machine streams in step across backends), and
+sparse direct exchange (the random destinations come from the
+counter-addressed per-PE streams, identical on every backend), and
 ``deleteMin*`` -- exact multisequence selection over sorted snapshots,
 as in [31] -- runs as one generator SPMD step next to the heaps.
 Comparing :class:`RandomAllocPQ` against the Section 5 queue in
@@ -23,7 +23,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine import Machine
-from ..machine.rngstate import restore_rng, rng_from_state, rng_state
 from ..selection.sorted_select import ms_select_with_cuts_gen
 from .heap import BinaryHeap
 
@@ -77,20 +76,20 @@ def _kz_insert_kernel(rank: int, heap: BinaryHeap, buckets, srcs, p: int):
     return ops
 
 
-def _kz_delete_kernel(rank: int, heap: BinaryHeap, k: int, p: int, shared_state):
+def _kz_delete_kernel(rank: int, heap: BinaryHeap, k: int, p: int, addr):
     """Exact ``deleteMin`` of [31] as one SPMD step: snapshot-sort the
-    local heap, multisequence-select over the snapshots, pop the cut."""
+    local heap, multisequence-select over the snapshots, pop the cut.
+    The replicated pivot stream is derived in place from ``addr``."""
     log: list = []
     seq = _HeapSeq(heap)
     # snapshot sort models the heap-ordered scan of [31]
     log.append(("ops", max(1.0, min(len(seq), k) * np.log2(max(len(seq), 2)))))
-    shared = rng_from_state(shared_state)
     _, cut, _ = yield from ms_select_with_cuts_gen(
-        rank, p, seq, k, shared, log
+        rank, p, seq, k, addr.shared(), log
     )
     batch = tuple((b[0], b[1]) for b in heap.pop_k(int(cut)))
     log.append(("ops", max(1.0, cut * np.log2(max(len(heap) + cut, 2)))))
-    return {"batch": batch, "log": log, "shared": rng_state(shared)}
+    return {"batch": batch, "log": log}
 
 
 class RandomAllocPQ:
@@ -116,11 +115,14 @@ class RandomAllocPQ:
             raise ValueError(f"need one insertion batch per PE (p={p})")
         words = np.zeros((p, p), dtype=np.float64)
         routed: list[dict[int, list]] = []
+        # routing draws are counter-addressed: destinations are needed
+        # driver-side (size tracking + the sparse exchange's src lists)
+        addr = machine.draw_addr()
         for i, scores in enumerate(per_pe_scores):
             scores = list(scores)
             buckets: dict[int, list] = {}
             if scores:
-                dests = machine.rngs[i].integers(0, p, size=len(scores))
+                dests = addr.local(i).integers(0, p, size=len(scores))
                 for s, d in zip(scores, dests):
                     buckets.setdefault(int(d), []).append((s, (i, self._uid[i])))
                     self._uid[i] += 1
@@ -158,13 +160,12 @@ class RandomAllocPQ:
             raise ValueError(f"k must satisfy 1 <= k <= {total}, got {k}")
         machine = self.machine
         p = machine.p
-        shared = rng_state(machine.shared_rng)
+        addr = machine.draw_addr()
         _, vals = machine.backend.run_spmd(
             _kz_delete_kernel, [self._ref], n_out=0,
-            args=[(k, p, shared)] * p,
+            args=[(k, p, addr)] * p,
         )
         machine.replay_charges([v["log"] for v in vals])
-        restore_rng(machine.shared_rng, vals[0]["shared"])
         batches = tuple(v["batch"] for v in vals)
         for i, batch in enumerate(batches):
             self._sizes[i] -= len(batch)

@@ -116,8 +116,12 @@ def ams_select(
     accepted_total = 0
     cur_lo, cur_hi, cur_n = k_lo, k_hi, n  # relative to remaining windows
 
+    # per-PE estimator draws from one counter-addressed allocation
+    addr = machine.draw_addr()
+    gens = [addr.local(i) for i in range(p)]
+
     for rnd in range(1, max_rounds + 1):
-        v = _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n)
+        v = _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n, gens)
         if v is None:  # no PE produced a sample: retry
             continue
 
@@ -150,8 +154,10 @@ def ams_select(
     return AmsResult(value, accepted_total + cur_lo, cuts, max_rounds, True)
 
 
-def _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n):
-    """One estimator round: geometric deviate per PE + min/max reduction."""
+def _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n, gens):
+    """One estimator round: geometric deviate per PE + min/max reduction.
+
+    ``gens[i]`` is PE ``i``'s counter-addressed stream for this call."""
     p = machine.p
     use_min = cur_lo < cur_n - cur_hi
     if use_min:
@@ -159,7 +165,7 @@ def _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n):
         picks = []
         for i in range(p):
             size = hi[i] - lo[i]
-            x = int(machine.rngs[i].geometric(rho)) if rho < 1.0 else 1
+            x = int(gens[i].geometric(rho)) if rho < 1.0 else 1
             picks.append(seqs[i].item(lo[i] + x - 1) if 1 <= x <= size else TOP)
             machine.charge_ops_one(i, np.log2(max(size, 2)))
         v = machine.allreduce(picks, op="min")[0]
@@ -168,7 +174,7 @@ def _draw_pivot(machine, seqs, lo, hi, cur_lo, cur_hi, cur_n):
     picks = []
     for i in range(p):
         size = hi[i] - lo[i]
-        x = int(machine.rngs[i].geometric(rho)) if rho < 1.0 else 1
+        x = int(gens[i].geometric(rho)) if rho < 1.0 else 1
         picks.append(seqs[i].item(hi[i] - x) if 1 <= x <= size else BOTTOM)
         machine.charge_ops_one(i, np.log2(max(size, 2)))
     v = machine.allreduce(picks, op="max")[0]
@@ -209,9 +215,11 @@ class _SeqWindow:
 def ams_select_gen(rank, p, seq, k_lo, k_hi, local_rng, shared_rng, log, *, max_rounds=60):
     """SPMD generator form of :func:`ams_select` over per-rank views.
 
-    ``local_rng`` is this rank's machine stream (state pass-through);
-    ``shared_rng`` is only consumed if the exact fallback fires.  Yields
-    SPMD collectives, appends charge entries to ``log`` and returns
+    ``local_rng`` is this rank's stream and ``shared_rng`` the
+    replicated one, both derived by the calling kernel from a counter
+    draw address (``addr.local(rank)`` / ``addr.shared()``); the shared
+    stream is only consumed if the exact fallback fires.  Yields SPMD
+    collectives, appends charge entries to ``log`` and returns
     ``(value, k_hat, cut, rounds, exact_fallback)``.
     """
     from ..machine.metrics import payload_words
@@ -307,6 +315,9 @@ def ams_select_batched(
     accepted = [0] * p
     accepted_total = 0
     cur_lo, cur_hi, cur_n = k_lo, k_hi, n
+    # per-PE trial draws from one counter-addressed allocation
+    addr = machine.draw_addr()
+    gens = [addr.local(i) for i in range(p)]
 
     for rnd in range(1, max_rounds + 1):
         rho = _min_based_rate(cur_lo, cur_hi)
@@ -316,7 +327,7 @@ def ams_select_batched(
             if size <= 0:
                 continue
             xs = (
-                machine.rngs[i].geometric(rho, size=d)
+                gens[i].geometric(rho, size=d)
                 if rho < 1.0
                 else np.ones(d, dtype=np.int64)
             )

@@ -9,23 +9,36 @@ it down to ``O(n/p log m)`` -- each recursion level splits both the data
 *and* the rank set, so every element takes part in at most
 ``O(log m + log_p n)`` partitioning rounds.
 
-Execution is resident-chunk SPMD: every PE keeps a *list* of segment
-slices pinned in the backend, and one level of the shared recursion is
-ONE worker command (:meth:`Backend.run_spmd`) covering every active
-segment at once.  The per-segment Bernoulli samples (and the residual
-content of segments small enough to finish) share a single in-worker
-allgather; the per-segment two-word part counts share a single
-in-worker all-reduction.  Only per-segment counts, pivots and finished
-values return to the driver -- the slices never move, and the level
-cost is two fused collectives instead of two per segment.
+Execution is resident-chunk SPMD with *cross-level pipelining*: every
+PE keeps a list of segment records pinned in the backend, and one level
+of the shared recursion is TWO pipelined worker commands:
+
+* the **sample-extract half** draws each split segment's Bernoulli
+  sample where the data lives (counter-addressed randomness,
+  :mod:`repro.machine.ctrrng` -- the driver ships a tiny draw address,
+  never index arrays or generator state) and fuses every segment's
+  sample (plus finishing segments' residual content) into one
+  in-worker allgather;
+* the **partition-count half** fuses all split segments' two-word part
+  counts into one in-worker all-reduction and -- because the reduced
+  counts are replicated -- derives the *next* level's segment records
+  entirely worker-side.
+
+Since the next level's inputs exist in the workers as soon as the count
+half runs, the driver does not need any level's results to issue the
+next one: it issues levels ahead (up to the machine's
+``pipeline_depth``), and consecutive recursion levels overlap in the
+pipe (``max_inflight > 1`` across levels).  Only small per-level values
+(sample word counts, finished values, charge metadata) return to the
+driver, which settles them in issue order to keep the modeled cost
+bit-identical at every depth; levels issued past the recursion's actual
+end see an empty segment list and charge nothing.
 
 :func:`quantiles` exposes the everyday use case (percentiles /
 histogram boundaries of a distributed vector).
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -36,107 +49,144 @@ from .sequential import fr_pivots
 __all__ = ["multi_select", "quantiles"]
 
 
-@dataclass
-class _Segment:
-    """Driver-side metadata of one recursion segment (the data itself
-    stays resident; ``sizes`` mirrors the per-PE slice lengths, which
-    the driver derives from returned part counts)."""
-
-    ranks: tuple[int, ...]  # target ranks, relative to the segment
-    offset: int             # global rank offset of the segment
-    n: int                  # global segment size
-    sizes: np.ndarray       # per-PE slice lengths
-
-
 # ----------------------------------------------------------------------
-# Resident worker kernel (module-level so real backends can ship it)
+# Resident worker kernels (module-level so real backends can ship them)
 # ----------------------------------------------------------------------
+#
+# Resident segment record, one list entry per active segment:
+#     (arr, ranks, offset, n)
+# where ``arr`` is this PE's slice, ``ranks`` the target ranks relative
+# to the segment, ``offset`` the segment's global rank offset and ``n``
+# its global size (replicated -- every PE derives the identical record
+# list from the all-reduced part counts, which is what lets the driver
+# issue the next level before this one settles).
 
-def _wrap_segments(rank: int, chunk: np.ndarray) -> tuple:
-    """Initial resident state: a one-segment list per PE."""
-    return ([np.asarray(chunk)], None)
+
+def _wrap_ms_state(rank: int, chunk: np.ndarray, ks: tuple, n_total: int):
+    """Initial resident state: one root segment per PE."""
+    return [(np.asarray(chunk), ks, 0, n_total)], None
 
 
-def _multi_select_level(rank: int, segs: list, specs, idxs):
-    """One full level of the shared recursion, where the slices live.
+def _ms_sample_kernel(rank: int, segs: list, p: int, addr, level: int,
+                      base_case: int, force: bool):
+    """Sample-extract half of one recursion level.
 
-    ``specs[s]`` describes segment ``s``: ``("split", ranks, mid_rank,
-    seg_n)`` for a segment that recurses or ``("finish", ranks)`` for a
-    residual one.  ``idxs[s]`` holds this PE's pre-drawn Bernoulli
-    sample indices for split segments (``None`` = take everything).
+    Draws each split segment's Bernoulli sample indices in place with
+    the counter-addressed generator ``addr.local(rank, draw=level)``
+    (the whole multiselection owns one draw sequence; the level index
+    subdivides it, so speculative levels never perturb the machine's
+    address stream).  All samples -- and finishing segments' full
+    residual content -- ride ONE in-worker allgather; pivots and
+    partitions are computed replicated and handed to the count half
+    through resident state.
 
-    SPMD generator: ALL segments' samples (and finish segments' full
-    residual content) ride one in-worker allgather; all split segments'
-    two-word part counts ride one in-worker all-reduction.  Returns the
-    next level's segment list plus per-segment small values
-    (``("finish", values, rest_size)`` / ``("empty",)`` /
-    ``("split", lo_p, hi_p, na, nb, union_size, n_lo, n_mid)``) and this
-    PE's allgather contribution in words.
+    Returns per-PE ``(sample_words, finishes, meta)`` where
+    ``finishes`` is the replicated list of resolved ``(global_rank,
+    value)`` pairs and ``meta`` carries one charge record per segment:
+    ``("finish", rest_size)`` / ``("empty", local_size, rho)`` /
+    ``("split", union_size, local_size, rho)``.
     """
-    samples = []
-    for seg, spec, idx in zip(segs, specs, idxs):
-        if spec[0] == "finish":
-            samples.append(seg)  # residual content is small by now
+    if not segs:
+        # speculatively issued past the recursion's end: a pure no-op
+        # (replicated decision -- every rank skips the collective)
+        return [], (0, [], [])
+    gen = addr.local(rank, draw=level)
+    plans: list[tuple] = []
+    samples: list[np.ndarray] = []
+    for arr, ranks, offset, n in segs:
+        if n <= base_case or force:
+            plans.append(("finish", None))
+            samples.append(arr)  # residual content is small by now
         else:
-            samples.append(seg.copy() if idx is None else seg[idx])
+            rho = min(1.0, np.sqrt(p) / n)
+            idx = bernoulli_sample_indices(gen, int(arr.size), rho)
+            plans.append(("split", rho))
+            samples.append(arr.copy() if idx is None else arr[idx])
     sample_words = int(sum(s.size for s in samples))
     gathered = yield ("allgather", samples)
 
-    infos: list[tuple] = []
-    partitions: list = []
-    counts_vec: list[int] = []
-    for s, (seg, spec) in enumerate(zip(segs, specs)):
+    inter: list = []
+    finishes: list[tuple] = []
+    meta: list[tuple] = []
+    for s, (arr, ranks, offset, n) in enumerate(segs):
         contrib = [g[s] for g in gathered if g[s].size]
-        if spec[0] == "finish":
-            rest = np.sort(np.concatenate(contrib)) if contrib else seg[:0]
-            values = tuple(
-                rest[min(k, rest.size) - 1].item() for k in spec[1]
-            )
-            infos.append(("finish", values, int(rest.size)))
-            partitions.append(None)
+        kind, rho = plans[s]
+        if kind == "finish":
+            rest = np.sort(np.concatenate(contrib)) if contrib else arr[:0]
+            for k in ranks:
+                finishes.append(
+                    (offset + k, rest[min(k, rest.size) - 1].item())
+                )
+            inter.append(None)
+            meta.append(("finish", int(rest.size)))
             continue
         if not contrib:  # empty sample union: retry the segment
-            infos.append(("empty",))
-            partitions.append(None)
+            inter.append(("retry", arr, ranks, offset, n))
+            meta.append(("empty", int(arr.size), float(rho)))
             continue
-        _, ranks, mid_rank, seg_n = spec
+        mid_rank = ranks[len(ranks) // 2]
         union = np.sort(np.concatenate(contrib))
-        lo_p, hi_p = fr_pivots(union, mid_rank, seg_n)
-        below = seg < lo_p
-        mid = (seg >= lo_p) & (seg <= hi_p)
-        parts = (seg[below], seg[mid], seg[~below & ~mid])
-        infos.append(None)  # filled in below, once the counts arrive
-        partitions.append((parts, lo_p, hi_p, int(union.size)))
-        counts_vec.extend([parts[0].size, parts[1].size])
+        lo_p, hi_p = fr_pivots(union, mid_rank, n)
+        below = arr < lo_p
+        mid = (arr >= lo_p) & (arr <= hi_p)
+        parts = (arr[below], arr[mid], arr[~below & ~mid])
+        inter.append(("split", parts, lo_p, hi_p, ranks, offset, n))
+        meta.append(("split", int(union.size), int(arr.size), float(rho)))
+    return inter, (sample_words, finishes, meta)
 
+
+def _ms_count_kernel(rank: int, inter: list):
+    """Partition-count half of one recursion level.
+
+    All split segments' two-word part counts share one in-worker
+    all-reduction; the replicated totals let every rank derive the next
+    level's segment records identically, so the new resident state is
+    ready for the (already pipelined) next sample command without a
+    driver round trip.  Returns per-PE ``(remaining, found)``:
+    the replicated number of surviving segments and the ``(global_rank,
+    value)`` pairs resolved by an exact pivot hit.
+    """
+    counts_vec: list[int] = []
+    for entry in inter:
+        if entry is not None and entry[0] == "split":
+            parts = entry[1]
+            counts_vec.extend([parts[0].size, parts[1].size])
     totals = None
-    if counts_vec:  # replicated decision: all ranks agree on the specs
+    if counts_vec:  # replicated decision: all ranks agree
         totals = yield (
             "allreduce", np.asarray(counts_vec, dtype=np.int64), "sum"
         )
 
-    new_segs: list[np.ndarray] = []
+    new_segs: list = []
+    found: list[tuple] = []
     ci = 0
-    for s, spec in enumerate(specs):
-        if partitions[s] is None:
-            if infos[s][0] == "empty":
-                new_segs.append(segs[s])
+    for entry in inter:
+        if entry is None:  # finished at the sample half
             continue
-        parts, lo_p, hi_p, usize = partitions[s]
+        if entry[0] == "retry":
+            _, arr, ranks, offset, n = entry
+            new_segs.append((arr, ranks, offset, n))
+            continue
+        _, parts, lo_p, hi_p, ranks, offset, n = entry
         na, nb = int(totals[2 * ci]), int(totals[2 * ci + 1])
         ci += 1
-        infos[s] = (
-            "split", lo_p, hi_p, na, nb, usize,
-            int(parts[0].size), int(parts[1].size),
-        )
-        ranks = spec[1]
-        if any(k <= na for k in ranks):
-            new_segs.append(parts[0])
-        if any(na < k <= na + nb for k in ranks) and lo_p != hi_p:
-            new_segs.append(parts[1])
-        if any(k > na + nb for k in ranks):
-            new_segs.append(parts[2])
-    return new_segs, (infos, sample_words)
+        lo_ranks = tuple(k for k in ranks if k <= na)
+        mid_ranks = tuple(k - na for k in ranks if na < k <= na + nb)
+        hi_ranks = tuple(k - na - nb for k in ranks if k > na + nb)
+        if lo_ranks:
+            new_segs.append((parts[0], lo_ranks, offset, na))
+        if mid_ranks:
+            if lo_p == hi_p:
+                v = lo_p.item() if hasattr(lo_p, "item") else lo_p
+                for k in mid_ranks:
+                    found.append((offset + na + k, v))
+            else:
+                new_segs.append((parts[1], mid_ranks, offset + na, nb))
+        if hi_ranks:
+            new_segs.append(
+                (parts[2], hi_ranks, offset + na + nb, n - na - nb)
+            )
+    return new_segs, (len(new_segs), found)
 
 
 def multi_select(
@@ -153,8 +203,9 @@ def multi_select(
     use :func:`quantiles` for a friendlier interface.  Cost: shared
     recursion over disjoint segments; each *level* pays one fused
     Bernoulli-sample allgather and one fused part-count all-reduction
-    covering every active segment, executed as a single resident SPMD
-    worker command (the slices never leave the backend).
+    covering every active segment, executed as two pipelined resident
+    SPMD commands (the slices never leave the backend, and consecutive
+    levels overlap in the pipe).
     """
     n = data.global_size
     ks_sorted = sorted(set(int(k) for k in ks))
@@ -168,106 +219,108 @@ def multi_select(
 
     out: dict[int, object] = {}
     # The root size falls out of the driver-tracked sizes (the one-word
-    # all-reduction the algorithm needs is charged through the meter);
-    # child segment sizes derive from the returned per-level part counts.
-    sizes0 = data.sizes()
+    # all-reduction the algorithm needs is charged through the meter).
     machine._meter_allreduce(words=1)
-    n_total = int(sizes0.sum())
-    # overlapped issue: the wrap executes in the workers while the
-    # driver draws the first level's Bernoulli sample indices, and the
-    # level-1 command queues up right behind it (workers run commands
-    # in seq order, so the wrapped state is ready when level 1 starts)
+    n_total = int(data.sizes().sum())
+    # One draw sequence for the whole multiselection; levels subdivide
+    # it by draw index, so the machine's address stream advances the
+    # same way at every pipeline depth (speculatively issued levels
+    # would otherwise burn depth-dependent sequence numbers).
+    addr = machine.draw_addr()
     seg_refs, wrap = machine.backend.submit_map_resident(
-        _wrap_segments, [data._ensure_ref()], n_out=1
+        _wrap_ms_state,
+        [data._ensure_ref()],
+        n_out=1,
+        args=[(tuple(ks_sorted), n_total)] * p,
     )
     seg_ref = seg_refs[0]
-    segments = [_Segment(tuple(ks_sorted), 0, n_total, sizes0.astype(np.int64))]
-    depth = 0
-    while segments:
-        depth += 1
-        force_finish = depth >= max_depth
-        specs: list[tuple] = []
-        idxs: list[list] = [[] for _ in range(p)]
-        for seg in segments:
-            if seg.n <= base_case or force_finish:
-                specs.append(("finish", seg.ranks))
-                for i in range(p):
-                    idxs[i].append(None)
-                continue
-            rho = min(1.0, np.sqrt(p) / seg.n)
-            # index draws stay in the driver, keeping machine.rngs in
-            # step across backends (same draw sequence as sampling the
-            # values directly); only the small index arrays travel
-            for i in range(p):
-                idxs[i].append(
-                    bernoulli_sample_indices(machine.rngs[i], int(seg.sizes[i]), rho)
-                )
-            machine.charge_ops([max(1.0, rho * s) for s in seg.sizes])
-            mid_rank = seg.ranks[len(seg.ranks) // 2]
-            specs.append(("split", seg.ranks, mid_rank, seg.n))
 
-        out_refs, pending = machine.backend.submit_spmd(
-            _multi_select_level,
+    # Staggered cross-level issue: the count half derives level L+1's
+    # resident state worker-side, so level L+1's SAMPLE command depends
+    # on nothing the driver has to see -- it is issued speculatively,
+    # one level ahead, before level L settles (the workers run it back
+    # to back with level L's count, which is the cross-level overlap).
+    # The count half of L+1 is held back until level L's settled result
+    # confirms the recursion is still alive, so a whole run wastes at
+    # most ONE no-op command (the dangling speculative sample after the
+    # final level).  Waits stay in submit order (the PendingValues
+    # contract).
+    def _issue_sample(lvl: int):
+        inter_refs, p_samp = machine.backend.submit_spmd(
+            _ms_sample_kernel,
             [seg_ref],
             n_out=1,
-            args=[(specs, idxs[i]) for i in range(p)],
+            args=[(p, addr, lvl, base_case, lvl >= max_depth)] * p,
         )
-        if wrap is not None:
-            wrap.wait()  # settle in submit order (carries no values)
-            wrap = None
-        vals = pending.wait()
-        seg_ref = out_refs[0]
-        # re-play the model from the small returned values
-        machine._meter_allgather(words=[v[1] for v in vals])
-        infos0 = vals[0][0]
-        next_segments: list[_Segment] = []
-        counted_split = False
-        for s, seg in enumerate(segments):
-            info = infos0[s]
-            if info[0] == "finish":
-                _, values, rest_size = info
+        return inter_refs[0], p_samp
+
+    def _issue_count(inter_ref):
+        out_refs, p_cnt = machine.backend.submit_spmd(
+            _ms_count_kernel, [inter_ref], n_out=1
+        )
+        return out_refs[0], p_cnt
+
+    level = 1
+    with machine.backend.coalesced():
+        inter_ref, p_samp = _issue_sample(level)
+        seg_ref, p_cnt = _issue_count(inter_ref)
+    if wrap is not None:
+        wrap.wait()  # settle in submit order (carries no values)
+        wrap = None
+    next_inter, next_samp = (
+        _issue_sample(level + 1) if level < max_depth else (None, None)
+    )
+    while True:
+        svals = p_samp.wait()
+        cvals = p_cnt.wait()
+        # re-play the model from the small returned values, in issue
+        # order (levels past the recursion's end are empty: no charges)
+        _, finishes, meta0 = svals[0]
+        if meta0:
+            machine._meter_allgather(words=[v[0] for v in svals])
+        n_split = 0
+        for s, m in enumerate(meta0):
+            if m[0] == "finish":
+                rest_size = m[1]
                 machine.charge_ops(
                     max(1, rest_size) * np.log2(max(rest_size, 2))
                 )
-                for k, v in zip(seg.ranks, values):
-                    out[seg.offset + k] = v
                 continue
-            if info[0] == "empty":
-                next_segments.append(seg)
-                continue
-            _, lo_p, hi_p, na, nb, usize, _, _ = info
-            counted_split = True
-            machine.charge_ops(usize * np.log2(max(usize, 2)))
-            machine.charge_ops(seg.sizes.astype(np.float64))
-            n_lo = np.array([int(vals[i][0][s][6]) for i in range(p)], dtype=np.int64)
-            n_mid = np.array([int(vals[i][0][s][7]) for i in range(p)], dtype=np.int64)
-            lo_ranks = [k for k in seg.ranks if k <= na]
-            mid_ranks = [k - na for k in seg.ranks if na < k <= na + nb]
-            hi_ranks = [k - na - nb for k in seg.ranks if k > na + nb]
-            if lo_ranks:
-                next_segments.append(
-                    _Segment(tuple(lo_ranks), seg.offset, na, n_lo)
-                )
-            if mid_ranks:
-                if lo_p == hi_p:
-                    v = lo_p.item() if hasattr(lo_p, "item") else lo_p
-                    for k in mid_ranks:
-                        out[seg.offset + na + k] = v
-                else:
-                    next_segments.append(
-                        _Segment(tuple(mid_ranks), seg.offset + na, nb, n_mid)
-                    )
-            if hi_ranks:
-                next_segments.append(
-                    _Segment(
-                        tuple(hi_ranks), seg.offset + na + nb,
-                        seg.n - na - nb, seg.sizes - n_lo - n_mid,
+            rho = m[-1]
+            machine.charge_ops(
+                [max(1.0, rho * svals[i][2][s][-2]) for i in range(p)]
+            )
+            if m[0] == "split":
+                usize = m[1]
+                n_split += 1
+                machine.charge_ops(usize * np.log2(max(usize, 2)))
+                machine.charge_ops(
+                    np.array(
+                        [svals[i][2][s][-2] for i in range(p)],
+                        dtype=np.float64,
                     )
                 )
-        if counted_split:
-            n_split = sum(1 for info in infos0 if info[0] == "split")
+        if n_split:
             machine._meter_allreduce(words=2 * n_split)
-        segments = next_segments
+        remaining, found = cvals[0]
+        for grank, v in finishes:
+            out[grank] = v
+        for grank, v in found:
+            out[grank] = v
+        if remaining == 0:
+            # the dangling speculative sample saw empty state: a no-op
+            # that returns no values and charges nothing
+            if next_samp is not None:
+                next_samp.wait()
+            break
+        level += 1
+        inter_ref, p_samp = next_inter, next_samp
+        # the two submits of a steady-state level ride one command frame
+        with machine.backend.coalesced():
+            seg_ref, p_cnt = _issue_count(inter_ref)
+            next_inter, next_samp = (
+                _issue_sample(level + 1) if level < max_depth else (None, None)
+            )
 
     return [out[k] for k in ks_sorted]
 

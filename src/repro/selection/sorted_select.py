@@ -69,6 +69,8 @@ def ms_select(
     hi = [min(len(s), k) for s in seqs]
     rounds = 0
     comm_rounds = 1  # the size all-reduce above
+    # replicated pivot draws from one counter-addressed stream per call
+    shared = machine.draw_addr().shared()
 
     while True:
         sizes = [hi[i] - lo[i] for i in range(machine.p)]
@@ -82,10 +84,11 @@ def ms_select(
 
         # ------------------------------------------------------------
         # Pivot: the g-th element of the remaining windows, g uniform.
-        # The draw is replicated (synchronized RNG); the prefix sum over
-        # window sizes identifies the owner PE, which broadcasts v.
+        # The draw is replicated (counter-addressed shared stream); the
+        # prefix sum over window sizes identifies the owner PE, which
+        # broadcasts v.
         # ------------------------------------------------------------
-        g = int(machine.shared_rng.integers(total))
+        g = int(shared.integers(total))
         offsets = machine.exscan(sizes, op="sum")
         candidates = []
         for i in range(machine.p):
@@ -174,18 +177,20 @@ def _sorted_base_case(machine: Machine, seqs, lo, hi, k: int):
 # trees live* as one generator SPMD step (``Backend.run_spmd``).  The
 # generators below mirror the driver algorithms above collective for
 # collective, but each rank sees only its own sequence; embedded
-# collectives are ``yield``ed, the machine's random streams travel by
-# state pass-through (:mod:`repro.machine.rngstate`), and every charge
-# the driver version would have made is appended to ``log`` for
+# collectives are ``yield``ed, randomness comes from counter-addressed
+# streams the calling kernel derives in place
+# (:mod:`repro.machine.ctrrng` -- no state crosses the wire), and every
+# charge the driver version would have made is appended to ``log`` for
 # :meth:`Machine.replay_charges`.
 
 def ms_select_gen(rank, p, seq, k, shared_rng, log, *, base_case=64, max_rounds=200):
     """SPMD generator: globally k-th smallest over per-rank sorted views.
 
     ``seq`` is this rank's :class:`SortedSequence`-style view;
-    ``shared_rng`` a generator reconstructed from the machine's shared
-    stream (every rank draws identically).  Yields SPMD collectives and
-    returns ``(value, rounds)``.
+    ``shared_rng`` a replicated generator the caller derives from a
+    counter draw address (``addr.shared(...)`` -- every rank constructs
+    the identical stream).  Yields SPMD collectives and returns
+    ``(value, rounds)``.
     """
     from ..machine.metrics import payload_words
 

@@ -13,12 +13,13 @@ A two-word all-reduction yields the global part sizes and the recursion
 continues in the part containing rank ``k``.
 
 Execution is resident-chunk SPMD: the slices stay pinned in the
-backend's workers for the whole recursion.  Sampling ships only small
-index sets to the workers (with the sample union riding back in a fused
-allgather) and the three-way partition runs where the data lives, with
-its two-word counts fused into the same round trip as an in-worker
-all-reduction -- per level, exactly two backend round trips and zero
-chunk movement.
+backend's workers for the whole recursion.  Sampling draws *where the
+data lives* from the counter-addressed rng (:mod:`repro.machine.ctrrng`
+-- only a tiny draw address crosses the wire, never index sets or
+generator state), the sample union rides an in-worker allgather, and
+the three-way partition runs in the same SPMD step with its two-word
+counts fused into the same round trip as an in-worker all-reduction --
+per level, exactly one backend round trip and zero chunk movement.
 
 Expected running time ``O(n/p + beta * min(sqrt(p) log_p n, n/p)
 + alpha * log n)`` (Theorem 1); for constant alpha/beta this is
@@ -51,14 +52,18 @@ class SelectionStats:
 # Resident worker callbacks (module-level so real backends can ship them)
 # ----------------------------------------------------------------------
 
-def _selection_round_kernel(rank: int, chunk: np.ndarray, idx, k: int, n: int):
+def _selection_round_kernel(
+    rank: int, chunk: np.ndarray, addr, level: int, rho: float, k: int, n: int
+):
     """One full recursion level, executed where the chunk lives.
 
-    SPMD generator: extract the pre-drawn Bernoulli sample, share it
-    (in-worker allgather), pick the Floyd-Rivest pivots from the
-    replicated union, three-way partition the local slice and combine
-    the two-word part counts (in-worker allreduce) -- a single backend
-    round trip per level; the slice itself never moves.
+    SPMD generator: draw the Bernoulli(rho) sample *in the kernel* from
+    the counter-addressed stream (``addr.local(rank, draw=level)`` --
+    the same bits on every backend, with nothing but the tiny address on
+    the wire), share it (in-worker allgather), pick the Floyd-Rivest
+    pivots from the replicated union, three-way partition the local
+    slice and combine the two-word part counts (in-worker allreduce) --
+    a single backend round trip per level; the slice itself never moves.
 
     Returns the three part chunks plus the small value tuple
     ``(sample_words, sample_total, lo_pivot, hi_pivot, na, nb,
@@ -66,9 +71,11 @@ def _selection_round_kernel(rank: int, chunk: np.ndarray, idx, k: int, n: int):
     (``sample_total == 0`` flags an empty-sample level: the parts are
     ``(chunk, empty, empty)`` and no pivots exist).
     """
+    from ..common.sampling import bernoulli_sample_indices
     from ..machine.metrics import payload_words
     from .sequential import fr_pivots
 
+    idx = bernoulli_sample_indices(addr.local(rank, draw=level), int(chunk.size), rho)
     sample = chunk.copy() if idx is None else chunk[idx]
     gathered = yield ("allgather", sample)
     sample_words = payload_words(sample)
@@ -160,6 +167,10 @@ def select_kth(
     sizes = data.sizes()
     rounds = 0
     sample_total = 0
+    # one draw address for the whole recursion; each level subdivides it
+    # via its ``draw=level`` slot, so the number of levels (which varies
+    # with the data) never perturbs any later caller's draws
+    addr = machine.draw_addr()
     # One all-reduction establishes the global size; afterwards every PE
     # updates n locally from the part counts it already received, so the
     # recursion pays a single collective per level instead of two.
@@ -172,20 +183,20 @@ def select_kth(
             return value
 
         # Bernoulli sampling at rate sqrt(p)/n on every PE (Theorem 1).
-        # Index draws stay in the driver (keeping machine.rngs exactly in
-        # step across backends); everything else -- sample extraction,
-        # the sample-union allgather (expected O(sqrt(p)) words per PE,
-        # O(alpha log p) startups; the "fast inefficient sorting" of
-        # Section 2 sorts the replicated union locally), pivot picking,
-        # the three-way partition and the two-word count all-reduction --
-        # runs inside the workers as ONE SPMD step per level.
+        # The index draws happen where the data lives, addressed by
+        # counter (:mod:`repro.machine.ctrrng`) -- the whole level
+        # (sampling, the sample-union allgather (expected O(sqrt(p))
+        # words per PE, O(alpha log p) startups; the "fast inefficient
+        # sorting" of Section 2 sorts the replicated union locally),
+        # pivot picking, the three-way partition and the two-word count
+        # all-reduction) runs inside the workers as ONE SPMD step.
         rho = min(1.0, sample_factor * np.sqrt(p) / n)
-        idx = cur._bernoulli_indices(rho)  # draws + sampling charge
+        machine.charge_ops([max(1.0, rho * s) for s in sizes])
         part_refs, vals = machine.backend.run_spmd(
             _selection_round_kernel,
             [cur._ensure_ref()],
             n_out=3,
-            args=[(idx[i], k, n) for i in range(p)],
+            args=[(addr, rounds, rho, k, n)] * p,
         )
         # re-play the model from the small returned values, in the same
         # order a step-by-step driver would have charged it

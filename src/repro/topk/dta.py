@@ -170,6 +170,8 @@ def _estimate_hits(machine, indexes, scorer, xs, cuts, tmin, y):
     p = machine.p
     m = indexes[0].m
     per_pe_estimate = []
+    addr = machine.draw_addr()  # counter-addressed estimator draws
+    gens = [addr.local(i) for i in range(p)]
     for i in range(p):
         ix = indexes[i]
         prefix_rows = [set(map(int, ix.prefix_rows(c, cuts[i][c]))) for c in range(m)]
@@ -180,7 +182,7 @@ def _estimate_hits(machine, indexes, scorer, xs, cuts, tmin, y):
             if size == 0:
                 continue
             rows = ix.prefix_rows(c, size)
-            picks = machine.rngs[i].integers(0, size, size=y)
+            picks = gens[i].integers(0, size, size=y)
             rejected = 0
             hits = 0
             for t in picks:

@@ -1,4 +1,4 @@
-"""Golden fixtures for the repro-lint checks (RL001 -- RL008).
+"""Golden fixtures for the repro-lint checks (RL001 -- RL009).
 
 Every check has at least one firing case, one non-firing case, and one
 suppression case, so a behavior change in any check breaks a fixture
@@ -265,15 +265,15 @@ class TestRL003:
         )
         assert len(found) == 1
 
-    def test_clean_on_rng_state_passthrough(self):
-        # receiving generator state and wrapping it is the sanctioned
-        # pattern (machine/rngstate.py)
+    def test_clean_on_counter_addressed_draws(self):
+        # deriving a generator from the shipped draw address is the
+        # sanctioned pattern (machine/ctrrng.py)
         assert not hits(
             """
             import numpy as np
 
-            def _kernel(rank, chunk, rng_state):
-                rng = np.random.Generator(np.random.PCG64(rng_state))
+            def _kernel(rank, chunk, addr):
+                rng = addr.local(rank)
                 draw = rng.integers(0, 10)
                 yield ("allgather", int(draw))
                 return draw
@@ -666,13 +666,137 @@ class TestRL008:
 
 
 # ----------------------------------------------------------------------
+# RL009 -- stateful RNG construction in kernels / raw Philox use
+# ----------------------------------------------------------------------
+
+class TestRL009:
+    def test_fires_on_default_rng_in_kernel(self):
+        found = hits(
+            """
+            import numpy as np
+
+            def _kernel(rank, chunk):
+                rng = np.random.default_rng(rank)
+                return chunk[rng.integers(0, chunk.size)]
+            """,
+            "RL009",
+        )
+        assert len(found) == 1
+        assert "default_rng" in found[0].message
+        assert "DrawAddress" in found[0].message
+
+    def test_fires_on_generator_construction_in_kernel(self):
+        # wrapping hand-carried state was the pre-ctrrng idiom; in a
+        # kernel it now reads as a counter-reuse hazard
+        found = hits(
+            """
+            import numpy as np
+
+            def _kernel(rank, chunk, state):
+                rng = np.random.Generator(np.random.PCG64(state))
+                yield ("allgather", 1)
+                return rng.integers(0, 10)
+            """,
+            "RL009",
+        )
+        assert len(found) == 1
+        assert "Generator" in found[0].message
+
+    def test_fires_on_raw_philox_anywhere(self):
+        # module-wide, not just kernels: driver-side hand-keyed Philox
+        # can collide with the sanctioned address space
+        found = hits(
+            """
+            import numpy as np
+
+            def make_stream(seed):
+                return np.random.Generator(np.random.Philox(key=seed))
+            """,
+            "RL009",
+        )
+        assert len(found) == 1
+        assert "ctrrng" in found[0].message
+
+    def test_fires_on_philox_from_import_alias(self):
+        found = hits(
+            """
+            from numpy.random import Philox as PX
+
+            def make_stream(seed):
+                return PX(key=seed)
+            """,
+            "RL009",
+        )
+        assert len(found) == 1
+
+    def test_clean_on_draw_address_use(self):
+        assert not hits(
+            """
+            import numpy as np
+
+            def _kernel(rank, chunk, addr):
+                rng = addr.local(rank, draw=1)
+                shared = addr.shared()
+                yield ("allgather", int(shared.integers(0, 4)))
+                return chunk[rng.integers(0, chunk.size)]
+            """,
+            "RL009",
+        )
+
+    def test_clean_on_driver_side_default_rng(self):
+        # input/data generation outside kernels may seed however it likes
+        assert not hits(
+            """
+            import numpy as np
+
+            def make_inputs(n):
+                return np.random.default_rng(0).integers(0, 100, n)
+            """,
+            "RL009",
+        )
+
+    def test_suppression(self):
+        # mirrors the one sanctioned construction site in ctrrng.py
+        found = [
+            f
+            for f in lint(
+                """
+                import numpy as np
+
+                def philox_generator(seed, key, counter):
+                    bg = np.random.Philox(key=key, counter=counter)  # repro-lint: disable=RL009 -- the one sanctioned Philox construction site
+                    return np.random.Generator(bg)
+                """
+            )
+            if f.check == "RL009"
+        ]
+        assert len(found) == 1
+        assert found[0].suppressed
+        assert "sanctioned" in found[0].suppress_reason
+
+    def test_ctrrng_module_is_waived_not_silent(self):
+        """The real construction site carries an inline suppression: the
+        finding still appears in the report (marked), it just never
+        gates."""
+        src = (REPO / "src/repro/machine/ctrrng.py").read_text(encoding="utf-8")
+        found = [
+            f
+            for f in lint_source(src, path="src/repro/machine/ctrrng.py")
+            if f.check == "RL009"
+        ]
+        assert len(found) == 1
+        assert found[0].suppressed
+
+
+# ----------------------------------------------------------------------
 # Framework: suppressions, config, CLI
 # ----------------------------------------------------------------------
 
 class TestFramework:
     def test_all_checks_registered(self):
         assert set(all_checks()) >= {
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL008", "RL009",
         }
 
     def test_syntax_error_reported_as_rl000(self):

@@ -210,19 +210,20 @@ class TestDistArrayResident:
             # sizes are tracked driver-side even for resident outputs
             assert int(out.sizes().sum()) == out.global_size == 5
 
-    def test_bernoulli_sample_matches_driver_draws(self, backend):
-        ref_m = Machine(p=2, seed=14)  # reference stream
-        from repro.common.sampling import bernoulli_sample
+    def test_bernoulli_sample_matches_counter_addressed_draws(self, backend):
+        from repro.common.sampling import bernoulli_sample_indices
+        from repro.machine.ctrrng import DrawAddress
 
         with Machine(p=2, seed=14, backend=backend) as m:
             chunks = [np.arange(100), np.arange(100, 200)]
             da = DistArray(m, chunks)
             samples = da.bernoulli_sample_local(0.2)
-            expected = [
-                bernoulli_sample(ref_m.rngs[i], chunks[i], 0.2) for i in range(2)
-            ]
-            for s, e in zip(samples, expected):
-                np.testing.assert_array_equal(s, e)
+            # a fresh machine's first allocation is (seed, seq=0); the
+            # kernel draws from each rank's counter-addressed stream
+            addr = DrawAddress(14, 0)
+            for i in range(2):
+                idx = bernoulli_sample_indices(addr.local(i), 100, 0.2)
+                np.testing.assert_array_equal(samples[i], chunks[i][idx])
 
 
 class TestLifecycle:

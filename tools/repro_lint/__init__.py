@@ -4,17 +4,17 @@ transport safety.
 The package's core guarantee -- bit-identical results AND modeled cost
 across the ``sim``/``mp``/``tcp`` backends -- rests on conventions the
 type system cannot express: SPMD generators must yield the same
-collective sequence on every PE, worker kernels must draw randomness
-only through the rng-state pass-through, charge logs must contain only
-``replay_charges``-accepted entries, and transport-decoded buffers must
-not outlive their segment's recycle round.  ``repro-lint`` checks those
-conventions statically::
+collective sequence on every PE, worker kernels must derive randomness
+only from the command's counter-addressed ``DrawAddress``, charge logs
+must contain only ``replay_charges``-accepted entries, and
+transport-decoded buffers must not outlive their segment's recycle
+round.  ``repro-lint`` checks those conventions statically::
 
     python -m tools.repro_lint src/repro
     python -m tools.repro_lint src/repro --format json
 
 See :mod:`tools.repro_lint.checks` for the check catalogue (RL001 --
-RL006) and the README "Static analysis" section for the suppression
+RL009) and the README "Static analysis" section for the suppression
 syntax (``# repro-lint: disable=RL001 -- reason``).
 """
 

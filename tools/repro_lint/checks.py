@@ -1,4 +1,4 @@
-"""The repro-lint check catalogue (RL001 -- RL008).
+"""The repro-lint check catalogue (RL001 -- RL009).
 
 Every check targets one hand-maintained invariant of the backend
 machinery (see ROADMAP "Architecture notes"); breaking it produces a
@@ -12,7 +12,7 @@ RL001     rank-dependent control flow around a collective ``yield`` in
 RL002     unordered set/dict iteration feeding a collective payload,
           charge log, or kernel return value (order parity hazard)
 RL003     global ``random`` / ``np.random`` use inside a worker kernel
-          instead of the rng-state pass-through
+          instead of the counter-addressed draw streams (ctrrng)
 RL004     charge-log entry kind that ``Machine.replay_charges`` does not
           accept (the replay would raise, or worse, silently skew cost)
 RL005     transport-decoded ``memoryview``/buffer stored beyond the
@@ -26,6 +26,10 @@ RL008     zero-argument blocking ``.get()`` / ``.recv()`` -- an
           unbounded wait that turns a dead peer into a hang instead of
           a :class:`WorkerFailure` (pass a timeout / byte count and
           re-check liveness per cycle)
+RL009     stateful ``Generator``/``default_rng`` construction inside a
+          worker kernel, or a raw ``Philox`` bit generator built outside
+          ``machine/ctrrng.py`` (counter-reuse hazard: hand-keyed
+          streams can collide with the sanctioned address space)
 ========  ==============================================================
 
 Adding a check: subclass :class:`~tools.repro_lint.core.Check`, give it
@@ -563,8 +567,8 @@ class GlobalRngInKernel(Check):
     id = "RL003"
     summary = (
         "global random / np.random draw inside a worker-resident kernel; "
-        "draw through the rng-state pass-through (machine/rngstate.py) so "
-        "backends stay bit-identical"
+        "draw from the command's counter-addressed DrawAddress "
+        "(machine/ctrrng.py) so backends stay bit-identical"
     )
 
     def run(self, ctx: FileContext) -> list[Finding]:
@@ -585,8 +589,9 @@ class GlobalRngInKernel(Check):
                             self.id,
                             node,
                             f"kernel draws from the process-global RNG "
-                            f"({offender}); receive generator state and use "
-                            f"rng_from_state/rng_state instead",
+                            f"({offender}); derive a generator from the "
+                            f"shipped DrawAddress (addr.local(rank) / "
+                            f"addr.shared()) instead",
                         )
                     )
         return findings
@@ -596,8 +601,9 @@ class GlobalRngInKernel(Check):
         fn = call.func
         if isinstance(fn, ast.Name) and fn.id in direct_fns:
             return fn.id
-        # np.random.<fn>(...) -- but np.random.Generator(...)/PCG64(...)
-        # wrap explicit state and are exactly the sanctioned pattern
+        # np.random.<fn>(...) -- but np.random.Generator(...)/Philox(...)
+        # wrap explicit state, not the process-global stream: whether
+        # *constructing* them in a kernel is sound is RL009's question
         if isinstance(fn, ast.Attribute):
             chain = []
             cur = fn
@@ -608,14 +614,17 @@ class GlobalRngInKernel(Check):
             if not isinstance(cur, ast.Name):
                 return None
             base = cur.id
+            explicit_state = (
+                "Generator", "PCG64", "Philox", "SeedSequence", "BitGenerator",
+            )
             if base in numpy_aliases and chain[:1] == ["random"]:
                 leaf = chain[-1]
-                if leaf in ("Generator", "PCG64", "SeedSequence", "BitGenerator"):
+                if leaf in explicit_state:
                     return None
                 return f"{base}.{'.'.join(chain)}"
             if base in random_aliases and len(chain) == 1:
                 leaf = chain[0]
-                if leaf in ("Generator", "PCG64", "SeedSequence", "BitGenerator"):
+                if leaf in explicit_state:
                     return None
                 return f"{base}.{leaf}"
         return None
@@ -905,4 +914,109 @@ class UnboundedBlockingWait(Check):
                     f"and poll liveness between cycles",
                 )
             )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RL009 -- stateful RNG construction in kernels / raw Philox use
+# ----------------------------------------------------------------------
+
+#: constructors that mint a *stateful* generator; inside a kernel the
+#: only sound source of randomness is the shipped DrawAddress
+_KERNEL_RNG_CTORS = {"default_rng", "Generator"}
+
+
+def _rng_ctor_aliases(tree: ast.Module) -> dict[str, str]:
+    """asname -> real name for RL009's constructor set, imported
+    straight from numpy.random."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in _KERNEL_RNG_CTORS or alias.name == "Philox":
+                    out[alias.asname or alias.name] = alias.name
+    return out
+
+
+def _resolved_rng_ctor(call, numpy_aliases, random_aliases, from_aliases):
+    """The real constructor name when ``call`` builds one of RL009's
+    targets (``default_rng`` / ``Generator`` / ``Philox``), else None."""
+    fn = call.func
+    if isinstance(fn, ast.Name):
+        return from_aliases.get(fn.id)
+    if isinstance(fn, ast.Attribute):
+        chain = []
+        cur = fn
+        while isinstance(cur, ast.Attribute):
+            chain.append(cur.attr)
+            cur = cur.value
+        chain.reverse()
+        if not isinstance(cur, ast.Name):
+            return None
+        leaf = chain[-1]
+        if leaf not in _KERNEL_RNG_CTORS and leaf != "Philox":
+            return None
+        base = cur.id
+        if base in numpy_aliases and chain[:1] == ["random"]:
+            return leaf
+        if base in random_aliases and len(chain) == 1:
+            return leaf
+    return None
+
+
+@register_check
+class StatefulRngConstruction(Check):
+    id = "RL009"
+    summary = (
+        "stateful Generator/default_rng constructed inside a worker "
+        "kernel, or a raw Philox bit generator built outside "
+        "machine/ctrrng.py (counter-reuse hazard); derive kernel "
+        "generators from the shipped DrawAddress (addr.local(rank) / "
+        "addr.shared())"
+    )
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        numpy_aliases, random_aliases, _ = _module_aliases(ctx.tree)
+        from_aliases = _rng_ctor_aliases(ctx.tree)
+        if not (numpy_aliases or random_aliases or from_aliases):
+            return []
+        kernel_nodes: set[int] = set()
+        for func in iter_functions(ctx.tree):
+            if is_worker_kernel(func) or is_spmd_kernel(func):
+                kernel_nodes.update(id(n) for n in own_nodes(func))
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolved_rng_ctor(
+                node, numpy_aliases, random_aliases, from_aliases
+            )
+            if name is None:
+                continue
+            if name == "Philox":
+                # module-wide: a hand-keyed Philox stream can collide
+                # with the (seed, stream, rank, seq) address space that
+                # ctrrng.philox_generator hands out
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        "raw Philox construction bypasses the ctrrng "
+                        "key/counter layout (possible stream collision "
+                        "with sanctioned draw addresses); go through "
+                        "machine.draw_addr() + addr.local()/addr.shared()",
+                    )
+                )
+            elif id(node) in kernel_nodes:
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        f"stateful {name}(...) constructed inside a worker "
+                        f"kernel; draws must come from the command's "
+                        f"DrawAddress (addr.local(rank) / addr.shared()) "
+                        f"so every backend and pipeline depth replays the "
+                        f"identical stream",
+                    )
+                )
         return findings
