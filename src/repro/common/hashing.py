@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import kernels
+
 __all__ = ["splitmix64", "splitmix64_array", "key_owner", "make_owner_fn"]
 
 _MASK = (1 << 64) - 1
@@ -24,14 +26,11 @@ def splitmix64(x: int) -> int:
 
 
 def splitmix64_array(keys: np.ndarray) -> np.ndarray:
-    """Vectorized splitmix64 over an integer key array."""
-    x = np.asarray(keys).astype(np.uint64, copy=True)
+    """Vectorized splitmix64 over an integer key array (dispatches to
+    the :data:`repro.kernels.splitmix64_array` kernel twins)."""
+    x = np.asarray(keys).astype(np.uint64)
     with np.errstate(over="ignore"):
-        x += np.uint64(0x9E3779B97F4A7C15)
-        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-        x ^= x >> np.uint64(31)
-    return x
+        return kernels.splitmix64_array(x)
 
 
 def key_owner(keys: np.ndarray, p: int) -> np.ndarray:

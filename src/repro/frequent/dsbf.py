@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..common.hashing import make_owner_fn, splitmix64
+from ..kernels import fingerprint32
 from ..machine import DistArray, Machine
 from .dht import local_key_counts, take_topk_entries
 from .result import FrequentResult
@@ -38,7 +39,10 @@ _FP_BITS = 32  # fingerprint width; keys are 1 word, fingerprints half
 
 
 def _fingerprint(key: int, salt: int) -> int:
-    """Truncated splitmix64: deliberately small so collisions occur."""
+    """Truncated splitmix64: deliberately small so collisions occur.
+
+    Scalar reference of the :data:`repro.kernels.fingerprint32` kernel
+    (which computes exactly this over int64 key arrays)."""
     return splitmix64(int(key) ^ salt) & ((1 << _FP_BITS) - 1)
 
 
@@ -76,17 +80,22 @@ def dsbf_top_candidates(
     local = [
         local_key_counts(machine, i, np.asarray(s)) for i, s in enumerate(samples_per_pe)
     ]
-    # fingerprinted view: fp -> summed local count (collisions merge here)
+    # fingerprinted view: fp -> summed local count (collisions merge
+    # here); fingerprints are computed in one batched kernel pass per PE
     fp_local = []
-    fp_of_key = {}
+    fp_of_key: dict[int, int] = {}
     for i in range(p):
         d: dict[int, int] = {}
-        for key, c in sorted(local[i].items()):
-            fp = fp_of_key.get(key)
-            if fp is None:
-                fp = _fingerprint(key, salt)
+        items = sorted(local[i].items())
+        if items:
+            keys = np.fromiter(
+                (k for k, _ in items), dtype=np.int64, count=len(items)
+            )
+            fps = fingerprint32(keys, salt)
+            for (key, c), fp in zip(items, fps):
+                fp = int(fp)
                 fp_of_key[key] = fp
-            d[fp] = d.get(fp, 0) + c
+                d[fp] = d.get(fp, 0) + c
         fp_local.append(d)
         machine.charge_ops_one(i, max(1, len(local[i])))
 

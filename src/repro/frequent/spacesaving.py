@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import spacesaving_offer
 from ..machine import DistArray, Machine
 
 __all__ = ["SpaceSaving", "heavy_hitters"]
@@ -60,8 +61,26 @@ class SpaceSaving:
 
     def offer_array(self, keys: np.ndarray) -> None:
         uniq, counts = np.unique(np.asarray(keys), return_counts=True)
-        for key, c in zip(uniq, counts):
-            self.offer(int(key), int(c))
+        if uniq.size == 0:
+            return
+        if not np.issubdtype(uniq.dtype, np.integer):
+            for key, c in zip(uniq, counts):
+                self.offer(int(key), int(c))
+            return
+        # batch path: the summary state round-trips through the
+        # insertion-ordered parallel arrays the offer kernel works on
+        cur_keys = np.fromiter(
+            self.counters.keys(), dtype=np.int64, count=len(self.counters)
+        )
+        cur_counts = np.fromiter(
+            self.counters.values(), dtype=np.int64, count=len(self.counters)
+        )
+        out_keys, out_counts, self.max_evicted = spacesaving_offer(
+            cur_keys, cur_counts, self.capacity, self.max_evicted,
+            uniq.astype(np.int64), counts.astype(np.int64),
+        )
+        self.counters = {int(k): int(c) for k, c in zip(out_keys, out_counts)}
+        self.n += int(counts.sum())
 
     def estimate(self, key: int) -> int:
         return self.counters.get(int(key), self.max_evicted)

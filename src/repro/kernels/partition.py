@@ -1,0 +1,124 @@
+"""Selection partition kernels: the per-PE hot loops of Section 3/4.
+
+``partition3`` is the multi-pivot split every selection round performs
+(below / between / above the pivot pair, order-preserving);
+``topk_count`` and ``topk_cut`` are the collapsed count + tie-grant
+extraction of the one-step top-k cut.  The python references are the
+exact numpy mask pipelines the algorithms used inline; the native twins
+do the same work in one or two typed passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import jit, kernel
+
+__all__ = ["partition3", "topk_count", "topk_cut"]
+
+
+@kernel("partition3")
+def partition3(arr, lo, hi):
+    """Split ``arr`` into ``(below, mid, above)``: elements ``< lo``,
+    ``in [lo, hi]``, ``> hi`` -- each part order-preserving."""
+    below = arr < lo
+    mid = (arr >= lo) & (arr <= hi)
+    return arr[below], arr[mid], arr[~below & ~mid]
+
+
+@jit
+def _count3_core(arr, lo, hi):
+    n_lo = 0
+    n_mid = 0
+    for i in range(arr.size):
+        x = arr[i]
+        if x < lo:
+            n_lo += 1
+        elif x <= hi:
+            n_mid += 1
+    return n_lo, n_mid
+
+
+@jit
+def _fill3_core(arr, lo, hi, out_lo, out_mid, out_hi):
+    i = 0
+    j = 0
+    k = 0
+    for t in range(arr.size):
+        x = arr[t]
+        if x < lo:
+            out_lo[i] = x
+            i += 1
+        elif x <= hi:
+            out_mid[j] = x
+            j += 1
+        else:
+            out_hi[k] = x
+            k += 1
+
+
+@partition3.native
+def _partition3_native(arr, lo, hi):
+    n_lo, n_mid = _count3_core(arr, lo, hi)
+    out_lo = np.empty(n_lo, dtype=arr.dtype)
+    out_mid = np.empty(n_mid, dtype=arr.dtype)
+    out_hi = np.empty(arr.size - n_lo - n_mid, dtype=arr.dtype)
+    _fill3_core(arr, lo, hi, out_lo, out_mid, out_hi)
+    return out_lo, out_mid, out_hi
+
+
+@kernel("topk_count")
+def topk_count(arr, threshold):
+    """``(count below, count equal)`` against the top-k threshold."""
+    return int((arr < threshold).sum()), int((arr == threshold).sum())
+
+
+@jit
+def _topk_count_core(arr, threshold):
+    n_below = 0
+    n_eq = 0
+    for i in range(arr.size):
+        x = arr[i]
+        if x < threshold:
+            n_below += 1
+        elif x == threshold:
+            n_eq += 1
+    return n_below, n_eq
+
+
+@topk_count.native
+def _topk_count_native(arr, threshold):
+    n_below, n_eq = _topk_count_core(arr, threshold)
+    return int(n_below), int(n_eq)
+
+
+@kernel("topk_cut")
+def topk_cut(arr, threshold, keep_eq):
+    """Elements ``< threshold`` plus the first ``keep_eq`` ties, in the
+    order the reference concatenation produces (all strict, then ties)."""
+    below = arr < threshold
+    return np.concatenate([arr[below], arr[arr == threshold][:keep_eq]])
+
+
+@jit
+def _topk_cut_core(arr, threshold, keep_eq, out, n_below):
+    i = 0
+    j = 0
+    for t in range(arr.size):
+        x = arr[t]
+        if x < threshold:
+            out[i] = x
+            i += 1
+        elif x == threshold and j < keep_eq:
+            out[n_below + j] = x
+            j += 1
+
+
+@topk_cut.native
+def _topk_cut_native(arr, threshold, keep_eq, n_below=None, n_eq=None):
+    if n_below is None or n_eq is None:
+        n_below, n_eq = _topk_count_core(arr, threshold)
+    take = min(int(keep_eq), int(n_eq))
+    out = np.empty(int(n_below) + take, dtype=arr.dtype)
+    _topk_cut_core(arr, threshold, take, out, int(n_below))
+    return out

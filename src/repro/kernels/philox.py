@@ -1,0 +1,173 @@
+"""Philox4x64-10 counter RNG in nopython-compatible form.
+
+The machine layer addresses every random draw by ``(seed, stream,
+rank, seq, draw)`` (:mod:`repro.machine.ctrrng`) on a numpy
+``Philox`` bit generator.  These cores reproduce numpy's uniform-double
+stream *bit for bit* from the raw state words, so a jitted kernel can
+consume randomness inline -- no generator object, no state to ship --
+and stay identical to the python reference drawing from
+``addr.local(rank)`` / ``addr.shared()``.
+
+The exact semantics (verified against ``np.random.Generator(Philox)``):
+
+* Philox4x64 multipliers ``0xD2E7470EE14C6C93`` / ``0xCA5A826395121157``
+  with Weyl constants ``0x9E3779B97F4A7C15`` / ``0xBB67AE8584CAA73B``,
+  ten rounds;
+* numpy **pre-increments** the 256-bit counter (word 0 first, little-
+  endian carry) before generating each block, so the first block after
+  seeding ``counter=[0, 0, draw, seq]`` is computed at
+  ``[1, 0, draw, seq]``;
+* a uniform double is ``(word >> 11) * 2**-53``, words consumed in
+  block order ``0..3``; partially consumed blocks live in the
+  generator's ``buffer`` with ``buffer_pos`` = words already consumed.
+
+Native twins *snapshot* a generator's state words
+(:func:`state_words`), draw inside the jitted core, and *write the
+advanced state back* (:func:`put_state`) so the generator object stays
+interchangeable with one the python reference consumed.
+
+No generator is ever constructed here -- the state always arrives from
+a ``DrawAddress``-derived generator (repro-lint RL010).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import jit
+
+__all__ = [
+    "PHILOX_M0",
+    "PHILOX_M1",
+    "PHILOX_W0",
+    "PHILOX_W1",
+    "is_philox",
+    "native_uniforms",
+    "put_state",
+    "state_words",
+]
+
+PHILOX_M0 = 0xD2E7470EE14C6C93
+PHILOX_M1 = 0xCA5A826395121157
+PHILOX_W0 = 0x9E3779B97F4A7C15
+PHILOX_W1 = 0xBB67AE8584CAA73B
+
+#: 2**-53: maps the top 53 bits of a word onto [0, 1)
+U53_INV = 1.0 / 9007199254740992.0
+
+
+@jit
+def _philox_next_block(k0, k1, c0, c1, c2, c3, out, base):
+    """Pre-increment the counter, run ten rounds, write the four raw
+    words to ``out[base:base+4]``; returns the incremented counter."""
+    one = np.uint64(1)
+    zero = np.uint64(0)
+    m0 = np.uint64(PHILOX_M0)
+    m1 = np.uint64(PHILOX_M1)
+    w0 = np.uint64(PHILOX_W0)
+    w1 = np.uint64(PHILOX_W1)
+    lo32 = np.uint64(0xFFFFFFFF)
+    s32 = np.uint64(32)
+    # pre-increment, word 0 first, little-endian carry
+    c0 = c0 + one
+    if c0 == zero:
+        c1 = c1 + one
+        if c1 == zero:
+            c2 = c2 + one
+            if c2 == zero:
+                c3 = c3 + one
+    x0, x1, x2, x3 = c0, c1, c2, c3
+    key0, key1 = k0, k1
+    for _ in range(10):
+        # mulhilo(m0, x0)
+        lo0 = m0 * x0
+        a_lo = m0 & lo32
+        a_hi = m0 >> s32
+        b_lo = x0 & lo32
+        b_hi = x0 >> s32
+        t = (a_lo * b_lo) >> s32
+        t1 = a_hi * b_lo + t
+        t2 = a_lo * b_hi + (t1 & lo32)
+        hi0 = a_hi * b_hi + (t1 >> s32) + (t2 >> s32)
+        # mulhilo(m1, x2)
+        lo1 = m1 * x2
+        a_lo = m1 & lo32
+        a_hi = m1 >> s32
+        b_lo = x2 & lo32
+        b_hi = x2 >> s32
+        t = (a_lo * b_lo) >> s32
+        t1 = a_hi * b_lo + t
+        t2 = a_lo * b_hi + (t1 & lo32)
+        hi1 = a_hi * b_hi + (t1 >> s32) + (t2 >> s32)
+        x0, x1, x2, x3 = hi1 ^ x1 ^ key0, lo1, hi0 ^ x3 ^ key1, lo0
+        key0 = key0 + w0
+        key1 = key1 + w1
+    out[base] = x0
+    out[base + 1] = x1
+    out[base + 2] = x2
+    out[base + 3] = x3
+    return c0, c1, c2, c3
+
+
+@jit
+def _uniform_fill(k0, k1, c0, c1, c2, c3, buf, pos, out):
+    """Fill ``out`` with uniform doubles continuing from ``(counter,
+    buffer, pos)``; mutates ``buf`` and returns the advanced
+    ``(c0, c1, c2, c3, pos)``."""
+    s11 = np.uint64(11)
+    for i in range(out.size):
+        if pos >= 4:
+            c0, c1, c2, c3 = _philox_next_block(k0, k1, c0, c1, c2, c3,
+                                                buf, 0)
+            pos = 0
+        out[i] = np.float64(buf[pos] >> s11) * U53_INV
+        pos += 1
+    return c0, c1, c2, c3, pos
+
+
+def is_philox(rng) -> bool:
+    """Whether ``rng`` runs on a Philox bit generator (the machine
+    layer's counter-addressed streams always do; anything else makes
+    the RNG-consuming native twins fall back to their python
+    references)."""
+    return type(rng.bit_generator).__name__ == "Philox"
+
+
+def state_words(rng) -> tuple:
+    """Snapshot a Philox generator's raw words:
+    ``(k0, k1, c0, c1, c2, c3, buffer[uint64 x4], pos)``."""
+    st = rng.bit_generator.state
+    key = st["state"]["key"]
+    ctr = st["state"]["counter"]
+    buf = np.array(st["buffer"], dtype=np.uint64)
+    pos = int(st["buffer_pos"])
+    return (
+        np.uint64(key[0]), np.uint64(key[1]),
+        np.uint64(ctr[0]), np.uint64(ctr[1]),
+        np.uint64(ctr[2]), np.uint64(ctr[3]),
+        buf, pos,
+    )
+
+
+def put_state(rng, c0, c1, c2, c3, buf, pos) -> None:
+    """Write an advanced ``(counter, buffer, pos)`` back into ``rng`` so
+    later draws continue exactly where the native core stopped (the key
+    never advances across blocks -- the Weyl schedule restarts per
+    block from the stored key)."""
+    st = rng.bit_generator.state
+    st["state"]["counter"] = np.array(
+        [int(c0), int(c1), int(c2), int(c3)], dtype=np.uint64
+    )
+    st["buffer"] = np.asarray(buf, dtype=np.uint64)
+    st["buffer_pos"] = int(pos)
+    rng.bit_generator.state = st
+
+
+def native_uniforms(rng, n: int) -> np.ndarray:
+    """``n`` uniform doubles, bit-identical to ``rng.random(n)``,
+    drawn by the native core; advances ``rng``'s state identically."""
+    k0, k1, c0, c1, c2, c3, buf, pos = state_words(rng)
+    out = np.empty(int(n), dtype=np.float64)
+    c0, c1, c2, c3, pos = _uniform_fill(k0, k1, c0, c1, c2, c3, buf, pos, out)
+    put_state(rng, c0, c1, c2, c3, buf, pos)
+    return out

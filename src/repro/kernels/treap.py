@@ -1,0 +1,271 @@
+"""Native treap twin: a sorted structure-of-arrays multiset.
+
+Every output the bulk priority queue observes from its per-PE tree --
+iteration order, ``select``, ``count_le``, ``min``, length, the
+``log2``-formula access cost, ``split_at_rank`` contents -- is
+*structure-independent*: it depends only on the key multiset, never on
+the treap's rotation shape.  So the native twin drops the pointer
+structure entirely and keeps the keys ``(score, (ra, rb))`` as three
+lex-sorted parallel arrays; bulk insertion is one jitted sorted merge
+(:data:`treap_merge`), ``split_at_rank`` is a slice, rank queries are
+binary search.
+
+Determinism contract: :class:`ArrayTreap` still consumes **one priority
+draw per inserted key** from its ``_rng`` -- exactly what
+:meth:`repro.trees.Treap.insert` draws -- so the counter-addressed
+stream advances identically in both modes even though the array twin
+discards the values (tree shape is unobservable).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from .registry import jit, kernel
+
+__all__ = ["ArrayTreap", "treap_merge"]
+
+
+@kernel("treap_merge")
+def treap_merge(s_a, a_a, b_a, s_b, a_b, b_b):
+    """Merge two lex-sorted ``(score, ra, rb)`` key sequences into one
+    (stable: on equal keys the first sequence's entries come first)."""
+    s = np.concatenate([s_a, s_b])
+    a = np.concatenate([a_a, a_b])
+    b = np.concatenate([b_a, b_b])
+    order = np.lexsort((b, a, s))
+    return s[order], a[order], b[order]
+
+
+@jit
+def _merge_core(s_a, a_a, b_a, s_b, a_b, b_b, s_o, a_o, b_o):
+    n = s_a.size
+    m = s_b.size
+    i = 0
+    j = 0
+    k = 0
+    while i < n and j < m:
+        # (s, a, b) lexicographic; take from the first run on ties
+        take_a = True
+        if s_a[i] > s_b[j]:
+            take_a = False
+        elif s_a[i] == s_b[j]:
+            if a_a[i] > a_b[j]:
+                take_a = False
+            elif a_a[i] == a_b[j] and b_a[i] > b_b[j]:
+                take_a = False
+        if take_a:
+            s_o[k] = s_a[i]
+            a_o[k] = a_a[i]
+            b_o[k] = b_a[i]
+            i += 1
+        else:
+            s_o[k] = s_b[j]
+            a_o[k] = a_b[j]
+            b_o[k] = b_b[j]
+            j += 1
+        k += 1
+    while i < n:
+        s_o[k] = s_a[i]
+        a_o[k] = a_a[i]
+        b_o[k] = b_a[i]
+        i += 1
+        k += 1
+    while j < m:
+        s_o[k] = s_b[j]
+        a_o[k] = a_b[j]
+        b_o[k] = b_b[j]
+        j += 1
+        k += 1
+
+
+@treap_merge.native
+def _treap_merge_native(s_a, a_a, b_a, s_b, a_b, b_b):
+    total = s_a.size + s_b.size
+    s_o = np.empty(total, dtype=np.float64)
+    a_o = np.empty(total, dtype=np.int64)
+    b_o = np.empty(total, dtype=np.int64)
+    _merge_core(s_a, a_a, b_a, s_b, a_b, b_b, s_o, a_o, b_o)
+    return s_o, a_o, b_o
+
+
+_EMPTY_F8 = np.empty(0, dtype=np.float64)
+_EMPTY_I8 = np.empty(0, dtype=np.int64)
+
+
+class ArrayTreap:
+    """Sorted-array multiset with the :class:`repro.trees.Treap` query
+    surface the priority queue uses.
+
+    Keys are ``(score, (ra, rb))`` tuples with ``score`` a float and
+    ``ra``/``rb`` integers (the queue's ``(score, uid)`` convention);
+    key uniqueness makes every ordering question unambiguous.
+    """
+
+    def __init__(self, rng: np.random.Generator | None = None):
+        self._s = _EMPTY_F8
+        self._ra = _EMPTY_I8
+        self._rb = _EMPTY_I8
+        # mirrors Treap's default seed; the pqueue swaps in the
+        # command's DrawAddress stream before drawing, so this generator
+        # only exists for standalone use
+        # repro-lint: disable=RL010 -- standalone default, mirrors Treap
+        self._rng = rng if rng is not None else np.random.default_rng(0x7EA9)
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self._s.size)
+
+    def __bool__(self) -> bool:
+        return self._s.size > 0
+
+    def __iter__(self) -> Iterator:
+        for i in range(self._s.size):
+            yield self._key(i)
+
+    def to_list(self) -> list:
+        return list(self)
+
+    def _key(self, i: int):
+        return (float(self._s[i]), (int(self._ra[i]), int(self._rb[i])))
+
+    def min(self):
+        """Smallest key; raises on empty tree."""
+        if self._s.size == 0:
+            raise IndexError("operation on empty Treap")
+        return self._key(0)
+
+    def max(self):
+        """Largest key; raises on empty tree."""
+        if self._s.size == 0:
+            raise IndexError("operation on empty Treap")
+        return self._key(self._s.size - 1)
+
+    def __contains__(self, key) -> bool:
+        i = self.rank(key)
+        return i < self._s.size and not (key < self._key(i))
+
+    # ------------------------------------------------------------------
+    # Order statistics (binary search with the same comparison
+    # orientation as Treap.rank/count_le, so sentinel keys like
+    # ordering.TOP behave identically)
+    # ------------------------------------------------------------------
+    def select(self, i: int):
+        n = self._s.size
+        if not 0 <= i < n:
+            raise IndexError(f"select index {i} out of range for size {n}")
+        return self._key(i)
+
+    def rank(self, key) -> int:
+        """Number of keys strictly smaller than ``key``."""
+        lo, hi = 0, self._s.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key <= self._key(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def count_le(self, key) -> int:
+        """Number of keys ``<= key``."""
+        lo, hi = 0, self._s.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if key < self._key(mid):
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, key) -> None:
+        """Insert one ``(score, (ra, rb))`` key (one priority draw)."""
+        s, (ra, rb) = key
+        self._rng.random()  # rotation priority (shape unobservable)
+        self._merge_in(
+            np.array([s], dtype=np.float64),
+            np.array([ra], dtype=np.int64),
+            np.array([rb], dtype=np.int64),
+        )
+
+    def insert_many(self, keys) -> None:
+        keys = list(keys)
+        if not keys:
+            return
+        self._rng.random(len(keys))
+        s = np.array([k[0] for k in keys], dtype=np.float64)
+        ra = np.array([k[1][0] for k in keys], dtype=np.int64)
+        rb = np.array([k[1][1] for k in keys], dtype=np.int64)
+        order = np.lexsort((rb, ra, s))
+        self._merge_in(s[order], ra[order], rb[order])
+
+    def insert_batch(self, scores, rank: int, first_uid: int) -> None:
+        """Bulk-insert contiguously-numbered ``(score, (rank, uid))``
+        keys -- the flush path.  Draws one priority per key."""
+        s = np.ascontiguousarray(scores, dtype=np.float64)
+        n = s.size
+        if n == 0:
+            return
+        self._rng.random(n)
+        ra = np.full(n, int(rank), dtype=np.int64)
+        rb = np.arange(first_uid, first_uid + n, dtype=np.int64)
+        # uids ascend with position, so a stable score sort is lex order
+        order = np.argsort(s, kind="stable")
+        self._merge_in(s[order], ra[order], rb[order])
+
+    def _merge_in(self, s, ra, rb) -> None:
+        if self._s.size == 0:
+            self._s, self._ra, self._rb = s, ra, rb
+            return
+        self._s, self._ra, self._rb = treap_merge(
+            self._s, self._ra, self._rb, s, ra, rb
+        )
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def split_at_rank(self, i: int) -> "ArrayTreap":
+        """Destructively remove and return the ``i`` smallest keys."""
+        if i < 0:
+            raise ValueError(f"split size must be >= 0, got {i}")
+        i = min(i, self._s.size)
+        out = ArrayTreap(self._rng)
+        out._s, out._ra, out._rb = (
+            self._s[:i].copy(), self._ra[:i].copy(), self._rb[:i].copy()
+        )
+        self._s = self._s[i:].copy()
+        self._ra = self._ra[i:].copy()
+        self._rb = self._rb[i:].copy()
+        return out
+
+    def split_at_key(self, key) -> "ArrayTreap":
+        """Destructively remove and return all keys ``<= key``."""
+        return self.split_at_rank(self.count_le(key))
+
+    # ------------------------------------------------------------------
+    # Cost accounting hook (identical formula to Treap.access_cost)
+    # ------------------------------------------------------------------
+    def access_cost(self, k: int | None = None) -> float:
+        n = max(len(self), 2)
+        if k is not None:
+            n = max(2, min(n, int(k)))
+        return math.log2(n)
+
+    # ------------------------------------------------------------------
+    # Validation (test hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert strict lexicographic order (keys are unique)."""
+        for i in range(1, self._s.size):
+            assert self._key(i - 1) < self._key(i), "lex order violated"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayTreap(n={len(self)})"

@@ -14,11 +14,13 @@ What remains here is the *launch wiring* specific to a single host:
   write lock, since every peer writes into every inbox;
 * the shared-memory bulk lane (:mod:`repro.machine.backends.shm`):
   buffers at or above the threshold are copied once into pooled
-  ``multiprocessing.shared_memory`` blocks and only ``(name, offset,
-  nbytes)`` descriptors cross the pipe.  Round-based recycling and the
-  close-time segment reaping are supervised here because only this
-  launcher has a shm lane (``supports_shm``); the ``tcp`` launcher runs
-  the identical runtime with the lane absent.
+  ``multiprocessing.shared_memory`` blocks, only ``(name, offset,
+  nbytes, flag_offset)`` descriptors cross the pipe, and receivers
+  decode the blocks zero-copy in place (per-block release flags tell
+  the owner when a block is dead).  Recycling and the close-time
+  segment reaping are supervised here because only this launcher has a
+  shm lane (``supports_shm``); the ``tcp`` launcher runs the identical
+  runtime with the lane absent.
 
 Every PE of the machine is backed by a long-lived OS process.  Two
 kinds of state live in the workers: **transient collective payloads**
@@ -114,9 +116,14 @@ class _PipeLinks(WorkerLinks):
 
 
 def _worker_main(rank, p, inboxes, results, parent_pid, shm_family=None,
-                 shm_threshold=None, faults=None):
+                 shm_threshold=None, faults=None, kernels=None):
     """Entry point of one PE worker (module-level for spawn support):
-    build the pipe links + shm pool, then run the shared command loop."""
+    set the kernel mode, build the pipe links + shm pool, then run the
+    shared command loop."""
+    if kernels is not None:
+        from ...kernels import set_mode
+
+        set_mode(kernels)
     pool = (
         ShmPool(shm_family, f"w{rank}", shm_threshold)
         if shm_family is not None else None
@@ -148,10 +155,11 @@ class MultiprocessingBackend(RuntimeBackend):
         command_timeout: float | None = None,
         faults=None,
         journal: bool = False,
+        kernels: str | None = None,
     ):
         super().__init__(p, verify=verify, pipeline_depth=pipeline_depth,
                          command_timeout=command_timeout, faults=faults,
-                         journal=journal)
+                         journal=journal, kernels=kernels)
         self._ctx = multiprocessing.get_context(start_method)
         self._workers: list = []
         # -- zero-copy payload lane ------------------------------------
@@ -193,7 +201,8 @@ class MultiprocessingBackend(RuntimeBackend):
                 target=_worker_main,
                 args=(rank, self.p, self._inboxes, self._results, os.getpid(),
                       self._shm_family, self._shm_threshold,
-                      self.faults.for_rank(rank) if self.faults else None),
+                      self.faults.for_rank(rank) if self.faults else None,
+                      self.kernels_mode),
                 daemon=True,
                 name=f"repro-pe-{rank}",
             )

@@ -49,11 +49,14 @@ driver demultiplexes the shared result channel by seq
 partial-participant ``p2p``) could overtake a tree hop still in
 flight, so they fence -- drain every in-flight command -- before
 issue.  Each command envelope carries the driver's *ack frontier* (the
-highest seq whose results are all collected); worker shm pools recycle
-their rounds only up to that frontier
-(:meth:`~repro.machine.backends.shm.ShmPool.release_through`), because
-under pipelining the arrival of a newer command no longer proves the
-older round's blocks were copied out.
+highest seq whose results are all collected); shm pools recycle a
+segment only once every block in it is flagged dead by its zero-copy
+consumer *and* the frontier has passed the newest round that allocated
+in it (:meth:`~repro.machine.backends.shm.ShmPool.release_through`) --
+under pipelining the arrival of a newer command proves nothing about
+an older round's blocks, and with in-place consumption even a settled
+command's blocks may outlive it (resident chunks decoded straight out
+of the segment).
 
 * rooted collectives (broadcast, reduce, gather, scatter) walk a
   binomial tree -- ``p - 1`` messages, ``log p`` depth;
@@ -677,10 +680,10 @@ def worker_loop(links: WorkerLinks) -> None:
                 # arg-heavy "put" command keeps the direct driver path)
                 _, seq, spec, locals_map, free_ids, acked = item
                 if pool is not None:
-                    # the driver's ack frontier proves every receiver
-                    # copied out our shared blocks of rounds <= acked;
-                    # under pipelined issue a newer seq alone proves
-                    # nothing (the driver may not have collected yet)
+                    # recycle what the consumers' release flags allow,
+                    # bounded by the driver's ack frontier; under
+                    # pipelined issue a newer seq alone proves nothing
+                    # (the driver may not have collected yet)
                     pool.release_through(acked)
                     pool.begin_round(seq)
                 for child in tree_children:
@@ -814,8 +817,12 @@ class RuntimeBackend(Backend):
     def __init__(self, p: int, verify: bool = False,
                  pipeline_depth: int = 8,
                  command_timeout: float | None = None,
-                 faults=None, journal: bool = False):
+                 faults=None, journal: bool = False,
+                 kernels: str | None = None):
         super().__init__(p)
+        #: kernel dispatch mode plumbed to every worker process at
+        #: startup (None = workers follow their own REPRO_KERNELS/auto)
+        self.kernels_mode = kernels
         #: per-command deadline: a command whose results have not fully
         #: arrived after this many seconds fails with a structured
         #: :class:`WorkerFailure` (phase ``"hung"``) instead of waiting
@@ -1246,8 +1253,8 @@ class RuntimeBackend(Backend):
             self._done_seqs.discard(self._acked + 1)
             self._acked += 1
         if self._pool is not None:
-            # every block the driver shared for seqs <= acked has been
-            # decoded by its worker; recycle once nothing newer is out
+            # recycle the segments whose blocks the workers flagged
+            # dead, up to the collected-results frontier
             self._pool.release_through(self._acked)
 
     def _drain_results(self) -> None:

@@ -8,29 +8,51 @@ out-of-band buffers are split into two lanes (see
   scatter-gather ``os.writev`` with no intermediate concatenation;
 * buffers *at or above* the threshold are copied once into a block of a
   :class:`multiprocessing.shared_memory.SharedMemory` segment and only a
-  ``(name, offset, nbytes)`` descriptor crosses the pipe.  The receiver
-  copies the block out while decoding the frame, so by the time a
-  message is visible to any consumer its payload is private memory and
-  the block can be recycled.
+  ``(name, offset, nbytes, flag_offset)`` descriptor crosses the pipe.
+  The receiver consumes the block **in place**: :meth:`ShmPool.
+  materialize` returns a zero-copy view of the owner's segment, so a
+  payload is copied exactly once end to end (producer into the
+  segment), not twice.
 
-Lifecycle
----------
-Every process owns one :class:`ShmPool`.  Segments the pool *created*
-are its own: they are bump-allocated in rounds (one round per command
-seq, tagged via :meth:`ShmPool.begin_round`) and recycled wholesale at
-safe points (:meth:`ShmPool.release_through`): the runtime's *ack
-frontier* -- the highest seq whose results the driver fully collected,
-piggybacked on every command envelope -- proves every block of rounds
-up to it was copied out by its receiver.  Under pipelined issue several
-rounds may be outstanding at once; the pool recycles only when nothing
-newer than the frontier has allocated, so footprint stays bounded by
-the pipeline depth.  Segments of *other* pools are attached lazily and cached
-(:meth:`ShmPool.materialize`), so a recycled segment is never re-mmapped.
+Block release protocol
+----------------------
+Zero-copy consumption means the arrival of a *newer* message no longer
+proves an older block is dead -- the receiver may hold views of it
+indefinitely (a resident :class:`~repro.machine.dist_array.DistArray`
+chunk decoded straight out of a ``put`` frame, a fetched result the
+caller kept).  Each block therefore carries a 64-byte header in the
+segment itself, holding an 8-byte *release flag*:
 
-``close()`` unlinks owned segments and detaches cached ones.  Because
-all segment names carry the pool family's prefix
-(``reproshm-<driver pid>-<token>-``), a driver can additionally reap the
-segments of workers that died without cleaning up
+* the owner zeroes the flag when it allocates the block
+  (:meth:`ShmPool.share`);
+* the (single) consumer arms a :func:`weakref.finalize` on the
+  zero-copy carrier it hands to ``pickle``; when the last decoded view
+  dies, the finalizer writes the flag through the still-open mapping;
+* the owner recycles a segment (:meth:`ShmPool.release_through`) only
+  once **every** block in it is flagged *and* the runtime's ack
+  frontier -- the highest command seq whose results the driver fully
+  collected, piggybacked on every command envelope -- has passed the
+  newest round that allocated in it.  The frontier gate is the leak
+  backstop: flags are authoritative for liveness, the frontier bounds
+  how early a round may be reclaimed under pipelined issue.
+
+Every block has exactly one consumer: the driver addresses each frame
+to a single worker (tree fan-out re-encodes per hop on the forwarding
+worker's own pool), so one flag per block suffices -- no refcounts.
+
+Segments are bump-allocated; recycling is wholesale per segment, so a
+long-lived view pins only its own segment (fresh shares go to new
+segments) and footprint stays bounded by the pipeline depth plus
+whatever the receivers genuinely keep alive.  Segments of *other*
+pools are attached lazily and cached (:meth:`ShmPool.materialize`), so
+a recycled segment is never re-mmapped.
+
+``close()`` unlinks owned segments and detaches cached ones; both are
+safe while zero-copy views are still alive (POSIX keeps the memory
+until the last mapping closes, and mappings with exported views simply
+stay open until those views die).  Because all segment names carry the
+pool family's prefix (``reproshm-<driver pid>-<token>-``), a driver can
+additionally reap the segments of workers that died without cleaning up
 (:func:`reap_segments`), so leaked pools never outlive the backend --
 the mp backend calls it from ``close()`` and from its ``atexit`` guard.
 
@@ -45,7 +67,10 @@ from __future__ import annotations
 
 import os
 import secrets
+import weakref
 from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
 
 __all__ = [
     "DEFAULT_THRESHOLD",
@@ -68,7 +93,13 @@ _MAX_SEGMENTS = 4
 #: cached attachments to foreign segments (LRU-evicted beyond this)
 _MAX_ATTACHED = 32
 
+#: per-block header: 8-byte release flag, padded so payloads start
+#: 64-byte aligned (cache-line; also a happy alignment for any dtype)
+_HEADER = 64
+
 _PREFIX_FMT = "reproshm-{pid}-{token}-"
+
+_FLAG_CLEAR = b"\x00" * 8
 
 
 def env_threshold(default: int | None = DEFAULT_THRESHOLD) -> int | None:
@@ -125,15 +156,47 @@ def _untrack(tracked_name: str) -> None:
         pass
 
 
+def _flag_release(shm: shared_memory.SharedMemory, flag_off: int) -> None:
+    """Finalizer of a zero-copy carrier: tell the owning pool the block
+    is dead.  ``shm`` is held by the finalizer itself, so the mapping is
+    guaranteed open here; anything failing means the interpreter is
+    tearing down and the owner's close/reap backstop covers us."""
+    try:
+        shm.buf[flag_off] = 1
+    except Exception:  # pragma: no cover - interpreter shutdown
+        pass
+
+
+class _SafeSharedMemory(shared_memory.SharedMemory):
+    """A segment handle whose ``close`` tolerates live exports.
+
+    With zero-copy consumption a mapping legitimately outlives its
+    handle: decoded views pin the pages until they die (the OS reclaims
+    them with the last mapping), so closing a handle while views exist
+    must be a deferral, not an error -- in particular inside ``__del__``
+    at interpreter shutdown, where ``weakref.finalize``'s atexit pass
+    can drop the handle before long-lived views are torn down."""
+
+    def close(self) -> None:
+        try:
+            super().close()
+        except BufferError:
+            pass
+
+
 class _Segment:
     """One owned shared-memory segment with a bump allocator."""
 
-    __slots__ = ("shm", "capacity", "used")
+    __slots__ = ("shm", "capacity", "used", "pending", "high_round")
 
     def __init__(self, name: str, capacity: int):
-        self.shm = shared_memory.SharedMemory(name=name, create=True, size=capacity)
+        self.shm = _SafeSharedMemory(name=name, create=True, size=capacity)
         self.capacity = self.shm.size  # kernel may round up
         self.used = 0
+        #: flag offsets of blocks not yet confirmed dead by their consumer
+        self.pending: list[int] = []
+        #: newest round that allocated here since the last recycle
+        self.high_round = 0
 
 
 class ShmPool:
@@ -166,12 +229,10 @@ class ShmPool:
         self._closed = False
         #: command seq currently allocating blocks (set by begin_round)
         self._round = 0
-        #: highest seq that allocated a block since the last recycle --
-        #: the gate release_through compares against the ack frontier
-        self._high_round = 0
         #: cumulative bytes copied into owned segments (tx accounting)
         self.bytes_shared = 0
-        #: cumulative bytes copied out of foreign segments (rx accounting)
+        #: cumulative bytes consumed out of foreign segments (rx
+        #: accounting; zero-copy reads count their mapped bytes)
         self.bytes_materialized = 0
 
     @property
@@ -181,45 +242,52 @@ class ShmPool:
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
-    def share(self, view: memoryview) -> tuple[str, int] | None:
+    def share(self, view: memoryview) -> tuple[str, int, int] | None:
         """Copy ``view`` into an owned block if it clears the threshold.
 
-        Returns ``(segment_name, offset)`` for the descriptor, or
-        ``None`` when the payload should stay on the pipe.
+        Returns ``(segment_name, data_offset, flag_offset)`` for the
+        descriptor, or ``None`` when the payload should stay on the
+        pipe.  The block's release flag starts cleared; the consumer
+        sets it once its last zero-copy view dies.
         """
         nbytes = view.nbytes
         if self.threshold is None or self._closed or nbytes < self.threshold:
             return None
-        seg = self._block(nbytes)
-        offset = seg.used
-        seg.shm.buf[offset:offset + nbytes] = view
-        seg.used = offset + nbytes
-        self.bytes_shared += nbytes
+        seg, flag_off, data_off = self._block(nbytes)
+        seg.shm.buf[flag_off:flag_off + 8] = _FLAG_CLEAR
+        seg.shm.buf[data_off:data_off + nbytes] = view
+        seg.used = data_off + nbytes
+        seg.pending.append(flag_off)
         # max, not assignment: a coalesced command frame tags its blocks
         # with the newest batched seq, then the batch's entries execute
         # under their own (older) rounds -- the high-water mark must not
         # regress, or blocks still referenced by unexecuted batched
         # commands would be recycled early
-        self._high_round = max(self._high_round, self._round)
-        return seg.shm.name, offset
+        seg.high_round = max(seg.high_round, self._round)
+        self.bytes_shared += nbytes
+        return seg.shm.name, data_off, flag_off
 
     def begin_round(self, seq: int) -> None:
         """Tag subsequent allocations with command ``seq`` (rounds are
         monotone: the runtime issues seqs in increasing order)."""
         self._round = seq
 
-    def _block(self, nbytes: int) -> _Segment:
+    def _block(self, nbytes: int) -> tuple[_Segment, int, int]:
+        """Reserve header + payload space; returns the segment and the
+        (flag, data) offsets of the fresh block."""
         for seg in self._segments:
-            if seg.capacity - seg.used >= nbytes:
-                return seg
+            flag_off = -(-seg.used // _HEADER) * _HEADER
+            if flag_off + _HEADER + nbytes <= seg.capacity:
+                return seg, flag_off, flag_off + _HEADER
         name = f"{self.family}{self._role}.{self._seg_counter}"
         self._seg_counter += 1
-        seg = _Segment(name, max(_SEGMENT_MIN, nbytes))
+        seg = _Segment(name, max(_SEGMENT_MIN, _HEADER + nbytes))
         self._segments.append(seg)
-        return seg
+        return seg, 0, _HEADER
 
     def release_round(self) -> None:
-        """Recycle every owned block (all receivers are provably done).
+        """Recycle every owned block unconditionally (the caller asserts
+        all receivers are done -- e.g. a quiesced pool between runs).
 
         Idle segments beyond ``_MAX_SEGMENTS`` are unlinked so one burst
         of huge payloads does not pin its peak footprint forever; the
@@ -230,30 +298,57 @@ class ShmPool:
         """
         for seg in self._segments:
             seg.used = 0
-        self._high_round = 0
-        if len(self._segments) > _MAX_SEGMENTS:
-            self._segments.sort(key=lambda seg: seg.capacity, reverse=True)
-            while len(self._segments) > _MAX_SEGMENTS:
-                self._unlink(self._segments.pop())
+            seg.pending.clear()
+            seg.high_round = 0
+        self._trim()
 
     def release_through(self, acked: int) -> None:
-        """Recycle all blocks iff every block allocated so far belongs
-        to a round ``<= acked`` (the caller's ack frontier: those blocks
-        were provably copied out by their receivers).  The bump
-        allocator recycles wholesale only, so one outstanding newer
-        round defers the whole recycle -- memory stays bounded by the
-        pipeline depth times the per-round footprint."""
-        if self._high_round > acked:
+        """Recycle every segment whose blocks are all flagged dead by
+        their consumers and whose newest allocating round is ``<=
+        acked`` (the caller's ack frontier).  Flags are authoritative --
+        a receiver may legitimately hold a zero-copy view long after its
+        command settled -- and the frontier is the pipelining backstop:
+        a block is never reclaimed before the driver has collected the
+        results of the round that shared it."""
+        for seg in self._segments:
+            if not seg.used:
+                continue
+            if seg.pending:
+                buf = seg.shm.buf
+                seg.pending = [f for f in seg.pending if buf[f] == 0]
+            if not seg.pending and seg.high_round <= acked:
+                seg.used = 0
+                seg.high_round = 0
+        self._trim()
+
+    def _trim(self) -> None:
+        """Unlink the smallest idle segments beyond ``_MAX_SEGMENTS``
+        (segments with live or unconfirmed blocks are never touched)."""
+        excess = len(self._segments) - _MAX_SEGMENTS
+        if excess <= 0:
             return
-        self.release_round()
+        idle = sorted(
+            (s for s in self._segments if not s.used and not s.pending),
+            key=lambda s: s.capacity,
+        )
+        for seg in idle[:excess]:
+            self._segments.remove(seg)
+            self._unlink(seg)
 
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
-    def materialize(self, name: str, offset: int, nbytes: int) -> bytearray:
-        """Copy one block of a (possibly foreign) segment into private,
-        writable memory.  Attachments are cached so recycled segments
-        are mapped once per process."""
+    def materialize(self, name: str, offset: int, nbytes: int,
+                    flag_off: int | None = None):
+        """Consume one block of a (possibly foreign) segment.
+
+        With ``flag_off`` (the descriptor's flag offset) the block is
+        consumed **zero-copy**: the returned carrier is a view of the
+        owner's segment, and a finalizer on it writes the release flag
+        once the last decoded object aliasing it dies.  Without
+        ``flag_off`` the block is copied into private memory (legacy
+        descriptors and direct reads).  Attachments are cached so a
+        recycled segment is mapped once per process."""
         shm = self._attached.get(name)
         if shm is not None:
             # true LRU: re-insert on every hit so eviction below (which
@@ -262,15 +357,21 @@ class ShmPool:
             self._attached[name] = self._attached.pop(name)
         else:
             own = next((s.shm for s in self._segments if s.shm.name == name), None)
-            shm = own if own is not None else shared_memory.SharedMemory(name=name)
+            shm = own if own is not None else _SafeSharedMemory(name=name)
             if own is None:
                 while len(self._attached) >= _MAX_ATTACHED:
                     lru = next(iter(self._attached))
                     self._detach(self._attached.pop(lru))
                 self._attached[name] = shm
-        out = bytearray(shm.buf[offset:offset + nbytes])
         self.bytes_materialized += nbytes
-        return out
+        if flag_off is None:
+            return bytearray(shm.buf[offset:offset + nbytes])
+        block = np.frombuffer(shm.buf, dtype=np.uint8, count=nbytes,
+                              offset=offset)
+        # the finalizer owns a reference to ``shm``, so the mapping
+        # outlives every view no matter what the attach cache does
+        weakref.finalize(block, _flag_release, shm, flag_off)
+        return block
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -282,6 +383,8 @@ class ShmPool:
         # against the owner's -- the owner's unlink drops the single
         # entry, and a second unregister would make the tracker complain
         try:
+            # a close with live zero-copy views is a deferral (see
+            # _SafeSharedMemory): the mapping dies with its last view
             shm.close()
         except OSError:  # pragma: no cover - already closed
             pass
@@ -289,6 +392,9 @@ class ShmPool:
     def _unlink(self, seg: _Segment) -> None:
         try:
             seg.shm.close()
+        except OSError:  # pragma: no cover - interpreter teardown
+            pass
+        try:
             seg.shm.unlink()
         except FileNotFoundError:  # pragma: no cover - reaped by sibling
             pass  # the reaper already dropped the tracker entry

@@ -125,7 +125,8 @@ def encode_frame(obj, pool=None) -> tuple[list[memoryview], int, int]:
             tail.append(raw)
             inline_bytes += nbytes
         else:
-            bufspecs.append((1, desc[0], desc[1], nbytes))
+            # (lane, segment, data offset, nbytes, release-flag offset)
+            bufspecs.append((1, desc[0], desc[1], nbytes, desc[2]))
             shm_bytes += nbytes
     meta = pickle.dumps((len(spec), tuple(bufspecs)),
                         protocol=pickle.HIGHEST_PROTOCOL)
@@ -271,13 +272,17 @@ class FrameDecoder:
                     piece = bytearray(piece)
                 buffers.append(piece)
             else:
-                _, name, boff, nbytes = bs
+                # 5-tuple descriptors carry the block's release-flag
+                # offset and decode zero-copy; 4-tuple ones (legacy
+                # producers) fall back to a private copy
+                _, name, boff, nbytes, *rest = bs
                 if pool is None:
                     raise RuntimeError(
                         "received a shared-memory payload descriptor on a "
                         "channel with no pool attached"
                     )
-                buffers.append(pool.materialize(name, boff, nbytes))
+                foff = rest[0] if rest else None
+                buffers.append(pool.materialize(name, boff, nbytes, foff))
                 self.shm_rx += nbytes
         obj = pickle.loads(spec, buffers=buffers)
         self.wire_rx += 8 + len(body)

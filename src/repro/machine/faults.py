@@ -239,7 +239,7 @@ class CorruptingPool:
         desc = self._pool.share(view)
         if desc is None:
             return None
-        return ("reproshm-corrupt-" + desc[0], desc[1])
+        return ("reproshm-corrupt-" + desc[0], *desc[1:])
 
     def __getattr__(self, name):
         return getattr(self._pool, name)

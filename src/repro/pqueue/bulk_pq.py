@@ -47,6 +47,7 @@ import numpy as np
 
 from ..common.ordering import TOP
 from ..common.validation import check_rank_range
+from ..kernels import ArrayTreap, effective_mode
 from ..machine import Machine
 from ..selection.flexible import ams_select_gen
 from ..selection.sorted_select import ms_select_with_cuts_gen
@@ -100,7 +101,17 @@ class DeleteMinResult:
 # ----------------------------------------------------------------------
 
 def _make_tree(rank: int) -> tuple:
-    """Per-PE resident state: one (initially empty) treap."""
+    """Per-PE resident state: one (initially empty) tree.
+
+    The tree *kind* follows the worker's kernel mode: the pointer
+    :class:`~repro.trees.Treap` in python mode, the sorted-array
+    :class:`~repro.kernels.ArrayTreap` in native mode.  Every output the
+    queue observes from its tree is structure-independent (see
+    :mod:`repro.kernels.treap`), so the two are bit-interchangeable --
+    including rng consumption (one priority draw per insert).
+    """
+    if effective_mode() == "native":
+        return (ArrayTreap(None), None)
     return (Treap(None), None)
 
 
@@ -118,10 +129,7 @@ def _insert_step(rank: int, tree: Treap, scores, first_uid, addr):
     if scores is None or len(scores) == 0:
         return None
     tree._rng = addr.local(rank)
-    uid = int(first_uid)
-    for s in scores:
-        tree.insert((float(s), (rank, uid)))
-        uid += 1
+    tree.insert_batch(scores, rank, int(first_uid))
     return None
 
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..common.sampling import bernoulli_sample_indices
+from ..kernels import partition3
 from ..machine import DistArray, Machine
 from .sequential import fr_pivots
 
@@ -127,9 +128,7 @@ def _ms_sample_kernel(rank: int, segs: list, p: int, addr, level: int,
         mid_rank = ranks[len(ranks) // 2]
         union = np.sort(np.concatenate(contrib))
         lo_p, hi_p = fr_pivots(union, mid_rank, n)
-        below = arr < lo_p
-        mid = (arr >= lo_p) & (arr <= hi_p)
-        parts = (arr[below], arr[mid], arr[~below & ~mid])
+        parts = partition3(arr, lo_p, hi_p)
         inter.append(("split", parts, lo_p, hi_p, ranks, offset, n))
         meta.append(("split", int(union.size), int(arr.size), float(rho)))
     return inter, (sample_words, finishes, meta)

@@ -72,6 +72,7 @@ def _selection_round_kernel(
     ``(chunk, empty, empty)`` and no pivots exist).
     """
     from ..common.sampling import bernoulli_sample_indices
+    from ..kernels import partition3
     from ..machine.metrics import payload_words
     from .sequential import fr_pivots
 
@@ -86,11 +87,7 @@ def _selection_round_kernel(
     union = np.sort(np.concatenate(nonempty))
     lo_p, hi_p = fr_pivots(union, k, n)
 
-    below = chunk < lo_p
-    mid = (chunk >= lo_p) & (chunk <= hi_p)
-    part_lo = chunk[below]
-    part_mid = chunk[mid]
-    part_hi = chunk[~below & ~mid]
+    part_lo, part_mid, part_hi = partition3(chunk, lo_p, hi_p)
     counts = np.array([part_lo.size, part_mid.size], dtype=np.int64)
     totals = yield ("allreduce", counts, "sum")
     return part_lo, part_mid, part_hi, (
@@ -109,16 +106,17 @@ def _topk_cut_kernel(rank: int, chunk: np.ndarray, threshold, k: int):
     ``(below, equal, selected)`` count triple the driver re-plays the
     cost model from.
     """
-    below = chunk < threshold
-    equal = chunk == threshold
-    counts = np.array([int(below.sum()), int(equal.sum())], dtype=np.int64)
+    from ..kernels import topk_count, topk_cut
+
+    n_below, n_eq = topk_count(chunk, threshold)
+    counts = np.array([n_below, n_eq], dtype=np.int64)
     totals, prefix = yield (
         "allreduce_exscan", counts, "sum", np.zeros(2, dtype=np.int64)
     )
     quota = k - int(totals[0])
-    keep_eq = int(np.clip(quota - int(prefix[1]), 0, counts[1]))
-    sel = np.concatenate([chunk[below], chunk[equal][:keep_eq]])
-    return sel, (int(counts[0]), int(counts[1]), sel.size)
+    keep_eq = int(np.clip(quota - int(prefix[1]), 0, n_eq))
+    sel = topk_cut(chunk, threshold, keep_eq)
+    return sel, (n_below, n_eq, sel.size)
 
 
 def select_kth(

@@ -287,6 +287,15 @@ class Treap:
         for key in keys:
             self.insert(key)
 
+    def insert_batch(self, scores, rank: int, first_uid: int) -> None:
+        """Bulk-insert contiguously-numbered ``(score, (rank, uid))``
+        keys (the priority queue's flush path; one priority draw per
+        key, same as :meth:`insert`)."""
+        uid = int(first_uid)
+        for s in scores:
+            self.insert((float(s), (int(rank), uid)))
+            uid += 1
+
     def delete(self, key) -> bool:
         """Delete one occurrence of ``key``; returns whether it existed."""
         left, rest = _split_lt(self._root, key)

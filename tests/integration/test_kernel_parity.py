@@ -1,0 +1,124 @@
+"""Integration: kernel modes are bit-identical across backends and
+pipeline depths.
+
+The dispatch contract (:mod:`repro.kernels`) promises that swapping
+``kernels="python"`` for ``kernels="native"`` changes wall-clock time
+only -- results and modeled costs (makespan, bottleneck volume and
+startups) stay identical on every backend at every pipeline depth.
+Each cell of the grid runs the same three workloads -- multiselection
+(partition kernels), a bulk priority-queue cycle (treap merge + RNG
+state threading), and heavy hitters (Space-Saving offers) -- under both
+modes on a real backend and compares everything against the sim
+python-mode reference.
+
+Without numba the native twins run interpreted through the jit shim,
+so this grid proves bit-identity of the *native arithmetic* even on
+machines with no compiler toolchain; CI's native-smoke job re-runs it
+with numba installed to cover the compiled path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import zipf_keys_workload
+from repro.frequent import heavy_hitters
+from repro.kernels import set_mode
+from repro.machine import Machine
+from repro.pqueue import BulkParallelPQ
+from repro.selection import multi_select
+from repro.testing import make_dist
+
+P = 4
+
+#: (real backend, pipeline depth): depth 1 serialises every round-trip,
+#: depth 8 overlaps issue/settle -- kernels must not care either way
+GRID = [
+    pytest.param(backend, depth, id=f"{backend}-d{depth}")
+    for backend in ("mp", "tcp")
+    for depth in (1, 8)
+]
+
+
+@pytest.fixture(autouse=True)
+def _reset_mode():
+    """Machine(kernels=...) sets the process-global mode; never leak it."""
+    yield
+    set_mode(None)
+
+
+def run_workloads(machine):
+    """The kernel-exercising workload battery; returns results plus the
+    modeled quantities of each phase."""
+    out = {}
+
+    data = make_dist(machine, np.random.default_rng(23), 600)
+    n = data.global_size
+    machine.reset()
+    out["multi_select"] = multi_select(machine, data, [1, 7, n // 2, n])
+    out["select_cost"] = (
+        machine.clock.makespan,
+        machine.metrics.bottleneck_words,
+        machine.metrics.bottleneck_startups,
+    )
+
+    q = BulkParallelPQ(machine)
+    r = np.random.default_rng(29)
+    machine.reset()
+    pq_results = []
+    for _ in range(2):
+        q.insert([list(r.random(30)) for _ in range(machine.p)])
+        pq_results.append((q.peek_min(), q.delete_min(8 * machine.p)))
+    out["pq"] = pq_results
+    out["pq_cost"] = (
+        machine.clock.makespan,
+        machine.metrics.bottleneck_words,
+        machine.metrics.bottleneck_startups,
+    )
+
+    keys = zipf_keys_workload(machine, 4_000, universe=1 << 10, s=1.2)
+    machine.reset()
+    out["heavy_hitters"] = heavy_hitters(machine, keys, 0.05)
+    out["hh_cost"] = (
+        machine.clock.makespan,
+        machine.metrics.bottleneck_words,
+        machine.metrics.bottleneck_startups,
+    )
+    return out
+
+
+def run_on(backend, kernels, depth=None):
+    kwargs = dict(p=P, seed=77, kernels=kernels)
+    if backend is not None:
+        kwargs.update(backend=backend, pipeline_depth=depth)
+    try:
+        if backend is None:
+            return run_workloads(Machine(**kwargs))
+        with Machine(**kwargs) as m:
+            return run_workloads(m)
+    finally:
+        set_mode(None)
+
+
+@pytest.mark.parametrize("backend,depth", GRID)
+def test_kernel_modes_bit_identical(backend, depth):
+    ref = run_on(None, "python")
+    for mode in ("python", "native"):
+        got = run_on(backend, mode, depth)
+        for key in ref:
+            assert got[key] == ref[key], (backend, depth, mode, key)
+
+
+def test_sim_native_matches_python_reference():
+    assert run_on(None, "native") == run_on(None, "python")
+
+
+def test_machine_rejects_unknown_kernels_mode():
+    with pytest.raises(ValueError, match="kernels"):
+        Machine(p=2, seed=1, kernels="turbo")
+
+
+def test_backend_reports_native_capability():
+    from repro.kernels import numba_available
+
+    with Machine(p=2, seed=2, backend="mp") as m:
+        assert m.backend.supports_native_kernels == numba_available()

@@ -9,9 +9,10 @@ pin the bounds:
   empty once the engine quiesces -- stale keys of older seqs are
   evicted when a newer command starts;
 * the driver ``_blob`` cache is LRU-bounded at ``_BLOB_CACHE``;
-* the driver/worker shm pools recycle by ack frontier:
-  :meth:`ShmPool.release_through` recycles wholesale only when nothing
-  newer than the frontier has allocated.
+* the driver/worker shm pools recycle by consumer release flags gated
+  on the ack frontier: :meth:`ShmPool.release_through` recycles a
+  segment only once every block in it is flagged dead and nothing
+  newer than the frontier has allocated in it.
 
 Plus the engine mechanics themselves: futures resolve out of
 completion order, ``pipeline_depth`` caps in-flight commands, direct
@@ -82,29 +83,42 @@ class TestShmPoolAckRecycling:
             pytest.skip("shared memory unavailable")
         return pool
 
-    def test_release_through_gates_on_newer_rounds(self):
+    def _consume(self, pool, desc, nbytes):
+        """Play the receiver: decode the block zero-copy and drop the
+        last view, which writes the release flag."""
+        name, off, foff = desc
+        block = pool.materialize(name, off, nbytes, foff)
+        del block
+
+    def test_release_through_gates_on_flags_and_frontier(self):
         pool = self._pool()
         try:
             pool.begin_round(5)
-            assert pool.share(memoryview(b"x" * 64)) is not None
+            desc = pool.share(memoryview(b"x" * 64))
+            assert desc is not None and desc[1] == desc[2] + 64
             seg = pool._segments[0]
-            assert seg.used == 64 and pool._high_round == 5
+            assert seg.used == 128 and seg.high_round == 5
+            pool.release_through(5)  # consumer still holds it: no recycle
+            assert seg.used == 128 and seg.pending
+            self._consume(pool, desc, 64)  # last view dies -> flag set
             pool.release_through(4)  # frontier behind round 5: no recycle
-            assert seg.used == 64
-            pool.release_through(5)  # frontier caught up: recycle
-            assert seg.used == 0 and pool._high_round == 0
+            assert seg.used == 128
+            pool.release_through(5)  # flags and frontier agree: recycle
+            assert seg.used == 0 and seg.high_round == 0
         finally:
             pool.close()
 
-    def test_one_outstanding_round_defers_the_whole_recycle(self):
+    def test_one_outstanding_round_defers_the_segment_recycle(self):
         pool = self._pool()
         try:
             pool.begin_round(3)
-            pool.share(memoryview(b"a" * 32))
+            a = pool.share(memoryview(b"a" * 32))
             pool.begin_round(7)
-            pool.share(memoryview(b"b" * 32))
-            pool.release_through(3)  # round 7 still out: everything stays
-            assert pool._segments[0].used == 64
+            b = pool.share(memoryview(b"b" * 32))
+            self._consume(pool, a, 32)
+            self._consume(pool, b, 32)
+            pool.release_through(3)  # round 7 shares the segment: stays
+            assert pool._segments[0].used > 0
             pool.release_through(7)
             assert pool._segments[0].used == 0
         finally:

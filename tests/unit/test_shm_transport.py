@@ -276,12 +276,13 @@ class TestSegmentLifecycle:
         try:
             payload = os.urandom(5000)
             assert pool.share(memoryview(b"tiny")) is None  # below cutoff
-            name, offset = pool.share(memoryview(payload))
+            name, offset, flag_off = pool.share(memoryview(payload))
+            assert offset == flag_off + 64  # data follows the block header
             assert bytes(pool.materialize(name, offset, len(payload))) == payload
             # round recycling reuses the segment in place
             pool.release_round()
-            name2, offset2 = pool.share(memoryview(payload))
-            assert (name2, offset2) == (name, offset)
+            name2, offset2, flag2 = pool.share(memoryview(payload))
+            assert (name2, offset2, flag2) == (name, offset, flag_off)
         finally:
             pool.close()
         assert segment_names(pool.family) == []
@@ -294,7 +295,7 @@ class TestSegmentLifecycle:
         pool = ShmPool(pool_family(new_token()), "d", threshold=64)
         try:
             big = memoryview(bytearray(2 * _SEGMENT_MIN))
-            big_name, _ = pool.share(big)
+            big_name = pool.share(big)[0]
             for _ in range(_MAX_SEGMENTS + 2):  # overflow with default-size segs
                 pool.share(memoryview(bytearray(_SEGMENT_MIN)))
             pool.release_round()
@@ -315,10 +316,10 @@ class TestSegmentLifecycle:
                   for i in range(5)]  # distinct pools -> distinct segment names
         reader = ShmPool(pool_family(new_token()), "r", threshold=1)
         try:
-            hot_name, hot_off = owners[0].share(memoryview(b"hot payload"))
+            hot_name, hot_off, _ = owners[0].share(memoryview(b"hot payload"))
             reader.materialize(hot_name, hot_off, 11)
             for owner in owners[1:]:
-                name, off = owner.share(memoryview(b"cold"))
+                name, off, _ = owner.share(memoryview(b"cold"))
                 reader.materialize(name, off, 4)
                 # touching hot between one-shot names keeps it most recent
                 reader.materialize(hot_name, hot_off, 11)
@@ -351,6 +352,86 @@ class TestSegmentLifecycle:
             w.join(timeout=5.0)
         backend.close()  # the reaping backstop
         assert segment_names(family) == []
+
+    @_observable
+    def test_zero_copy_block_aliases_the_segment(self):
+        """A flagged materialize returns a live view of the owner's
+        segment, not a copy."""
+        pool = ShmPool(pool_family(new_token()), "d", threshold=16)
+        try:
+            payload = bytes(range(256)) * 32
+            name, off, foff = pool.share(memoryview(payload))
+            block = pool.materialize(name, off, len(payload), foff)
+            assert isinstance(block, np.ndarray)
+            assert bytes(block) == payload
+            seg = pool._segments[0]
+            seg.shm.buf[off] = (payload[0] + 1) % 256  # write as the owner
+            assert int(block[0]) == (payload[0] + 1) % 256  # the view sees it
+        finally:
+            pool.close()
+
+    @_observable
+    def test_legacy_descriptor_materializes_a_copy(self):
+        pool = ShmPool(pool_family(new_token()), "d", threshold=16)
+        try:
+            name, off, _ = pool.share(memoryview(b"q" * 256))
+            out = pool.materialize(name, off, 256)
+            assert isinstance(out, bytearray)
+            out[0] = 0  # private memory: the segment is untouched
+            assert pool._segments[0].shm.buf[off] == ord("q")
+        finally:
+            pool.close()
+
+    @_observable
+    def test_release_flag_fires_on_last_deref(self):
+        """The block stays pending while any alias of the zero-copy
+        carrier is alive; the last deref flags it and the owner
+        recycles."""
+        pool = ShmPool(pool_family(new_token()), "d", threshold=16)
+        try:
+            name, off, foff = pool.share(memoryview(b"z" * 128))
+            seg = pool._segments[0]
+            block = pool.materialize(name, off, 128, foff)
+            pool.release_through(10)  # live view: no recycle
+            assert seg.used and seg.pending
+            view = memoryview(block)  # a second alias pins it too
+            del block
+            pool.release_through(10)
+            assert seg.pending
+            view.release()
+            del view
+            pool.release_through(10)  # last alias gone -> flag -> recycle
+            assert seg.used == 0 and not seg.pending
+        finally:
+            pool.close()
+
+    def test_resident_zero_copy_chunks_survive_later_rounds(self):
+        """Workers keep decoded put-payloads as zero-copy views of the
+        driver's segments; later rounds must never recycle over them."""
+        n = 20000
+        with MultiprocessingBackend(2, shm_threshold=TINY) as backend:
+            keep = [np.arange(n, dtype=np.float64) * (r + 1) for r in range(2)]
+            ref = backend.put_chunks([c.copy() for c in keep])
+            # churn: enough later traffic that a wrongly-recycled block
+            # would be overwritten
+            for i in range(8):
+                backend.put_chunks([np.full(n, float(i)),
+                                    np.full(n, float(-i))])
+            got = _fetch_ref(backend, ref)
+            for a, b in zip(keep, got):
+                np.testing.assert_array_equal(a, b)
+
+    def test_pipelined_rounds_recycle_driver_segments(self):
+        """Release flags + the ack frontier keep the driver pool's
+        footprint bounded across many pipelined rounds."""
+        with Machine(p=2, seed=11, backend=MultiprocessingBackend(
+                2, shm_threshold=TINY, pipeline_depth=4)) as m:
+            big = np.arange(1 << 17, dtype=np.float64)  # 1 MiB payload
+            for i in range(12):
+                out = m.broadcast(big * i)
+                del out
+            assert len(m.backend._pool._segments) <= 3
+        assert segment_names(m.backend._shm_family) == []
 
     @_observable
     def test_machine_close_reaps(self):

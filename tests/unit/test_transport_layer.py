@@ -74,7 +74,7 @@ class TestEncodeFrame:
         socket) must raise, not silently decode garbage."""
         class FakePool:
             def share(self, view):
-                return ("segname", 0)
+                return ("segname", 64, 0)
 
         views, _, shm_bytes = encode_frame(np.arange(64), pool=FakePool())
         assert shm_bytes == 64 * 8
